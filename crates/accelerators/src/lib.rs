@@ -1,0 +1,28 @@
+//! Accelerator models for the AXI4MLIR experiments.
+//!
+//! The paper evaluates a library of tile-based accelerators derived from
+//! SECDA-TFLite, synthesized on the PYNQ-Z2 fabric (Table I), plus a
+//! convolution accelerator (§IV-D). This crate implements functional +
+//! timing models of each:
+//!
+//! - [`isa`]: the micro-ISA opcode literals shared between the accelerator
+//!   FSMs, the default accelerator configurations, and the compiler.
+//! - [`matmul`]: MatMul accelerators v1–v4 (Table I) — vector-MAC engines
+//!   with internal A/B/C tile buffers, differing in which opcodes (and thus
+//!   which *stationary* reuse patterns) they support.
+//! - [`conv`]: the Conv2D accelerator of Fig. 15 — computes one output
+//!   channel slice per iteration, with configurable `iC` and `fHW`.
+//! - [`registry`]: Table I as data (type, reuse, opcodes, size, OPs/cycle).
+//!
+//! All models perform real `i32` arithmetic so end-to-end results can be
+//! verified against reference kernels, and charge compute cycles at the
+//! Table I throughput (OPs/cycle at 200 MHz).
+
+pub mod conv;
+pub mod isa;
+pub mod matmul;
+pub mod registry;
+
+pub use conv::ConvAccel;
+pub use matmul::{MatMulAccel, MatMulVersion};
+pub use registry::{table1, AcceleratorSpec, ReuseKind};

@@ -1,0 +1,27 @@
+//! Hand-written manual driver baselines (`cpp MANUAL` in the figures).
+//!
+//! The paper's baselines are C++ drivers derived from the SECDA-TFLite
+//! toolkit (§IV-A): written per accelerator and per dataflow, with
+//!
+//! - **accelerator-size tiling only** (no CPU cache-hierarchy tiling — that
+//!   is AXI4MLIR's advantage),
+//! - the **fewest data-transfer calls** the selected dataflow permits,
+//! - bare-array staging copies that the cross-compiler autovectorizes to
+//!   8-byte chunks ([`CopyStrategy::manual`]).
+//!
+//! These drivers call the same DMA library and run against the same
+//! simulated SoC as the generated code, so `perf`-style comparisons are
+//! apples-to-apples.
+
+pub mod conv;
+pub mod matmul;
+
+pub use conv::run_manual_conv;
+pub use matmul::{run_manual_matmul, ManualReport};
+
+use axi4mlir_runtime::copy::CopyStrategy;
+use axi4mlir_runtime::soc::Soc;
+
+pub(crate) fn manual_strategy(soc: &Soc) -> CopyStrategy {
+    CopyStrategy::manual(&soc.cost)
+}

@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the compiler itself: how fast AXI4MLIR turns a
+//! `linalg` op into lowered driver code, per flow and with/without cache
+//! tiling. (The *system performance* numbers live in the `fig*` binaries;
+//! these benches track the tool's own compile costs.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use axi4mlir_config::{AcceleratorConfig, AcceleratorPreset, FlowStrategy};
+use axi4mlir_core::annotate::MatchAndAnnotatePass;
+use axi4mlir_core::codegen::GenerateAccelDriverPass;
+use axi4mlir_core::lower::LowerAccelToRuntimePass;
+use axi4mlir_core::pipeline::build_matmul_module;
+use axi4mlir_ir::pass::PassManager;
+use axi4mlir_workloads::matmul::MatMulProblem;
+
+fn compile_once(dims: i64, flow: FlowStrategy, cache_tile: Option<i64>) {
+    let mut module = build_matmul_module(MatMulProblem::square(dims));
+    let config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 8 })
+        .with_selected_flow(flow.short_name());
+    let perm: Vec<String> = flow.matmul_permutation().iter().map(|s| (*s).to_owned()).collect();
+    let mut pm = PassManager::new();
+    pm.add(Box::new(MatchAndAnnotatePass::new(config, perm, cache_tile)));
+    pm.add(Box::new(GenerateAccelDriverPass::default()));
+    pm.add(Box::new(LowerAccelToRuntimePass));
+    pm.run(&mut module).expect("compile");
+}
+
+fn bench_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_flow");
+    group.sample_size(20);
+    for flow in FlowStrategy::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(flow.short_name()), &flow, |b, flow| {
+            b.iter(|| compile_once(64, *flow, None));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_tiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_cache_tiling");
+    group.sample_size(20);
+    group.bench_function("off", |b| b.iter(|| compile_once(128, FlowStrategy::NothingStationary, None)));
+    group.bench_function("on_32", |b| {
+        b.iter(|| compile_once(128, FlowStrategy::NothingStationary, Some(32)));
+    });
+    group.finish();
+}
+
+fn bench_problem_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_problem_size");
+    group.sample_size(20);
+    for dims in [16i64, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, dims| {
+            b.iter(|| compile_once(*dims, FlowStrategy::OutputStationary, None));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows, bench_cache_tiling, bench_problem_size);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates every table and figure in one run (used to produce
+//! `EXPERIMENTS.md`). Usage:
+//! `cargo run --release -p axi4mlir-bench --bin all_figures [--quick]`.
+
+use axi4mlir_bench::{fig10, fig11, fig12, fig13, fig14, fig16, fig17, table1, Scale};
+use axi4mlir_support::fmtutil::{fmt_percent, fmt_speedup};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
+
+    println!("## Table I\n");
+    println!("{}", table1::render(&table1::rows()).render());
+
+    println!("## Fig. 10\n");
+    println!("{}", fig10::render(&fig10::rows(scale)).render());
+
+    println!("## Fig. 11\n");
+    println!("{}", fig11::render(&fig11::rows(scale)).render());
+
+    println!("## Fig. 12a\n");
+    println!("{}", fig12::render(&fig12::rows(scale, fig12::Variant::A)).render());
+    println!("## Fig. 12b\n");
+    println!("{}", fig12::render(&fig12::rows(scale, fig12::Variant::B)).render());
+
+    println!("## Fig. 13\n");
+    let rows = fig13::rows(scale);
+    println!("{}", fig13::render(&rows).render());
+    let s = fig13::summarize(&rows);
+    println!(
+        "summary: mean speedup {}, max {}; mean cache-reference reduction {}, max {}\n",
+        fmt_speedup(s.mean_speedup),
+        fmt_speedup(s.max_speedup),
+        fmt_percent(s.mean_cache_reduction),
+        fmt_percent(s.max_cache_reduction),
+    );
+
+    println!("## Fig. 14\n");
+    println!("{}", fig14::render(&fig14::rows(scale)).render());
+
+    println!("## Fig. 16\n");
+    println!("{}", fig16::render(&fig16::rows(scale)).render());
+
+    println!("## Fig. 17\n");
+    println!("{}", fig17::render(&fig17::bars(scale)).render());
+}

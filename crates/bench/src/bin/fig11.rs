@@ -1,0 +1,11 @@
+//! Regenerates Fig. 11 (manual Ns vs. generated flows, pre-optimization).
+//! Usage: `cargo run --release -p axi4mlir-bench --bin fig11 [--quick]`.
+
+use axi4mlir_bench::{fig11, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
+    println!("Fig. 11: Manual Ns vs. AXI4MLIR flows (element-wise copies)\n");
+    println!("{}", fig11::render(&fig11::rows(scale)).render());
+    println!("Expected shape: generated Ns loses to manual Ns; Cs improves on generated Ns.");
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 14 (problem permutations on the flexible v4).
+//! Usage: `cargo run --release -p axi4mlir-bench --bin fig14 [--quick]`.
+
+use axi4mlir_bench::{fig14, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
+    println!("Fig. 14: MatMul problem permutations on the v4 accelerator\n");
+    println!("{}", fig14::render(&fig14::rows(scale)).render());
+    println!("Expected shape: the best square flow changes with the permutation;");
+    println!("Best (flexible tiles) is at least as fast as every square strategy.");
+}

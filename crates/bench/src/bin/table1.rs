@@ -1,0 +1,8 @@
+//! Regenerates Table I. Usage: `cargo run --release -p axi4mlir-bench --bin table1`.
+
+use axi4mlir_bench::table1;
+
+fn main() {
+    println!("Table I: Accelerators used in the experiments\n");
+    println!("{}", table1::render(&table1::rows()).render());
+}

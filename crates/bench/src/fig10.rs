@@ -1,0 +1,143 @@
+//! Fig. 10: CPU vs. accelerator runtime characterization.
+//!
+//! Sweeps MatMul problems over `dims` and v1 accelerators over
+//! `accel_size`, comparing the hand-written driver (`cpp_MANUAL`, Ns flow)
+//! against CPU-only execution (`mlir_CPU`). The paper's observation to
+//! reproduce: offload only pays off for `dims >= 64` **and**
+//! `accel_size >= 8`.
+
+use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
+use axi4mlir_accelerators::matmul::MatMulVersion;
+use axi4mlir_baselines::run_manual_matmul;
+use axi4mlir_config::FlowStrategy;
+use axi4mlir_core::pipeline::run_cpu_matmul;
+use axi4mlir_workloads::matmul::MatMulProblem;
+
+use crate::Scale;
+
+/// One bar group of Fig. 10.
+#[derive(Clone, Debug)]
+pub struct Fig10Row {
+    /// Problem dimension (`dims = M = N = K`).
+    pub dims: i64,
+    /// Accelerator size, `None` for the CPU-only configuration.
+    pub accel_size: Option<i64>,
+    /// `cpp_MANUAL` task-clock (ms); `None` for the CPU-only bar.
+    pub manual_ms: Option<f64>,
+    /// `mlir_CPU` task-clock (ms).
+    pub cpu_ms: f64,
+}
+
+/// The accelerator sizes swept per problem size.
+pub fn sizes(scale: Scale) -> Vec<i64> {
+    match scale {
+        Scale::Quick => vec![4, 8],
+        Scale::Full => vec![4, 8, 16],
+    }
+}
+
+/// Runs the sweep.
+pub fn rows(scale: Scale) -> Vec<Fig10Row> {
+    let mut out = Vec::new();
+    for dims in scale.matmul_dims() {
+        let problem = MatMulProblem::square(dims);
+        let cpu = run_cpu_matmul(problem, None, 10);
+        assert!(cpu.verified, "CPU baseline failed verification");
+        out.push(Fig10Row { dims, accel_size: None, manual_ms: None, cpu_ms: cpu.task_clock_ms });
+        for size in sizes(scale) {
+            if dims % size != 0 || size > dims {
+                continue;
+            }
+            let manual = run_manual_matmul(
+                MatMulVersion::V1,
+                size,
+                FlowStrategy::NothingStationary,
+                problem,
+                10,
+            )
+            .expect("v1 Ns manual driver");
+            assert!(manual.verified, "manual driver failed verification");
+            out.push(Fig10Row {
+                dims,
+                accel_size: Some(size),
+                manual_ms: Some(manual.task_clock_ms),
+                cpu_ms: cpu.task_clock_ms,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the figure series as a table.
+pub fn render(rows: &[Fig10Row]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "dims,accel_size,accel_version",
+        "cpp_MANUAL [ms]",
+        "mlir_CPU [ms]",
+        "winner",
+    ]);
+    for r in rows {
+        let label = match r.accel_size {
+            None => format!("({}, 0, NONE)", r.dims),
+            Some(s) => format!("({}, {s}, v1)", r.dims),
+        };
+        let winner = match r.manual_ms {
+            None => "-".to_owned(),
+            Some(m) if m < r.cpu_ms => "accel".to_owned(),
+            Some(_) => "cpu".to_owned(),
+        };
+        t.row(vec![
+            label,
+            r.manual_ms.map(fmt_ms).unwrap_or_else(|| "-".to_owned()),
+            fmt_ms(r.cpu_ms),
+            winner,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's headline crossovers, at quick scale.
+    #[test]
+    fn accelerator_relevance_crossover() {
+        let rows = rows(Scale::Quick);
+        let get = |dims: i64, size: Option<i64>| {
+            rows.iter().find(|r| r.dims == dims && r.accel_size == size).cloned()
+        };
+        // dims = 32: CPU beats even the size-8 accelerator.
+        let r = get(32, Some(8)).unwrap();
+        assert!(
+            r.manual_ms.unwrap() > r.cpu_ms,
+            "dims=32: accel {:.3} ms should lose to cpu {:.3} ms",
+            r.manual_ms.unwrap(),
+            r.cpu_ms
+        );
+        // dims = 64, size 8: the accelerator wins.
+        let r = get(64, Some(8)).unwrap();
+        assert!(
+            r.manual_ms.unwrap() < r.cpu_ms,
+            "dims=64 size=8: accel {:.3} ms should beat cpu {:.3} ms",
+            r.manual_ms.unwrap(),
+            r.cpu_ms
+        );
+        // dims = 64, size 4: the small accelerator still loses.
+        let r = get(64, Some(4)).unwrap();
+        assert!(
+            r.manual_ms.unwrap() > r.cpu_ms,
+            "dims=64 size=4: accel {:.3} ms should lose to cpu {:.3} ms",
+            r.manual_ms.unwrap(),
+            r.cpu_ms
+        );
+    }
+
+    #[test]
+    fn render_has_figure_style_labels() {
+        let rows = rows(Scale::Quick);
+        let text = render(&rows).render();
+        assert!(text.contains("(64, 8, v1)"));
+        assert!(text.contains("(16, 0, NONE)"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Fig. 11: manual Ns vs. AXI4MLIR-generated flows, *before* the copy
+//! optimization.
+//!
+//! Reproduction targets: the generated Ns is **slower** than the manual Ns
+//! (the rank-generic element-wise copy overhead the paper then fixes), and
+//! the Cs flow still provides improvements over manual Ns on v3.
+
+use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
+use axi4mlir_accelerators::matmul::MatMulVersion;
+use axi4mlir_baselines::run_manual_matmul;
+use axi4mlir_config::{AcceleratorConfig, AcceleratorPreset, FlowStrategy};
+use axi4mlir_core::pipeline::CompileAndRun;
+use axi4mlir_core::options::PipelineOptions;
+use axi4mlir_workloads::matmul::MatMulProblem;
+
+use crate::Scale;
+
+/// One bar group: a `(dims, accel_size, version)` configuration.
+#[derive(Clone, Debug)]
+pub struct Fig11Row {
+    /// Problem dimension.
+    pub dims: i64,
+    /// Accelerator tile size.
+    pub size: i64,
+    /// Accelerator type (v2 or v3).
+    pub version: MatMulVersion,
+    /// Manual Ns task-clock (ms).
+    pub manual_ns_ms: f64,
+    /// Generated task-clock per flow `(label, ms)`.
+    pub generated_ms: Vec<(String, f64)>,
+}
+
+fn flows_for(version: MatMulVersion) -> Vec<FlowStrategy> {
+    match version {
+        MatMulVersion::V2 => vec![
+            FlowStrategy::NothingStationary,
+            FlowStrategy::InputAStationary,
+            FlowStrategy::InputBStationary,
+        ],
+        _ => FlowStrategy::all().to_vec(),
+    }
+}
+
+fn preset(version: MatMulVersion, size: i64) -> AcceleratorConfig {
+    match version {
+        MatMulVersion::V2 => AcceleratorConfig::preset(AcceleratorPreset::V2 { size }),
+        _ => AcceleratorConfig::preset(AcceleratorPreset::V3 { size }),
+    }
+}
+
+/// Runs the sweep with element-wise (pre-optimization) copies.
+pub fn rows(scale: Scale) -> Vec<Fig11Row> {
+    let mut out = Vec::new();
+    for dims in scale.relevant_dims() {
+        for size in scale.accel_sizes() {
+            for version in [MatMulVersion::V2, MatMulVersion::V3] {
+                let problem = MatMulProblem::square(dims);
+                let manual = run_manual_matmul(
+                    version,
+                    size,
+                    FlowStrategy::NothingStationary,
+                    problem,
+                    11,
+                )
+                .expect("manual Ns");
+                assert!(manual.verified);
+                let mut generated = Vec::new();
+                for flow in flows_for(version) {
+                    let report = CompileAndRun::new(preset(version, size), problem)
+                        .flow(flow)
+                        .options(PipelineOptions::unoptimized_copies())
+                        .seed(11)
+                        .execute()
+                        .expect("generated driver");
+                    assert!(report.verified, "{version} {flow} must verify");
+                    generated.push((flow.short_name().to_owned(), report.task_clock_ms));
+                }
+                out.push(Fig11Row {
+                    dims,
+                    size,
+                    version,
+                    manual_ns_ms: manual.task_clock_ms,
+                    generated_ms: generated,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Renders the figure series.
+pub fn render(rows: &[Fig11Row]) -> TextTable {
+    let mut t = TextTable::new(vec!["dims,accel_size,accel_version", "strategy", "task-clock [ms]"]);
+    for r in rows {
+        let group = format!("({}, {}, {})", r.dims, r.size, r.version);
+        t.row(vec![group.clone(), "cpp_MANUAL Ns".to_owned(), fmt_ms(r.manual_ns_ms)]);
+        for (flow, ms) in &r.generated_ms {
+            t.row(vec![group.clone(), format!("mlir_AXI4MLIR {flow}"), fmt_ms(*ms)]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pre_optimization_shapes() {
+        let rows = rows(Scale::Quick);
+        let v3 = rows
+            .iter()
+            .find(|r| r.version == MatMulVersion::V3 && r.dims == 64)
+            .expect("v3 row");
+        let ns = v3.generated_ms.iter().find(|(f, _)| f == "Ns").unwrap().1;
+        let cs = v3.generated_ms.iter().find(|(f, _)| f == "Cs").unwrap().1;
+        // Generated Ns (element-wise copies) is slower than manual Ns.
+        assert!(
+            ns > v3.manual_ns_ms,
+            "pre-optimization generated Ns ({ns:.3} ms) must lose to manual Ns ({:.3} ms)",
+            v3.manual_ns_ms
+        );
+        // Cs still improves on the generated Ns (less data movement).
+        assert!(cs < ns, "Cs ({cs:.3} ms) must beat generated Ns ({ns:.3} ms)");
+    }
+
+    #[test]
+    fn v2_rows_have_three_flows() {
+        let rows = rows(Scale::Quick);
+        let v2 = rows.iter().find(|r| r.version == MatMulVersion::V2).unwrap();
+        assert_eq!(v2.generated_ms.len(), 3);
+        let text = render(&rows).render();
+        assert!(text.contains("cpp_MANUAL Ns"));
+        assert!(text.contains("mlir_AXI4MLIR As"));
+    }
+}

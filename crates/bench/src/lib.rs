@@ -1,0 +1,55 @@
+//! The experiment harness: one module per table/figure of the paper.
+//!
+//! Every module exposes typed rows plus a [`axi4mlir_support::fmtutil::TextTable`]
+//! renderer, and takes a [`Scale`] so the same code serves three callers:
+//!
+//! - the `fig*`/`table1` binaries (`Scale::Full`) that regenerate the
+//!   paper's series (run in release mode; see `EXPERIMENTS.md`),
+//! - the shape tests (`Scale::Quick`) asserting the paper's qualitative
+//!   results (who wins, where crossovers fall) at debug-friendly sizes,
+//! - the Criterion benches.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig16;
+pub mod fig17;
+pub mod table1;
+
+/// How big a sweep to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sweep for tests: small dimensions, fewer configurations,
+    /// but still spanning the qualitative crossovers.
+    Quick,
+    /// The paper's full parameter grid.
+    Full,
+}
+
+impl Scale {
+    /// The square MatMul dimensions to sweep.
+    pub fn matmul_dims(self) -> Vec<i64> {
+        match self {
+            Scale::Quick => vec![16, 32, 64],
+            Scale::Full => vec![16, 32, 64, 128, 256],
+        }
+    }
+
+    /// The "relevant" dims (>= 64) used by Figs. 11-13.
+    pub fn relevant_dims(self) -> Vec<i64> {
+        match self {
+            Scale::Quick => vec![64],
+            Scale::Full => vec![64, 128, 256],
+        }
+    }
+
+    /// Accelerator sizes for Figs. 11-13.
+    pub fn accel_sizes(self) -> Vec<i64> {
+        match self {
+            Scale::Quick => vec![8],
+            Scale::Full => vec![8, 16],
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Host CPU description (the `"cpu"` entry of Fig. 5).
+
+use serde::{Deserialize, Serialize};
+
+/// Host CPU cache information used by the tiling heuristics.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Capacity of each cache level in bytes, innermost first.
+    #[serde(rename = "cache-levels", deserialize_with = "crate::json::de_sizes")]
+    pub cache_levels: Vec<u64>,
+    /// Kind of each level (`"data"`, `"shared"`, ...).
+    #[serde(rename = "cache-types", default)]
+    pub cache_types: Vec<String>,
+}
+
+impl CpuSpec {
+    /// The paper's host: ARM Cortex-A9 with 32 KiB L1D and 512 KiB shared
+    /// L2 (Fig. 5 line 1).
+    pub fn pynq_z2() -> Self {
+        Self {
+            cache_levels: vec![32 * 1024, 512 * 1024],
+            cache_types: vec!["data".to_owned(), "shared".to_owned()],
+        }
+    }
+
+    /// L1 data-cache capacity in bytes.
+    pub fn l1_bytes(&self) -> u64 {
+        self.cache_levels.first().copied().unwrap_or(32 * 1024)
+    }
+
+    /// Last-level cache capacity in bytes.
+    pub fn llc_bytes(&self) -> u64 {
+        self.cache_levels.last().copied().unwrap_or(512 * 1024)
+    }
+}
+
+impl Default for CpuSpec {
+    fn default() -> Self {
+        Self::pynq_z2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pynq_levels() {
+        let c = CpuSpec::pynq_z2();
+        assert_eq!(c.l1_bytes(), 32 * 1024);
+        assert_eq!(c.llc_bytes(), 512 * 1024);
+        assert_eq!(c.cache_types, vec!["data", "shared"]);
+        assert_eq!(CpuSpec::default(), c);
+    }
+
+    #[test]
+    fn json_roundtrip_with_size_suffixes() {
+        let json = r#"{"cache-levels": ["32K", "512K"], "cache-types": ["data", "shared"]}"#;
+        let c: CpuSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(c, CpuSpec::pynq_z2());
+        let numeric = r#"{"cache-levels": [32768, 524288]}"#;
+        let c2: CpuSpec = serde_json::from_str(numeric).unwrap();
+        assert_eq!(c2.l1_bytes(), 32768);
+        assert!(c2.cache_types.is_empty());
+    }
+}

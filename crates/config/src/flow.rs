@@ -1,0 +1,92 @@
+//! Dataflow (stationarity) strategies.
+
+use std::fmt;
+
+/// Which operand stays resident in the accelerator across inner-loop
+/// iterations — the paper's Ns / As / Bs / Cs strategies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FlowStrategy {
+    /// Nothing stationary: all transfers in the innermost loop.
+    NothingStationary,
+    /// Input A stationary.
+    InputAStationary,
+    /// Input B stationary.
+    InputBStationary,
+    /// Output C stationary (accumulate in the accelerator).
+    OutputStationary,
+}
+
+impl FlowStrategy {
+    /// The figure label: `Ns`, `As`, `Bs`, or `Cs`.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            FlowStrategy::NothingStationary => "Ns",
+            FlowStrategy::InputAStationary => "As",
+            FlowStrategy::InputBStationary => "Bs",
+            FlowStrategy::OutputStationary => "Cs",
+        }
+    }
+
+    /// All strategies in figure order.
+    pub fn all() -> [FlowStrategy; 4] {
+        [
+            FlowStrategy::NothingStationary,
+            FlowStrategy::InputAStationary,
+            FlowStrategy::InputBStationary,
+            FlowStrategy::OutputStationary,
+        ]
+    }
+
+    /// Parses a figure label.
+    pub fn from_short_name(name: &str) -> Option<FlowStrategy> {
+        Self::all().into_iter().find(|s| s.short_name() == name)
+    }
+
+    /// The MatMul loop permutation that makes this strategy legal: the
+    /// stationary operand's dimensions must not be iterated by the
+    /// innermost loop(s).
+    ///
+    /// Returns dimension names outermost-first over `(m, n, k)`.
+    pub fn matmul_permutation(self) -> [&'static str; 3] {
+        match self {
+            // Ns: any order works; keep the natural (m, n, k).
+            FlowStrategy::NothingStationary => ["m", "n", "k"],
+            // As: A[m,k] stationary => innermost loop must be n.
+            FlowStrategy::InputAStationary => ["m", "k", "n"],
+            // Bs: B[k,n] stationary => innermost loop must be m.
+            FlowStrategy::InputBStationary => ["k", "n", "m"],
+            // Cs: C[m,n] stationary => innermost loop must be k.
+            FlowStrategy::OutputStationary => ["m", "n", "k"],
+        }
+    }
+}
+
+impl fmt::Display for FlowStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for s in FlowStrategy::all() {
+            assert_eq!(FlowStrategy::from_short_name(s.short_name()), Some(s));
+        }
+        assert_eq!(FlowStrategy::from_short_name("Xs"), None);
+        assert_eq!(FlowStrategy::OutputStationary.to_string(), "Cs");
+    }
+
+    #[test]
+    fn permutations_keep_stationary_dims_out_of_innermost() {
+        // As: innermost must not index m or k.
+        assert_eq!(FlowStrategy::InputAStationary.matmul_permutation()[2], "n");
+        // Bs: innermost must not index k or n.
+        assert_eq!(FlowStrategy::InputBStationary.matmul_permutation()[2], "m");
+        // Cs: innermost must not index m or n.
+        assert_eq!(FlowStrategy::OutputStationary.matmul_permutation()[2], "k");
+    }
+}

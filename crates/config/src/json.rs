@@ -1,0 +1,314 @@
+//! JSON configuration files (Fig. 5).
+//!
+//! ```json
+//! {
+//!   "cpu": { "cache-levels": ["32K", "512K"], "cache-types": ["data", "shared"] },
+//!   "accelerators": [{
+//!     "name": "v3_8", "version": "1.0", "description": "...",
+//!     "dma_config": { "id": 0, "inputAddress": 66, "inputBufferSize": 65280,
+//!                     "outputAddress": 65346, "outputBufferSize": 65280 },
+//!     "kernel": "linalg.matmul",
+//!     "accel_size": [8, 8, 8],
+//!     "data_type": "int32",
+//!     "dims": ["m", "n", "k"],
+//!     "data": { "A": ["m", "k"], "B": ["k", "n"], "C": ["m", "n"] },
+//!     "opcode_map": "opcode_map<sA = [send_literal(0x22), send(0)], ...>",
+//!     "opcode_flow_map": { "Ns": "(sA sB cC rC)", "Cs": "((sA sB cC) rC)" },
+//!     "selected_flow": "Ns",
+//!     "init_opcodes": "(reset)"
+//!   }]
+//! }
+//! ```
+//!
+//! Cache sizes accept integers or `"32K"`/`"1M"` strings. The `"data"`
+//! object's member order defines the operand order (A = argument 0, ...).
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer};
+
+use axi4mlir_support::diag::Diagnostic;
+use axi4mlir_ir::attrs::{OpcodeFlow, OpcodeMap};
+
+use crate::accelerator::{AcceleratorConfig, DmaInfo, KernelKind};
+use crate::cpu::CpuSpec;
+
+/// Deserializes a list of sizes given as integers or `"32K"` strings.
+pub fn de_sizes<'de, D: Deserializer<'de>>(de: D) -> Result<Vec<u64>, D::Error> {
+    #[derive(Deserialize)]
+    #[serde(untagged)]
+    enum Size {
+        Int(u64),
+        Text(String),
+    }
+    let raw: Vec<Size> = Vec::deserialize(de)?;
+    raw.into_iter()
+        .map(|s| match s {
+            Size::Int(v) => Ok(v),
+            Size::Text(t) => parse_size(&t).map_err(D::Error::custom),
+        })
+        .collect()
+}
+
+/// Parses `"32K"`, `"512k"`, `"1M"`, or a plain integer string into bytes.
+///
+/// # Errors
+///
+/// Returns a message if the string is not a size.
+pub fn parse_size(text: &str) -> Result<u64, String> {
+    let t = text.trim();
+    let (digits, multiplier) = match t.chars().last() {
+        Some('k') | Some('K') => (&t[..t.len() - 1], 1024),
+        Some('m') | Some('M') => (&t[..t.len() - 1], 1024 * 1024),
+        _ => (t, 1),
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .map(|v| v * multiplier)
+        .map_err(|_| format!("invalid size `{text}` (expected e.g. 32768 or \"32K\")"))
+}
+
+#[derive(Debug, Deserialize)]
+struct RawDma {
+    id: u32,
+    #[serde(rename = "inputAddress")]
+    input_address: u64,
+    #[serde(rename = "inputBufferSize")]
+    input_buffer_size: u64,
+    #[serde(rename = "outputAddress")]
+    output_address: u64,
+    #[serde(rename = "outputBufferSize")]
+    output_buffer_size: u64,
+}
+
+#[derive(Debug, Deserialize)]
+struct RawAccelerator {
+    name: String,
+    #[serde(default)]
+    #[allow(dead_code)]
+    version: Option<String>,
+    #[serde(default)]
+    #[allow(dead_code)]
+    description: Option<String>,
+    dma_config: RawDma,
+    kernel: String,
+    accel_size: Vec<i64>,
+    #[serde(default = "default_data_type")]
+    data_type: String,
+    dims: Vec<String>,
+    /// Order of members defines operand order (serde_json preserve_order).
+    data: serde_json::Map<String, serde_json::Value>,
+    opcode_map: String,
+    opcode_flow_map: serde_json::Map<String, serde_json::Value>,
+    selected_flow: String,
+    #[serde(default)]
+    init_opcodes: Option<String>,
+}
+
+fn default_data_type() -> String {
+    "int32".to_owned()
+}
+
+#[derive(Debug, Deserialize)]
+struct RawSystem {
+    cpu: CpuSpec,
+    accelerators: Vec<RawAccelerator>,
+}
+
+/// A parsed, validated system configuration: the host CPU plus one or more
+/// accelerators.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Host CPU description.
+    pub cpu: CpuSpec,
+    /// Validated accelerator descriptions.
+    pub accelerators: Vec<AcceleratorConfig>,
+}
+
+impl SystemConfig {
+    /// Parses and validates a Fig. 5 JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] for JSON syntax errors, grammar errors in
+    /// the embedded `opcode_map`/`opcode_flow` strings, or semantic
+    /// validation failures.
+    pub fn from_json(text: &str) -> Result<SystemConfig, Diagnostic> {
+        let raw: RawSystem = serde_json::from_str(text)
+            .map_err(|e| Diagnostic::error(format!("configuration JSON error: {e}")))?;
+        let mut accelerators = Vec::new();
+        for acc in raw.accelerators {
+            accelerators.push(convert(acc)?);
+        }
+        Ok(SystemConfig { cpu: raw.cpu, accelerators })
+    }
+
+    /// The accelerator with the given name.
+    pub fn accelerator(&self, name: &str) -> Option<&AcceleratorConfig> {
+        self.accelerators.iter().find(|a| a.name == name)
+    }
+}
+
+fn convert(raw: RawAccelerator) -> Result<AcceleratorConfig, Diagnostic> {
+    let kernel = KernelKind::from_op_name(&raw.kernel).ok_or_else(|| {
+        Diagnostic::error(format!(
+            "accelerator {}: unsupported kernel `{}` (expected linalg.matmul or linalg.conv_2d_nchw_fchw)",
+            raw.name, raw.kernel
+        ))
+    })?;
+    let opcode_map = OpcodeMap::parse(&raw.opcode_map)
+        .map_err(|d| Diagnostic::error(format!("accelerator {}: {}", raw.name, d.message)))?;
+    let mut flows = Vec::new();
+    for (name, value) in &raw.opcode_flow_map {
+        let text = value.as_str().ok_or_else(|| {
+            Diagnostic::error(format!("accelerator {}: flow `{name}` must be a string", raw.name))
+        })?;
+        let flow = OpcodeFlow::parse(text)
+            .map_err(|d| Diagnostic::error(format!("accelerator {}: flow `{name}`: {}", raw.name, d.message)))?;
+        flows.push((name.clone(), flow));
+    }
+    let mut data = Vec::new();
+    for (arg, dims_value) in &raw.data {
+        let dims: Vec<String> = dims_value
+            .as_array()
+            .ok_or_else(|| {
+                Diagnostic::error(format!(
+                    "accelerator {}: data argument {arg} must list its dimensions",
+                    raw.name
+                ))
+            })?
+            .iter()
+            .map(|v| {
+                v.as_str().map(str::to_owned).ok_or_else(|| {
+                    Diagnostic::error(format!(
+                        "accelerator {}: data argument {arg} has a non-string dimension",
+                        raw.name
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        data.push((arg.clone(), dims));
+    }
+    let init_opcodes = match &raw.init_opcodes {
+        None => Vec::new(),
+        Some(text) => OpcodeFlow::parse(text)
+            .map_err(|d| {
+                Diagnostic::error(format!("accelerator {}: init_opcodes: {}", raw.name, d.message))
+            })?
+            .opcode_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+    };
+    let config = AcceleratorConfig {
+        name: raw.name,
+        kernel,
+        dma: DmaInfo {
+            id: raw.dma_config.id,
+            input_address: raw.dma_config.input_address,
+            input_buffer_size: raw.dma_config.input_buffer_size,
+            output_address: raw.dma_config.output_address,
+            output_buffer_size: raw.dma_config.output_buffer_size,
+        },
+        dims: raw.dims,
+        accel_dims: raw.accel_size,
+        data,
+        data_type: raw.data_type,
+        opcode_map,
+        flows,
+        selected_flow: raw.selected_flow,
+        init_opcodes,
+    };
+    config.validate()?;
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A faithful Fig. 5-style document for a v3_8 accelerator.
+    pub(crate) const SAMPLE: &str = r#"{
+      "cpu": { "cache-levels": ["32K", "512K"], "cache-types": ["data", "shared"] },
+      "accelerators": [{
+        "name": "v3_8",
+        "version": "1.0",
+        "description": "MatMul 8x8x8 with input/output reuse",
+        "dma_config": { "id": 0, "inputAddress": 66, "inputBufferSize": 65280,
+                        "outputAddress": 65346, "outputBufferSize": 65280 },
+        "kernel": "linalg.matmul",
+        "accel_size": [8, 8, 8],
+        "data_type": "int32",
+        "dims": ["m", "n", "k"],
+        "data": { "A": ["m", "k"], "B": ["k", "n"], "C": ["m", "n"] },
+        "opcode_map": "opcode_map<sA = [send_literal(0x22), send(0)], sB = [send_literal(0x23), send(1)], cC = [send_literal(0xF0)], rC = [send_literal(0x24), recv(2)], reset = [send_literal(0xFF)]>",
+        "opcode_flow_map": { "Ns": "(sA sB cC rC)", "As": "(sA (sB cC rC))", "Cs": "((sA sB cC) rC)" },
+        "selected_flow": "Cs",
+        "init_opcodes": "(reset)"
+      }]
+    }"#;
+
+    #[test]
+    fn parses_fig5_style_document() {
+        let sys = SystemConfig::from_json(SAMPLE).unwrap();
+        assert_eq!(sys.cpu.l1_bytes(), 32 * 1024);
+        assert_eq!(sys.accelerators.len(), 1);
+        let acc = sys.accelerator("v3_8").unwrap();
+        assert_eq!(acc.kernel, KernelKind::MatMul);
+        assert_eq!(acc.accel_dims, vec![8, 8, 8]);
+        assert_eq!(acc.selected_flow, "Cs");
+        assert_eq!(acc.dma.input_buffer_size, 65280);
+        assert_eq!(acc.init_opcodes, vec!["reset"]);
+        // Operand order follows the JSON member order.
+        assert_eq!(acc.arg_index("A"), Some(0));
+        assert_eq!(acc.arg_index("B"), Some(1));
+        assert_eq!(acc.arg_index("C"), Some(2));
+    }
+
+    #[test]
+    fn parsed_config_equals_preset_modulo_flows() {
+        let sys = SystemConfig::from_json(SAMPLE).unwrap();
+        let parsed = sys.accelerator("v3_8").unwrap();
+        let preset = AcceleratorConfig::preset(crate::presets::AcceleratorPreset::V3 { size: 8 })
+            .with_selected_flow("Cs");
+        assert_eq!(parsed.opcode_map, preset.opcode_map);
+        assert_eq!(parsed.accel_dims, preset.accel_dims);
+        assert_eq!(parsed.flow("Cs"), preset.flow("Cs"));
+    }
+
+    #[test]
+    fn bad_kernel_is_rejected() {
+        let text = SAMPLE.replace("linalg.matmul", "linalg.fill");
+        let err = SystemConfig::from_json(&text).unwrap_err();
+        assert!(err.message.contains("unsupported kernel"));
+    }
+
+    #[test]
+    fn bad_flow_string_is_rejected() {
+        let text = SAMPLE.replace("(sA sB cC rC)", "(sA sB cC rC");
+        let err = SystemConfig::from_json(&text).unwrap_err();
+        assert!(err.message.contains("flow `Ns`"), "{}", err.message);
+    }
+
+    #[test]
+    fn undefined_selected_flow_is_rejected() {
+        let text = SAMPLE.replace("\"selected_flow\": \"Cs\"", "\"selected_flow\": \"Zs\"");
+        let err = SystemConfig::from_json(&text).unwrap_err();
+        assert!(err.message.contains("selected_flow"));
+    }
+
+    #[test]
+    fn malformed_json_is_reported() {
+        let err = SystemConfig::from_json("{not json").unwrap_err();
+        assert!(err.message.contains("JSON error"));
+    }
+
+    #[test]
+    fn size_suffix_parsing() {
+        assert_eq!(parse_size("32K").unwrap(), 32768);
+        assert_eq!(parse_size("512k").unwrap(), 512 * 1024);
+        assert_eq!(parse_size("1M").unwrap(), 1024 * 1024);
+        assert_eq!(parse_size("12345").unwrap(), 12345);
+        assert!(parse_size("huge").is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! `axi4mlir-opt` — the `mlir-opt`-style command-line driver.
+//!
+//! Reads a module in the generic textual form, applies the AXI4MLIR pass
+//! pipeline, and prints the transformed module:
+//!
+//! ```text
+//! axi4mlir-opt input.mlir --config accel.json [--accel NAME] [--flow Cs]
+//!              [--cache-tile N] [--no-lower] [--coalesce] [--print-ir-after-all]
+//! ```
+//!
+//! Without `--config` the input must already carry the Fig. 6a trait
+//! attributes (e.g. IR produced by `--print-ir-after-all`), and only the
+//! codegen/lowering passes run. Pass `-` as the input to read stdin.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use axi4mlir_config::{FlowStrategy, SystemConfig};
+use axi4mlir_core::annotate::MatchAndAnnotatePass;
+use axi4mlir_core::codegen::GenerateAccelDriverPass;
+use axi4mlir_core::lower::LowerAccelToRuntimePass;
+use axi4mlir_ir::parser::parse_module;
+use axi4mlir_ir::pass::PassManager;
+use axi4mlir_ir::printer::print_op;
+
+struct Options {
+    input: String,
+    config: Option<String>,
+    accel: Option<String>,
+    flow: Option<String>,
+    cache_tile: Option<i64>,
+    lower: bool,
+    coalesce: bool,
+    print_after_all: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: axi4mlir-opt <input.mlir | -> [--config accel.json] [--accel NAME] \
+     [--flow Ns|As|Bs|Cs|<name>] [--cache-tile N] [--no-lower] [--coalesce] \
+     [--print-ir-after-all]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        input: String::new(),
+        config: None,
+        accel: None,
+        flow: None,
+        cache_tile: None,
+        lower: true,
+        coalesce: false,
+        print_after_all: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => opts.config = Some(args.next().ok_or("--config needs a file")?),
+            "--accel" => opts.accel = Some(args.next().ok_or("--accel needs a name")?),
+            "--flow" => opts.flow = Some(args.next().ok_or("--flow needs a name")?),
+            "--cache-tile" => {
+                let v = args.next().ok_or("--cache-tile needs a number")?;
+                opts.cache_tile = Some(v.parse().map_err(|_| "cache tile must be an integer")?);
+            }
+            "--no-lower" => opts.lower = false,
+            "--coalesce" => opts.coalesce = true,
+            "--print-ir-after-all" => opts.print_after_all = true,
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other if opts.input.is_empty() && !other.starts_with('-') || other == "-" => {
+                opts.input = other.to_owned();
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if opts.input.is_empty() {
+        return Err(usage().to_owned());
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let text = if opts.input == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).map_err(|e| e.to_string())?;
+        buf
+    } else {
+        std::fs::read_to_string(&opts.input)
+            .map_err(|e| format!("cannot read {}: {e}", opts.input))?
+    };
+    let mut module = parse_module(&text).map_err(|d| d.to_string())?;
+
+    let mut pm = PassManager::new();
+    pm.capture_ir(opts.print_after_all);
+    if let Some(config_path) = &opts.config {
+        let config_text = std::fs::read_to_string(config_path)
+            .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+        let system = SystemConfig::from_json(&config_text).map_err(|d| d.to_string())?;
+        let mut accel = match &opts.accel {
+            Some(name) => system
+                .accelerator(name)
+                .ok_or_else(|| format!("no accelerator named {name} in {config_path}"))?
+                .clone(),
+            None => system
+                .accelerators
+                .first()
+                .ok_or_else(|| format!("{config_path} defines no accelerators"))?
+                .clone(),
+        };
+        if let Some(flow) = &opts.flow {
+            accel = accel.with_selected_flow(flow);
+        }
+        let permutation: Vec<String> = FlowStrategy::from_short_name(&accel.selected_flow)
+            .map(|s| s.matmul_permutation().iter().map(|x| (*x).to_owned()).collect())
+            .unwrap_or_default();
+        pm.add(Box::new(MatchAndAnnotatePass::new(accel, permutation, opts.cache_tile)));
+    }
+    pm.add(Box::new(GenerateAccelDriverPass::new(opts.coalesce)));
+    if opts.lower {
+        pm.add(Box::new(LowerAccelToRuntimePass));
+    }
+    pm.add(Box::new(axi4mlir_dialects::verify::DialectVerifierPass));
+
+    let snapshots = pm.run(&mut module).map_err(|d| d.to_string())?;
+    for snapshot in snapshots {
+        eprintln!("// ----- IR after {} -----", snapshot.pass);
+        eprintln!("{}", snapshot.ir);
+    }
+    print!("{}", print_op(&module.ctx, module.top()));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("axi4mlir-opt: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

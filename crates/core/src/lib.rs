@@ -1,0 +1,30 @@
+//! The AXI4MLIR compiler — the paper's primary contribution.
+//!
+//! Implements the numbered steps of the compiler flow (paper Fig. 4):
+//!
+//! 1./2. Accelerator + host description and parsing — `axi4mlir-config`.
+//! 3. **Match and annotate** ([`annotate`]): find `linalg` operations whose
+//!    traits match the accelerator's kernel and attach the Fig. 6a trait
+//!    attributes (`dma_init_config`, `init_opcodes`, `accel_dim`,
+//!    `permutation_map`, `opcode_map`, `opcode_flow`).
+//! 4. **Tiling** for the CPU cache hierarchy and the accelerator size, and
+//!    loop permutation for the selected stationary flow — [`plan`] decides,
+//!    [`codegen`] emits the `scf` nest.
+//! 5. **Host code transformations** ([`codegen`], [`lower`]): place `accel`
+//!    dialect ops at the loop depth dictated by the `opcode_flow` (hoisting
+//!    stationary transfers out of inner loops), then lower them to the
+//!    seven DMA runtime library calls of Fig. 9.
+//! 6. The DMA library itself — `axi4mlir-runtime`.
+//!
+//! [`pipeline::CompileAndRun`] wires everything to the simulated SoC and is
+//! the API the examples, tests, and benchmarks use.
+
+pub mod annotate;
+pub mod codegen;
+pub mod lower;
+pub mod options;
+pub mod pipeline;
+pub mod plan;
+
+pub use options::{CacheTiling, PipelineOptions};
+pub use pipeline::{CompileAndRun, RunReport};

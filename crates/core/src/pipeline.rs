@@ -1,0 +1,478 @@
+//! End-to-end pipeline: build IR → annotate → generate driver → lower →
+//! execute on the simulated SoC → verify against the reference kernel.
+//!
+//! This is the programmatic equivalent of the paper's
+//! `app.mlir → axi4mlir passes → cross-compile → run on the PYNQ board`
+//! loop, collapsed into one call so experiments can sweep configurations.
+
+use axi4mlir_support::diag::Diagnostic;
+use axi4mlir_accelerators::conv::ConvAccel;
+use axi4mlir_accelerators::matmul::{MatMulAccel, MatMulVersion};
+use axi4mlir_config::{AcceleratorConfig, CpuSpec, FlowStrategy, KernelKind};
+use axi4mlir_dialects::{func, linalg};
+use axi4mlir_ir::attrs::Attribute;
+use axi4mlir_ir::ops::Module;
+use axi4mlir_ir::pass::{IrSnapshot, PassManager};
+use axi4mlir_ir::types::{MemRefType, Type};
+use axi4mlir_interp::{run_func, RtValue};
+use axi4mlir_runtime::kernels;
+use axi4mlir_runtime::memref::MemRefDesc;
+use axi4mlir_runtime::soc::Soc;
+use axi4mlir_sim::axi::{LoopbackAccelerator, StreamAccelerator};
+use axi4mlir_sim::counters::PerfCounters;
+use axi4mlir_sim::mem::ElemType;
+use axi4mlir_workloads::matmul::MatMulProblem;
+use axi4mlir_workloads::resnet::ConvLayer;
+
+use crate::annotate::MatchAndAnnotatePass;
+use crate::codegen::GenerateAccelDriverPass;
+use crate::lower::LowerAccelToRuntimePass;
+use crate::options::{CacheTiling, PipelineOptions};
+
+/// What one compile-and-execute run produced.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Accelerator (or `"cpu"`) the run used.
+    pub accel_name: String,
+    /// Flow name the driver implemented.
+    pub flow: String,
+    /// Perf counters for the whole kernel execution.
+    pub counters: PerfCounters,
+    /// Task clock in milliseconds.
+    pub task_clock_ms: f64,
+    /// Whether the numeric result matched the reference kernel.
+    pub verified: bool,
+    /// Cache-tiling edge the compiler chose (if any).
+    pub cache_tile: Option<i64>,
+    /// IR snapshots (when requested).
+    pub ir_after: Vec<IrSnapshot>,
+    /// The computed output buffer.
+    pub result: Vec<i32>,
+}
+
+/// Instantiates the functional accelerator model a configuration describes.
+///
+/// MatMul configurations are named `v<1-4>_<size>` (Table I); anything else
+/// defaults to a v3 of the configured tile size. Conv configurations get
+/// the §IV-D Conv2D model.
+pub fn instantiate_accelerator(config: &AcceleratorConfig) -> Box<dyn StreamAccelerator> {
+    match config.kernel {
+        KernelKind::Conv2dNchwFchw => Box::new(ConvAccel::new()),
+        KernelKind::MatMul => {
+            let (version, size) = parse_matmul_name(config)
+                .unwrap_or((MatMulVersion::V3, config.accel_dims.first().copied().unwrap_or(4) as u32));
+            Box::new(MatMulAccel::new(version, size))
+        }
+    }
+}
+
+fn parse_matmul_name(config: &AcceleratorConfig) -> Option<(MatMulVersion, u32)> {
+    let (v, s) = config.name.split_once('_')?;
+    let version = match v {
+        "v1" => MatMulVersion::V1,
+        "v2" => MatMulVersion::V2,
+        "v3" => MatMulVersion::V3,
+        "v4" => MatMulVersion::V4,
+        _ => return None,
+    };
+    Some((version, s.parse().ok()?))
+}
+
+/// Builds `func.func @matmul_call(%A, %B, %C)` containing one
+/// matmul-traited `linalg.generic`.
+pub fn build_matmul_module(problem: MatMulProblem) -> Module {
+    let mut module = Module::new();
+    let a_ty = Type::MemRef(MemRefType::contiguous(vec![problem.m, problem.k], Type::i32()));
+    let b_ty = Type::MemRef(MemRefType::contiguous(vec![problem.k, problem.n], Type::i32()));
+    let c_ty = Type::MemRef(MemRefType::contiguous(vec![problem.m, problem.n], Type::i32()));
+    let f = func::func(&mut module, "matmul_call", vec![a_ty, b_ty, c_ty], vec![]);
+    let a = func::arg(&module.ctx, f.op, 0);
+    let b = func::arg(&module.ctx, f.op, 1);
+    let c = func::arg(&module.ctx, f.op, 2);
+    let mut builder = func::entry_builder(&mut module.ctx, &f);
+    linalg::generic_matmul(&mut builder, a, b, c);
+    module
+}
+
+/// Builds `func.func @conv_call(%I, %W, %O)` containing one
+/// `linalg.conv_2d_nchw_fchw`.
+pub fn build_conv_module(layer: ConvLayer) -> Module {
+    let mut module = Module::new();
+    let i_ty = Type::MemRef(MemRefType::contiguous(
+        vec![1, layer.in_channels as i64, layer.in_hw as i64, layer.in_hw as i64],
+        Type::i32(),
+    ));
+    let w_ty = Type::MemRef(MemRefType::contiguous(
+        vec![layer.out_channels as i64, layer.in_channels as i64, layer.filter_hw as i64, layer.filter_hw as i64],
+        Type::i32(),
+    ));
+    let o_ty = Type::MemRef(MemRefType::contiguous(
+        vec![1, layer.out_channels as i64, layer.out_hw() as i64, layer.out_hw() as i64],
+        Type::i32(),
+    ));
+    let f = func::func(&mut module, "conv_call", vec![i_ty, w_ty, o_ty], vec![]);
+    let i = func::arg(&module.ctx, f.op, 0);
+    let w = func::arg(&module.ctx, f.op, 1);
+    let o = func::arg(&module.ctx, f.op, 2);
+    let mut builder = func::entry_builder(&mut module.ctx, &f);
+    linalg::conv_2d_nchw_fchw(&mut builder, i, w, o, layer.stride as i64);
+    module
+}
+
+/// One-stop MatMul compile-and-run.
+#[derive(Clone, Debug)]
+pub struct CompileAndRun {
+    config: AcceleratorConfig,
+    problem: MatMulProblem,
+    options: PipelineOptions,
+    cpu: CpuSpec,
+    seed: u64,
+}
+
+impl CompileAndRun {
+    /// Creates a run for the given accelerator and problem.
+    pub fn new(config: AcceleratorConfig, problem: MatMulProblem) -> Self {
+        Self { config, problem, options: PipelineOptions::default(), cpu: CpuSpec::pynq_z2(), seed: 0xA41 }
+    }
+
+    /// Selects one of the paper's Ns/As/Bs/Cs flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accelerator does not offer the flow.
+    #[must_use]
+    pub fn flow(mut self, flow: FlowStrategy) -> Self {
+        self.config = self.config.with_selected_flow(flow.short_name());
+        self
+    }
+
+    /// Overrides pipeline options.
+    #[must_use]
+    pub fn options(mut self, options: PipelineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the host CPU description.
+    #[must_use]
+    pub fn cpu(mut self, cpu: CpuSpec) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Overrides the data seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Compiles, executes, and verifies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation diagnostics, interpreter errors, DMA protocol
+    /// violations, and accelerator protocol errors.
+    pub fn execute(self) -> Result<RunReport, Diagnostic> {
+        let flow_name = self.config.selected_flow.clone();
+        let strategy = FlowStrategy::from_short_name(&flow_name);
+        let permutation: Vec<String> = match strategy {
+            Some(s) => s.matmul_permutation().iter().map(|x| (*x).to_owned()).collect(),
+            None => Vec::new(),
+        };
+        let tiles = (
+            self.config.accel_dims[0],
+            self.config.accel_dims[1],
+            self.config.accel_dims[2],
+        );
+        let cache_tile = match self.options.cache_tiling {
+            CacheTiling::Off => None,
+            CacheTiling::Fixed(t) => Some(t),
+            CacheTiling::Auto => axi4mlir_heuristics::select_cache_tile(
+                &self.cpu,
+                (self.problem.m, self.problem.n, self.problem.k),
+                tiles,
+            ),
+        };
+
+        let mut module = build_matmul_module(self.problem);
+        let mut pm = PassManager::new();
+        pm.capture_ir(self.options.capture_ir);
+        pm.add(Box::new(MatchAndAnnotatePass::new(self.config.clone(), permutation, cache_tile)));
+        pm.add(Box::new(GenerateAccelDriverPass::new(self.options.coalesce_transfers)));
+        if self.options.lower_to_runtime_calls {
+            pm.add(Box::new(LowerAccelToRuntimePass));
+        }
+        pm.add(Box::new(axi4mlir_dialects::verify::DialectVerifierPass));
+        let ir_after = pm.run(&mut module)?;
+
+        let mut soc = Soc::new(instantiate_accelerator(&self.config));
+        let (a_data, b_data) = self.problem.generate_inputs(self.seed);
+        let a = MemRefDesc::alloc(&mut soc.mem, &[self.problem.m, self.problem.k], ElemType::I32);
+        let b = MemRefDesc::alloc(&mut soc.mem, &[self.problem.k, self.problem.n], ElemType::I32);
+        let c = MemRefDesc::alloc(&mut soc.mem, &[self.problem.m, self.problem.n], ElemType::I32);
+        soc.mem.store_i32_slice(a.base, &a_data);
+        soc.mem.store_i32_slice(b.base, &b_data);
+        soc.reset_run_state();
+
+        let copy_strategy = self.options.copy_strategy(&soc.cost);
+        run_func(
+            &mut soc,
+            &module,
+            "matmul_call",
+            vec![RtValue::MemRef(a.clone()), RtValue::MemRef(b.clone()), RtValue::MemRef(c.clone())],
+            copy_strategy,
+        )
+        .map_err(Diagnostic::from)?;
+        if soc.accel.protocol_errors() > 0 {
+            return Err(Diagnostic::error(format!(
+                "accelerator {} observed {} protocol errors",
+                soc.accel.name(),
+                soc.accel.protocol_errors()
+            )));
+        }
+
+        let result = soc.mem.load_i32_slice(c.base, (self.problem.m * self.problem.n) as usize);
+        let verified = if self.options.verify_result {
+            let expect = kernels::ref_matmul_i32(
+                &a_data,
+                &b_data,
+                self.problem.m as usize,
+                self.problem.n as usize,
+                self.problem.k as usize,
+            );
+            result == expect
+        } else {
+            true
+        };
+        Ok(RunReport {
+            accel_name: self.config.name.clone(),
+            flow: flow_name,
+            counters: soc.counters,
+            task_clock_ms: soc.task_clock_ms(),
+            verified,
+            cache_tile,
+            ir_after,
+            result,
+        })
+    }
+}
+
+/// Runs the `mlir CPU` baseline for a MatMul: the tiled CPU kernel with no
+/// accelerator involved.
+pub fn run_cpu_matmul(problem: MatMulProblem, cache_tile: Option<i64>, seed: u64) -> RunReport {
+    let mut module = build_matmul_module(problem);
+    if let Some(t) = cache_tile {
+        let top = module.top();
+        let generic = module.ctx.find_ops(top, "linalg.generic")[0];
+        module.ctx.set_attr(generic, "cpu_tile", Attribute::Int(t));
+    }
+    let mut soc = Soc::new(Box::new(LoopbackAccelerator::new()));
+    let (a_data, b_data) = problem.generate_inputs(seed);
+    let a = MemRefDesc::alloc(&mut soc.mem, &[problem.m, problem.k], ElemType::I32);
+    let b = MemRefDesc::alloc(&mut soc.mem, &[problem.k, problem.n], ElemType::I32);
+    let c = MemRefDesc::alloc(&mut soc.mem, &[problem.m, problem.n], ElemType::I32);
+    soc.mem.store_i32_slice(a.base, &a_data);
+    soc.mem.store_i32_slice(b.base, &b_data);
+    soc.reset_run_state();
+    run_func(
+        &mut soc,
+        &module,
+        "matmul_call",
+        vec![RtValue::MemRef(a), RtValue::MemRef(b), RtValue::MemRef(c.clone())],
+        axi4mlir_runtime::copy::CopyStrategy::ElementWise,
+    )
+    .expect("CPU baseline interprets supported ops only");
+    let result = soc.mem.load_i32_slice(c.base, (problem.m * problem.n) as usize);
+    let expect =
+        kernels::ref_matmul_i32(&a_data, &b_data, problem.m as usize, problem.n as usize, problem.k as usize);
+    RunReport {
+        accel_name: "cpu".to_owned(),
+        flow: "cpu".to_owned(),
+        counters: soc.counters,
+        task_clock_ms: soc.task_clock_ms(),
+        verified: result == expect,
+        cache_tile,
+        ir_after: Vec::new(),
+        result,
+    }
+}
+
+/// One-stop Conv2D compile-and-run against the §IV-D accelerator.
+#[derive(Clone, Debug)]
+pub struct ConvCompileAndRun {
+    layer: ConvLayer,
+    options: PipelineOptions,
+    seed: u64,
+}
+
+impl ConvCompileAndRun {
+    /// Creates a run for one ResNet-style layer.
+    pub fn new(layer: ConvLayer) -> Self {
+        Self { layer, options: PipelineOptions::default(), seed: 0xC02 }
+    }
+
+    /// Overrides pipeline options.
+    #[must_use]
+    pub fn options(mut self, options: PipelineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Compiles, executes, and verifies.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileAndRun::execute`].
+    pub fn execute(self) -> Result<RunReport, Diagnostic> {
+        let config = AcceleratorConfig::preset(axi4mlir_config::AcceleratorPreset::Conv2d {
+            ic: self.layer.in_channels as i64,
+            fhw: self.layer.filter_hw as i64,
+        });
+        let mut module = build_conv_module(self.layer);
+        let mut pm = PassManager::new();
+        pm.capture_ir(self.options.capture_ir);
+        pm.add(Box::new(MatchAndAnnotatePass::new(config.clone(), Vec::new(), None)));
+        pm.add(Box::new(GenerateAccelDriverPass::default()));
+        if self.options.lower_to_runtime_calls {
+            pm.add(Box::new(LowerAccelToRuntimePass));
+        }
+        pm.add(Box::new(axi4mlir_dialects::verify::DialectVerifierPass));
+        let ir_after = pm.run(&mut module)?;
+
+        let mut soc = Soc::new(instantiate_accelerator(&config));
+        let (i_data, w_data) = self.layer.generate_inputs(self.seed);
+        let shape = kernels::ConvShape {
+            batch: 1,
+            in_channels: self.layer.in_channels,
+            in_hw: self.layer.in_hw,
+            out_channels: self.layer.out_channels,
+            filter_hw: self.layer.filter_hw,
+            stride: self.layer.stride,
+        };
+        let i = MemRefDesc::alloc(
+            &mut soc.mem,
+            &[1, shape.in_channels as i64, shape.in_hw as i64, shape.in_hw as i64],
+            ElemType::I32,
+        );
+        let w = MemRefDesc::alloc(
+            &mut soc.mem,
+            &[shape.out_channels as i64, shape.in_channels as i64, shape.filter_hw as i64, shape.filter_hw as i64],
+            ElemType::I32,
+        );
+        let o = MemRefDesc::alloc(
+            &mut soc.mem,
+            &[1, shape.out_channels as i64, shape.out_hw() as i64, shape.out_hw() as i64],
+            ElemType::I32,
+        );
+        soc.mem.store_i32_slice(i.base, &i_data);
+        soc.mem.store_i32_slice(w.base, &w_data);
+        soc.reset_run_state();
+
+        let copy_strategy = self.options.copy_strategy(&soc.cost);
+        run_func(
+            &mut soc,
+            &module,
+            "conv_call",
+            vec![RtValue::MemRef(i), RtValue::MemRef(w), RtValue::MemRef(o.clone())],
+            copy_strategy,
+        )
+        .map_err(Diagnostic::from)?;
+        if soc.accel.protocol_errors() > 0 {
+            return Err(Diagnostic::error("conv accelerator observed protocol errors"));
+        }
+        let result = soc.mem.load_i32_slice(o.base, shape.output_len());
+        let verified = if self.options.verify_result {
+            result == kernels::ref_conv2d_i32(&i_data, &w_data, shape)
+        } else {
+            true
+        };
+        Ok(RunReport {
+            accel_name: config.name,
+            flow: "FOs".to_owned(),
+            counters: soc.counters,
+            task_clock_ms: soc.task_clock_ms(),
+            verified,
+            cache_tile: None,
+            ir_after,
+            result,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi4mlir_config::AcceleratorPreset;
+
+    #[test]
+    fn v3_ns_flow_end_to_end() {
+        let config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 4 });
+        let report = CompileAndRun::new(config, MatMulProblem::square(8))
+            .flow(FlowStrategy::NothingStationary)
+            .execute()
+            .unwrap();
+        assert!(report.verified, "numerics must match the oracle");
+        assert!(report.counters.dma_transactions > 0);
+        assert!(report.counters.accel_macs >= 8 * 8 * 8);
+        assert!(report.task_clock_ms > 0.0);
+    }
+
+    #[test]
+    fn every_v3_flow_verifies() {
+        for flow in FlowStrategy::all() {
+            let config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 4 });
+            let report = CompileAndRun::new(config, MatMulProblem::square(8))
+                .flow(flow)
+                .execute()
+                .unwrap();
+            assert!(report.verified, "{flow} must verify");
+        }
+    }
+
+    #[test]
+    fn accel_and_lowered_paths_agree() {
+        let mk = |lower: bool| {
+            let config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 4 });
+            let mut options = PipelineOptions::default();
+            options.lower_to_runtime_calls = lower;
+            CompileAndRun::new(config, MatMulProblem::square(8))
+                .flow(FlowStrategy::InputAStationary)
+                .options(options)
+                .execute()
+                .unwrap()
+        };
+        let lowered = mk(true);
+        let direct = mk(false);
+        assert_eq!(lowered.result, direct.result);
+        assert_eq!(lowered.counters.dma_bytes_to_accel, direct.counters.dma_bytes_to_accel);
+        assert_eq!(lowered.counters.dma_transactions, direct.counters.dma_transactions);
+        assert_eq!(lowered.counters.cache_references, direct.counters.cache_references);
+    }
+
+    #[test]
+    fn cpu_baseline_verifies_and_uses_no_dma() {
+        let report = run_cpu_matmul(MatMulProblem::square(16), Some(8), 1);
+        assert!(report.verified);
+        assert_eq!(report.counters.dma_transactions, 0);
+        assert_eq!(report.counters.accel_macs, 0);
+    }
+
+    #[test]
+    fn conv_pipeline_end_to_end() {
+        let layer = ConvLayer { in_hw: 7, in_channels: 8, filter_hw: 3, out_channels: 4, stride: 1 };
+        let report = ConvCompileAndRun::new(layer).execute().unwrap();
+        assert!(report.verified);
+        assert!(report.counters.dma_bytes_from_accel > 0);
+    }
+
+    #[test]
+    fn instantiates_matching_accelerators() {
+        let v1 = AcceleratorConfig::preset(AcceleratorPreset::V1 { size: 8 });
+        assert_eq!(instantiate_accelerator(&v1).name(), "v1_8");
+        let v4 = AcceleratorConfig::preset(AcceleratorPreset::V4 { size: 16 });
+        assert_eq!(instantiate_accelerator(&v4).name(), "v4_16");
+        let conv = AcceleratorConfig::preset(AcceleratorPreset::Conv2d { ic: 4, fhw: 1 });
+        assert_eq!(instantiate_accelerator(&conv).name(), "conv2d");
+    }
+}

@@ -1,0 +1,25 @@
+//! Dialect definitions for the AXI4MLIR compiler.
+//!
+//! Typed builders, accessors, and verifiers for the dialects the paper's
+//! flow touches:
+//!
+//! - [`arith`], [`scf`], [`memref`], [`func`]: the standard MLIR dialects
+//!   the host code lowers into (Fig. 2b).
+//! - [`linalg`]: `linalg.generic` with `indexing_maps`/`iterator_types`
+//!   traits, the `linalg.matmul` / `linalg.conv_2d_nchw_fchw` named ops, and
+//!   the trait-matching logic AXI4MLIR's step 3 uses to find offloadable
+//!   operations.
+//! - [`accel`]: **the paper's new dialect** — `accel.dma_init`,
+//!   `accel.sendLiteral`, `accel.send`, `accel.sendDim`, `accel.sendIdx`,
+//!   `accel.recv` (Fig. 6b / Fig. 9 semantics).
+//!
+//! [`verify::DialectVerifierPass`] checks the per-op invariants on top of
+//! the structural verifier in `axi4mlir-ir`.
+
+pub mod accel;
+pub mod arith;
+pub mod func;
+pub mod linalg;
+pub mod memref;
+pub mod scf;
+pub mod verify;

@@ -1,0 +1,186 @@
+//! The Fig. 14 configuration-selection heuristics for flexible (v4)
+//! accelerators.
+
+use axi4mlir_config::FlowStrategy;
+
+use crate::transfer::{matmul_transfers, TransferEstimate};
+
+/// A chosen accelerator configuration for one problem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileChoice {
+    /// The dataflow strategy.
+    pub flow: FlowStrategy,
+    /// The `(tM, tN, tK)` tile.
+    pub tile: (i64, i64, i64),
+    /// Estimated traffic under this choice.
+    pub estimate: TransferEstimate,
+}
+
+impl TileChoice {
+    /// The Fig. 14 annotation format, e.g. `Cs 128 32 32`.
+    pub fn label(&self) -> String {
+        format!("{} {} {} {}", self.flow.short_name(), self.tile.0, self.tile.1, self.tile.2)
+    }
+}
+
+fn tile_words(tile: (i64, i64, i64)) -> u64 {
+    (tile.0 * tile.2 + tile.2 * tile.1 + tile.0 * tile.1) as u64
+}
+
+fn candidate_edges(dim: i64, base: i64) -> Vec<i64> {
+    (1..=dim / base)
+        .map(|q| q * base)
+        .filter(|t| dim % t == 0)
+        .collect()
+}
+
+/// The `As/Bs/Cs-squareTile` heuristics: the largest square tile
+/// `T = tM = tN = tK` that is a multiple of `base`, divides every problem
+/// dimension, and fits the accelerator memory (`capacity_words`).
+pub fn square_tile_choice(
+    flow: FlowStrategy,
+    problem: (i64, i64, i64),
+    base: i64,
+    capacity_words: u64,
+) -> Option<TileChoice> {
+    let (m, n, k) = problem;
+    let max_square = m.min(n).min(k);
+    let mut best: Option<i64> = None;
+    for t in candidate_edges(max_square, base) {
+        if m % t == 0 && n % t == 0 && k % t == 0 && tile_words((t, t, t)) <= capacity_words {
+            best = Some(t);
+        }
+    }
+    let t = best?;
+    Some(TileChoice {
+        flow,
+        tile: (t, t, t),
+        estimate: matmul_transfers(flow, problem, (t, t, t)),
+    })
+}
+
+/// The `Best` heuristic: free search over flows and non-square tiles
+/// (multiples of `base` dividing each dimension, fitting the accelerator
+/// memory), minimizing total words moved with transaction count as the
+/// tie-breaker.
+pub fn best_choice(problem: (i64, i64, i64), base: i64, capacity_words: u64) -> Option<TileChoice> {
+    let (m, n, k) = problem;
+    let mut best: Option<TileChoice> = None;
+    for tm in candidate_edges(m, base) {
+        for tn in candidate_edges(n, base) {
+            for tk in candidate_edges(k, base) {
+                let tile = (tm, tn, tk);
+                if tile_words(tile) > capacity_words {
+                    continue;
+                }
+                for flow in FlowStrategy::all() {
+                    let estimate = matmul_transfers(flow, problem, tile);
+                    let candidate = TileChoice { flow, tile, estimate };
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            (estimate.words_total(), estimate.transactions)
+                                < (b.estimate.words_total(), b.estimate.transactions)
+                        }
+                    };
+                    if better {
+                        best = Some(candidate);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi4mlir_accelerators::matmul::V4_CAPACITY_WORDS;
+
+    /// The six Fig. 14 problems: permutations of [32, 256, 512].
+    fn fig14_problems() -> Vec<(i64, i64, i64)> {
+        vec![
+            (256, 32, 512),
+            (256, 512, 32),
+            (32, 256, 512),
+            (32, 512, 256),
+            (512, 256, 32),
+            (512, 32, 256),
+        ]
+    }
+
+    #[test]
+    fn square_tile_tops_out_at_32() {
+        // Paper: "T = 32 was selected for all square flows because it is
+        // the biggest value so the tiles fit inside the accelerator's
+        // internal memory" (and 32 is the smallest dimension).
+        for p in fig14_problems() {
+            for flow in [
+                FlowStrategy::InputAStationary,
+                FlowStrategy::InputBStationary,
+                FlowStrategy::OutputStationary,
+            ] {
+                let c = square_tile_choice(flow, p, 16, V4_CAPACITY_WORDS).unwrap();
+                assert_eq!(c.tile, (32, 32, 32), "{p:?} {flow}");
+            }
+        }
+    }
+
+    #[test]
+    fn best_beats_every_square_heuristic() {
+        for p in fig14_problems() {
+            let best = best_choice(p, 16, V4_CAPACITY_WORDS).unwrap();
+            for flow in FlowStrategy::all() {
+                if let Some(square) = square_tile_choice(flow, p, 16, V4_CAPACITY_WORDS) {
+                    assert!(
+                        best.estimate.words_total() <= square.estimate.words_total(),
+                        "{p:?}: best {:?} vs {} square {:?}",
+                        best,
+                        flow,
+                        square.estimate
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_uses_non_square_tiles_on_skewed_problems() {
+        let best = best_choice((256, 32, 512), 16, V4_CAPACITY_WORDS).unwrap();
+        let (tm, tn, tk) = best.tile;
+        assert!(!(tm == tn && tn == tk), "skewed problems should pick non-square tiles: {best:?}");
+        // Tiles stay within the accelerator memory.
+        assert!(tile_words(best.tile) <= V4_CAPACITY_WORDS);
+    }
+
+    #[test]
+    fn best_respects_capacity() {
+        // With a tiny capacity only small tiles remain.
+        let best = best_choice((256, 256, 256), 16, 3 * 16 * 16).unwrap();
+        assert_eq!(best.tile, (16, 16, 16));
+    }
+
+    #[test]
+    fn impossible_constraints_yield_none() {
+        assert!(square_tile_choice(FlowStrategy::OutputStationary, (8, 8, 8), 16, 10_000).is_none());
+        assert!(best_choice((8, 8, 8), 16, 10_000).is_none());
+    }
+
+    #[test]
+    fn label_format_matches_figure() {
+        let c = TileChoice {
+            flow: FlowStrategy::OutputStationary,
+            tile: (128, 32, 32),
+            estimate: TransferEstimate::default(),
+        };
+        assert_eq!(c.label(), "Cs 128 32 32");
+    }
+
+    #[test]
+    fn choice_depends_on_problem_shape() {
+        let p1 = best_choice((256, 32, 512), 16, V4_CAPACITY_WORDS).unwrap();
+        let p2 = best_choice((32, 256, 512), 16, V4_CAPACITY_WORDS).unwrap();
+        assert_ne!((p1.flow, p1.tile), (p2.flow, p2.tile));
+    }
+}

@@ -1,0 +1,100 @@
+//! CPU cache tiling selection.
+
+use axi4mlir_config::CpuSpec;
+
+/// Picks the square cache-tiling edge for a MatMul, or `None` when the
+/// problem needs no extra tiling level.
+///
+/// Policy (documented in DESIGN.md §8): the three operand tiles should fit
+/// in half the L1 data cache (`3 * T^2 * 4 <= L1/2`), the edge must be a
+/// multiple of every accelerator tile dimension it wraps and divide every
+/// problem dimension it tiles, and tiling is skipped when the whole
+/// working set already fits.
+pub fn select_cache_tile(
+    cpu: &CpuSpec,
+    dims: (i64, i64, i64),
+    accel_tile: (i64, i64, i64),
+) -> Option<i64> {
+    let sizes = [dims.0, dims.1, dims.2];
+    let tiles = [accel_tile.0, accel_tile.1, accel_tile.2];
+    let l1 = cpu.l1_bytes() as i64;
+    // Whole problem already cache-resident? (A + B + C in half the L1.)
+    let working_set = 4 * (dims.0 * dims.2 + dims.2 * dims.1 + dims.0 * dims.1);
+    if working_set <= l1 / 2 {
+        return None;
+    }
+    let cap_edge = (((l1 / 2) / 12) as f64).sqrt() as i64;
+    let max_tile = *tiles.iter().max().expect("three tiles");
+    let mut t = cap_edge;
+    while t > max_tile {
+        let ok = (0..3).all(|i| {
+            if t >= sizes[i] {
+                true // this dim keeps a single cache tile
+            } else {
+                t % tiles[i] == 0 && sizes[i] % t == 0
+            }
+        });
+        let tiles_anything = (0..3).any(|i| t < sizes[i]);
+        if ok && tiles_anything {
+            return Some(t);
+        }
+        t -= 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> CpuSpec {
+        CpuSpec::pynq_z2()
+    }
+
+    #[test]
+    fn small_problems_need_no_tiling() {
+        // 32^2 x 3 matrices x 4B = 12 KiB < 16 KiB.
+        assert_eq!(select_cache_tile(&cpu(), (32, 32, 32), (8, 8, 8)), None);
+    }
+
+    #[test]
+    fn large_problems_get_an_l1_tile() {
+        let t = select_cache_tile(&cpu(), (256, 256, 256), (16, 16, 16)).unwrap();
+        assert_eq!(t % 16, 0, "multiple of the accelerator tile");
+        assert_eq!(256 % t, 0, "divides the problem");
+        assert!(3 * t * t * 4 <= 16 * 1024, "fits half of L1");
+        assert!(t > 16);
+    }
+
+    #[test]
+    fn dims_128_with_tile_8() {
+        let t = select_cache_tile(&cpu(), (128, 128, 128), (8, 8, 8)).unwrap();
+        assert_eq!(t % 8, 0);
+        assert_eq!(128 % t, 0);
+    }
+
+    #[test]
+    fn incompatible_divisibility_disables_tiling() {
+        // Tile 48 never divides 64 cleanly at any edge under the cap.
+        assert_eq!(select_cache_tile(&cpu(), (64, 64, 64), (48, 48, 48)), None);
+    }
+
+    #[test]
+    fn rectangular_problems_tile_the_large_dims_only() {
+        let t = select_cache_tile(&cpu(), (512, 32, 512), (16, 16, 16)).unwrap();
+        assert_eq!(512 % t, 0);
+        // N = 32 <= t is allowed; it simply keeps one tile.
+        assert!(t >= 32);
+    }
+
+    #[test]
+    fn bigger_l1_allows_bigger_tiles() {
+        let small = select_cache_tile(&cpu(), (256, 256, 256), (8, 8, 8)).unwrap();
+        let big_cpu = CpuSpec {
+            cache_levels: vec![128 * 1024, 512 * 1024],
+            cache_types: vec!["data".into(), "shared".into()],
+        };
+        let big = select_cache_tile(&big_cpu, (256, 256, 256), (8, 8, 8)).unwrap();
+        assert!(big > small, "{big} > {small}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Tiling and dataflow selection heuristics.
+//!
+//! Three pieces, mirroring how the paper's compiler flow (step 4) and the
+//! §IV-C design-space exploration choose configurations:
+//!
+//! - [`cache`]: pick the CPU cache-tiling edge from the host cache sizes
+//!   (the "exploit the CPU memory hierarchy" step).
+//! - [`transfer`]: an analytical host↔accelerator traffic model per
+//!   dataflow strategy — the quantity the §IV-C heuristics minimize.
+//! - [`best`]: the Fig. 14 heuristics: `As/Bs/Cs-squareTile` (largest
+//!   square tile that fits the accelerator memory) and `Best` (free search
+//!   over non-square tiles and flows).
+
+pub mod best;
+pub mod cache;
+pub mod transfer;
+
+pub use best::{best_choice, square_tile_choice, TileChoice};
+pub use cache::select_cache_tile;
+pub use transfer::{matmul_transfers, TransferEstimate};

@@ -1,0 +1,141 @@
+//! Analytical host↔accelerator traffic model.
+//!
+//! Counts the words each MatMul dataflow strategy moves over the AXI
+//! stream, including the one instruction word per opcode. This is the
+//! objective the §IV-C heuristics minimize; its fidelity against the
+//! simulator is asserted by integration tests (the simulator's
+//! `dma_bytes_*` counters must match these numbers exactly for v3-style
+//! accelerators).
+
+use axi4mlir_config::FlowStrategy;
+
+/// Estimated traffic for one MatMul execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransferEstimate {
+    /// 32-bit words streamed host → accelerator (tiles + opcode words).
+    pub words_to_accel: u64,
+    /// Words streamed accelerator → host.
+    pub words_from_accel: u64,
+    /// DMA transactions (one per opcode send-part, one per recv).
+    pub transactions: u64,
+}
+
+impl TransferEstimate {
+    /// Total words in both directions.
+    pub fn words_total(&self) -> u64 {
+        self.words_to_accel + self.words_from_accel
+    }
+}
+
+/// Traffic for a `(M, N, K)` MatMul on a v3/v4-style accelerator
+/// (separate `sA`/`sB`/`cC`/`rC` opcodes) tiled by `(tm, tn, tk)` under
+/// `flow`.
+///
+/// # Panics
+///
+/// Panics if tiles do not divide the problem.
+pub fn matmul_transfers(
+    flow: FlowStrategy,
+    problem: (i64, i64, i64),
+    tile: (i64, i64, i64),
+) -> TransferEstimate {
+    let (m, n, k) = problem;
+    let (tm, tn, tk) = tile;
+    assert!(
+        m % tm == 0 && n % tn == 0 && k % tk == 0,
+        "tiles {tile:?} must divide problem {problem:?}"
+    );
+    let (im, in_, ik) = ((m / tm) as u64, (n / tn) as u64, (k / tk) as u64);
+    let a_tile = (tm * tk) as u64;
+    let b_tile = (tk * tn) as u64;
+    let c_tile = (tm * tn) as u64;
+    let all = im * in_ * ik;
+
+    // Per flow: how many times each opcode runs.
+    let (sa_runs, sb_runs, cc_runs, rc_runs) = match flow {
+        // (sA sB cC rC) innermost.
+        FlowStrategy::NothingStationary => (all, all, all, all),
+        // (sA (sB cC rC)) with loops (m, k, n): sA once per (m, k).
+        FlowStrategy::InputAStationary => (im * ik, all, all, all),
+        // (sB (sA cC rC)) with loops (k, n, m): sB once per (k, n).
+        FlowStrategy::InputBStationary => (ik * in_, all, all, all),
+        // ((sA sB cC) rC) with loops (m, n, k): rC once per (m, n).
+        FlowStrategy::OutputStationary => (all, all, all, im * in_),
+    };
+    TransferEstimate {
+        // Each send opcode = 1 instruction word + its tile; cC = 1 word;
+        // rC = 1 instruction word (the recv itself returns data).
+        words_to_accel: sa_runs * (1 + a_tile) + sb_runs * (1 + b_tile) + cc_runs + rc_runs,
+        words_from_accel: rc_runs * c_tile,
+        transactions: sa_runs + sb_runs + cc_runs + rc_runs /* instruction sends */ + rc_runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: (i64, i64, i64) = (64, 64, 64);
+    const T: (i64, i64, i64) = (8, 8, 8);
+
+    #[test]
+    fn nothing_stationary_moves_the_most() {
+        let ns = matmul_transfers(FlowStrategy::NothingStationary, P, T);
+        for flow in [
+            FlowStrategy::InputAStationary,
+            FlowStrategy::InputBStationary,
+            FlowStrategy::OutputStationary,
+        ] {
+            let other = matmul_transfers(flow, P, T);
+            assert!(
+                other.words_total() < ns.words_total(),
+                "{flow} {:?} must beat Ns {:?}",
+                other,
+                ns
+            );
+        }
+    }
+
+    #[test]
+    fn ns_counts_are_exact() {
+        // 8^3 = 512 tile iterations; each moves A, B (64+1 words each),
+        // cC (1), rC (1) and receives 64 words.
+        let e = matmul_transfers(FlowStrategy::NothingStationary, P, T);
+        assert_eq!(e.words_to_accel, 512 * (65 + 65 + 1 + 1));
+        assert_eq!(e.words_from_accel, 512 * 64);
+        assert_eq!(e.transactions, 512 * 5);
+    }
+
+    #[test]
+    fn a_stationary_cuts_a_traffic() {
+        let e = matmul_transfers(FlowStrategy::InputAStationary, P, T);
+        // sA runs (m, k) = 64 times instead of 512.
+        assert_eq!(e.words_to_accel, 64 * 65 + 512 * 65 + 512 + 512);
+        assert_eq!(e.words_from_accel, 512 * 64);
+    }
+
+    #[test]
+    fn c_stationary_cuts_receive_traffic() {
+        let e = matmul_transfers(FlowStrategy::OutputStationary, P, T);
+        assert_eq!(e.words_from_accel, 64 * 64, "one C tile per (m, n)");
+    }
+
+    #[test]
+    fn asymmetric_problems_prefer_matching_flows() {
+        // Tall-skinny: M large, N small => B is small, A is huge: Bs keeps
+        // the small thing moving and the big thing... no: As keeps A
+        // resident per (m,k) — with K large the win differs; just assert
+        // the model is sensitive to shape.
+        let tall = (512, 32, 512);
+        let tile = (32, 32, 32);
+        let a_s = matmul_transfers(FlowStrategy::InputAStationary, tall, tile);
+        let b_s = matmul_transfers(FlowStrategy::InputBStationary, tall, tile);
+        assert_ne!(a_s.words_total(), b_s.words_total());
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn non_dividing_tiles_panic() {
+        let _ = matmul_transfers(FlowStrategy::NothingStationary, (10, 10, 10), (3, 3, 3));
+    }
+}

@@ -1,0 +1,555 @@
+//! The tree-walking interpreter.
+
+use std::collections::HashMap;
+
+use axi4mlir_dialects::{accel, linalg};
+use axi4mlir_ir::attrs::Attribute;
+use axi4mlir_ir::ops::{BlockId, IrCtx, Module, OpId, ValueId};
+use axi4mlir_ir::types::Type;
+use axi4mlir_runtime::copy::CopyStrategy;
+use axi4mlir_runtime::dma_lib::{self, names};
+use axi4mlir_runtime::kernels::{self, ConvShape};
+use axi4mlir_runtime::memref::MemRefDesc;
+use axi4mlir_runtime::soc::Soc;
+use axi4mlir_sim::cache::AccessKind;
+use axi4mlir_sim::mem::ElemType;
+
+use crate::error::InterpError;
+use crate::value::RtValue;
+
+/// Interprets one function of a module against a simulated SoC.
+pub struct Interpreter<'a> {
+    /// The system everything executes against.
+    pub soc: &'a mut Soc,
+    /// Staging copy strategy for DMA-library calls (the Fig. 12 toggle).
+    pub copy_strategy: CopyStrategy,
+    env: HashMap<ValueId, RtValue>,
+}
+
+/// Runs `func_name` from `module` with the given arguments.
+///
+/// # Errors
+///
+/// Returns [`InterpError`] for unsupported IR, runtime type mismatches, or
+/// DMA protocol violations.
+pub fn run_func(
+    soc: &mut Soc,
+    module: &Module,
+    func_name: &str,
+    args: Vec<RtValue>,
+    copy_strategy: CopyStrategy,
+) -> Result<(), InterpError> {
+    let func = module
+        .func_named(func_name)
+        .ok_or_else(|| InterpError::BadArguments { context: format!("no function named {func_name}") })?;
+    let mut interp = Interpreter { soc, copy_strategy, env: HashMap::new() };
+    interp.run(&module.ctx, func, args)
+}
+
+impl<'a> Interpreter<'a> {
+    /// Creates an interpreter.
+    pub fn new(soc: &'a mut Soc, copy_strategy: CopyStrategy) -> Self {
+        Self { soc, copy_strategy, env: HashMap::new() }
+    }
+
+    /// Executes a `func.func` op with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_func`].
+    pub fn run(&mut self, ctx: &IrCtx, func: OpId, args: Vec<RtValue>) -> Result<(), InterpError> {
+        let entry = ctx.sole_block(func, 0);
+        let params = ctx.block(entry).args.clone();
+        if params.len() != args.len() {
+            return Err(InterpError::BadArguments {
+                context: format!("function expects {} arguments, got {}", params.len(), args.len()),
+            });
+        }
+        for (p, a) in params.into_iter().zip(args) {
+            self.env.insert(p, a);
+        }
+        self.exec_block(ctx, entry)
+    }
+
+    fn get(&self, v: ValueId) -> Result<&RtValue, InterpError> {
+        self.env
+            .get(&v)
+            .ok_or_else(|| InterpError::Other { message: format!("value {v} evaluated before definition") })
+    }
+
+    fn get_index(&self, v: ValueId) -> Result<i64, InterpError> {
+        self.get(v)?
+            .as_index()
+            .ok_or_else(|| InterpError::TypeMismatch { context: format!("{v} is not an index") })
+    }
+
+    fn get_int_any(&self, v: ValueId) -> Result<i64, InterpError> {
+        self.get(v)?
+            .as_int_any()
+            .ok_or_else(|| InterpError::TypeMismatch { context: format!("{v} is not an integer") })
+    }
+
+    fn get_memref(&self, v: ValueId) -> Result<MemRefDesc, InterpError> {
+        self.get(v)?
+            .as_memref()
+            .cloned()
+            .ok_or_else(|| InterpError::TypeMismatch { context: format!("{v} is not a memref") })
+    }
+
+    fn set(&mut self, op: OpId, ctx: &IrCtx, index: usize, value: RtValue) {
+        let result = ctx.result(op, index);
+        self.env.insert(result, value);
+    }
+
+    fn exec_block(&mut self, ctx: &IrCtx, block: BlockId) -> Result<(), InterpError> {
+        for op in ctx.block(block).ops.clone() {
+            self.exec_op(ctx, op)?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_op(&mut self, ctx: &IrCtx, op: OpId) -> Result<(), InterpError> {
+        let name = ctx.op(op).name.as_str();
+        let operands = ctx.op(op).operands.clone();
+        match name {
+            // Constants fold into compiled code: free.
+            "arith.constant" => {
+                let value = ctx
+                    .attr(op, "value")
+                    .and_then(Attribute::as_int)
+                    .ok_or_else(|| InterpError::Other { message: "constant without value".into() })?;
+                let rt = match ctx.value_type(ctx.result(op, 0)) {
+                    Type::Index => RtValue::Index(value),
+                    Type::Int(_) => RtValue::I32(value as i32),
+                    Type::Float(_) => RtValue::F32(value as f32),
+                    other => {
+                        return Err(InterpError::TypeMismatch {
+                            context: format!("constant of type {other}"),
+                        })
+                    }
+                };
+                self.set(op, ctx, 0, rt);
+            }
+            "arith.addi" | "arith.muli" => {
+                self.soc.charge_arith(1);
+                let lhs = self.get(operands[0])?.clone();
+                let rhs = self.get(operands[1])?.clone();
+                let rt = match (lhs, rhs) {
+                    (RtValue::Index(a), RtValue::Index(b)) => {
+                        RtValue::Index(if name == "arith.addi" { a + b } else { a * b })
+                    }
+                    (RtValue::I32(a), RtValue::I32(b)) => RtValue::I32(if name == "arith.addi" {
+                        a.wrapping_add(b)
+                    } else {
+                        a.wrapping_mul(b)
+                    }),
+                    _ => {
+                        return Err(InterpError::TypeMismatch {
+                            context: format!("{name} operands must both be index or both i32"),
+                        })
+                    }
+                };
+                self.set(op, ctx, 0, rt);
+            }
+            "arith.addf" | "arith.mulf" => {
+                self.soc.charge_arith(1);
+                let a = match self.get(operands[0])? {
+                    RtValue::F32(v) => *v,
+                    _ => return Err(InterpError::TypeMismatch { context: "addf lhs".into() }),
+                };
+                let b = match self.get(operands[1])? {
+                    RtValue::F32(v) => *v,
+                    _ => return Err(InterpError::TypeMismatch { context: "addf rhs".into() }),
+                };
+                self.set(op, ctx, 0, RtValue::F32(if name == "arith.addf" { a + b } else { a * b }));
+            }
+            "arith.index_cast" => {
+                self.soc.charge_arith(1);
+                let v = self.get_int_any(operands[0])?;
+                let rt = match ctx.value_type(ctx.result(op, 0)) {
+                    Type::Index => RtValue::Index(v),
+                    Type::Int(_) => RtValue::I32(v as i32),
+                    other => {
+                        return Err(InterpError::TypeMismatch {
+                            context: format!("index_cast to {other}"),
+                        })
+                    }
+                };
+                self.set(op, ctx, 0, rt);
+            }
+            "scf.for" => {
+                let lb = self.get_index(operands[0])?;
+                let ub = self.get_index(operands[1])?;
+                let step = self.get_index(operands[2])?;
+                if step <= 0 {
+                    return Err(InterpError::Other { message: "scf.for step must be positive".into() });
+                }
+                let body = ctx.sole_block(op, 0);
+                let iv = ctx.block_arg(body, 0);
+                let mut i = lb;
+                while i < ub {
+                    // Compiled loop overhead: compare + increment + branch.
+                    self.soc.charge_arith(2);
+                    self.soc.charge_branch(1);
+                    self.env.insert(iv, RtValue::Index(i));
+                    self.exec_block(ctx, body)?;
+                    i += step;
+                }
+            }
+            "scf.yield" | "func.return" => {}
+            "memref.alloc" => {
+                let ty = ctx.value_type(ctx.result(op, 0));
+                let m = ty
+                    .as_memref()
+                    .ok_or_else(|| InterpError::TypeMismatch { context: "alloc result".into() })?;
+                let elem = elem_type(&m.elem)?;
+                let shape = m.shape.clone();
+                if shape.iter().any(|d| *d < 0) {
+                    return Err(InterpError::Other { message: "cannot alloc dynamic shape".into() });
+                }
+                self.soc.charge_host_cycles(40); // allocator call
+                let desc = MemRefDesc::alloc(&mut self.soc.mem, &shape, elem);
+                self.set(op, ctx, 0, RtValue::MemRef(desc));
+            }
+            "memref.subview" => {
+                let source = self.get_memref(operands[0])?;
+                let offsets: Vec<i64> =
+                    operands[1..].iter().map(|v| self.get_index(*v)).collect::<Result<_, _>>()?;
+                let sizes = ctx
+                    .attr(op, "static_sizes")
+                    .and_then(Attribute::as_array)
+                    .map(|a| a.iter().filter_map(Attribute::as_int).collect::<Vec<_>>())
+                    .ok_or_else(|| InterpError::Other { message: "subview without static_sizes".into() })?;
+                // Descriptor arithmetic (Fig. 3): one multiply-add per dim.
+                self.soc.charge_arith(2 * sizes.len() as u64);
+                let view = source.subview(&offsets, &sizes);
+                self.set(op, ctx, 0, RtValue::MemRef(view));
+            }
+            "memref.load" => {
+                let desc = self.get_memref(operands[0])?;
+                let indices: Vec<i64> =
+                    operands[1..].iter().map(|v| self.get_index(*v)).collect::<Result<_, _>>()?;
+                self.soc.charge_arith(indices.len() as u64);
+                let addr = desc.elem_addr(&indices);
+                self.soc.cached_access(addr, 4, AccessKind::Read);
+                let rt = match desc.elem {
+                    ElemType::F32 => RtValue::F32(self.soc.mem.read_f32(addr)),
+                    _ => RtValue::I32(self.soc.mem.read_i32(addr)),
+                };
+                self.set(op, ctx, 0, rt);
+            }
+            "memref.store" => {
+                let desc = self.get_memref(operands[1])?;
+                let indices: Vec<i64> =
+                    operands[2..].iter().map(|v| self.get_index(*v)).collect::<Result<_, _>>()?;
+                self.soc.charge_arith(indices.len() as u64);
+                let addr = desc.elem_addr(&indices);
+                self.soc.cached_access(addr, 4, AccessKind::Write);
+                match self.get(operands[0])? {
+                    RtValue::I32(v) => self.soc.mem.write_i32(addr, *v),
+                    RtValue::F32(v) => self.soc.mem.write_f32(addr, *v),
+                    RtValue::Index(v) => self.soc.mem.write_i32(addr, *v as i32),
+                    other => {
+                        return Err(InterpError::TypeMismatch {
+                            context: format!("cannot store {other:?}"),
+                        })
+                    }
+                };
+            }
+            "memref.dim" => {
+                let desc = self.get_memref(operands[0])?;
+                let dim = ctx
+                    .attr(op, "dimension")
+                    .and_then(Attribute::as_int)
+                    .ok_or_else(|| InterpError::Other { message: "memref.dim without dimension".into() })?;
+                let size = *desc.sizes.get(dim as usize).ok_or_else(|| InterpError::Other {
+                    message: format!("memref.dim {dim} out of range"),
+                })?;
+                self.set(op, ctx, 0, RtValue::Index(size));
+            }
+            "linalg.generic" | "linalg.matmul" => {
+                if name == "linalg.generic" && !linalg::is_matmul_generic(ctx, op) {
+                    return Err(InterpError::UnsupportedOp {
+                        name: "linalg.generic without the MatMul trait".into(),
+                    });
+                }
+                let a = self.get_memref(operands[0])?;
+                let b = self.get_memref(operands[1])?;
+                let c = self.get_memref(operands[2])?;
+                let tile = ctx.attr(op, "cpu_tile").and_then(Attribute::as_int);
+                kernels::cpu_matmul_i32(self.soc, &a, &b, &c, tile);
+            }
+            "linalg.conv_2d_nchw_fchw" => {
+                let input = self.get_memref(operands[0])?;
+                let filter = self.get_memref(operands[1])?;
+                let output = self.get_memref(operands[2])?;
+                let stride = ctx
+                    .attr(op, "strides")
+                    .and_then(Attribute::as_array)
+                    .and_then(|a| a.first())
+                    .and_then(Attribute::as_int)
+                    .unwrap_or(1) as usize;
+                let shape = ConvShape {
+                    batch: input.sizes[0] as usize,
+                    in_channels: input.sizes[1] as usize,
+                    in_hw: input.sizes[2] as usize,
+                    out_channels: filter.sizes[0] as usize,
+                    filter_hw: filter.sizes[2] as usize,
+                    stride,
+                };
+                kernels::cpu_conv2d_i32(self.soc, &input, &filter, &output, shape);
+            }
+            "func.call" => self.exec_call(ctx, op, &operands)?,
+            _ if name.starts_with("accel.") => self.exec_accel(ctx, op, &operands)?,
+            other => return Err(InterpError::UnsupportedOp { name: other.to_owned() }),
+        }
+        Ok(())
+    }
+
+    fn exec_call(&mut self, ctx: &IrCtx, op: OpId, operands: &[ValueId]) -> Result<(), InterpError> {
+        let callee = ctx
+            .attr(op, "callee")
+            .and_then(Attribute::as_str)
+            .ok_or_else(|| InterpError::Other { message: "call without callee".into() })?
+            .to_owned();
+        match callee.as_str() {
+            names::DMA_INIT => {
+                let vals: Vec<i64> =
+                    operands.iter().map(|v| self.get_int_any(*v)).collect::<Result<_, _>>()?;
+                if vals.len() != 5 {
+                    return Err(InterpError::BadArguments { context: "dma_init expects 5 scalars".into() });
+                }
+                dma_lib::dma_init(self.soc, vals[0] as u32, vals[2] as u64, vals[4] as u64);
+            }
+            names::WRITE_LITERAL => {
+                let word = self.get_int_any(operands[0])? as u32;
+                let off = self.get_int_any(operands[1])? as u64;
+                let new = dma_lib::write_literal_to_dma_region(self.soc, word, off);
+                self.set(op, ctx, 0, RtValue::I32(new as i32));
+            }
+            names::COPY_TO => {
+                let view = self.get_memref(operands[0])?;
+                let off = self.get_int_any(operands[1])? as u64;
+                let new = dma_lib::copy_to_dma_region(self.soc, &view, off, self.copy_strategy);
+                self.set(op, ctx, 0, RtValue::I32(new as i32));
+            }
+            names::START_SEND => {
+                let len = self.get_int_any(operands[0])? as u64;
+                let off = self.get_int_any(operands[1])? as u64;
+                dma_lib::dma_start_send(self.soc, len, off)?;
+            }
+            names::WAIT_SEND => dma_lib::dma_wait_send_completion(self.soc),
+            names::START_RECV => {
+                let len = self.get_int_any(operands[0])? as u64;
+                let off = self.get_int_any(operands[1])? as u64;
+                dma_lib::dma_start_recv(self.soc, len, off)?;
+            }
+            names::WAIT_RECV => dma_lib::dma_wait_recv_completion(self.soc),
+            names::COPY_FROM => {
+                let view = self.get_memref(operands[0])?;
+                let off = self.get_int_any(operands[1])? as u64;
+                let accumulate = self.get_int_any(operands[2])? != 0;
+                let bytes =
+                    dma_lib::copy_from_dma_region(self.soc, &view, off, accumulate, self.copy_strategy);
+                self.set(op, ctx, 0, RtValue::I32(bytes as i32));
+            }
+            other => return Err(InterpError::UnknownCallee { name: other.to_owned() }),
+        }
+        Ok(())
+    }
+
+    /// Direct semantics for unlowered `accel` ops (tested to match the
+    /// lowered form exactly).
+    fn exec_accel(&mut self, ctx: &IrCtx, op: OpId, operands: &[ValueId]) -> Result<(), InterpError> {
+        let name = ctx.op(op).name.clone();
+        let flush = accel::has_flush(ctx, op);
+        match name.as_str() {
+            accel::DMA_INIT => {
+                let vals: Vec<i64> =
+                    operands.iter().map(|v| self.get_int_any(*v)).collect::<Result<_, _>>()?;
+                dma_lib::dma_init(self.soc, vals[0] as u32, vals[2] as u64, vals[4] as u64);
+            }
+            accel::SEND_LITERAL | accel::SEND_IDX => {
+                let word = self.get_int_any(operands[0])? as u32;
+                let off = self.get_int_any(operands[1])? as u64;
+                let new = dma_lib::write_literal_to_dma_region(self.soc, word, off);
+                if flush {
+                    dma_lib::dma_start_send(self.soc, new, 0)?;
+                    dma_lib::dma_wait_send_completion(self.soc);
+                }
+                self.set(op, ctx, 0, RtValue::I32(new as i32));
+            }
+            accel::SEND_DIM => {
+                let view = self.get_memref(operands[0])?;
+                let off = self.get_int_any(operands[1])? as u64;
+                let dim = accel::dim_of(ctx, op)
+                    .ok_or_else(|| InterpError::Other { message: "sendDim without dim".into() })?;
+                let size = *view.sizes.get(dim as usize).ok_or_else(|| InterpError::Other {
+                    message: format!("sendDim dim {dim} out of range"),
+                })?;
+                // memref.dim + cast cost.
+                self.soc.charge_arith(2);
+                let new = dma_lib::write_literal_to_dma_region(self.soc, size as u32, off);
+                if flush {
+                    dma_lib::dma_start_send(self.soc, new, 0)?;
+                    dma_lib::dma_wait_send_completion(self.soc);
+                }
+                self.set(op, ctx, 0, RtValue::I32(new as i32));
+            }
+            accel::SEND => {
+                let view = self.get_memref(operands[0])?;
+                let off = self.get_int_any(operands[1])? as u64;
+                let new = dma_lib::copy_to_dma_region(self.soc, &view, off, self.copy_strategy);
+                if flush {
+                    dma_lib::dma_start_send(self.soc, new, 0)?;
+                    dma_lib::dma_wait_send_completion(self.soc);
+                }
+                self.set(op, ctx, 0, RtValue::I32(new as i32));
+            }
+            accel::RECV => {
+                let view = self.get_memref(operands[0])?;
+                let off = self.get_int_any(operands[1])? as u64;
+                let accumulate = accel::recv_accumulates(ctx, op);
+                let bytes = view.num_bytes();
+                dma_lib::dma_start_recv(self.soc, bytes, off)?;
+                dma_lib::dma_wait_recv_completion(self.soc);
+                dma_lib::copy_from_dma_region(self.soc, &view, off, accumulate, self.copy_strategy);
+                self.set(op, ctx, 0, RtValue::I32(bytes as i32));
+            }
+            other => return Err(InterpError::UnsupportedOp { name: other.to_owned() }),
+        }
+        Ok(())
+    }
+}
+
+fn elem_type(ty: &Type) -> Result<ElemType, InterpError> {
+    match ty {
+        Type::Int(32) => Ok(ElemType::I32),
+        Type::Float(32) => Ok(ElemType::F32),
+        Type::Int(64) => Ok(ElemType::I64),
+        Type::Float(64) => Ok(ElemType::F64),
+        other => Err(InterpError::TypeMismatch { context: format!("unsupported element type {other}") }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi4mlir_dialects::{arith, func, memref, scf};
+    use axi4mlir_ir::builder::OpBuilder;
+    use axi4mlir_sim::axi::LoopbackAccelerator;
+
+    fn soc() -> Soc {
+        Soc::new(Box::new(LoopbackAccelerator::new()))
+    }
+
+    /// sum = 0; for i in 0..10 { sum += i } via memory cell.
+    #[test]
+    fn loop_accumulation() {
+        let mut m = Module::new();
+        let f = func::func(&mut m, "main", vec![], vec![]);
+        let mut b = func::entry_builder(&mut m.ctx, &f);
+        let cell = memref::alloc(&mut b, vec![1], Type::i32());
+        let c0 = arith::const_index(&mut b, 0);
+        let c10 = arith::const_index(&mut b, 10);
+        let c1 = arith::const_index(&mut b, 1);
+        let l = scf::for_loop(&mut b, c0, c10, c1);
+        let mut bb = scf::body_builder(&mut m.ctx, &l);
+        let old = memref::load(&mut bb, cell, vec![c0]);
+        let iv32 = arith::index_cast(&mut bb, l.iv, Type::i32());
+        let new = arith::addi(&mut bb, old, iv32);
+        memref::store(&mut bb, new, cell, vec![c0]);
+
+        let mut s = soc();
+        run_func(&mut s, &m, "main", vec![], CopyStrategy::ElementWise).unwrap();
+        // Find the cell: it is the only allocation.
+        assert_eq!(s.counters.branch_instructions, 10, "one back-edge per iteration");
+        // 10 loads + 10 stores.
+        assert_eq!(s.counters.cache_references, 20);
+        let base = axi4mlir_sim::mem::BASE_ADDR;
+        let _ = base;
+    }
+
+    #[test]
+    fn function_arguments_bind() {
+        let mut m = Module::new();
+        let mr = Type::MemRef(axi4mlir_ir::types::MemRefType::contiguous(vec![4], Type::i32()));
+        let f = func::func(&mut m, "writer", vec![mr], vec![]);
+        let arg = func::arg(&m.ctx, f.op, 0);
+        let mut b = func::entry_builder(&mut m.ctx, &f);
+        let c0 = arith::const_index(&mut b, 0);
+        let c7 = arith::constant(&mut b, 7, Type::i32());
+        memref::store(&mut b, c7, arg, vec![c0]);
+
+        let mut s = soc();
+        let desc = MemRefDesc::alloc(&mut s.mem, &[4], ElemType::I32);
+        run_func(&mut s, &m, "writer", vec![RtValue::MemRef(desc.clone())], CopyStrategy::ElementWise)
+            .unwrap();
+        assert_eq!(s.mem.read_i32(desc.base), 7);
+    }
+
+    #[test]
+    fn wrong_argument_count_is_reported() {
+        let mut m = Module::new();
+        func::func(&mut m, "noargs", vec![], vec![]);
+        let mut s = soc();
+        let err = run_func(&mut s, &m, "noargs", vec![RtValue::Index(1)], CopyStrategy::ElementWise)
+            .unwrap_err();
+        assert!(matches!(err, InterpError::BadArguments { .. }));
+        let err2 =
+            run_func(&mut s, &m, "missing", vec![], CopyStrategy::ElementWise).unwrap_err();
+        assert!(err2.to_string().contains("no function named"));
+    }
+
+    #[test]
+    fn unsupported_op_is_reported() {
+        let mut m = Module::new();
+        let f = func::func(&mut m, "main", vec![], vec![]);
+        let mut b = func::entry_builder(&mut m.ctx, &f);
+        b.insert_op("test.mystery", vec![], vec![], []);
+        let mut s = soc();
+        let err = run_func(&mut s, &m, "main", vec![], CopyStrategy::ElementWise).unwrap_err();
+        assert_eq!(err, InterpError::UnsupportedOp { name: "test.mystery".into() });
+    }
+
+    #[test]
+    fn linalg_generic_dispatches_to_cpu_kernel() {
+        let mut m = Module::new();
+        let f = func::func(&mut m, "main", vec![], vec![]);
+        let mut b = func::entry_builder(&mut m.ctx, &f);
+        let a = memref::alloc(&mut b, vec![4, 4], Type::i32());
+        let bb = memref::alloc(&mut b, vec![4, 4], Type::i32());
+        let c = memref::alloc(&mut b, vec![4, 4], Type::i32());
+        axi4mlir_dialects::linalg::generic_matmul(&mut b, a, bb, c);
+        let mut s = soc();
+        run_func(&mut s, &m, "main", vec![], CopyStrategy::ElementWise).unwrap();
+        // Zero-initialized inputs: result is zero, but the kernel ran:
+        assert!(s.counters.cache_references > 0);
+        assert_eq!(s.counters.accel_macs, 0);
+    }
+
+    #[test]
+    fn subview_addressing_matches_runtime() {
+        let mut m = Module::new();
+        let f = func::func(&mut m, "main", vec![], vec![]);
+        let mut b = func::entry_builder(&mut m.ctx, &f);
+        let buf = memref::alloc(&mut b, vec![8, 8], Type::i32());
+        let c2 = arith::const_index(&mut b, 2);
+        let c3 = arith::const_index(&mut b, 3);
+        let tile = memref::subview(&mut b, buf, vec![c2, c3], vec![2, 2]);
+        let c0 = arith::const_index(&mut b, 0);
+        let c9 = arith::constant(&mut b, 9, Type::i32());
+        memref::store(&mut b, c9, tile, vec![c0, c0]);
+        let mut s = soc();
+        run_func(&mut s, &m, "main", vec![], CopyStrategy::ElementWise).unwrap();
+        // The store landed at flat index 2*8+3 = 19 of the 8x8 buffer.
+        let base = s.mem.load_i32_slice(axi4mlir_sim::mem::SimAddr(0x1_0000 + 0), 0);
+        let _ = base;
+        // Locate the buffer through a fresh descriptor with the same
+        // deterministic allocation order: first alloc starts at the arena
+        // base (64-aligned).
+        let addr = axi4mlir_sim::mem::SimAddr(0x1_0000);
+        assert_eq!(s.mem.read_i32(addr.offset(19 * 4)), 9);
+    }
+}

@@ -1,0 +1,22 @@
+//! The host-code interpreter: executes compiled modules on the simulated
+//! SoC.
+//!
+//! The paper compiles the generated host code to an ARM binary; here the
+//! equivalent is interpreting the IR against [`axi4mlir_runtime::Soc`],
+//! charging for each operation what the compiled code would pay (arithmetic
+//! cycles, cache-modelled loads/stores, loop branches) and dispatching the
+//! DMA library `func.call`s — or, pre-lowering, the `accel` ops directly —
+//! to `axi4mlir_runtime::dma_lib`. Both representations are supported and
+//! tested to produce identical results and DMA traffic.
+//!
+//! `linalg` ops that were *not* offloaded execute through the instrumented
+//! native CPU kernels (`axi4mlir_runtime::kernels`), which model the
+//! paper's compiled `mlir CPU` baseline.
+
+pub mod error;
+pub mod interpreter;
+pub mod value;
+
+pub use error::InterpError;
+pub use interpreter::{run_func, Interpreter};
+pub use value::RtValue;

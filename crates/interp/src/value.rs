@@ -1,0 +1,68 @@
+//! Runtime values.
+
+use axi4mlir_runtime::memref::MemRefDesc;
+
+/// A value flowing through interpreted IR.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RtValue {
+    /// An `index` value.
+    Index(i64),
+    /// An `i32` value.
+    I32(i32),
+    /// An `f32` value.
+    F32(f32),
+    /// A memref descriptor (Fig. 3).
+    MemRef(MemRefDesc),
+    /// No value (zero-result ops).
+    Unit,
+}
+
+impl RtValue {
+    /// The index payload.
+    pub fn as_index(&self) -> Option<i64> {
+        match self {
+            RtValue::Index(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The i32 payload.
+    pub fn as_i32(&self) -> Option<i32> {
+        match self {
+            RtValue::I32(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Any integer payload widened to i64.
+    pub fn as_int_any(&self) -> Option<i64> {
+        match self {
+            RtValue::Index(v) => Some(*v),
+            RtValue::I32(v) => Some(i64::from(*v)),
+            _ => None,
+        }
+    }
+
+    /// The memref payload.
+    pub fn as_memref(&self) -> Option<&MemRefDesc> {
+        match self {
+            RtValue::MemRef(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(RtValue::Index(3).as_index(), Some(3));
+        assert_eq!(RtValue::I32(-2).as_i32(), Some(-2));
+        assert_eq!(RtValue::I32(-2).as_int_any(), Some(-2));
+        assert_eq!(RtValue::Index(9).as_int_any(), Some(9));
+        assert!(RtValue::Unit.as_index().is_none());
+        assert!(RtValue::F32(1.0).as_i32().is_none());
+    }
+}

@@ -1,0 +1,729 @@
+//! Parser for the generic textual form produced by [`crate::printer`].
+//!
+//! Parsing happens in two phases: a lightweight AST (`POp`/`PBlock`) is
+//! built first, then converted into [`IrCtx`] entities with a scoped
+//! `%name -> ValueId` environment, which keeps SSA bookkeeping out of the
+//! grammar code.
+
+use std::collections::{BTreeMap, HashMap};
+
+use axi4mlir_support::diag::{Diagnostic, SourceLoc};
+
+use crate::affine::AffineMap;
+use crate::attrs::{Attribute, OpcodeFlow, OpcodeMap};
+use crate::ops::{BlockId, IrCtx, Module, OpId};
+use crate::types::{MemRefType, Type, DYNAMIC};
+
+/// Parses a module from its generic textual form.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] with a line/column location on syntax errors or
+/// references to undefined values.
+pub fn parse_module(text: &str) -> Result<Module, Diagnostic> {
+    let mut p = P::new(text);
+    let op = p.parse_op()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input after top-level operation"));
+    }
+    if op.name != "builtin.module" {
+        return Err(Diagnostic::error(format!("expected builtin.module at top level, found {}", op.name)));
+    }
+    let mut ctx = IrCtx::new();
+    let mut env: HashMap<String, crate::ops::ValueId> = HashMap::new();
+    let top = build_op(&mut ctx, &op, &mut env)?;
+    // Re-wrap into a Module without re-creating: Module::new builds its own
+    // top op, so we reconstruct by stealing the built ctx.
+    Ok(Module::from_parts(ctx, top))
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: AST
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct POp {
+    results: Vec<String>,
+    name: String,
+    operands: Vec<String>,
+    regions: Vec<PRegion>,
+    attrs: BTreeMap<String, Attribute>,
+    result_types: Vec<Type>,
+}
+
+#[derive(Debug)]
+struct PRegion {
+    blocks: Vec<PBlock>,
+}
+
+#[derive(Debug)]
+struct PBlock {
+    args: Vec<(String, Type)>,
+    ops: Vec<POp>,
+}
+
+struct P<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { text, pos: 0 }
+    }
+
+    fn loc(&self) -> SourceLoc {
+        let mut line = 1u32;
+        let mut col = 1u32;
+        for c in self.text[..self.pos].chars() {
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        SourceLoc::new(line, col)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::error(msg).at(self.loc())
+    }
+
+    fn rest(&self) -> &str {
+        &self.text[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let rest = self.rest();
+            if rest.starts_with(|c: char| c.is_whitespace()) {
+                self.pos += 1;
+            } else if rest.starts_with("//") {
+                let skip = rest.find('\n').map(|i| i + 1).unwrap_or(rest.len());
+                self.pos += skip;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.text.len()
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest().chars().next()
+    }
+
+    fn try_eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), Diagnostic> {
+        if self.try_eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{c}`")))
+        }
+    }
+
+    fn try_eat_str(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string_literal(&mut self) -> Result<String, Diagnostic> {
+        self.skip_ws();
+        if !self.rest().starts_with('"') {
+            return Err(self.err("expected string literal"));
+        }
+        let rest = &self.rest()[1..];
+        let end = rest.find('"').ok_or_else(|| self.err("unterminated string literal"))?;
+        let s = rest[..end].to_owned();
+        self.pos += end + 2;
+        Ok(s)
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let rest = self.rest();
+        let first_ok = rest.chars().next().map(|c| c.is_alphabetic() || c == '_').unwrap_or(false);
+        if !first_ok {
+            return None;
+        }
+        let s: String =
+            rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.').collect();
+        self.pos += s.len();
+        Some(s)
+    }
+
+    fn integer(&mut self) -> Option<i64> {
+        self.skip_ws();
+        let rest = self.rest();
+        if let Some(hex) = rest.strip_prefix("0x") {
+            let digits: String = hex.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+            if digits.is_empty() {
+                return None;
+            }
+            self.pos += 2 + digits.len();
+            return i64::from_str_radix(&digits, 16).ok();
+        }
+        let neg = rest.starts_with('-');
+        let digits: String =
+            rest.chars().skip(usize::from(neg)).take_while(|c| c.is_ascii_digit()).collect();
+        if digits.is_empty() {
+            return None;
+        }
+        self.pos += digits.len() + usize::from(neg);
+        let v: i64 = digits.parse().ok()?;
+        Some(if neg { -v } else { v })
+    }
+
+    /// `%name` — returns the name without the sigil.
+    fn value_use(&mut self) -> Result<String, Diagnostic> {
+        self.skip_ws();
+        if !self.rest().starts_with('%') {
+            return Err(self.err("expected `%` value"));
+        }
+        self.pos += 1;
+        let name: String =
+            self.rest().chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        if name.is_empty() {
+            return Err(self.err("expected value name after `%`"));
+        }
+        self.pos += name.len();
+        Ok(name)
+    }
+
+    // -----------------------------------------------------------------
+    // Grammar
+    // -----------------------------------------------------------------
+
+    fn parse_op(&mut self) -> Result<POp, Diagnostic> {
+        // Optional results.
+        let mut results = Vec::new();
+        let save = self.pos;
+        if self.peek() == Some('%') {
+            loop {
+                results.push(self.value_use()?);
+                if !self.try_eat(',') {
+                    break;
+                }
+            }
+            if !self.try_eat('=') {
+                // Not a result list after all (can't happen in well-formed
+                // generic form, but keep the error clear).
+                self.pos = save;
+                return Err(self.err("expected `=` after result list"));
+            }
+        }
+        let name = self.string_literal()?;
+        self.expect('(')?;
+        let mut operands = Vec::new();
+        if self.peek() != Some(')') {
+            loop {
+                operands.push(self.value_use()?);
+                if !self.try_eat(',') {
+                    break;
+                }
+            }
+        }
+        self.expect(')')?;
+        // Optional region list: `({ ... }, { ... })`.
+        let mut regions = Vec::new();
+        let save = self.pos;
+        if self.try_eat('(') {
+            if self.peek() == Some('{') {
+                loop {
+                    regions.push(self.parse_region()?);
+                    if !self.try_eat(',') {
+                        break;
+                    }
+                }
+                self.expect(')')?;
+            } else {
+                self.pos = save;
+            }
+        }
+        // Optional attribute dict.
+        let mut attrs = BTreeMap::new();
+        if self.try_eat('{') {
+            if self.peek() != Some('}') {
+                loop {
+                    let key = self.ident().ok_or_else(|| self.err("expected attribute name"))?;
+                    self.expect('=')?;
+                    let value = self.parse_attr()?;
+                    attrs.insert(key, value);
+                    if !self.try_eat(',') {
+                        break;
+                    }
+                }
+            }
+            self.expect('}')?;
+        }
+        // Trailing type: `: (tys) -> (tys)`.
+        self.expect(':')?;
+        self.expect('(')?;
+        let mut operand_types = Vec::new();
+        if self.peek() != Some(')') {
+            loop {
+                operand_types.push(self.parse_type()?);
+                if !self.try_eat(',') {
+                    break;
+                }
+            }
+        }
+        self.expect(')')?;
+        if !self.try_eat_str("->") {
+            return Err(self.err("expected `->` in op type"));
+        }
+        self.expect('(')?;
+        let mut result_types = Vec::new();
+        if self.peek() != Some(')') {
+            loop {
+                result_types.push(self.parse_type()?);
+                if !self.try_eat(',') {
+                    break;
+                }
+            }
+        }
+        self.expect(')')?;
+        if operand_types.len() != operands.len() {
+            return Err(self.err(format!(
+                "op {name}: {} operands but {} operand types",
+                operands.len(),
+                operand_types.len()
+            )));
+        }
+        if result_types.len() != results.len() {
+            return Err(self.err(format!(
+                "op {name}: {} results but {} result types",
+                results.len(),
+                result_types.len()
+            )));
+        }
+        Ok(POp { results, name, operands, regions, attrs, result_types })
+    }
+
+    fn parse_region(&mut self) -> Result<PRegion, Diagnostic> {
+        self.expect('{')?;
+        let mut blocks = Vec::new();
+        while self.peek() == Some('^') {
+            blocks.push(self.parse_block()?);
+        }
+        self.expect('}')?;
+        Ok(PRegion { blocks })
+    }
+
+    fn parse_block(&mut self) -> Result<PBlock, Diagnostic> {
+        self.expect('^')?;
+        let _label = self.ident().ok_or_else(|| self.err("expected block label"))?;
+        self.expect('(')?;
+        let mut args = Vec::new();
+        if self.peek() != Some(')') {
+            loop {
+                let name = self.value_use()?;
+                self.expect(':')?;
+                let ty = self.parse_type()?;
+                args.push((name, ty));
+                if !self.try_eat(',') {
+                    break;
+                }
+            }
+        }
+        self.expect(')')?;
+        self.expect(':')?;
+        let mut ops = Vec::new();
+        loop {
+            self.skip_ws();
+            let c = self.rest().chars().next();
+            match c {
+                Some('%') | Some('"') => ops.push(self.parse_op()?),
+                _ => break,
+            }
+        }
+        Ok(PBlock { args, ops })
+    }
+
+    fn parse_type(&mut self) -> Result<Type, Diagnostic> {
+        self.skip_ws();
+        if self.try_eat_str("index") {
+            return Ok(Type::Index);
+        }
+        if self.try_eat_str("()") {
+            return Ok(Type::Unit);
+        }
+        if self.try_eat_str("memref<") {
+            return self.parse_memref_body();
+        }
+        let rest = self.rest();
+        if let Some(width) = rest.strip_prefix('i').and_then(|r| leading_number(r)) {
+            self.pos += 1 + width.1;
+            return Ok(Type::Int(width.0 as u32));
+        }
+        if let Some(width) = rest.strip_prefix('f').and_then(|r| leading_number(r)) {
+            self.pos += 1 + width.1;
+            return Ok(Type::Float(width.0 as u32));
+        }
+        Err(self.err(format!("expected type at `{}`", rest.chars().take(16).collect::<String>())))
+    }
+
+    fn parse_memref_body(&mut self) -> Result<Type, Diagnostic> {
+        // shape: (`?`|int) `x` ... then element type, optional strided<..>.
+        let mut shape = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.try_eat('?') {
+                shape.push(DYNAMIC);
+            } else if let Some(n) = self.integer() {
+                shape.push(n);
+            } else {
+                return Err(self.err("expected memref dimension"));
+            }
+            self.skip_ws();
+            if !self.try_eat('x') {
+                return Err(self.err("expected `x` in memref shape"));
+            }
+            // After `x` either another dim or the element type; element
+            // types start with a letter that is not a digit/?`.
+            self.skip_ws();
+            let c = self.rest().chars().next();
+            if !matches!(c, Some('0'..='9') | Some('?')) {
+                break;
+            }
+        }
+        let elem = self.parse_type()?;
+        let mut strides = None;
+        if self.try_eat(',') {
+            if !self.try_eat_str("strided<[") {
+                return Err(self.err("expected `strided<[` in memref layout"));
+            }
+            let mut s = Vec::new();
+            if self.peek() != Some(']') {
+                loop {
+                    let v = self.integer().ok_or_else(|| self.err("expected stride"))?;
+                    s.push(v);
+                    if !self.try_eat(',') {
+                        break;
+                    }
+                }
+            }
+            self.expect(']')?;
+            self.expect('>')?;
+            strides = Some(s);
+        }
+        self.expect('>')?;
+        Ok(Type::MemRef(MemRefType { shape, elem: Box::new(elem), strides }))
+    }
+
+    fn parse_attr(&mut self) -> Result<Attribute, Diagnostic> {
+        self.skip_ws();
+        let rest = self.rest();
+        if rest.starts_with("affine_map<") {
+            let full = self.balanced_angle("affine_map")?;
+            let inner = full
+                .strip_prefix("affine_map<")
+                .and_then(|s| s.strip_suffix('>'))
+                .expect("balanced_angle returns wrapped text");
+            let map = AffineMap::parse(inner).map_err(|d| self.err(d.message))?;
+            return Ok(Attribute::Map(map));
+        }
+        if rest.starts_with("opcode_map<") {
+            let inner = self.balanced_angle("opcode_map")?;
+            let m = OpcodeMap::parse(&inner).map_err(|d| self.err(d.message))?;
+            return Ok(Attribute::Opcodes(m));
+        }
+        if rest.starts_with("opcode_flow<") {
+            let inner = self.balanced_angle("opcode_flow")?;
+            let flow = OpcodeFlow::parse(&inner).map_err(|d| self.err(d.message))?;
+            return Ok(Attribute::Flow(flow));
+        }
+        if rest.starts_with("true") {
+            self.pos += 4;
+            return Ok(Attribute::Bool(true));
+        }
+        if rest.starts_with("false") {
+            self.pos += 5;
+            return Ok(Attribute::Bool(false));
+        }
+        if rest.starts_with('"') {
+            return Ok(Attribute::Str(self.string_literal()?));
+        }
+        if rest.starts_with('[') {
+            self.expect('[')?;
+            let mut items = Vec::new();
+            if self.peek() != Some(']') {
+                loop {
+                    items.push(self.parse_attr()?);
+                    if !self.try_eat(',') {
+                        break;
+                    }
+                }
+            }
+            self.expect(']')?;
+            return Ok(Attribute::Array(items));
+        }
+        if rest.starts_with('{') {
+            self.expect('{')?;
+            let mut map = BTreeMap::new();
+            if self.peek() != Some('}') {
+                loop {
+                    let key = self.ident().ok_or_else(|| self.err("expected dict key"))?;
+                    self.expect('=')?;
+                    let v = self.parse_attr()?;
+                    map.insert(key, v);
+                    if !self.try_eat(',') {
+                        break;
+                    }
+                }
+            }
+            self.expect('}')?;
+            return Ok(Attribute::Dict(map));
+        }
+        // Float: digits containing a dot.
+        if let Some(f) = self.try_float() {
+            return Ok(Attribute::Float(f));
+        }
+        if let Some(n) = self.integer() {
+            return Ok(Attribute::Int(n));
+        }
+        // Types-as-attributes (i32, memref<...>, index).
+        if let Ok(ty) = self.parse_type() {
+            return Ok(Attribute::Type(ty));
+        }
+        Err(self.err("expected attribute value"))
+    }
+
+    fn try_float(&mut self) -> Option<f64> {
+        self.skip_ws();
+        let rest = self.rest();
+        let neg = rest.starts_with('-');
+        let body = &rest[usize::from(neg)..];
+        let int_len = body.chars().take_while(|c| c.is_ascii_digit()).count();
+        if int_len == 0 || !body[int_len..].starts_with('.') {
+            return None;
+        }
+        let frac_len = body[int_len + 1..].chars().take_while(|c| c.is_ascii_digit()).count();
+        let total = usize::from(neg) + int_len + 1 + frac_len;
+        let text = &rest[..total];
+        let v: f64 = text.parse().ok()?;
+        self.pos += total;
+        Some(v)
+    }
+
+    /// Consumes `keyword<...>` with `->`-aware angle matching, returning the
+    /// full `keyword<...>` text.
+    fn balanced_angle(&mut self, keyword: &str) -> Result<String, Diagnostic> {
+        self.skip_ws();
+        let start = self.pos;
+        debug_assert!(self.rest().starts_with(keyword));
+        self.pos += keyword.len();
+        if !self.rest().starts_with('<') {
+            return Err(self.err(format!("expected `<` after {keyword}")));
+        }
+        self.pos += 1;
+        let mut prev = ' ';
+        while let Some(c) = self.rest().chars().next() {
+            if c == '>' && prev != '-' {
+                self.pos += 1;
+                return Ok(self.text[start..self.pos].to_owned());
+            }
+            prev = c;
+            self.pos += c.len_utf8();
+        }
+        Err(self.err(format!("unterminated `{keyword}<`")))
+    }
+}
+
+fn leading_number(s: &str) -> Option<(i64, usize)> {
+    let digits: String = s.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    // Reject identifier continuation (e.g. `i32x` is not a type here).
+    let n: i64 = digits.parse().ok()?;
+    Some((n, digits.len()))
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: AST -> IrCtx
+// ---------------------------------------------------------------------
+
+fn build_op(
+    ctx: &mut IrCtx,
+    op: &POp,
+    env: &mut HashMap<String, crate::ops::ValueId>,
+) -> Result<OpId, Diagnostic> {
+    let operands: Result<Vec<_>, Diagnostic> = op
+        .operands
+        .iter()
+        .map(|name| {
+            env.get(name)
+                .copied()
+                .ok_or_else(|| Diagnostic::error(format!("use of undefined value %{name}")))
+        })
+        .collect();
+    let id = ctx.create_op(&op.name, operands?, op.result_types.clone(), op.attrs.clone());
+    for (name, value) in op.results.iter().zip(ctx.op(id).results.clone()) {
+        env.insert(name.clone(), value);
+    }
+    for region in &op.regions {
+        let rid = ctx.add_region(id);
+        for block in &region.blocks {
+            let bid = build_block(ctx, rid, block, env)?;
+            let _ = bid;
+        }
+    }
+    Ok(id)
+}
+
+fn build_block(
+    ctx: &mut IrCtx,
+    region: crate::ops::RegionId,
+    block: &PBlock,
+    env: &mut HashMap<String, crate::ops::ValueId>,
+) -> Result<BlockId, Diagnostic> {
+    let arg_types: Vec<Type> = block.args.iter().map(|(_, t)| t.clone()).collect();
+    let bid = ctx.add_block(region, arg_types);
+    for ((name, _), value) in block.args.iter().zip(ctx.block(bid).args.clone()) {
+        env.insert(name.clone(), value);
+    }
+    for op in &block.ops {
+        let oid = build_op(ctx, op, env)?;
+        ctx.append_op(bid, oid);
+    }
+    Ok(bid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OpBuilder;
+    use crate::printer::print_op;
+
+    fn roundtrip(text: &str) -> String {
+        let module = parse_module(text).expect("parse");
+        print_op(&module.ctx, module.top())
+    }
+
+    #[test]
+    fn parse_minimal_module() {
+        let text = "\"builtin.module\"() ({\n^bb():\n}) : () -> ()\n";
+        let m = parse_module(text).unwrap();
+        assert_eq!(m.ctx.op(m.top()).name, "builtin.module");
+    }
+
+    #[test]
+    fn roundtrip_constants_and_arith() {
+        let text = "\"builtin.module\"() ({\n^bb():\n  %0 = \"arith.constant\"() {value = 4} : () -> (index)\n  %1 = \"arith.addi\"(%0, %0) : (index, index) -> (index)\n}) : () -> ()\n";
+        // First print canonicalizes indentation; a second parse+print must be
+        // a fixpoint.
+        let canonical = roundtrip(text);
+        assert_eq!(roundtrip(&canonical), canonical);
+        assert!(canonical.contains("\"arith.addi\"(%0, %0) : (index, index) -> (index)"));
+    }
+
+    #[test]
+    fn roundtrip_region_with_block_args() {
+        let text = "\"builtin.module\"() ({\n^bb():\n  \"scf.for\"() ({\n    ^bb(%0: index):\n      \"scf.yield\"() : () -> ()\n  }) : () -> ()\n}) : () -> ()\n";
+        let m = parse_module(text).unwrap();
+        let fors = m.ctx.find_ops(m.top(), "scf.for");
+        assert_eq!(fors.len(), 1);
+        let block = m.ctx.sole_block(fors[0], 0);
+        assert_eq!(m.ctx.block(block).args.len(), 1);
+        // Print and re-parse for stability.
+        let printed = print_op(&m.ctx, m.top());
+        let m2 = parse_module(&printed).unwrap();
+        assert_eq!(print_op(&m2.ctx, m2.top()), printed);
+    }
+
+    #[test]
+    fn parse_attributes_of_every_kind() {
+        let text = "\"builtin.module\"() ({\n^bb():\n  \"test.op\"() {a = 1, b = \"s\", c = true, d = [1, 2], e = {x = 3}, f = affine_map<(m, n, k) -> (m, k)>, g = opcode_map<sA = [send_literal(34), send(0)]>, h = opcode_flow<(sA (sB))>, i = 2.5, j = i32} : () -> ()\n}) : () -> ()\n";
+        let m = parse_module(text).unwrap();
+        let op = m.ctx.find_ops(m.top(), "test.op")[0];
+        assert_eq!(m.ctx.attr(op, "a").unwrap().as_int(), Some(1));
+        assert_eq!(m.ctx.attr(op, "b").unwrap().as_str(), Some("s"));
+        assert_eq!(m.ctx.attr(op, "c").unwrap().as_bool(), Some(true));
+        assert_eq!(m.ctx.attr(op, "d").unwrap().as_array().unwrap().len(), 2);
+        assert!(matches!(m.ctx.attr(op, "e").unwrap(), Attribute::Dict(_)));
+        let map = m.ctx.attr(op, "f").unwrap().as_map().unwrap();
+        assert_eq!(map.num_dims(), 3);
+        let opcodes = m.ctx.attr(op, "g").unwrap().as_opcodes().unwrap();
+        assert_eq!(opcodes.len(), 1);
+        let flow = m.ctx.attr(op, "h").unwrap().as_flow().unwrap();
+        assert_eq!(flow.depth(), 2);
+        assert!(matches!(m.ctx.attr(op, "i").unwrap(), Attribute::Float(v) if *v == 2.5));
+        assert!(matches!(m.ctx.attr(op, "j").unwrap(), Attribute::Type(Type::Int(32))));
+        // Full roundtrip.
+        let printed = print_op(&m.ctx, m.top());
+        let m2 = parse_module(&printed).unwrap();
+        assert_eq!(print_op(&m2.ctx, m2.top()), printed);
+    }
+
+    #[test]
+    fn parse_memref_types_with_strides() {
+        let text = "\"builtin.module\"() ({\n^bb():\n  %0 = \"memref.alloc\"() : () -> (memref<4x?xi32, strided<[80, 1]>>)\n}) : () -> ()\n";
+        let m = parse_module(text).unwrap();
+        let op = m.ctx.find_ops(m.top(), "memref.alloc")[0];
+        let ty = m.ctx.value_type(m.ctx.result(op, 0));
+        let mr = ty.as_memref().unwrap();
+        assert_eq!(mr.shape, vec![4, DYNAMIC]);
+        assert_eq!(mr.strides, Some(vec![80, 1]));
+    }
+
+    #[test]
+    fn undefined_value_is_an_error() {
+        let text = "\"builtin.module\"() ({\n^bb():\n  \"test.use\"(%9) : (i32) -> ()\n}) : () -> ()\n";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.message.contains("undefined value"));
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let text = "\"builtin.module\"() ({\n^bb():\n  %0 = \"c\"() : () -> (i32, i32)\n}) : () -> ()\n";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.message.contains("results"), "{}", err.message);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let text = "// header comment\n\"builtin.module\"() ({\n^bb():\n  // inner comment\n  %0 = \"arith.constant\"() {value = 1} : () -> (i32)\n}) : () -> ()\n";
+        let m = parse_module(text).unwrap();
+        assert_eq!(m.ctx.find_ops(m.top(), "arith.constant").len(), 1);
+    }
+
+    #[test]
+    fn builder_output_roundtrips() {
+        let mut m = Module::new();
+        let body = m.body();
+        let mut b = OpBuilder::at_end(&mut m.ctx, body);
+        let c = b.insert_op(
+            "arith.constant",
+            vec![],
+            vec![Type::index()],
+            [("value", Attribute::Int(42))],
+        );
+        let v = b.result(c);
+        let (_, inner) = b.insert_region_op("scf.for", vec![v, v, v], vec![], [], vec![Type::index()]);
+        b.set_insertion_end(inner);
+        b.insert_op("scf.yield", vec![], vec![], []);
+        let printed = print_op(&m.ctx, m.top());
+        let m2 = parse_module(&printed).unwrap();
+        assert_eq!(print_op(&m2.ctx, m2.top()), printed);
+    }
+}

@@ -1,0 +1,222 @@
+//! The pass manager.
+//!
+//! Mirrors MLIR's pass infrastructure at the scale this project needs:
+//! passes transform a [`Module`], the manager optionally verifies after
+//! each pass and can capture IR snapshots (the `--print-ir-after-all`
+//! debugging workflow, used by the quickstart example to show each
+//! AXI4MLIR stage).
+
+use axi4mlir_support::diag::{Diagnostic, DiagnosticEngine};
+
+use crate::ops::Module;
+use crate::printer::print_op;
+use crate::verifier;
+
+/// A module-level transformation.
+pub trait Pass {
+    /// Unique, command-line-style name (`"axi4mlir-generate-flow"`).
+    fn name(&self) -> &str;
+
+    /// Applies the transformation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] if the pass cannot apply; the module may be
+    /// left partially transformed only if the error says so.
+    fn run(&mut self, module: &mut Module, diags: &mut DiagnosticEngine) -> Result<(), Diagnostic>;
+}
+
+/// A snapshot of the IR after one pass.
+#[derive(Clone, Debug)]
+pub struct IrSnapshot {
+    /// Name of the pass that just ran.
+    pub pass: String,
+    /// Printed module.
+    pub ir: String,
+}
+
+/// Runs a pipeline of passes with optional verification and IR capture.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    verify_each: bool,
+    capture_ir: bool,
+}
+
+impl PassManager {
+    /// Creates an empty manager with per-pass verification enabled.
+    pub fn new() -> Self {
+        Self { passes: Vec::new(), verify_each: true, capture_ir: false }
+    }
+
+    /// Adds a pass to the end of the pipeline.
+    pub fn add(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Enables or disables verification after each pass.
+    pub fn verify_each(&mut self, on: bool) -> &mut Self {
+        self.verify_each = on;
+        self
+    }
+
+    /// Enables IR snapshot capture after each pass.
+    pub fn capture_ir(&mut self, on: bool) -> &mut Self {
+        self.capture_ir = on;
+        self
+    }
+
+    /// Number of scheduled passes.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// `true` when no passes are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Runs the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing pass or verification failure, naming it.
+    pub fn run(&mut self, module: &mut Module) -> Result<Vec<IrSnapshot>, Diagnostic> {
+        let mut snapshots = Vec::new();
+        for pass in &mut self.passes {
+            let mut diags = DiagnosticEngine::new();
+            pass.run(module, &mut diags).map_err(|d| {
+                Diagnostic::error(format!("pass `{}` failed: {}", pass.name(), d.message))
+                    .with_note(diags.render())
+            })?;
+            if diags.has_errors() {
+                return Err(Diagnostic::error(format!(
+                    "pass `{}` reported errors: {}",
+                    pass.name(),
+                    diags.render()
+                )));
+            }
+            if self.verify_each {
+                verifier::verify_ok(&module.ctx, module.top()).map_err(|d| {
+                    Diagnostic::error(format!(
+                        "verification failed after pass `{}`: {}",
+                        pass.name(),
+                        d.message
+                    ))
+                })?;
+            }
+            if self.capture_ir {
+                snapshots.push(IrSnapshot {
+                    pass: pass.name().to_owned(),
+                    ir: print_op(&module.ctx, module.top()),
+                });
+            }
+        }
+        Ok(snapshots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::Attribute;
+    use crate::builder::OpBuilder;
+    use crate::types::Type;
+
+    struct AddConstant(i64);
+
+    impl Pass for AddConstant {
+        fn name(&self) -> &str {
+            "test-add-constant"
+        }
+        fn run(&mut self, module: &mut Module, _diags: &mut DiagnosticEngine) -> Result<(), Diagnostic> {
+            let body = module.body();
+            let mut b = OpBuilder::at_end(&mut module.ctx, body);
+            b.insert_op("arith.constant", vec![], vec![Type::index()], [("value", Attribute::Int(self.0))]);
+            Ok(())
+        }
+    }
+
+    struct Failing;
+
+    impl Pass for Failing {
+        fn name(&self) -> &str {
+            "test-failing"
+        }
+        fn run(&mut self, _m: &mut Module, _d: &mut DiagnosticEngine) -> Result<(), Diagnostic> {
+            Err(Diagnostic::error("intentional failure"))
+        }
+    }
+
+    struct Corrupting;
+
+    impl Pass for Corrupting {
+        fn name(&self) -> &str {
+            "test-corrupting"
+        }
+        fn run(&mut self, module: &mut Module, _d: &mut DiagnosticEngine) -> Result<(), Diagnostic> {
+            // Create a use of a value that is never defined in scope.
+            let body = module.body();
+            let c = module.ctx.create_op(
+                "arith.constant",
+                vec![],
+                vec![Type::index()],
+                Default::default(),
+            );
+            let v = module.ctx.result(c, 0);
+            let u = module.ctx.create_op("test.use", vec![v], vec![], Default::default());
+            module.ctx.append_op(body, u);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn passes_run_in_order_with_snapshots() {
+        let mut module = Module::new();
+        let mut pm = PassManager::new();
+        pm.capture_ir(true);
+        pm.add(Box::new(AddConstant(1))).add(Box::new(AddConstant(2)));
+        assert_eq!(pm.len(), 2);
+        let snaps = pm.run(&mut module).unwrap();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].pass, "test-add-constant");
+        assert!(snaps[1].ir.matches("arith.constant").count() == 2);
+    }
+
+    #[test]
+    fn failing_pass_stops_pipeline() {
+        let mut module = Module::new();
+        let mut pm = PassManager::new();
+        pm.add(Box::new(Failing)).add(Box::new(AddConstant(3)));
+        let err = pm.run(&mut module).unwrap_err();
+        assert!(err.message.contains("test-failing"));
+        assert!(module.ctx.find_ops(module.top(), "arith.constant").is_empty(), "later pass must not run");
+    }
+
+    #[test]
+    fn verification_catches_corrupting_pass() {
+        let mut module = Module::new();
+        let mut pm = PassManager::new();
+        pm.add(Box::new(Corrupting));
+        let err = pm.run(&mut module).unwrap_err();
+        assert!(err.message.contains("verification failed after pass `test-corrupting`"));
+    }
+
+    #[test]
+    fn verification_can_be_disabled() {
+        let mut module = Module::new();
+        let mut pm = PassManager::new();
+        pm.verify_each(false);
+        pm.add(Box::new(Corrupting));
+        assert!(pm.run(&mut module).is_ok());
+    }
+
+    #[test]
+    fn empty_manager_is_a_no_op() {
+        let mut module = Module::new();
+        let mut pm = PassManager::new();
+        assert!(pm.is_empty());
+        assert!(pm.run(&mut module).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! Structural IR verification.
+//!
+//! Checks the invariants every pass must preserve:
+//!
+//! - parent links (op ↔ block ↔ region) are mutually consistent;
+//! - SSA visibility: every operand is a block argument or op result defined
+//!   *before* its use, in the same block or an enclosing one (structured
+//!   control flow dominance);
+//! - no dead (erased) op is reachable.
+//!
+//! Dialect-specific rules (e.g. "`scf.for` takes three `index` operands")
+//! live in `axi4mlir-dialects`; the pass manager runs both.
+
+use std::collections::HashSet;
+
+use axi4mlir_support::diag::{Diagnostic, DiagnosticEngine};
+
+use crate::ops::{BlockId, IrCtx, OpId, ValueId};
+
+/// Verifies the subtree rooted at `root`.
+///
+/// # Errors
+///
+/// Returns the first violation (all violations are recorded in `diags`).
+pub fn verify(ctx: &IrCtx, root: OpId, diags: &mut DiagnosticEngine) -> Result<(), Diagnostic> {
+    let mut visible: HashSet<ValueId> = HashSet::new();
+    verify_op(ctx, root, &mut visible, diags);
+    let mut result_engine = DiagnosticEngine::new();
+    for d in diags.diagnostics() {
+        result_engine.emit(d.clone());
+    }
+    result_engine.into_result()
+}
+
+/// Convenience wrapper returning only the result.
+///
+/// # Errors
+///
+/// Returns the first violation.
+pub fn verify_ok(ctx: &IrCtx, root: OpId) -> Result<(), Diagnostic> {
+    let mut diags = DiagnosticEngine::new();
+    verify(ctx, root, &mut diags)
+}
+
+fn verify_op(ctx: &IrCtx, op: OpId, visible: &mut HashSet<ValueId>, diags: &mut DiagnosticEngine) {
+    let data = ctx.op(op);
+    if data.dead {
+        diags.error(format!("reachable op {op} ({}) is marked dead", data.name));
+        return;
+    }
+    for (i, operand) in data.operands.iter().enumerate() {
+        if !visible.contains(operand) {
+            diags.error(format!(
+                "op {op} ({}) operand #{i} ({operand}) is not visible at its use (use-before-def or cross-region leak)",
+                data.name
+            ));
+        }
+    }
+    // Results become visible to subsequent ops *and* to nested regions
+    // (which may capture values from enclosing scopes).
+    for r in &data.results {
+        visible.insert(*r);
+    }
+    for region in &data.regions {
+        let rdata = ctx.region(*region);
+        if rdata.parent != Some(op) {
+            diags.error(format!("region {region} parent link does not point to op {op}"));
+        }
+        for block in &rdata.blocks {
+            verify_block(ctx, *block, *region, visible, diags);
+        }
+    }
+}
+
+fn verify_block(
+    ctx: &IrCtx,
+    block: BlockId,
+    region: crate::ops::RegionId,
+    visible: &mut HashSet<ValueId>,
+    diags: &mut DiagnosticEngine,
+) {
+    let bdata = ctx.block(block);
+    if bdata.parent != Some(region) {
+        diags.error(format!("block {block} parent link does not point to region {region}"));
+    }
+    // Block args are visible inside the block (and its nested regions) only:
+    // track what we add so we can remove it on exit.
+    let mut added: Vec<ValueId> = Vec::new();
+    for arg in &bdata.args {
+        if visible.insert(*arg) {
+            added.push(*arg);
+        }
+    }
+    for op in &bdata.ops {
+        let odata = ctx.op(*op);
+        if odata.parent != Some(block) {
+            diags.error(format!("op {op} ({}) parent link does not point to block {block}", odata.name));
+        }
+        let before: Vec<ValueId> = odata.results.clone();
+        verify_op(ctx, *op, visible, diags);
+        for r in before {
+            if visible.insert(r) {
+                added.push(r);
+            } else {
+                added.push(r);
+            }
+        }
+    }
+    // Values defined in this block stop being visible outside it.
+    for v in added {
+        visible.remove(&v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::Attribute;
+    use crate::builder::OpBuilder;
+    use crate::ops::Module;
+    use crate::types::Type;
+
+    fn well_formed_module() -> Module {
+        let mut m = Module::new();
+        let body = m.body();
+        let mut b = OpBuilder::at_end(&mut m.ctx, body);
+        let c = b.insert_op("arith.constant", vec![], vec![Type::index()], [("value", Attribute::Int(1))]);
+        let v = b.result(c);
+        let (_, inner) = b.insert_region_op("scf.for", vec![v, v, v], vec![], [], vec![Type::index()]);
+        b.set_insertion_end(inner);
+        // Captures `v` from the enclosing scope: legal.
+        b.insert_op("test.use", vec![v], vec![], []);
+        m
+    }
+
+    #[test]
+    fn well_formed_ir_verifies() {
+        let m = well_formed_module();
+        assert!(verify_ok(&m.ctx, m.top()).is_ok());
+    }
+
+    #[test]
+    fn use_before_def_is_caught() {
+        let mut m = Module::new();
+        let body = m.body();
+        // Create the constant but insert the use *before* it.
+        let c = m.ctx.create_op(
+            "arith.constant",
+            vec![],
+            vec![Type::index()],
+            std::collections::BTreeMap::new(),
+        );
+        let v = m.ctx.result(c, 0);
+        let use_op =
+            m.ctx.create_op("test.use", vec![v], vec![], std::collections::BTreeMap::new());
+        m.ctx.append_op(body, use_op);
+        m.ctx.append_op(body, c);
+        let err = verify_ok(&m.ctx, m.top()).unwrap_err();
+        assert!(err.message.contains("not visible"));
+    }
+
+    #[test]
+    fn cross_region_leak_is_caught() {
+        // A value defined inside one loop body used in a sibling loop body.
+        let mut m = Module::new();
+        let body = m.body();
+        let mut b = OpBuilder::at_end(&mut m.ctx, body);
+        let (_, block1) = b.insert_region_op("scf.for", vec![], vec![], [], vec![Type::index()]);
+        let (_, block2) = b.insert_region_op("scf.for", vec![], vec![], [], vec![Type::index()]);
+        b.set_insertion_end(block1);
+        let c = b.insert_op("arith.constant", vec![], vec![Type::i32()], [("value", Attribute::Int(0))]);
+        let leaked = b.result(c);
+        b.set_insertion_end(block2);
+        b.insert_op("test.use", vec![leaked], vec![], []);
+        let err = verify_ok(&m.ctx, m.top()).unwrap_err();
+        assert!(err.message.contains("not visible"));
+    }
+
+    #[test]
+    fn induction_variable_not_visible_outside_loop() {
+        let mut m = Module::new();
+        let body = m.body();
+        let mut b = OpBuilder::at_end(&mut m.ctx, body);
+        let (_, inner) = b.insert_region_op("scf.for", vec![], vec![], [], vec![Type::index()]);
+        let iv = m.ctx.block_arg(inner, 0);
+        let mut b = OpBuilder::at_end(&mut m.ctx, body);
+        b.insert_op("test.use", vec![iv], vec![], []);
+        let err = verify_ok(&m.ctx, m.top()).unwrap_err();
+        assert!(err.message.contains("not visible"));
+    }
+
+    #[test]
+    fn broken_parent_link_is_caught() {
+        let mut m = well_formed_module();
+        let fors = m.ctx.find_ops(m.top(), "scf.for");
+        m.ctx.op_mut(fors[0]).parent = None;
+        let err = verify_ok(&m.ctx, m.top()).unwrap_err();
+        assert!(err.message.contains("parent link"));
+    }
+
+    #[test]
+    fn multiple_errors_collected() {
+        let mut m = Module::new();
+        let body = m.body();
+        let c = m.ctx.create_op(
+            "arith.constant",
+            vec![],
+            vec![Type::index()],
+            std::collections::BTreeMap::new(),
+        );
+        let v = m.ctx.result(c, 0);
+        // Two uses of an undefined-at-use value (constant is never attached).
+        for _ in 0..2 {
+            let u = m.ctx.create_op("test.use", vec![v], vec![], std::collections::BTreeMap::new());
+            m.ctx.append_op(body, u);
+        }
+        let mut diags = DiagnosticEngine::new();
+        let _ = verify(&m.ctx, m.top(), &mut diags);
+        assert_eq!(diags.diagnostics().len(), 2);
+    }
+}

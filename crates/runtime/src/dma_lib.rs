@@ -1,0 +1,222 @@
+//! The AXI4MLIR DMA library (§III-A, Fig. 9).
+//!
+//! These are the runtime entry points the compiler's lowering pass targets.
+//! Names and semantics mirror the paper:
+//!
+//! | paper call                     | here                        |
+//! |--------------------------------|-----------------------------|
+//! | `dma_init(...)`                | [`dma_init`]                |
+//! | `copy_to_dma_region(...)`      | [`copy_to_dma_region`]      |
+//! | `dma_start_send(len, off)`     | [`dma_start_send`]          |
+//! | `dma_wait_send_completion()`   | [`dma_wait_send_completion`]|
+//! | `dma_start_recv(len, off)`     | [`dma_start_recv`]          |
+//! | `dma_wait_recv_completion()`   | [`dma_wait_recv_completion`]|
+//! | `copy_from_dma_region(...)`    | [`copy_from_dma_region`]    |
+//!
+//! Literal staging ([`write_literal_to_dma_region`]) backs
+//! `accel.sendLiteral`: opcode words are staged at increasing offsets so one
+//! `dma_start_send` transmits instruction + payload in a single transaction
+//! ("efficient batching", §III-A).
+
+use axi4mlir_sim::dma::{DmaConfig, DmaError};
+use axi4mlir_sim::mem::SimAddr;
+
+/// Canonical entry-point names, shared by the lowering pass (which emits
+/// `func.call`s to them) and the interpreter (which dispatches on them).
+pub mod names {
+    /// `dma_init(id, in_addr, in_size, out_addr, out_size)`.
+    pub const DMA_INIT: &str = "dma_init";
+    /// `copy_to_dma_region(view, offset) -> new_offset`.
+    pub const COPY_TO: &str = "copy_to_dma_region";
+    /// `write_literal_to_dma_region(word, offset) -> new_offset`.
+    pub const WRITE_LITERAL: &str = "write_literal_to_dma_region";
+    /// `dma_start_send(len, offset)`.
+    pub const START_SEND: &str = "dma_start_send";
+    /// `dma_wait_send_completion()`.
+    pub const WAIT_SEND: &str = "dma_wait_send_completion";
+    /// `dma_start_recv(len, offset)`.
+    pub const START_RECV: &str = "dma_start_recv";
+    /// `dma_wait_recv_completion()`.
+    pub const WAIT_RECV: &str = "dma_wait_recv_completion";
+    /// `copy_from_dma_region(view, offset, accumulate)`.
+    pub const COPY_FROM: &str = "copy_from_dma_region";
+}
+
+use crate::copy::{self, CopyStrategy};
+use crate::memref::MemRefDesc;
+use crate::soc::Soc;
+
+/// Initializes the DMA engine: allocates the two staging regions and
+/// programs the engine (one-time cost). Returns the configuration.
+pub fn dma_init(soc: &mut Soc, id: u32, input_size: u64, output_size: u64) -> DmaConfig {
+    let input_base = soc.mem.alloc(input_size, 64);
+    let output_base = soc.mem.alloc(output_size, 64);
+    let config = DmaConfig { id, input_base, input_size, output_base, output_size };
+    let Soc { dma, counters, cost, .. } = soc;
+    dma.init(config, counters, cost);
+    config
+}
+
+fn input_addr(soc: &Soc, offset: u64) -> SimAddr {
+    soc.dma.config().expect("dma_init must run before transfers").input_base.offset(offset)
+}
+
+fn output_addr(soc: &Soc, offset: u64) -> SimAddr {
+    soc.dma.config().expect("dma_init must run before transfers").output_base.offset(offset)
+}
+
+/// Stages a `memref` view into the input region at `offset` (bytes).
+/// Returns the new offset (old offset + bytes staged).
+pub fn copy_to_dma_region(soc: &mut Soc, view: &MemRefDesc, offset: u64, strategy: CopyStrategy) -> u64 {
+    let dst = input_addr(soc, offset);
+    let bytes = copy::copy_view_to_region(soc, view, dst, strategy);
+    offset + bytes
+}
+
+/// Stages one instruction word at `offset`; returns `offset + 4`.
+/// Backs `accel.sendLiteral`.
+pub fn write_literal_to_dma_region(soc: &mut Soc, literal: u32, offset: u64) -> u64 {
+    let dst = input_addr(soc, offset);
+    soc.uncached_write_u32(dst, literal);
+    offset + 4
+}
+
+/// Starts a host→accelerator transfer of `len` bytes from `offset`.
+///
+/// # Errors
+///
+/// Propagates [`DmaError`] for out-of-range or misaligned requests.
+pub fn dma_start_send(soc: &mut Soc, len: u64, offset: u64) -> Result<(), DmaError> {
+    let Soc { dma, mem, accel, counters, cost, .. } = soc;
+    dma.start_send(mem, accel.as_mut(), offset, len, counters, cost)
+}
+
+/// Blocks until the send completes (cost-model poll).
+pub fn dma_wait_send_completion(soc: &mut Soc) {
+    let Soc { dma, counters, cost, .. } = soc;
+    dma.wait_send_completion(counters, cost);
+}
+
+/// Starts an accelerator→host transfer of `len` bytes into `offset`.
+///
+/// # Errors
+///
+/// Propagates [`DmaError`], including
+/// [`DmaError::StreamUnderflow`] when the driver asks for more output than
+/// the accelerator produced (a generated-code bug the simulator catches).
+pub fn dma_start_recv(soc: &mut Soc, len: u64, offset: u64) -> Result<(), DmaError> {
+    let Soc { dma, mem, accel, counters, cost, .. } = soc;
+    dma.start_recv(mem, accel.as_mut(), offset, len, counters, cost)
+}
+
+/// Blocks until the recv completes (cost-model poll).
+pub fn dma_wait_recv_completion(soc: &mut Soc) {
+    let Soc { dma, counters, cost, .. } = soc;
+    dma.wait_recv_completion(counters, cost);
+}
+
+/// Copies `view.num_bytes()` bytes from the output region at `offset` into
+/// the view, optionally accumulating (`accel.recv {mode="accumulate"}`).
+pub fn copy_from_dma_region(
+    soc: &mut Soc,
+    view: &MemRefDesc,
+    offset: u64,
+    accumulate: bool,
+    strategy: CopyStrategy,
+) -> u64 {
+    let src = output_addr(soc, offset);
+    copy::copy_region_to_view(soc, view, src, accumulate, strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi4mlir_accelerators::isa;
+    use axi4mlir_accelerators::matmul::{MatMulAccel, MatMulVersion};
+    use axi4mlir_sim::mem::ElemType;
+
+    /// Drives a whole 4x4x4 tile product through the library against the v3
+    /// accelerator model: the canonical "one opcode = one batched send"
+    /// pattern the lowering emits.
+    #[test]
+    fn tile_product_roundtrip_via_library() {
+        let accel = MatMulAccel::new(MatMulVersion::V3, 4);
+        let mut soc = Soc::new(Box::new(accel));
+        dma_init(&mut soc, 0, 0xFF00, 0xFF00);
+
+        let a = MemRefDesc::alloc(&mut soc.mem, &[4, 4], ElemType::I32);
+        let b = MemRefDesc::alloc(&mut soc.mem, &[4, 4], ElemType::I32);
+        let c = MemRefDesc::alloc(&mut soc.mem, &[4, 4], ElemType::I32);
+        let av: Vec<i32> = (0..16).collect();
+        let bv: Vec<i32> = (0..16).map(|i| i % 4).collect();
+        soc.mem.store_i32_slice(a.base, &av);
+        soc.mem.store_i32_slice(b.base, &bv);
+
+        let strategy = CopyStrategy::ElementWise;
+        // Opcode sA: literal + A tile, one transaction.
+        let off = write_literal_to_dma_region(&mut soc, isa::OP_SEND_A, 0);
+        let off = copy_to_dma_region(&mut soc, &a, off, strategy);
+        dma_start_send(&mut soc, off, 0).unwrap();
+        dma_wait_send_completion(&mut soc);
+        // Opcode sB.
+        let off = write_literal_to_dma_region(&mut soc, isa::OP_SEND_B, 0);
+        let off = copy_to_dma_region(&mut soc, &b, off, strategy);
+        dma_start_send(&mut soc, off, 0).unwrap();
+        dma_wait_send_completion(&mut soc);
+        // Opcode cC.
+        let off = write_literal_to_dma_region(&mut soc, isa::OP_COMPUTE, 0);
+        dma_start_send(&mut soc, off, 0).unwrap();
+        dma_wait_send_completion(&mut soc);
+        // Opcode rC: literal send, then recv into C with accumulate.
+        let off = write_literal_to_dma_region(&mut soc, isa::OP_READ_C, 0);
+        dma_start_send(&mut soc, off, 0).unwrap();
+        dma_wait_send_completion(&mut soc);
+        dma_start_recv(&mut soc, c.num_bytes(), 0).unwrap();
+        dma_wait_recv_completion(&mut soc);
+        copy_from_dma_region(&mut soc, &c, 0, true, strategy);
+
+        let expect = crate::kernels::ref_matmul_i32(&av, &bv, 4, 4, 4);
+        assert_eq!(soc.mem.load_i32_slice(c.base, 16), expect);
+        assert_eq!(soc.counters.dma_transactions, 5);
+        assert_eq!(soc.counters.dma_bytes_to_accel, 4 + 64 + 4 + 64 + 4 + 4);
+        assert_eq!(soc.counters.dma_bytes_from_accel, 64);
+    }
+
+    #[test]
+    fn literal_staging_advances_offset() {
+        let mut soc = Soc::new(Box::new(MatMulAccel::new(MatMulVersion::V3, 4)));
+        dma_init(&mut soc, 0, 256, 256);
+        let off = write_literal_to_dma_region(&mut soc, 0x22, 0);
+        assert_eq!(off, 4);
+        let off = write_literal_to_dma_region(&mut soc, 0x23, off);
+        assert_eq!(off, 8);
+        let base = soc.dma.config().unwrap().input_base;
+        assert_eq!(soc.mem.read_u32(base), 0x22);
+        assert_eq!(soc.mem.read_u32(base.offset(4)), 0x23);
+    }
+
+    #[test]
+    fn send_failure_surfaces_dma_error() {
+        let mut soc = Soc::new(Box::new(MatMulAccel::new(MatMulVersion::V3, 4)));
+        dma_init(&mut soc, 0, 64, 64);
+        let err = dma_start_send(&mut soc, 128, 0).unwrap_err();
+        assert!(matches!(err, DmaError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn underflow_recv_reports_driver_bug() {
+        let mut soc = Soc::new(Box::new(MatMulAccel::new(MatMulVersion::V3, 4)));
+        dma_init(&mut soc, 0, 256, 256);
+        let err = dma_start_recv(&mut soc, 64, 0).unwrap_err();
+        assert!(matches!(err, DmaError::StreamUnderflow { .. }));
+    }
+
+    #[test]
+    fn init_charges_one_time_cost_only() {
+        let mut soc = Soc::new(Box::new(MatMulAccel::new(MatMulVersion::V3, 4)));
+        let before = soc.counters.host_cycles;
+        dma_init(&mut soc, 0, 256, 256);
+        let init_cost = soc.counters.host_cycles - before;
+        assert_eq!(init_cost, soc.cost.dma_init_host_cycles);
+    }
+}

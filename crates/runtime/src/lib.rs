@@ -1,0 +1,28 @@
+//! The AXI4MLIR runtime: DMA library, SoC assembly, and CPU kernels.
+//!
+//! This crate is the software analogue of two things the paper deploys on
+//! the PYNQ-Z2 board:
+//!
+//! 1. **The custom AXI DMA library** (§III-A, Fig. 9): `dma_init`,
+//!    `copy_to_dma_region`, `dma_start_send`, `dma_wait_send_completion`,
+//!    `dma_start_recv`, `dma_wait_recv_completion`, `copy_from_dma_region` —
+//!    implemented in [`dma_lib`] against the simulated SoC.
+//! 2. **The compiled host binary's execution environment**: the [`soc::Soc`]
+//!    bundles simulated memory, the cache hierarchy, perf counters, the DMA
+//!    engine, and one accelerator; [`kernels`] provides the instrumented
+//!    native CPU kernels that model the paper's `mlir CPU` executions.
+//!
+//! The [`copy`] module implements the two `memref`↔DMA-region copy
+//! strategies whose difference *is* the paper's Fig. 12 experiment: a
+//! rank-generic element-wise recursive copy, and the specialized
+//! `std::memcpy`-style chunked copy enabled when the innermost stride is 1.
+
+pub mod copy;
+pub mod dma_lib;
+pub mod kernels;
+pub mod memref;
+pub mod soc;
+
+pub use copy::CopyStrategy;
+pub use memref::MemRefDesc;
+pub use soc::Soc;

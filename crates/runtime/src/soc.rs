@@ -1,0 +1,234 @@
+//! The simulated SoC: one host CPU, its caches, one DMA engine, one
+//! accelerator.
+//!
+//! [`Soc`] is what "running host code" means in this workspace: every load,
+//! store, branch, arithmetic operation, and DMA call that the generated (or
+//! hand-written) driver performs is charged here, so two drivers can be
+//! compared exactly as the paper compares `perf` profiles.
+
+use axi4mlir_sim::axi::StreamAccelerator;
+use axi4mlir_sim::cache::{AccessKind, CacheHierarchy};
+use axi4mlir_sim::cost::CostModel;
+use axi4mlir_sim::counters::PerfCounters;
+use axi4mlir_sim::dma::DmaEngine;
+use axi4mlir_sim::mem::{SimAddr, SimMemory};
+
+/// A complete simulated system.
+pub struct Soc {
+    /// Simulated main memory (host buffers + DMA staging regions).
+    pub mem: SimMemory,
+    /// Host data-cache hierarchy.
+    pub cache: CacheHierarchy,
+    /// Event counters for the current run.
+    pub counters: PerfCounters,
+    /// The cycle cost model.
+    pub cost: CostModel,
+    /// The DMA engine fronting the accelerator.
+    pub dma: DmaEngine,
+    /// The accelerator on the other side of the AXI stream.
+    pub accel: Box<dyn StreamAccelerator>,
+}
+
+impl std::fmt::Debug for Soc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Soc")
+            .field("accel", &self.accel.name())
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Soc {
+    /// Builds a PYNQ-Z2-like system around the given accelerator.
+    pub fn new(accel: Box<dyn StreamAccelerator>) -> Self {
+        Self::with_cost(accel, CostModel::pynq_z2())
+    }
+
+    /// Builds a system with a custom cost model (used by ablation benches).
+    pub fn with_cost(accel: Box<dyn StreamAccelerator>, cost: CostModel) -> Self {
+        Self {
+            mem: SimMemory::new(),
+            cache: CacheHierarchy::cortex_a9(),
+            counters: PerfCounters::new(),
+            cost,
+            dma: DmaEngine::new(),
+            accel,
+        }
+    }
+
+    /// Charges `n` host arithmetic operations.
+    pub fn charge_arith(&mut self, n: u64) {
+        self.counters.host_cycles += n * self.cost.arith_cycles;
+        self.counters.instructions += n;
+    }
+
+    /// Charges `n` host branch instructions.
+    pub fn charge_branch(&mut self, n: u64) {
+        self.counters.host_cycles += n * self.cost.branch_cycles;
+        self.counters.instructions += n;
+        self.counters.branch_instructions += n;
+    }
+
+    /// Charges raw host cycles with no counter side effects (used for fixed
+    /// overheads such as call prologues).
+    pub fn charge_host_cycles(&mut self, cycles: u64) {
+        self.counters.host_cycles += cycles;
+    }
+
+    /// Performs a *cached* access of `bytes` at `addr`: updates the cache
+    /// model, counts one cache reference per line lookup, and charges hit or
+    /// miss cycles.
+    pub fn cached_access(&mut self, addr: SimAddr, bytes: u64, kind: AccessKind) {
+        let outcome = self.cache.access(addr.0, bytes, kind);
+        self.counters.cache_references += outcome.l1_lookups;
+        self.counters.l1_misses += outcome.l1_misses;
+        self.counters.l2_misses += outcome.l2_misses;
+        self.counters.instructions += 1;
+        self.counters.host_cycles += outcome.l1_lookups * self.cost.mem_cycles
+            + outcome.l1_misses * self.cost.l1_miss_penalty
+            + outcome.l2_misses * self.cost.l2_miss_penalty;
+    }
+
+    /// Cached 32-bit load: accounting plus the actual data.
+    pub fn cached_read_u32(&mut self, addr: SimAddr) -> u32 {
+        self.cached_access(addr, 4, AccessKind::Read);
+        self.mem.read_u32(addr)
+    }
+
+    /// Cached 32-bit store.
+    pub fn cached_write_u32(&mut self, addr: SimAddr, value: u32) {
+        self.cached_access(addr, 4, AccessKind::Write);
+        self.mem.write_u32(addr, value);
+    }
+
+    /// Cached `i32` load.
+    pub fn cached_read_i32(&mut self, addr: SimAddr) -> i32 {
+        self.cached_read_u32(addr) as i32
+    }
+
+    /// Cached `i32` store.
+    pub fn cached_write_i32(&mut self, addr: SimAddr, value: i32) {
+        self.cached_write_u32(addr, value as u32);
+    }
+
+    /// Uncached 32-bit store into a DMA staging region (write-combined on
+    /// the real board; bypasses the cache hierarchy).
+    pub fn uncached_write_u32(&mut self, addr: SimAddr, value: u32) {
+        self.counters.uncached_accesses += 1;
+        self.counters.instructions += 1;
+        self.counters.host_cycles += self.cost.uncached_write_cycles;
+        self.mem.write_u32(addr, value);
+    }
+
+    /// Uncached 32-bit load from a DMA staging region.
+    pub fn uncached_read_u32(&mut self, addr: SimAddr) -> u32 {
+        self.counters.uncached_accesses += 1;
+        self.counters.instructions += 1;
+        self.counters.host_cycles += self.cost.uncached_read_cycles;
+        self.mem.read_u32(addr)
+    }
+
+    /// Charges an uncached *chunked* store of `bytes` (one write-combined
+    /// beat), without touching data (the caller moves data separately).
+    pub fn charge_uncached_write_chunk(&mut self, _bytes: u64) {
+        self.counters.uncached_accesses += 1;
+        self.counters.instructions += 1;
+        self.counters.host_cycles += self.cost.uncached_write_cycles;
+    }
+
+    /// Charges an uncached chunked load of `bytes`.
+    pub fn charge_uncached_read_chunk(&mut self, _bytes: u64) {
+        self.counters.uncached_accesses += 1;
+        self.counters.instructions += 1;
+        self.counters.host_cycles += self.cost.uncached_read_cycles;
+    }
+
+    /// Task-clock of everything charged so far, in milliseconds.
+    pub fn task_clock_ms(&self) -> f64 {
+        self.counters.task_clock_ms(self.cost.host_freq_hz, self.cost.device_freq_hz)
+    }
+
+    /// Resets counters and cache state (not memory contents) — the
+    /// per-benchmark-run boundary.
+    pub fn reset_run_state(&mut self) {
+        self.counters = PerfCounters::new();
+        self.cache.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi4mlir_sim::axi::LoopbackAccelerator;
+
+    fn soc() -> Soc {
+        Soc::new(Box::new(LoopbackAccelerator::new()))
+    }
+
+    #[test]
+    fn cached_access_counts_references_and_misses() {
+        let mut s = soc();
+        let a = s.mem.alloc(64, 64);
+        s.cached_access(a, 4, AccessKind::Read);
+        assert_eq!(s.counters.cache_references, 1);
+        assert_eq!(s.counters.l1_misses, 1);
+        s.cached_access(a, 4, AccessKind::Read);
+        assert_eq!(s.counters.cache_references, 2);
+        assert_eq!(s.counters.l1_misses, 1, "second access hits");
+    }
+
+    #[test]
+    fn miss_costs_more_than_hit() {
+        let mut s = soc();
+        let a = s.mem.alloc(64, 64);
+        let c0 = s.counters.host_cycles;
+        s.cached_access(a, 4, AccessKind::Read);
+        let miss_cost = s.counters.host_cycles - c0;
+        let c1 = s.counters.host_cycles;
+        s.cached_access(a, 4, AccessKind::Read);
+        let hit_cost = s.counters.host_cycles - c1;
+        assert!(miss_cost > hit_cost);
+    }
+
+    #[test]
+    fn cached_rw_moves_data() {
+        let mut s = soc();
+        let a = s.mem.alloc(8, 8);
+        s.cached_write_i32(a, -5);
+        assert_eq!(s.cached_read_i32(a), -5);
+    }
+
+    #[test]
+    fn uncached_accesses_do_not_touch_cache_counters() {
+        let mut s = soc();
+        let a = s.mem.alloc(8, 8);
+        s.uncached_write_u32(a, 77);
+        assert_eq!(s.uncached_read_u32(a), 77);
+        assert_eq!(s.counters.cache_references, 0);
+        assert_eq!(s.counters.uncached_accesses, 2);
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let mut s = soc();
+        s.charge_arith(10);
+        s.charge_branch(3);
+        assert_eq!(s.counters.branch_instructions, 3);
+        assert_eq!(s.counters.instructions, 13);
+        assert!(s.counters.host_cycles >= 13);
+        assert!(s.task_clock_ms() > 0.0);
+    }
+
+    #[test]
+    fn reset_run_state_clears_counters_and_cache() {
+        let mut s = soc();
+        let a = s.mem.alloc(64, 64);
+        s.cached_write_i32(a, 9);
+        s.reset_run_state();
+        assert_eq!(s.counters, PerfCounters::new());
+        // Memory survives, cache does not.
+        assert_eq!(s.mem.read_i32(a), 9);
+        s.cached_access(a, 4, AccessKind::Read);
+        assert_eq!(s.counters.l1_misses, 1, "cache was flushed");
+    }
+}

@@ -1,0 +1,37 @@
+//! Simulated SoC substrate for AXI4MLIR.
+//!
+//! The paper evaluates on a PYNQ-Z2 board (Zynq-7000: ARM Cortex-A9 host at
+//! 650 MHz, FPGA fabric at 200 MHz, AXI-Stream DMA between them). This crate
+//! provides the software substitute for that hardware, per the substitution
+//! table in `DESIGN.md` §2:
+//!
+//! - [`mem`]: a byte-addressable simulated main memory with a bump allocator,
+//!   so every buffer has a concrete address the cache model can hash.
+//! - [`cache`]: set-associative, LRU, write-allocate cache hierarchy (L1 +
+//!   unified L2 by default) with deterministic hit/miss accounting.
+//! - [`counters`]: the `perf`-analogue counter set (`task-clock`,
+//!   `cache-references`, `branch-instructions`, …) with documented semantics.
+//! - [`cost`]: the single calibration point — every cycle cost constant used
+//!   anywhere in the workspace lives in [`cost::CostModel`].
+//! - [`axi`]: AXI-Stream word FIFOs and the [`axi::StreamAccelerator`] trait
+//!   implemented by the accelerator models.
+//! - [`dma`]: the DMA engine with memory-mapped staging regions, modelling
+//!   blocking `send`/`recv` transactions and their setup/poll costs.
+//!
+//! Everything is deterministic: running the same workload twice produces
+//! bit-identical counters, which is what lets the test suite assert the
+//! paper's *shapes* (who wins, where crossovers fall).
+
+pub mod axi;
+pub mod cache;
+pub mod cost;
+pub mod counters;
+pub mod dma;
+pub mod mem;
+
+pub use axi::{AxiStreamFifo, StreamAccelerator};
+pub use cache::{AccessKind, CacheConfig, CacheHierarchy};
+pub use cost::CostModel;
+pub use counters::PerfCounters;
+pub use dma::{DmaConfig, DmaEngine, DmaError};
+pub use mem::{ElemType, SimAddr, SimMemory};

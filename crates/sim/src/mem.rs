@@ -1,0 +1,347 @@
+//! Simulated byte-addressable main memory.
+//!
+//! Buffers used by workloads, the DMA staging regions, and MLIR `memref`
+//! allocations all live in one [`SimMemory`] so that the cache model sees a
+//! single, realistic address space. Addresses start at a non-zero base (as on
+//! real hardware, where low memory is reserved) and a bump allocator hands
+//! out aligned regions.
+
+use std::fmt;
+
+/// Base address of the first allocation.
+///
+/// Chosen non-zero so address `0` can serve as a poison value and so that
+/// cache-set indices are exercised realistically.
+pub const BASE_ADDR: u64 = 0x1_0000;
+
+/// A physical address in the simulated memory.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimAddr(pub u64);
+
+impl SimAddr {
+    /// Returns the address offset by `bytes`.
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> SimAddr {
+        SimAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Debug for SimAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::Display for SimAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// Element types supported by the simulated buffers.
+///
+/// The paper's accelerators compute on `int32`; the host-side `linalg`
+/// kernels also exist in `f32` form (Fig. 2 uses f32). Data travels over the
+/// 32-bit AXI stream as raw words either way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ElemType {
+    /// 32-bit signed integer (the accelerator-native type).
+    I32,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit signed integer (host-side index computations).
+    I64,
+    /// 64-bit IEEE float.
+    F64,
+}
+
+impl ElemType {
+    /// Size of one element in bytes.
+    pub fn byte_width(self) -> u64 {
+        match self {
+            ElemType::I32 | ElemType::F32 => 4,
+            ElemType::I64 | ElemType::F64 => 8,
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElemType::I32 => write!(f, "i32"),
+            ElemType::F32 => write!(f, "f32"),
+            ElemType::I64 => write!(f, "i64"),
+            ElemType::F64 => write!(f, "f64"),
+        }
+    }
+}
+
+/// Simulated main memory with a bump allocator.
+///
+/// # Examples
+///
+/// ```
+/// use axi4mlir_sim::mem::SimMemory;
+///
+/// let mut mem = SimMemory::new();
+/// let buf = mem.alloc(64, 16);
+/// mem.write_i32(buf, 42);
+/// assert_eq!(mem.read_i32(buf), 42);
+/// ```
+#[derive(Clone)]
+pub struct SimMemory {
+    data: Vec<u8>,
+    next: u64,
+}
+
+impl fmt::Debug for SimMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimMemory")
+            .field("allocated_bytes", &(self.next - BASE_ADDR))
+            .field("backing_len", &self.data.len())
+            .finish()
+    }
+}
+
+impl SimMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self { data: Vec::new(), next: BASE_ADDR }
+    }
+
+    /// Allocates `bytes` with the given power-of-two `align`ment and returns
+    /// the base address. Memory is zero-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> SimAddr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next + align - 1) & !(align - 1);
+        self.next = base + bytes;
+        let needed = (self.next - BASE_ADDR) as usize;
+        if self.data.len() < needed {
+            self.data.resize(needed, 0);
+        }
+        SimAddr(base)
+    }
+
+    /// Total bytes allocated so far.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next - BASE_ADDR
+    }
+
+    fn index(&self, addr: SimAddr, len: u64) -> usize {
+        let off = addr.0.checked_sub(BASE_ADDR).expect("address below base");
+        let end = (off + len) as usize;
+        assert!(end <= self.data.len(), "out-of-bounds access at {addr} len {len}");
+        off as usize
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: SimAddr, len: u64) -> &[u8] {
+        let i = self.index(addr, len);
+        &self.data[i..i + len as usize]
+    }
+
+    /// Writes `bytes` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: SimAddr, bytes: &[u8]) {
+        let i = self.index(addr, bytes.len() as u64);
+        self.data[i..i + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: SimAddr) -> u32 {
+        u32::from_le_bytes(self.read_bytes(addr, 4).try_into().expect("4 bytes"))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: SimAddr, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads an `i32`.
+    pub fn read_i32(&self, addr: SimAddr) -> i32 {
+        self.read_u32(addr) as i32
+    }
+
+    /// Writes an `i32`.
+    pub fn write_i32(&mut self, addr: SimAddr, value: i32) {
+        self.write_u32(addr, value as u32);
+    }
+
+    /// Reads an `f32` (bit-cast from the stored word).
+    pub fn read_f32(&self, addr: SimAddr) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an `f32` as its bit pattern.
+    pub fn write_f32(&mut self, addr: SimAddr, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: SimAddr) -> u64 {
+        u64::from_le_bytes(self.read_bytes(addr, 8).try_into().expect("8 bytes"))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: SimAddr, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads an `i64`.
+    pub fn read_i64(&self, addr: SimAddr) -> i64 {
+        self.read_u64(addr) as i64
+    }
+
+    /// Writes an `i64`.
+    pub fn write_i64(&mut self, addr: SimAddr, value: i64) {
+        self.write_u64(addr, value as u64);
+    }
+
+    /// Reads an `f64`.
+    pub fn read_f64(&self, addr: SimAddr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64`.
+    pub fn write_f64(&mut self, addr: SimAddr, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Copies `len` bytes from `src` to `dst` within the simulated memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges overlap or are out of bounds.
+    pub fn copy(&mut self, dst: SimAddr, src: SimAddr, len: u64) {
+        let si = self.index(src, len);
+        let di = self.index(dst, len);
+        assert!(
+            si + len as usize <= di || di + len as usize <= si || len == 0,
+            "overlapping copy is not supported"
+        );
+        let (s, d, l) = (si, di, len as usize);
+        // Split borrows via copy_within-compatible approach.
+        let tmp: Vec<u8> = self.data[s..s + l].to_vec();
+        self.data[d..d + l].copy_from_slice(&tmp);
+    }
+
+    /// Convenience: allocates a buffer of `n` elements of `elem` type.
+    pub fn alloc_elems(&mut self, n: u64, elem: ElemType) -> SimAddr {
+        self.alloc(n * elem.byte_width(), 64)
+    }
+
+    /// Fills an i32 buffer from a slice.
+    pub fn store_i32_slice(&mut self, base: SimAddr, values: &[i32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_i32(base.offset(4 * i as u64), *v);
+        }
+    }
+
+    /// Reads an i32 buffer into a vector.
+    pub fn load_i32_slice(&self, base: SimAddr, n: usize) -> Vec<i32> {
+        (0..n).map(|i| self.read_i32(base.offset(4 * i as u64))).collect()
+    }
+
+    /// Fills an f32 buffer from a slice.
+    pub fn store_f32_slice(&mut self, base: SimAddr, values: &[f32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_f32(base.offset(4 * i as u64), *v);
+        }
+    }
+
+    /// Reads an f32 buffer into a vector.
+    pub fn load_f32_slice(&self, base: SimAddr, n: usize) -> Vec<f32> {
+        (0..n).map(|i| self.read_f32(base.offset(4 * i as u64))).collect()
+    }
+}
+
+impl Default for SimMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut mem = SimMemory::new();
+        let a = mem.alloc(3, 1);
+        let b = mem.alloc(8, 64);
+        assert_eq!(b.0 % 64, 0);
+        assert!(b.0 >= a.0 + 3);
+    }
+
+    #[test]
+    fn alloc_zero_initializes() {
+        let mut mem = SimMemory::new();
+        let a = mem.alloc(16, 4);
+        assert_eq!(mem.read_u32(a), 0);
+        assert_eq!(mem.read_u32(a.offset(12)), 0);
+    }
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut mem = SimMemory::new();
+        let a = mem.alloc(32, 8);
+        mem.write_i32(a, -7);
+        mem.write_f32(a.offset(4), 2.5);
+        mem.write_i64(a.offset(8), -1);
+        mem.write_f64(a.offset(16), 1e300);
+        assert_eq!(mem.read_i32(a), -7);
+        assert_eq!(mem.read_f32(a.offset(4)), 2.5);
+        assert_eq!(mem.read_i64(a.offset(8)), -1);
+        assert_eq!(mem.read_f64(a.offset(16)), 1e300);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let mut mem = SimMemory::new();
+        let a = mem.alloc_elems(5, ElemType::I32);
+        mem.store_i32_slice(a, &[1, 2, 3, 4, 5]);
+        assert_eq!(mem.load_i32_slice(a, 5), vec![1, 2, 3, 4, 5]);
+        let b = mem.alloc_elems(3, ElemType::F32);
+        mem.store_f32_slice(b, &[0.5, -1.0, 3.25]);
+        assert_eq!(mem.load_f32_slice(b, 3), vec![0.5, -1.0, 3.25]);
+    }
+
+    #[test]
+    fn copy_moves_bytes() {
+        let mut mem = SimMemory::new();
+        let a = mem.alloc(16, 4);
+        let b = mem.alloc(16, 4);
+        mem.store_i32_slice(a, &[10, 20, 30, 40]);
+        mem.copy(b, a, 16);
+        assert_eq!(mem.load_i32_slice(b, 4), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-bounds")]
+    fn out_of_bounds_read_panics() {
+        let mut mem = SimMemory::new();
+        let a = mem.alloc(4, 4);
+        let _ = mem.read_u64(a);
+    }
+
+    #[test]
+    fn elem_widths() {
+        assert_eq!(ElemType::I32.byte_width(), 4);
+        assert_eq!(ElemType::F32.byte_width(), 4);
+        assert_eq!(ElemType::I64.byte_width(), 8);
+        assert_eq!(ElemType::F64.byte_width(), 8);
+        assert_eq!(ElemType::I32.to_string(), "i32");
+    }
+
+    #[test]
+    fn addresses_start_at_base() {
+        let mut mem = SimMemory::new();
+        let a = mem.alloc(4, 4);
+        assert!(a.0 >= BASE_ADDR);
+        assert_eq!(format!("{a}"), format!("0x{:x}", a.0));
+    }
+}

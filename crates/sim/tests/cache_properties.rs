@@ -1,0 +1,113 @@
+//! Property-based tests of the cache hierarchy: the invariants every
+//! experiment's counters rest on.
+
+use proptest::prelude::*;
+
+use axi4mlir_sim::cache::{AccessKind, CacheConfig, CacheHierarchy};
+
+fn small_hierarchy() -> CacheHierarchy {
+    // 2 KiB L1 (32B lines, 4-way), 16 KiB L2 — small enough for proptest to
+    // exercise evictions.
+    CacheHierarchy::new(&[CacheConfig::new(2048, 32, 4), CacheConfig::new(16 * 1024, 32, 8)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Immediately re-accessing any address hits L1.
+    #[test]
+    fn repeat_access_hits(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = small_hierarchy();
+        for addr in &addrs {
+            h.access(*addr, 4, AccessKind::Read);
+            let again = h.access(*addr, 4, AccessKind::Read);
+            prop_assert_eq!(again.l1_misses, 0, "address {} must be resident", addr);
+        }
+    }
+
+    /// A working set that fits in L1 becomes fully resident after one pass.
+    #[test]
+    fn small_working_set_stays_resident(base in 0u64..1_000_000) {
+        let mut h = small_hierarchy();
+        let lines = 16u64; // 512 B out of 2 KiB: comfortably resident
+        for pass in 0..3 {
+            for i in 0..lines {
+                let o = h.access(base + i * 32, 4, AccessKind::Read);
+                if pass > 0 {
+                    prop_assert_eq!(o.l1_misses, 0, "pass {} line {}", pass, i);
+                }
+            }
+        }
+    }
+
+    /// The hierarchy is deterministic: the same trace gives the same stats.
+    #[test]
+    fn traces_are_deterministic(addrs in proptest::collection::vec(0u64..100_000, 1..300)) {
+        let run = |addrs: &[u64]| {
+            let mut h = small_hierarchy();
+            for a in addrs {
+                h.access(*a, 4, AccessKind::Read);
+            }
+            (h.l1_stats(), h.l2_stats())
+        };
+        prop_assert_eq!(run(&addrs), run(&addrs));
+    }
+
+    /// Misses never exceed accesses, and L2 sees exactly the L1 misses.
+    #[test]
+    fn miss_accounting_is_consistent(addrs in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = small_hierarchy();
+        for a in &addrs {
+            h.access(*a, 4, AccessKind::Write);
+        }
+        let l1 = h.l1_stats();
+        let l2 = h.l2_stats();
+        prop_assert_eq!(l1.hits + l1.misses, l1.accesses);
+        prop_assert_eq!(l2.accesses, l1.misses, "L2 lookups = L1 misses");
+        prop_assert!(l2.misses <= l2.accesses);
+    }
+
+    /// Streaming a larger working set can never produce fewer L1 misses
+    /// than a prefix of it (monotonicity under extension of the trace).
+    #[test]
+    fn misses_monotone_in_trace_length(addrs in proptest::collection::vec(0u64..1_000_000, 2..300)) {
+        let mut h1 = small_hierarchy();
+        let cut = addrs.len() / 2;
+        for a in &addrs[..cut] {
+            h1.access(*a, 4, AccessKind::Read);
+        }
+        let prefix_misses = h1.l1_stats().misses;
+        let mut h2 = small_hierarchy();
+        for a in &addrs {
+            h2.access(*a, 4, AccessKind::Read);
+        }
+        prop_assert!(h2.l1_stats().misses >= prefix_misses);
+    }
+
+    /// Unaligned multi-byte accesses touch the right number of lines.
+    #[test]
+    fn span_lookup_counts(addr in 0u64..100_000, bytes in 1u64..96) {
+        let mut h = small_hierarchy();
+        let o = h.access(addr, bytes, AccessKind::Read);
+        let first = addr / 32;
+        let last = (addr + bytes - 1) / 32;
+        prop_assert_eq!(o.l1_lookups, last - first + 1);
+    }
+}
+
+/// Thrashing beyond associativity: cycling through `ways + 1` lines of one
+/// set misses every time with true LRU.
+#[test]
+fn lru_thrash_pattern_always_misses() {
+    let cfg = CacheConfig::new(128, 32, 2); // 2 sets, 2 ways
+    let mut h = CacheHierarchy::new(&[cfg]);
+    let set_stride = 64; // lines mapping to the same set
+    let lines = [0u64, set_stride, 2 * set_stride];
+    // Warm: all miss. Then each subsequent access still misses (LRU cycle).
+    for round in 0..4 {
+        for l in lines {
+            let o = h.access(l, 4, AccessKind::Read);
+            assert_eq!(o.l1_misses, 1, "round {round} line {l}");
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Typed entity identifiers and dense arenas.
+//!
+//! Compilers allocate many small objects (operations, blocks, values) that
+//! reference each other. Using raw references in Rust leads to borrow-checker
+//! contortions, so — like cranelift and rustc — we store entities in dense
+//! arenas ([`PrimaryMap`]) and refer to them with small, copyable, *typed*
+//! indices created by the [`entity_id!`](crate::entity_id) macro.
+
+use std::fmt;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// A typed index into a [`PrimaryMap`].
+///
+/// Implementors are tiny wrappers around `u32` produced by the
+/// [`entity_id!`](crate::entity_id) macro. The trait is object-unsafe on
+/// purpose; identifiers are always used as concrete types.
+pub trait EntityId: Copy + Eq + Hash + fmt::Debug {
+    /// Creates an identifier from a raw index.
+    fn from_index(index: usize) -> Self;
+    /// Returns the raw index.
+    fn index(self) -> usize;
+}
+
+/// Declares a new entity identifier type.
+///
+/// The second argument is a short prefix used by the `Debug`/`Display`
+/// impls, so `entity_id!(pub struct OpId, "op")` renders as `op12`.
+///
+/// # Examples
+///
+/// ```
+/// use axi4mlir_support::entity_id;
+/// use axi4mlir_support::entity::EntityId;
+///
+/// entity_id!(pub struct ThingId, "thing");
+/// let id = ThingId::from_index(3);
+/// assert_eq!(format!("{id}"), "thing3");
+/// ```
+#[macro_export]
+macro_rules! entity_id {
+    ($vis:vis struct $name:ident, $prefix:expr) => {
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        $vis struct $name(u32);
+
+        impl $crate::entity::EntityId for $name {
+            fn from_index(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize, "entity index overflow");
+                Self(index as u32)
+            }
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl ::std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+/// A dense map that owns its values and mints identifiers on insertion.
+///
+/// Unlike a `HashMap`, a `PrimaryMap` never removes entries; compilers
+/// instead mark entities dead and rebuild. This keeps identifiers stable and
+/// lookups branch-free.
+///
+/// # Examples
+///
+/// ```
+/// use axi4mlir_support::entity::PrimaryMap;
+/// use axi4mlir_support::entity_id;
+///
+/// entity_id!(struct K, "k");
+/// let mut m: PrimaryMap<K, i32> = PrimaryMap::new();
+/// let k0 = m.push(10);
+/// let k1 = m.push(20);
+/// assert_eq!(m[k0] + m[k1], 30);
+/// assert_eq!(m.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct PrimaryMap<K: EntityId, V> {
+    values: Vec<V>,
+    _marker: PhantomData<K>,
+}
+
+impl<K: EntityId, V> PrimaryMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self { values: Vec::new(), _marker: PhantomData }
+    }
+
+    /// Creates an empty map with space for `capacity` entities.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { values: Vec::with_capacity(capacity), _marker: PhantomData }
+    }
+
+    /// Inserts a value and returns its freshly minted identifier.
+    pub fn push(&mut self, value: V) -> K {
+        let key = K::from_index(self.values.len());
+        self.values.push(value);
+        key
+    }
+
+    /// Returns the identifier the *next* `push` will produce.
+    pub fn next_key(&self) -> K {
+        K::from_index(self.values.len())
+    }
+
+    /// Returns the number of entities.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no entities have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns a reference to the value for `key`, if in range.
+    pub fn get(&self, key: K) -> Option<&V> {
+        self.values.get(key.index())
+    }
+
+    /// Returns a mutable reference to the value for `key`, if in range.
+    pub fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        self.values.get_mut(key.index())
+    }
+
+    /// Returns `true` if `key` indexes a live entity.
+    pub fn contains_key(&self, key: K) -> bool {
+        key.index() < self.values.len()
+    }
+
+    /// Iterates over `(key, &value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
+        self.values.iter().enumerate().map(|(i, v)| (K::from_index(i), v))
+    }
+
+    /// Iterates over `(key, &mut value)` pairs in insertion order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (K, &mut V)> {
+        self.values.iter_mut().enumerate().map(|(i, v)| (K::from_index(i), v))
+    }
+
+    /// Iterates over all identifiers.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        (0..self.values.len()).map(K::from_index)
+    }
+
+    /// Iterates over all values.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.values.iter()
+    }
+}
+
+impl<K: EntityId, V> Default for PrimaryMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: EntityId, V> std::ops::Index<K> for PrimaryMap<K, V> {
+    type Output = V;
+    fn index(&self, key: K) -> &V {
+        &self.values[key.index()]
+    }
+}
+
+impl<K: EntityId, V> std::ops::IndexMut<K> for PrimaryMap<K, V> {
+    fn index_mut(&mut self, key: K) -> &mut V {
+        &mut self.values[key.index()]
+    }
+}
+
+impl<K: EntityId, V: fmt::Debug> fmt::Debug for PrimaryMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter().map(|(k, v)| (format!("{k:?}"), v))).finish()
+    }
+}
+
+impl<K: EntityId, V> FromIterator<V> for PrimaryMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Self { values: iter.into_iter().collect(), _marker: PhantomData }
+    }
+}
+
+impl<K: EntityId, V> Extend<V> for PrimaryMap<K, V> {
+    fn extend<I: IntoIterator<Item = V>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+/// A secondary map associating additional data with existing entities.
+///
+/// Values are default-initialized on first access, mirroring cranelift's
+/// `SecondaryMap`.
+///
+/// # Examples
+///
+/// ```
+/// use axi4mlir_support::entity::{PrimaryMap, SecondaryMap};
+/// use axi4mlir_support::entity_id;
+///
+/// entity_id!(struct K, "k");
+/// let mut prim: PrimaryMap<K, &str> = PrimaryMap::new();
+/// let k = prim.push("x");
+/// let mut extra: SecondaryMap<K, u32> = SecondaryMap::new();
+/// extra[k] = 7;
+/// assert_eq!(extra[k], 7);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SecondaryMap<K: EntityId, V: Clone + Default> {
+    values: Vec<V>,
+    _marker: PhantomData<K>,
+}
+
+impl<K: EntityId, V: Clone + Default> SecondaryMap<K, V> {
+    /// Creates an empty secondary map.
+    pub fn new() -> Self {
+        Self { values: Vec::new(), _marker: PhantomData }
+    }
+
+    fn ensure(&mut self, index: usize) {
+        if index >= self.values.len() {
+            self.values.resize(index + 1, V::default());
+        }
+    }
+
+    /// Returns the value for `key`, or the default if never written.
+    pub fn get(&self, key: K) -> Option<&V> {
+        self.values.get(key.index())
+    }
+}
+
+impl<K: EntityId, V: Clone + Default> Default for SecondaryMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: EntityId, V: Clone + Default> std::ops::Index<K> for SecondaryMap<K, V> {
+    type Output = V;
+    fn index(&self, key: K) -> &V {
+        &self.values[key.index()]
+    }
+}
+
+impl<K: EntityId, V: Clone + Default> std::ops::IndexMut<K> for SecondaryMap<K, V> {
+    fn index_mut(&mut self, key: K) -> &mut V {
+        self.ensure(key.index());
+        &mut self.values[key.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    entity_id!(struct TestId, "t");
+
+    #[test]
+    fn push_and_index() {
+        let mut m: PrimaryMap<TestId, String> = PrimaryMap::new();
+        let a = m.push("a".to_owned());
+        let b = m.push("b".to_owned());
+        assert_ne!(a, b);
+        assert_eq!(m[a], "a");
+        assert_eq!(m[b], "b");
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn next_key_predicts_push() {
+        let mut m: PrimaryMap<TestId, u8> = PrimaryMap::new();
+        let predicted = m.next_key();
+        let actual = m.push(0);
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let m: PrimaryMap<TestId, u8> = PrimaryMap::new();
+        assert!(m.get(TestId::from_index(0)).is_none());
+        assert!(!m.contains_key(TestId::from_index(0)));
+    }
+
+    #[test]
+    fn iter_in_insertion_order() {
+        let mut m: PrimaryMap<TestId, u32> = PrimaryMap::new();
+        for i in 0..10 {
+            m.push(i * 2);
+        }
+        let collected: Vec<u32> = m.iter().map(|(_, v)| *v).collect();
+        assert_eq!(collected, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+        let keys: Vec<usize> = m.keys().map(|k| k.index()).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        let id = TestId::from_index(42);
+        assert_eq!(format!("{id}"), "t42");
+        assert_eq!(format!("{id:?}"), "t42");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut m: PrimaryMap<TestId, i32> = (0..3).collect();
+        assert_eq!(m.len(), 3);
+        m.extend(3..5);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m[TestId::from_index(4)], 4);
+    }
+
+    #[test]
+    fn secondary_map_defaults() {
+        let mut prim: PrimaryMap<TestId, ()> = PrimaryMap::new();
+        let k0 = prim.push(());
+        let k1 = prim.push(());
+        let mut sec: SecondaryMap<TestId, u32> = SecondaryMap::new();
+        sec[k1] = 9;
+        assert_eq!(sec[k1], 9);
+        // k0 was never written: reading through `get` gives the resized default.
+        assert_eq!(sec.get(k0), Some(&0));
+    }
+
+    #[test]
+    fn iter_mut_updates_values() {
+        let mut m: PrimaryMap<TestId, u32> = (0..4).collect();
+        for (_, v) in m.iter_mut() {
+            *v += 1;
+        }
+        assert_eq!(m.values().copied().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared infrastructure for the AXI4MLIR workspace.
+//!
+//! This crate provides the small, dependency-free building blocks used by
+//! every other crate in the workspace:
+//!
+//! - [`entity`]: typed entity identifiers and dense [`entity::PrimaryMap`]
+//!   arenas, in the style used by production compilers (cranelift's
+//!   `entity`, rustc's `IndexVec`).
+//! - [`diag`]: structured diagnostics ([`diag::Diagnostic`]) with source
+//!   locations, severities, and a collecting [`diag::DiagnosticEngine`].
+//! - [`fmtutil`]: plain-text table rendering used by the experiment harness
+//!   to print paper-style rows.
+//!
+//! # Examples
+//!
+//! ```
+//! use axi4mlir_support::entity::PrimaryMap;
+//! use axi4mlir_support::entity_id;
+//!
+//! entity_id!(pub struct NodeId, "node");
+//! let mut nodes: PrimaryMap<NodeId, &str> = PrimaryMap::new();
+//! let a = nodes.push("a");
+//! assert_eq!(nodes[a], "a");
+//! ```
+
+pub mod diag;
+pub mod entity;
+pub mod fmtutil;
+
+pub use diag::{Diagnostic, DiagnosticEngine, Severity};
+pub use entity::{EntityId, PrimaryMap};

@@ -1,0 +1,16 @@
+//! Workload definitions for the AXI4MLIR experiments.
+//!
+//! - [`matmul`]: MatMul problem descriptions and the seeded data generators
+//!   every experiment uses (deterministic across runs).
+//! - [`resnet`]: the eleven ResNet18 convolution layer shapes of Fig. 16.
+//! - [`tinybert`]: the TinyBERT-4 MatMul inventory of the end-to-end
+//!   experiment (Fig. 17), with dimensions padded to the accelerator's
+//!   divisibility constraint as a real deployment would.
+
+pub mod matmul;
+pub mod resnet;
+pub mod tinybert;
+
+pub use matmul::MatMulProblem;
+pub use resnet::{resnet18_layers, ConvLayer};
+pub use tinybert::{tinybert_matmuls, TinyBertMatMul};

@@ -1,0 +1,106 @@
+//! MatMul problems and deterministic data generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A MatMul problem `C(M,N) += A(M,K) x B(K,N)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MatMulProblem {
+    /// Rows of A and C.
+    pub m: i64,
+    /// Columns of B and C.
+    pub n: i64,
+    /// Contraction dimension.
+    pub k: i64,
+}
+
+impl MatMulProblem {
+    /// A problem with the given dimensions.
+    pub fn new(m: i64, n: i64, k: i64) -> Self {
+        Self { m, n, k }
+    }
+
+    /// The `dims == M == N == K` problems of Figs. 10–13.
+    pub fn square(dims: i64) -> Self {
+        Self { m: dims, n: dims, k: dims }
+    }
+
+    /// Multiply-accumulate count.
+    pub fn macs(&self) -> u64 {
+        (self.m * self.n * self.k) as u64
+    }
+
+    /// The figure label `M_N_K`.
+    pub fn label(&self) -> String {
+        format!("{}_{}_{}", self.m, self.n, self.k)
+    }
+
+    /// All six permutations of `(a, b, c)` as problems — the Fig. 14 sweep
+    /// over permutations of `[32, 256, 512]`.
+    pub fn permutations_of(a: i64, b: i64, c: i64) -> Vec<MatMulProblem> {
+        vec![
+            MatMulProblem::new(a, b, c),
+            MatMulProblem::new(a, c, b),
+            MatMulProblem::new(b, a, c),
+            MatMulProblem::new(b, c, a),
+            MatMulProblem::new(c, a, b),
+            MatMulProblem::new(c, b, a),
+        ]
+    }
+
+    /// Deterministic input data for this problem: `(A, B)` with small
+    /// values (so `i32` accumulation cannot overflow for the sizes used in
+    /// the experiments).
+    pub fn generate_inputs(&self, seed: u64) -> (Vec<i32>, Vec<i32>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ self.macs());
+        let a = (0..self.m * self.k).map(|_| rng.gen_range(-8..=8)).collect();
+        let b = (0..self.k * self.n).map(|_| rng.gen_range(-8..=8)).collect();
+        (a, b)
+    }
+}
+
+impl std::fmt::Display for MatMulProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_and_macs() {
+        let p = MatMulProblem::square(64);
+        assert_eq!((p.m, p.n, p.k), (64, 64, 64));
+        assert_eq!(p.macs(), 64 * 64 * 64);
+        assert_eq!(p.label(), "64_64_64");
+        assert_eq!(p.to_string(), "64x64x64");
+    }
+
+    #[test]
+    fn permutations_cover_all_six() {
+        let perms = MatMulProblem::permutations_of(32, 256, 512);
+        assert_eq!(perms.len(), 6);
+        let unique: std::collections::BTreeSet<String> =
+            perms.iter().map(MatMulProblem::label).collect();
+        assert_eq!(unique.len(), 6);
+        for p in &perms {
+            assert_eq!(p.macs(), 32 * 256 * 512);
+        }
+    }
+
+    #[test]
+    fn data_is_deterministic_and_bounded() {
+        let p = MatMulProblem::square(8);
+        let (a1, b1) = p.generate_inputs(42);
+        let (a2, b2) = p.generate_inputs(42);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        let (a3, _) = p.generate_inputs(43);
+        assert_ne!(a1, a3, "different seeds give different data");
+        assert!(a1.iter().all(|v| (-8..=8).contains(v)));
+        assert_eq!(a1.len(), 64);
+        assert_eq!(b1.len(), 64);
+    }
+}

@@ -1,0 +1,126 @@
+//! The ResNet18 convolution layers of Fig. 16.
+//!
+//! The paper labels each layer `iHW_iC_fHW_oC_stride`; the eleven distinct
+//! shapes below are read straight off the figure's x-axis.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One convolution layer (square spatial dims, NCHW/FCHW, no padding —
+/// input sizes in the figure are pre-padded, e.g. `230 = 224 + 2*3`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConvLayer {
+    /// Input height/width.
+    pub in_hw: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Filter height/width.
+    pub filter_hw: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Spatial stride.
+    pub stride: usize,
+}
+
+impl ConvLayer {
+    /// Output height/width.
+    pub fn out_hw(&self) -> usize {
+        (self.in_hw - self.filter_hw) / self.stride + 1
+    }
+
+    /// The figure label `iHW_iC_fHW_oC_stride`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}_{}_{}_{}_{}",
+            self.in_hw, self.in_channels, self.filter_hw, self.out_channels, self.stride
+        )
+    }
+
+    /// Multiply-accumulates for a batch-1 forward pass.
+    pub fn macs(&self) -> u64 {
+        (self.out_channels * self.out_hw() * self.out_hw() * self.in_channels * self.filter_hw * self.filter_hw)
+            as u64
+    }
+
+    /// Deterministic input and filter data.
+    pub fn generate_inputs(&self, seed: u64) -> (Vec<i32>, Vec<i32>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ self.macs());
+        let input = (0..self.in_channels * self.in_hw * self.in_hw)
+            .map(|_| rng.gen_range(-4..=4))
+            .collect();
+        let filter = (0..self.out_channels * self.in_channels * self.filter_hw * self.filter_hw)
+            .map(|_| rng.gen_range(-4..=4))
+            .collect();
+        (input, filter)
+    }
+}
+
+impl std::fmt::Display for ConvLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The eleven ResNet18 convolution layers of Fig. 16, in the figure's
+/// (lexicographic) order.
+pub fn resnet18_layers() -> Vec<ConvLayer> {
+    let raw: [(usize, usize, usize, usize, usize); 11] = [
+        (14, 256, 1, 512, 2),
+        (16, 256, 3, 256, 1),
+        (16, 256, 3, 512, 2),
+        (230, 3, 7, 64, 2),
+        (28, 128, 1, 256, 2),
+        (30, 128, 3, 128, 1),
+        (30, 128, 3, 256, 2),
+        (56, 64, 1, 128, 2),
+        (58, 64, 3, 128, 2),
+        (58, 64, 3, 64, 1),
+        (9, 512, 3, 512, 1),
+    ];
+    raw.into_iter()
+        .map(|(in_hw, in_channels, filter_hw, out_channels, stride)| ConvLayer {
+            in_hw,
+            in_channels,
+            filter_hw,
+            out_channels,
+            stride,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_layers_with_figure_labels() {
+        let layers = resnet18_layers();
+        assert_eq!(layers.len(), 11);
+        let labels: Vec<String> = layers.iter().map(ConvLayer::label).collect();
+        assert!(labels.contains(&"230_3_7_64_2".to_owned()));
+        assert!(labels.contains(&"56_64_1_128_2".to_owned()), "the Fig. 16 slowdown layer");
+        assert!(labels.contains(&"9_512_3_512_1".to_owned()));
+    }
+
+    #[test]
+    fn output_shapes_are_sane() {
+        // First layer: 230x230 input, 7x7 filter, stride 2 -> 112x112.
+        let first = resnet18_layers().into_iter().find(|l| l.in_hw == 230).unwrap();
+        assert_eq!(first.out_hw(), 112);
+        // 9x9 input, 3x3 filter, stride 1 -> 7x7.
+        let last = resnet18_layers().into_iter().find(|l| l.in_hw == 9).unwrap();
+        assert_eq!(last.out_hw(), 7);
+    }
+
+    #[test]
+    fn macs_positive_and_data_deterministic() {
+        for layer in resnet18_layers() {
+            assert!(layer.macs() > 0, "{layer}");
+            let (i1, f1) = layer.generate_inputs(7);
+            let (i2, f2) = layer.generate_inputs(7);
+            assert_eq!(i1, i2);
+            assert_eq!(f1, f2);
+            assert_eq!(i1.len(), layer.in_channels * layer.in_hw * layer.in_hw);
+        }
+    }
+}

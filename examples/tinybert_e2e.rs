@@ -1,0 +1,23 @@
+//! End-to-end TinyBERT co-execution (the Fig. 17 scenario, reduced): the
+//! model's MatMuls run on a v4_16 accelerator while everything else stays
+//! on the CPU.
+//!
+//! Run with: `cargo run --release --example tinybert_e2e [--full]`
+//! (`--full` runs the paper's complete padded TinyBERT inventory; expect a
+//! few minutes.)
+
+use axi4mlir_bench::{fig17, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
+    let bars = fig17::bars(scale);
+    println!("TinyBERT co-execution (batch 2){}:\n", if scale == Scale::Quick { " — reduced inventory" } else { "" });
+    println!("{}", fig17::render(&bars).render());
+    let cpu = &bars[0];
+    let best = &bars[2];
+    println!(
+        "MatMuls were {:.0}% of the CPU-only runtime; offloading them yields {:.2}x end-to-end.",
+        100.0 * cpu.matmul_ms / cpu.e2e_ms(),
+        cpu.e2e_ms() / best.e2e_ms()
+    );
+}

@@ -1,0 +1,9 @@
+//! Convenient re-exports of the most frequently used types.
+
+pub use axi4mlir_config::{AcceleratorConfig, AcceleratorPreset, CpuSpec, FlowStrategy, SystemConfig};
+pub use axi4mlir_core::options::{CacheTiling, PipelineOptions};
+pub use axi4mlir_core::pipeline::{
+    run_cpu_matmul, CompileAndRun, ConvCompileAndRun, RunReport,
+};
+pub use axi4mlir_workloads::matmul::MatMulProblem;
+pub use axi4mlir_workloads::resnet::{resnet18_layers, ConvLayer};

@@ -1,0 +1,128 @@
+//! Failure-injection tests: the toolchain must reject broken
+//! configurations and driver-generation bugs *loudly*, because on real
+//! hardware they hang the board.
+
+use axi4mlir::accelerators::isa;
+use axi4mlir::accelerators::matmul::{MatMulAccel, MatMulVersion};
+use axi4mlir::ir::attrs::OpcodeMap;
+use axi4mlir::prelude::*;
+use axi4mlir::runtime::dma_lib;
+use axi4mlir::runtime::Soc;
+use axi4mlir::sim::axi::StreamAccelerator;
+
+/// An A-stationary flow with a permutation that does not legalize it must
+/// be rejected at compile time, not hang at runtime.
+#[test]
+fn illegal_stationarity_rejected_at_compile_time() {
+    let mut config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 4 });
+    // Force the As flow but sabotage the permutation by selecting As while
+    // the annotate pass is given the identity permutation.
+    config = config.with_selected_flow("As");
+    use axi4mlir::compiler::annotate::MatchAndAnnotatePass;
+    use axi4mlir::compiler::codegen::GenerateAccelDriverPass;
+    use axi4mlir::compiler::pipeline::build_matmul_module;
+    use axi4mlir::ir::pass::PassManager;
+    let mut module = build_matmul_module(MatMulProblem::square(8));
+    let mut pm = PassManager::new();
+    pm.add(Box::new(MatchAndAnnotatePass::new(
+        config,
+        vec!["m".to_owned(), "n".to_owned(), "k".to_owned()], // identity: illegal for As
+        None,
+    )));
+    pm.add(Box::new(GenerateAccelDriverPass::default()));
+    let err = pm.run(&mut module).unwrap_err();
+    assert!(err.message.contains("does not legalize"), "{}", err.message);
+}
+
+/// Tiles that do not divide the problem are a compile-time error.
+#[test]
+fn non_dividing_tiles_rejected() {
+    let config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 8 });
+    let err = CompileAndRun::new(config, MatMulProblem::square(20)).execute().unwrap_err();
+    assert!(err.message.contains("must divide"), "{}", err.message);
+}
+
+/// A flow referencing an opcode the accelerator does not define fails
+/// configuration validation.
+#[test]
+fn undefined_opcode_in_flow_rejected() {
+    let mut config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 4 });
+    config.opcode_map = OpcodeMap::parse(
+        "opcode_map<sA = [send_literal(0x22), send(0)], sB = [send_literal(0x23), send(1)], \
+         rC = [send_literal(0x24), recv(2)], reset = [send_literal(0xFF)]>",
+    )
+    .unwrap(); // note: no `cC`
+    let err = CompileAndRun::new(config, MatMulProblem::square(8)).execute().unwrap_err();
+    assert!(err.message.contains("undefined opcode `cC`"), "{}", err.message);
+}
+
+/// Driving an accelerator with an opcode its version does not implement is
+/// detected by the device model (protocol error), which the pipeline turns
+/// into a hard failure.
+#[test]
+fn wrong_isa_surfaces_as_protocol_error() {
+    // Build a v1 device but hand the pipeline a v3-style configuration by
+    // lying about the name.
+    let mut config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 4 });
+    config.name = "v1_4".to_owned(); // instantiates a v1 model
+    let err = CompileAndRun::new(config, MatMulProblem::square(8)).execute().unwrap_err();
+    assert!(
+        err.message.contains("protocol errors") || err.message.contains("beats"),
+        "{}",
+        err.message
+    );
+}
+
+/// Underflowing the output stream (asking for results before any compute)
+/// is the simulated bus hang and must be reported.
+#[test]
+fn recv_underflow_is_a_hard_error() {
+    let mut soc = Soc::new(Box::new(MatMulAccel::new(MatMulVersion::V3, 4)));
+    dma_lib::dma_init(&mut soc, 0, 1024, 1024);
+    let err = dma_lib::dma_start_recv(&mut soc, 64, 0).unwrap_err();
+    assert!(err.to_string().contains("hang"), "{err}");
+}
+
+/// Oversized v4 tile configurations are protocol errors on the device.
+#[test]
+fn v4_capacity_violation_detected() {
+    let mut accel = MatMulAccel::new(MatMulVersion::V4, 16);
+    let mut counters = axi4mlir::sim::counters::PerfCounters::new();
+    for w in [isa::OP_CFG_DIMS, 256, 256, 256] {
+        accel.consume_word(w, &mut counters);
+    }
+    assert_eq!(accel.protocol_errors(), 1);
+}
+
+/// The staging buffer size from the configuration is enforced: a tile
+/// bigger than the DMA region cannot be staged.
+#[test]
+fn staging_region_overflow_rejected() {
+    let mut config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 8 });
+    config.dma.input_buffer_size = 64; // 16 words: an 8x8 tile cannot fit
+    let err = CompileAndRun::new(config, MatMulProblem::square(8)).execute().unwrap_err();
+    assert!(err.message.contains("exceeds staging region") || err.message.contains("out-of-bounds"),
+        "{}", err.message);
+}
+
+/// Malformed JSON configuration errors carry actionable messages.
+#[test]
+fn json_errors_are_actionable() {
+    let missing_kernel = r#"{
+      "cpu": { "cache-levels": [32768] },
+      "accelerators": [{
+        "name": "x",
+        "dma_config": { "id": 0, "inputAddress": 0, "inputBufferSize": 64,
+                        "outputAddress": 64, "outputBufferSize": 64 },
+        "kernel": "linalg.fill",
+        "accel_size": [4, 4, 4],
+        "dims": ["m", "n", "k"],
+        "data": { "A": ["m", "k"], "B": ["k", "n"], "C": ["m", "n"] },
+        "opcode_map": "opcode_map<a = [send(0)]>",
+        "opcode_flow_map": { "f": "(a)" },
+        "selected_flow": "f"
+      }]
+    }"#;
+    let err = SystemConfig::from_json(missing_kernel).unwrap_err();
+    assert!(err.message.contains("unsupported kernel"), "{}", err.message);
+}

@@ -1,0 +1,251 @@
+//! Cross-crate integration tests: the full configuration matrix, end to
+//! end — compile, execute on the simulated SoC, verify numerics, and check
+//! that the simulator's DMA traffic matches the analytical transfer model.
+
+use axi4mlir::accelerators::matmul::MatMulVersion;
+use axi4mlir::baselines::run_manual_matmul;
+use axi4mlir::heuristics::matmul_transfers;
+use axi4mlir::prelude::*;
+
+fn preset(version: MatMulVersion, size: i64) -> AcceleratorConfig {
+    match version {
+        MatMulVersion::V1 => AcceleratorConfig::preset(AcceleratorPreset::V1 { size }),
+        MatMulVersion::V2 => AcceleratorConfig::preset(AcceleratorPreset::V2 { size }),
+        MatMulVersion::V3 => AcceleratorConfig::preset(AcceleratorPreset::V3 { size }),
+        MatMulVersion::V4 => AcceleratorConfig::preset(AcceleratorPreset::V4 { size }),
+    }
+}
+
+fn flows_for(version: MatMulVersion) -> Vec<FlowStrategy> {
+    match version {
+        MatMulVersion::V1 => vec![FlowStrategy::NothingStationary],
+        MatMulVersion::V2 => vec![
+            FlowStrategy::NothingStationary,
+            FlowStrategy::InputAStationary,
+            FlowStrategy::InputBStationary,
+        ],
+        _ => FlowStrategy::all().to_vec(),
+    }
+}
+
+/// Every (version, size, flow) combination verifies on square and
+/// rectangular problems.
+#[test]
+fn full_matrix_verifies() {
+    for version in [MatMulVersion::V1, MatMulVersion::V2, MatMulVersion::V3, MatMulVersion::V4] {
+        for size in [4i64, 8] {
+            for flow in flows_for(version) {
+                for problem in [MatMulProblem::square(16), MatMulProblem::new(8, 24, 16)] {
+                    let report = CompileAndRun::new(preset(version, size), problem)
+                        .flow(flow)
+                        .execute()
+                        .unwrap_or_else(|e| panic!("{version} size {size} {flow} {problem}: {e}"));
+                    assert!(report.verified, "{version} size {size} {flow} {problem}");
+                }
+            }
+        }
+    }
+}
+
+/// The simulated DMA byte counters must match the analytical transfer
+/// model exactly for v3-style accelerators (no cache tiling so the flow
+/// structure is the paper's three-loop nest).
+#[test]
+fn dma_traffic_matches_analytical_model() {
+    let problem = MatMulProblem::square(32);
+    let tile = 8i64;
+    for flow in FlowStrategy::all() {
+        let mut options = PipelineOptions::optimized();
+        options.cache_tiling = CacheTiling::Off;
+        let report = CompileAndRun::new(preset(MatMulVersion::V3, tile), problem)
+            .flow(flow)
+            .options(options)
+            .execute()
+            .unwrap();
+        assert!(report.verified);
+        let estimate = matmul_transfers(flow, (problem.m, problem.n, problem.k), (tile, tile, tile));
+        // +1 word for the one-time reset init opcode.
+        assert_eq!(
+            report.counters.dma_bytes_to_accel,
+            4 * (estimate.words_to_accel + 1),
+            "{flow}: words to accelerator"
+        );
+        assert_eq!(
+            report.counters.dma_bytes_from_accel,
+            4 * estimate.words_from_accel,
+            "{flow}: words from accelerator"
+        );
+    }
+}
+
+/// Cache tiling preserves results bit-for-bit while changing access order.
+#[test]
+fn cache_tiling_is_semantics_preserving() {
+    let problem = MatMulProblem::square(64);
+    let config = preset(MatMulVersion::V3, 8);
+    let mut off = PipelineOptions::optimized();
+    off.cache_tiling = CacheTiling::Off;
+    let without = CompileAndRun::new(config.clone(), problem)
+        .flow(FlowStrategy::NothingStationary)
+        .options(off)
+        .execute()
+        .unwrap();
+    let mut fixed = PipelineOptions::optimized();
+    fixed.cache_tiling = CacheTiling::Fixed(32);
+    let with = CompileAndRun::new(config, problem)
+        .flow(FlowStrategy::NothingStationary)
+        .options(fixed)
+        .execute()
+        .unwrap();
+    assert_eq!(without.result, with.result);
+    assert_eq!(
+        without.counters.dma_bytes_to_accel, with.counters.dma_bytes_to_accel,
+        "cache tiling must not change Ns traffic"
+    );
+    assert!(with.verified && without.verified);
+}
+
+/// A JSON configuration document drives the same pipeline as the preset.
+#[test]
+fn json_configuration_end_to_end() {
+    let json = r#"{
+      "cpu": { "cache-levels": ["32K", "512K"] },
+      "accelerators": [{
+        "name": "v3_8",
+        "dma_config": { "id": 0, "inputAddress": 66, "inputBufferSize": 65280,
+                        "outputAddress": 65346, "outputBufferSize": 65280 },
+        "kernel": "linalg.matmul",
+        "accel_size": [8, 8, 8],
+        "data_type": "int32",
+        "dims": ["m", "n", "k"],
+        "data": { "A": ["m", "k"], "B": ["k", "n"], "C": ["m", "n"] },
+        "opcode_map": "opcode_map<sA = [send_literal(0x22), send(0)], sB = [send_literal(0x23), send(1)], cC = [send_literal(0xF0)], rC = [send_literal(0x24), recv(2)], reset = [send_literal(0xFF)]>",
+        "opcode_flow_map": { "Cs": "((sA sB cC) rC)" },
+        "selected_flow": "Cs",
+        "init_opcodes": "(reset)"
+      }]
+    }"#;
+    let system = SystemConfig::from_json(json).unwrap();
+    let accel = system.accelerator("v3_8").unwrap().clone();
+    let report = CompileAndRun::new(accel, MatMulProblem::square(16)).execute().unwrap();
+    assert!(report.verified);
+    assert_eq!(report.flow, "Cs");
+}
+
+/// The same problem and flow produce bit-identical counters across runs
+/// (the simulator is deterministic).
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        CompileAndRun::new(preset(MatMulVersion::V3, 8), MatMulProblem::square(24))
+            .flow(FlowStrategy::InputBStationary)
+            .execute()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.result, b.result);
+    assert_eq!(a.task_clock_ms, b.task_clock_ms);
+}
+
+/// Manual baseline and generated driver agree numerically on every flow.
+#[test]
+fn manual_and_generated_agree_numerically() {
+    let problem = MatMulProblem::new(16, 32, 24);
+    for flow in FlowStrategy::all() {
+        let manual = run_manual_matmul(MatMulVersion::V3, 8, flow, problem, 99).unwrap();
+        let generated = CompileAndRun::new(preset(MatMulVersion::V3, 8), problem)
+            .flow(flow)
+            .seed(99)
+            .execute()
+            .unwrap();
+        assert_eq!(manual.result, generated.result, "{flow}");
+    }
+}
+
+/// v4's runtime tile configuration: non-square tiles verify and respect
+/// the transfer model's preference.
+#[test]
+fn v4_non_square_tiles_verify() {
+    let problem = MatMulProblem::new(32, 16, 64);
+    let config = AcceleratorConfig::preset_v4_with_tile(16, 32, 16, 64)
+        .with_selected_flow("Cs");
+    let report = CompileAndRun::new(config, problem).execute().unwrap();
+    assert!(report.verified);
+    // One tile: A, B sent once; C received once.
+    assert_eq!(report.counters.dma_bytes_from_accel, 32 * 16 * 4);
+}
+
+/// Rectangular problems exercise non-uniform loop extents.
+#[test]
+fn rectangular_problems_all_flows() {
+    let problem = MatMulProblem::new(24, 8, 40);
+    for flow in FlowStrategy::all() {
+        let report = CompileAndRun::new(preset(MatMulVersion::V3, 4), problem)
+            .flow(flow)
+            .execute()
+            .unwrap();
+        assert!(report.verified, "{flow}");
+    }
+}
+
+/// Transfer coalescing (the paper's §V future-work optimization): same
+/// results and same payload bytes, but fewer DMA transactions and a lower
+/// task clock.
+#[test]
+fn coalescing_preserves_results_and_cuts_transactions() {
+    let problem = MatMulProblem::square(32);
+    let config = preset(MatMulVersion::V3, 8);
+    for flow in FlowStrategy::all() {
+        let base = CompileAndRun::new(config.clone(), problem)
+            .flow(flow)
+            .execute()
+            .unwrap();
+        let mut opts = PipelineOptions::optimized();
+        opts.coalesce_transfers = true;
+        let coalesced = CompileAndRun::new(config.clone(), problem)
+            .flow(flow)
+            .options(opts)
+            .execute()
+            .unwrap();
+        assert!(coalesced.verified, "{flow}");
+        assert_eq!(base.result, coalesced.result, "{flow}");
+        assert_eq!(
+            base.counters.dma_bytes_to_accel, coalesced.counters.dma_bytes_to_accel,
+            "{flow}: payload identical"
+        );
+        assert!(
+            coalesced.counters.dma_transactions < base.counters.dma_transactions,
+            "{flow}: {} < {}",
+            coalesced.counters.dma_transactions,
+            base.counters.dma_transactions
+        );
+        assert!(
+            coalesced.task_clock_ms < base.task_clock_ms,
+            "{flow}: coalescing must reduce host time ({:.3} vs {:.3})",
+            coalesced.task_clock_ms,
+            base.task_clock_ms
+        );
+    }
+}
+
+/// Coalescing works through the direct (unlowered) accel path too.
+#[test]
+fn coalescing_agrees_across_execution_paths() {
+    let problem = MatMulProblem::square(16);
+    let mk = |lower: bool| {
+        let mut opts = PipelineOptions::optimized();
+        opts.coalesce_transfers = true;
+        opts.lower_to_runtime_calls = lower;
+        CompileAndRun::new(preset(MatMulVersion::V3, 4), problem)
+            .flow(FlowStrategy::OutputStationary)
+            .options(opts)
+            .execute()
+            .unwrap()
+    };
+    let lowered = mk(true);
+    let direct = mk(false);
+    assert_eq!(lowered.result, direct.result);
+    assert_eq!(lowered.counters.dma_transactions, direct.counters.dma_transactions);
+}
