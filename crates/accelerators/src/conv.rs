@@ -310,9 +310,9 @@ mod tests {
         let mut acc = ConvAccel::new();
         configure(&mut acc, 64, 1); // 64 MACs per window = 2 cycles at 32/cycle
         let mut words = vec![isa::CONV_OP_SEND_FILTER];
-        words.extend(std::iter::repeat(1).take(64));
+        words.extend(std::iter::repeat_n(1, 64));
         words.push(isa::CONV_OP_SEND_INPUT_COMPUTE);
-        words.extend(std::iter::repeat(1).take(64));
+        words.extend(std::iter::repeat_n(1, 64));
         let counters = drive(&mut acc, &words);
         assert_eq!(counters.accel_compute_cycles, 2);
     }

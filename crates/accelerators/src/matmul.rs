@@ -552,9 +552,9 @@ mod tests {
             let mut acc = MatMulAccel::new(MatMulVersion::V3, size);
             let n = (size * size) as usize;
             let mut words = vec![isa::OP_SEND_A];
-            words.extend(std::iter::repeat(1).take(n));
+            words.extend(std::iter::repeat_n(1, n));
             words.push(isa::OP_SEND_B);
-            words.extend(std::iter::repeat(1).take(n));
+            words.extend(std::iter::repeat_n(1, n));
             words.push(isa::OP_COMPUTE);
             let counters = drive(&mut acc, &words);
             let macs = u64::from(size).pow(3);

@@ -159,9 +159,7 @@ proptest! {
         words.extend(a.iter().map(|v| *v as u32));
         words.push(isa::OP_SEND_B);
         words.extend(b.iter().map(|v| *v as u32));
-        for _ in 0..steps {
-            words.push(isa::OP_COMPUTE);
-        }
+        words.extend(std::iter::repeat_n(isa::OP_COMPUTE, steps));
         words.push(isa::OP_READ_C);
         drive(&mut acc, &words);
         let single = ref_matmul(&a, &b, 2, 2, 2);

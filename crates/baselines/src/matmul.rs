@@ -66,7 +66,7 @@ fn loop_overhead(soc: &mut Soc) {
 /// Tile subview plus its index arithmetic cost.
 fn tile(soc: &mut Soc, buf: &MemRefDesc, offsets: [i64; 2], sizes: [i64; 2]) -> MemRefDesc {
     soc.charge_arith(4);
-    buf.subview(&offsets.to_vec(), &sizes.to_vec())
+    buf.subview(offsets.as_ref(), sizes.as_ref())
 }
 
 /// The hand-written driver: accel-size tiling, fewest transfers for `flow`.
@@ -75,7 +75,7 @@ fn tile(soc: &mut Soc, buf: &MemRefDesc, offsets: [i64; 2], sizes: [i64; 2]) -> 
 ///
 /// Returns a [`Diagnostic`] for unsupported version/flow combinations
 /// (e.g. Cs on a v2 accelerator) or non-dividing tiles.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 pub fn manual_matmul_drive(
     soc: &mut Soc,
     version: MatMulVersion,

@@ -10,7 +10,7 @@ use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
 use axi4mlir_accelerators::matmul::MatMulVersion;
 use axi4mlir_baselines::run_manual_matmul;
 use axi4mlir_config::FlowStrategy;
-use axi4mlir_core::pipeline::run_cpu_matmul;
+use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
 use axi4mlir_workloads::matmul::MatMulProblem;
 
 use crate::Scale;
@@ -36,12 +36,17 @@ pub fn sizes(scale: Scale) -> Vec<i64> {
     }
 }
 
-/// Runs the sweep.
+/// Runs the sweep. One CPU session serves every problem size (the SoC is
+/// recycled between runs instead of rebuilt).
 pub fn rows(scale: Scale) -> Vec<Fig10Row> {
     let mut out = Vec::new();
+    let mut cpu_session = Session::cpu();
+    let cpu_plan = CompilePlan::cpu().seed(10);
     for dims in scale.matmul_dims() {
         let problem = MatMulProblem::square(dims);
-        let cpu = run_cpu_matmul(problem, None, 10);
+        let cpu = cpu_session
+            .run(&MatMulWorkload::new(problem), &cpu_plan)
+            .expect("CPU baseline");
         assert!(cpu.verified, "CPU baseline failed verification");
         out.push(Fig10Row { dims, accel_size: None, manual_ms: None, cpu_ms: cpu.task_clock_ms });
         for size in sizes(scale) {

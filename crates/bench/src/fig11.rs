@@ -9,7 +9,7 @@ use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
 use axi4mlir_accelerators::matmul::MatMulVersion;
 use axi4mlir_baselines::run_manual_matmul;
 use axi4mlir_config::{AcceleratorConfig, AcceleratorPreset, FlowStrategy};
-use axi4mlir_core::pipeline::CompileAndRun;
+use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
 use axi4mlir_core::options::PipelineOptions;
 use axi4mlir_workloads::matmul::MatMulProblem;
 
@@ -48,9 +48,12 @@ fn preset(version: MatMulVersion, size: i64) -> AcceleratorConfig {
     }
 }
 
-/// Runs the sweep with element-wise (pre-optimization) copies.
+/// Runs the sweep with element-wise (pre-optimization) copies. One
+/// session serves the whole grid: the SoC is recycled per run and the
+/// device model swapped only when the (version, size) point changes.
 pub fn rows(scale: Scale) -> Vec<Fig11Row> {
     let mut out = Vec::new();
+    let mut session = Session::for_sweep();
     for dims in scale.relevant_dims() {
         for size in scale.accel_sizes() {
             for version in [MatMulVersion::V2, MatMulVersion::V3] {
@@ -66,11 +69,12 @@ pub fn rows(scale: Scale) -> Vec<Fig11Row> {
                 assert!(manual.verified);
                 let mut generated = Vec::new();
                 for flow in flows_for(version) {
-                    let report = CompileAndRun::new(preset(version, size), problem)
+                    let plan = CompilePlan::for_accelerator(preset(version, size))
                         .flow(flow)
                         .options(PipelineOptions::unoptimized_copies())
-                        .seed(11)
-                        .execute()
+                        .seed(11);
+                    let report = session
+                        .run(&MatMulWorkload::new(problem), &plan)
                         .expect("generated driver");
                     assert!(report.verified, "{version} {flow} must verify");
                     generated.push((flow.short_name().to_owned(), report.task_clock_ms));

@@ -10,8 +10,8 @@ use axi4mlir_support::fmtutil::{fmt_percent, TextTable};
 use axi4mlir_accelerators::matmul::MatMulVersion;
 use axi4mlir_baselines::run_manual_matmul;
 use axi4mlir_config::{AcceleratorConfig, AcceleratorPreset, FlowStrategy};
+use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
 use axi4mlir_core::options::PipelineOptions;
-use axi4mlir_core::pipeline::{run_cpu_matmul, CompileAndRun};
 use axi4mlir_sim::counters::PerfCounters;
 use axi4mlir_workloads::matmul::MatMulProblem;
 
@@ -55,11 +55,14 @@ pub fn config(scale: Scale) -> (i64, i64) {
     }
 }
 
-/// Runs one variant of the experiment (v3 accelerator).
+/// Runs one variant of the experiment (v3 accelerator). The four
+/// generated flows share one session — the same device, recycled between
+/// flows.
 pub fn rows(scale: Scale, variant: Variant) -> Vec<Fig12Row> {
     let (dims, size) = config(scale);
     let problem = MatMulProblem::square(dims);
-    let cpu = run_cpu_matmul(problem, None, 12);
+    let workload = MatMulWorkload::new(problem);
+    let cpu = Session::cpu().run(&workload, &CompilePlan::cpu().seed(12)).expect("CPU baseline");
     let mut out = Vec::new();
 
     let manual =
@@ -73,16 +76,15 @@ pub fn rows(scale: Scale, variant: Variant) -> Vec<Fig12Row> {
         Variant::A => PipelineOptions::unoptimized_copies(),
         Variant::B => PipelineOptions::optimized(),
     };
+    let mut session = Session::for_sweep();
     for flow in FlowStrategy::all() {
-        let report = CompileAndRun::new(
-            AcceleratorConfig::preset(AcceleratorPreset::V3 { size }),
-            problem,
-        )
+        let plan = CompilePlan::for_accelerator(AcceleratorConfig::preset(AcceleratorPreset::V3 {
+            size,
+        }))
         .flow(flow)
         .options(options)
-        .seed(12)
-        .execute()
-        .expect("generated driver");
+        .seed(12);
+        let report = session.run(&workload, &plan).expect("generated driver");
         assert!(report.verified);
         let (b, c, t) =
             ratios(&report.counters, report.task_clock_ms, &cpu.counters, cpu.task_clock_ms);

@@ -9,7 +9,7 @@ use axi4mlir_support::fmtutil::{fmt_ms, fmt_speedup, TextTable};
 use axi4mlir_accelerators::matmul::MatMulVersion;
 use axi4mlir_baselines::run_manual_matmul;
 use axi4mlir_config::{AcceleratorConfig, AcceleratorPreset, FlowStrategy};
-use axi4mlir_core::pipeline::CompileAndRun;
+use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
 use axi4mlir_workloads::matmul::MatMulProblem;
 
 use crate::Scale;
@@ -63,9 +63,11 @@ fn flows_for(version: MatMulVersion) -> Vec<FlowStrategy> {
     }
 }
 
-/// Runs the full grid.
+/// Runs the full grid. The generated runs share one session across the
+/// whole sweep (SoC recycled per run, device swapped per grid point).
 pub fn rows(scale: Scale) -> Vec<Fig13Row> {
     let mut out = Vec::new();
+    let mut session = Session::for_sweep();
     for dims in scale.relevant_dims() {
         for size in scale.accel_sizes() {
             for version in [MatMulVersion::V2, MatMulVersion::V3] {
@@ -78,10 +80,11 @@ pub fn rows(scale: Scale) -> Vec<Fig13Row> {
                         MatMulVersion::V2 => AcceleratorPreset::V2 { size },
                         _ => AcceleratorPreset::V3 { size },
                     };
-                    let generated = CompileAndRun::new(AcceleratorConfig::preset(preset), problem)
+                    let plan = CompilePlan::for_accelerator(AcceleratorConfig::preset(preset))
                         .flow(flow)
-                        .seed(13)
-                        .execute()
+                        .seed(13);
+                    let generated = session
+                        .run(&MatMulWorkload::new(problem), &plan)
                         .expect("generated driver");
                     assert!(generated.verified);
                     out.push(Fig13Row {

@@ -9,7 +9,7 @@
 use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
 use axi4mlir_accelerators::matmul::V4_CAPACITY_WORDS;
 use axi4mlir_config::{AcceleratorConfig, FlowStrategy};
-use axi4mlir_core::pipeline::CompileAndRun;
+use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
 use axi4mlir_heuristics::{best_choice, square_tile_choice, TileChoice};
 use axi4mlir_workloads::matmul::MatMulProblem;
 
@@ -31,7 +31,7 @@ pub struct Fig14Row {
 /// The base (divisibility) size of the v4 accelerator used.
 pub const V4_BASE: i64 = 16;
 
-fn run_choice(problem: MatMulProblem, choice: &TileChoice) -> f64 {
+fn run_choice(session: &mut Session, problem: MatMulProblem, choice: &TileChoice) -> f64 {
     let config = AcceleratorConfig::preset_v4_with_tile(
         V4_BASE,
         choice.tile.0,
@@ -39,10 +39,8 @@ fn run_choice(problem: MatMulProblem, choice: &TileChoice) -> f64 {
         choice.tile.2,
     )
     .with_selected_flow(choice.flow.short_name());
-    let report = CompileAndRun::new(config, problem)
-        .seed(14)
-        .execute()
-        .expect("v4 run");
+    let plan = CompilePlan::for_accelerator(config).seed(14);
+    let report = session.run(&MatMulWorkload::new(problem), &plan).expect("v4 run");
     assert!(report.verified, "{problem} {choice:?}");
     report.task_clock_ms
 }
@@ -55,9 +53,12 @@ pub fn problems(scale: Scale) -> Vec<MatMulProblem> {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment. Every measurement drives the same v4_16 device
+/// through one shared session — only the runtime tile configuration
+/// changes between runs.
 pub fn rows(scale: Scale) -> Vec<Fig14Row> {
     let mut out = Vec::new();
+    let mut session = Session::for_sweep();
     for problem in problems(scale) {
         let dims = (problem.m, problem.n, problem.k);
         let mut square_ms = Vec::new();
@@ -67,12 +68,12 @@ pub fn rows(scale: Scale) -> Vec<Fig14Row> {
             FlowStrategy::OutputStationary,
         ] {
             if let Some(choice) = square_tile_choice(flow, dims, V4_BASE, V4_CAPACITY_WORDS) {
-                let ms = run_choice(problem, &choice);
+                let ms = run_choice(&mut session, problem, &choice);
                 square_ms.push((format!("{}-squareTile", flow.short_name()), ms));
             }
         }
         let best = best_choice(dims, V4_BASE, V4_CAPACITY_WORDS).expect("a legal configuration");
-        let best_ms = run_choice(problem, &best);
+        let best_ms = run_choice(&mut session, problem, &best);
         out.push(Fig14Row { problem, square_ms, best, best_ms });
     }
     out

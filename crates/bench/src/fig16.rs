@@ -9,7 +9,7 @@
 
 use axi4mlir_support::fmtutil::{fmt_percent, TextTable};
 use axi4mlir_baselines::run_manual_conv;
-use axi4mlir_core::pipeline::ConvCompileAndRun;
+use axi4mlir_core::driver::{CompilePlan, ConvWorkload, Session};
 use axi4mlir_workloads::resnet::{resnet18_layers, ConvLayer};
 
 use crate::Scale;
@@ -41,13 +41,17 @@ pub fn layers(scale: Scale) -> Vec<ConvLayer> {
     }
 }
 
-/// Runs the per-layer comparison.
+/// Runs the per-layer comparison. All layers drive the same Conv2D device
+/// through one shared session.
 pub fn rows(scale: Scale) -> Vec<Fig16Row> {
     let mut out = Vec::new();
+    let mut session = Session::for_sweep();
     for layer in layers(scale) {
         let manual = run_manual_conv(layer, 16).expect("manual conv");
         assert!(manual.verified, "{layer}: manual driver must verify");
-        let generated = ConvCompileAndRun::new(layer).execute().expect("generated conv");
+        let plan = CompilePlan::for_conv_layer(layer);
+        let generated =
+            session.run(&ConvWorkload::new(layer), &plan).expect("generated conv");
         assert!(generated.verified, "{layer}: generated driver must verify");
         out.push(Fig16Row {
             layer,

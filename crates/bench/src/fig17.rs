@@ -16,7 +16,7 @@
 use axi4mlir_support::fmtutil::{fmt_ms, fmt_speedup, TextTable};
 use axi4mlir_accelerators::matmul::V4_CAPACITY_WORDS;
 use axi4mlir_config::{AcceleratorConfig, FlowStrategy};
-use axi4mlir_core::pipeline::{run_cpu_matmul, CompileAndRun};
+use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
 use axi4mlir_heuristics::{best_choice, square_tile_choice, TileChoice};
 use axi4mlir_workloads::matmul::MatMulProblem;
 use axi4mlir_workloads::tinybert::{tinybert_matmuls, TinyBertMatMul};
@@ -58,7 +58,11 @@ pub fn inventory(scale: Scale) -> Vec<TinyBertMatMul> {
     }
 }
 
-fn accel_total_ms(inventory: &[TinyBertMatMul], choose: impl Fn(&MatMulProblem) -> Option<TileChoice>) -> f64 {
+fn accel_total_ms(
+    session: &mut Session,
+    inventory: &[TinyBertMatMul],
+    choose: impl Fn(&MatMulProblem) -> Option<TileChoice>,
+) -> f64 {
     let mut total = 0.0;
     for entry in inventory {
         let choice = choose(&entry.problem)
@@ -70,23 +74,26 @@ fn accel_total_ms(inventory: &[TinyBertMatMul], choose: impl Fn(&MatMulProblem) 
             choice.tile.2,
         )
         .with_selected_flow(choice.flow.short_name());
-        let report = CompileAndRun::new(config, entry.problem)
-            .seed(17)
-            .execute()
-            .expect("v4 run");
+        let plan = CompilePlan::for_accelerator(config).seed(17);
+        let report = session.run(&MatMulWorkload::new(entry.problem), &plan).expect("v4 run");
         assert!(report.verified, "{}: {:?}", entry.problem, choice);
         total += report.task_clock_ms * entry.count as f64;
     }
     total
 }
 
-/// Runs the three bars.
+/// Runs the three bars. The whole inventory — every GEMM of every
+/// approach — reuses one accelerator session and one CPU session.
 pub fn bars(scale: Scale) -> Vec<Fig17Bar> {
     let inventory = inventory(scale);
     // CPU-only MatMul time.
+    let mut cpu_session = Session::cpu();
+    let cpu_plan = CompilePlan::cpu().seed(17);
     let mut cpu_matmul_ms = 0.0;
     for entry in &inventory {
-        let r = run_cpu_matmul(entry.problem, None, 17);
+        let r = cpu_session
+            .run(&MatMulWorkload::new(entry.problem), &cpu_plan)
+            .expect("CPU baseline");
         assert!(r.verified);
         cpu_matmul_ms += r.task_clock_ms * entry.count as f64;
     }
@@ -94,7 +101,8 @@ pub fn bars(scale: Scale) -> Vec<Fig17Bar> {
     // CPU-only bar, as in the paper.
     let other_ms = cpu_matmul_ms / 3.0;
 
-    let ns_square = accel_total_ms(&inventory, |p| {
+    let mut accel_session = Session::for_sweep();
+    let ns_square = accel_total_ms(&mut accel_session, &inventory, |p| {
         square_tile_choice(
             FlowStrategy::NothingStationary,
             (p.m, p.n, p.k),
@@ -102,7 +110,9 @@ pub fn bars(scale: Scale) -> Vec<Fig17Bar> {
             V4_CAPACITY_WORDS,
         )
     });
-    let best = accel_total_ms(&inventory, |p| best_choice((p.m, p.n, p.k), V4_BASE, V4_CAPACITY_WORDS));
+    let best = accel_total_ms(&mut accel_session, &inventory, |p| {
+        best_choice((p.m, p.n, p.k), V4_BASE, V4_CAPACITY_WORDS)
+    });
 
     vec![
         Fig17Bar { approach: "CPU (MLIR)".to_owned(), matmul_ms: cpu_matmul_ms, other_ms },

@@ -8,6 +8,11 @@
 //! - the shape tests (`Scale::Quick`) asserting the paper's qualitative
 //!   results (who wins, where crossovers fall) at debug-friendly sizes,
 //! - the Criterion benches.
+//!
+//! Sweeps run through the `axi4mlir-core` driver layer: each module holds
+//! one [`Session`](axi4mlir_core::driver::Session) per sweep and recycles
+//! its SoC between runs, so per-run allocation is amortized across the
+//! grid while counters stay bit-identical to fresh runs.
 
 pub mod fig10;
 pub mod fig11;

@@ -29,20 +29,20 @@ fn probe(spec: &AcceleratorSpec) -> f64 {
     match spec.version {
         axi4mlir_accelerators::matmul::MatMulVersion::V1 => {
             words.push(isa::OP_FUSED_SABC);
-            words.extend(std::iter::repeat(1).take(2 * n));
+            words.extend(std::iter::repeat_n(1, 2 * n));
         }
         axi4mlir_accelerators::matmul::MatMulVersion::V2 => {
             words.push(isa::OP_SEND_A);
-            words.extend(std::iter::repeat(1).take(n));
+            words.extend(std::iter::repeat_n(1, n));
             words.push(isa::OP_SEND_B);
-            words.extend(std::iter::repeat(1).take(n));
+            words.extend(std::iter::repeat_n(1, n));
             words.push(isa::OP_COMPUTE_READ);
         }
         _ => {
             words.push(isa::OP_SEND_A);
-            words.extend(std::iter::repeat(1).take(n));
+            words.extend(std::iter::repeat_n(1, n));
             words.push(isa::OP_SEND_B);
-            words.extend(std::iter::repeat(1).take(n));
+            words.extend(std::iter::repeat_n(1, n));
             words.push(isa::OP_COMPUTE);
         }
     }

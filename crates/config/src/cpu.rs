@@ -1,15 +1,14 @@
 //! Host CPU description (the `"cpu"` entry of Fig. 5).
 
-use serde::{Deserialize, Serialize};
+use axi4mlir_support::diag::Diagnostic;
+use axi4mlir_support::json::JsonValue;
 
 /// Host CPU cache information used by the tiling heuristics.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CpuSpec {
     /// Capacity of each cache level in bytes, innermost first.
-    #[serde(rename = "cache-levels", deserialize_with = "crate::json::de_sizes")]
     pub cache_levels: Vec<u64>,
     /// Kind of each level (`"data"`, `"shared"`, ...).
-    #[serde(rename = "cache-types", default)]
     pub cache_types: Vec<String>,
 }
 
@@ -21,6 +20,44 @@ impl CpuSpec {
             cache_levels: vec![32 * 1024, 512 * 1024],
             cache_types: vec!["data".to_owned(), "shared".to_owned()],
         }
+    }
+
+    /// Reads the `"cpu"` object of a configuration document.
+    ///
+    /// `"cache-levels"` accepts integers or `"32K"`-style strings;
+    /// `"cache-types"` is optional.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] for missing or ill-typed members.
+    pub fn from_value(value: &JsonValue) -> Result<CpuSpec, Diagnostic> {
+        let levels_value = value
+            .get("cache-levels")
+            .ok_or_else(|| Diagnostic::error("cpu: missing field `cache-levels`"))?;
+        let cache_levels = crate::json::sizes_from(levels_value, "cache-levels")?;
+        let cache_types = match value.get("cache-types") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| Diagnostic::error("cpu: `cache-types` must be an array"))?
+                .iter()
+                .map(|t| {
+                    t.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| Diagnostic::error("cpu: `cache-types` entries must be strings"))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        Ok(CpuSpec { cache_levels, cache_types })
+    }
+
+    /// Parses a stand-alone `"cpu"` JSON object.
+    ///
+    /// # Errors
+    ///
+    /// See [`CpuSpec::from_value`]; JSON syntax errors are also reported.
+    pub fn from_json(text: &str) -> Result<CpuSpec, Diagnostic> {
+        Self::from_value(&JsonValue::parse(text)?)
     }
 
     /// L1 data-cache capacity in bytes.
@@ -54,13 +91,20 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrip_with_size_suffixes() {
+    fn json_parsing_with_size_suffixes() {
         let json = r#"{"cache-levels": ["32K", "512K"], "cache-types": ["data", "shared"]}"#;
-        let c: CpuSpec = serde_json::from_str(json).unwrap();
+        let c = CpuSpec::from_json(json).unwrap();
         assert_eq!(c, CpuSpec::pynq_z2());
         let numeric = r#"{"cache-levels": [32768, 524288]}"#;
-        let c2: CpuSpec = serde_json::from_str(numeric).unwrap();
+        let c2 = CpuSpec::from_json(numeric).unwrap();
         assert_eq!(c2.l1_bytes(), 32768);
         assert!(c2.cache_types.is_empty());
+    }
+
+    #[test]
+    fn bad_documents_are_rejected() {
+        assert!(CpuSpec::from_json(r#"{"cache-types": ["data"]}"#).is_err());
+        assert!(CpuSpec::from_json(r#"{"cache-levels": ["huge"]}"#).is_err());
+        assert!(CpuSpec::from_json(r#"{"cache-levels": 32768}"#).is_err());
     }
 }

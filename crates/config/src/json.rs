@@ -21,30 +21,32 @@
 //! ```
 //!
 //! Cache sizes accept integers or `"32K"`/`"1M"` strings. The `"data"`
-//! object's member order defines the operand order (A = argument 0, ...).
-
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer};
+//! object's member order defines the operand order (A = argument 0, ...),
+//! which the order-preserving [`JsonValue`] object representation keeps.
 
 use axi4mlir_support::diag::Diagnostic;
+use axi4mlir_support::json::JsonValue;
 use axi4mlir_ir::attrs::{OpcodeFlow, OpcodeMap};
 
 use crate::accelerator::{AcceleratorConfig, DmaInfo, KernelKind};
 use crate::cpu::CpuSpec;
 
-/// Deserializes a list of sizes given as integers or `"32K"` strings.
-pub fn de_sizes<'de, D: Deserializer<'de>>(de: D) -> Result<Vec<u64>, D::Error> {
-    #[derive(Deserialize)]
-    #[serde(untagged)]
-    enum Size {
-        Int(u64),
-        Text(String),
-    }
-    let raw: Vec<Size> = Vec::deserialize(de)?;
-    raw.into_iter()
-        .map(|s| match s {
-            Size::Int(v) => Ok(v),
-            Size::Text(t) => parse_size(&t).map_err(D::Error::custom),
+/// Reads a list of sizes given as integers or `"32K"` strings.
+pub(crate) fn sizes_from(value: &JsonValue, field: &str) -> Result<Vec<u64>, Diagnostic> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| Diagnostic::error(format!("`{field}` must be an array of sizes")))?;
+    items
+        .iter()
+        .map(|item| match item {
+            JsonValue::Int(_) => item
+                .as_u64()
+                .ok_or_else(|| Diagnostic::error(format!("`{field}` sizes must be non-negative"))),
+            JsonValue::Str(text) => parse_size(text).map_err(Diagnostic::error),
+            other => Err(Diagnostic::error(format!(
+                "`{field}` entries must be integers or size strings, found {}",
+                other.type_name()
+            ))),
         })
         .collect()
 }
@@ -68,53 +70,6 @@ pub fn parse_size(text: &str) -> Result<u64, String> {
         .map_err(|_| format!("invalid size `{text}` (expected e.g. 32768 or \"32K\")"))
 }
 
-#[derive(Debug, Deserialize)]
-struct RawDma {
-    id: u32,
-    #[serde(rename = "inputAddress")]
-    input_address: u64,
-    #[serde(rename = "inputBufferSize")]
-    input_buffer_size: u64,
-    #[serde(rename = "outputAddress")]
-    output_address: u64,
-    #[serde(rename = "outputBufferSize")]
-    output_buffer_size: u64,
-}
-
-#[derive(Debug, Deserialize)]
-struct RawAccelerator {
-    name: String,
-    #[serde(default)]
-    #[allow(dead_code)]
-    version: Option<String>,
-    #[serde(default)]
-    #[allow(dead_code)]
-    description: Option<String>,
-    dma_config: RawDma,
-    kernel: String,
-    accel_size: Vec<i64>,
-    #[serde(default = "default_data_type")]
-    data_type: String,
-    dims: Vec<String>,
-    /// Order of members defines operand order (serde_json preserve_order).
-    data: serde_json::Map<String, serde_json::Value>,
-    opcode_map: String,
-    opcode_flow_map: serde_json::Map<String, serde_json::Value>,
-    selected_flow: String,
-    #[serde(default)]
-    init_opcodes: Option<String>,
-}
-
-fn default_data_type() -> String {
-    "int32".to_owned()
-}
-
-#[derive(Debug, Deserialize)]
-struct RawSystem {
-    cpu: CpuSpec,
-    accelerators: Vec<RawAccelerator>,
-}
-
 /// A parsed, validated system configuration: the host CPU plus one or more
 /// accelerators.
 #[derive(Clone, Debug, PartialEq)]
@@ -134,13 +89,21 @@ impl SystemConfig {
     /// the embedded `opcode_map`/`opcode_flow` strings, or semantic
     /// validation failures.
     pub fn from_json(text: &str) -> Result<SystemConfig, Diagnostic> {
-        let raw: RawSystem = serde_json::from_str(text)
-            .map_err(|e| Diagnostic::error(format!("configuration JSON error: {e}")))?;
+        let doc = JsonValue::parse(text)
+            .map_err(|e| Diagnostic::error(format!("configuration JSON error: {}", e.message)))?;
+        let cpu_value = doc
+            .get("cpu")
+            .ok_or_else(|| Diagnostic::error("configuration must define a `cpu` section"))?;
+        let cpu = CpuSpec::from_value(cpu_value)?;
+        let accel_values = doc
+            .get("accelerators")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| Diagnostic::error("configuration must define an `accelerators` array"))?;
         let mut accelerators = Vec::new();
-        for acc in raw.accelerators {
-            accelerators.push(convert(acc)?);
+        for value in accel_values {
+            accelerators.push(convert(value)?);
         }
-        Ok(SystemConfig { cpu: raw.cpu, accelerators })
+        Ok(SystemConfig { cpu, accelerators })
     }
 
     /// The accelerator with the given name.
@@ -149,74 +112,160 @@ impl SystemConfig {
     }
 }
 
-fn convert(raw: RawAccelerator) -> Result<AcceleratorConfig, Diagnostic> {
-    let kernel = KernelKind::from_op_name(&raw.kernel).ok_or_else(|| {
+fn field<'v>(value: &'v JsonValue, name: &str, accel: &str) -> Result<&'v JsonValue, Diagnostic> {
+    value
+        .get(name)
+        .ok_or_else(|| Diagnostic::error(format!("accelerator {accel}: missing field `{name}`")))
+}
+
+fn string_field(value: &JsonValue, name: &str, accel: &str) -> Result<String, Diagnostic> {
+    field(value, name, accel)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| Diagnostic::error(format!("accelerator {accel}: `{name}` must be a string")))
+}
+
+fn u64_field(value: &JsonValue, name: &str, accel: &str) -> Result<u64, Diagnostic> {
+    field(value, name, accel)?.as_u64().ok_or_else(|| {
+        Diagnostic::error(format!("accelerator {accel}: `{name}` must be a non-negative integer"))
+    })
+}
+
+fn u32_field(value: &JsonValue, name: &str, accel: &str) -> Result<u32, Diagnostic> {
+    u64_field(value, name, accel)?.try_into().map_err(|_| {
+        Diagnostic::error(format!("accelerator {accel}: `{name}` does not fit in 32 bits"))
+    })
+}
+
+fn string_list(value: &JsonValue, name: &str, accel: &str) -> Result<Vec<String>, Diagnostic> {
+    field(value, name, accel)?
+        .as_array()
+        .ok_or_else(|| Diagnostic::error(format!("accelerator {accel}: `{name}` must be an array")))?
+        .iter()
+        .map(|v| {
+            v.as_str().map(str::to_owned).ok_or_else(|| {
+                Diagnostic::error(format!("accelerator {accel}: `{name}` entries must be strings"))
+            })
+        })
+        .collect()
+}
+
+fn convert(value: &JsonValue) -> Result<AcceleratorConfig, Diagnostic> {
+    let name = value
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| Diagnostic::error("every accelerator needs a string `name`"))?
+        .to_owned();
+
+    let kernel_name = string_field(value, "kernel", &name)?;
+    let kernel = KernelKind::from_op_name(&kernel_name).ok_or_else(|| {
         Diagnostic::error(format!(
-            "accelerator {}: unsupported kernel `{}` (expected linalg.matmul or linalg.conv_2d_nchw_fchw)",
-            raw.name, raw.kernel
+            "accelerator {name}: unsupported kernel `{kernel_name}` (expected linalg.matmul or linalg.conv_2d_nchw_fchw)"
         ))
     })?;
-    let opcode_map = OpcodeMap::parse(&raw.opcode_map)
-        .map_err(|d| Diagnostic::error(format!("accelerator {}: {}", raw.name, d.message)))?;
+
+    let dma_value = field(value, "dma_config", &name)?;
+    let dma = DmaInfo {
+        id: u32_field(dma_value, "id", &name)?,
+        input_address: u64_field(dma_value, "inputAddress", &name)?,
+        input_buffer_size: u64_field(dma_value, "inputBufferSize", &name)?,
+        output_address: u64_field(dma_value, "outputAddress", &name)?,
+        output_buffer_size: u64_field(dma_value, "outputBufferSize", &name)?,
+    };
+
+    let accel_dims = field(value, "accel_size", &name)?
+        .as_array()
+        .ok_or_else(|| Diagnostic::error(format!("accelerator {name}: `accel_size` must be an array")))?
+        .iter()
+        .map(|v| {
+            v.as_i64().ok_or_else(|| {
+                Diagnostic::error(format!("accelerator {name}: `accel_size` entries must be integers"))
+            })
+        })
+        .collect::<Result<Vec<i64>, _>>()?;
+
+    let data_type = match value.get("data_type") {
+        None => "int32".to_owned(),
+        Some(v) => v
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Diagnostic::error(format!("accelerator {name}: `data_type` must be a string")))?,
+    };
+
+    let dims = string_list(value, "dims", &name)?;
+
+    let opcode_map_text = string_field(value, "opcode_map", &name)?;
+    let opcode_map = OpcodeMap::parse(&opcode_map_text)
+        .map_err(|d| Diagnostic::error(format!("accelerator {name}: {}", d.message)))?;
+
     let mut flows = Vec::new();
-    for (name, value) in &raw.opcode_flow_map {
-        let text = value.as_str().ok_or_else(|| {
-            Diagnostic::error(format!("accelerator {}: flow `{name}` must be a string", raw.name))
+    let flow_members = field(value, "opcode_flow_map", &name)?.as_object().ok_or_else(|| {
+        Diagnostic::error(format!("accelerator {name}: `opcode_flow_map` must be an object"))
+    })?;
+    for (flow_name, flow_value) in flow_members {
+        let text = flow_value.as_str().ok_or_else(|| {
+            Diagnostic::error(format!("accelerator {name}: flow `{flow_name}` must be a string"))
         })?;
-        let flow = OpcodeFlow::parse(text)
-            .map_err(|d| Diagnostic::error(format!("accelerator {}: flow `{name}`: {}", raw.name, d.message)))?;
-        flows.push((name.clone(), flow));
+        let flow = OpcodeFlow::parse(text).map_err(|d| {
+            Diagnostic::error(format!("accelerator {name}: flow `{flow_name}`: {}", d.message))
+        })?;
+        flows.push((flow_name.clone(), flow));
     }
+
     let mut data = Vec::new();
-    for (arg, dims_value) in &raw.data {
-        let dims: Vec<String> = dims_value
+    let data_members = field(value, "data", &name)?.as_object().ok_or_else(|| {
+        Diagnostic::error(format!("accelerator {name}: `data` must be an object"))
+    })?;
+    for (arg, dims_value) in data_members {
+        let arg_dims: Vec<String> = dims_value
             .as_array()
             .ok_or_else(|| {
                 Diagnostic::error(format!(
-                    "accelerator {}: data argument {arg} must list its dimensions",
-                    raw.name
+                    "accelerator {name}: data argument {arg} must list its dimensions"
                 ))
             })?
             .iter()
             .map(|v| {
                 v.as_str().map(str::to_owned).ok_or_else(|| {
                     Diagnostic::error(format!(
-                        "accelerator {}: data argument {arg} has a non-string dimension",
-                        raw.name
+                        "accelerator {name}: data argument {arg} has a non-string dimension"
                     ))
                 })
             })
             .collect::<Result<_, _>>()?;
-        data.push((arg.clone(), dims));
+        data.push((arg.clone(), arg_dims));
     }
-    let init_opcodes = match &raw.init_opcodes {
-        None => Vec::new(),
-        Some(text) => OpcodeFlow::parse(text)
-            .map_err(|d| {
-                Diagnostic::error(format!("accelerator {}: init_opcodes: {}", raw.name, d.message))
-            })?
-            .opcode_names()
-            .into_iter()
-            .map(str::to_owned)
-            .collect(),
+
+    let selected_flow = string_field(value, "selected_flow", &name)?;
+
+    let init_opcodes = match value.get("init_opcodes") {
+        None | Some(JsonValue::Null) => Vec::new(),
+        Some(v) => {
+            let text = v.as_str().ok_or_else(|| {
+                Diagnostic::error(format!("accelerator {name}: `init_opcodes` must be a string"))
+            })?;
+            OpcodeFlow::parse(text)
+                .map_err(|d| {
+                    Diagnostic::error(format!("accelerator {name}: init_opcodes: {}", d.message))
+                })?
+                .opcode_names()
+                .into_iter()
+                .map(str::to_owned)
+                .collect()
+        }
     };
+
     let config = AcceleratorConfig {
-        name: raw.name,
+        name,
         kernel,
-        dma: DmaInfo {
-            id: raw.dma_config.id,
-            input_address: raw.dma_config.input_address,
-            input_buffer_size: raw.dma_config.input_buffer_size,
-            output_address: raw.dma_config.output_address,
-            output_buffer_size: raw.dma_config.output_buffer_size,
-        },
-        dims: raw.dims,
-        accel_dims: raw.accel_size,
+        dma,
+        dims,
+        accel_dims,
         data,
-        data_type: raw.data_type,
+        data_type,
         opcode_map,
         flows,
-        selected_flow: raw.selected_flow,
+        selected_flow,
         init_opcodes,
     };
     config.validate()?;
@@ -301,6 +350,20 @@ mod tests {
     fn malformed_json_is_reported() {
         let err = SystemConfig::from_json("{not json").unwrap_err();
         assert!(err.message.contains("JSON error"));
+    }
+
+    #[test]
+    fn missing_fields_name_the_field() {
+        let text = SAMPLE.replace("\"opcode_map\":", "\"not_opcode_map\":");
+        let err = SystemConfig::from_json(&text).unwrap_err();
+        assert!(err.message.contains("missing field `opcode_map`"), "{}", err.message);
+    }
+
+    #[test]
+    fn out_of_range_dma_id_is_rejected() {
+        let text = SAMPLE.replace("\"id\": 0", "\"id\": 4294967296");
+        let err = SystemConfig::from_json(&text).unwrap_err();
+        assert!(err.message.contains("does not fit in 32 bits"), "{}", err.message);
     }
 
     #[test]

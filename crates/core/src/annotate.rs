@@ -111,7 +111,7 @@ mod tests {
             vec!["m".to_owned(), "k".to_owned(), "n".to_owned()],
             Some(16),
         );
-        let mut pm = PassManager::new();
+        let pm = PassManager::new();
         let mut diags = DiagnosticEngine::new();
         pass.run(&mut module, &mut diags).unwrap();
         let _ = pm;

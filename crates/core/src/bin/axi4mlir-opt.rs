@@ -6,21 +6,22 @@
 //! ```text
 //! axi4mlir-opt input.mlir --config accel.json [--accel NAME] [--flow Cs]
 //!              [--cache-tile N] [--no-lower] [--coalesce] [--print-ir-after-all]
+//!              [--timing]
 //! ```
 //!
 //! Without `--config` the input must already carry the Fig. 6a trait
 //! attributes (e.g. IR produced by `--print-ir-after-all`), and only the
 //! codegen/lowering passes run. Pass `-` as the input to read stdin.
+//! `--timing` prints a per-pass wall-clock report to stderr (MLIR's
+//! `-mlir-timing` workflow).
 
 use std::io::Read as _;
 use std::process::ExitCode;
 
-use axi4mlir_config::{FlowStrategy, SystemConfig};
-use axi4mlir_core::annotate::MatchAndAnnotatePass;
-use axi4mlir_core::codegen::GenerateAccelDriverPass;
-use axi4mlir_core::lower::LowerAccelToRuntimePass;
+use axi4mlir_config::SystemConfig;
+use axi4mlir_core::driver::PipelineBuilder;
 use axi4mlir_ir::parser::parse_module;
-use axi4mlir_ir::pass::PassManager;
+use axi4mlir_ir::pass::render_timings;
 use axi4mlir_ir::printer::print_op;
 
 struct Options {
@@ -32,12 +33,13 @@ struct Options {
     lower: bool,
     coalesce: bool,
     print_after_all: bool,
+    timing: bool,
 }
 
 fn usage() -> &'static str {
     "usage: axi4mlir-opt <input.mlir | -> [--config accel.json] [--accel NAME] \
      [--flow Ns|As|Bs|Cs|<name>] [--cache-tile N] [--no-lower] [--coalesce] \
-     [--print-ir-after-all]"
+     [--print-ir-after-all] [--timing]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -51,6 +53,7 @@ fn parse_args() -> Result<Options, String> {
         lower: true,
         coalesce: false,
         print_after_all: false,
+        timing: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -64,6 +67,7 @@ fn parse_args() -> Result<Options, String> {
             "--no-lower" => opts.lower = false,
             "--coalesce" => opts.coalesce = true,
             "--print-ir-after-all" => opts.print_after_all = true,
+            "--timing" => opts.timing = true,
             "--help" | "-h" => return Err(usage().to_owned()),
             other if opts.input.is_empty() && !other.starts_with('-') || other == "-" => {
                 opts.input = other.to_owned();
@@ -89,8 +93,12 @@ fn run() -> Result<(), String> {
     };
     let mut module = parse_module(&text).map_err(|d| d.to_string())?;
 
-    let mut pm = PassManager::new();
-    pm.capture_ir(opts.print_after_all);
+    let mut builder = PipelineBuilder::new()
+        .pre_annotated()
+        .cache_tile(opts.cache_tile)
+        .coalesce(opts.coalesce)
+        .lower(opts.lower)
+        .capture_ir(opts.print_after_all);
     if let Some(config_path) = &opts.config {
         let config_text = std::fs::read_to_string(config_path)
             .map_err(|e| format!("cannot read {config_path}: {e}"))?;
@@ -107,23 +115,27 @@ fn run() -> Result<(), String> {
                 .clone(),
         };
         if let Some(flow) = &opts.flow {
+            if accel.flow(flow).is_none() {
+                let offered: Vec<&str> = accel.flows.iter().map(|(n, _)| n.as_str()).collect();
+                return Err(format!(
+                    "accelerator {} does not offer flow `{flow}` (offers: {})",
+                    accel.name,
+                    offered.join(", ")
+                ));
+            }
             accel = accel.with_selected_flow(flow);
         }
-        let permutation: Vec<String> = FlowStrategy::from_short_name(&accel.selected_flow)
-            .map(|s| s.matmul_permutation().iter().map(|x| (*x).to_owned()).collect())
-            .unwrap_or_default();
-        pm.add(Box::new(MatchAndAnnotatePass::new(accel, permutation, opts.cache_tile)));
+        builder = builder.accelerator(accel);
     }
-    pm.add(Box::new(GenerateAccelDriverPass::new(opts.coalesce)));
-    if opts.lower {
-        pm.add(Box::new(LowerAccelToRuntimePass));
-    }
-    pm.add(Box::new(axi4mlir_dialects::verify::DialectVerifierPass));
 
+    let mut pm = builder.build();
     let snapshots = pm.run(&mut module).map_err(|d| d.to_string())?;
     for snapshot in snapshots {
         eprintln!("// ----- IR after {} -----", snapshot.pass);
         eprintln!("{}", snapshot.ir);
+    }
+    if opts.timing {
+        eprint!("{}", render_timings(pm.timings()));
     }
     print!("{}", print_op(&module.ctx, module.top()));
     Ok(())

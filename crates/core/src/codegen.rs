@@ -285,8 +285,8 @@ impl<'a> DriverGen<'a> {
         {
             let mut body = scf::body_builder(b.ctx(), &loop_);
             // Subviews that become available at this depth.
-            for (arg, plan) in self.plan.args.to_vec().into_iter().enumerate() {
-                if plan.ready_depth() == depth {
+            for arg in 0..self.plan.args.len() {
+                if self.plan.args[arg].ready_depth() == depth {
                     let view = self.emit_subview(&mut body, arg)?;
                     self.subviews[arg] = Some(view);
                 }

@@ -1,0 +1,912 @@
+//! The generic compile-and-run driver layer.
+//!
+//! Every experiment in this workspace runs the same loop: build an IR
+//! module, push it through the AXI4MLIR pass pipeline, allocate and seed
+//! SoC buffers, execute on the simulated system, and verify against a
+//! reference kernel. This module factors that loop into three pieces so a
+//! new kernel is one `Workload` implementation instead of a new monolith:
+//!
+//! - [`Workload`]: what varies per kernel — module construction, buffer
+//!   binding, the entry function, and the reference result. Implemented
+//!   here for MatMul, Conv2D, and batched MatMul.
+//! - [`CompilePlan`] + [`PipelineBuilder`]: what varies per compilation —
+//!   the accelerator configuration (or none, for CPU-only execution), the
+//!   selected flow, and [`PipelineOptions`].
+//! - [`Session`]: the executor. It owns the simulated [`Soc`] and
+//!   **reuses it across runs**: memory, cache, DMA, and device state are
+//!   recycled (bit-identically to a fresh build) instead of reallocated,
+//!   which amortizes per-run setup in benchmark sweeps, and the device is
+//!   only re-instantiated when a plan targets a different accelerator.
+//!
+//! The legacy entry points ([`CompileAndRun`](crate::pipeline::CompileAndRun),
+//! [`ConvCompileAndRun`](crate::pipeline::ConvCompileAndRun),
+//! [`run_cpu_matmul`](crate::pipeline::run_cpu_matmul)) are thin wrappers
+//! over a one-shot `Session`.
+
+use axi4mlir_support::diag::Diagnostic;
+use axi4mlir_config::{AcceleratorConfig, CpuSpec, FlowStrategy, KernelKind};
+use axi4mlir_ir::attrs::Attribute;
+use axi4mlir_ir::ops::Module;
+use axi4mlir_ir::pass::{IrSnapshot, PassManager, PassTiming};
+use axi4mlir_interp::{run_func, RtValue};
+use axi4mlir_runtime::copy::CopyStrategy;
+use axi4mlir_runtime::kernels;
+use axi4mlir_runtime::memref::MemRefDesc;
+use axi4mlir_runtime::soc::Soc;
+use axi4mlir_sim::axi::LoopbackAccelerator;
+use axi4mlir_sim::counters::PerfCounters;
+use axi4mlir_sim::mem::ElemType;
+use axi4mlir_workloads::batched::BatchedMatMulProblem;
+use axi4mlir_workloads::matmul::MatMulProblem;
+use axi4mlir_workloads::resnet::ConvLayer;
+
+use crate::annotate::MatchAndAnnotatePass;
+use crate::codegen::GenerateAccelDriverPass;
+use crate::lower::LowerAccelToRuntimePass;
+use crate::options::{CacheTiling, PipelineOptions};
+use crate::pipeline::{build_conv_module, build_matmul_module, instantiate_accelerator};
+
+/// What one compile-and-execute run produced.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Accelerator (or `"cpu"`) the run used.
+    pub accel_name: String,
+    /// Flow name the driver implemented.
+    pub flow: String,
+    /// Perf counters for the whole kernel execution.
+    pub counters: PerfCounters,
+    /// Task clock in milliseconds.
+    pub task_clock_ms: f64,
+    /// Whether the numeric result matched the reference kernel.
+    pub verified: bool,
+    /// Cache-tiling edge the compiler chose (if any).
+    pub cache_tile: Option<i64>,
+    /// IR snapshots (when requested).
+    pub ir_after: Vec<IrSnapshot>,
+    /// Wall-clock time each compiler pass took.
+    pub pass_timings: Vec<PassTiming>,
+    /// The computed output buffer(s), concatenated.
+    pub result: Vec<i32>,
+}
+
+/// SoC buffers bound for one run: interpreter arguments plus the output
+/// descriptors to read back (in verification order).
+pub struct BoundBuffers {
+    /// Arguments for the entry function, in signature order.
+    pub args: Vec<RtValue>,
+    /// Output buffers, read back contiguously and concatenated.
+    pub outputs: Vec<MemRefDesc>,
+    /// The reference result the concatenated outputs must equal. Filled
+    /// when the session asked for it (`want_reference`), computed from the
+    /// same generated inputs that seeded the buffers — data is generated
+    /// once per run.
+    pub expected: Option<Vec<i32>>,
+}
+
+/// One kernel the driver layer can compile and run.
+///
+/// Implementations describe everything kernel-specific; [`Session`]
+/// supplies everything execution-specific. The contract between the two:
+/// [`Workload::bind`] is called on a freshly recycled SoC, and when
+/// `want_reference` is `true` the concatenated contents of
+/// [`BoundBuffers::outputs`] after execution must equal
+/// [`BoundBuffers::expected`].
+pub trait Workload {
+    /// Human-readable description for diagnostics.
+    fn name(&self) -> String;
+
+    /// Name of the entry `func.func` in the built module.
+    fn entry_func(&self) -> &str;
+
+    /// Builds the IR module containing the kernel(s).
+    fn build_module(&self) -> Module;
+
+    /// Allocates and seeds SoC buffers for one run; computes the
+    /// reference result from the same data when `want_reference` is set.
+    fn bind(&self, soc: &mut Soc, seed: u64, want_reference: bool) -> BoundBuffers;
+
+    /// GEMM dimensions `(m, n, k)` if this workload is MatMul-shaped —
+    /// consumed by the cache-tiling heuristic.
+    fn matmul_dims(&self) -> Option<(i64, i64, i64)> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload implementations
+// ---------------------------------------------------------------------
+
+/// The single-GEMM workload of Figs. 10-14.
+#[derive(Clone, Copy, Debug)]
+pub struct MatMulWorkload {
+    problem: MatMulProblem,
+    cpu_tile: Option<i64>,
+}
+
+impl MatMulWorkload {
+    /// A workload for one GEMM.
+    pub fn new(problem: MatMulProblem) -> Self {
+        Self { problem, cpu_tile: None }
+    }
+
+    /// Requests CPU-kernel tiling (only meaningful for pipeline-less CPU
+    /// execution, where no compiler pass decides the tiling).
+    #[must_use]
+    pub fn with_cpu_tile(mut self, cpu_tile: Option<i64>) -> Self {
+        self.cpu_tile = cpu_tile;
+        self
+    }
+}
+
+impl Workload for MatMulWorkload {
+    fn name(&self) -> String {
+        format!("matmul {}", self.problem)
+    }
+
+    fn entry_func(&self) -> &str {
+        "matmul_call"
+    }
+
+    fn build_module(&self) -> Module {
+        let mut module = build_matmul_module(self.problem);
+        if let Some(tile) = self.cpu_tile {
+            let top = module.top();
+            for generic in module.ctx.find_ops(top, "linalg.generic") {
+                module.ctx.set_attr(generic, "cpu_tile", Attribute::Int(tile));
+            }
+        }
+        module
+    }
+
+    fn bind(&self, soc: &mut Soc, seed: u64, want_reference: bool) -> BoundBuffers {
+        let (a_data, b_data) = self.problem.generate_inputs(seed);
+        let a = MemRefDesc::alloc(&mut soc.mem, &[self.problem.m, self.problem.k], ElemType::I32);
+        let b = MemRefDesc::alloc(&mut soc.mem, &[self.problem.k, self.problem.n], ElemType::I32);
+        let c = MemRefDesc::alloc(&mut soc.mem, &[self.problem.m, self.problem.n], ElemType::I32);
+        soc.mem.store_i32_slice(a.base, &a_data);
+        soc.mem.store_i32_slice(b.base, &b_data);
+        let expected = want_reference.then(|| {
+            kernels::ref_matmul_i32(
+                &a_data,
+                &b_data,
+                self.problem.m as usize,
+                self.problem.n as usize,
+                self.problem.k as usize,
+            )
+        });
+        BoundBuffers {
+            args: vec![RtValue::MemRef(a), RtValue::MemRef(b), RtValue::MemRef(c.clone())],
+            outputs: vec![c],
+            expected,
+        }
+    }
+
+    fn matmul_dims(&self) -> Option<(i64, i64, i64)> {
+        Some((self.problem.m, self.problem.n, self.problem.k))
+    }
+}
+
+/// One ResNet-style convolution layer on the §IV-D accelerator.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvWorkload {
+    layer: ConvLayer,
+}
+
+impl ConvWorkload {
+    /// A workload for one layer.
+    pub fn new(layer: ConvLayer) -> Self {
+        Self { layer }
+    }
+
+    fn shape(&self) -> kernels::ConvShape {
+        kernels::ConvShape {
+            batch: 1,
+            in_channels: self.layer.in_channels,
+            in_hw: self.layer.in_hw,
+            out_channels: self.layer.out_channels,
+            filter_hw: self.layer.filter_hw,
+            stride: self.layer.stride,
+        }
+    }
+}
+
+impl Workload for ConvWorkload {
+    fn name(&self) -> String {
+        format!("conv2d {}", self.layer)
+    }
+
+    fn entry_func(&self) -> &str {
+        "conv_call"
+    }
+
+    fn build_module(&self) -> Module {
+        build_conv_module(self.layer)
+    }
+
+    fn bind(&self, soc: &mut Soc, seed: u64, want_reference: bool) -> BoundBuffers {
+        let shape = self.shape();
+        let (i_data, w_data) = self.layer.generate_inputs(seed);
+        let i = MemRefDesc::alloc(
+            &mut soc.mem,
+            &[1, shape.in_channels as i64, shape.in_hw as i64, shape.in_hw as i64],
+            ElemType::I32,
+        );
+        let w = MemRefDesc::alloc(
+            &mut soc.mem,
+            &[
+                shape.out_channels as i64,
+                shape.in_channels as i64,
+                shape.filter_hw as i64,
+                shape.filter_hw as i64,
+            ],
+            ElemType::I32,
+        );
+        let o = MemRefDesc::alloc(
+            &mut soc.mem,
+            &[1, shape.out_channels as i64, shape.out_hw() as i64, shape.out_hw() as i64],
+            ElemType::I32,
+        );
+        soc.mem.store_i32_slice(i.base, &i_data);
+        soc.mem.store_i32_slice(w.base, &w_data);
+        let expected = want_reference.then(|| kernels::ref_conv2d_i32(&i_data, &w_data, shape));
+        BoundBuffers {
+            args: vec![RtValue::MemRef(i), RtValue::MemRef(w), RtValue::MemRef(o.clone())],
+            outputs: vec![o],
+            expected,
+        }
+    }
+}
+
+/// A batch of independent same-shape GEMMs in one module/run — the
+/// driver layer's extensibility proof, and the shape of per-head attention
+/// GEMMs. The module carries one `linalg.generic` per element; annotate /
+/// codegen / lower handle all of them, and the batch shares one SoC (and
+/// one set of staging allocations) end to end.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchedMatMulWorkload {
+    batch: BatchedMatMulProblem,
+}
+
+impl BatchedMatMulWorkload {
+    /// A workload for the given batch.
+    pub fn new(batch: BatchedMatMulProblem) -> Self {
+        Self { batch }
+    }
+}
+
+impl Workload for BatchedMatMulWorkload {
+    fn name(&self) -> String {
+        format!("batched matmul {}", self.batch)
+    }
+
+    fn entry_func(&self) -> &str {
+        "batched_matmul_call"
+    }
+
+    fn build_module(&self) -> Module {
+        crate::pipeline::build_batched_matmul_module(self.batch)
+    }
+
+    fn bind(&self, soc: &mut Soc, seed: u64, want_reference: bool) -> BoundBuffers {
+        let p = self.batch.problem;
+        let mut args = Vec::new();
+        let mut outputs = Vec::new();
+        let mut expected =
+            want_reference.then(|| Vec::with_capacity(self.batch.batch * self.batch.output_elems()));
+        for index in 0..self.batch.batch {
+            let (a_data, b_data) = self.batch.generate_inputs(seed, index);
+            let a = MemRefDesc::alloc(&mut soc.mem, &[p.m, p.k], ElemType::I32);
+            let b = MemRefDesc::alloc(&mut soc.mem, &[p.k, p.n], ElemType::I32);
+            let c = MemRefDesc::alloc(&mut soc.mem, &[p.m, p.n], ElemType::I32);
+            soc.mem.store_i32_slice(a.base, &a_data);
+            soc.mem.store_i32_slice(b.base, &b_data);
+            args.push(RtValue::MemRef(a));
+            args.push(RtValue::MemRef(b));
+            args.push(RtValue::MemRef(c.clone()));
+            outputs.push(c);
+            if let Some(expect) = &mut expected {
+                expect.extend(kernels::ref_matmul_i32(
+                    &a_data,
+                    &b_data,
+                    p.m as usize,
+                    p.n as usize,
+                    p.k as usize,
+                ));
+            }
+        }
+        BoundBuffers { args, outputs, expected }
+    }
+
+    fn matmul_dims(&self) -> Option<(i64, i64, i64)> {
+        let p = self.batch.problem;
+        Some((p.m, p.n, p.k))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pipeline construction
+// ---------------------------------------------------------------------
+
+/// What the pipeline starts from.
+#[derive(Clone, Debug, Default)]
+enum PipelineInput {
+    /// Plain `linalg` on the CPU: no passes at all.
+    #[default]
+    CpuOnly,
+    /// IR that already carries the Fig. 6a trait attributes: codegen,
+    /// optional lowering, and dialect verification only.
+    PreAnnotated,
+    /// Plain `linalg` plus a configuration: the full pipeline.
+    Accelerator(Box<AcceleratorConfig>),
+}
+
+/// Builds the standard AXI4MLIR pass pipeline. This is the one place the
+/// pass list is wired; `Session` and `axi4mlir-opt` both use it.
+#[derive(Clone, Debug)]
+pub struct PipelineBuilder {
+    input: PipelineInput,
+    permutation: Vec<String>,
+    cache_tile: Option<i64>,
+    coalesce: bool,
+    lower: bool,
+    capture_ir: bool,
+}
+
+impl PipelineBuilder {
+    /// An empty (CPU-only) pipeline with lowering enabled once a target is
+    /// selected.
+    pub fn new() -> Self {
+        Self {
+            input: PipelineInput::CpuOnly,
+            permutation: Vec::new(),
+            cache_tile: None,
+            coalesce: false,
+            lower: true,
+            capture_ir: false,
+        }
+    }
+
+    /// Targets an accelerator: enables the annotate pass and derives the
+    /// loop permutation from the configuration's selected flow (when that
+    /// flow is one of the paper's MatMul strategies).
+    #[must_use]
+    pub fn accelerator(mut self, config: AcceleratorConfig) -> Self {
+        self.permutation = FlowStrategy::from_short_name(&config.selected_flow)
+            .map(|s| s.matmul_permutation().iter().map(|d| (*d).to_owned()).collect())
+            .unwrap_or_default();
+        self.input = PipelineInput::Accelerator(Box::new(config));
+        self
+    }
+
+    /// Declares the input IR already annotated (the `axi4mlir-opt`
+    /// no-config mode): skip matching, run codegen and lowering only.
+    #[must_use]
+    pub fn pre_annotated(mut self) -> Self {
+        self.input = PipelineInput::PreAnnotated;
+        self
+    }
+
+    /// Overrides the loop permutation (dimension names, outermost first).
+    #[must_use]
+    pub fn permutation(mut self, permutation: Vec<String>) -> Self {
+        self.permutation = permutation;
+        self
+    }
+
+    /// Records the cache-tiling edge on annotated ops.
+    #[must_use]
+    pub fn cache_tile(mut self, cache_tile: Option<i64>) -> Self {
+        self.cache_tile = cache_tile;
+        self
+    }
+
+    /// Batches same-site transfers into one DMA transaction (§V).
+    #[must_use]
+    pub fn coalesce(mut self, coalesce: bool) -> Self {
+        self.coalesce = coalesce;
+        self
+    }
+
+    /// Lowers `accel` ops to the DMA runtime calls of Fig. 9.
+    #[must_use]
+    pub fn lower(mut self, lower: bool) -> Self {
+        self.lower = lower;
+        self
+    }
+
+    /// Captures IR snapshots after each pass.
+    #[must_use]
+    pub fn capture_ir(mut self, capture_ir: bool) -> Self {
+        self.capture_ir = capture_ir;
+        self
+    }
+
+    /// Assembles the pass manager, consuming the builder (the accelerator
+    /// configuration moves into the annotate pass without another clone).
+    pub fn build(self) -> PassManager {
+        let mut pm = PassManager::new();
+        pm.capture_ir(self.capture_ir);
+        match self.input {
+            PipelineInput::CpuOnly => return pm,
+            PipelineInput::PreAnnotated => {}
+            PipelineInput::Accelerator(config) => {
+                pm.add(Box::new(MatchAndAnnotatePass::new(
+                    *config,
+                    self.permutation,
+                    self.cache_tile,
+                )));
+            }
+        }
+        pm.add(Box::new(GenerateAccelDriverPass::new(self.coalesce)));
+        if self.lower {
+            pm.add(Box::new(LowerAccelToRuntimePass));
+        }
+        pm.add(Box::new(axi4mlir_dialects::verify::DialectVerifierPass));
+        pm
+    }
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compile plans
+// ---------------------------------------------------------------------
+
+/// Everything one run needs besides the workload: the target (an
+/// accelerator configuration, or CPU-only execution), pipeline options,
+/// host description, and data seed.
+#[derive(Clone, Debug)]
+pub struct CompilePlan {
+    /// The accelerator to compile for; `None` executes the unannotated
+    /// kernel on the host CPU.
+    pub config: Option<AcceleratorConfig>,
+    /// Pipeline options.
+    pub options: PipelineOptions,
+    /// Host CPU description (cache sizes for the tiling heuristic).
+    pub cpu: CpuSpec,
+    /// Data seed.
+    pub seed: u64,
+    /// Overrides the copy strategy implied by `options` (the CPU baseline
+    /// pins the element-wise copy).
+    pub copy_override: Option<CopyStrategy>,
+    /// Cache tile to report for pipeline-less runs (where no compiler pass
+    /// chooses one).
+    pub cpu_tile: Option<i64>,
+}
+
+impl CompilePlan {
+    /// A plan compiling for `config` with default options.
+    pub fn for_accelerator(config: AcceleratorConfig) -> Self {
+        Self {
+            config: Some(config),
+            options: PipelineOptions::default(),
+            cpu: CpuSpec::pynq_z2(),
+            seed: 0xA41,
+            copy_override: None,
+            cpu_tile: None,
+        }
+    }
+
+    /// A plan for the §IV-D Conv2D accelerator matched to one layer, with
+    /// the conventional conv data seed (shared by the wrapper, the bench
+    /// harness, and the examples).
+    pub fn for_conv_layer(layer: ConvLayer) -> Self {
+        let config = AcceleratorConfig::preset(axi4mlir_config::AcceleratorPreset::Conv2d {
+            ic: layer.in_channels as i64,
+            fhw: layer.filter_hw as i64,
+        });
+        Self::for_accelerator(config).seed(0xC02)
+    }
+
+    /// A CPU-only plan: no passes run, and the interpreter executes the
+    /// `linalg` op directly with element-wise copies (the `mlir CPU`
+    /// baseline of the figures).
+    pub fn cpu() -> Self {
+        Self {
+            config: None,
+            options: PipelineOptions::default(),
+            cpu: CpuSpec::pynq_z2(),
+            seed: 0xA41,
+            copy_override: Some(CopyStrategy::ElementWise),
+            cpu_tile: None,
+        }
+    }
+
+    /// Selects one of the paper's Ns/As/Bs/Cs flows. On a CPU-only plan
+    /// (no accelerator configuration) this is a no-op: nothing is
+    /// offloaded, so there is no flow to select.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's accelerator does not offer the flow.
+    #[must_use]
+    pub fn flow(mut self, flow: FlowStrategy) -> Self {
+        self.config = self.config.map(|c| c.with_selected_flow(flow.short_name()));
+        self
+    }
+
+    /// Overrides pipeline options.
+    #[must_use]
+    pub fn options(mut self, options: PipelineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the host CPU description.
+    #[must_use]
+    pub fn cpu_spec(mut self, cpu: CpuSpec) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Overrides the data seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Records the CPU tile reported for pipeline-less runs.
+    #[must_use]
+    pub fn cpu_tile(mut self, cpu_tile: Option<i64>) -> Self {
+        self.cpu_tile = cpu_tile;
+        self
+    }
+
+    /// The name reported as `accel_name`.
+    pub fn target_name(&self) -> &str {
+        self.config.as_ref().map_or("cpu", |c| c.name.as_str())
+    }
+
+    /// The flow label reported in the run report.
+    pub fn flow_name(&self) -> &str {
+        self.config.as_ref().map_or("cpu", |c| c.selected_flow.as_str())
+    }
+
+    /// Key identifying the functional device this plan targets.
+    fn device_key(&self) -> String {
+        device_key(self.config.as_ref())
+    }
+
+    /// The accelerator tile sizes `(tm, tn, tk)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] when a MatMul configuration lists fewer
+    /// than three `accel_size` dimensions (previously a panic site).
+    fn accel_tiles(config: &AcceleratorConfig) -> Result<(i64, i64, i64), Diagnostic> {
+        match config.accel_dims[..] {
+            [tm, tn, tk, ..] => Ok((tm, tn, tk)),
+            _ => Err(Diagnostic::error(format!(
+                "accelerator {}: accel_size must list at least three dimensions (m, n, k), got {:?}",
+                config.name, config.accel_dims
+            ))),
+        }
+    }
+
+    /// Resolves the cache-tiling edge for a workload.
+    fn resolve_cache_tile(&self, workload: &dyn Workload) -> Result<Option<i64>, Diagnostic> {
+        let Some(config) = &self.config else { return Ok(self.cpu_tile) };
+        if config.kernel != KernelKind::MatMul {
+            return Ok(None);
+        }
+        let tiles = Self::accel_tiles(config)?;
+        Ok(match self.options.cache_tiling {
+            CacheTiling::Off => None,
+            CacheTiling::Fixed(t) => Some(t),
+            CacheTiling::Auto => workload
+                .matmul_dims()
+                .and_then(|dims| axi4mlir_heuristics::select_cache_tile(&self.cpu, dims, tiles)),
+        })
+    }
+}
+
+/// Identity of the functional device a configuration instantiates —
+/// mirrors exactly what [`instantiate_accelerator`] decides (including
+/// the v3 fallback for unparseable MatMul names and its
+/// `accel_dims`-derived size), so two configs share a key iff they build
+/// the same model.
+fn device_key(config: Option<&AcceleratorConfig>) -> String {
+    let Some(config) = config else { return "cpu".to_owned() };
+    match config.kernel {
+        KernelKind::Conv2dNchwFchw => "conv2d".to_owned(),
+        KernelKind::MatMul => {
+            let (version, size) = crate::pipeline::parse_matmul_name(config).unwrap_or((
+                axi4mlir_accelerators::matmul::MatMulVersion::V3,
+                config.accel_dims.first().copied().unwrap_or(4) as u32,
+            ));
+            format!("{version}_{size}")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------
+
+/// A reusable executor: one simulated SoC that compiles and runs
+/// workloads. Successive [`Session::run`] calls recycle the SoC (memory
+/// capacity and device instance are kept) instead of rebuilding it, so
+/// sweeps pay allocation once; results and counters are bit-identical to
+/// using a fresh `Session` per run.
+pub struct Session {
+    soc: Soc,
+    device_key: String,
+    /// A user-supplied device is pinned: plans never swap it out.
+    pinned: bool,
+}
+
+impl Session {
+    /// A session around an already-built (possibly custom) device. The
+    /// device is **pinned**: plans drive compilation as usual, but the
+    /// session never replaces the device with the model the plan's
+    /// configuration describes.
+    pub fn new(accel: Box<dyn axi4mlir_sim::axi::StreamAccelerator>) -> Self {
+        let device_key = format!("pinned:{}", accel.name());
+        Self { soc: Soc::new(accel), device_key, pinned: true }
+    }
+
+    /// A session targeting the device a plan's configuration describes
+    /// (or the CPU for a [`CompilePlan::cpu`] plan).
+    pub fn for_plan(plan: &CompilePlan) -> Self {
+        match &plan.config {
+            Some(config) => Self::for_config(config),
+            None => Self::cpu(),
+        }
+    }
+
+    /// A session around the functional model `config` describes.
+    pub fn for_config(config: &AcceleratorConfig) -> Self {
+        Self {
+            soc: Soc::new(instantiate_accelerator(config)),
+            device_key: device_key(Some(config)),
+            pinned: false,
+        }
+    }
+
+    /// A CPU-only session (loopback device; nothing is offloaded).
+    pub fn cpu() -> Self {
+        Self {
+            soc: Soc::new(Box::new(LoopbackAccelerator::new())),
+            device_key: "cpu".to_owned(),
+            pinned: false,
+        }
+    }
+
+    /// A session for sweeping over accelerator configurations: the device
+    /// is instantiated (and later swapped) on demand by each plan, while
+    /// memory and cache structures persist across the whole sweep.
+    pub fn for_sweep() -> Self {
+        Self::cpu()
+    }
+
+    /// The simulated system (for inspecting counters or cost model).
+    pub fn soc(&self) -> &Soc {
+        &self.soc
+    }
+
+    /// Swaps the device when the plan targets a different accelerator
+    /// than the current one; keeps it (and its warm allocations) otherwise.
+    /// Pinned (user-supplied) devices are never swapped.
+    fn retarget(&mut self, plan: &CompilePlan) {
+        if self.pinned {
+            return;
+        }
+        let wanted = plan.device_key();
+        if self.device_key == wanted {
+            return;
+        }
+        let device: Box<dyn axi4mlir_sim::axi::StreamAccelerator> = match &plan.config {
+            Some(config) => instantiate_accelerator(config),
+            None => Box::new(LoopbackAccelerator::new()),
+        };
+        self.soc.replace_accelerator(device);
+        self.device_key = wanted;
+    }
+
+    /// Compiles `workload` according to `plan`, executes it on this
+    /// session's SoC, and verifies the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation diagnostics, interpreter errors, DMA
+    /// protocol violations, and accelerator protocol errors.
+    pub fn run(&mut self, workload: &dyn Workload, plan: &CompilePlan) -> Result<RunReport, Diagnostic> {
+        // Compile.
+        let cache_tile = plan.resolve_cache_tile(workload)?;
+        let mut builder = PipelineBuilder::new()
+            .cache_tile(cache_tile)
+            .coalesce(plan.options.coalesce_transfers)
+            .lower(plan.options.lower_to_runtime_calls)
+            .capture_ir(plan.options.capture_ir);
+        if let Some(config) = &plan.config {
+            builder = builder.accelerator(config.clone());
+        }
+        let mut module = workload.build_module();
+        let mut pm = builder.build();
+        let ir_after = pm.run(&mut module)?;
+        let pass_timings = pm.timings().to_vec();
+
+        // Execute on the recycled SoC.
+        self.retarget(plan);
+        self.soc.recycle();
+        let buffers = workload.bind(&mut self.soc, plan.seed, plan.options.verify_result);
+        self.soc.reset_run_state();
+        let copy_strategy =
+            plan.copy_override.unwrap_or_else(|| plan.options.copy_strategy(&self.soc.cost));
+        run_func(&mut self.soc, &module, workload.entry_func(), buffers.args, copy_strategy)
+            .map_err(Diagnostic::from)?;
+        if self.soc.accel.protocol_errors() > 0 {
+            return Err(Diagnostic::error(format!(
+                "accelerator {} observed {} protocol errors running {}",
+                self.soc.accel.name(),
+                self.soc.accel.protocol_errors(),
+                workload.name()
+            )));
+        }
+
+        // Read back and verify.
+        let mut result = Vec::new();
+        for output in &buffers.outputs {
+            result.extend(self.soc.mem.load_i32_slice(output.base, output.num_elements() as usize));
+        }
+        let verified = match (&buffers.expected, plan.options.verify_result) {
+            (Some(expected), true) => result == *expected,
+            (None, true) => {
+                return Err(Diagnostic::error(format!(
+                    "workload {} did not produce a reference result although verification was requested",
+                    workload.name()
+                )))
+            }
+            (_, false) => true,
+        };
+        Ok(RunReport {
+            accel_name: plan.target_name().to_owned(),
+            flow: plan.flow_name().to_owned(),
+            counters: self.soc.counters,
+            task_clock_ms: self.soc.task_clock_ms(),
+            verified,
+            cache_tile,
+            ir_after,
+            pass_timings,
+            result,
+        })
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("device", &self.device_key).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi4mlir_config::AcceleratorPreset;
+
+    fn v3(size: i64) -> AcceleratorConfig {
+        AcceleratorConfig::preset(AcceleratorPreset::V3 { size })
+    }
+
+    #[test]
+    fn session_runs_matmul_end_to_end() {
+        let plan = CompilePlan::for_accelerator(v3(4)).flow(FlowStrategy::OutputStationary);
+        let report = Session::for_plan(&plan)
+            .run(&MatMulWorkload::new(MatMulProblem::square(8)), &plan)
+            .unwrap();
+        assert!(report.verified);
+        assert!(report.counters.dma_transactions > 0);
+        assert!(!report.pass_timings.is_empty(), "pass timings are captured");
+    }
+
+    #[test]
+    fn session_reuse_is_bit_identical_to_fresh_sessions() {
+        let plan = CompilePlan::for_accelerator(v3(4)).flow(FlowStrategy::InputAStationary);
+        let workload = MatMulWorkload::new(MatMulProblem::square(16));
+        let mut shared = Session::for_plan(&plan);
+        let first = shared.run(&workload, &plan).unwrap();
+        let second = shared.run(&workload, &plan).unwrap();
+        let fresh = Session::for_plan(&plan).run(&workload, &plan).unwrap();
+        assert_eq!(first.counters, second.counters, "recycling is deterministic");
+        assert_eq!(first.result, second.result);
+        assert_eq!(first.counters, fresh.counters, "reuse matches a fresh session");
+        assert_eq!(first.task_clock_ms, fresh.task_clock_ms);
+    }
+
+    #[test]
+    fn session_retargets_between_devices() {
+        let mut session = Session::cpu();
+        let cpu_plan = CompilePlan::cpu();
+        let workload = MatMulWorkload::new(MatMulProblem::square(8));
+        let cpu = session.run(&workload, &cpu_plan).unwrap();
+        assert!(cpu.verified);
+        assert_eq!(cpu.counters.dma_transactions, 0);
+        // Same session, now on a v3 accelerator.
+        let accel_plan = CompilePlan::for_accelerator(v3(4)).flow(FlowStrategy::NothingStationary);
+        let accel = session.run(&workload, &accel_plan).unwrap();
+        assert!(accel.verified);
+        assert!(accel.counters.dma_transactions > 0);
+        assert_eq!(accel.accel_name, "v3_4");
+    }
+
+    #[test]
+    fn batched_matmul_runs_and_verifies() {
+        let batch = BatchedMatMulProblem::new(MatMulProblem::square(8), 3);
+        let plan = CompilePlan::for_accelerator(v3(4)).flow(FlowStrategy::OutputStationary);
+        let report =
+            Session::for_plan(&plan).run(&BatchedMatMulWorkload::new(batch), &plan).unwrap();
+        assert!(report.verified, "all batch elements must match their references");
+        assert_eq!(report.result.len(), 3 * 64);
+        // The batch moves roughly batch-times the data of one element.
+        let single = Session::for_plan(&plan)
+            .run(&MatMulWorkload::new(MatMulProblem::square(8)), &plan)
+            .unwrap();
+        assert!(report.counters.dma_bytes_to_accel > 2 * single.counters.dma_bytes_to_accel);
+    }
+
+    #[test]
+    fn custom_devices_are_pinned() {
+        // A hand-built v3 model under a session created with `new` must
+        // not be swapped out by a plan whose config names the same model.
+        let mut session =
+            Session::new(Box::new(axi4mlir_accelerators::matmul::MatMulAccel::new(
+                axi4mlir_accelerators::matmul::MatMulVersion::V3,
+                4,
+            )));
+        let plan = CompilePlan::for_accelerator(v3(4)).flow(FlowStrategy::NothingStationary);
+        let report = session.run(&MatMulWorkload::new(MatMulProblem::square(8)), &plan).unwrap();
+        assert!(report.verified);
+        assert_eq!(session.soc().accel.name(), "v3_4", "the pinned device still serves the run");
+        // Even a CPU plan keeps the pinned device in place.
+        let cpu = session.run(&MatMulWorkload::new(MatMulProblem::square(8)), &CompilePlan::cpu());
+        assert!(cpu.unwrap().verified);
+        assert_eq!(session.soc().accel.name(), "v3_4");
+    }
+
+    #[test]
+    fn fallback_named_configs_retarget_on_dims_change() {
+        // Two configs with the same unparseable name but different
+        // accel_dims instantiate different v3 sizes; the session must
+        // swap devices between them.
+        let mut small = v3(4);
+        small.name = "custom_accel".to_owned();
+        let mut large = v3(8);
+        large.name = "custom_accel".to_owned();
+        let mut session = Session::for_sweep();
+        let a = CompilePlan::for_accelerator(small).flow(FlowStrategy::NothingStationary);
+        session.run(&MatMulWorkload::new(MatMulProblem::square(8)), &a).unwrap();
+        assert_eq!(session.soc().accel.name(), "v3_4");
+        let b = CompilePlan::for_accelerator(large).flow(FlowStrategy::NothingStationary);
+        let report = session.run(&MatMulWorkload::new(MatMulProblem::square(8)), &b).unwrap();
+        assert!(report.verified);
+        assert_eq!(session.soc().accel.name(), "v3_8", "dims change must re-instantiate");
+    }
+
+    #[test]
+    fn too_few_accel_dims_is_a_diagnostic_not_a_panic() {
+        let mut config = v3(4);
+        config.accel_dims = vec![4, 4];
+        let plan = CompilePlan::for_accelerator(config);
+        let err = Session::for_plan(&plan)
+            .run(&MatMulWorkload::new(MatMulProblem::square(8)), &plan)
+            .unwrap_err();
+        assert!(err.message.contains("at least three dimensions"), "{}", err.message);
+    }
+
+    #[test]
+    fn pipeline_builder_wires_the_standard_pipeline() {
+        let pm = PipelineBuilder::new().accelerator(v3(8)).build();
+        assert_eq!(pm.len(), 4, "annotate, codegen, lower, verify");
+        let pm = PipelineBuilder::new().accelerator(v3(8)).lower(false).build();
+        assert_eq!(pm.len(), 3);
+        let pm = PipelineBuilder::new().build();
+        assert!(pm.is_empty(), "CPU-only plans run no passes");
+        let pm = PipelineBuilder::new().pre_annotated().build();
+        assert_eq!(pm.len(), 3, "pre-annotated IR skips the matcher");
+    }
+}

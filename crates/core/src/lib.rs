@@ -16,15 +16,43 @@
 //!    seven DMA runtime library calls of Fig. 9.
 //! 6. The DMA library itself — `axi4mlir-runtime`.
 //!
-//! [`pipeline::CompileAndRun`] wires everything to the simulated SoC and is
-//! the API the examples, tests, and benchmarks use.
+//! # The driver layer
+//!
+//! Experiments consume the compiler through the [`driver`] module, which
+//! splits the compile-and-run loop into three orthogonal pieces:
+//!
+//! - a [`driver::Workload`] describes one kernel: how to build its IR
+//!   module, bind and seed its SoC buffers, and compute its reference
+//!   result. MatMul ([`driver::MatMulWorkload`]), Conv2D
+//!   ([`driver::ConvWorkload`]), and batched MatMul
+//!   ([`driver::BatchedMatMulWorkload`]) ship in-tree; a new kernel is one
+//!   new implementation of this trait.
+//! - a [`driver::CompilePlan`] names the target (an accelerator
+//!   configuration, or CPU-only execution), the selected flow, and the
+//!   [`PipelineOptions`]; [`driver::PipelineBuilder`] turns it into the
+//!   standard pass pipeline (the single place the pass list is wired —
+//!   `axi4mlir-opt` uses it too).
+//! - a [`driver::Session`] owns the simulated SoC, executes plans, and
+//!   **recycles the system between runs** (same addresses, zeroed memory,
+//!   reset device), so sweeps amortize allocation while staying
+//!   bit-identical to fresh runs. It produces a [`driver::RunReport`] with
+//!   counters, verification, IR snapshots, and per-pass timings.
+//!
+//! The original one-call entry points — [`pipeline::CompileAndRun`],
+//! [`pipeline::ConvCompileAndRun`], [`pipeline::run_cpu_matmul`] — remain
+//! as thin wrappers over one-shot sessions.
 
 pub mod annotate;
 pub mod codegen;
+pub mod driver;
 pub mod lower;
 pub mod options;
 pub mod pipeline;
 pub mod plan;
 
+pub use driver::{
+    BatchedMatMulWorkload, CompilePlan, ConvWorkload, MatMulWorkload, PipelineBuilder, RunReport,
+    Session, Workload,
+};
 pub use options::{CacheTiling, PipelineOptions};
-pub use pipeline::{CompileAndRun, RunReport};
+pub use pipeline::CompileAndRun;

@@ -1,54 +1,29 @@
-//! End-to-end pipeline: build IR → annotate → generate driver → lower →
-//! execute on the simulated SoC → verify against the reference kernel.
+//! IR module builders and the legacy one-shot entry points.
 //!
-//! This is the programmatic equivalent of the paper's
-//! `app.mlir → axi4mlir passes → cross-compile → run on the PYNQ board`
-//! loop, collapsed into one call so experiments can sweep configurations.
+//! The compile-and-run loop itself lives in the [`crate::driver`] layer
+//! ([`Workload`](crate::driver::Workload) + [`Session`]); this module keeps
+//! the `func`/`linalg` module builders and the original one-call APIs
+//! ([`CompileAndRun`], [`ConvCompileAndRun`], [`run_cpu_matmul`]), which
+//! are now thin wrappers constructing a [`CompilePlan`] and a one-shot
+//! [`Session`]. Sweeps that want to amortize SoC setup across runs should
+//! hold a `Session` directly.
 
 use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_accelerators::conv::ConvAccel;
 use axi4mlir_accelerators::matmul::{MatMulAccel, MatMulVersion};
 use axi4mlir_config::{AcceleratorConfig, CpuSpec, FlowStrategy, KernelKind};
 use axi4mlir_dialects::{func, linalg};
-use axi4mlir_ir::attrs::Attribute;
 use axi4mlir_ir::ops::Module;
-use axi4mlir_ir::pass::{IrSnapshot, PassManager};
 use axi4mlir_ir::types::{MemRefType, Type};
-use axi4mlir_interp::{run_func, RtValue};
-use axi4mlir_runtime::kernels;
-use axi4mlir_runtime::memref::MemRefDesc;
-use axi4mlir_runtime::soc::Soc;
-use axi4mlir_sim::axi::{LoopbackAccelerator, StreamAccelerator};
-use axi4mlir_sim::counters::PerfCounters;
-use axi4mlir_sim::mem::ElemType;
+use axi4mlir_sim::axi::StreamAccelerator;
+use axi4mlir_workloads::batched::BatchedMatMulProblem;
 use axi4mlir_workloads::matmul::MatMulProblem;
 use axi4mlir_workloads::resnet::ConvLayer;
 
-use crate::annotate::MatchAndAnnotatePass;
-use crate::codegen::GenerateAccelDriverPass;
-use crate::lower::LowerAccelToRuntimePass;
-use crate::options::{CacheTiling, PipelineOptions};
+use crate::driver::{CompilePlan, ConvWorkload, MatMulWorkload, Session};
+use crate::options::PipelineOptions;
 
-/// What one compile-and-execute run produced.
-#[derive(Clone, Debug)]
-pub struct RunReport {
-    /// Accelerator (or `"cpu"`) the run used.
-    pub accel_name: String,
-    /// Flow name the driver implemented.
-    pub flow: String,
-    /// Perf counters for the whole kernel execution.
-    pub counters: PerfCounters,
-    /// Task clock in milliseconds.
-    pub task_clock_ms: f64,
-    /// Whether the numeric result matched the reference kernel.
-    pub verified: bool,
-    /// Cache-tiling edge the compiler chose (if any).
-    pub cache_tile: Option<i64>,
-    /// IR snapshots (when requested).
-    pub ir_after: Vec<IrSnapshot>,
-    /// The computed output buffer.
-    pub result: Vec<i32>,
-}
+pub use crate::driver::RunReport;
 
 /// Instantiates the functional accelerator model a configuration describes.
 ///
@@ -66,7 +41,7 @@ pub fn instantiate_accelerator(config: &AcceleratorConfig) -> Box<dyn StreamAcce
     }
 }
 
-fn parse_matmul_name(config: &AcceleratorConfig) -> Option<(MatMulVersion, u32)> {
+pub(crate) fn parse_matmul_name(config: &AcceleratorConfig) -> Option<(MatMulVersion, u32)> {
     let (v, s) = config.name.split_once('_')?;
     let version = match v {
         "v1" => MatMulVersion::V1,
@@ -91,6 +66,36 @@ pub fn build_matmul_module(problem: MatMulProblem) -> Module {
     let c = func::arg(&module.ctx, f.op, 2);
     let mut builder = func::entry_builder(&mut module.ctx, &f);
     linalg::generic_matmul(&mut builder, a, b, c);
+    module
+}
+
+/// Builds `func.func @batched_matmul_call(%A0, %B0, %C0, %A1, ...)` with
+/// one matmul-traited `linalg.generic` per batch element. All generics
+/// match the same accelerator trait, so the standard passes annotate and
+/// rewrite every element of the batch.
+pub fn build_batched_matmul_module(batch: BatchedMatMulProblem) -> Module {
+    let p = batch.problem;
+    let mut module = Module::new();
+    let a_ty = Type::MemRef(MemRefType::contiguous(vec![p.m, p.k], Type::i32()));
+    let b_ty = Type::MemRef(MemRefType::contiguous(vec![p.k, p.n], Type::i32()));
+    let c_ty = Type::MemRef(MemRefType::contiguous(vec![p.m, p.n], Type::i32()));
+    let mut arg_types = Vec::with_capacity(3 * batch.batch);
+    for _ in 0..batch.batch {
+        arg_types.push(a_ty.clone());
+        arg_types.push(b_ty.clone());
+        arg_types.push(c_ty.clone());
+    }
+    let f = func::func(&mut module, "batched_matmul_call", arg_types, vec![]);
+    let args: Vec<_> = (0..3 * batch.batch).map(|i| func::arg(&module.ctx, f.op, i)).collect();
+    let mut builder = func::entry_builder(&mut module.ctx, &f);
+    for element in 0..batch.batch {
+        linalg::generic_matmul(
+            &mut builder,
+            args[3 * element],
+            args[3 * element + 1],
+            args[3 * element + 2],
+        );
+    }
     module
 }
 
@@ -119,7 +124,8 @@ pub fn build_conv_module(layer: ConvLayer) -> Module {
     module
 }
 
-/// One-stop MatMul compile-and-run.
+/// One-stop MatMul compile-and-run (wrapper over a one-shot
+/// [`Session`]).
 #[derive(Clone, Debug)]
 pub struct CompileAndRun {
     config: AcceleratorConfig,
@@ -174,131 +180,25 @@ impl CompileAndRun {
     /// Propagates compilation diagnostics, interpreter errors, DMA protocol
     /// violations, and accelerator protocol errors.
     pub fn execute(self) -> Result<RunReport, Diagnostic> {
-        let flow_name = self.config.selected_flow.clone();
-        let strategy = FlowStrategy::from_short_name(&flow_name);
-        let permutation: Vec<String> = match strategy {
-            Some(s) => s.matmul_permutation().iter().map(|x| (*x).to_owned()).collect(),
-            None => Vec::new(),
-        };
-        let tiles = (
-            self.config.accel_dims[0],
-            self.config.accel_dims[1],
-            self.config.accel_dims[2],
-        );
-        let cache_tile = match self.options.cache_tiling {
-            CacheTiling::Off => None,
-            CacheTiling::Fixed(t) => Some(t),
-            CacheTiling::Auto => axi4mlir_heuristics::select_cache_tile(
-                &self.cpu,
-                (self.problem.m, self.problem.n, self.problem.k),
-                tiles,
-            ),
-        };
-
-        let mut module = build_matmul_module(self.problem);
-        let mut pm = PassManager::new();
-        pm.capture_ir(self.options.capture_ir);
-        pm.add(Box::new(MatchAndAnnotatePass::new(self.config.clone(), permutation, cache_tile)));
-        pm.add(Box::new(GenerateAccelDriverPass::new(self.options.coalesce_transfers)));
-        if self.options.lower_to_runtime_calls {
-            pm.add(Box::new(LowerAccelToRuntimePass));
-        }
-        pm.add(Box::new(axi4mlir_dialects::verify::DialectVerifierPass));
-        let ir_after = pm.run(&mut module)?;
-
-        let mut soc = Soc::new(instantiate_accelerator(&self.config));
-        let (a_data, b_data) = self.problem.generate_inputs(self.seed);
-        let a = MemRefDesc::alloc(&mut soc.mem, &[self.problem.m, self.problem.k], ElemType::I32);
-        let b = MemRefDesc::alloc(&mut soc.mem, &[self.problem.k, self.problem.n], ElemType::I32);
-        let c = MemRefDesc::alloc(&mut soc.mem, &[self.problem.m, self.problem.n], ElemType::I32);
-        soc.mem.store_i32_slice(a.base, &a_data);
-        soc.mem.store_i32_slice(b.base, &b_data);
-        soc.reset_run_state();
-
-        let copy_strategy = self.options.copy_strategy(&soc.cost);
-        run_func(
-            &mut soc,
-            &module,
-            "matmul_call",
-            vec![RtValue::MemRef(a.clone()), RtValue::MemRef(b.clone()), RtValue::MemRef(c.clone())],
-            copy_strategy,
-        )
-        .map_err(Diagnostic::from)?;
-        if soc.accel.protocol_errors() > 0 {
-            return Err(Diagnostic::error(format!(
-                "accelerator {} observed {} protocol errors",
-                soc.accel.name(),
-                soc.accel.protocol_errors()
-            )));
-        }
-
-        let result = soc.mem.load_i32_slice(c.base, (self.problem.m * self.problem.n) as usize);
-        let verified = if self.options.verify_result {
-            let expect = kernels::ref_matmul_i32(
-                &a_data,
-                &b_data,
-                self.problem.m as usize,
-                self.problem.n as usize,
-                self.problem.k as usize,
-            );
-            result == expect
-        } else {
-            true
-        };
-        Ok(RunReport {
-            accel_name: self.config.name.clone(),
-            flow: flow_name,
-            counters: soc.counters,
-            task_clock_ms: soc.task_clock_ms(),
-            verified,
-            cache_tile,
-            ir_after,
-            result,
-        })
+        let plan = CompilePlan::for_accelerator(self.config)
+            .options(self.options)
+            .cpu_spec(self.cpu)
+            .seed(self.seed);
+        Session::for_plan(&plan).run(&MatMulWorkload::new(self.problem), &plan)
     }
 }
 
 /// Runs the `mlir CPU` baseline for a MatMul: the tiled CPU kernel with no
-/// accelerator involved.
+/// accelerator involved (wrapper over a one-shot CPU [`Session`]).
 pub fn run_cpu_matmul(problem: MatMulProblem, cache_tile: Option<i64>, seed: u64) -> RunReport {
-    let mut module = build_matmul_module(problem);
-    if let Some(t) = cache_tile {
-        let top = module.top();
-        let generic = module.ctx.find_ops(top, "linalg.generic")[0];
-        module.ctx.set_attr(generic, "cpu_tile", Attribute::Int(t));
-    }
-    let mut soc = Soc::new(Box::new(LoopbackAccelerator::new()));
-    let (a_data, b_data) = problem.generate_inputs(seed);
-    let a = MemRefDesc::alloc(&mut soc.mem, &[problem.m, problem.k], ElemType::I32);
-    let b = MemRefDesc::alloc(&mut soc.mem, &[problem.k, problem.n], ElemType::I32);
-    let c = MemRefDesc::alloc(&mut soc.mem, &[problem.m, problem.n], ElemType::I32);
-    soc.mem.store_i32_slice(a.base, &a_data);
-    soc.mem.store_i32_slice(b.base, &b_data);
-    soc.reset_run_state();
-    run_func(
-        &mut soc,
-        &module,
-        "matmul_call",
-        vec![RtValue::MemRef(a), RtValue::MemRef(b), RtValue::MemRef(c.clone())],
-        axi4mlir_runtime::copy::CopyStrategy::ElementWise,
-    )
-    .expect("CPU baseline interprets supported ops only");
-    let result = soc.mem.load_i32_slice(c.base, (problem.m * problem.n) as usize);
-    let expect =
-        kernels::ref_matmul_i32(&a_data, &b_data, problem.m as usize, problem.n as usize, problem.k as usize);
-    RunReport {
-        accel_name: "cpu".to_owned(),
-        flow: "cpu".to_owned(),
-        counters: soc.counters,
-        task_clock_ms: soc.task_clock_ms(),
-        verified: result == expect,
-        cache_tile,
-        ir_after: Vec::new(),
-        result,
-    }
+    let plan = CompilePlan::cpu().seed(seed).cpu_tile(cache_tile);
+    Session::cpu()
+        .run(&MatMulWorkload::new(problem).with_cpu_tile(cache_tile), &plan)
+        .expect("CPU baseline interprets supported ops only")
 }
 
-/// One-stop Conv2D compile-and-run against the §IV-D accelerator.
+/// One-stop Conv2D compile-and-run against the §IV-D accelerator
+/// (wrapper over a one-shot [`Session`]).
 #[derive(Clone, Debug)]
 pub struct ConvCompileAndRun {
     layer: ConvLayer,
@@ -325,78 +225,8 @@ impl ConvCompileAndRun {
     ///
     /// See [`CompileAndRun::execute`].
     pub fn execute(self) -> Result<RunReport, Diagnostic> {
-        let config = AcceleratorConfig::preset(axi4mlir_config::AcceleratorPreset::Conv2d {
-            ic: self.layer.in_channels as i64,
-            fhw: self.layer.filter_hw as i64,
-        });
-        let mut module = build_conv_module(self.layer);
-        let mut pm = PassManager::new();
-        pm.capture_ir(self.options.capture_ir);
-        pm.add(Box::new(MatchAndAnnotatePass::new(config.clone(), Vec::new(), None)));
-        pm.add(Box::new(GenerateAccelDriverPass::default()));
-        if self.options.lower_to_runtime_calls {
-            pm.add(Box::new(LowerAccelToRuntimePass));
-        }
-        pm.add(Box::new(axi4mlir_dialects::verify::DialectVerifierPass));
-        let ir_after = pm.run(&mut module)?;
-
-        let mut soc = Soc::new(instantiate_accelerator(&config));
-        let (i_data, w_data) = self.layer.generate_inputs(self.seed);
-        let shape = kernels::ConvShape {
-            batch: 1,
-            in_channels: self.layer.in_channels,
-            in_hw: self.layer.in_hw,
-            out_channels: self.layer.out_channels,
-            filter_hw: self.layer.filter_hw,
-            stride: self.layer.stride,
-        };
-        let i = MemRefDesc::alloc(
-            &mut soc.mem,
-            &[1, shape.in_channels as i64, shape.in_hw as i64, shape.in_hw as i64],
-            ElemType::I32,
-        );
-        let w = MemRefDesc::alloc(
-            &mut soc.mem,
-            &[shape.out_channels as i64, shape.in_channels as i64, shape.filter_hw as i64, shape.filter_hw as i64],
-            ElemType::I32,
-        );
-        let o = MemRefDesc::alloc(
-            &mut soc.mem,
-            &[1, shape.out_channels as i64, shape.out_hw() as i64, shape.out_hw() as i64],
-            ElemType::I32,
-        );
-        soc.mem.store_i32_slice(i.base, &i_data);
-        soc.mem.store_i32_slice(w.base, &w_data);
-        soc.reset_run_state();
-
-        let copy_strategy = self.options.copy_strategy(&soc.cost);
-        run_func(
-            &mut soc,
-            &module,
-            "conv_call",
-            vec![RtValue::MemRef(i), RtValue::MemRef(w), RtValue::MemRef(o.clone())],
-            copy_strategy,
-        )
-        .map_err(Diagnostic::from)?;
-        if soc.accel.protocol_errors() > 0 {
-            return Err(Diagnostic::error("conv accelerator observed protocol errors"));
-        }
-        let result = soc.mem.load_i32_slice(o.base, shape.output_len());
-        let verified = if self.options.verify_result {
-            result == kernels::ref_conv2d_i32(&i_data, &w_data, shape)
-        } else {
-            true
-        };
-        Ok(RunReport {
-            accel_name: config.name,
-            flow: "FOs".to_owned(),
-            counters: soc.counters,
-            task_clock_ms: soc.task_clock_ms(),
-            verified,
-            cache_tile: None,
-            ir_after,
-            result,
-        })
+        let plan = CompilePlan::for_conv_layer(self.layer).options(self.options).seed(self.seed);
+        Session::for_plan(&plan).run(&ConvWorkload::new(self.layer), &plan)
     }
 }
 
@@ -404,6 +234,7 @@ impl ConvCompileAndRun {
 mod tests {
     use super::*;
     use axi4mlir_config::AcceleratorPreset;
+    use crate::options::CacheTiling;
 
     #[test]
     fn v3_ns_flow_end_to_end() {
@@ -434,8 +265,7 @@ mod tests {
     fn accel_and_lowered_paths_agree() {
         let mk = |lower: bool| {
             let config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 4 });
-            let mut options = PipelineOptions::default();
-            options.lower_to_runtime_calls = lower;
+            let options = PipelineOptions { lower_to_runtime_calls: lower, ..PipelineOptions::default() };
             CompileAndRun::new(config, MatMulProblem::square(8))
                 .flow(FlowStrategy::InputAStationary)
                 .options(options)
@@ -456,6 +286,9 @@ mod tests {
         assert!(report.verified);
         assert_eq!(report.counters.dma_transactions, 0);
         assert_eq!(report.counters.accel_macs, 0);
+        assert_eq!(report.cache_tile, Some(8), "the requested CPU tile is reported");
+        assert_eq!(report.accel_name, "cpu");
+        assert_eq!(report.flow, "cpu");
     }
 
     #[test]
@@ -474,5 +307,65 @@ mod tests {
         assert_eq!(instantiate_accelerator(&v4).name(), "v4_16");
         let conv = AcceleratorConfig::preset(AcceleratorPreset::Conv2d { ic: 4, fhw: 1 });
         assert_eq!(instantiate_accelerator(&conv).name(), "conv2d");
+    }
+
+    #[test]
+    fn malformed_names_fall_back_to_v3_of_the_configured_size() {
+        // `v5_4`: unknown version prefix. `v3_x`: unparseable size.
+        // `nounderscore`: no `_` separator at all. Every one falls back to
+        // a v3 model sized by `accel_dims[0]`.
+        for bad_name in ["v5_4", "v3_x", "nounderscore"] {
+            let mut config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 8 });
+            config.name = bad_name.to_owned();
+            assert_eq!(
+                instantiate_accelerator(&config).name(),
+                "v3_8",
+                "`{bad_name}` must fall back to the v3 default"
+            );
+        }
+        // The fallback size itself defaults to 4 when accel_dims is empty.
+        let mut config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 8 });
+        config.name = "weird".to_owned();
+        config.accel_dims = Vec::new();
+        assert_eq!(instantiate_accelerator(&config).name(), "v3_4");
+    }
+
+    #[test]
+    fn well_formed_names_choose_every_version() {
+        for (name, expect) in
+            [("v1_4", "v1_4"), ("v2_8", "v2_8"), ("v3_16", "v3_16"), ("v4_32", "v4_32")]
+        {
+            let mut config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 4 });
+            config.name = name.to_owned();
+            assert_eq!(instantiate_accelerator(&config).name(), expect);
+        }
+    }
+
+    #[test]
+    fn flow_short_names_roundtrip() {
+        for flow in FlowStrategy::all() {
+            assert_eq!(
+                FlowStrategy::from_short_name(flow.short_name()),
+                Some(flow),
+                "{flow} must round-trip through its short name"
+            );
+        }
+        for unknown in ["", "ns", "NS", "Xs", "v3"] {
+            assert_eq!(FlowStrategy::from_short_name(unknown), None, "`{unknown}`");
+        }
+    }
+
+    #[test]
+    fn fixed_cache_tiling_is_reported() {
+        let mut options = PipelineOptions::optimized();
+        options.cache_tiling = CacheTiling::Fixed(32);
+        let config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 8 });
+        let report = CompileAndRun::new(config, MatMulProblem::square(64))
+            .flow(FlowStrategy::NothingStationary)
+            .options(options)
+            .execute()
+            .unwrap();
+        assert!(report.verified);
+        assert_eq!(report.cache_tile, Some(32));
     }
 }

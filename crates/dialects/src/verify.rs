@@ -72,11 +72,10 @@ fn check_op(ctx: &IrCtx, op: OpId, diags: &mut DiagnosticEngine) {
                 _ => err(diags, op, &name, "body must terminate with func.return"),
             }
         }
-        "func.call" => {
-            if ctx.attr(op, "callee").and_then(|a| a.as_str()).is_none() {
+        "func.call"
+            if ctx.attr(op, "callee").and_then(|a| a.as_str()).is_none() => {
                 err(diags, op, &name, "missing callee attribute");
             }
-        }
         "memref.load" => {
             let Some(m) = data.operands.first().map(|v| ctx.value_type(*v)) else {
                 err(diags, op, &name, "missing memref operand");
@@ -141,11 +140,10 @@ fn check_op(ctx: &IrCtx, op: OpId, diags: &mut DiagnosticEngine) {
                 }
             }
         }
-        "arith.constant" => {
-            if ctx.attr(op, "value").is_none() {
+        "arith.constant"
+            if ctx.attr(op, "value").is_none() => {
                 err(diags, op, &name, "missing value attribute");
             }
-        }
         "arith.addi" | "arith.muli" | "arith.addf" | "arith.mulf" => {
             if data.operands.len() != 2 {
                 err(diags, op, &name, "expects two operands");
@@ -172,11 +170,10 @@ fn check_op(ctx: &IrCtx, op: OpId, diags: &mut DiagnosticEngine) {
                 }
             }
         }
-        accel::SEND_LITERAL | accel::SEND_IDX => {
-            if data.operands.len() != 2 {
+        accel::SEND_LITERAL | accel::SEND_IDX
+            if data.operands.len() != 2 => {
                 err(diags, op, &name, "expects (value, offset) operands");
             }
-        }
         accel::SEND_DIM => {
             if data.operands.len() != 2 {
                 err(diags, op, &name, "expects (memref, offset) operands");
@@ -185,11 +182,10 @@ fn check_op(ctx: &IrCtx, op: OpId, diags: &mut DiagnosticEngine) {
                 err(diags, op, &name, "missing dim attribute");
             }
         }
-        accel::DMA_INIT => {
-            if data.operands.len() != 5 {
+        accel::DMA_INIT
+            if data.operands.len() != 5 => {
                 err(diags, op, &name, "expects (id, inAddr, inSize, outAddr, outSize)");
             }
-        }
         _ => {}
     }
 }

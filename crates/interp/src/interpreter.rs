@@ -437,7 +437,7 @@ fn elem_type(ty: &Type) -> Result<ElemType, InterpError> {
 mod tests {
     use super::*;
     use axi4mlir_dialects::{arith, func, memref, scf};
-    use axi4mlir_ir::builder::OpBuilder;
+    
     use axi4mlir_sim::axi::LoopbackAccelerator;
 
     fn soc() -> Soc {
@@ -544,7 +544,7 @@ mod tests {
         let mut s = soc();
         run_func(&mut s, &m, "main", vec![], CopyStrategy::ElementWise).unwrap();
         // The store landed at flat index 2*8+3 = 19 of the 8x8 buffer.
-        let base = s.mem.load_i32_slice(axi4mlir_sim::mem::SimAddr(0x1_0000 + 0), 0);
+        let base = s.mem.load_i32_slice(axi4mlir_sim::mem::SimAddr(0x1_0000), 0);
         let _ = base;
         // Locate the buffer through a fresh descriptor with the same
         // deterministic allocation order: first alloc starts at the arena

@@ -371,11 +371,11 @@ impl<'a> P<'a> {
             return self.parse_memref_body();
         }
         let rest = self.rest();
-        if let Some(width) = rest.strip_prefix('i').and_then(|r| leading_number(r)) {
+        if let Some(width) = rest.strip_prefix('i').and_then(leading_number) {
             self.pos += 1 + width.1;
             return Ok(Type::Int(width.0 as u32));
         }
-        if let Some(width) = rest.strip_prefix('f').and_then(|r| leading_number(r)) {
+        if let Some(width) = rest.strip_prefix('f').and_then(leading_number) {
             self.pos += 1 + width.1;
             return Ok(Type::Float(width.0 as u32));
         }

@@ -35,18 +35,40 @@ pub struct IrSnapshot {
     pub ir: String,
 }
 
+/// Wall-clock cost of one pass execution (the `-mlir-timing` workflow).
+#[derive(Clone, Debug)]
+pub struct PassTiming {
+    /// Name of the pass.
+    pub pass: String,
+    /// Wall-clock time the pass (including its verification) took.
+    pub millis: f64,
+}
+
+/// Renders a timing report in the style of MLIR's `-mlir-timing`.
+pub fn render_timings(timings: &[PassTiming]) -> String {
+    let total: f64 = timings.iter().map(|t| t.millis).sum();
+    let mut out = String::from("===-- Pass execution timing report --===\n");
+    for t in timings {
+        let share = if total > 0.0 { 100.0 * t.millis / total } else { 0.0 };
+        out.push_str(&format!("  {:>10.4} ms ({share:>5.1}%)  {}\n", t.millis, t.pass));
+    }
+    out.push_str(&format!("  {total:>10.4} ms (100.0%)  total\n"));
+    out
+}
+
 /// Runs a pipeline of passes with optional verification and IR capture.
 #[derive(Default)]
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
     verify_each: bool,
     capture_ir: bool,
+    timings: Vec<PassTiming>,
 }
 
 impl PassManager {
     /// Creates an empty manager with per-pass verification enabled.
     pub fn new() -> Self {
-        Self { passes: Vec::new(), verify_each: true, capture_ir: false }
+        Self { passes: Vec::new(), verify_each: true, capture_ir: false, timings: Vec::new() }
     }
 
     /// Adds a pass to the end of the pipeline.
@@ -77,6 +99,11 @@ impl PassManager {
         self.passes.is_empty()
     }
 
+    /// Per-pass wall-clock timings of the most recent [`PassManager::run`].
+    pub fn timings(&self) -> &[PassTiming] {
+        &self.timings
+    }
+
     /// Runs the pipeline.
     ///
     /// # Errors
@@ -84,7 +111,9 @@ impl PassManager {
     /// Stops at the first failing pass or verification failure, naming it.
     pub fn run(&mut self, module: &mut Module) -> Result<Vec<IrSnapshot>, Diagnostic> {
         let mut snapshots = Vec::new();
+        self.timings.clear();
         for pass in &mut self.passes {
+            let started = std::time::Instant::now();
             let mut diags = DiagnosticEngine::new();
             pass.run(module, &mut diags).map_err(|d| {
                 Diagnostic::error(format!("pass `{}` failed: {}", pass.name(), d.message))
@@ -106,6 +135,10 @@ impl PassManager {
                     ))
                 })?;
             }
+            self.timings.push(PassTiming {
+                pass: pass.name().to_owned(),
+                millis: started.elapsed().as_secs_f64() * 1e3,
+            });
             if self.capture_ir {
                 snapshots.push(IrSnapshot {
                     pass: pass.name().to_owned(),
@@ -218,5 +251,32 @@ mod tests {
         let mut pm = PassManager::new();
         assert!(pm.is_empty());
         assert!(pm.run(&mut module).unwrap().is_empty());
+        assert!(pm.timings().is_empty());
+    }
+
+    #[test]
+    fn timings_cover_every_executed_pass() {
+        let mut module = Module::new();
+        let mut pm = PassManager::new();
+        pm.add(Box::new(AddConstant(1))).add(Box::new(AddConstant(2)));
+        pm.run(&mut module).unwrap();
+        assert_eq!(pm.timings().len(), 2);
+        assert!(pm.timings().iter().all(|t| t.pass == "test-add-constant"));
+        assert!(pm.timings().iter().all(|t| t.millis >= 0.0));
+        let report = render_timings(pm.timings());
+        assert!(report.contains("Pass execution timing report"));
+        assert!(report.contains("total"));
+        // A rerun replaces, not appends.
+        pm.run(&mut module).unwrap();
+        assert_eq!(pm.timings().len(), 2);
+    }
+
+    #[test]
+    fn failing_run_keeps_timings_of_completed_passes() {
+        let mut module = Module::new();
+        let mut pm = PassManager::new();
+        pm.add(Box::new(AddConstant(1))).add(Box::new(Failing));
+        pm.run(&mut module).unwrap_err();
+        assert_eq!(pm.timings().len(), 1, "only the pass that completed is timed");
     }
 }

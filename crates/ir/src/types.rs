@@ -36,7 +36,7 @@ impl MemRefType {
 
     /// Total element count, if all dimensions are static.
     pub fn num_elements(&self) -> Option<i64> {
-        if self.shape.iter().any(|d| *d == DYNAMIC) {
+        if self.shape.contains(&DYNAMIC) {
             None
         } else {
             Some(self.shape.iter().product())

@@ -99,11 +99,8 @@ fn verify_block(
         let before: Vec<ValueId> = odata.results.clone();
         verify_op(ctx, *op, visible, diags);
         for r in before {
-            if visible.insert(r) {
-                added.push(r);
-            } else {
-                added.push(r);
-            }
+            visible.insert(r);
+            added.push(r);
         }
     }
     // Values defined in this block stop being visible outside it.

@@ -157,7 +157,7 @@ fn run_origins(view: &MemRefDesc, run_elems: i64) -> Vec<Vec<i64>> {
     };
     lead.indices()
         .map(|mut idx| {
-            idx.extend(std::iter::repeat(0).take(view.rank() - idx.len()));
+            idx.extend(std::iter::repeat_n(0, view.rank() - idx.len()));
             idx
         })
         .collect()
@@ -337,7 +337,7 @@ mod tests {
         assert!(!col.unit_innermost_stride());
         let d = s.mem.alloc(64, 64);
         s.reset_run_state();
-        let cost = s.cost.clone();
+        let cost = s.cost;
         copy_view_to_region(&mut s, &col, d, CopyStrategy::specialized(&cost));
         let chunked = s.counters;
 
@@ -414,7 +414,7 @@ mod tests {
         let mut s = soc();
         let m = filled_matrix(&mut s, 4, 4);
         let d = s.mem.alloc(256, 64);
-        let cost = s.cost.clone();
+        let cost = s.cost;
         assert_eq!(copy_view_to_region(&mut s, &m, d, CopyStrategy::specialized(&cost)), 64);
         assert_eq!(copy_region_to_view(&mut s, &m, d, false, CopyStrategy::ElementWise), 64);
     }

@@ -337,7 +337,7 @@ mod tests {
     fn ref_conv_known_sum() {
         // 3x3 all-ones filter over a 3x3 all-ones image = 9.
         let shape = ConvShape { batch: 1, in_channels: 1, in_hw: 3, out_channels: 1, filter_hw: 3, stride: 1 };
-        let out = ref_conv2d_i32(&vec![1; 9], &vec![1; 9], shape);
+        let out = ref_conv2d_i32(&[1; 9], &[1; 9], shape);
         assert_eq!(out, vec![9]);
     }
 

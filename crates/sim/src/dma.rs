@@ -174,7 +174,7 @@ impl DmaEngine {
         len: u64,
     ) -> Result<DmaConfig, DmaError> {
         let config = config.ok_or(DmaError::NotInitialized)?;
-        if len % 4 != 0 {
+        if !len.is_multiple_of(4) {
             return Err(DmaError::UnalignedLength { len });
         }
         let capacity = match direction {

@@ -1,0 +1,379 @@
+//! A small, dependency-free JSON reader.
+//!
+//! The build environment vendors no serde, so configuration files are read
+//! through this hand-rolled recursive-descent parser instead. Two
+//! properties matter to callers and are guaranteed here:
+//!
+//! - **object member order is preserved** (an object is a `Vec` of pairs,
+//!   not a hash map) — the `"data"` object of a Fig. 5 configuration
+//!   defines operand order by member position;
+//! - errors carry `line:col` locations through [`Diagnostic`].
+
+use crate::diag::{Diagnostic, SourceLoc};
+
+/// One parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without a fractional part or exponent. Stored as `i128`
+    /// so the full `u64` range (DMA addresses, buffer sizes) and the full
+    /// `i64` range both survive parsing.
+    Int(i128),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source member order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses one JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] with a `line:col` location on syntax
+    /// errors or trailing garbage.
+    pub fn parse(text: &str) -> Result<JsonValue, Diagnostic> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos < p.bytes.len() {
+            return Err(p.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integral number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integral number in
+    /// range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members in source order, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object member by key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A short name for the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "boolean",
+            JsonValue::Int(_) | JsonValue::Float(_) => "number",
+            JsonValue::Str(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn loc(&self) -> SourceLoc {
+        let mut line = 1u32;
+        let mut col = 1u32;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        SourceLoc::new(line, col)
+    }
+
+    fn error(&self, message: impl Into<String>) -> Diagnostic {
+        let loc = self.loc();
+        Diagnostic::error(format!("{} at {loc}", message.into()))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Diagnostic> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, Diagnostic> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.keyword("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.error(format!("unexpected character `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, Diagnostic> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, Diagnostic> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string().map_err(|_| self.error("expected a string object key"))?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, Diagnostic> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Diagnostic> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.error("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by config files.
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        other => {
+                            return Err(self.error(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, Diagnostic> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(v) = text.parse::<i128>() {
+                return Ok(JsonValue::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| self.error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("42").unwrap(), JsonValue::Int(42));
+        assert_eq!(JsonValue::parse("-7").unwrap(), JsonValue::Int(-7));
+        assert_eq!(JsonValue::parse("2.5").unwrap(), JsonValue::Float(2.5));
+        assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse(r#""a\nb""#).unwrap(), JsonValue::Str("a\nb".to_owned()));
+    }
+
+    #[test]
+    fn object_member_order_is_preserved() {
+        let v = JsonValue::parse(r#"{ "C": 1, "A": 2, "B": 3 }"#).unwrap();
+        let keys: Vec<&str> = v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["C", "A", "B"]);
+        assert_eq!(v.get("A"), Some(&JsonValue::Int(2)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn nested_documents_roundtrip_structure() {
+        let v = JsonValue::parse(r#"{"xs": [1, [2, 3], {"y": "z"}], "n": -4}"#).unwrap();
+        let xs = v.get("xs").unwrap().as_array().unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[2].get("y").unwrap().as_str(), Some("z"));
+        assert_eq!(v.get("n").unwrap().as_i64(), Some(-4));
+    }
+
+    #[test]
+    fn errors_carry_locations() {
+        let err = JsonValue::parse("{not json").unwrap_err();
+        assert!(err.message.contains("1:2"), "{}", err.message);
+        let err = JsonValue::parse("{\"a\": 1,\n  oops}").unwrap_err();
+        assert!(err.message.contains("2:3"), "{}", err.message);
+        assert!(JsonValue::parse("[1, 2").is_err());
+        assert!(JsonValue::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn accessor_type_mismatches_are_none() {
+        let v = JsonValue::parse(r#"{"s": "x", "n": 1}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_i64(), None);
+        assert_eq!(v.get("n").unwrap().as_str(), None);
+        assert_eq!(JsonValue::Int(-1).as_u64(), None);
+        assert_eq!(JsonValue::Int(5).as_u64(), Some(5));
+        assert_eq!(v.type_name(), "object");
+    }
+
+    #[test]
+    fn full_u64_range_survives() {
+        // u64::MAX does not fit in i64; it must still parse as an integer.
+        let v = JsonValue::parse("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        assert_eq!(v.as_i64(), None, "out of i64 range");
+        let v = JsonValue::parse("9223372036854775808").unwrap();
+        assert_eq!(v.as_u64(), Some(9_223_372_036_854_775_808));
+    }
+}

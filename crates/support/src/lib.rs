@@ -10,6 +10,8 @@
 //!   locations, severities, and a collecting [`diag::DiagnosticEngine`].
 //! - [`fmtutil`]: plain-text table rendering used by the experiment harness
 //!   to print paper-style rows.
+//! - [`json`]: a small order-preserving JSON reader used for the Fig. 5
+//!   configuration files (the build environment vendors no serde).
 //!
 //! # Examples
 //!
@@ -26,6 +28,8 @@
 pub mod diag;
 pub mod entity;
 pub mod fmtutil;
+pub mod json;
 
 pub use diag::{Diagnostic, DiagnosticEngine, Severity};
 pub use entity::{EntityId, PrimaryMap};
+pub use json::JsonValue;

@@ -2,15 +2,19 @@
 //!
 //! - [`matmul`]: MatMul problem descriptions and the seeded data generators
 //!   every experiment uses (deterministic across runs).
+//! - [`batched`]: batches of independent MatMuls sharing one shape — the
+//!   per-head GEMMs of transformer inference.
 //! - [`resnet`]: the eleven ResNet18 convolution layer shapes of Fig. 16.
 //! - [`tinybert`]: the TinyBERT-4 MatMul inventory of the end-to-end
 //!   experiment (Fig. 17), with dimensions padded to the accelerator's
 //!   divisibility constraint as a real deployment would.
 
+pub mod batched;
 pub mod matmul;
 pub mod resnet;
 pub mod tinybert;
 
+pub use batched::BatchedMatMulProblem;
 pub use matmul::MatMulProblem;
 pub use resnet::{resnet18_layers, ConvLayer};
 pub use tinybert::{tinybert_matmuls, TinyBertMatMul};

@@ -23,9 +23,13 @@ fn main() {
 
     println!("layer [iHW_iC_fHW_oC_s]   manual [ms]   axi4mlir [ms]   speedup");
     println!("------------------------------------------------------------------");
+    // All layers drive the same Conv2D device through one session.
+    let mut session = Session::for_sweep();
     for layer in layers {
         let manual = run_manual_conv(layer, 7).expect("manual driver");
-        let generated = ConvCompileAndRun::new(layer).execute().expect("generated driver");
+        let generated = session
+            .run(&ConvWorkload::new(layer), &CompilePlan::for_conv_layer(layer))
+            .expect("generated driver");
         assert!(manual.verified && generated.verified, "{layer}: both must verify");
         println!(
             "{:<24} {:>10.3} {:>14.3} {:>9.2}x",

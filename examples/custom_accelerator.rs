@@ -41,11 +41,12 @@ fn main() {
     let problem = MatMulProblem::square(64);
     println!("problem: {problem}\n");
     println!("{:<6} {:>14} {:>18} {:>16}", "flow", "task-clock", "bytes to accel", "bytes from accel");
+    // One session serves all four flows: same device, SoC recycled per run.
+    let mut session = Session::for_config(&accel);
+    let workload = MatMulWorkload::new(problem);
     for flow in FlowStrategy::all() {
-        let report = CompileAndRun::new(accel.clone(), problem)
-            .flow(flow)
-            .execute()
-            .expect("run");
+        let plan = CompilePlan::for_accelerator(accel.clone()).flow(flow);
+        let report = session.run(&workload, &plan).expect("run");
         assert!(report.verified);
         println!(
             "{:<6} {:>11.3} ms {:>18} {:>16}",

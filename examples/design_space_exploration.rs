@@ -11,16 +11,19 @@ use axi4mlir::prelude::*;
 
 const BASE: i64 = 16;
 
-fn measure(problem: MatMulProblem, flow: FlowStrategy, tile: (i64, i64, i64)) -> f64 {
+fn measure(session: &mut Session, problem: MatMulProblem, flow: FlowStrategy, tile: (i64, i64, i64)) -> f64 {
     let config = AcceleratorConfig::preset_v4_with_tile(BASE, tile.0, tile.1, tile.2)
         .with_selected_flow(flow.short_name());
-    let report = CompileAndRun::new(config, problem).execute().expect("v4 run");
+    let plan = CompilePlan::for_accelerator(config);
+    let report = session.run(&MatMulWorkload::new(problem), &plan).expect("v4 run");
     assert!(report.verified);
     report.task_clock_ms
 }
 
 fn main() {
     println!("v4_16 accelerator: {} words of tile memory\n", V4_CAPACITY_WORDS);
+    // The whole exploration shares one session on the same v4_16 device.
+    let mut session = Session::for_sweep();
     for problem in MatMulProblem::permutations_of(32, 64, 128) {
         let dims = (problem.m, problem.n, problem.k);
         println!("problem {}:", problem.label());
@@ -30,7 +33,7 @@ fn main() {
             FlowStrategy::OutputStationary,
         ] {
             if let Some(choice) = square_tile_choice(flow, dims, BASE, V4_CAPACITY_WORDS) {
-                let ms = measure(problem, choice.flow, choice.tile);
+                let ms = measure(&mut session, problem, choice.flow, choice.tile);
                 println!(
                     "  {}-squareTile  T={:<3}  estimated words {:>8}  measured {:>8.3} ms",
                     flow.short_name(),
@@ -41,7 +44,7 @@ fn main() {
             }
         }
         let best = best_choice(dims, BASE, V4_CAPACITY_WORDS).expect("legal config");
-        let ms = measure(problem, best.flow, best.tile);
+        let ms = measure(&mut session, problem, best.flow, best.tile);
         println!(
             "  Best: {:<14} estimated words {:>8}  measured {:>8.3} ms",
             best.label(),

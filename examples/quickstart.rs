@@ -1,6 +1,6 @@
-//! Quickstart: compile a MatMul for a simulated v3_16 accelerator, watch
-//! the IR after each AXI4MLIR stage, run it, and compare against CPU-only
-//! execution.
+//! Quickstart: compile a MatMul for a simulated v3_16 accelerator through
+//! the driver layer, watch the IR after each AXI4MLIR stage, run it, and
+//! compare against CPU-only execution — both runs through one `Session`.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -16,11 +16,12 @@ fn main() {
     let mut options = PipelineOptions::optimized();
     options.capture_ir = true;
 
-    let report = CompileAndRun::new(accel, problem)
+    let workload = MatMulWorkload::new(problem);
+    let plan = CompilePlan::for_accelerator(accel)
         .flow(FlowStrategy::OutputStationary)
-        .options(options)
-        .execute()
-        .expect("pipeline");
+        .options(options);
+    let mut session = Session::for_plan(&plan);
+    let report = session.run(&workload, &plan).expect("pipeline");
 
     for snapshot in &report.ir_after {
         println!("---- IR after {} ----", snapshot.pass);
@@ -31,15 +32,22 @@ fn main() {
         println!("  ...\n");
     }
 
+    println!("pass timings:");
+    for timing in &report.pass_timings {
+        println!("  {:>8.3} ms  {}", timing.millis, timing.pass);
+    }
+
     assert!(report.verified, "the accelerator result matches the reference kernel");
-    println!("result verified against the reference MatMul");
+    println!("\nresult verified against the reference MatMul");
     println!("selected cache tile: {:?}", report.cache_tile);
     println!("\nperf counters (generated driver, {} flow):", report.flow);
     println!("{}", report.counters);
     println!("\ntask-clock: {:.3} ms", report.task_clock_ms);
 
-    // CPU-only baseline for contrast.
-    let cpu = run_cpu_matmul(problem, None, 0xA41);
+    // CPU-only baseline for contrast: same session, retargeted to the CPU.
+    let cpu = session
+        .run(&workload, &CompilePlan::cpu().seed(0xA41))
+        .expect("CPU baseline");
     println!("CPU-only task-clock: {:.3} ms", cpu.task_clock_ms);
     println!(
         "offload speedup vs CPU: {:.2}x",

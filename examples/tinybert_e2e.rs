@@ -1,6 +1,7 @@
 //! End-to-end TinyBERT co-execution (the Fig. 17 scenario, reduced): the
 //! model's MatMuls run on a v4_16 accelerator while everything else stays
-//! on the CPU.
+//! on the CPU. The harness drives every GEMM of the inventory through one
+//! reused driver-layer `Session` per device (see `axi4mlir_bench::fig17`).
 //!
 //! Run with: `cargo run --release --example tinybert_e2e [--full]`
 //! (`--full` runs the paper's complete padded TinyBERT inventory; expect a

@@ -21,6 +21,22 @@
 //!     .expect("pipeline should succeed");
 //! assert!(report.verified);
 //! ```
+//!
+//! Sweeps should hold a [`Session`](prelude::Session) and reuse it, so
+//! the simulated SoC is recycled between runs instead of rebuilt:
+//!
+//! ```
+//! use axi4mlir::prelude::*;
+//!
+//! let mut session = Session::for_sweep();
+//! let workload = MatMulWorkload::new(MatMulProblem::square(16));
+//! for flow in FlowStrategy::all() {
+//!     let config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 8 });
+//!     let plan = CompilePlan::for_accelerator(config).flow(flow);
+//!     let report = session.run(&workload, &plan).expect("run");
+//!     assert!(report.verified);
+//! }
+//! ```
 
 pub use axi4mlir_accelerators as accelerators;
 pub use axi4mlir_baselines as baselines;

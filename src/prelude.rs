@@ -1,9 +1,12 @@
 //! Convenient re-exports of the most frequently used types.
 
 pub use axi4mlir_config::{AcceleratorConfig, AcceleratorPreset, CpuSpec, FlowStrategy, SystemConfig};
-pub use axi4mlir_core::options::{CacheTiling, PipelineOptions};
-pub use axi4mlir_core::pipeline::{
-    run_cpu_matmul, CompileAndRun, ConvCompileAndRun, RunReport,
+pub use axi4mlir_core::driver::{
+    BatchedMatMulWorkload, CompilePlan, ConvWorkload, MatMulWorkload, PipelineBuilder, RunReport,
+    Session, Workload,
 };
+pub use axi4mlir_core::options::{CacheTiling, PipelineOptions};
+pub use axi4mlir_core::pipeline::{run_cpu_matmul, CompileAndRun, ConvCompileAndRun};
+pub use axi4mlir_workloads::batched::BatchedMatMulProblem;
 pub use axi4mlir_workloads::matmul::MatMulProblem;
 pub use axi4mlir_workloads::resnet::{resnet18_layers, ConvLayer};

@@ -1,6 +1,8 @@
 //! Cross-crate integration tests: the full configuration matrix, end to
 //! end — compile, execute on the simulated SoC, verify numerics, and check
 //! that the simulator's DMA traffic matches the analytical transfer model.
+//! The sweeps run through the driver layer (`Session` + `Workload`), with
+//! one recycled SoC per sweep.
 
 use axi4mlir::accelerators::matmul::MatMulVersion;
 use axi4mlir::baselines::run_manual_matmul;
@@ -29,16 +31,17 @@ fn flows_for(version: MatMulVersion) -> Vec<FlowStrategy> {
 }
 
 /// Every (version, size, flow) combination verifies on square and
-/// rectangular problems.
+/// rectangular problems — all through one reused session.
 #[test]
 fn full_matrix_verifies() {
+    let mut session = Session::for_sweep();
     for version in [MatMulVersion::V1, MatMulVersion::V2, MatMulVersion::V3, MatMulVersion::V4] {
         for size in [4i64, 8] {
             for flow in flows_for(version) {
                 for problem in [MatMulProblem::square(16), MatMulProblem::new(8, 24, 16)] {
-                    let report = CompileAndRun::new(preset(version, size), problem)
-                        .flow(flow)
-                        .execute()
+                    let plan = CompilePlan::for_accelerator(preset(version, size)).flow(flow);
+                    let report = session
+                        .run(&MatMulWorkload::new(problem), &plan)
                         .unwrap_or_else(|e| panic!("{version} size {size} {flow} {problem}: {e}"));
                     assert!(report.verified, "{version} size {size} {flow} {problem}");
                 }
@@ -54,14 +57,14 @@ fn full_matrix_verifies() {
 fn dma_traffic_matches_analytical_model() {
     let problem = MatMulProblem::square(32);
     let tile = 8i64;
+    let mut session = Session::for_sweep();
     for flow in FlowStrategy::all() {
         let mut options = PipelineOptions::optimized();
         options.cache_tiling = CacheTiling::Off;
-        let report = CompileAndRun::new(preset(MatMulVersion::V3, tile), problem)
+        let plan = CompilePlan::for_accelerator(preset(MatMulVersion::V3, tile))
             .flow(flow)
-            .options(options)
-            .execute()
-            .unwrap();
+            .options(options);
+        let report = session.run(&MatMulWorkload::new(problem), &plan).unwrap();
         assert!(report.verified);
         let estimate = matmul_transfers(flow, (problem.m, problem.n, problem.k), (tile, tile, tile));
         // +1 word for the one-time reset init opcode.
@@ -79,6 +82,8 @@ fn dma_traffic_matches_analytical_model() {
 }
 
 /// Cache tiling preserves results bit-for-bit while changing access order.
+/// (Runs through the legacy `CompileAndRun` wrapper on purpose — the
+/// compatibility surface must keep working.)
 #[test]
 fn cache_tiling_is_semantics_preserving() {
     let problem = MatMulProblem::square(64);
@@ -127,39 +132,43 @@ fn json_configuration_end_to_end() {
     }"#;
     let system = SystemConfig::from_json(json).unwrap();
     let accel = system.accelerator("v3_8").unwrap().clone();
-    let report = CompileAndRun::new(accel, MatMulProblem::square(16)).execute().unwrap();
+    let plan = CompilePlan::for_accelerator(accel);
+    let report = Session::for_plan(&plan)
+        .run(&MatMulWorkload::new(MatMulProblem::square(16)), &plan)
+        .unwrap();
     assert!(report.verified);
     assert_eq!(report.flow, "Cs");
+    assert_eq!(report.accel_name, "v3_8");
 }
 
 /// The same problem and flow produce bit-identical counters across runs
-/// (the simulator is deterministic).
+/// (the simulator is deterministic) — whether the session is fresh or
+/// reused.
 #[test]
 fn runs_are_deterministic() {
-    let run = || {
-        CompileAndRun::new(preset(MatMulVersion::V3, 8), MatMulProblem::square(24))
-            .flow(FlowStrategy::InputBStationary)
-            .execute()
-            .unwrap()
-    };
-    let a = run();
-    let b = run();
+    let plan = CompilePlan::for_accelerator(preset(MatMulVersion::V3, 8))
+        .flow(FlowStrategy::InputBStationary);
+    let workload = MatMulWorkload::new(MatMulProblem::square(24));
+    let mut session = Session::for_plan(&plan);
+    let a = session.run(&workload, &plan).unwrap();
+    let b = session.run(&workload, &plan).unwrap();
+    let fresh = Session::for_plan(&plan).run(&workload, &plan).unwrap();
     assert_eq!(a.counters, b.counters);
     assert_eq!(a.result, b.result);
     assert_eq!(a.task_clock_ms, b.task_clock_ms);
+    assert_eq!(a.counters, fresh.counters, "recycled SoC matches a fresh one");
+    assert_eq!(a.result, fresh.result);
 }
 
 /// Manual baseline and generated driver agree numerically on every flow.
 #[test]
 fn manual_and_generated_agree_numerically() {
     let problem = MatMulProblem::new(16, 32, 24);
+    let mut session = Session::for_sweep();
     for flow in FlowStrategy::all() {
         let manual = run_manual_matmul(MatMulVersion::V3, 8, flow, problem, 99).unwrap();
-        let generated = CompileAndRun::new(preset(MatMulVersion::V3, 8), problem)
-            .flow(flow)
-            .seed(99)
-            .execute()
-            .unwrap();
+        let plan = CompilePlan::for_accelerator(preset(MatMulVersion::V3, 8)).flow(flow).seed(99);
+        let generated = session.run(&MatMulWorkload::new(problem), &plan).unwrap();
         assert_eq!(manual.result, generated.result, "{flow}");
     }
 }
@@ -171,7 +180,8 @@ fn v4_non_square_tiles_verify() {
     let problem = MatMulProblem::new(32, 16, 64);
     let config = AcceleratorConfig::preset_v4_with_tile(16, 32, 16, 64)
         .with_selected_flow("Cs");
-    let report = CompileAndRun::new(config, problem).execute().unwrap();
+    let plan = CompilePlan::for_accelerator(config);
+    let report = Session::for_plan(&plan).run(&MatMulWorkload::new(problem), &plan).unwrap();
     assert!(report.verified);
     // One tile: A, B sent once; C received once.
     assert_eq!(report.counters.dma_bytes_from_accel, 32 * 16 * 4);
@@ -181,13 +191,51 @@ fn v4_non_square_tiles_verify() {
 #[test]
 fn rectangular_problems_all_flows() {
     let problem = MatMulProblem::new(24, 8, 40);
+    let mut session = Session::for_sweep();
     for flow in FlowStrategy::all() {
-        let report = CompileAndRun::new(preset(MatMulVersion::V3, 4), problem)
-            .flow(flow)
-            .execute()
-            .unwrap();
+        let plan = CompilePlan::for_accelerator(preset(MatMulVersion::V3, 4)).flow(flow);
+        let report = session.run(&MatMulWorkload::new(problem), &plan).unwrap();
         assert!(report.verified, "{flow}");
     }
+}
+
+/// A batch of independent GEMMs compiles into one module, runs end to end
+/// through the same session path, and verifies every element — on every
+/// flow the accelerator offers.
+#[test]
+fn batched_matmul_matrix_verifies() {
+    let batch = BatchedMatMulProblem::new(MatMulProblem::new(8, 16, 24), 3);
+    let workload = BatchedMatMulWorkload::new(batch);
+    let mut session = Session::for_sweep();
+    for flow in FlowStrategy::all() {
+        let plan = CompilePlan::for_accelerator(preset(MatMulVersion::V3, 8)).flow(flow);
+        let report = session.run(&workload, &plan).unwrap();
+        assert!(report.verified, "{flow}: all {} elements must verify", batch.batch);
+        assert_eq!(report.result.len(), batch.batch * batch.output_elems());
+    }
+}
+
+/// The batched workload agrees element-wise with individual runs on the
+/// same data, and its traffic scales with the batch.
+#[test]
+fn batched_matmul_agrees_with_single_runs() {
+    let problem = MatMulProblem::square(16);
+    let batch = BatchedMatMulProblem::new(problem, 2);
+    let plan = CompilePlan::for_accelerator(preset(MatMulVersion::V3, 4))
+        .flow(FlowStrategy::OutputStationary)
+        .seed(7);
+    let mut session = Session::for_plan(&plan);
+    let batched = session.run(&BatchedMatMulWorkload::new(batch), &plan).unwrap();
+    assert!(batched.verified);
+    let single = session.run(&MatMulWorkload::new(problem), &plan).unwrap();
+    assert!(single.verified);
+    // Element 0 of the batch uses the plain problem data for the same seed.
+    assert_eq!(&batched.result[..single.result.len()], &single.result[..]);
+    assert_eq!(
+        batched.counters.dma_bytes_from_accel,
+        2 * single.counters.dma_bytes_from_accel,
+        "output traffic scales with the batch"
+    );
 }
 
 /// Transfer coalescing (the paper's §V future-work optimization): same
@@ -197,18 +245,14 @@ fn rectangular_problems_all_flows() {
 fn coalescing_preserves_results_and_cuts_transactions() {
     let problem = MatMulProblem::square(32);
     let config = preset(MatMulVersion::V3, 8);
+    let mut session = Session::for_sweep();
     for flow in FlowStrategy::all() {
-        let base = CompileAndRun::new(config.clone(), problem)
-            .flow(flow)
-            .execute()
-            .unwrap();
+        let base_plan = CompilePlan::for_accelerator(config.clone()).flow(flow);
+        let base = session.run(&MatMulWorkload::new(problem), &base_plan).unwrap();
         let mut opts = PipelineOptions::optimized();
         opts.coalesce_transfers = true;
-        let coalesced = CompileAndRun::new(config.clone(), problem)
-            .flow(flow)
-            .options(opts)
-            .execute()
-            .unwrap();
+        let coalesced_plan = CompilePlan::for_accelerator(config.clone()).flow(flow).options(opts);
+        let coalesced = session.run(&MatMulWorkload::new(problem), &coalesced_plan).unwrap();
         assert!(coalesced.verified, "{flow}");
         assert_eq!(base.result, coalesced.result, "{flow}");
         assert_eq!(
@@ -234,15 +278,15 @@ fn coalescing_preserves_results_and_cuts_transactions() {
 #[test]
 fn coalescing_agrees_across_execution_paths() {
     let problem = MatMulProblem::square(16);
-    let mk = |lower: bool| {
+    let mut session = Session::for_sweep();
+    let mut mk = |lower: bool| {
         let mut opts = PipelineOptions::optimized();
         opts.coalesce_transfers = true;
         opts.lower_to_runtime_calls = lower;
-        CompileAndRun::new(preset(MatMulVersion::V3, 4), problem)
+        let plan = CompilePlan::for_accelerator(preset(MatMulVersion::V3, 4))
             .flow(FlowStrategy::OutputStationary)
-            .options(opts)
-            .execute()
-            .unwrap()
+            .options(opts);
+        session.run(&MatMulWorkload::new(problem), &plan).unwrap()
     };
     let lowered = mk(true);
     let direct = mk(false);

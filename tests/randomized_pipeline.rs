@@ -2,6 +2,8 @@
 //! and option combinations through the whole stack, always checked against
 //! the reference kernel. This is the repository's main defense against
 //! codegen edge cases (tile = dim, single-tile loops, rectangular shapes).
+//! Runs go through the driver layer; within one case the four option
+//! variants share a recycled session.
 
 use proptest::prelude::*;
 
@@ -42,33 +44,35 @@ proptest! {
         let mut options = PipelineOptions::optimized();
         options.specialized_copies = specialized;
         options.coalesce_transfers = coalesce;
-        let report = CompileAndRun::new(preset(version, tile), problem)
+        let plan = CompilePlan::for_accelerator(preset(version, tile))
             .flow(flow)
             .options(options)
-            .seed(seed)
-            .execute()
+            .seed(seed);
+        let report = Session::for_plan(&plan)
+            .run(&MatMulWorkload::new(problem), &plan)
             .map_err(|e| TestCaseError::fail(format!("{version} t{tile} {flow} {problem}: {e}")))?;
         prop_assert!(report.verified, "{} t{} {} {}", version, tile, flow, problem);
     }
 
     /// Copy strategy and coalescing never change the numeric result —
-    /// only the cost profile.
+    /// only the cost profile. All four variants share one session.
     #[test]
     fn options_do_not_change_results(
         (problem, tile) in arb_case(),
         flow in proptest::sample::select(FlowStrategy::all().to_vec()),
         seed in any::<u64>(),
     ) {
-        let run = |specialized: bool, coalesce: bool| {
+        let mut session = Session::for_sweep();
+        let workload = MatMulWorkload::new(problem);
+        let mut run = |specialized: bool, coalesce: bool| {
             let mut options = PipelineOptions::optimized();
             options.specialized_copies = specialized;
             options.coalesce_transfers = coalesce;
-            CompileAndRun::new(preset(MatMulVersion::V3, tile), problem)
+            let plan = CompilePlan::for_accelerator(preset(MatMulVersion::V3, tile))
                 .flow(flow)
                 .options(options)
-                .seed(seed)
-                .execute()
-                .expect("run")
+                .seed(seed);
+            session.run(&workload, &plan).expect("run")
         };
         let base = run(true, false);
         prop_assert_eq!(&base.result, &run(false, false).result);

@@ -1,0 +1,99 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use std::collections::BTreeMap;
+use std::ops::{Range, RangeInclusive};
+
+use crate::{Strategy, TestRng};
+
+/// Element-count bounds for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        let span = (self.max_inclusive - self.min + 1) as u64;
+        self.min + rng.below(span) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.end > r.start, "empty size range");
+        SizeRange { min: r.start, max_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max_inclusive: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max_inclusive: n }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` (see [`vec`]).
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Vectors of `element` values with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy for `BTreeMap` (see [`btree_map`]).
+#[derive(Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: SizeRange,
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn sample(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let target = self.size.sample(rng).max(self.size.min);
+        let mut map = BTreeMap::new();
+        // Key collisions shrink the map; retry a bounded number of times to
+        // reach at least the minimum size.
+        for _ in 0..target * 10 + 10 {
+            if map.len() >= target {
+                break;
+            }
+            map.insert(self.keys.sample(rng), self.values.sample(rng));
+        }
+        map
+    }
+}
+
+/// Maps with `size` entries of unique `keys` to `values`.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    keys: K,
+    values: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy { keys, values, size: size.into() }
+}

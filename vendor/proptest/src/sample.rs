@@ -1,0 +1,23 @@
+//! Sampling from explicit option lists (`proptest::sample` subset).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy cloning one of a fixed list of options (see [`select`]).
+#[derive(Clone, Debug)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].clone()
+    }
+}
+
+/// Uniformly selects one of `options` (must be non-empty).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}

@@ -1,0 +1,113 @@
+//! String generation from the tiny regex subset the workspace uses:
+//! a sequence of character classes `[...]`, each optionally followed by a
+//! `{min,max}` (or `{n}`) repeat count.
+
+use crate::TestRng;
+
+struct Part {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut class = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars.next().unwrap_or_else(|| panic!("unterminated class in `{pattern}`"));
+        match c {
+            ']' => break,
+            '-' if prev.is_some() && chars.peek().is_some_and(|n| *n != ']') => {
+                let start = prev.take().unwrap();
+                let end = chars.next().unwrap();
+                assert!(start <= end, "bad range {start}-{end} in `{pattern}`");
+                // `start` itself was already pushed; add the rest.
+                for v in (start as u32 + 1)..=(end as u32) {
+                    class.push(char::from_u32(v).unwrap());
+                }
+            }
+            other => {
+                class.push(other);
+                prev = Some(other);
+            }
+        }
+    }
+    assert!(!class.is_empty(), "empty class in `{pattern}`");
+    class
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(c) => spec.push(c),
+            None => panic!("unterminated repeat in `{pattern}`"),
+        }
+    }
+    match spec.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().unwrap_or_else(|_| panic!("bad repeat `{spec}` in `{pattern}`")),
+            hi.trim().parse().unwrap_or_else(|_| panic!("bad repeat `{spec}` in `{pattern}`")),
+        ),
+        None => {
+            let n = spec.trim().parse().unwrap_or_else(|_| panic!("bad repeat `{spec}` in `{pattern}`"));
+            (n, n)
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Part> {
+    let mut chars = pattern.chars().peekable();
+    let mut parts = Vec::new();
+    while let Some(c) = chars.next() {
+        let class = match c {
+            '[' => parse_class(&mut chars, pattern),
+            // A bare literal character matches itself.
+            other => vec![other],
+        };
+        let (min, max) = parse_repeat(&mut chars, pattern);
+        parts.push(Part { chars: class, min, max });
+    }
+    parts
+}
+
+/// Samples one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for part in parse_pattern(pattern) {
+        let count = part.min + rng.below((part.max - part.min + 1) as u64) as usize;
+        for _ in 0..count {
+            let i = rng.below(part.chars.len() as u64) as usize;
+            out.push(part.chars[i]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_ranges_and_repeats() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            let s = sample_pattern("[a-zA-Z][a-zA-Z0-9_]{0,6}", &mut rng);
+            assert!((1..=7).contains(&s.len()), "{s}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'), "{s}");
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::new(10);
+        assert_eq!(sample_pattern("ab", &mut rng), "ab");
+        assert_eq!(sample_pattern("x{3}", &mut rng), "xxx");
+    }
+}

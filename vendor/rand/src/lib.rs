@@ -1,0 +1,140 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! micro-crate provides exactly the surface the workspace uses:
+//! `StdRng::seed_from_u64` and `Rng::gen_range` over integer ranges. The
+//! generator is a splitmix64-seeded xorshift64*, which is deterministic,
+//! fast, and more than uniform enough for seeding test data.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// A range that can produce uniform samples of `T`.
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> T;
+}
+
+fn below<G: Rng + ?Sized>(rng: &mut G, span: u64) -> u64 {
+    debug_assert!(span > 0, "empty sample range");
+    // Modulo bias is irrelevant for the tiny spans used in test data.
+    rng.next_u64() % span
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                let span = (end as i128 - start as i128 + 1) as u64;
+                (start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The standard deterministic generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Run the seed through splitmix64 so close seeds diverge.
+            let mut s = seed;
+            let state = splitmix64(&mut s) | 1;
+            StdRng { state }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64* (Vigna); the `| 1` in seeding avoids the zero state.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: i32 = rng.gen_range(-8..=8);
+            assert!((-8..=8).contains(&v));
+            let w: i64 = rng.gen_range(0i64..5);
+            assert!((0..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            seen.insert(rng.gen_range(0u32..=3));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+}
