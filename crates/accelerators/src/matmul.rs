@@ -273,8 +273,9 @@ impl MatMulAccel {
 
     fn apply_cfg(&mut self, dims: [u32; 3]) {
         let [tm, tn, tk] = dims;
-        let words =
-            u64::from(tm) * u64::from(tk) + u64::from(tk) * u64::from(tn) + u64::from(tm) * u64::from(tn);
+        let words = u64::from(tm) * u64::from(tk)
+            + u64::from(tk) * u64::from(tn)
+            + u64::from(tm) * u64::from(tn);
         let divisible = [tm, tn, tk].iter().all(|d| *d > 0 && d % self.base_size == 0);
         if !divisible || words > V4_CAPACITY_WORDS {
             self.protocol_errors += 1;

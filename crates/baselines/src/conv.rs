@@ -1,6 +1,5 @@
 //! The manual Conv2D driver (layer-specific, as in §IV-D's baselines).
 
-use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_accelerators::conv::ConvAccel;
 use axi4mlir_accelerators::isa;
 use axi4mlir_runtime::dma_lib::{
@@ -11,6 +10,7 @@ use axi4mlir_runtime::kernels::{ref_conv2d_i32, ConvShape};
 use axi4mlir_runtime::memref::MemRefDesc;
 use axi4mlir_runtime::soc::Soc;
 use axi4mlir_sim::mem::ElemType;
+use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_workloads::resnet::ConvLayer;
 
 use crate::matmul::ManualReport;
@@ -109,7 +109,12 @@ pub fn run_manual_conv(layer: ConvLayer, seed: u64) -> Result<ManualReport, Diag
     );
     let filter = MemRefDesc::alloc(
         &mut soc.mem,
-        &[layer.out_channels as i64, layer.in_channels as i64, layer.filter_hw as i64, layer.filter_hw as i64],
+        &[
+            layer.out_channels as i64,
+            layer.in_channels as i64,
+            layer.filter_hw as i64,
+            layer.filter_hw as i64,
+        ],
         ElemType::I32,
     );
     let output = MemRefDesc::alloc(
@@ -153,7 +158,8 @@ mod tests {
 
     #[test]
     fn strided_layer_verifies() {
-        let layer = ConvLayer { in_hw: 9, in_channels: 2, filter_hw: 3, out_channels: 2, stride: 2 };
+        let layer =
+            ConvLayer { in_hw: 9, in_channels: 2, filter_hw: 3, out_channels: 2, stride: 2 };
         let r = run_manual_conv(layer, 6).unwrap();
         assert!(r.verified);
     }
@@ -161,7 +167,8 @@ mod tests {
     #[test]
     fn pointwise_filter_verifies() {
         // The fHW == 1 case of Fig. 16 (no contiguous runs to vectorize).
-        let layer = ConvLayer { in_hw: 6, in_channels: 8, filter_hw: 1, out_channels: 4, stride: 2 };
+        let layer =
+            ConvLayer { in_hw: 6, in_channels: 8, filter_hw: 1, out_channels: 4, stride: 2 };
         let r = run_manual_conv(layer, 7).unwrap();
         assert!(r.verified);
     }
@@ -169,8 +176,7 @@ mod tests {
     #[test]
     fn window_traffic_scales_with_output_size() {
         let small = run_manual_conv(small_layer(), 1).unwrap();
-        let bigger =
-            run_manual_conv(ConvLayer { in_hw: 11, ..small_layer() }, 1).unwrap();
+        let bigger = run_manual_conv(ConvLayer { in_hw: 11, ..small_layer() }, 1).unwrap();
         assert!(bigger.counters.dma_bytes_to_accel > small.counters.dma_bytes_to_accel);
     }
 }

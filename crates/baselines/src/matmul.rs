@@ -1,6 +1,5 @@
 //! Manual MatMul drivers for the v1–v4 accelerators, one per dataflow.
 
-use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_accelerators::isa;
 use axi4mlir_accelerators::matmul::{MatMulAccel, MatMulVersion};
 use axi4mlir_config::FlowStrategy;
@@ -14,6 +13,7 @@ use axi4mlir_runtime::memref::MemRefDesc;
 use axi4mlir_runtime::soc::Soc;
 use axi4mlir_sim::counters::PerfCounters;
 use axi4mlir_sim::mem::ElemType;
+use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_workloads::matmul::MatMulProblem;
 
 /// Result of one manual-driver run.
@@ -103,9 +103,7 @@ pub fn manual_matmul_drive(
         (MatMulVersion::V3 | MatMulVersion::V4, _) => true,
     };
     if !supported {
-        return Err(Diagnostic::error(format!(
-            "{version} does not support the {flow} dataflow"
-        )));
+        return Err(Diagnostic::error(format!("{version} does not support the {flow} dataflow")));
     }
 
     match (version, flow) {
@@ -129,7 +127,8 @@ pub fn manual_matmul_drive(
                         let mut off = write_literal_to_dma_region(soc, isa::OP_FUSED_SABC, 0);
                         off = copy_to_dma_region(soc, &ta, off, strategy);
                         off = copy_to_dma_region(soc, &tb, off, strategy);
-                        dma_start_send(soc, off, 0).map_err(|e| Diagnostic::error(e.to_string()))?;
+                        dma_start_send(soc, off, 0)
+                            .map_err(|e| Diagnostic::error(e.to_string()))?;
                         dma_wait_send_completion(soc);
                         recv_tile(soc, &tc, strategy)?;
                         ki += t;

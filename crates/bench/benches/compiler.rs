@@ -39,7 +39,9 @@ fn bench_flows(c: &mut Criterion) {
 fn bench_cache_tiling(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_cache_tiling");
     group.sample_size(20);
-    group.bench_function("off", |b| b.iter(|| compile_once(128, FlowStrategy::NothingStationary, None)));
+    group.bench_function("off", |b| {
+        b.iter(|| compile_once(128, FlowStrategy::NothingStationary, None))
+    });
     group.bench_function("on_32", |b| {
         b.iter(|| compile_once(128, FlowStrategy::NothingStationary, Some(32)));
     });

@@ -1,31 +1,37 @@
 //! Regenerates every table and figure in one run (used to produce
-//! `EXPERIMENTS.md`). Usage:
-//! `cargo run --release -p axi4mlir-bench --bin all_figures [--quick]`.
+//! `EXPERIMENTS.md`), and with `--json [DIR]` also writes every
+//! per-figure `BENCH_*.json` report. Usage:
+//! `cargo run --release -p axi4mlir-bench --bin all_figures [--quick] [--json [DIR]]`.
 
-use axi4mlir_bench::{fig10, fig11, fig12, fig13, fig14, fig16, fig17, table1, Scale};
+use axi4mlir_bench::{fig10, fig11, fig12, fig13, fig14, fig16, fig17, report, table1, Scale};
 use axi4mlir_support::fmtutil::{fmt_percent, fmt_speedup};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
 
     println!("## Table I\n");
-    println!("{}", table1::render(&table1::rows()).render());
+    let table1_rows = table1::rows();
+    println!("{}", table1::render(&table1_rows).render());
 
     println!("## Fig. 10\n");
-    println!("{}", fig10::render(&fig10::rows(scale)).render());
+    let fig10_rows = fig10::rows(scale);
+    println!("{}", fig10::render(&fig10_rows).render());
 
     println!("## Fig. 11\n");
-    println!("{}", fig11::render(&fig11::rows(scale)).render());
+    let fig11_rows = fig11::rows(scale);
+    println!("{}", fig11::render(&fig11_rows).render());
 
     println!("## Fig. 12a\n");
-    println!("{}", fig12::render(&fig12::rows(scale, fig12::Variant::A)).render());
+    let fig12a_rows = fig12::rows(scale, fig12::Variant::A);
+    println!("{}", fig12::render(&fig12a_rows).render());
     println!("## Fig. 12b\n");
-    println!("{}", fig12::render(&fig12::rows(scale, fig12::Variant::B)).render());
+    let fig12b_rows = fig12::rows(scale, fig12::Variant::B);
+    println!("{}", fig12::render(&fig12b_rows).render());
 
     println!("## Fig. 13\n");
-    let rows = fig13::rows(scale);
-    println!("{}", fig13::render(&rows).render());
-    let s = fig13::summarize(&rows);
+    let fig13_rows = fig13::rows(scale);
+    println!("{}", fig13::render(&fig13_rows).render());
+    let s = fig13::summarize(&fig13_rows);
     println!(
         "summary: mean speedup {}, max {}; mean cache-reference reduction {}, max {}\n",
         fmt_speedup(s.mean_speedup),
@@ -35,11 +41,28 @@ fn main() {
     );
 
     println!("## Fig. 14\n");
-    println!("{}", fig14::render(&fig14::rows(scale)).render());
+    let fig14_rows = fig14::rows(scale);
+    println!("{}", fig14::render(&fig14_rows).render());
 
     println!("## Fig. 16\n");
-    println!("{}", fig16::render(&fig16::rows(scale)).render());
+    let fig16_rows = fig16::rows(scale);
+    println!("{}", fig16::render(&fig16_rows).render());
 
     println!("## Fig. 17\n");
-    println!("{}", fig17::render(&fig17::bars(scale)).render());
+    let fig17_bars = fig17::bars(scale);
+    println!("{}", fig17::render(&fig17_bars).render());
+
+    for r in [
+        table1::report(&table1_rows),
+        fig10::report(scale, &fig10_rows),
+        fig11::report(scale, &fig11_rows),
+        fig12::report(scale, fig12::Variant::A, &fig12a_rows),
+        fig12::report(scale, fig12::Variant::B, &fig12b_rows),
+        fig13::report(scale, &fig13_rows),
+        fig14::report(scale, &fig14_rows),
+        fig16::report(scale, &fig16_rows),
+        fig17::report(scale, &fig17_bars),
+    ] {
+        report::emit_from_args(&r).expect("write BENCH json");
+    }
 }

@@ -1,0 +1,210 @@
+//! `axi4mlir-explore`: parallel design-space exploration over the
+//! `(flow, tM, tN, tK)` space of the flexible v4 accelerator, with a
+//! machine-readable `BENCH_explore.json` report.
+//!
+//! Usage:
+//! `cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- \
+//!     [--smoke] [--dims MxNxK] [--base B] [--capacity WORDS] \
+//!     [--workers N] [--prune none|keep:N|factor:F] [--seed S] [--json DIR]`
+//!
+//! `--smoke` is the CI entry point: a tiny space (16x16x16, base 8) that
+//! sweeps in well under a second but exercises the whole engine —
+//! enumeration, pruning, the parallel session pool, the result cache,
+//! and the JSON reporter. The report is always written (default: the
+//! current directory; override with `--json DIR`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use axi4mlir_bench::report::{BenchEntry, BenchReport};
+use axi4mlir_core::explore::{ExploreReport, ExploreSpec, Explorer, Prune};
+use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
+use axi4mlir_support::json::JsonValue;
+use axi4mlir_workloads::matmul::MatMulProblem;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    let at = args.iter().position(|a| a == flag)?;
+    args.get(at + 1).cloned()
+}
+
+fn parse_dims(text: &str) -> Option<MatMulProblem> {
+    let parts: Vec<i64> = text.split('x').map(str::parse).collect::<Result<_, _>>().ok()?;
+    match parts[..] {
+        [m, n, k] if m > 0 && n > 0 && k > 0 => Some(MatMulProblem::new(m, n, k)),
+        _ => None,
+    }
+}
+
+fn parse_prune(text: &str) -> Option<Prune> {
+    if text == "none" {
+        return Some(Prune::None);
+    }
+    if let Some(n) = text.strip_prefix("keep:") {
+        return n.parse().ok().map(Prune::KeepBest);
+    }
+    if let Some(f) = text.strip_prefix("factor:") {
+        return f.parse().ok().map(Prune::WithinFactor);
+    }
+    None
+}
+
+fn spec_from_args(args: &[String]) -> Result<ExploreSpec, String> {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let default_workers =
+        std::thread::available_parallelism().map_or(2, |n| n.get()).min(if smoke { 2 } else { 8 });
+    let mut spec = if smoke {
+        ExploreSpec::new(MatMulProblem::new(16, 16, 16)).base(8)
+    } else {
+        ExploreSpec::new(MatMulProblem::new(256, 256, 256))
+    };
+    spec = spec.workers(default_workers);
+    if let Some(text) = arg_value(args, "--dims") {
+        spec.problem = parse_dims(&text).ok_or(format!("invalid --dims `{text}` (want MxNxK)"))?;
+    }
+    if let Some(text) = arg_value(args, "--base") {
+        spec.base = text.parse().map_err(|_| format!("invalid --base `{text}`"))?;
+    }
+    if let Some(text) = arg_value(args, "--capacity") {
+        spec.capacity_words = text.parse().map_err(|_| format!("invalid --capacity `{text}`"))?;
+    }
+    if let Some(text) = arg_value(args, "--workers") {
+        spec.workers = text.parse().map_err(|_| format!("invalid --workers `{text}`"))?;
+    }
+    if let Some(text) = arg_value(args, "--prune") {
+        spec.prune =
+            parse_prune(&text).ok_or(format!("invalid --prune `{text}` (none|keep:N|factor:F)"))?;
+    }
+    if let Some(text) = arg_value(args, "--seed") {
+        spec = spec.seed(text.parse().map_err(|_| format!("invalid --seed `{text}`"))?);
+    }
+    Ok(spec)
+}
+
+/// Converts an exploration into the `BENCH_explore.json` document:
+/// per-candidate cycles and transfers, per-pass compile timing, and the
+/// best-choice-vs-explored-optimum gap in the context block.
+fn to_report(spec: &ExploreSpec, report: &ExploreReport) -> BenchReport {
+    let mut out = BenchReport::new("explore")
+        .context("problem", report.problem.label())
+        .context("base", report.base)
+        .context("capacity_words", report.capacity_words)
+        .context("workers", spec.workers)
+        .context("space_size", report.space_size)
+        .context("pruned_out", report.pruned_out)
+        .context("cache_hits", report.cache_hits);
+    if let Some(optimum) = report.optimum() {
+        out = out
+            .context("optimum_config", optimum.choice.label())
+            .context("optimum_ms", optimum.task_clock_ms);
+    }
+    if let (Some(h), Some(eval)) = (&report.heuristic, &report.heuristic_eval) {
+        out =
+            out.context("heuristic_config", h.label()).context("heuristic_ms", eval.task_clock_ms);
+    }
+    if let Some(gap) = report.heuristic_gap() {
+        out = out.context("heuristic_gap", gap);
+    }
+    for eval in &report.evaluations {
+        let c = &eval.counters;
+        let pass_ms =
+            JsonValue::object(eval.pass_ms.iter().map(|(p, ms)| (p.clone(), (*ms).into())));
+        let mut entry = BenchEntry::new(eval.choice.label())
+            .metric("flow", eval.choice.flow.short_name())
+            .metric("tile_m", eval.choice.tile.0)
+            .metric("tile_n", eval.choice.tile.1)
+            .metric("tile_k", eval.choice.tile.2)
+            .metric("estimated_words", eval.choice.estimate.words_total())
+            .metric("estimated_transactions", eval.choice.estimate.transactions)
+            .metric("task_clock_ms", eval.task_clock_ms)
+            .metric("host_cycles", c.host_cycles)
+            .metric("device_cycles", c.device_cycles)
+            .metric("cache_references", c.cache_references)
+            .metric("dma_bytes_to_accel", c.dma_bytes_to_accel)
+            .metric("dma_bytes_from_accel", c.dma_bytes_from_accel)
+            .metric("dma_transactions", c.dma_transactions)
+            .metric("accel_macs", c.accel_macs)
+            .metric("verified", eval.verified)
+            .metric("from_cache", eval.from_cache);
+        entry = entry.metric("compile_ms", eval.pass_ms.iter().map(|(_, ms)| ms).sum::<f64>());
+        entry = entry.metric("pass_ms", pass_ms);
+        out.push(entry);
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let spec = match spec_from_args(&args) {
+        Ok(spec) => spec,
+        Err(message) => {
+            eprintln!("axi4mlir-explore: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "exploring {} (base {}, {} words, {} workers, prune {:?})\n",
+        spec.problem, spec.base, spec.capacity_words, spec.workers, spec.prune
+    );
+    let explorer = Explorer::new();
+    let report = match explorer.explore(&spec) {
+        Ok(report) => report,
+        Err(diag) => {
+            eprintln!("axi4mlir-explore: {diag}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The measured space, best first.
+    let mut ranked: Vec<_> = report.evaluations.iter().collect();
+    ranked.sort_by(|a, b| a.task_clock_ms.total_cmp(&b.task_clock_ms));
+    let mut table =
+        TextTable::new(vec!["config", "est. words", "task-clock [ms]", "dma bytes", "dma txns"]);
+    for eval in ranked.iter().take(10) {
+        table.row(vec![
+            eval.choice.label(),
+            eval.choice.estimate.words_total().to_string(),
+            fmt_ms(eval.task_clock_ms),
+            eval.counters.dma_bytes_total().to_string(),
+            eval.counters.dma_transactions.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    if ranked.len() > 10 {
+        println!("({} more candidates measured)", ranked.len() - 10);
+    }
+    println!(
+        "space: {} legal, {} pruned, {} measured ({} simulator runs, {} cache hits)",
+        report.space_size,
+        report.pruned_out,
+        report.evaluations.len(),
+        explorer.evals_performed(),
+        report.cache_hits,
+    );
+    if let Some(optimum) = report.optimum() {
+        println!(
+            "explored optimum: {} at {}",
+            optimum.choice.label(),
+            fmt_ms(optimum.task_clock_ms)
+        );
+    }
+    match (&report.heuristic, report.heuristic_gap()) {
+        (Some(h), Some(gap)) => {
+            println!("heuristic (best_choice) pick: {} — gap vs optimum: {:.3}x", h.label(), gap);
+        }
+        _ => println!("heuristic (best_choice) found no legal configuration"),
+    }
+
+    let dir = axi4mlir_bench::report::json_dir_from_args(args.iter().cloned())
+        .unwrap_or_else(|| PathBuf::from("."));
+    match to_report(&spec, &report).write_to_dir(&dir) {
+        Ok(path) => {
+            println!("wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("axi4mlir-explore: writing the report failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

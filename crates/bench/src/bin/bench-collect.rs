@@ -1,0 +1,97 @@
+//! `bench-collect`: merges every `BENCH_*.json` report in a directory
+//! into one `BENCH_all.json` collection and prints an inventory — the
+//! last step of `scripts/bench.sh`.
+//!
+//! Usage: `cargo run --release -p axi4mlir-bench --bin bench-collect -- [DIR]`
+//! (default: the current directory).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use axi4mlir_support::fmtutil::TextTable;
+use axi4mlir_support::json::JsonValue;
+
+/// The schema tag of the merged collection document.
+const COLLECTION_SCHEMA: &str = "axi4mlir-bench-collection/v1";
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+
+    let mut files: Vec<PathBuf> = match fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name().and_then(|n| n.to_str()).is_some_and(|name| {
+                    name.starts_with("BENCH_")
+                        && name.ends_with(".json")
+                        && name != "BENCH_all.json"
+                })
+            })
+            .collect(),
+        Err(err) => {
+            eprintln!("bench-collect: cannot read {}: {err}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    files.sort();
+    if files.is_empty() {
+        eprintln!("bench-collect: no BENCH_*.json files in {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut table = TextTable::new(vec!["report", "entries", "file"]);
+    let mut reports = Vec::new();
+    let mut failures = 0;
+    for path in &files {
+        let text = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("bench-collect: skipping {}: {err}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let doc = match JsonValue::parse(&text) {
+            Ok(doc) => doc,
+            Err(diag) => {
+                eprintln!("bench-collect: skipping {}: {diag}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let name = doc.get("name").and_then(JsonValue::as_str).unwrap_or("?").to_owned();
+        let entries = doc.get("entries").and_then(JsonValue::as_array).map_or(0, <[_]>::len);
+        let file = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_owned();
+        table.row(vec![name, entries.to_string(), file]);
+        reports.push(doc);
+    }
+    if reports.is_empty() {
+        eprintln!("bench-collect: nothing parseable to collect");
+        return ExitCode::FAILURE;
+    }
+
+    let collection = JsonValue::object([
+        ("schema".to_owned(), JsonValue::from(COLLECTION_SCHEMA)),
+        ("reports".to_owned(), JsonValue::Array(reports)),
+    ]);
+    let out = dir.join("BENCH_all.json");
+    let mut text = collection.to_json_pretty();
+    text.push('\n');
+    if let Err(err) = fs::write(&out, text) {
+        eprintln!("bench-collect: writing {} failed: {err}", out.display());
+        return ExitCode::FAILURE;
+    }
+
+    println!("{}", table.render());
+    println!("collected {} reports into {}", files.len() - failures, out.display());
+    if failures > 0 {
+        eprintln!("bench-collect: {failures} files skipped");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

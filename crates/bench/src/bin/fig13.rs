@@ -1,7 +1,7 @@
 //! Regenerates Fig. 13 (manual vs. AXI4MLIR across all configurations).
 //! Usage: `cargo run --release -p axi4mlir-bench --bin fig13 [--quick]`.
 
-use axi4mlir_bench::{fig13, Scale};
+use axi4mlir_bench::{fig13, report, Scale};
 use axi4mlir_support::fmtutil::{fmt_percent, fmt_speedup};
 
 fn main() {
@@ -18,4 +18,5 @@ fn main() {
         fmt_percent(s.mean_cache_reduction),
         fmt_percent(s.max_cache_reduction),
     );
+    report::emit_from_args(&fig13::report(scale, &rows)).expect("write BENCH json");
 }

@@ -1,12 +1,14 @@
 //! Regenerates Fig. 17 (TinyBERT end-to-end co-execution).
 //! Usage: `cargo run --release -p axi4mlir-bench --bin fig17 [--quick]`.
 
-use axi4mlir_bench::{fig17, Scale};
+use axi4mlir_bench::{fig17, report, Scale};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
     println!("Fig. 17: TinyBERT (batch 2) end-to-end execution time\n");
-    println!("{}", fig17::render(&fig17::bars(scale)).render());
+    let bars = fig17::bars(scale);
+    println!("{}", fig17::render(&bars).render());
     println!("Expected shape: both offload approaches beat CPU end-to-end (paper: 3.3-3.4x)");
     println!("with larger MatMul-only speedups (paper: 14.7-18.4x); Best beats Ns-SquareTile.");
+    report::emit_from_args(&fig17::report(scale, &bars)).expect("write BENCH json");
 }

@@ -1,8 +1,10 @@
 //! Regenerates Table I. Usage: `cargo run --release -p axi4mlir-bench --bin table1`.
 
-use axi4mlir_bench::table1;
+use axi4mlir_bench::{report, table1};
 
 fn main() {
     println!("Table I: Accelerators used in the experiments\n");
-    println!("{}", table1::render(&table1::rows()).render());
+    let rows = table1::rows();
+    println!("{}", table1::render(&rows).render());
+    report::emit_from_args(&table1::report(&rows)).expect("write BENCH json");
 }

@@ -6,11 +6,11 @@
 //! reproduce: offload only pays off for `dims >= 64` **and**
 //! `accel_size >= 8`.
 
-use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
 use axi4mlir_accelerators::matmul::MatMulVersion;
 use axi4mlir_baselines::run_manual_matmul;
 use axi4mlir_config::FlowStrategy;
 use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
+use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
 use axi4mlir_workloads::matmul::MatMulProblem;
 
 use crate::Scale;
@@ -44,9 +44,7 @@ pub fn rows(scale: Scale) -> Vec<Fig10Row> {
     let cpu_plan = CompilePlan::cpu().seed(10);
     for dims in scale.matmul_dims() {
         let problem = MatMulProblem::square(dims);
-        let cpu = cpu_session
-            .run(&MatMulWorkload::new(problem), &cpu_plan)
-            .expect("CPU baseline");
+        let cpu = cpu_session.run(&MatMulWorkload::new(problem), &cpu_plan).expect("CPU baseline");
         assert!(cpu.verified, "CPU baseline failed verification");
         out.push(Fig10Row { dims, accel_size: None, manual_ms: None, cpu_ms: cpu.task_clock_ms });
         for size in sizes(scale) {
@@ -99,6 +97,27 @@ pub fn render(rows: &[Fig10Row]) -> TextTable {
         ]);
     }
     t
+}
+
+/// The machine-readable Fig. 10 series.
+pub fn report(scale: Scale, rows: &[Fig10Row]) -> crate::report::BenchReport {
+    use crate::report::{BenchEntry, BenchReport};
+    let mut r = BenchReport::new("fig10").scale(scale);
+    for row in rows {
+        let id = match row.accel_size {
+            None => format!("({}, 0, NONE)", row.dims),
+            Some(s) => format!("({}, {s}, v1)", row.dims),
+        };
+        let mut e = BenchEntry::new(id).metric("dims", row.dims).metric("cpu_ms", row.cpu_ms);
+        if let Some(size) = row.accel_size {
+            e = e.metric("accel_size", size);
+        }
+        if let Some(ms) = row.manual_ms {
+            e = e.metric("manual_ms", ms);
+        }
+        r.push(e);
+    }
+    r
 }
 
 #[cfg(test)]

@@ -5,12 +5,12 @@
 //! (the rank-generic element-wise copy overhead the paper then fixes), and
 //! the Cs flow still provides improvements over manual Ns on v3.
 
-use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
 use axi4mlir_accelerators::matmul::MatMulVersion;
 use axi4mlir_baselines::run_manual_matmul;
 use axi4mlir_config::{AcceleratorConfig, AcceleratorPreset, FlowStrategy};
 use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
 use axi4mlir_core::options::PipelineOptions;
+use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
 use axi4mlir_workloads::matmul::MatMulProblem;
 
 use crate::Scale;
@@ -58,14 +58,9 @@ pub fn rows(scale: Scale) -> Vec<Fig11Row> {
         for size in scale.accel_sizes() {
             for version in [MatMulVersion::V2, MatMulVersion::V3] {
                 let problem = MatMulProblem::square(dims);
-                let manual = run_manual_matmul(
-                    version,
-                    size,
-                    FlowStrategy::NothingStationary,
-                    problem,
-                    11,
-                )
-                .expect("manual Ns");
+                let manual =
+                    run_manual_matmul(version, size, FlowStrategy::NothingStationary, problem, 11)
+                        .expect("manual Ns");
                 assert!(manual.verified);
                 let mut generated = Vec::new();
                 for flow in flows_for(version) {
@@ -94,7 +89,8 @@ pub fn rows(scale: Scale) -> Vec<Fig11Row> {
 
 /// Renders the figure series.
 pub fn render(rows: &[Fig11Row]) -> TextTable {
-    let mut t = TextTable::new(vec!["dims,accel_size,accel_version", "strategy", "task-clock [ms]"]);
+    let mut t =
+        TextTable::new(vec!["dims,accel_size,accel_version", "strategy", "task-clock [ms]"]);
     for r in rows {
         let group = format!("({}, {}, {})", r.dims, r.size, r.version);
         t.row(vec![group.clone(), "cpp_MANUAL Ns".to_owned(), fmt_ms(r.manual_ns_ms)]);
@@ -105,6 +101,23 @@ pub fn render(rows: &[Fig11Row]) -> TextTable {
     t
 }
 
+/// The machine-readable Fig. 11 series.
+pub fn report(scale: Scale, rows: &[Fig11Row]) -> crate::report::BenchReport {
+    use crate::report::{BenchEntry, BenchReport};
+    let mut r = BenchReport::new("fig11").scale(scale);
+    for row in rows {
+        let mut e = BenchEntry::new(format!("({}, {}, {})", row.dims, row.size, row.version))
+            .metric("dims", row.dims)
+            .metric("size", row.size)
+            .metric("manual_ns_ms", row.manual_ns_ms);
+        for (label, ms) in &row.generated_ms {
+            e = e.metric(&format!("generated_{label}_ms"), *ms);
+        }
+        r.push(e);
+    }
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,10 +125,8 @@ mod tests {
     #[test]
     fn pre_optimization_shapes() {
         let rows = rows(Scale::Quick);
-        let v3 = rows
-            .iter()
-            .find(|r| r.version == MatMulVersion::V3 && r.dims == 64)
-            .expect("v3 row");
+        let v3 =
+            rows.iter().find(|r| r.version == MatMulVersion::V3 && r.dims == 64).expect("v3 row");
         let ns = v3.generated_ms.iter().find(|(f, _)| f == "Ns").unwrap().1;
         let cs = v3.generated_ms.iter().find(|(f, _)| f == "Cs").unwrap().1;
         // Generated Ns (element-wise copies) is slower than manual Ns.

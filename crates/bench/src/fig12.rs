@@ -6,13 +6,13 @@
 //! manual driver. Variant (b): with the specialized `memcpy` copy — the
 //! generated flows match or beat the manual driver on every metric.
 
-use axi4mlir_support::fmtutil::{fmt_percent, TextTable};
 use axi4mlir_accelerators::matmul::MatMulVersion;
 use axi4mlir_baselines::run_manual_matmul;
 use axi4mlir_config::{AcceleratorConfig, AcceleratorPreset, FlowStrategy};
 use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
 use axi4mlir_core::options::PipelineOptions;
 use axi4mlir_sim::counters::PerfCounters;
+use axi4mlir_support::fmtutil::{fmt_percent, TextTable};
 use axi4mlir_workloads::matmul::MatMulProblem;
 
 use crate::Scale;
@@ -70,7 +70,12 @@ pub fn rows(scale: Scale, variant: Variant) -> Vec<Fig12Row> {
             .expect("manual Ns");
     let (b, c, t) =
         ratios(&manual.counters, manual.task_clock_ms, &cpu.counters, cpu.task_clock_ms);
-    out.push(Fig12Row { strategy: "cpp_MANUAL Ns".to_owned(), branch_ratio: b, cache_ratio: c, clock_ratio: t });
+    out.push(Fig12Row {
+        strategy: "cpp_MANUAL Ns".to_owned(),
+        branch_ratio: b,
+        cache_ratio: c,
+        clock_ratio: t,
+    });
 
     let options = match variant {
         Variant::A => PipelineOptions::unoptimized_copies(),
@@ -78,12 +83,11 @@ pub fn rows(scale: Scale, variant: Variant) -> Vec<Fig12Row> {
     };
     let mut session = Session::for_sweep();
     for flow in FlowStrategy::all() {
-        let plan = CompilePlan::for_accelerator(AcceleratorConfig::preset(AcceleratorPreset::V3 {
-            size,
-        }))
-        .flow(flow)
-        .options(options)
-        .seed(12);
+        let plan =
+            CompilePlan::for_accelerator(AcceleratorConfig::preset(AcceleratorPreset::V3 { size }))
+                .flow(flow)
+                .options(options)
+                .seed(12);
         let report = session.run(&workload, &plan).expect("generated driver");
         assert!(report.verified);
         let (b, c, t) =
@@ -111,6 +115,25 @@ pub fn render(rows: &[Fig12Row]) -> TextTable {
         ]);
     }
     t
+}
+
+/// The machine-readable Fig. 12 series for one variant.
+pub fn report(scale: Scale, variant: Variant, rows: &[Fig12Row]) -> crate::report::BenchReport {
+    use crate::report::{BenchEntry, BenchReport};
+    let name = match variant {
+        Variant::A => "fig12a",
+        Variant::B => "fig12b",
+    };
+    let mut r = BenchReport::new(name).scale(scale);
+    for row in rows {
+        r.push(
+            BenchEntry::new(row.strategy.clone())
+                .metric("branch_ratio", row.branch_ratio)
+                .metric("cache_ratio", row.cache_ratio)
+                .metric("clock_ratio", row.clock_ratio),
+        );
+    }
+    r
 }
 
 #[cfg(test)]

@@ -5,11 +5,11 @@
 //! paper reports a 1.18x average / 1.65x max speedup and a 10% average /
 //! 56% max cache-reference reduction.
 
-use axi4mlir_support::fmtutil::{fmt_ms, fmt_speedup, TextTable};
 use axi4mlir_accelerators::matmul::MatMulVersion;
 use axi4mlir_baselines::run_manual_matmul;
 use axi4mlir_config::{AcceleratorConfig, AcceleratorPreset, FlowStrategy};
 use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
+use axi4mlir_support::fmtutil::{fmt_ms, fmt_speedup, TextTable};
 use axi4mlir_workloads::matmul::MatMulProblem;
 
 use crate::Scale;
@@ -73,8 +73,8 @@ pub fn rows(scale: Scale) -> Vec<Fig13Row> {
             for version in [MatMulVersion::V2, MatMulVersion::V3] {
                 for flow in flows_for(version) {
                     let problem = MatMulProblem::square(dims);
-                    let manual = run_manual_matmul(version, size, flow, problem, 13)
-                        .expect("manual driver");
+                    let manual =
+                        run_manual_matmul(version, size, flow, problem, 13).expect("manual driver");
                     assert!(manual.verified);
                     let preset = match version {
                         MatMulVersion::V2 => AcceleratorPreset::V2 { size },
@@ -144,6 +144,30 @@ pub fn render(rows: &[Fig13Row]) -> TextTable {
         ]);
     }
     t
+}
+
+/// The machine-readable Fig. 13 series (with the summary as context).
+pub fn report(scale: Scale, rows: &[Fig13Row]) -> crate::report::BenchReport {
+    use crate::report::{BenchEntry, BenchReport};
+    let s = summarize(rows);
+    let mut r = BenchReport::new("fig13")
+        .scale(scale)
+        .context("mean_speedup", s.mean_speedup)
+        .context("max_speedup", s.max_speedup)
+        .context("mean_cache_reduction", s.mean_cache_reduction)
+        .context("max_cache_reduction", s.max_cache_reduction);
+    for row in rows {
+        r.push(
+            BenchEntry::new(row.label())
+                .metric("manual_ms", row.manual_ms)
+                .metric("generated_ms", row.generated_ms)
+                .metric("manual_cache_refs", row.manual_refs)
+                .metric("generated_cache_refs", row.generated_refs)
+                .metric("speedup", row.speedup())
+                .metric("cache_reduction", row.cache_reduction()),
+        );
+    }
+    r
 }
 
 #[cfg(test)]

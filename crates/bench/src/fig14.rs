@@ -6,11 +6,11 @@
 //! shape, square tiles top out at `T = 32`, and `Best` (non-square tiles)
 //! is at least as fast as every square strategy.
 
-use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
 use axi4mlir_accelerators::matmul::V4_CAPACITY_WORDS;
 use axi4mlir_config::{AcceleratorConfig, FlowStrategy};
 use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
 use axi4mlir_heuristics::{best_choice, square_tile_choice, TileChoice};
+use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
 use axi4mlir_workloads::matmul::MatMulProblem;
 
 use crate::Scale;
@@ -33,7 +33,7 @@ pub const V4_BASE: i64 = 16;
 
 fn run_choice(session: &mut Session, problem: MatMulProblem, choice: &TileChoice) -> f64 {
     let config = AcceleratorConfig::preset_v4_with_tile(
-        V4_BASE,
+        choice.instantiation_base(V4_BASE),
         choice.tile.0,
         choice.tile.1,
         choice.tile.2,
@@ -67,7 +67,7 @@ pub fn rows(scale: Scale) -> Vec<Fig14Row> {
             FlowStrategy::InputBStationary,
             FlowStrategy::OutputStationary,
         ] {
-            if let Some(choice) = square_tile_choice(flow, dims, V4_BASE, V4_CAPACITY_WORDS) {
+            if let Ok(choice) = square_tile_choice(flow, dims, V4_BASE, V4_CAPACITY_WORDS) {
                 let ms = run_choice(&mut session, problem, &choice);
                 square_ms.push((format!("{}-squareTile", flow.short_name()), ms));
             }
@@ -81,7 +81,8 @@ pub fn rows(scale: Scale) -> Vec<Fig14Row> {
 
 /// Renders the figure series with Best annotations.
 pub fn render(rows: &[Fig14Row]) -> TextTable {
-    let mut t = TextTable::new(vec!["dims [M_N_K]", "strategy", "task-clock [ms]", "chosen config"]);
+    let mut t =
+        TextTable::new(vec!["dims [M_N_K]", "strategy", "task-clock [ms]", "chosen config"]);
     for r in rows {
         for (label, ms) in &r.square_ms {
             t.row(vec![r.problem.label(), label.clone(), fmt_ms(*ms), "-".to_owned()]);
@@ -89,6 +90,24 @@ pub fn render(rows: &[Fig14Row]) -> TextTable {
         t.row(vec![r.problem.label(), "Best".to_owned(), fmt_ms(r.best_ms), r.best.label()]);
     }
     t
+}
+
+/// The machine-readable Fig. 14 series.
+pub fn report(scale: Scale, rows: &[Fig14Row]) -> crate::report::BenchReport {
+    use crate::report::{BenchEntry, BenchReport};
+    let mut r = BenchReport::new("fig14").scale(scale);
+    for row in rows {
+        let mut e = BenchEntry::new(row.problem.label());
+        for (label, ms) in &row.square_ms {
+            e = e.metric(&format!("{label}_ms"), *ms);
+        }
+        e = e
+            .metric("best_config", row.best.label())
+            .metric("best_ms", row.best_ms)
+            .metric("best_estimated_words", row.best.estimate.words_total());
+        r.push(e);
+    }
+    r
 }
 
 #[cfg(test)]

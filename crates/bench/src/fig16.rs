@@ -7,9 +7,9 @@
 //! slowdown — because windows of one element degrade to the element-wise
 //! path.
 
-use axi4mlir_support::fmtutil::{fmt_percent, TextTable};
 use axi4mlir_baselines::run_manual_conv;
 use axi4mlir_core::driver::{CompilePlan, ConvWorkload, Session};
+use axi4mlir_support::fmtutil::{fmt_percent, TextTable};
 use axi4mlir_workloads::resnet::{resnet18_layers, ConvLayer};
 
 use crate::Scale;
@@ -50,8 +50,7 @@ pub fn rows(scale: Scale) -> Vec<Fig16Row> {
         let manual = run_manual_conv(layer, 16).expect("manual conv");
         assert!(manual.verified, "{layer}: manual driver must verify");
         let plan = CompilePlan::for_conv_layer(layer);
-        let generated =
-            session.run(&ConvWorkload::new(layer), &plan).expect("generated conv");
+        let generated = session.run(&ConvWorkload::new(layer), &plan).expect("generated conv");
         assert!(generated.verified, "{layer}: generated driver must verify");
         out.push(Fig16Row {
             layer,
@@ -84,6 +83,21 @@ pub fn render(rows: &[Fig16Row]) -> TextTable {
         ]);
     }
     t
+}
+
+/// The machine-readable Fig. 16 series.
+pub fn report(scale: Scale, rows: &[Fig16Row]) -> crate::report::BenchReport {
+    use crate::report::{BenchEntry, BenchReport};
+    let mut r = BenchReport::new("fig16").scale(scale);
+    for row in rows {
+        r.push(
+            BenchEntry::new(row.layer.label())
+                .metric("branch_ratio", row.branch_ratio)
+                .metric("cache_ratio", row.cache_ratio)
+                .metric("clock_ratio", row.clock_ratio),
+        );
+    }
+    r
 }
 
 #[cfg(test)]

@@ -13,11 +13,11 @@
 //! the *shape*: a >2x end-to-end win and a >5x MatMul-only win, with
 //! `Best` ahead of `Ns-SquareTile`.
 
-use axi4mlir_support::fmtutil::{fmt_ms, fmt_speedup, TextTable};
 use axi4mlir_accelerators::matmul::V4_CAPACITY_WORDS;
 use axi4mlir_config::{AcceleratorConfig, FlowStrategy};
 use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
 use axi4mlir_heuristics::{best_choice, square_tile_choice, TileChoice};
+use axi4mlir_support::fmtutil::{fmt_ms, fmt_speedup, TextTable};
 use axi4mlir_workloads::matmul::MatMulProblem;
 use axi4mlir_workloads::tinybert::{tinybert_matmuls, TinyBertMatMul};
 
@@ -61,14 +61,14 @@ pub fn inventory(scale: Scale) -> Vec<TinyBertMatMul> {
 fn accel_total_ms(
     session: &mut Session,
     inventory: &[TinyBertMatMul],
-    choose: impl Fn(&MatMulProblem) -> Option<TileChoice>,
+    choose: impl Fn(&MatMulProblem) -> Result<TileChoice, axi4mlir_support::diag::Diagnostic>,
 ) -> f64 {
     let mut total = 0.0;
     for entry in inventory {
         let choice = choose(&entry.problem)
-            .unwrap_or_else(|| panic!("no legal v4 configuration for {}", entry.problem));
+            .unwrap_or_else(|e| panic!("no legal v4 configuration for {}: {e}", entry.problem));
         let config = AcceleratorConfig::preset_v4_with_tile(
-            V4_BASE,
+            choice.instantiation_base(V4_BASE),
             choice.tile.0,
             choice.tile.1,
             choice.tile.2,
@@ -91,9 +91,8 @@ pub fn bars(scale: Scale) -> Vec<Fig17Bar> {
     let cpu_plan = CompilePlan::cpu().seed(17);
     let mut cpu_matmul_ms = 0.0;
     for entry in &inventory {
-        let r = cpu_session
-            .run(&MatMulWorkload::new(entry.problem), &cpu_plan)
-            .expect("CPU baseline");
+        let r =
+            cpu_session.run(&MatMulWorkload::new(entry.problem), &cpu_plan).expect("CPU baseline");
         assert!(r.verified);
         cpu_matmul_ms += r.task_clock_ms * entry.count as f64;
     }
@@ -143,6 +142,21 @@ pub fn render(bars: &[Fig17Bar]) -> TextTable {
         ]);
     }
     t
+}
+
+/// The machine-readable Fig. 17 series.
+pub fn report(scale: Scale, bars: &[Fig17Bar]) -> crate::report::BenchReport {
+    use crate::report::{BenchEntry, BenchReport};
+    let mut r = BenchReport::new("fig17").scale(scale);
+    for bar in bars {
+        r.push(
+            BenchEntry::new(bar.approach.clone())
+                .metric("matmul_ms", bar.matmul_ms)
+                .metric("other_ms", bar.other_ms)
+                .metric("e2e_ms", bar.e2e_ms()),
+        );
+    }
+    r
 }
 
 #[cfg(test)]

@@ -13,6 +13,10 @@
 //! one [`Session`](axi4mlir_core::driver::Session) per sweep and recycles
 //! its SoC between runs, so per-run allocation is amortized across the
 //! grid while counters stay bit-identical to fresh runs.
+//!
+//! Every module also exposes a `report()` function producing the
+//! machine-readable [`report::BenchReport`] (`BENCH_*.json`) that the
+//! binaries emit under `--json` and CI uploads as artifacts.
 
 pub mod fig10;
 pub mod fig11;
@@ -21,6 +25,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig16;
 pub mod fig17;
+pub mod report;
 pub mod table1;
 
 /// How big a sweep to run.

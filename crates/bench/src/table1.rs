@@ -5,11 +5,11 @@
 //! and divides retired OPs by charged compute cycles — the reproduction's
 //! analogue of the paper's synthesis reports.
 
-use axi4mlir_support::fmtutil::TextTable;
 use axi4mlir_accelerators::isa;
 use axi4mlir_accelerators::registry::{table1, AcceleratorSpec};
 use axi4mlir_sim::axi::StreamAccelerator;
 use axi4mlir_sim::counters::PerfCounters;
+use axi4mlir_support::fmtutil::TextTable;
 
 /// One rendered row of Table I.
 #[derive(Clone, Debug)]
@@ -85,6 +85,21 @@ pub fn render(rows: &[Table1Row]) -> TextTable {
         ]);
     }
     t
+}
+
+/// The machine-readable Table I.
+pub fn report(rows: &[Table1Row]) -> crate::report::BenchReport {
+    use crate::report::{BenchEntry, BenchReport};
+    let mut r = BenchReport::new("table1");
+    for row in rows {
+        r.push(
+            BenchEntry::new(row.spec.name())
+                .metric("size", u64::from(row.spec.size))
+                .metric("nominal_ops_per_cycle", u64::from(row.spec.ops_per_cycle))
+                .metric("measured_ops_per_cycle", row.measured_ops_per_cycle),
+        );
+    }
+    r
 }
 
 #[cfg(test)]

@@ -2,9 +2,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_ir::affine::{AffineExpr, AffineMap};
 use axi4mlir_ir::attrs::{Attribute, FlowElem, OpcodeAction, OpcodeFlow, OpcodeMap};
+use axi4mlir_support::diag::Diagnostic;
 
 /// Kernels AXI4MLIR can offload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -174,7 +174,9 @@ impl AcceleratorConfig {
         for (_, actions) in self.opcode_map.iter().map(|(n, a)| (n.to_owned(), a)) {
             for action in actions {
                 match action {
-                    OpcodeAction::Send { arg } | OpcodeAction::Recv { arg } | OpcodeAction::SendDim { arg, .. } => {
+                    OpcodeAction::Send { arg }
+                    | OpcodeAction::Recv { arg }
+                    | OpcodeAction::SendDim { arg, .. } => {
                         if *arg as usize >= self.data.len() {
                             return Err(Diagnostic::error(format!(
                                 "accelerator {}: action {action} references argument {arg} but only {} data arguments exist",
@@ -242,7 +244,10 @@ impl AcceleratorConfig {
         dma.insert("inputAddress".to_owned(), Attribute::Int(self.dma.input_address as i64));
         dma.insert("inputBufferSize".to_owned(), Attribute::Int(self.dma.input_buffer_size as i64));
         dma.insert("outputAddress".to_owned(), Attribute::Int(self.dma.output_address as i64));
-        dma.insert("outputBufferSize".to_owned(), Attribute::Int(self.dma.output_buffer_size as i64));
+        dma.insert(
+            "outputBufferSize".to_owned(),
+            Attribute::Int(self.dma.output_buffer_size as i64),
+        );
         attrs.insert("dma_init_config".to_owned(), Attribute::Dict(dma));
         attrs.insert(
             "init_opcodes".to_owned(),

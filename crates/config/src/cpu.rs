@@ -42,9 +42,9 @@ impl CpuSpec {
                 .ok_or_else(|| Diagnostic::error("cpu: `cache-types` must be an array"))?
                 .iter()
                 .map(|t| {
-                    t.as_str()
-                        .map(str::to_owned)
-                        .ok_or_else(|| Diagnostic::error("cpu: `cache-types` entries must be strings"))
+                    t.as_str().map(str::to_owned).ok_or_else(|| {
+                        Diagnostic::error("cpu: `cache-types` entries must be strings")
+                    })
                 })
                 .collect::<Result<_, _>>()?,
         };

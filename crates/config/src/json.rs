@@ -24,9 +24,9 @@
 //! object's member order defines the operand order (A = argument 0, ...),
 //! which the order-preserving [`JsonValue`] object representation keeps.
 
+use axi4mlir_ir::attrs::{OpcodeFlow, OpcodeMap};
 use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_support::json::JsonValue;
-use axi4mlir_ir::attrs::{OpcodeFlow, OpcodeMap};
 
 use crate::accelerator::{AcceleratorConfig, DmaInfo, KernelKind};
 use crate::cpu::CpuSpec;
@@ -95,10 +95,10 @@ impl SystemConfig {
             .get("cpu")
             .ok_or_else(|| Diagnostic::error("configuration must define a `cpu` section"))?;
         let cpu = CpuSpec::from_value(cpu_value)?;
-        let accel_values = doc
-            .get("accelerators")
-            .and_then(JsonValue::as_array)
-            .ok_or_else(|| Diagnostic::error("configuration must define an `accelerators` array"))?;
+        let accel_values =
+            doc.get("accelerators").and_then(JsonValue::as_array).ok_or_else(|| {
+                Diagnostic::error("configuration must define an `accelerators` array")
+            })?;
         let mut accelerators = Vec::new();
         for value in accel_values {
             accelerators.push(convert(value)?);
@@ -140,7 +140,9 @@ fn u32_field(value: &JsonValue, name: &str, accel: &str) -> Result<u32, Diagnost
 fn string_list(value: &JsonValue, name: &str, accel: &str) -> Result<Vec<String>, Diagnostic> {
     field(value, name, accel)?
         .as_array()
-        .ok_or_else(|| Diagnostic::error(format!("accelerator {accel}: `{name}` must be an array")))?
+        .ok_or_else(|| {
+            Diagnostic::error(format!("accelerator {accel}: `{name}` must be an array"))
+        })?
         .iter()
         .map(|v| {
             v.as_str().map(str::to_owned).ok_or_else(|| {
@@ -175,21 +177,24 @@ fn convert(value: &JsonValue) -> Result<AcceleratorConfig, Diagnostic> {
 
     let accel_dims = field(value, "accel_size", &name)?
         .as_array()
-        .ok_or_else(|| Diagnostic::error(format!("accelerator {name}: `accel_size` must be an array")))?
+        .ok_or_else(|| {
+            Diagnostic::error(format!("accelerator {name}: `accel_size` must be an array"))
+        })?
         .iter()
         .map(|v| {
             v.as_i64().ok_or_else(|| {
-                Diagnostic::error(format!("accelerator {name}: `accel_size` entries must be integers"))
+                Diagnostic::error(format!(
+                    "accelerator {name}: `accel_size` entries must be integers"
+                ))
             })
         })
         .collect::<Result<Vec<i64>, _>>()?;
 
     let data_type = match value.get("data_type") {
         None => "int32".to_owned(),
-        Some(v) => v
-            .as_str()
-            .map(str::to_owned)
-            .ok_or_else(|| Diagnostic::error(format!("accelerator {name}: `data_type` must be a string")))?,
+        Some(v) => v.as_str().map(str::to_owned).ok_or_else(|| {
+            Diagnostic::error(format!("accelerator {name}: `data_type` must be a string"))
+        })?,
     };
 
     let dims = string_list(value, "dims", &name)?;

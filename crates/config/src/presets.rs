@@ -283,10 +283,7 @@ mod tests {
         assert_eq!(cfg.init_opcodes, vec!["reset", "cfg"]);
         let actions = cfg.opcode_map.get("cfg").unwrap();
         assert_eq!(actions.len(), 4);
-        assert_eq!(
-            actions[1],
-            axi4mlir_ir::attrs::OpcodeAction::SendLiteral { value: 32 }
-        );
+        assert_eq!(actions[1], axi4mlir_ir::attrs::OpcodeAction::SendLiteral { value: 32 });
     }
 
     #[test]
@@ -305,10 +302,25 @@ mod tests {
         // models decode, or every end-to-end run would hang.
         let cfg = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 8 });
         let first_action = |name: &str| cfg.opcode_map.get(name).unwrap()[0].clone();
-        assert_eq!(first_action("sA"), axi4mlir_ir::attrs::OpcodeAction::SendLiteral { value: 0x22 });
-        assert_eq!(first_action("sB"), axi4mlir_ir::attrs::OpcodeAction::SendLiteral { value: 0x23 });
-        assert_eq!(first_action("cC"), axi4mlir_ir::attrs::OpcodeAction::SendLiteral { value: 0xF0 });
-        assert_eq!(first_action("rC"), axi4mlir_ir::attrs::OpcodeAction::SendLiteral { value: 0x24 });
-        assert_eq!(first_action("reset"), axi4mlir_ir::attrs::OpcodeAction::SendLiteral { value: 0xFF });
+        assert_eq!(
+            first_action("sA"),
+            axi4mlir_ir::attrs::OpcodeAction::SendLiteral { value: 0x22 }
+        );
+        assert_eq!(
+            first_action("sB"),
+            axi4mlir_ir::attrs::OpcodeAction::SendLiteral { value: 0x23 }
+        );
+        assert_eq!(
+            first_action("cC"),
+            axi4mlir_ir::attrs::OpcodeAction::SendLiteral { value: 0xF0 }
+        );
+        assert_eq!(
+            first_action("rC"),
+            axi4mlir_ir::attrs::OpcodeAction::SendLiteral { value: 0x24 }
+        );
+        assert_eq!(
+            first_action("reset"),
+            axi4mlir_ir::attrs::OpcodeAction::SendLiteral { value: 0xFF }
+        );
     }
 }

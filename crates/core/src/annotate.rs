@@ -1,12 +1,12 @@
 //! Step 3: match `linalg` operations and annotate them with the
 //! accelerator trait attributes (Fig. 6a).
 
-use axi4mlir_support::diag::{Diagnostic, DiagnosticEngine};
 use axi4mlir_config::{AcceleratorConfig, KernelKind};
 use axi4mlir_dialects::linalg;
 use axi4mlir_ir::attrs::Attribute;
 use axi4mlir_ir::ops::{Module, OpId};
 use axi4mlir_ir::pass::Pass;
+use axi4mlir_support::diag::{Diagnostic, DiagnosticEngine};
 
 /// Finds offloadable ops and attaches the accelerator trait.
 ///
@@ -26,7 +26,11 @@ pub struct MatchAndAnnotatePass {
 
 impl MatchAndAnnotatePass {
     /// Creates the pass for one accelerator.
-    pub fn new(config: AcceleratorConfig, permutation: Vec<String>, cache_tile: Option<i64>) -> Self {
+    pub fn new(
+        config: AcceleratorConfig,
+        permutation: Vec<String>,
+        cache_tile: Option<i64>,
+    ) -> Self {
         Self { config, permutation, cache_tile, annotated: Vec::new() }
     }
 
@@ -48,19 +52,19 @@ impl Pass for MatchAndAnnotatePass {
         "axi4mlir-match-and-annotate"
     }
 
-    fn run(&mut self, module: &mut Module, _diags: &mut DiagnosticEngine) -> Result<(), Diagnostic> {
+    fn run(
+        &mut self,
+        module: &mut Module,
+        _diags: &mut DiagnosticEngine,
+    ) -> Result<(), Diagnostic> {
         self.config.validate()?;
         self.annotated.clear();
         // Named matmuls become generics first (compiler flow box "convert
         // named ops to linalg.generic").
         let top = module.top();
         linalg::convert_named_to_generic(&mut module.ctx, top);
-        let candidates: Vec<OpId> = module
-            .ctx
-            .walk(top)
-            .into_iter()
-            .filter(|op| self.matches(module, *op))
-            .collect();
+        let candidates: Vec<OpId> =
+            module.ctx.walk(top).into_iter().filter(|op| self.matches(module, *op)).collect();
         if candidates.is_empty() {
             return Err(Diagnostic::error(format!(
                 "no operation matches accelerator {} (kernel {})",
@@ -105,7 +109,8 @@ mod tests {
     #[test]
     fn annotates_matched_matmul() {
         let mut module = matmul_module(16);
-        let cfg = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 8 }).with_selected_flow("As");
+        let cfg =
+            AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 8 }).with_selected_flow("As");
         let mut pass = MatchAndAnnotatePass::new(
             cfg,
             vec!["m".to_owned(), "k".to_owned(), "n".to_owned()],

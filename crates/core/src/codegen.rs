@@ -7,7 +7,6 @@
 //! at the depth their dimensions become available and the `accel` ops of
 //! each opcode placed at the depth the `opcode_flow` dictates.
 
-use axi4mlir_support::diag::{Diagnostic, DiagnosticEngine};
 use axi4mlir_config::KernelKind;
 use axi4mlir_dialects::{accel, arith, linalg, memref, scf};
 use axi4mlir_ir::attrs::{Attribute, OpcodeAction, OpcodeFlow, OpcodeMap};
@@ -15,6 +14,7 @@ use axi4mlir_ir::builder::OpBuilder;
 use axi4mlir_ir::ops::{IrCtx, Module, OpId, ValueId};
 use axi4mlir_ir::pass::Pass;
 use axi4mlir_ir::types::Type;
+use axi4mlir_support::diag::{Diagnostic, DiagnosticEngine};
 
 use crate::plan::{self, LoopPlan, OffsetExpr, PlacedOpcode, Position};
 
@@ -41,7 +41,11 @@ impl Pass for GenerateAccelDriverPass {
         "axi4mlir-generate-driver"
     }
 
-    fn run(&mut self, module: &mut Module, _diags: &mut DiagnosticEngine) -> Result<(), Diagnostic> {
+    fn run(
+        &mut self,
+        module: &mut Module,
+        _diags: &mut DiagnosticEngine,
+    ) -> Result<(), Diagnostic> {
         let top = module.top();
         let annotated: Vec<OpId> = module
             .ctx
@@ -75,9 +79,16 @@ struct Trait {
 
 fn read_trait(ctx: &IrCtx, op: OpId) -> Result<Trait, Diagnostic> {
     let attr_err = |name: &str| Diagnostic::error(format!("annotated op is missing `{name}`"));
-    let opcode_map =
-        ctx.attr(op, "opcode_map").and_then(|a| a.as_opcodes()).ok_or_else(|| attr_err("opcode_map"))?.clone();
-    let flow = ctx.attr(op, "opcode_flow").and_then(|a| a.as_flow()).ok_or_else(|| attr_err("opcode_flow"))?.clone();
+    let opcode_map = ctx
+        .attr(op, "opcode_map")
+        .and_then(|a| a.as_opcodes())
+        .ok_or_else(|| attr_err("opcode_map"))?
+        .clone();
+    let flow = ctx
+        .attr(op, "opcode_flow")
+        .and_then(|a| a.as_flow())
+        .ok_or_else(|| attr_err("opcode_flow"))?
+        .clone();
     let init_opcodes = ctx
         .attr(op, "init_opcodes")
         .and_then(|a| a.as_flow())
@@ -128,8 +139,9 @@ fn rewrite_one(ctx: &mut IrCtx, op: OpId, coalesce: bool) -> Result<(), Diagnost
     };
     let plan = match kernel {
         KernelKind::MatMul => {
-            let (m, n, k) = linalg::matmul_dims(ctx, op)
-                .ok_or_else(|| Diagnostic::error("annotated op does not have static MatMul shapes"))?;
+            let (m, n, k) = linalg::matmul_dims(ctx, op).ok_or_else(|| {
+                Diagnostic::error("annotated op does not have static MatMul shapes")
+            })?;
             if tr.accel_dims.len() != 3 {
                 return Err(Diagnostic::error("matmul accel_dim must have three results"));
             }
@@ -187,7 +199,8 @@ fn rewrite_one(ctx: &mut IrCtx, op: OpId, coalesce: bool) -> Result<(), Diagnost
     let placed = plan::place_flow(&plan, &tr.opcode_map, &tr.flow)?;
     validate_opcodes(&tr.opcode_map)?;
 
-    let block = ctx.op(op).parent.ok_or_else(|| Diagnostic::error("annotated op must be attached"))?;
+    let block =
+        ctx.op(op).parent.ok_or_else(|| Diagnostic::error("annotated op must be attached"))?;
     let index = ctx.position_in_block(op).expect("attached op has a position");
     ctx.erase_op(op);
     let mut b = OpBuilder::at(ctx, block, index);
@@ -348,12 +361,8 @@ impl<'a> DriverGen<'a> {
         if site.is_empty() {
             return Ok(());
         }
-        let views: Vec<ValueId> = self
-            .subviews
-            .iter()
-            .zip(self.operands)
-            .map(|(sv, full)| sv.unwrap_or(*full))
-            .collect();
+        let views: Vec<ValueId> =
+            self.subviews.iter().zip(self.operands).map(|(sv, full)| sv.unwrap_or(*full)).collect();
         let ivs_by_dim: Vec<(String, ValueId)> = self
             .plan
             .levels
@@ -437,19 +446,19 @@ fn expand_actions(
                 off = accel::send(b, view, off, flush);
             }
             OpcodeAction::SendDim { arg, dim } => {
-                let view = *views
-                    .get(*arg as usize)
-                    .ok_or_else(|| Diagnostic::error(format!("send_dim({arg}, {dim}) out of range")))?;
+                let view = *views.get(*arg as usize).ok_or_else(|| {
+                    Diagnostic::error(format!("send_dim({arg}, {dim}) out of range"))
+                })?;
                 off = accel::send_dim(b, view, i64::from(*dim), off, flush);
             }
             OpcodeAction::SendIdx { dim } => {
-                let ivs = ivs_by_dim
-                    .ok_or_else(|| Diagnostic::error("send_idx is not available in init opcodes"))?;
-                let iv = ivs
-                    .iter()
-                    .find(|(d, _)| d == dim)
-                    .map(|(_, v)| *v)
-                    .ok_or_else(|| Diagnostic::error(format!("send_idx({dim}): no such loop")))?;
+                let ivs = ivs_by_dim.ok_or_else(|| {
+                    Diagnostic::error("send_idx is not available in init opcodes")
+                })?;
+                let iv =
+                    ivs.iter().find(|(d, _)| d == dim).map(|(_, v)| *v).ok_or_else(|| {
+                        Diagnostic::error(format!("send_idx({dim}): no such loop"))
+                    })?;
                 let cast = arith::index_cast(b, iv, Type::i32());
                 off = accel::send_idx(b, cast, off, flush);
             }
@@ -489,11 +498,15 @@ mod tests {
         m
     }
 
-    fn compile(dims: i64, preset: AcceleratorPreset, flow: FlowStrategy, cache_tile: Option<i64>) -> Module {
+    fn compile(
+        dims: i64,
+        preset: AcceleratorPreset,
+        flow: FlowStrategy,
+        cache_tile: Option<i64>,
+    ) -> Module {
         let mut module = matmul_module(dims);
         let cfg = AcceleratorConfig::preset(preset).with_selected_flow(flow.short_name());
-        let perm: Vec<String> =
-            flow.matmul_permutation().iter().map(|s| (*s).to_owned()).collect();
+        let perm: Vec<String> = flow.matmul_permutation().iter().map(|s| (*s).to_owned()).collect();
         let mut pm = PassManager::new();
         pm.add(Box::new(MatchAndAnnotatePass::new(cfg, perm, cache_tile)));
         pm.add(Box::new(GenerateAccelDriverPass::default()));
@@ -504,7 +517,8 @@ mod tests {
 
     #[test]
     fn ns_flow_generates_three_loops_with_innermost_transfers() {
-        let m = compile(16, AcceleratorPreset::V3 { size: 4 }, FlowStrategy::NothingStationary, None);
+        let m =
+            compile(16, AcceleratorPreset::V3 { size: 4 }, FlowStrategy::NothingStationary, None);
         let fors = m.ctx.find_ops(m.top(), "scf.for");
         assert_eq!(fors.len(), 3);
         assert!(m.ctx.find_ops(m.top(), "linalg.generic").is_empty(), "linalg op replaced");
@@ -521,35 +535,32 @@ mod tests {
 
     #[test]
     fn as_flow_hoists_sa_out_of_innermost() {
-        let m = compile(16, AcceleratorPreset::V3 { size: 4 }, FlowStrategy::InputAStationary, None);
+        let m =
+            compile(16, AcceleratorPreset::V3 { size: 4 }, FlowStrategy::InputAStationary, None);
         let fors = m.ctx.find_ops(m.top(), "scf.for");
-        let innermost = fors
-            .iter()
-            .copied()
-            .find(|f| m.ctx.find_ops(*f, "scf.for").len() == 1)
-            .unwrap();
+        let innermost =
+            fors.iter().copied().find(|f| m.ctx.find_ops(*f, "scf.for").len() == 1).unwrap();
         // Only sB inside the innermost loop; sA was hoisted one level up.
         assert_eq!(m.ctx.find_ops(innermost, accel::SEND).len(), 1);
         let printed = print_op(&m.ctx, m.top());
-        assert_eq!(printed.matches("accel.send\"").count(), 2, "sA at depth 2, sB at depth 3: {printed}");
+        assert_eq!(
+            printed.matches("accel.send\"").count(),
+            2,
+            "sA at depth 2, sB at depth 3: {printed}"
+        );
     }
 
     #[test]
     fn cs_flow_receives_after_inner_loop() {
-        let m = compile(16, AcceleratorPreset::V3 { size: 4 }, FlowStrategy::OutputStationary, None);
+        let m =
+            compile(16, AcceleratorPreset::V3 { size: 4 }, FlowStrategy::OutputStationary, None);
         let fors = m.ctx.find_ops(m.top(), "scf.for");
-        let innermost = fors
-            .iter()
-            .copied()
-            .find(|f| m.ctx.find_ops(*f, "scf.for").len() == 1)
-            .unwrap();
+        let innermost =
+            fors.iter().copied().find(|f| m.ctx.find_ops(*f, "scf.for").len() == 1).unwrap();
         assert!(m.ctx.find_ops(innermost, accel::RECV).is_empty(), "recv hoisted out of k loop");
         // The recv lives in the depth-2 loop, after the inner loop.
-        let depth2 = fors
-            .iter()
-            .copied()
-            .find(|f| m.ctx.find_ops(*f, "scf.for").len() == 2)
-            .unwrap();
+        let depth2 =
+            fors.iter().copied().find(|f| m.ctx.find_ops(*f, "scf.for").len() == 2).unwrap();
         let body = scf::for_body(&m.ctx, depth2);
         let ops = &m.ctx.block(body).ops;
         let recv_pos = ops.iter().position(|o| m.ctx.op(*o).name == accel::RECV);
@@ -559,14 +570,20 @@ mod tests {
 
     #[test]
     fn cache_tiling_adds_outer_loops() {
-        let m = compile(64, AcceleratorPreset::V3 { size: 8 }, FlowStrategy::NothingStationary, Some(32));
+        let m = compile(
+            64,
+            AcceleratorPreset::V3 { size: 8 },
+            FlowStrategy::NothingStationary,
+            Some(32),
+        );
         // m and n gain cache loops; the streaming dim k does not.
         assert_eq!(m.ctx.find_ops(m.top(), "scf.for").len(), 5);
     }
 
     #[test]
     fn init_opcodes_run_before_loops() {
-        let m = compile(16, AcceleratorPreset::V3 { size: 4 }, FlowStrategy::NothingStationary, None);
+        let m =
+            compile(16, AcceleratorPreset::V3 { size: 4 }, FlowStrategy::NothingStationary, None);
         let f = m.funcs()[0];
         let entry = m.ctx.sole_block(f, 0);
         let names: Vec<String> =
@@ -579,7 +596,8 @@ mod tests {
 
     #[test]
     fn generated_ir_round_trips_through_text() {
-        let m = compile(16, AcceleratorPreset::V3 { size: 8 }, FlowStrategy::InputBStationary, None);
+        let m =
+            compile(16, AcceleratorPreset::V3 { size: 8 }, FlowStrategy::InputBStationary, None);
         let printed = print_op(&m.ctx, m.top());
         let m2 = axi4mlir_ir::parser::parse_module(&printed).unwrap();
         assert_eq!(print_op(&m2.ctx, m2.top()), printed);

@@ -23,12 +23,11 @@
 //! [`run_cpu_matmul`](crate::pipeline::run_cpu_matmul)) are thin wrappers
 //! over a one-shot `Session`.
 
-use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_config::{AcceleratorConfig, CpuSpec, FlowStrategy, KernelKind};
+use axi4mlir_interp::{run_func, RtValue};
 use axi4mlir_ir::attrs::Attribute;
 use axi4mlir_ir::ops::Module;
 use axi4mlir_ir::pass::{IrSnapshot, PassManager, PassTiming};
-use axi4mlir_interp::{run_func, RtValue};
 use axi4mlir_runtime::copy::CopyStrategy;
 use axi4mlir_runtime::kernels;
 use axi4mlir_runtime::memref::MemRefDesc;
@@ -36,6 +35,7 @@ use axi4mlir_runtime::soc::Soc;
 use axi4mlir_sim::axi::LoopbackAccelerator;
 use axi4mlir_sim::counters::PerfCounters;
 use axi4mlir_sim::mem::ElemType;
+use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_workloads::batched::BatchedMatMulProblem;
 use axi4mlir_workloads::matmul::MatMulProblem;
 use axi4mlir_workloads::resnet::ConvLayer;
@@ -291,8 +291,8 @@ impl Workload for BatchedMatMulWorkload {
         let p = self.batch.problem;
         let mut args = Vec::new();
         let mut outputs = Vec::new();
-        let mut expected =
-            want_reference.then(|| Vec::with_capacity(self.batch.batch * self.batch.output_elems()));
+        let mut expected = want_reference
+            .then(|| Vec::with_capacity(self.batch.batch * self.batch.output_elems()));
         for index in 0..self.batch.batch {
             let (a_data, b_data) = self.batch.generate_inputs(seed, index);
             let a = MemRefDesc::alloc(&mut soc.mem, &[p.m, p.k], ElemType::I32);
@@ -715,7 +715,11 @@ impl Session {
     ///
     /// Propagates compilation diagnostics, interpreter errors, DMA
     /// protocol violations, and accelerator protocol errors.
-    pub fn run(&mut self, workload: &dyn Workload, plan: &CompilePlan) -> Result<RunReport, Diagnostic> {
+    pub fn run(
+        &mut self,
+        workload: &dyn Workload,
+        plan: &CompilePlan,
+    ) -> Result<RunReport, Diagnostic> {
         // Compile.
         let cache_tile = plan.resolve_cache_tile(workload)?;
         let mut builder = PipelineBuilder::new()
@@ -853,11 +857,10 @@ mod tests {
     fn custom_devices_are_pinned() {
         // A hand-built v3 model under a session created with `new` must
         // not be swapped out by a plan whose config names the same model.
-        let mut session =
-            Session::new(Box::new(axi4mlir_accelerators::matmul::MatMulAccel::new(
-                axi4mlir_accelerators::matmul::MatMulVersion::V3,
-                4,
-            )));
+        let mut session = Session::new(Box::new(axi4mlir_accelerators::matmul::MatMulAccel::new(
+            axi4mlir_accelerators::matmul::MatMulVersion::V3,
+            4,
+        )));
         let plan = CompilePlan::for_accelerator(v3(4)).flow(FlowStrategy::NothingStationary);
         let report = session.run(&MatMulWorkload::new(MatMulProblem::square(8)), &plan).unwrap();
         assert!(report.verified);

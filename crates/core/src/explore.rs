@@ -1,0 +1,519 @@
+//! Parallel design-space exploration (the §IV-C search, at scale).
+//!
+//! The paper's heuristics pick one `(flow, tile)` configuration
+//! analytically. This module *searches* the space instead: it enumerates
+//! every legal `(FlowStrategy, tM, tN, tK)` candidate for a MatMul
+//! problem, optionally prunes the list with the analytical traffic model
+//! ([`axi4mlir_heuristics::matmul_transfers`]), and measures the
+//! survivors on the simulated v4 accelerator through the [`driver`]
+//! layer:
+//!
+//! - **one recycled SoC per worker**: each `std::thread` worker owns a
+//!   [`Session`] and recycles it across its share of the candidates, so
+//!   the sweep pays allocation once per worker while counters stay
+//!   bit-identical to fresh runs — results do not depend on the worker
+//!   count;
+//! - **a dedup/result cache** keyed by `(problem dims, base, seed, flow,
+//!   tile)` inside the [`Explorer`], so repeated sweeps (or overlapping
+//!   spaces) never re-simulate a configuration;
+//! - the report records the **heuristic-vs-optimum gap**: how close the
+//!   analytical [`best_choice`] pick comes to the measured optimum.
+//!
+//! [`driver`]: crate::driver
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use axi4mlir_accelerators::matmul::V4_CAPACITY_WORDS;
+use axi4mlir_config::{AcceleratorConfig, FlowStrategy};
+use axi4mlir_heuristics::{best_choice, candidate_edges, matmul_transfers, tile_words, TileChoice};
+use axi4mlir_sim::counters::PerfCounters;
+use axi4mlir_support::diag::Diagnostic;
+use axi4mlir_workloads::matmul::MatMulProblem;
+
+use crate::driver::{CompilePlan, MatMulWorkload, Session};
+
+/// How aggressively the analytical model prunes the space before any
+/// simulation runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Prune {
+    /// Measure every legal candidate (brute force).
+    None,
+    /// Keep the `n` candidates with the smallest estimated traffic.
+    KeepBest(usize),
+    /// Keep candidates whose estimated traffic is within `factor`× of the
+    /// smallest estimate (`factor >= 1.0`).
+    WithinFactor(f64),
+}
+
+/// One exploration request: the problem, the space, and how to run it.
+#[derive(Clone, Debug)]
+pub struct ExploreSpec {
+    /// The GEMM to explore.
+    pub problem: MatMulProblem,
+    /// The v4 base (divisibility) size candidate tiles are multiples of.
+    pub base: i64,
+    /// Accelerator tile-memory budget in words.
+    pub capacity_words: u64,
+    /// The dataflow strategies to consider.
+    pub flows: Vec<FlowStrategy>,
+    /// Analytical pruning applied before simulation.
+    pub prune: Prune,
+    /// Worker threads measuring candidates (clamped to at least 1).
+    pub workers: usize,
+    /// Data seed for every measurement.
+    pub seed: u64,
+}
+
+impl ExploreSpec {
+    /// A full-space (no pruning) exploration of `problem` on the standard
+    /// v4 accelerator, single-threaded.
+    pub fn new(problem: MatMulProblem) -> Self {
+        Self {
+            problem,
+            base: 16,
+            capacity_words: V4_CAPACITY_WORDS,
+            flows: FlowStrategy::all().to_vec(),
+            prune: Prune::None,
+            workers: 1,
+            seed: 0xD5E,
+        }
+    }
+
+    /// Overrides the base size.
+    #[must_use]
+    pub fn base(mut self, base: i64) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Overrides the capacity budget.
+    #[must_use]
+    pub fn capacity_words(mut self, capacity_words: u64) -> Self {
+        self.capacity_words = capacity_words;
+        self
+    }
+
+    /// Overrides the pruning strategy.
+    #[must_use]
+    pub fn prune(mut self, prune: Prune) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Overrides the worker count.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the data seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn dims(&self) -> (i64, i64, i64) {
+        (self.problem.m, self.problem.n, self.problem.k)
+    }
+}
+
+/// Enumerates every legal `(flow, tile)` candidate of a spec in a fixed,
+/// deterministic order: tiles ascending per dimension (multiples of
+/// `base`, or the degenerate whole-dimension fallback), flows in figure
+/// order, capacity-filtered.
+pub fn enumerate(spec: &ExploreSpec) -> Vec<TileChoice> {
+    let (m, n, k) = spec.dims();
+    let mut out = Vec::new();
+    for tm in candidate_edges(m, spec.base) {
+        for tn in candidate_edges(n, spec.base) {
+            for tk in candidate_edges(k, spec.base) {
+                let tile = (tm, tn, tk);
+                if tile_words(tile) > spec.capacity_words {
+                    continue;
+                }
+                for &flow in &spec.flows {
+                    out.push(TileChoice {
+                        flow,
+                        tile,
+                        estimate: matmul_transfers(flow, spec.dims(), tile),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Applies a [`Prune`] strategy, preserving the enumeration order of the
+/// survivors. Returns the kept candidates and how many were pruned away.
+pub fn prune(candidates: Vec<TileChoice>, strategy: Prune) -> (Vec<TileChoice>, usize) {
+    let total = candidates.len();
+    let kept: Vec<TileChoice> = match strategy {
+        Prune::None => candidates,
+        Prune::KeepBest(n) => {
+            let mut ranked: Vec<usize> = (0..candidates.len()).collect();
+            ranked.sort_by_key(|&i| {
+                (candidates[i].estimate.words_total(), candidates[i].estimate.transactions, i)
+            });
+            let mut keep = vec![false; candidates.len()];
+            for &i in ranked.iter().take(n) {
+                keep[i] = true;
+            }
+            candidates.into_iter().zip(keep).filter_map(|(c, k)| k.then_some(c)).collect()
+        }
+        Prune::WithinFactor(factor) => {
+            let best = candidates.iter().map(|c| c.estimate.words_total()).min().unwrap_or(0);
+            let cutoff = (best as f64 * factor.max(1.0)).ceil() as u64;
+            candidates.into_iter().filter(|c| c.estimate.words_total() <= cutoff).collect()
+        }
+    };
+    let pruned_out = total - kept.len();
+    (kept, pruned_out)
+}
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// The configuration (flow, tile, analytical estimate).
+    pub choice: TileChoice,
+    /// Simulator counters for the whole run.
+    pub counters: PerfCounters,
+    /// Simulated task-clock in milliseconds (the ranking metric).
+    pub task_clock_ms: f64,
+    /// Whether the run matched the reference kernel.
+    pub verified: bool,
+    /// Wall-clock compile time per pass (informational: host wall-clock,
+    /// not simulated, and excluded from determinism comparisons).
+    pub pass_ms: Vec<(String, f64)>,
+    /// Whether this result came out of the explorer's cache.
+    pub from_cache: bool,
+}
+
+impl Evaluation {
+    /// The deterministic part of the evaluation: everything except the
+    /// wall-clock pass timings and the cache provenance. Two sweeps of the
+    /// same spec must agree on this tuple regardless of worker count.
+    pub fn deterministic_key(&self) -> (String, PerfCounters, u64, bool) {
+        (self.choice.label(), self.counters, self.task_clock_ms.to_bits(), self.verified)
+    }
+}
+
+/// What one exploration produced.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// The explored problem.
+    pub problem: MatMulProblem,
+    /// Base size of the space.
+    pub base: i64,
+    /// Capacity budget of the space.
+    pub capacity_words: u64,
+    /// Legal candidates before pruning.
+    pub space_size: usize,
+    /// Candidates removed by the analytical prune.
+    pub pruned_out: usize,
+    /// Evaluations served from the result cache.
+    pub cache_hits: usize,
+    /// All measured candidates, in enumeration order.
+    pub evaluations: Vec<Evaluation>,
+    /// The analytical [`best_choice`] pick (if one exists).
+    pub heuristic: Option<TileChoice>,
+    /// The heuristic pick's own measurement.
+    pub heuristic_eval: Option<Evaluation>,
+}
+
+impl ExploreReport {
+    /// The measured optimum: smallest task-clock, first in enumeration
+    /// order among exact ties (deterministic across worker counts).
+    pub fn optimum(&self) -> Option<&Evaluation> {
+        self.evaluations.iter().min_by(|a, b| a.task_clock_ms.total_cmp(&b.task_clock_ms))
+    }
+
+    /// How far the analytical heuristic lands from the explored optimum:
+    /// `heuristic ms / optimum ms` (1.0 = the heuristic found the
+    /// optimum; 1.25 = the heuristic is 25% slower).
+    pub fn heuristic_gap(&self) -> Option<f64> {
+        let h = self.heuristic_eval.as_ref()?;
+        let o = self.optimum()?;
+        Some(h.task_clock_ms / o.task_clock_ms)
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    dims: (i64, i64, i64),
+    base: i64,
+    seed: u64,
+    flow: &'static str,
+    tile: (i64, i64, i64),
+}
+
+impl CacheKey {
+    fn new(spec: &ExploreSpec, choice: &TileChoice) -> Self {
+        Self {
+            dims: (spec.problem.m, spec.problem.n, spec.problem.k),
+            base: spec.base,
+            seed: spec.seed,
+            flow: choice.flow.short_name(),
+            tile: choice.tile,
+        }
+    }
+}
+
+/// The deterministic payload a cache entry stores.
+#[derive(Clone)]
+struct CachedEval {
+    counters: PerfCounters,
+    task_clock_ms: f64,
+    verified: bool,
+    pass_ms: Vec<(String, f64)>,
+}
+
+/// A reusable exploration engine with a cross-sweep result cache.
+///
+/// One `Explorer` can serve many [`ExploreSpec`]s; configurations already
+/// measured (same problem, base, seed, flow, and tile) are returned from
+/// the cache instead of re-simulated.
+#[derive(Default)]
+pub struct Explorer {
+    cache: Mutex<HashMap<CacheKey, CachedEval>>,
+    evals_performed: AtomicUsize,
+}
+
+impl Explorer {
+    /// A fresh engine with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many simulator runs this engine has actually performed (cache
+    /// hits excluded).
+    pub fn evals_performed(&self) -> usize {
+        self.evals_performed.load(Ordering::Relaxed)
+    }
+
+    /// How many results the cache currently holds.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("explorer cache poisoned").len()
+    }
+
+    /// Runs one exploration: enumerate, prune, measure (in parallel),
+    /// and relate the heuristic pick to the measured optimum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing candidate's [`Diagnostic`] (by
+    /// enumeration order, independent of the worker count).
+    pub fn explore(&self, spec: &ExploreSpec) -> Result<ExploreReport, Diagnostic> {
+        let all = enumerate(spec);
+        let space_size = all.len();
+        if space_size == 0 {
+            return Err(Diagnostic::error(format!(
+                "design space for {} (base {}, {} words) is empty",
+                spec.problem, spec.base, spec.capacity_words
+            )));
+        }
+        let (candidates, pruned_out) = prune(all, spec.prune);
+
+        let evaluations = self.measure_all(spec, &candidates)?;
+        let cache_hits = evaluations.iter().filter(|e| e.from_cache).count();
+
+        // The heuristic pick, measured through the same cache path. Its
+        // configuration is usually one of the measured candidates, so this
+        // is a cache hit unless pruning removed it.
+        let heuristic = best_choice(spec.dims(), spec.base, spec.capacity_words).ok();
+        let heuristic_eval = match &heuristic {
+            Some(choice) => Some(self.measure_one(spec, choice)?),
+            None => None,
+        };
+
+        Ok(ExploreReport {
+            problem: spec.problem,
+            base: spec.base,
+            capacity_words: spec.capacity_words,
+            space_size,
+            pruned_out,
+            cache_hits,
+            evaluations,
+            heuristic,
+            heuristic_eval,
+        })
+    }
+
+    /// Measures every candidate, fanning cache misses out over
+    /// `spec.workers` threads. Results come back in candidate order.
+    fn measure_all(
+        &self,
+        spec: &ExploreSpec,
+        candidates: &[TileChoice],
+    ) -> Result<Vec<Evaluation>, Diagnostic> {
+        // Partition into cache hits and pending (unmeasured) candidates.
+        let mut slots: Vec<Option<Evaluation>> = Vec::with_capacity(candidates.len());
+        let mut pending: Vec<(usize, TileChoice)> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("explorer cache poisoned");
+            for (i, choice) in candidates.iter().enumerate() {
+                match cache.get(&CacheKey::new(spec, choice)) {
+                    Some(hit) => slots.push(Some(hit.to_evaluation(*choice, true))),
+                    None => {
+                        slots.push(None);
+                        pending.push((i, *choice));
+                    }
+                }
+            }
+        }
+
+        // Measure the pending candidates: a shared work index, one
+        // recycled-SoC session per worker.
+        let workers = spec.workers.clamp(1, pending.len().max(1));
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, Result<CachedEval, Diagnostic>)>> =
+            Mutex::new(Vec::with_capacity(pending.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut session = Session::for_sweep();
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((index, choice)) = pending.get(slot) else { break };
+                        let result = evaluate(&mut session, spec, choice);
+                        done.lock().expect("result sink poisoned").push((*index, result));
+                    }
+                });
+            }
+        });
+
+        let mut results = done.into_inner().expect("result sink poisoned");
+        results.sort_by_key(|(index, _)| *index);
+        let mut cache = self.cache.lock().expect("explorer cache poisoned");
+        for (index, result) in results {
+            // On error, report the earliest failing candidate (the sort
+            // above makes this independent of scheduling).
+            let eval = result?;
+            cache.insert(CacheKey::new(spec, &candidates[index]), eval.clone());
+            self.evals_performed.fetch_add(1, Ordering::Relaxed);
+            slots[index] = Some(eval.to_evaluation(candidates[index], false));
+        }
+        Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
+    }
+
+    /// Measures a single configuration through the cache.
+    fn measure_one(
+        &self,
+        spec: &ExploreSpec,
+        choice: &TileChoice,
+    ) -> Result<Evaluation, Diagnostic> {
+        let key = CacheKey::new(spec, choice);
+        if let Some(hit) = self.cache.lock().expect("explorer cache poisoned").get(&key) {
+            return Ok(hit.to_evaluation(*choice, true));
+        }
+        let mut session = Session::for_sweep();
+        let eval = evaluate(&mut session, spec, choice)?;
+        self.evals_performed.fetch_add(1, Ordering::Relaxed);
+        self.cache.lock().expect("explorer cache poisoned").insert(key, eval.clone());
+        Ok(eval.to_evaluation(*choice, false))
+    }
+}
+
+impl CachedEval {
+    fn to_evaluation(&self, choice: TileChoice, from_cache: bool) -> Evaluation {
+        Evaluation {
+            choice,
+            counters: self.counters,
+            task_clock_ms: self.task_clock_ms,
+            verified: self.verified,
+            pass_ms: self.pass_ms.clone(),
+            from_cache,
+        }
+    }
+}
+
+/// Compiles and runs one candidate on `session`'s recycled SoC.
+fn evaluate(
+    session: &mut Session,
+    spec: &ExploreSpec,
+    choice: &TileChoice,
+) -> Result<CachedEval, Diagnostic> {
+    let (tm, tn, tk) = choice.tile;
+    let config =
+        AcceleratorConfig::preset_v4_with_tile(choice.instantiation_base(spec.base), tm, tn, tk)
+            .with_selected_flow(choice.flow.short_name());
+    let plan = CompilePlan::for_accelerator(config).seed(spec.seed);
+    let report = session.run(&MatMulWorkload::new(spec.problem), &plan)?;
+    if !report.verified {
+        return Err(Diagnostic::error(format!(
+            "candidate {} failed verification on {}",
+            choice.label(),
+            spec.problem
+        )));
+    }
+    Ok(CachedEval {
+        counters: report.counters,
+        task_clock_ms: report.task_clock_ms,
+        verified: report.verified,
+        pass_ms: report.pass_timings.iter().map(|t| (t.pass.clone(), t.millis)).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> ExploreSpec {
+        ExploreSpec::new(MatMulProblem::new(16, 16, 16)).base(8).seed(7)
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_capacity_filtered() {
+        let spec = small_spec();
+        let a = enumerate(&spec);
+        let b = enumerate(&spec);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+        // 2 edges per dim (8, 16), 4 flows.
+        assert_eq!(a.len(), 2 * 2 * 2 * 4);
+        let tight = small_spec().capacity_words(3 * 8 * 8);
+        assert_eq!(enumerate(&tight).len(), 4, "only the 8x8x8 tile fits");
+    }
+
+    #[test]
+    fn keep_best_prunes_to_n_preserving_order() {
+        let spec = small_spec();
+        let all = enumerate(&spec);
+        let (kept, dropped) = prune(all.clone(), Prune::KeepBest(5));
+        assert_eq!(kept.len(), 5);
+        assert_eq!(dropped, all.len() - 5);
+        // Survivors appear in the same relative order as the enumeration.
+        let mut cursor = 0;
+        for c in &kept {
+            let at = all[cursor..].iter().position(|x| x == c).expect("kept ⊆ all");
+            cursor += at + 1;
+        }
+        // The best estimate always survives.
+        let best = all.iter().map(|c| c.estimate.words_total()).min().unwrap();
+        assert!(kept.iter().any(|c| c.estimate.words_total() == best));
+    }
+
+    #[test]
+    fn within_factor_keeps_everything_at_infinity_and_best_at_one() {
+        let spec = small_spec();
+        let all = enumerate(&spec);
+        let (kept, _) = prune(all.clone(), Prune::WithinFactor(f64::INFINITY));
+        assert_eq!(kept.len(), all.len());
+        let best = all.iter().map(|c| c.estimate.words_total()).min().unwrap();
+        let (kept, _) = prune(all, Prune::WithinFactor(1.0));
+        assert!(!kept.is_empty());
+        assert!(kept.iter().all(|c| c.estimate.words_total() == best));
+    }
+
+    #[test]
+    fn empty_space_is_a_diagnostic() {
+        // Capacity too small for any tile, including the degenerate one.
+        let spec = small_spec().capacity_words(1);
+        let err = Explorer::new().explore(&spec).unwrap_err();
+        assert!(err.message.contains("empty"), "{}", err.message);
+    }
+}

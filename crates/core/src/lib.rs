@@ -41,10 +41,17 @@
 //! The original one-call entry points — [`pipeline::CompileAndRun`],
 //! [`pipeline::ConvCompileAndRun`], [`pipeline::run_cpu_matmul`] — remain
 //! as thin wrappers over one-shot sessions.
+//!
+//! On top of the driver layer, [`explore`] turns the §IV-C configuration
+//! heuristics into a measured search: it sweeps the whole
+//! `(flow, tile)` space of a problem across a pool of worker threads
+//! (one recycled SoC each), caches results, and reports how close the
+//! analytical pick comes to the explored optimum.
 
 pub mod annotate;
 pub mod codegen;
 pub mod driver;
+pub mod explore;
 pub mod lower;
 pub mod options;
 pub mod pipeline;
@@ -54,5 +61,6 @@ pub use driver::{
     BatchedMatMulWorkload, CompilePlan, ConvWorkload, MatMulWorkload, PipelineBuilder, RunReport,
     Session, Workload,
 };
+pub use explore::{enumerate, Evaluation, ExploreReport, ExploreSpec, Explorer, Prune};
 pub use options::{CacheTiling, PipelineOptions};
 pub use pipeline::CompileAndRun;

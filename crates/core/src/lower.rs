@@ -13,12 +13,12 @@
 //! `call @dma_wait_send_completion()` — one batched transaction per opcode,
 //! as §III-A describes.
 
-use axi4mlir_support::diag::{Diagnostic, DiagnosticEngine};
 use axi4mlir_dialects::{accel, arith, func, memref};
 use axi4mlir_ir::builder::OpBuilder;
 use axi4mlir_ir::ops::{IrCtx, Module, OpId, ValueId};
 use axi4mlir_ir::pass::Pass;
 use axi4mlir_ir::types::Type;
+use axi4mlir_support::diag::{Diagnostic, DiagnosticEngine};
 
 /// Runtime library entry-point names (defined by the DMA library itself;
 /// the interpreter dispatches on the same constants).
@@ -35,7 +35,11 @@ impl Pass for LowerAccelToRuntimePass {
         "axi4mlir-lower-to-runtime"
     }
 
-    fn run(&mut self, module: &mut Module, _diags: &mut DiagnosticEngine) -> Result<(), Diagnostic> {
+    fn run(
+        &mut self,
+        module: &mut Module,
+        _diags: &mut DiagnosticEngine,
+    ) -> Result<(), Diagnostic> {
         let top = module.top();
         let accel_ops: Vec<OpId> = module
             .ctx
@@ -93,8 +97,12 @@ fn lower_one(ctx: &mut IrCtx, top: OpId, op: OpId) -> Result<(), Diagnostic> {
                 .ok_or_else(|| Diagnostic::error("accel.sendDim without dim attribute"))?;
             let d = memref::dim(&mut b, operands[0], dim);
             let word = arith::index_cast(&mut b, d, Type::i32());
-            let call =
-                func::call(&mut b, callees::WRITE_LITERAL, vec![word, operands[1]], vec![Type::i32()]);
+            let call = func::call(
+                &mut b,
+                callees::WRITE_LITERAL,
+                vec![word, operands[1]],
+                vec![Type::i32()],
+            );
             let new_off = b.ctx_ref().result(call, 0);
             if flush {
                 emit_flush(&mut b, new_off);
@@ -166,8 +174,7 @@ mod tests {
         linalg::generic_matmul(&mut b, a, bb, c);
         let cfg = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 4 })
             .with_selected_flow(flow.short_name());
-        let perm: Vec<String> =
-            flow.matmul_permutation().iter().map(|s| (*s).to_owned()).collect();
+        let perm: Vec<String> = flow.matmul_permutation().iter().map(|s| (*s).to_owned()).collect();
         let mut pm = PassManager::new();
         pm.add(Box::new(MatchAndAnnotatePass::new(cfg, perm, None)));
         pm.add(Box::new(GenerateAccelDriverPass::default()));
@@ -192,7 +199,10 @@ mod tests {
             callees::WAIT_RECV,
             callees::COPY_FROM,
         ] {
-            assert!(printed.contains(&format!("callee = {callee:?}")), "missing {callee}: {printed}");
+            assert!(
+                printed.contains(&format!("callee = {callee:?}")),
+                "missing {callee}: {printed}"
+            );
         }
     }
 
@@ -202,11 +212,8 @@ mod tests {
         // means exactly four start_send calls inside the innermost loop.
         let m = lowered_module(FlowStrategy::NothingStationary);
         let fors = m.ctx.find_ops(m.top(), "scf.for");
-        let innermost = fors
-            .iter()
-            .copied()
-            .find(|f| m.ctx.find_ops(*f, "scf.for").len() == 1)
-            .unwrap();
+        let innermost =
+            fors.iter().copied().find(|f| m.ctx.find_ops(*f, "scf.for").len() == 1).unwrap();
         let starts = m
             .ctx
             .find_ops(innermost, "func.call")
@@ -227,14 +234,10 @@ mod tests {
     fn recv_lowers_to_start_wait_copy() {
         let m = lowered_module(FlowStrategy::OutputStationary);
         let calls = m.ctx.find_ops(m.top(), "func.call");
-        let recv_start = calls
-            .iter()
-            .filter(|c| func::callee(&m.ctx, **c) == Some(callees::START_RECV))
-            .count();
-        let copy_from = calls
-            .iter()
-            .filter(|c| func::callee(&m.ctx, **c) == Some(callees::COPY_FROM))
-            .count();
+        let recv_start =
+            calls.iter().filter(|c| func::callee(&m.ctx, **c) == Some(callees::START_RECV)).count();
+        let copy_from =
+            calls.iter().filter(|c| func::callee(&m.ctx, **c) == Some(callees::COPY_FROM)).count();
         assert_eq!(recv_start, 1, "Cs flow receives once per (m, n) tile — one call site");
         assert_eq!(copy_from, 1);
     }

@@ -8,7 +8,6 @@
 //! [`Session`]. Sweeps that want to amortize SoC setup across runs should
 //! hold a `Session` directly.
 
-use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_accelerators::conv::ConvAccel;
 use axi4mlir_accelerators::matmul::{MatMulAccel, MatMulVersion};
 use axi4mlir_config::{AcceleratorConfig, CpuSpec, FlowStrategy, KernelKind};
@@ -16,6 +15,7 @@ use axi4mlir_dialects::{func, linalg};
 use axi4mlir_ir::ops::Module;
 use axi4mlir_ir::types::{MemRefType, Type};
 use axi4mlir_sim::axi::StreamAccelerator;
+use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_workloads::batched::BatchedMatMulProblem;
 use axi4mlir_workloads::matmul::MatMulProblem;
 use axi4mlir_workloads::resnet::ConvLayer;
@@ -34,8 +34,10 @@ pub fn instantiate_accelerator(config: &AcceleratorConfig) -> Box<dyn StreamAcce
     match config.kernel {
         KernelKind::Conv2dNchwFchw => Box::new(ConvAccel::new()),
         KernelKind::MatMul => {
-            let (version, size) = parse_matmul_name(config)
-                .unwrap_or((MatMulVersion::V3, config.accel_dims.first().copied().unwrap_or(4) as u32));
+            let (version, size) = parse_matmul_name(config).unwrap_or((
+                MatMulVersion::V3,
+                config.accel_dims.first().copied().unwrap_or(4) as u32,
+            ));
             Box::new(MatMulAccel::new(version, size))
         }
     }
@@ -108,7 +110,12 @@ pub fn build_conv_module(layer: ConvLayer) -> Module {
         Type::i32(),
     ));
     let w_ty = Type::MemRef(MemRefType::contiguous(
-        vec![layer.out_channels as i64, layer.in_channels as i64, layer.filter_hw as i64, layer.filter_hw as i64],
+        vec![
+            layer.out_channels as i64,
+            layer.in_channels as i64,
+            layer.filter_hw as i64,
+            layer.filter_hw as i64,
+        ],
         Type::i32(),
     ));
     let o_ty = Type::MemRef(MemRefType::contiguous(
@@ -138,7 +145,13 @@ pub struct CompileAndRun {
 impl CompileAndRun {
     /// Creates a run for the given accelerator and problem.
     pub fn new(config: AcceleratorConfig, problem: MatMulProblem) -> Self {
-        Self { config, problem, options: PipelineOptions::default(), cpu: CpuSpec::pynq_z2(), seed: 0xA41 }
+        Self {
+            config,
+            problem,
+            options: PipelineOptions::default(),
+            cpu: CpuSpec::pynq_z2(),
+            seed: 0xA41,
+        }
     }
 
     /// Selects one of the paper's Ns/As/Bs/Cs flows.
@@ -233,8 +246,8 @@ impl ConvCompileAndRun {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use axi4mlir_config::AcceleratorPreset;
     use crate::options::CacheTiling;
+    use axi4mlir_config::AcceleratorPreset;
 
     #[test]
     fn v3_ns_flow_end_to_end() {
@@ -253,10 +266,8 @@ mod tests {
     fn every_v3_flow_verifies() {
         for flow in FlowStrategy::all() {
             let config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 4 });
-            let report = CompileAndRun::new(config, MatMulProblem::square(8))
-                .flow(flow)
-                .execute()
-                .unwrap();
+            let report =
+                CompileAndRun::new(config, MatMulProblem::square(8)).flow(flow).execute().unwrap();
             assert!(report.verified, "{flow} must verify");
         }
     }
@@ -265,7 +276,8 @@ mod tests {
     fn accel_and_lowered_paths_agree() {
         let mk = |lower: bool| {
             let config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 4 });
-            let options = PipelineOptions { lower_to_runtime_calls: lower, ..PipelineOptions::default() };
+            let options =
+                PipelineOptions { lower_to_runtime_calls: lower, ..PipelineOptions::default() };
             CompileAndRun::new(config, MatMulProblem::square(8))
                 .flow(FlowStrategy::InputAStationary)
                 .options(options)
@@ -293,7 +305,8 @@ mod tests {
 
     #[test]
     fn conv_pipeline_end_to_end() {
-        let layer = ConvLayer { in_hw: 7, in_channels: 8, filter_hw: 3, out_channels: 4, stride: 1 };
+        let layer =
+            ConvLayer { in_hw: 7, in_channels: 8, filter_hw: 3, out_channels: 4, stride: 1 };
         let report = ConvCompileAndRun::new(layer).execute().unwrap();
         assert!(report.verified);
         assert!(report.counters.dma_bytes_from_accel > 0);

@@ -13,8 +13,8 @@
 
 use std::collections::BTreeSet;
 
-use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_ir::attrs::{FlowElem, OpcodeAction, OpcodeFlow, OpcodeMap};
+use axi4mlir_support::diag::Diagnostic;
 
 /// How one dimension of a tile subview is offset.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,24 +95,27 @@ impl LoopPlan {
     /// 1-based depth of the accelerator loop walking `dim` (cache levels
     /// are skipped).
     pub fn accel_loop_depth(&self, dim: &str) -> Option<usize> {
-        self.levels
-            .iter()
-            .position(|l| !l.is_cache_level && l.dim == dim)
-            .map(|i| i + 1)
+        self.levels.iter().position(|l| !l.is_cache_level && l.dim == dim).map(|i| i + 1)
     }
 
     /// The loop depth an opcode requires: the deepest loop feeding any
     /// subview it sends/receives, or any `send_idx` dimension it streams.
-    pub fn required_depth(&self, opcode_map: &OpcodeMap, opcode: &str) -> Result<usize, Diagnostic> {
-        let actions = opcode_map
-            .get(opcode)
-            .ok_or_else(|| Diagnostic::error(format!("flow references undefined opcode `{opcode}`")))?;
+    pub fn required_depth(
+        &self,
+        opcode_map: &OpcodeMap,
+        opcode: &str,
+    ) -> Result<usize, Diagnostic> {
+        let actions = opcode_map.get(opcode).ok_or_else(|| {
+            Diagnostic::error(format!("flow references undefined opcode `{opcode}`"))
+        })?;
         let mut depth = 0;
         for action in actions {
             match action {
                 OpcodeAction::Send { arg } | OpcodeAction::Recv { arg } => {
                     let plan = self.args.get(*arg as usize).ok_or_else(|| {
-                        Diagnostic::error(format!("opcode `{opcode}` references argument {arg} outside the plan"))
+                        Diagnostic::error(format!(
+                            "opcode `{opcode}` references argument {arg} outside the plan"
+                        ))
                     })?;
                     depth = depth.max(plan.ready_depth());
                 }
@@ -209,7 +212,15 @@ fn place_scope(
     for elem in elems {
         match elem {
             FlowElem::Scope(inner) => {
-                place_scope(plan, opcode_map, inner, scope_index + 1, flow_depth, total_depth, out)?;
+                place_scope(
+                    plan,
+                    opcode_map,
+                    inner,
+                    scope_index + 1,
+                    flow_depth,
+                    total_depth,
+                    out,
+                )?;
                 seen_scope = true;
             }
             FlowElem::Opcode(name) => {
@@ -371,10 +382,34 @@ pub fn conv_plan(p: ConvPlanParams) -> Result<LoopPlan, Diagnostic> {
         return Err(Diagnostic::error("convolution plan requires positive extents"));
     }
     let levels = vec![
-        LoopLevel { dim: "b".to_owned(), extent: p.batch, step: 1, base: None, is_cache_level: false },
-        LoopLevel { dim: "oc".to_owned(), extent: p.out_channels, step: 1, base: None, is_cache_level: false },
-        LoopLevel { dim: "oh".to_owned(), extent: p.out_hw, step: 1, base: None, is_cache_level: false },
-        LoopLevel { dim: "ow".to_owned(), extent: p.out_hw, step: 1, base: None, is_cache_level: false },
+        LoopLevel {
+            dim: "b".to_owned(),
+            extent: p.batch,
+            step: 1,
+            base: None,
+            is_cache_level: false,
+        },
+        LoopLevel {
+            dim: "oc".to_owned(),
+            extent: p.out_channels,
+            step: 1,
+            base: None,
+            is_cache_level: false,
+        },
+        LoopLevel {
+            dim: "oh".to_owned(),
+            extent: p.out_hw,
+            step: 1,
+            base: None,
+            is_cache_level: false,
+        },
+        LoopLevel {
+            dim: "ow".to_owned(),
+            extent: p.out_hw,
+            step: 1,
+            base: None,
+            is_cache_level: false,
+        },
     ];
     let args = vec![
         ArgPlan {

@@ -1,0 +1,111 @@
+//! Integration tests for the parallel design-space exploration engine:
+//! the parallel sweep must agree with a hand-rolled brute force, be
+//! bit-identical across worker counts, and never re-simulate a cached
+//! configuration.
+
+use axi4mlir_config::AcceleratorConfig;
+use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
+use axi4mlir_core::explore::{enumerate, ExploreSpec, Explorer, Prune};
+use axi4mlir_workloads::matmul::MatMulProblem;
+
+/// A small space: (16, 16, 16) with base 8 → 2 edges per dimension,
+/// 4 flows = 32 candidates.
+fn small_spec() -> ExploreSpec {
+    ExploreSpec::new(MatMulProblem::new(16, 16, 16)).base(8).seed(7)
+}
+
+#[test]
+fn explored_optimum_matches_brute_force() {
+    // Brute force: run every candidate sequentially through one session,
+    // exactly as a user would by hand.
+    let spec = small_spec();
+    let mut session = Session::for_sweep();
+    let mut brute: Option<(String, f64)> = None;
+    for choice in enumerate(&spec) {
+        let (tm, tn, tk) = choice.tile;
+        let config = AcceleratorConfig::preset_v4_with_tile(spec.base, tm, tn, tk)
+            .with_selected_flow(choice.flow.short_name());
+        let plan = CompilePlan::for_accelerator(config).seed(spec.seed);
+        let report = session.run(&MatMulWorkload::new(spec.problem), &plan).expect("v4 run");
+        assert!(report.verified);
+        let better = match &brute {
+            None => true,
+            Some((_, best_ms)) => report.task_clock_ms < *best_ms,
+        };
+        if better {
+            brute = Some((choice.label(), report.task_clock_ms));
+        }
+    }
+    let (brute_label, brute_ms) = brute.expect("non-empty space");
+
+    // The multi-threaded explorer must find the same optimum.
+    let report = Explorer::new().explore(&spec.clone().workers(4)).expect("explore");
+    let optimum = report.optimum().expect("an optimum");
+    assert_eq!(optimum.choice.label(), brute_label);
+    assert_eq!(optimum.task_clock_ms.to_bits(), brute_ms.to_bits(), "bit-identical to brute force");
+    assert_eq!(report.space_size, 32);
+    assert_eq!(report.pruned_out, 0);
+}
+
+#[test]
+fn parallel_results_are_bit_identical_to_single_thread() {
+    let single = Explorer::new().explore(&small_spec().workers(1)).expect("1-thread sweep");
+    let parallel = Explorer::new().explore(&small_spec().workers(4)).expect("4-thread sweep");
+    assert_eq!(single.evaluations.len(), parallel.evaluations.len());
+    for (s, p) in single.evaluations.iter().zip(&parallel.evaluations) {
+        assert_eq!(s.deterministic_key(), p.deterministic_key());
+    }
+    assert_eq!(
+        single.optimum().unwrap().deterministic_key(),
+        parallel.optimum().unwrap().deterministic_key()
+    );
+    assert_eq!(
+        single.heuristic_gap().map(f64::to_bits),
+        parallel.heuristic_gap().map(f64::to_bits)
+    );
+}
+
+#[test]
+fn result_cache_dedups_repeat_evaluations() {
+    let explorer = Explorer::new();
+    let spec = small_spec().workers(2);
+    let first = explorer.explore(&spec).expect("first sweep");
+    let runs_after_first = explorer.evals_performed();
+    // The 32 candidates, plus possibly the heuristic pick if pruning had
+    // removed it (it did not: the full space was measured).
+    assert_eq!(runs_after_first, first.evaluations.len());
+    assert_eq!(first.cache_hits, 0);
+
+    let second = explorer.explore(&spec).expect("second sweep");
+    assert_eq!(explorer.evals_performed(), runs_after_first, "no re-simulation");
+    assert_eq!(second.cache_hits, second.evaluations.len(), "every result served from cache");
+    assert!(second.evaluations.iter().all(|e| e.from_cache));
+    for (a, b) in first.evaluations.iter().zip(&second.evaluations) {
+        assert_eq!(a.deterministic_key(), b.deterministic_key());
+    }
+}
+
+#[test]
+fn pruned_sweeps_still_measure_the_heuristic_pick() {
+    // Keep only 3 candidates; the heuristic pick may or may not survive,
+    // but it must always be measured so the gap is meaningful.
+    let spec = small_spec().prune(Prune::KeepBest(3)).workers(2);
+    let report = Explorer::new().explore(&spec).expect("pruned sweep");
+    assert_eq!(report.evaluations.len(), 3);
+    assert_eq!(report.pruned_out, report.space_size - 3);
+    let heuristic = report.heuristic.as_ref().expect("a heuristic pick exists");
+    let eval = report.heuristic_eval.as_ref().expect("the pick was measured");
+    assert_eq!(eval.choice.label(), heuristic.label());
+    assert!(report.heuristic_gap().is_some());
+}
+
+#[test]
+fn small_problem_spaces_use_the_degenerate_fallback() {
+    // 8 < base 16: the space degenerates to the whole-problem tile per
+    // dimension instead of being empty (the old silent-failure mode).
+    let spec = ExploreSpec::new(MatMulProblem::new(8, 8, 8)).seed(3).workers(2);
+    let report = Explorer::new().explore(&spec).expect("degenerate space explores");
+    assert_eq!(report.space_size, 4, "one tile, four flows");
+    assert!(report.evaluations.iter().all(|e| e.choice.tile == (8, 8, 8)));
+    assert!(report.optimum().is_some());
+}

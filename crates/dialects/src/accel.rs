@@ -56,7 +56,12 @@ pub fn dma_init(
 ///
 /// With `flush = true` the staged prefix `[0, next)` is transferred
 /// immediately (the compute-only opcode case).
-pub fn send_literal(b: &mut OpBuilder<'_>, literal: ValueId, offset: ValueId, flush: bool) -> ValueId {
+pub fn send_literal(
+    b: &mut OpBuilder<'_>,
+    literal: ValueId,
+    offset: ValueId,
+    flush: bool,
+) -> ValueId {
     let attrs: Vec<(&'static str, Attribute)> =
         if flush { vec![("flush", Attribute::Bool(true))] } else { vec![] };
     let op = b.insert_op(SEND_LITERAL, vec![literal, offset], vec![Type::i32()], attrs);
@@ -75,7 +80,13 @@ pub fn send(b: &mut OpBuilder<'_>, view: ValueId, offset: ValueId, flush: bool) 
 
 /// Builds `%next = accel.sendDim(%view, %offset) {dim = N}`: stages the
 /// size of the view's dimension `dim` as one instruction word.
-pub fn send_dim(b: &mut OpBuilder<'_>, view: ValueId, dim: i64, offset: ValueId, flush: bool) -> ValueId {
+pub fn send_dim(
+    b: &mut OpBuilder<'_>,
+    view: ValueId,
+    dim: i64,
+    offset: ValueId,
+    flush: bool,
+) -> ValueId {
     let mut attrs: Vec<(&'static str, Attribute)> = vec![("dim", Attribute::Int(dim))];
     if flush {
         attrs.push(("flush", Attribute::Bool(true)));
@@ -95,7 +106,12 @@ pub fn send_idx(b: &mut OpBuilder<'_>, index: ValueId, offset: ValueId, flush: b
 /// Builds `%next = accel.recv {mode=...}(%view, %offset)`.
 pub fn recv(b: &mut OpBuilder<'_>, view: ValueId, offset: ValueId, accumulate: bool) -> ValueId {
     let mode = if accumulate { "accumulate" } else { "overwrite" };
-    let op = b.insert_op(RECV, vec![view, offset], vec![Type::i32()], [("mode", Attribute::Str(mode.to_owned()))]);
+    let op = b.insert_op(
+        RECV,
+        vec![view, offset],
+        vec![Type::i32()],
+        [("mode", Attribute::Str(mode.to_owned()))],
+    );
     b.result(op)
 }
 

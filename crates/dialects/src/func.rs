@@ -17,7 +17,12 @@ pub struct Func {
 /// Creates `func.func @name(arg_types) -> result_types` in the module body,
 /// terminated by `func.return` (of no operands; callers building non-void
 /// functions replace it).
-pub fn func(module: &mut Module, name: &str, arg_types: Vec<Type>, result_types: Vec<Type>) -> Func {
+pub fn func(
+    module: &mut Module,
+    name: &str,
+    arg_types: Vec<Type>,
+    result_types: Vec<Type>,
+) -> Func {
     let body = module.body();
     let mut b = OpBuilder::at_end(&mut module.ctx, body);
     let (op, entry) = b.insert_region_op(
@@ -49,7 +54,12 @@ pub fn entry_builder<'a>(ctx: &'a mut IrCtx, f: &Func) -> OpBuilder<'a> {
 }
 
 /// Builds `func.call @callee(args) -> result_types`.
-pub fn call(b: &mut OpBuilder<'_>, callee: &str, args: Vec<ValueId>, result_types: Vec<Type>) -> OpId {
+pub fn call(
+    b: &mut OpBuilder<'_>,
+    callee: &str,
+    args: Vec<ValueId>,
+    result_types: Vec<Type>,
+) -> OpId {
     b.insert_op("func.call", args, result_types, [("callee", Attribute::Str(callee.to_owned()))])
 }
 

@@ -63,7 +63,8 @@ pub fn generic_matmul(b: &mut OpBuilder<'_>, a: ValueId, b_val: ValueId, c: Valu
     let ce = bb.ctx_ref().block_arg(body, 2);
     let is_float = matches!(bb.ctx_ref().value_type(ae), Type::Float(_));
     let prod = if is_float { arith::mulf(&mut bb, ae, be) } else { arith::muli(&mut bb, ae, be) };
-    let sum = if is_float { arith::addf(&mut bb, ce, prod) } else { arith::addi(&mut bb, ce, prod) };
+    let sum =
+        if is_float { arith::addf(&mut bb, ce, prod) } else { arith::addi(&mut bb, ce, prod) };
     bb.insert_op("linalg.yield", vec![sum], vec![], []);
     op
 }

@@ -30,7 +30,12 @@ pub fn alloc(b: &mut OpBuilder<'_>, shape: Vec<i64>, elem: Type) -> ValueId {
 /// # Panics
 ///
 /// Panics if the source is not a memref or ranks disagree.
-pub fn subview(b: &mut OpBuilder<'_>, source: ValueId, offsets: Vec<ValueId>, sizes: Vec<i64>) -> ValueId {
+pub fn subview(
+    b: &mut OpBuilder<'_>,
+    source: ValueId,
+    offsets: Vec<ValueId>,
+    sizes: Vec<i64>,
+) -> ValueId {
     let src_ty = b
         .ctx_ref()
         .value_type(source)
@@ -40,7 +45,8 @@ pub fn subview(b: &mut OpBuilder<'_>, source: ValueId, offsets: Vec<ValueId>, si
     assert_eq!(offsets.len(), src_ty.rank(), "subview offsets rank mismatch");
     assert_eq!(sizes.len(), src_ty.rank(), "subview sizes rank mismatch");
     let strides = src_ty.strides.clone().unwrap_or_else(|| row_major_strides(&src_ty.shape));
-    let result_ty = Type::MemRef(MemRefType::strided(sizes.clone(), (*src_ty.elem).clone(), strides));
+    let result_ty =
+        Type::MemRef(MemRefType::strided(sizes.clone(), (*src_ty.elem).clone(), strides));
     let mut operands = vec![source];
     operands.extend(offsets);
     let op = b.insert_op(

@@ -19,7 +19,8 @@ pub struct ForLoop {
 /// in `scf.yield`. The builder's insertion point is left *after* the loop in
 /// the enclosing block; use [`body_builder`] to fill the body.
 pub fn for_loop(b: &mut OpBuilder<'_>, lb: ValueId, ub: ValueId, step: ValueId) -> ForLoop {
-    let (op, body) = b.insert_region_op("scf.for", vec![lb, ub, step], vec![], [], vec![Type::index()]);
+    let (op, body) =
+        b.insert_region_op("scf.for", vec![lb, ub, step], vec![], [], vec![Type::index()]);
     let iv = b.ctx_ref().block_arg(body, 0);
     // Terminate.
     {

@@ -1,9 +1,9 @@
 //! Dialect-aware verification, layered on the structural verifier.
 
-use axi4mlir_support::diag::{Diagnostic, DiagnosticEngine};
 use axi4mlir_ir::ops::{IrCtx, Module, OpId};
 use axi4mlir_ir::pass::Pass;
 use axi4mlir_ir::types::Type;
+use axi4mlir_support::diag::{Diagnostic, DiagnosticEngine};
 
 use crate::accel;
 
@@ -12,7 +12,11 @@ use crate::accel;
 /// # Errors
 ///
 /// Returns the first violation; all violations land in `diags`.
-pub fn verify_dialects(ctx: &IrCtx, root: OpId, diags: &mut DiagnosticEngine) -> Result<(), Diagnostic> {
+pub fn verify_dialects(
+    ctx: &IrCtx,
+    root: OpId,
+    diags: &mut DiagnosticEngine,
+) -> Result<(), Diagnostic> {
     for op in ctx.walk(root) {
         check_op(ctx, op, diags);
     }
@@ -72,10 +76,9 @@ fn check_op(ctx: &IrCtx, op: OpId, diags: &mut DiagnosticEngine) {
                 _ => err(diags, op, &name, "body must terminate with func.return"),
             }
         }
-        "func.call"
-            if ctx.attr(op, "callee").and_then(|a| a.as_str()).is_none() => {
-                err(diags, op, &name, "missing callee attribute");
-            }
+        "func.call" if ctx.attr(op, "callee").and_then(|a| a.as_str()).is_none() => {
+            err(diags, op, &name, "missing callee attribute");
+        }
         "memref.load" => {
             let Some(m) = data.operands.first().map(|v| ctx.value_type(*v)) else {
                 err(diags, op, &name, "missing memref operand");
@@ -135,15 +138,19 @@ fn check_op(ctx: &IrCtx, op: OpId, diags: &mut DiagnosticEngine) {
                     (dim_count, ctx.attr(op, "iterator_types").and_then(|a| a.as_array()))
                 {
                     if iters.len() != n {
-                        err(diags, op, &name, "iterator_types length must equal map dimension count");
+                        err(
+                            diags,
+                            op,
+                            &name,
+                            "iterator_types length must equal map dimension count",
+                        );
                     }
                 }
             }
         }
-        "arith.constant"
-            if ctx.attr(op, "value").is_none() => {
-                err(diags, op, &name, "missing value attribute");
-            }
+        "arith.constant" if ctx.attr(op, "value").is_none() => {
+            err(diags, op, &name, "missing value attribute");
+        }
         "arith.addi" | "arith.muli" | "arith.addf" | "arith.mulf" => {
             if data.operands.len() != 2 {
                 err(diags, op, &name, "expects two operands");
@@ -170,10 +177,9 @@ fn check_op(ctx: &IrCtx, op: OpId, diags: &mut DiagnosticEngine) {
                 }
             }
         }
-        accel::SEND_LITERAL | accel::SEND_IDX
-            if data.operands.len() != 2 => {
-                err(diags, op, &name, "expects (value, offset) operands");
-            }
+        accel::SEND_LITERAL | accel::SEND_IDX if data.operands.len() != 2 => {
+            err(diags, op, &name, "expects (value, offset) operands");
+        }
         accel::SEND_DIM => {
             if data.operands.len() != 2 {
                 err(diags, op, &name, "expects (memref, offset) operands");
@@ -182,10 +188,9 @@ fn check_op(ctx: &IrCtx, op: OpId, diags: &mut DiagnosticEngine) {
                 err(diags, op, &name, "missing dim attribute");
             }
         }
-        accel::DMA_INIT
-            if data.operands.len() != 5 => {
-                err(diags, op, &name, "expects (id, inAddr, inSize, outAddr, outSize)");
-            }
+        accel::DMA_INIT if data.operands.len() != 5 => {
+            err(diags, op, &name, "expects (id, inAddr, inSize, outAddr, outSize)");
+        }
         _ => {}
     }
 }
@@ -239,7 +244,8 @@ mod tests {
         let mut b = func::entry_builder(&mut m.ctx, &f);
         let c = arith::const_i32(&mut b, 0);
         // Hand-roll a malformed scf.for with i32 bounds.
-        let (op, body) = b.insert_region_op("scf.for", vec![c, c, c], vec![], [], vec![Type::index()]);
+        let (op, body) =
+            b.insert_region_op("scf.for", vec![c, c, c], vec![], [], vec![Type::index()]);
         let y = m.ctx.create_op("scf.yield", vec![], vec![], Default::default());
         m.ctx.append_op(body, y);
         let _ = op;

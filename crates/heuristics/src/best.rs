@@ -2,6 +2,7 @@
 //! accelerators.
 
 use axi4mlir_config::FlowStrategy;
+use axi4mlir_support::diag::Diagnostic;
 
 use crate::transfer::{matmul_transfers, TransferEstimate};
 
@@ -21,28 +22,65 @@ impl TileChoice {
     pub fn label(&self) -> String {
         format!("{} {} {} {}", self.flow.short_name(), self.tile.0, self.tile.1, self.tile.2)
     }
+
+    /// The v4 base size this choice must be instantiated with: `base`
+    /// itself when it divides every tile edge (the common case), otherwise
+    /// the largest base that does. The v4 model rejects tiles that are not
+    /// multiples of its base, and the degenerate whole-dimension tiles
+    /// produced for problems smaller than `base` need the correction —
+    /// pass the result to `preset_v4_with_tile`, not `base`.
+    pub fn instantiation_base(&self, base: i64) -> i64 {
+        let (tm, tn, tk) = self.tile;
+        gcd(gcd(gcd(base, tm), tn), tk).max(1)
+    }
 }
 
-fn tile_words(tile: (i64, i64, i64)) -> u64 {
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a.abs()
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Words of accelerator memory a `(tM, tN, tK)` MatMul tile occupies
+/// (the A, B, and C tiles together) — the quantity compared against an
+/// accelerator's capacity.
+pub fn tile_words(tile: (i64, i64, i64)) -> u64 {
     (tile.0 * tile.2 + tile.2 * tile.1 + tile.0 * tile.1) as u64
 }
 
-fn candidate_edges(dim: i64, base: i64) -> Vec<i64> {
-    (1..=dim / base)
-        .map(|q| q * base)
-        .filter(|t| dim % t == 0)
-        .collect()
+/// The legal tile edges for one problem dimension: every multiple of
+/// `base` that divides `dim`, ascending. When no multiple of `base`
+/// divides `dim` (in particular when `dim < base`), the search would
+/// silently come up empty; instead this degenerates to the whole
+/// dimension as a single tile, so small or prime-sized problems still
+/// have exactly one legal (if untiled) edge.
+pub fn candidate_edges(dim: i64, base: i64) -> Vec<i64> {
+    let edges: Vec<i64> = (1..=dim / base).map(|q| q * base).filter(|t| dim % t == 0).collect();
+    if edges.is_empty() && dim > 0 {
+        return vec![dim];
+    }
+    edges
 }
 
 /// The `As/Bs/Cs-squareTile` heuristics: the largest square tile
-/// `T = tM = tN = tK` that is a multiple of `base`, divides every problem
-/// dimension, and fits the accelerator memory (`capacity_words`).
+/// `T = tM = tN = tK` that is a multiple of `base` (or, for problems
+/// smaller than `base`, the degenerate whole-dimension tile), divides
+/// every problem dimension, and fits the accelerator memory
+/// (`capacity_words`).
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] naming the constraint when no square tile
+/// divides every dimension within the capacity (previously a silent
+/// `None`).
 pub fn square_tile_choice(
     flow: FlowStrategy,
     problem: (i64, i64, i64),
     base: i64,
     capacity_words: u64,
-) -> Option<TileChoice> {
+) -> Result<TileChoice, Diagnostic> {
     let (m, n, k) = problem;
     let max_square = m.min(n).min(k);
     let mut best: Option<i64> = None;
@@ -51,19 +89,30 @@ pub fn square_tile_choice(
             best = Some(t);
         }
     }
-    let t = best?;
-    Some(TileChoice {
-        flow,
-        tile: (t, t, t),
-        estimate: matmul_transfers(flow, problem, (t, t, t)),
-    })
+    let t = best.ok_or_else(|| {
+        Diagnostic::error(format!(
+            "no square tile (multiple of {base}, or the degenerate whole-dimension tile) divides \
+             problem {m}x{n}x{k} within {capacity_words} words of accelerator memory"
+        ))
+    })?;
+    Ok(TileChoice { flow, tile: (t, t, t), estimate: matmul_transfers(flow, problem, (t, t, t)) })
 }
 
 /// The `Best` heuristic: free search over flows and non-square tiles
-/// (multiples of `base` dividing each dimension, fitting the accelerator
+/// (multiples of `base` dividing each dimension — degenerating to the
+/// whole dimension when none exists — and fitting the accelerator
 /// memory), minimizing total words moved with transaction count as the
 /// tie-breaker.
-pub fn best_choice(problem: (i64, i64, i64), base: i64, capacity_words: u64) -> Option<TileChoice> {
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] when no tile combination fits
+/// `capacity_words` (previously a silent `None`).
+pub fn best_choice(
+    problem: (i64, i64, i64),
+    base: i64,
+    capacity_words: u64,
+) -> Result<TileChoice, Diagnostic> {
     let (m, n, k) = problem;
     let mut best: Option<TileChoice> = None;
     for tm in candidate_edges(m, base) {
@@ -90,7 +139,12 @@ pub fn best_choice(problem: (i64, i64, i64), base: i64, capacity_words: u64) -> 
             }
         }
     }
-    best
+    best.ok_or_else(|| {
+        Diagnostic::error(format!(
+            "no (tM, tN, tK) tile over multiples of {base} fits problem {m}x{n}x{k} within \
+             {capacity_words} words of accelerator memory"
+        ))
+    })
 }
 
 #[cfg(test)]
@@ -132,7 +186,7 @@ mod tests {
         for p in fig14_problems() {
             let best = best_choice(p, 16, V4_CAPACITY_WORDS).unwrap();
             for flow in FlowStrategy::all() {
-                if let Some(square) = square_tile_choice(flow, p, 16, V4_CAPACITY_WORDS) {
+                if let Ok(square) = square_tile_choice(flow, p, 16, V4_CAPACITY_WORDS) {
                     assert!(
                         best.estimate.words_total() <= square.estimate.words_total(),
                         "{p:?}: best {:?} vs {} square {:?}",
@@ -162,9 +216,49 @@ mod tests {
     }
 
     #[test]
-    fn impossible_constraints_yield_none() {
-        assert!(square_tile_choice(FlowStrategy::OutputStationary, (8, 8, 8), 16, 10_000).is_none());
-        assert!(best_choice((8, 8, 8), 16, 10_000).is_none());
+    fn small_problems_fall_back_to_the_whole_dimension() {
+        // 8 < base 16: the search degenerates to the single 8x8x8 tile
+        // instead of coming up empty.
+        let square =
+            square_tile_choice(FlowStrategy::OutputStationary, (8, 8, 8), 16, 10_000).unwrap();
+        assert_eq!(square.tile, (8, 8, 8));
+        let best = best_choice((8, 8, 8), 16, 10_000).unwrap();
+        assert_eq!(best.tile, (8, 8, 8));
+    }
+
+    #[test]
+    fn instantiation_base_handles_degenerate_tiles() {
+        let choice = |tile| TileChoice {
+            flow: FlowStrategy::OutputStationary,
+            tile,
+            estimate: TransferEstimate::default(),
+        };
+        assert_eq!(choice((32, 16, 48)).instantiation_base(16), 16, "base kept when it divides");
+        assert_eq!(choice((8, 8, 8)).instantiation_base(16), 8, "fallback tile needs smaller base");
+        assert_eq!(choice((10, 10, 10)).instantiation_base(16), 2);
+        assert_eq!(choice((7, 7, 7)).instantiation_base(16), 1);
+    }
+
+    #[test]
+    fn candidate_edges_degenerate_fallback() {
+        assert_eq!(candidate_edges(64, 16), vec![16, 32, 64]);
+        // dim < base, and base does not divide dim: whole-dim fallback.
+        assert_eq!(candidate_edges(8, 16), vec![8]);
+        assert_eq!(candidate_edges(10, 4), vec![10], "no multiple of 4 divides 10");
+        assert!(candidate_edges(0, 16).is_empty());
+    }
+
+    #[test]
+    fn impossible_constraints_are_diagnostics() {
+        // Capacity too small for even the degenerate tile.
+        let err =
+            square_tile_choice(FlowStrategy::OutputStationary, (8, 8, 8), 16, 10).unwrap_err();
+        assert!(err.message.contains("8x8x8"), "{}", err.message);
+        let err = best_choice((8, 8, 8), 16, 10).unwrap_err();
+        assert!(err.message.contains("10 words"), "{}", err.message);
+        // Non-uniform small dims: the square fallback does not divide every
+        // dimension, so the square search reports why it failed.
+        assert!(square_tile_choice(FlowStrategy::OutputStationary, (8, 12, 8), 16, 10_000).is_err());
     }
 
     #[test]

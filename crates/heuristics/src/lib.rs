@@ -15,6 +15,6 @@ pub mod best;
 pub mod cache;
 pub mod transfer;
 
-pub use best::{best_choice, square_tile_choice, TileChoice};
+pub use best::{best_choice, candidate_edges, square_tile_choice, tile_words, TileChoice};
 pub use cache::select_cache_tile;
 pub use transfer::{matmul_transfers, TransferEstimate};

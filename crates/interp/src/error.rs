@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_sim::dma::DmaError;
+use axi4mlir_support::diag::Diagnostic;
 
 /// Why interpretation stopped.
 #[derive(Clone, Debug, PartialEq)]

@@ -39,9 +39,9 @@ pub fn run_func(
     args: Vec<RtValue>,
     copy_strategy: CopyStrategy,
 ) -> Result<(), InterpError> {
-    let func = module
-        .func_named(func_name)
-        .ok_or_else(|| InterpError::BadArguments { context: format!("no function named {func_name}") })?;
+    let func = module.func_named(func_name).ok_or_else(|| InterpError::BadArguments {
+        context: format!("no function named {func_name}"),
+    })?;
     let mut interp = Interpreter { soc, copy_strategy, env: HashMap::new() };
     interp.run(&module.ctx, func, args)
 }
@@ -72,9 +72,9 @@ impl<'a> Interpreter<'a> {
     }
 
     fn get(&self, v: ValueId) -> Result<&RtValue, InterpError> {
-        self.env
-            .get(&v)
-            .ok_or_else(|| InterpError::Other { message: format!("value {v} evaluated before definition") })
+        self.env.get(&v).ok_or_else(|| InterpError::Other {
+            message: format!("value {v} evaluated before definition"),
+        })
     }
 
     fn get_index(&self, v: ValueId) -> Result<i64, InterpError> {
@@ -115,10 +115,9 @@ impl<'a> Interpreter<'a> {
         match name {
             // Constants fold into compiled code: free.
             "arith.constant" => {
-                let value = ctx
-                    .attr(op, "value")
-                    .and_then(Attribute::as_int)
-                    .ok_or_else(|| InterpError::Other { message: "constant without value".into() })?;
+                let value = ctx.attr(op, "value").and_then(Attribute::as_int).ok_or_else(|| {
+                    InterpError::Other { message: "constant without value".into() }
+                })?;
                 let rt = match ctx.value_type(ctx.result(op, 0)) {
                     Type::Index => RtValue::Index(value),
                     Type::Int(_) => RtValue::I32(value as i32),
@@ -162,7 +161,12 @@ impl<'a> Interpreter<'a> {
                     RtValue::F32(v) => *v,
                     _ => return Err(InterpError::TypeMismatch { context: "addf rhs".into() }),
                 };
-                self.set(op, ctx, 0, RtValue::F32(if name == "arith.addf" { a + b } else { a * b }));
+                self.set(
+                    op,
+                    ctx,
+                    0,
+                    RtValue::F32(if name == "arith.addf" { a + b } else { a * b }),
+                );
             }
             "arith.index_cast" => {
                 self.soc.charge_arith(1);
@@ -183,7 +187,9 @@ impl<'a> Interpreter<'a> {
                 let ub = self.get_index(operands[1])?;
                 let step = self.get_index(operands[2])?;
                 if step <= 0 {
-                    return Err(InterpError::Other { message: "scf.for step must be positive".into() });
+                    return Err(InterpError::Other {
+                        message: "scf.for step must be positive".into(),
+                    });
                 }
                 let body = ctx.sole_block(op, 0);
                 let iv = ctx.block_arg(body, 0);
@@ -206,7 +212,9 @@ impl<'a> Interpreter<'a> {
                 let elem = elem_type(&m.elem)?;
                 let shape = m.shape.clone();
                 if shape.iter().any(|d| *d < 0) {
-                    return Err(InterpError::Other { message: "cannot alloc dynamic shape".into() });
+                    return Err(InterpError::Other {
+                        message: "cannot alloc dynamic shape".into(),
+                    });
                 }
                 self.soc.charge_host_cycles(40); // allocator call
                 let desc = MemRefDesc::alloc(&mut self.soc.mem, &shape, elem);
@@ -220,7 +228,9 @@ impl<'a> Interpreter<'a> {
                     .attr(op, "static_sizes")
                     .and_then(Attribute::as_array)
                     .map(|a| a.iter().filter_map(Attribute::as_int).collect::<Vec<_>>())
-                    .ok_or_else(|| InterpError::Other { message: "subview without static_sizes".into() })?;
+                    .ok_or_else(|| InterpError::Other {
+                        message: "subview without static_sizes".into(),
+                    })?;
                 // Descriptor arithmetic (Fig. 3): one multiply-add per dim.
                 self.soc.charge_arith(2 * sizes.len() as u64);
                 let view = source.subview(&offsets, &sizes);
@@ -259,10 +269,10 @@ impl<'a> Interpreter<'a> {
             }
             "memref.dim" => {
                 let desc = self.get_memref(operands[0])?;
-                let dim = ctx
-                    .attr(op, "dimension")
-                    .and_then(Attribute::as_int)
-                    .ok_or_else(|| InterpError::Other { message: "memref.dim without dimension".into() })?;
+                let dim =
+                    ctx.attr(op, "dimension").and_then(Attribute::as_int).ok_or_else(|| {
+                        InterpError::Other { message: "memref.dim without dimension".into() }
+                    })?;
                 let size = *desc.sizes.get(dim as usize).ok_or_else(|| InterpError::Other {
                     message: format!("memref.dim {dim} out of range"),
                 })?;
@@ -307,7 +317,12 @@ impl<'a> Interpreter<'a> {
         Ok(())
     }
 
-    fn exec_call(&mut self, ctx: &IrCtx, op: OpId, operands: &[ValueId]) -> Result<(), InterpError> {
+    fn exec_call(
+        &mut self,
+        ctx: &IrCtx,
+        op: OpId,
+        operands: &[ValueId],
+    ) -> Result<(), InterpError> {
         let callee = ctx
             .attr(op, "callee")
             .and_then(Attribute::as_str)
@@ -318,7 +333,9 @@ impl<'a> Interpreter<'a> {
                 let vals: Vec<i64> =
                     operands.iter().map(|v| self.get_int_any(*v)).collect::<Result<_, _>>()?;
                 if vals.len() != 5 {
-                    return Err(InterpError::BadArguments { context: "dma_init expects 5 scalars".into() });
+                    return Err(InterpError::BadArguments {
+                        context: "dma_init expects 5 scalars".into(),
+                    });
                 }
                 dma_lib::dma_init(self.soc, vals[0] as u32, vals[2] as u64, vals[4] as u64);
             }
@@ -350,8 +367,13 @@ impl<'a> Interpreter<'a> {
                 let view = self.get_memref(operands[0])?;
                 let off = self.get_int_any(operands[1])? as u64;
                 let accumulate = self.get_int_any(operands[2])? != 0;
-                let bytes =
-                    dma_lib::copy_from_dma_region(self.soc, &view, off, accumulate, self.copy_strategy);
+                let bytes = dma_lib::copy_from_dma_region(
+                    self.soc,
+                    &view,
+                    off,
+                    accumulate,
+                    self.copy_strategy,
+                );
                 self.set(op, ctx, 0, RtValue::I32(bytes as i32));
             }
             other => return Err(InterpError::UnknownCallee { name: other.to_owned() }),
@@ -361,7 +383,12 @@ impl<'a> Interpreter<'a> {
 
     /// Direct semantics for unlowered `accel` ops (tested to match the
     /// lowered form exactly).
-    fn exec_accel(&mut self, ctx: &IrCtx, op: OpId, operands: &[ValueId]) -> Result<(), InterpError> {
+    fn exec_accel(
+        &mut self,
+        ctx: &IrCtx,
+        op: OpId,
+        operands: &[ValueId],
+    ) -> Result<(), InterpError> {
         let name = ctx.op(op).name.clone();
         let flush = accel::has_flush(ctx, op);
         match name.as_str() {
@@ -429,7 +456,9 @@ fn elem_type(ty: &Type) -> Result<ElemType, InterpError> {
         Type::Float(32) => Ok(ElemType::F32),
         Type::Int(64) => Ok(ElemType::I64),
         Type::Float(64) => Ok(ElemType::F64),
-        other => Err(InterpError::TypeMismatch { context: format!("unsupported element type {other}") }),
+        other => {
+            Err(InterpError::TypeMismatch { context: format!("unsupported element type {other}") })
+        }
     }
 }
 
@@ -437,7 +466,7 @@ fn elem_type(ty: &Type) -> Result<ElemType, InterpError> {
 mod tests {
     use super::*;
     use axi4mlir_dialects::{arith, func, memref, scf};
-    
+
     use axi4mlir_sim::axi::LoopbackAccelerator;
 
     fn soc() -> Soc {
@@ -484,8 +513,14 @@ mod tests {
 
         let mut s = soc();
         let desc = MemRefDesc::alloc(&mut s.mem, &[4], ElemType::I32);
-        run_func(&mut s, &m, "writer", vec![RtValue::MemRef(desc.clone())], CopyStrategy::ElementWise)
-            .unwrap();
+        run_func(
+            &mut s,
+            &m,
+            "writer",
+            vec![RtValue::MemRef(desc.clone())],
+            CopyStrategy::ElementWise,
+        )
+        .unwrap();
         assert_eq!(s.mem.read_i32(desc.base), 7);
     }
 
@@ -494,11 +529,11 @@ mod tests {
         let mut m = Module::new();
         func::func(&mut m, "noargs", vec![], vec![]);
         let mut s = soc();
-        let err = run_func(&mut s, &m, "noargs", vec![RtValue::Index(1)], CopyStrategy::ElementWise)
-            .unwrap_err();
+        let err =
+            run_func(&mut s, &m, "noargs", vec![RtValue::Index(1)], CopyStrategy::ElementWise)
+                .unwrap_err();
         assert!(matches!(err, InterpError::BadArguments { .. }));
-        let err2 =
-            run_func(&mut s, &m, "missing", vec![], CopyStrategy::ElementWise).unwrap_err();
+        let err2 = run_func(&mut s, &m, "missing", vec![], CopyStrategy::ElementWise).unwrap_err();
         assert!(err2.to_string().contains("no function named"));
     }
 

@@ -3,9 +3,9 @@
 //! `accel.sendDim` inside loops.
 
 use axi4mlir_dialects::{accel, arith, func, memref, scf};
+use axi4mlir_interp::run_func;
 use axi4mlir_ir::ops::Module;
 use axi4mlir_ir::types::Type;
-use axi4mlir_interp::run_func;
 use axi4mlir_runtime::copy::CopyStrategy;
 use axi4mlir_runtime::soc::Soc;
 use axi4mlir_sim::axi::LoopbackAccelerator;

@@ -274,7 +274,8 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         let rest = &self.text[self.pos..];
         let neg = rest.starts_with('-');
-        let digits: String = rest.chars().skip(usize::from(neg)).take_while(|c| c.is_ascii_digit()).collect();
+        let digits: String =
+            rest.chars().skip(usize::from(neg)).take_while(|c| c.is_ascii_digit()).collect();
         if digits.is_empty() {
             return None;
         }

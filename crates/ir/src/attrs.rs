@@ -196,14 +196,15 @@ fn parse_action(p: &mut Lex) -> Result<OpcodeAction, Diagnostic> {
             OpcodeAction::SendDim { arg, dim }
         }
         "send_idx" => {
-            let dim = p.ident().ok_or_else(|| Diagnostic::error("send_idx expects a dimension name"))?;
+            let dim =
+                p.ident().ok_or_else(|| Diagnostic::error("send_idx expects a dimension name"))?;
             OpcodeAction::SendIdx { dim }
         }
         "recv" => OpcodeAction::Recv { arg: p.integer()? as u32 },
         other => {
             return Err(Diagnostic::error(format!(
-                "unknown opcode action `{other}` (expected send/send_literal/send_dim/send_idx/recv)"
-            )))
+            "unknown opcode action `{other}` (expected send/send_literal/send_dim/send_idx/recv)"
+        )))
         }
     };
     p.expect(')')?;
@@ -278,7 +279,10 @@ impl OpcodeFlow {
         let root = parse_scope(&mut p)?;
         p.skip_ws();
         if !p.at_end() {
-            return Err(Diagnostic::error(format!("trailing input in opcode_flow: `{}`", p.rest())));
+            return Err(Diagnostic::error(format!(
+                "trailing input in opcode_flow: `{}`",
+                p.rest()
+            )));
         }
         if root.is_empty() {
             return Err(Diagnostic::error("opcode_flow must reference at least one opcode"));
@@ -299,7 +303,8 @@ fn parse_scope(p: &mut Lex) -> Result<Vec<FlowElem>, Diagnostic> {
             }
             Some('(') => elems.push(FlowElem::Scope(parse_scope(p)?)),
             Some(_) => {
-                let id = p.ident().ok_or_else(|| Diagnostic::error("expected opcode name in flow"))?;
+                let id =
+                    p.ident().ok_or_else(|| Diagnostic::error("expected opcode name in flow"))?;
                 elems.push(FlowElem::Opcode(id));
             }
             None => return Err(Diagnostic::error("unbalanced `(` in opcode_flow")),
@@ -440,8 +445,9 @@ impl<'a> Lex<'a> {
             return Err(Diagnostic::error(format!("expected integer at `{}`", truncate(rest))));
         }
         self.pos += digits.len() + usize::from(neg);
-        let v: i64 =
-            digits.parse().map_err(|_| Diagnostic::error(format!("integer `{digits}` out of range")))?;
+        let v: i64 = digits
+            .parse()
+            .map_err(|_| Diagnostic::error(format!("integer `{digits}` out of range")))?;
         Ok(if neg { -v } else { v })
     }
 }
@@ -638,10 +644,7 @@ mod tests {
     #[test]
     fn opcode_map_string_keys_and_send_idx() {
         let m = OpcodeMap::parse("opcode_map<\"my op\" = [send_idx(m), send(0)]>").unwrap();
-        assert_eq!(
-            m.get("my op").unwrap()[0],
-            OpcodeAction::SendIdx { dim: "m".to_owned() }
-        );
+        assert_eq!(m.get("my op").unwrap()[0], OpcodeAction::SendIdx { dim: "m".to_owned() });
     }
 
     #[test]
@@ -718,7 +721,8 @@ mod tests {
 
     #[test]
     fn hex_and_decimal_literals_agree() {
-        let m = OpcodeMap::parse("opcode_map<a = [send_literal(0xFF)], b = [send_literal(255)]>").unwrap();
+        let m = OpcodeMap::parse("opcode_map<a = [send_literal(0xFF)], b = [send_literal(255)]>")
+            .unwrap();
         assert_eq!(m.get("a"), m.get("b"));
     }
 }

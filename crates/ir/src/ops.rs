@@ -132,7 +132,9 @@ impl IrCtx {
         let results: Vec<ValueId> = result_types
             .into_iter()
             .enumerate()
-            .map(|(index, ty)| self.values.push(ValueData { ty, def: ValueDef::OpResult { op, index } }))
+            .map(|(index, ty)| {
+                self.values.push(ValueData { ty, def: ValueDef::OpResult { op, index } })
+            })
             .collect();
         self.ops[op].results = results;
         op
@@ -147,11 +149,14 @@ impl IrCtx {
 
     /// Adds a block with the given argument types to `region`.
     pub fn add_block(&mut self, region: RegionId, arg_types: Vec<Type>) -> BlockId {
-        let block = self.blocks.push(BlockData { args: Vec::new(), ops: Vec::new(), parent: Some(region) });
+        let block =
+            self.blocks.push(BlockData { args: Vec::new(), ops: Vec::new(), parent: Some(region) });
         let args: Vec<ValueId> = arg_types
             .into_iter()
             .enumerate()
-            .map(|(index, ty)| self.values.push(ValueData { ty, def: ValueDef::BlockArg { block, index } }))
+            .map(|(index, ty)| {
+                self.values.push(ValueData { ty, def: ValueDef::BlockArg { block, index } })
+            })
             .collect();
         self.blocks[block].args = args;
         self.regions[region].blocks.push(block);
@@ -233,7 +238,12 @@ impl IrCtx {
     pub fn sole_block(&self, op: OpId, index: usize) -> BlockId {
         let region = self.ops[op].regions[index];
         let blocks = &self.regions[region].blocks;
-        assert_eq!(blocks.len(), 1, "expected exactly one block in region {index} of {}", self.ops[op].name);
+        assert_eq!(
+            blocks.len(),
+            1,
+            "expected exactly one block in region {index} of {}",
+            self.ops[op].name
+        );
         blocks[0]
     }
 
@@ -402,9 +412,9 @@ impl Module {
 
     /// Finds a function by its `sym_name` attribute.
     pub fn func_named(&self, name: &str) -> Option<OpId> {
-        self.funcs().into_iter().find(|f| {
-            self.ctx.attr(*f, "sym_name").and_then(|a| a.as_str()) == Some(name)
-        })
+        self.funcs()
+            .into_iter()
+            .find(|f| self.ctx.attr(*f, "sym_name").and_then(|a| a.as_str()) == Some(name))
     }
 }
 
@@ -454,8 +464,13 @@ mod tests {
         m.ctx.append_op(body, a);
         m.ctx.append_op(body, c);
         m.ctx.insert_op(body, 1, b);
-        let order: Vec<i64> =
-            m.ctx.block(body).ops.iter().map(|o| m.ctx.attr(*o, "value").unwrap().as_int().unwrap()).collect();
+        let order: Vec<i64> = m
+            .ctx
+            .block(body)
+            .ops
+            .iter()
+            .map(|o| m.ctx.attr(*o, "value").unwrap().as_int().unwrap())
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
         assert_eq!(m.ctx.position_in_block(b), Some(1));
     }
@@ -523,7 +538,8 @@ mod tests {
         m.ctx.append_op(body, f);
         let b = const_op(&mut m.ctx, 2);
         m.ctx.append_op(block, b);
-        let names: Vec<&str> = m.ctx.walk(m.top()).iter().map(|o| m.ctx.op(*o).name.as_str()).collect();
+        let names: Vec<&str> =
+            m.ctx.walk(m.top()).iter().map(|o| m.ctx.op(*o).name.as_str()).collect();
         assert_eq!(names, vec!["builtin.module", "arith.constant", "scf.for", "arith.constant"]);
     }
 

@@ -28,7 +28,10 @@ pub fn parse_module(text: &str) -> Result<Module, Diagnostic> {
         return Err(p.err("trailing input after top-level operation"));
     }
     if op.name != "builtin.module" {
-        return Err(Diagnostic::error(format!("expected builtin.module at top level, found {}", op.name)));
+        return Err(Diagnostic::error(format!(
+            "expected builtin.module at top level, found {}",
+            op.name
+        )));
     }
     let mut ctx = IrCtx::new();
     let mut env: HashMap<String, crate::ops::ValueId> = HashMap::new();
@@ -688,14 +691,16 @@ mod tests {
 
     #[test]
     fn undefined_value_is_an_error() {
-        let text = "\"builtin.module\"() ({\n^bb():\n  \"test.use\"(%9) : (i32) -> ()\n}) : () -> ()\n";
+        let text =
+            "\"builtin.module\"() ({\n^bb():\n  \"test.use\"(%9) : (i32) -> ()\n}) : () -> ()\n";
         let err = parse_module(text).unwrap_err();
         assert!(err.message.contains("undefined value"));
     }
 
     #[test]
     fn arity_mismatch_is_an_error() {
-        let text = "\"builtin.module\"() ({\n^bb():\n  %0 = \"c\"() : () -> (i32, i32)\n}) : () -> ()\n";
+        let text =
+            "\"builtin.module\"() ({\n^bb():\n  %0 = \"c\"() : () -> (i32, i32)\n}) : () -> ()\n";
         let err = parse_module(text).unwrap_err();
         assert!(err.message.contains("results"), "{}", err.message);
     }
@@ -719,7 +724,8 @@ mod tests {
             [("value", Attribute::Int(42))],
         );
         let v = b.result(c);
-        let (_, inner) = b.insert_region_op("scf.for", vec![v, v, v], vec![], [], vec![Type::index()]);
+        let (_, inner) =
+            b.insert_region_op("scf.for", vec![v, v, v], vec![], [], vec![Type::index()]);
         b.set_insertion_end(inner);
         b.insert_op("scf.yield", vec![], vec![], []);
         let printed = print_op(&m.ctx, m.top());

@@ -163,10 +163,19 @@ mod tests {
         fn name(&self) -> &str {
             "test-add-constant"
         }
-        fn run(&mut self, module: &mut Module, _diags: &mut DiagnosticEngine) -> Result<(), Diagnostic> {
+        fn run(
+            &mut self,
+            module: &mut Module,
+            _diags: &mut DiagnosticEngine,
+        ) -> Result<(), Diagnostic> {
             let body = module.body();
             let mut b = OpBuilder::at_end(&mut module.ctx, body);
-            b.insert_op("arith.constant", vec![], vec![Type::index()], [("value", Attribute::Int(self.0))]);
+            b.insert_op(
+                "arith.constant",
+                vec![],
+                vec![Type::index()],
+                [("value", Attribute::Int(self.0))],
+            );
             Ok(())
         }
     }
@@ -188,7 +197,11 @@ mod tests {
         fn name(&self) -> &str {
             "test-corrupting"
         }
-        fn run(&mut self, module: &mut Module, _d: &mut DiagnosticEngine) -> Result<(), Diagnostic> {
+        fn run(
+            &mut self,
+            module: &mut Module,
+            _d: &mut DiagnosticEngine,
+        ) -> Result<(), Diagnostic> {
             // Create a use of a value that is never defined in scope.
             let body = module.body();
             let c = module.ctx.create_op(
@@ -224,7 +237,10 @@ mod tests {
         pm.add(Box::new(Failing)).add(Box::new(AddConstant(3)));
         let err = pm.run(&mut module).unwrap_err();
         assert!(err.message.contains("test-failing"));
-        assert!(module.ctx.find_ops(module.top(), "arith.constant").is_empty(), "later pass must not run");
+        assert!(
+            module.ctx.find_ops(module.top(), "arith.constant").is_empty(),
+            "later pass must not run"
+        );
     }
 
     #[test]

@@ -102,7 +102,8 @@ impl<'a> Printer<'a> {
             data.operands.iter().map(|v| self.ctx.value_type(*v).to_string()).collect();
         let result_types: Vec<String> =
             data.results.iter().map(|v| self.ctx.value_type(*v).to_string()).collect();
-        let _ = write!(self.out, " : ({}) -> ({})", operand_types.join(", "), result_types.join(", "));
+        let _ =
+            write!(self.out, " : ({}) -> ({})", operand_types.join(", "), result_types.join(", "));
         self.out.push('\n');
     }
 
@@ -148,7 +149,12 @@ mod tests {
         let mut m = Module::new();
         let body = m.body();
         let mut b = OpBuilder::at_end(&mut m.ctx, body);
-        let c = b.insert_op("arith.constant", vec![], vec![Type::i32()], [("value", Attribute::Int(1))]);
+        let c = b.insert_op(
+            "arith.constant",
+            vec![],
+            vec![Type::i32()],
+            [("value", Attribute::Int(1))],
+        );
         let v = b.result(c);
         b.insert_op("test.pair", vec![v, v], vec![Type::i32(), Type::i32()], []);
         let text = print_op(&m.ctx, m.top());

@@ -94,7 +94,10 @@ fn verify_block(
     for op in &bdata.ops {
         let odata = ctx.op(*op);
         if odata.parent != Some(block) {
-            diags.error(format!("op {op} ({}) parent link does not point to block {block}", odata.name));
+            diags.error(format!(
+                "op {op} ({}) parent link does not point to block {block}",
+                odata.name
+            ));
         }
         let before: Vec<ValueId> = odata.results.clone();
         verify_op(ctx, *op, visible, diags);
@@ -121,9 +124,15 @@ mod tests {
         let mut m = Module::new();
         let body = m.body();
         let mut b = OpBuilder::at_end(&mut m.ctx, body);
-        let c = b.insert_op("arith.constant", vec![], vec![Type::index()], [("value", Attribute::Int(1))]);
+        let c = b.insert_op(
+            "arith.constant",
+            vec![],
+            vec![Type::index()],
+            [("value", Attribute::Int(1))],
+        );
         let v = b.result(c);
-        let (_, inner) = b.insert_region_op("scf.for", vec![v, v, v], vec![], [], vec![Type::index()]);
+        let (_, inner) =
+            b.insert_region_op("scf.for", vec![v, v, v], vec![], [], vec![Type::index()]);
         b.set_insertion_end(inner);
         // Captures `v` from the enclosing scope: legal.
         b.insert_op("test.use", vec![v], vec![], []);
@@ -165,7 +174,12 @@ mod tests {
         let (_, block1) = b.insert_region_op("scf.for", vec![], vec![], [], vec![Type::index()]);
         let (_, block2) = b.insert_region_op("scf.for", vec![], vec![], [], vec![Type::index()]);
         b.set_insertion_end(block1);
-        let c = b.insert_op("arith.constant", vec![], vec![Type::i32()], [("value", Attribute::Int(0))]);
+        let c = b.insert_op(
+            "arith.constant",
+            vec![],
+            vec![Type::i32()],
+            [("value", Attribute::Int(0))],
+        );
         let leaked = b.result(c);
         b.set_insertion_end(block2);
         b.insert_op("test.use", vec![leaked], vec![], []);

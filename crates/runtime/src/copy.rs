@@ -57,7 +57,12 @@ impl CopyStrategy {
 /// # Panics
 ///
 /// Panics if the element type is not 32-bit (the AXI stream is 32-bit).
-pub fn copy_view_to_region(soc: &mut Soc, view: &MemRefDesc, dst: SimAddr, strategy: CopyStrategy) -> u64 {
+pub fn copy_view_to_region(
+    soc: &mut Soc,
+    view: &MemRefDesc,
+    dst: SimAddr,
+    strategy: CopyStrategy,
+) -> u64 {
     assert_eq!(view.elem.byte_width(), 4, "AXI-S staging requires 32-bit elements");
     match effective(strategy, view) {
         CopyStrategy::ElementWise => copy_to_elementwise(soc, view, dst),
@@ -81,7 +86,9 @@ pub fn copy_region_to_view(
     assert_eq!(view.elem.byte_width(), 4, "AXI-S staging requires 32-bit elements");
     match effective(strategy, view) {
         CopyStrategy::ElementWise => copy_from_elementwise(soc, view, src, accumulate),
-        CopyStrategy::Chunked { chunk_bytes } => copy_from_chunked(soc, view, src, accumulate, chunk_bytes),
+        CopyStrategy::Chunked { chunk_bytes } => {
+            copy_from_chunked(soc, view, src, accumulate, chunk_bytes)
+        }
     }
 }
 
@@ -302,7 +309,12 @@ mod tests {
         copy_view_to_region(&mut s2, &m2, d2, CopyStrategy::specialized(&cost));
         let ch = s2.counters;
 
-        assert!(ch.cache_references < ew.cache_references, "{} < {}", ch.cache_references, ew.cache_references);
+        assert!(
+            ch.cache_references < ew.cache_references,
+            "{} < {}",
+            ch.cache_references,
+            ew.cache_references
+        );
         assert!(ch.branch_instructions < ew.branch_instructions);
         assert!(ch.host_cycles < ew.host_cycles);
     }

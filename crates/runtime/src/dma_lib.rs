@@ -67,7 +67,12 @@ fn output_addr(soc: &Soc, offset: u64) -> SimAddr {
 
 /// Stages a `memref` view into the input region at `offset` (bytes).
 /// Returns the new offset (old offset + bytes staged).
-pub fn copy_to_dma_region(soc: &mut Soc, view: &MemRefDesc, offset: u64, strategy: CopyStrategy) -> u64 {
+pub fn copy_to_dma_region(
+    soc: &mut Soc,
+    view: &MemRefDesc,
+    offset: u64,
+    strategy: CopyStrategy,
+) -> u64 {
     let dst = input_addr(soc, offset);
     let bytes = copy::copy_view_to_region(soc, view, dst, strategy);
     offset + bytes

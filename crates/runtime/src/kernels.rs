@@ -93,7 +93,8 @@ pub fn ref_conv2d_i32(input: &[i32], filter: &[i32], shape: ConvShape) -> Vec<i3
                     for c in 0..ic {
                         for fh in 0..fhw {
                             for fw in 0..fhw {
-                                let iv = input[((b * ic + c) * ihw + oh * s + fh) * ihw + ow * s + fw];
+                                let iv =
+                                    input[((b * ic + c) * ihw + oh * s + fh) * ihw + ow * s + fw];
                                 let fv = filter[((oc * ic + c) * fhw + fh) * fhw + fw];
                                 acc = acc.wrapping_add(iv.wrapping_mul(fv));
                             }
@@ -118,7 +119,13 @@ pub fn ref_conv2d_i32(input: &[i32], filter: &[i32], shape: ConvShape) -> Vec<i3
 /// # Panics
 ///
 /// Panics if the views are not rank-2 or shapes disagree.
-pub fn cpu_matmul_i32(soc: &mut Soc, a: &MemRefDesc, b: &MemRefDesc, c: &MemRefDesc, cache_tile: Option<i64>) {
+pub fn cpu_matmul_i32(
+    soc: &mut Soc,
+    a: &MemRefDesc,
+    b: &MemRefDesc,
+    c: &MemRefDesc,
+    cache_tile: Option<i64>,
+) {
     assert_eq!(a.rank(), 2, "A must be rank-2");
     assert_eq!(b.rank(), 2, "B must be rank-2");
     assert_eq!(c.rank(), 2, "C must be rank-2");
@@ -175,7 +182,13 @@ pub fn cpu_matmul_i32(soc: &mut Soc, a: &MemRefDesc, b: &MemRefDesc, c: &MemRefD
 /// # Panics
 ///
 /// Panics if view shapes disagree with `shape`.
-pub fn cpu_conv2d_i32(soc: &mut Soc, input: &MemRefDesc, filter: &MemRefDesc, output: &MemRefDesc, shape: ConvShape) {
+pub fn cpu_conv2d_i32(
+    soc: &mut Soc,
+    input: &MemRefDesc,
+    filter: &MemRefDesc,
+    output: &MemRefDesc,
+    shape: ConvShape,
+) {
     assert_eq!(input.num_elements() as usize, shape.input_len(), "input elems mismatch");
     assert_eq!(filter.num_elements() as usize, shape.filter_len(), "filter elems mismatch");
     assert_eq!(output.num_elements() as usize, shape.output_len(), "output elems mismatch");
@@ -319,7 +332,14 @@ mod tests {
 
     #[test]
     fn conv_shape_arithmetic() {
-        let s = ConvShape { batch: 1, in_channels: 3, in_hw: 230, out_channels: 64, filter_hw: 7, stride: 2 };
+        let s = ConvShape {
+            batch: 1,
+            in_channels: 3,
+            in_hw: 230,
+            out_channels: 64,
+            filter_hw: 7,
+            stride: 2,
+        };
         assert_eq!(s.out_hw(), 112);
         assert_eq!(s.macs(), (64 * 112 * 112 * 3 * 49) as u64);
     }
@@ -327,7 +347,14 @@ mod tests {
     #[test]
     fn ref_conv_identity_filter() {
         // 1 channel, 1x1 filter of weight 1 => output == input.
-        let shape = ConvShape { batch: 1, in_channels: 1, in_hw: 4, out_channels: 1, filter_hw: 1, stride: 1 };
+        let shape = ConvShape {
+            batch: 1,
+            in_channels: 1,
+            in_hw: 4,
+            out_channels: 1,
+            filter_hw: 1,
+            stride: 1,
+        };
         let input: Vec<i32> = (0..16).collect();
         let out = ref_conv2d_i32(&input, &[1], shape);
         assert_eq!(out, input);
@@ -336,14 +363,28 @@ mod tests {
     #[test]
     fn ref_conv_known_sum() {
         // 3x3 all-ones filter over a 3x3 all-ones image = 9.
-        let shape = ConvShape { batch: 1, in_channels: 1, in_hw: 3, out_channels: 1, filter_hw: 3, stride: 1 };
+        let shape = ConvShape {
+            batch: 1,
+            in_channels: 1,
+            in_hw: 3,
+            out_channels: 1,
+            filter_hw: 3,
+            stride: 1,
+        };
         let out = ref_conv2d_i32(&[1; 9], &[1; 9], shape);
         assert_eq!(out, vec![9]);
     }
 
     #[test]
     fn ref_conv_stride_two() {
-        let shape = ConvShape { batch: 1, in_channels: 1, in_hw: 5, out_channels: 1, filter_hw: 1, stride: 2 };
+        let shape = ConvShape {
+            batch: 1,
+            in_channels: 1,
+            in_hw: 5,
+            out_channels: 1,
+            filter_hw: 1,
+            stride: 2,
+        };
         let input: Vec<i32> = (0..25).collect();
         let out = ref_conv2d_i32(&input, &[1], shape);
         assert_eq!(out, vec![0, 2, 4, 10, 12, 14, 20, 22, 24]);
@@ -351,7 +392,14 @@ mod tests {
 
     #[test]
     fn cpu_conv_matches_reference() {
-        let shape = ConvShape { batch: 1, in_channels: 2, in_hw: 6, out_channels: 3, filter_hw: 3, stride: 1 };
+        let shape = ConvShape {
+            batch: 1,
+            in_channels: 2,
+            in_hw: 6,
+            out_channels: 3,
+            filter_hw: 3,
+            stride: 1,
+        };
         let mut s = soc();
         let input = MemRefDesc::alloc(&mut s.mem, &[1, 2, 6, 6], ElemType::I32);
         let filter = MemRefDesc::alloc(&mut s.mem, &[3, 2, 3, 3], ElemType::I32);
@@ -369,7 +417,14 @@ mod tests {
 
     #[test]
     fn cpu_conv_charges_macs_worth_of_events() {
-        let shape = ConvShape { batch: 1, in_channels: 1, in_hw: 4, out_channels: 1, filter_hw: 2, stride: 1 };
+        let shape = ConvShape {
+            batch: 1,
+            in_channels: 1,
+            in_hw: 4,
+            out_channels: 1,
+            filter_hw: 2,
+            stride: 1,
+        };
         let mut s = soc();
         let input = MemRefDesc::alloc(&mut s.mem, &[1, 1, 4, 4], ElemType::I32);
         let filter = MemRefDesc::alloc(&mut s.mem, &[1, 1, 2, 2], ElemType::I32);

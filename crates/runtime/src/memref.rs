@@ -85,7 +85,13 @@ impl MemRefDesc {
             );
             offset += offsets[i] * self.strides[i];
         }
-        MemRefDesc { base: self.base, offset, sizes: sizes.to_vec(), strides: self.strides.clone(), elem: self.elem }
+        MemRefDesc {
+            base: self.base,
+            offset,
+            sizes: sizes.to_vec(),
+            strides: self.strides.clone(),
+            elem: self.elem,
+        }
     }
 
     /// `true` when the innermost dimension is unit-stride — the condition
@@ -115,7 +121,11 @@ impl MemRefDesc {
     /// Iterates over the multi-dimensional indices of the view in row-major
     /// order.
     pub fn indices(&self) -> IndexIter {
-        IndexIter { sizes: self.sizes.clone(), next: Some(vec![0; self.rank()]), done_empty: self.num_elements() == 0 }
+        IndexIter {
+            sizes: self.sizes.clone(),
+            next: Some(vec![0; self.rank()]),
+            done_empty: self.num_elements() == 0,
+        }
     }
 }
 

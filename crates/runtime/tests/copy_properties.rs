@@ -18,8 +18,7 @@ fn soc() -> Soc {
 fn arb_tile() -> impl Strategy<Value = (i64, i64, i64, i64, i64, i64)> {
     (1i64..24, 1i64..24).prop_flat_map(|(rows, cols)| {
         (0..rows, 0..cols).prop_flat_map(move |(r0, c0)| {
-            (1..=rows - r0, 1..=cols - c0)
-                .prop_map(move |(tr, tc)| (rows, cols, r0, c0, tr, tc))
+            (1..=rows - r0, 1..=cols - c0).prop_map(move |(tr, tc)| (rows, cols, r0, c0, tr, tc))
         })
     })
 }

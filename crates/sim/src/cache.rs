@@ -103,7 +103,13 @@ const INVALID_TAG: u64 = u64::MAX;
 impl CacheLevel {
     fn new(config: CacheConfig) -> Self {
         let entries = (config.num_sets() * u64::from(config.ways)) as usize;
-        Self { config, tags: vec![INVALID_TAG; entries], stamps: vec![0; entries], tick: 0, stats: CacheLevelStats::default() }
+        Self {
+            config,
+            tags: vec![INVALID_TAG; entries],
+            stamps: vec![0; entries],
+            tick: 0,
+            stats: CacheLevelStats::default(),
+        }
     }
 
     /// Looks up a line address; on miss, fills it (evicting LRU). Returns hit.
@@ -149,7 +155,10 @@ impl CacheLevel {
 
 impl fmt::Debug for CacheLevel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CacheLevel").field("config", &self.config).field("stats", &self.stats).finish()
+        f.debug_struct("CacheLevel")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 

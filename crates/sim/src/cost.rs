@@ -149,6 +149,9 @@ mod tests {
     #[test]
     fn memcpy_chunks_wider_than_manual() {
         let m = CostModel::pynq_z2();
-        assert!(m.memcpy_chunk_bytes > m.manual_chunk_bytes, "NEON memcpy must beat autovectorized copies");
+        assert!(
+            m.memcpy_chunk_bytes > m.manual_chunk_bytes,
+            "NEON memcpy must beat autovectorized copies"
+        );
     }
 }

@@ -75,13 +75,19 @@ impl PerfCounters {
             cache_references: self.cache_references.saturating_sub(baseline.cache_references),
             l1_misses: self.l1_misses.saturating_sub(baseline.l1_misses),
             l2_misses: self.l2_misses.saturating_sub(baseline.l2_misses),
-            branch_instructions: self.branch_instructions.saturating_sub(baseline.branch_instructions),
+            branch_instructions: self
+                .branch_instructions
+                .saturating_sub(baseline.branch_instructions),
             instructions: self.instructions.saturating_sub(baseline.instructions),
             uncached_accesses: self.uncached_accesses.saturating_sub(baseline.uncached_accesses),
             dma_bytes_to_accel: self.dma_bytes_to_accel.saturating_sub(baseline.dma_bytes_to_accel),
-            dma_bytes_from_accel: self.dma_bytes_from_accel.saturating_sub(baseline.dma_bytes_from_accel),
+            dma_bytes_from_accel: self
+                .dma_bytes_from_accel
+                .saturating_sub(baseline.dma_bytes_from_accel),
             dma_transactions: self.dma_transactions.saturating_sub(baseline.dma_transactions),
-            accel_compute_cycles: self.accel_compute_cycles.saturating_sub(baseline.accel_compute_cycles),
+            accel_compute_cycles: self
+                .accel_compute_cycles
+                .saturating_sub(baseline.accel_compute_cycles),
             accel_macs: self.accel_macs.saturating_sub(baseline.accel_macs),
         }
     }
@@ -123,7 +129,11 @@ impl fmt::Display for PerfCounters {
         writeln!(f, "branch-instructions:  {}", self.branch_instructions)?;
         writeln!(f, "instructions:         {}", self.instructions)?;
         writeln!(f, "uncached-accesses:    {}", self.uncached_accesses)?;
-        writeln!(f, "dma-bytes (to/from):  {}/{}", self.dma_bytes_to_accel, self.dma_bytes_from_accel)?;
+        writeln!(
+            f,
+            "dma-bytes (to/from):  {}/{}",
+            self.dma_bytes_to_accel, self.dma_bytes_from_accel
+        )?;
         writeln!(f, "dma-transactions:     {}", self.dma_transactions)?;
         writeln!(f, "accel-compute-cycles: {}", self.accel_compute_cycles)?;
         write!(f, "accel-macs:           {}", self.accel_macs)
@@ -144,8 +154,18 @@ mod tests {
 
     #[test]
     fn add_accumulates_all_fields() {
-        let a = PerfCounters { host_cycles: 1, cache_references: 2, accel_macs: 3, ..Default::default() };
-        let b = PerfCounters { host_cycles: 10, cache_references: 20, accel_macs: 30, ..Default::default() };
+        let a = PerfCounters {
+            host_cycles: 1,
+            cache_references: 2,
+            accel_macs: 3,
+            ..Default::default()
+        };
+        let b = PerfCounters {
+            host_cycles: 10,
+            cache_references: 20,
+            accel_macs: 30,
+            ..Default::default()
+        };
         let c = a + b;
         assert_eq!(c.host_cycles, 11);
         assert_eq!(c.cache_references, 22);
@@ -172,7 +192,8 @@ mod tests {
 
     #[test]
     fn dma_totals() {
-        let c = PerfCounters { dma_bytes_to_accel: 10, dma_bytes_from_accel: 5, ..Default::default() };
+        let c =
+            PerfCounters { dma_bytes_to_accel: 10, dma_bytes_from_accel: 5, ..Default::default() };
         assert_eq!(c.dma_bytes_total(), 15);
     }
 }

@@ -247,7 +247,10 @@ impl DmaEngine {
         let words = len / 4;
         let available = accel.output_len() as u64;
         if available < words {
-            return Err(DmaError::StreamUnderflow { requested_words: words, available_words: available });
+            return Err(DmaError::StreamUnderflow {
+                requested_words: words,
+                available_words: available,
+            });
         }
         counters.host_cycles += cost.dma_start_host_cycles;
         counters.instructions += 1;
@@ -296,7 +299,13 @@ mod tests {
         let mut counters = PerfCounters::new();
         let cost = CostModel::pynq_z2();
         dma.init(
-            DmaConfig { id: 0, input_base: input, input_size: 256, output_base: output, output_size: 256 },
+            DmaConfig {
+                id: 0,
+                input_base: input,
+                input_size: 256,
+                output_base: output,
+                output_size: 256,
+            },
             &mut counters,
             &cost,
         );

@@ -79,17 +79,32 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates an error diagnostic with no location.
     pub fn error(message: impl Into<String>) -> Self {
-        Self { severity: Severity::Error, message: message.into(), loc: SourceLoc::unknown(), notes: Vec::new() }
+        Self {
+            severity: Severity::Error,
+            message: message.into(),
+            loc: SourceLoc::unknown(),
+            notes: Vec::new(),
+        }
     }
 
     /// Creates a warning diagnostic with no location.
     pub fn warning(message: impl Into<String>) -> Self {
-        Self { severity: Severity::Warning, message: message.into(), loc: SourceLoc::unknown(), notes: Vec::new() }
+        Self {
+            severity: Severity::Warning,
+            message: message.into(),
+            loc: SourceLoc::unknown(),
+            notes: Vec::new(),
+        }
     }
 
     /// Creates a note diagnostic with no location.
     pub fn note(message: impl Into<String>) -> Self {
-        Self { severity: Severity::Note, message: message.into(), loc: SourceLoc::unknown(), notes: Vec::new() }
+        Self {
+            severity: Severity::Note,
+            message: message.into(),
+            loc: SourceLoc::unknown(),
+            notes: Vec::new(),
+        }
     }
 
     /// Attaches a source location.
@@ -189,8 +204,12 @@ impl DiagnosticEngine {
     /// its notes) when [`DiagnosticEngine::has_errors`] is true.
     pub fn into_result(self) -> Result<(), Diagnostic> {
         if self.has_errors() {
-            let mut primary =
-                self.diagnostics.iter().find(|d| d.severity == Severity::Error).cloned().expect("has_errors");
+            let mut primary = self
+                .diagnostics
+                .iter()
+                .find(|d| d.severity == Severity::Error)
+                .cloned()
+                .expect("has_errors");
             let extra: Vec<String> =
                 self.diagnostics.iter().filter(|d| **d != primary).map(|d| d.to_string()).collect();
             primary.notes.extend(extra);
@@ -213,7 +232,8 @@ mod tests {
 
     #[test]
     fn display_with_location() {
-        let d = Diagnostic::error("bad token").at(SourceLoc::new(3, 14)).with_note("expected `send`");
+        let d =
+            Diagnostic::error("bad token").at(SourceLoc::new(3, 14)).with_note("expected `send`");
         let rendered = d.to_string();
         assert_eq!(rendered, "3:14: error: bad token\n  note: expected `send`");
     }

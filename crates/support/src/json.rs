@@ -1,13 +1,17 @@
-//! A small, dependency-free JSON reader.
+//! A small, dependency-free JSON reader and writer.
 //!
 //! The build environment vendors no serde, so configuration files are read
-//! through this hand-rolled recursive-descent parser instead. Two
+//! through this hand-rolled recursive-descent parser instead, and the
+//! `BENCH_*.json` reports are produced by the serializer below. Three
 //! properties matter to callers and are guaranteed here:
 //!
 //! - **object member order is preserved** (an object is a `Vec` of pairs,
 //!   not a hash map) — the `"data"` object of a Fig. 5 configuration
-//!   defines operand order by member position;
-//! - errors carry `line:col` locations through [`Diagnostic`].
+//!   defines operand order by member position, and report files diff
+//!   cleanly;
+//! - errors carry `line:col` locations through [`Diagnostic`];
+//! - serialization round-trips: `parse(v.to_json_pretty())` yields `v`
+//!   again for every value this module can produce.
 
 use crate::diag::{Diagnostic, SourceLoc};
 
@@ -114,6 +118,166 @@ impl JsonValue {
             JsonValue::Array(_) => "array",
             JsonValue::Object(_) => "object",
         }
+    }
+
+    /// An object from `(key, value)` pairs, preserving order.
+    pub fn object(members: impl IntoIterator<Item = (String, JsonValue)>) -> JsonValue {
+        JsonValue::Object(members.into_iter().collect())
+    }
+
+    /// Compact (single-line) serialization.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty serialization: two-space indent, one member per line.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(v) => out.push_str(&v.to_string()),
+            JsonValue::Float(v) => out.push_str(&fmt_float(*v)),
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                write_seq(out, indent, depth, b'[', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            JsonValue::Object(members) => {
+                write_seq(out, indent, depth, b'{', members.len(), |out, i| {
+                    let (key, value) = &members[i];
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+/// Serializes a finite float so it re-parses as [`JsonValue::Float`]
+/// (integral values keep a `.0`); non-finite values have no JSON spelling
+/// and become `null`.
+fn fmt_float(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_owned();
+    }
+    if v.fract() == 0.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Shared layout for arrays (`open` = `[`) and objects (`open` = `{`):
+/// compact when `indent` is `None`, one element per line otherwise.
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: u8,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    let close = if open == b'[' { ']' } else { '}' };
+    out.push(open as char);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> Self {
+        JsonValue::Array(v)
     }
 }
 
@@ -365,6 +529,55 @@ mod tests {
         assert_eq!(JsonValue::Int(-1).as_u64(), None);
         assert_eq!(JsonValue::Int(5).as_u64(), Some(5));
         assert_eq!(v.type_name(), "object");
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let text = r#"{"xs": [1, [2, 3], {"y": "z"}], "n": -4, "f": 2.5, "t": true, "e": null}"#;
+        let v = JsonValue::parse(text).unwrap();
+        assert_eq!(JsonValue::parse(&v.to_json_string()).unwrap(), v);
+        assert_eq!(JsonValue::parse(&v.to_json_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        // 2.0 must not serialize as `2` (which would re-parse as Int).
+        let v = JsonValue::Float(2.0);
+        assert_eq!(v.to_json_string(), "2.0");
+        assert_eq!(JsonValue::parse("2.0").unwrap(), v);
+        assert_eq!(JsonValue::Float(f64::NAN).to_json_string(), "null");
+        // Large integral floats keep the decimal point too.
+        let big = JsonValue::Float(1e15);
+        assert_eq!(JsonValue::parse(&big.to_json_string()).unwrap(), big);
+    }
+
+    #[test]
+    fn strings_escape_cleanly() {
+        let v = JsonValue::Str("a\"b\\c\nd\u{0001}".to_owned());
+        let text = v.to_json_string();
+        assert_eq!(text, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_indents_members() {
+        let v = JsonValue::object([
+            ("a".to_owned(), JsonValue::Int(1)),
+            ("b".to_owned(), JsonValue::Array(vec![JsonValue::Bool(true)])),
+            ("empty".to_owned(), JsonValue::Object(Vec::new())),
+        ]);
+        let text = v.to_json_pretty();
+        assert_eq!(text, "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ],\n  \"empty\": {}\n}");
+    }
+
+    #[test]
+    fn from_conversions_build_values() {
+        assert_eq!(JsonValue::from(3i64), JsonValue::Int(3));
+        assert_eq!(JsonValue::from(3u64), JsonValue::Int(3));
+        assert_eq!(JsonValue::from(3usize), JsonValue::Int(3));
+        assert_eq!(JsonValue::from(true), JsonValue::Bool(true));
+        assert_eq!(JsonValue::from("x"), JsonValue::Str("x".to_owned()));
+        assert_eq!(JsonValue::from(1.5), JsonValue::Float(1.5));
     }
 
     #[test]

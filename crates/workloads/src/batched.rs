@@ -37,8 +37,7 @@ impl BatchedMatMulProblem {
     /// Deterministic `(A, B)` data for one batch element. Elements get
     /// decorrelated streams derived from the run seed.
     pub fn generate_inputs(&self, seed: u64, index: usize) -> (Vec<i32>, Vec<i32>) {
-        self.problem
-            .generate_inputs(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        self.problem.generate_inputs(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Elements of one output buffer.

@@ -38,8 +38,12 @@ impl ConvLayer {
 
     /// Multiply-accumulates for a batch-1 forward pass.
     pub fn macs(&self) -> u64 {
-        (self.out_channels * self.out_hw() * self.out_hw() * self.in_channels * self.filter_hw * self.filter_hw)
-            as u64
+        (self.out_channels
+            * self.out_hw()
+            * self.out_hw()
+            * self.in_channels
+            * self.filter_hw
+            * self.filter_hw) as u64
     }
 
     /// Deterministic input and filter data.

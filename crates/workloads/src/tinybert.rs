@@ -71,8 +71,16 @@ pub fn tinybert_matmuls() -> Vec<TinyBertMatMul> {
             count: l,
         },
         // FFN up and down projections.
-        TinyBertMatMul { role: "ffn_up", problem: MatMulProblem::new(TOKENS, FFN, HIDDEN), count: l },
-        TinyBertMatMul { role: "ffn_down", problem: MatMulProblem::new(TOKENS, HIDDEN, FFN), count: l },
+        TinyBertMatMul {
+            role: "ffn_up",
+            problem: MatMulProblem::new(TOKENS, FFN, HIDDEN),
+            count: l,
+        },
+        TinyBertMatMul {
+            role: "ffn_down",
+            problem: MatMulProblem::new(TOKENS, HIDDEN, FFN),
+            count: l,
+        },
     ]
 }
 

@@ -18,9 +18,7 @@ fn main() {
     let mut session = Session::for_plan(&plan);
 
     // One compile + one run for the whole batch.
-    let batched = session
-        .run(&BatchedMatMulWorkload::new(batch), &plan)
-        .expect("batched run");
+    let batched = session.run(&BatchedMatMulWorkload::new(batch), &plan).expect("batched run");
     assert!(batched.verified, "every batch element matches its reference");
 
     // The same work as individual runs (recompiling per element).
@@ -28,7 +26,8 @@ fn main() {
     let mut single_timing_ms = 0.0;
     for index in 0..batch.batch {
         let workload = MatMulWorkload::new(problem);
-        let per_element = plan.clone().seed(plan.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let per_element =
+            plan.clone().seed(plan.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let report = session.run(&workload, &per_element).expect("single run");
         assert!(report.verified);
         single_ms += report.task_clock_ms;

@@ -34,13 +34,24 @@ const CONFIG: &str = r#"{
 
 fn main() {
     let system = SystemConfig::from_json(CONFIG).expect("configuration parses and validates");
-    println!("parsed host CPU: L1 {} KiB, LLC {} KiB", system.cpu.l1_bytes() / 1024, system.cpu.llc_bytes() / 1024);
+    println!(
+        "parsed host CPU: L1 {} KiB, LLC {} KiB",
+        system.cpu.l1_bytes() / 1024,
+        system.cpu.llc_bytes() / 1024
+    );
     let accel = system.accelerator("v3_8").expect("accelerator present").clone();
-    println!("accelerator {} offering flows: {:?}\n", accel.name, accel.flows.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>());
+    println!(
+        "accelerator {} offering flows: {:?}\n",
+        accel.name,
+        accel.flows.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>()
+    );
 
     let problem = MatMulProblem::square(64);
     println!("problem: {problem}\n");
-    println!("{:<6} {:>14} {:>18} {:>16}", "flow", "task-clock", "bytes to accel", "bytes from accel");
+    println!(
+        "{:<6} {:>14} {:>18} {:>16}",
+        "flow", "task-clock", "bytes to accel", "bytes from accel"
+    );
     // One session serves all four flows: same device, SoC recycled per run.
     let mut session = Session::for_config(&accel);
     let workload = MatMulWorkload::new(problem);

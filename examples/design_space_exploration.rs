@@ -11,8 +11,14 @@ use axi4mlir::prelude::*;
 
 const BASE: i64 = 16;
 
-fn measure(session: &mut Session, problem: MatMulProblem, flow: FlowStrategy, tile: (i64, i64, i64)) -> f64 {
-    let config = AcceleratorConfig::preset_v4_with_tile(BASE, tile.0, tile.1, tile.2)
+fn measure(
+    session: &mut Session,
+    problem: MatMulProblem,
+    flow: FlowStrategy,
+    tile: (i64, i64, i64),
+    base: i64,
+) -> f64 {
+    let config = AcceleratorConfig::preset_v4_with_tile(base, tile.0, tile.1, tile.2)
         .with_selected_flow(flow.short_name());
     let plan = CompilePlan::for_accelerator(config);
     let report = session.run(&MatMulWorkload::new(problem), &plan).expect("v4 run");
@@ -32,8 +38,14 @@ fn main() {
             FlowStrategy::InputBStationary,
             FlowStrategy::OutputStationary,
         ] {
-            if let Some(choice) = square_tile_choice(flow, dims, BASE, V4_CAPACITY_WORDS) {
-                let ms = measure(&mut session, problem, choice.flow, choice.tile);
+            if let Ok(choice) = square_tile_choice(flow, dims, BASE, V4_CAPACITY_WORDS) {
+                let ms = measure(
+                    &mut session,
+                    problem,
+                    choice.flow,
+                    choice.tile,
+                    choice.instantiation_base(BASE),
+                );
                 println!(
                     "  {}-squareTile  T={:<3}  estimated words {:>8}  measured {:>8.3} ms",
                     flow.short_name(),
@@ -44,7 +56,8 @@ fn main() {
             }
         }
         let best = best_choice(dims, BASE, V4_CAPACITY_WORDS).expect("legal config");
-        let ms = measure(&mut session, problem, best.flow, best.tile);
+        let ms =
+            measure(&mut session, problem, best.flow, best.tile, best.instantiation_base(BASE));
         println!(
             "  Best: {:<14} estimated words {:>8}  measured {:>8.3} ms",
             best.label(),

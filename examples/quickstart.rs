@@ -17,9 +17,8 @@ fn main() {
     options.capture_ir = true;
 
     let workload = MatMulWorkload::new(problem);
-    let plan = CompilePlan::for_accelerator(accel)
-        .flow(FlowStrategy::OutputStationary)
-        .options(options);
+    let plan =
+        CompilePlan::for_accelerator(accel).flow(FlowStrategy::OutputStationary).options(options);
     let mut session = Session::for_plan(&plan);
     let report = session.run(&workload, &plan).expect("pipeline");
 
@@ -45,12 +44,7 @@ fn main() {
     println!("\ntask-clock: {:.3} ms", report.task_clock_ms);
 
     // CPU-only baseline for contrast: same session, retargeted to the CPU.
-    let cpu = session
-        .run(&workload, &CompilePlan::cpu().seed(0xA41))
-        .expect("CPU baseline");
+    let cpu = session.run(&workload, &CompilePlan::cpu().seed(0xA41)).expect("CPU baseline");
     println!("CPU-only task-clock: {:.3} ms", cpu.task_clock_ms);
-    println!(
-        "offload speedup vs CPU: {:.2}x",
-        cpu.task_clock_ms / report.task_clock_ms
-    );
+    println!("offload speedup vs CPU: {:.2}x", cpu.task_clock_ms / report.task_clock_ms);
 }

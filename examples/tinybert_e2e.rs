@@ -12,7 +12,10 @@ use axi4mlir_bench::{fig17, Scale};
 fn main() {
     let scale = if std::env::args().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
     let bars = fig17::bars(scale);
-    println!("TinyBERT co-execution (batch 2){}:\n", if scale == Scale::Quick { " — reduced inventory" } else { "" });
+    println!(
+        "TinyBERT co-execution (batch 2){}:\n",
+        if scale == Scale::Quick { " — reduced inventory" } else { "" }
+    );
     println!("{}", fig17::render(&bars).render());
     let cpu = &bars[0];
     let best = &bars[2];

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs the full figure suite plus the design-space explorer and collects
+# every BENCH_*.json report into one directory (BENCH_all.json included).
+#
+# Usage: scripts/bench.sh [--quick] [OUT_DIR]
+#   --quick   reduced sweep sizes (seconds instead of minutes)
+#   OUT_DIR   where the reports land (default: bench-out)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=()
+OUT_DIR="bench-out"
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=(--quick) ;;
+        --*) echo "bench.sh: unknown flag $arg" >&2; exit 2 ;;
+        *) OUT_DIR="$arg" ;;
+    esac
+done
+mkdir -p "$OUT_DIR"
+
+echo "== building (release) =="
+cargo build --release -p axi4mlir-bench
+
+echo "== figure suite =="
+for bin in table1 fig10 fig11 fig12 fig13 fig14 fig16 fig17; do
+    echo "-- $bin --"
+    cargo run --release -p axi4mlir-bench --bin "$bin" -- ${QUICK[@]+"${QUICK[@]}"} --json "$OUT_DIR"
+done
+
+echo "== design-space explorer =="
+if [ "${#QUICK[@]}" -gt 0 ]; then
+    cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --smoke --json "$OUT_DIR"
+else
+    cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --json "$OUT_DIR"
+fi
+
+echo "== collecting =="
+cargo run --release -p axi4mlir-bench --bin bench-collect -- "$OUT_DIR"
+echo "reports in $OUT_DIR/"

@@ -1,6 +1,8 @@
 //! Convenient re-exports of the most frequently used types.
 
-pub use axi4mlir_config::{AcceleratorConfig, AcceleratorPreset, CpuSpec, FlowStrategy, SystemConfig};
+pub use axi4mlir_config::{
+    AcceleratorConfig, AcceleratorPreset, CpuSpec, FlowStrategy, SystemConfig,
+};
 pub use axi4mlir_core::driver::{
     BatchedMatMulWorkload, CompilePlan, ConvWorkload, MatMulWorkload, PipelineBuilder, RunReport,
     Session, Workload,

@@ -101,8 +101,11 @@ fn staging_region_overflow_rejected() {
     let mut config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 8 });
     config.dma.input_buffer_size = 64; // 16 words: an 8x8 tile cannot fit
     let err = CompileAndRun::new(config, MatMulProblem::square(8)).execute().unwrap_err();
-    assert!(err.message.contains("exceeds staging region") || err.message.contains("out-of-bounds"),
-        "{}", err.message);
+    assert!(
+        err.message.contains("exceeds staging region") || err.message.contains("out-of-bounds"),
+        "{}",
+        err.message
+    );
 }
 
 /// Malformed JSON configuration errors carry actionable messages.

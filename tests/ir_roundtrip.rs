@@ -128,7 +128,8 @@ fn annotated_trait_roundtrips() {
     use axi4mlir::workloads::matmul::MatMulProblem;
 
     let mut module = build_matmul_module(MatMulProblem::square(8));
-    let config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 4 }).with_selected_flow("As");
+    let config =
+        AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 4 }).with_selected_flow("As");
     let mut pm = PassManager::new();
     pm.add(Box::new(MatchAndAnnotatePass::new(
         config,

@@ -66,7 +66,8 @@ fn dma_traffic_matches_analytical_model() {
             .options(options);
         let report = session.run(&MatMulWorkload::new(problem), &plan).unwrap();
         assert!(report.verified);
-        let estimate = matmul_transfers(flow, (problem.m, problem.n, problem.k), (tile, tile, tile));
+        let estimate =
+            matmul_transfers(flow, (problem.m, problem.n, problem.k), (tile, tile, tile));
         // +1 word for the one-time reset init opcode.
         assert_eq!(
             report.counters.dma_bytes_to_accel,
@@ -178,8 +179,7 @@ fn manual_and_generated_agree_numerically() {
 #[test]
 fn v4_non_square_tiles_verify() {
     let problem = MatMulProblem::new(32, 16, 64);
-    let config = AcceleratorConfig::preset_v4_with_tile(16, 32, 16, 64)
-        .with_selected_flow("Cs");
+    let config = AcceleratorConfig::preset_v4_with_tile(16, 32, 16, 64).with_selected_flow("Cs");
     let plan = CompilePlan::for_accelerator(config);
     let report = Session::for_plan(&plan).run(&MatMulWorkload::new(problem), &plan).unwrap();
     assert!(report.verified);

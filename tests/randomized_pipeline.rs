@@ -22,8 +22,9 @@ fn preset(version: MatMulVersion, size: i64) -> AcceleratorConfig {
 /// A problem whose dims are multiples of the tile (the paper's setting).
 fn arb_case() -> impl Strategy<Value = (MatMulProblem, i64)> {
     proptest::sample::select(vec![2i64, 4, 8]).prop_flat_map(|tile| {
-        ((1i64..=6), (1i64..=6), (1i64..=6))
-            .prop_map(move |(qm, qn, qk)| (MatMulProblem::new(qm * tile, qn * tile, qk * tile), tile))
+        ((1i64..=6), (1i64..=6), (1i64..=6)).prop_map(move |(qm, qn, qk)| {
+            (MatMulProblem::new(qm * tile, qn * tile, qk * tile), tile)
+        })
     })
 }
 

@@ -70,7 +70,11 @@ impl BenchmarkGroup {
     }
 
     /// Runs one benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, body: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        body: F,
+    ) -> &mut Self {
         let id = id.into();
         self.run(&id.0, body);
         self

@@ -322,7 +322,8 @@ where
             passed,
             config.cases
         );
-        let mut rng = TestRng::new(name_seed.wrapping_add(attempts.wrapping_mul(0x2545_F491_4F6C_DD1D)));
+        let mut rng =
+            TestRng::new(name_seed.wrapping_add(attempts.wrapping_mul(0x2545_F491_4F6C_DD1D)));
         match case(&mut rng) {
             Ok(()) => passed += 1,
             Err(TestCaseError::Reject(_)) => {}

@@ -36,7 +36,10 @@ fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &s
     class
 }
 
-fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> (usize, usize) {
+fn parse_repeat(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
     if chars.peek() != Some(&'{') {
         return (1, 1);
     }
@@ -55,7 +58,10 @@ fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &
             hi.trim().parse().unwrap_or_else(|_| panic!("bad repeat `{spec}` in `{pattern}`")),
         ),
         None => {
-            let n = spec.trim().parse().unwrap_or_else(|_| panic!("bad repeat `{spec}` in `{pattern}`"));
+            let n = spec
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repeat `{spec}` in `{pattern}`"));
             (n, n)
         }
     }
