@@ -1,26 +1,36 @@
-//! `axi4mlir-explore`: parallel design-space exploration over the
-//! `(flow, tM, tN, tK)` space of the flexible v4 accelerator, with a
-//! machine-readable `BENCH_explore.json` report.
+//! `axi4mlir-explore`: parallel design-space exploration over workloads,
+//! accelerator generations, flows, tiles, and pipeline options, with a
+//! machine-readable `BENCH_explore.json` report and a persistent result
+//! cache.
 //!
 //! Usage:
 //! `cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- \
-//!     [--smoke] [--dims MxNxK] [--base B] [--capacity WORDS] \
+//!     [--smoke] [--workload matmul|conv|batched] [--accel v1..v4[:SIZE],...] \
+//!     [--search exhaustive|halving] [--cache PATH] \
+//!     [--dims MxNxK] [--batch N] [--layer iHW_iC_fHW_oC_stride] \
+//!     [--base B] [--capacity WORDS] [--sweep-options] \
 //!     [--workers N] [--prune none|keep:N|factor:F] [--seed S] [--json DIR]`
 //!
-//! `--smoke` is the CI entry point: a tiny space (16x16x16, base 8) that
-//! sweeps in well under a second but exercises the whole engine —
-//! enumeration, pruning, the parallel session pool, the result cache,
-//! and the JSON reporter. The report is always written (default: the
-//! current directory; override with `--json DIR`).
+//! `--smoke` is the CI entry point: a tiny space that sweeps in well
+//! under a second but exercises the whole engine — enumeration, pruning,
+//! the search strategy, the parallel session pool, the result cache, and
+//! the JSON reporter. With `--cache`, results persist to a
+//! `BENCH_cache.json` (loaded before the sweep, merged and saved after),
+//! so a repeated invocation reports 0 new simulations.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use axi4mlir_bench::report::{BenchEntry, BenchReport};
-use axi4mlir_core::explore::{ExploreReport, ExploreSpec, Explorer, Prune};
+use axi4mlir_core::explore::{
+    AccelInstance, BatchedSpace, ConvSpace, DesignSpace, ExploreReport, Explorer, HalvingSpec,
+    MatMulSpace, OptionsPoint, Prune, Search,
+};
 use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
 use axi4mlir_support::json::JsonValue;
 use axi4mlir_workloads::matmul::MatMulProblem;
+use axi4mlir_workloads::resnet::{resnet18_layers, ConvLayer};
+use axi4mlir_workloads::BatchedMatMulProblem;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     let at = args.iter().position(|a| a == flag)?;
@@ -48,53 +58,200 @@ fn parse_prune(text: &str) -> Option<Prune> {
     None
 }
 
-fn spec_from_args(args: &[String]) -> Result<ExploreSpec, String> {
+/// `v3` (size defaults to `--base`), `v4:8`, or a comma list of either.
+/// Normalizes each token to the `v4_8` preset-name form and delegates to
+/// [`AccelInstance::parse`] (which also rejects non-positive sizes).
+fn parse_accels(text: &str, default_size: i64) -> Option<Vec<AccelInstance>> {
+    let mut out = Vec::new();
+    for token in text.split(',') {
+        let label = match token.split_once(':') {
+            Some((name, size)) => format!("{name}_{size}"),
+            None => format!("{token}_{default_size}"),
+        };
+        out.push(AccelInstance::parse(&label)?);
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+/// The figure label `iHW_iC_fHW_oC_stride`, either one of the ResNet18
+/// layers or an arbitrary custom shape.
+fn parse_layer(text: &str) -> Option<ConvLayer> {
+    if let Some(layer) = resnet18_layers().into_iter().find(|l| l.label() == text) {
+        return Some(layer);
+    }
+    let parts: Vec<usize> = text.split('_').map(str::parse).collect::<Result<_, _>>().ok()?;
+    match parts[..] {
+        [in_hw, in_channels, filter_hw, out_channels, stride]
+            if in_hw >= filter_hw && filter_hw > 0 && stride > 0 && out_channels > 0 =>
+        {
+            Some(ConvLayer { in_hw, in_channels, filter_hw, out_channels, stride })
+        }
+        _ => None,
+    }
+}
+
+/// The smoke-scale conv layer (the Fig. 16 quick shape).
+fn smoke_layer() -> ConvLayer {
+    ConvLayer { in_hw: 10, in_channels: 64, filter_hw: 3, out_channels: 16, stride: 1 }
+}
+
+enum SpaceChoice {
+    MatMul(MatMulSpace),
+    Batched(BatchedSpace),
+    Conv(ConvSpace),
+}
+
+impl SpaceChoice {
+    fn as_dyn(&self) -> &dyn DesignSpace {
+        match self {
+            SpaceChoice::MatMul(s) => s,
+            SpaceChoice::Batched(s) => s,
+            SpaceChoice::Conv(s) => s,
+        }
+    }
+}
+
+struct Request {
+    space: SpaceChoice,
+    prune: Prune,
+    search: Search,
+    workers: usize,
+    cache: Option<PathBuf>,
+}
+
+fn request_from_args(args: &[String]) -> Result<Request, String> {
     let smoke = args.iter().any(|a| a == "--smoke");
+    let workload = arg_value(args, "--workload").unwrap_or_else(|| "matmul".to_owned());
     let default_workers =
         std::thread::available_parallelism().map_or(2, |n| n.get()).min(if smoke { 2 } else { 8 });
-    let mut spec = if smoke {
-        ExploreSpec::new(MatMulProblem::new(16, 16, 16)).base(8)
-    } else {
-        ExploreSpec::new(MatMulProblem::new(256, 256, 256))
+
+    let base = match arg_value(args, "--base") {
+        Some(text) => text.parse().map_err(|_| format!("invalid --base `{text}`"))?,
+        None if smoke => 8,
+        None => 16,
     };
-    spec = spec.workers(default_workers);
-    if let Some(text) = arg_value(args, "--dims") {
-        spec.problem = parse_dims(&text).ok_or(format!("invalid --dims `{text}` (want MxNxK)"))?;
-    }
-    if let Some(text) = arg_value(args, "--base") {
-        spec.base = text.parse().map_err(|_| format!("invalid --base `{text}`"))?;
-    }
-    if let Some(text) = arg_value(args, "--capacity") {
-        spec.capacity_words = text.parse().map_err(|_| format!("invalid --capacity `{text}`"))?;
-    }
-    if let Some(text) = arg_value(args, "--workers") {
-        spec.workers = text.parse().map_err(|_| format!("invalid --workers `{text}`"))?;
-    }
-    if let Some(text) = arg_value(args, "--prune") {
-        spec.prune =
-            parse_prune(&text).ok_or(format!("invalid --prune `{text}` (none|keep:N|factor:F)"))?;
-    }
+    let accels = match arg_value(args, "--accel") {
+        Some(text) => parse_accels(&text, base)
+            .ok_or(format!("invalid --accel `{text}` (v1..v4[:SIZE],...)"))?,
+        None => vec![AccelInstance::v4(base)],
+    };
+    let options_axis = if args.iter().any(|a| a == "--sweep-options") {
+        OptionsPoint::axis()
+    } else {
+        vec![OptionsPoint::default()]
+    };
+
+    let problem = match arg_value(args, "--dims") {
+        Some(text) => parse_dims(&text).ok_or(format!("invalid --dims `{text}` (want MxNxK)"))?,
+        None if smoke => MatMulProblem::new(16, 16, 16),
+        None => MatMulProblem::new(256, 256, 256),
+    };
+
+    let mut space = match workload.as_str() {
+        "matmul" => {
+            let mut s = MatMulSpace::new(problem).accels(accels).options_axis(options_axis);
+            if let Some(text) = arg_value(args, "--capacity") {
+                s = s.capacity_words(
+                    text.parse().map_err(|_| format!("invalid --capacity `{text}`"))?,
+                );
+            }
+            SpaceChoice::MatMul(s)
+        }
+        "batched" => {
+            let batch = match arg_value(args, "--batch") {
+                Some(text) => text.parse().map_err(|_| format!("invalid --batch `{text}`"))?,
+                None => {
+                    if smoke {
+                        2
+                    } else {
+                        4
+                    }
+                }
+            };
+            let problem = if smoke && arg_value(args, "--dims").is_none() {
+                MatMulProblem::square(8)
+            } else {
+                problem
+            };
+            let mut s = BatchedSpace::new(BatchedMatMulProblem::new(problem, batch))
+                .accels(accels)
+                .options_axis(options_axis);
+            if let Some(text) = arg_value(args, "--capacity") {
+                s = s.capacity_words(
+                    text.parse().map_err(|_| format!("invalid --capacity `{text}`"))?,
+                );
+            }
+            SpaceChoice::Batched(s)
+        }
+        "conv" => {
+            for flag in ["--accel", "--dims", "--capacity", "--base", "--batch"] {
+                if arg_value(args, flag).is_some() {
+                    eprintln!(
+                        "axi4mlir-explore: note: {flag} is ignored for conv (the \u{a7}IV-D \
+                         accelerator is configured by the layer; use --layer)"
+                    );
+                }
+            }
+            let layer = match arg_value(args, "--layer") {
+                Some(text) => parse_layer(&text)
+                    .ok_or(format!("invalid --layer `{text}` (want iHW_iC_fHW_oC_stride)"))?,
+                None => smoke_layer(),
+            };
+            SpaceChoice::Conv(ConvSpace::new(layer))
+        }
+        other => return Err(format!("invalid --workload `{other}` (matmul|conv|batched)")),
+    };
+
     if let Some(text) = arg_value(args, "--seed") {
-        spec = spec.seed(text.parse().map_err(|_| format!("invalid --seed `{text}`"))?);
+        let seed = text.parse().map_err(|_| format!("invalid --seed `{text}`"))?;
+        match &mut space {
+            SpaceChoice::MatMul(s) => s.seed = seed,
+            SpaceChoice::Batched(s) => s.seed = seed,
+            SpaceChoice::Conv(s) => s.seed = seed,
+        }
     }
-    Ok(spec)
+
+    let search = match arg_value(args, "--search").as_deref() {
+        None | Some("exhaustive") => Search::Exhaustive,
+        Some("halving") => Search::Halving(HalvingSpec::default()),
+        Some(other) => return Err(format!("invalid --search `{other}` (exhaustive|halving)")),
+    };
+    let prune = match arg_value(args, "--prune") {
+        Some(text) => {
+            parse_prune(&text).ok_or(format!("invalid --prune `{text}` (none|keep:N|factor:F)"))?
+        }
+        None => Prune::None,
+    };
+    let workers = match arg_value(args, "--workers") {
+        Some(text) => text.parse().map_err(|_| format!("invalid --workers `{text}`"))?,
+        None => default_workers,
+    };
+    Ok(Request {
+        space,
+        prune,
+        search,
+        workers,
+        cache: arg_value(args, "--cache").map(PathBuf::from),
+    })
 }
 
 /// Converts an exploration into the `BENCH_explore.json` document:
 /// per-candidate cycles and transfers, per-pass compile timing, and the
 /// best-choice-vs-explored-optimum gap in the context block.
-fn to_report(spec: &ExploreSpec, report: &ExploreReport) -> BenchReport {
+fn to_report(request: &Request, report: &ExploreReport) -> BenchReport {
     let mut out = BenchReport::new("explore")
-        .context("problem", report.problem.label())
-        .context("base", report.base)
-        .context("capacity_words", report.capacity_words)
-        .context("workers", spec.workers)
+        .context("workload", report.workload.clone())
+        .context("space", report.space.clone())
+        .context("search", report.search.clone())
+        .context("workers", request.workers)
         .context("space_size", report.space_size)
         .context("pruned_out", report.pruned_out)
-        .context("cache_hits", report.cache_hits);
+        .context("measured", report.evaluations.len())
+        .context("cache_hits", report.cache_hits)
+        .context("sims_performed", report.sims_performed);
     if let Some(optimum) = report.optimum() {
         out = out
-            .context("optimum_config", optimum.choice.label())
+            .context("optimum_config", optimum.candidate.label())
             .context("optimum_ms", optimum.task_clock_ms);
     }
     if let (Some(h), Some(eval)) = (&report.heuristic, &report.heuristic_eval) {
@@ -106,15 +263,19 @@ fn to_report(spec: &ExploreSpec, report: &ExploreReport) -> BenchReport {
     }
     for eval in &report.evaluations {
         let c = &eval.counters;
+        let key = &eval.candidate.key;
         let pass_ms =
             JsonValue::object(eval.pass_ms.iter().map(|(p, ms)| (p.clone(), (*ms).into())));
-        let mut entry = BenchEntry::new(eval.choice.label())
-            .metric("flow", eval.choice.flow.short_name())
-            .metric("tile_m", eval.choice.tile.0)
-            .metric("tile_n", eval.choice.tile.1)
-            .metric("tile_k", eval.choice.tile.2)
-            .metric("estimated_words", eval.choice.estimate.words_total())
-            .metric("estimated_transactions", eval.choice.estimate.transactions)
+        let mut entry = BenchEntry::new(eval.candidate.label())
+            .metric("accel", key.accel.clone())
+            .metric("flow", key.flow.clone())
+            .metric("tile_m", key.tile.0)
+            .metric("tile_n", key.tile.1)
+            .metric("tile_k", key.tile.2)
+            .metric("coalesce", key.options.coalesce)
+            .metric("specialized_copies", key.options.specialized_copies)
+            .metric("estimated_words", eval.candidate.estimate.words_total())
+            .metric("estimated_transactions", eval.candidate.estimate.transactions)
             .metric("task_clock_ms", eval.task_clock_ms)
             .metric("host_cycles", c.host_cycles)
             .metric("device_cycles", c.device_cycles)
@@ -134,20 +295,41 @@ fn to_report(spec: &ExploreSpec, report: &ExploreReport) -> BenchReport {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let spec = match spec_from_args(&args) {
-        Ok(spec) => spec,
+    let request = match request_from_args(&args) {
+        Ok(request) => request,
         Err(message) => {
             eprintln!("axi4mlir-explore: {message}");
             return ExitCode::FAILURE;
         }
     };
 
+    let explorer = match &request.cache {
+        Some(path) => match Explorer::with_cache_file(path) {
+            Ok(explorer) => {
+                println!("loaded {} cached results from {}", explorer.cache_len(), path.display());
+                explorer
+            }
+            Err(diag) => {
+                eprintln!("axi4mlir-explore: {diag}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Explorer::new(),
+    };
+
     println!(
-        "exploring {} (base {}, {} words, {} workers, prune {:?})\n",
-        spec.problem, spec.base, spec.capacity_words, spec.workers, spec.prune
+        "exploring {} ({} search, {} workers, prune {:?})\n",
+        request.space.as_dyn().describe(),
+        request.search.label(),
+        request.workers,
+        request.prune
     );
-    let explorer = Explorer::new();
-    let report = match explorer.explore(&spec) {
+    let report = match explorer.explore_space(
+        request.space.as_dyn(),
+        request.prune,
+        &request.search,
+        request.workers,
+    ) {
         Ok(report) => report,
         Err(diag) => {
             eprintln!("axi4mlir-explore: {diag}");
@@ -162,8 +344,8 @@ fn main() -> ExitCode {
         TextTable::new(vec!["config", "est. words", "task-clock [ms]", "dma bytes", "dma txns"]);
     for eval in ranked.iter().take(10) {
         table.row(vec![
-            eval.choice.label(),
-            eval.choice.estimate.words_total().to_string(),
+            eval.candidate.label(),
+            eval.candidate.estimate.words_total().to_string(),
             fmt_ms(eval.task_clock_ms),
             eval.counters.dma_bytes_total().to_string(),
             eval.counters.dma_transactions.to_string(),
@@ -174,37 +356,47 @@ fn main() -> ExitCode {
         println!("({} more candidates measured)", ranked.len() - 10);
     }
     println!(
-        "space: {} legal, {} pruned, {} measured ({} simulator runs, {} cache hits)",
+        "space: {} legal, {} pruned, {} measured — {} new simulations, {} cache hits",
         report.space_size,
         report.pruned_out,
         report.evaluations.len(),
-        explorer.evals_performed(),
+        report.sims_performed,
         report.cache_hits,
     );
     if let Some(optimum) = report.optimum() {
         println!(
             "explored optimum: {} at {}",
-            optimum.choice.label(),
+            optimum.candidate.label(),
             fmt_ms(optimum.task_clock_ms)
         );
     }
     match (&report.heuristic, report.heuristic_gap()) {
         (Some(h), Some(gap)) => {
-            println!("heuristic (best_choice) pick: {} — gap vs optimum: {:.3}x", h.label(), gap);
+            println!("heuristic pick: {} — gap vs optimum: {gap:.3}x", h.label());
         }
-        _ => println!("heuristic (best_choice) found no legal configuration"),
+        _ => println!("this space has no analytical heuristic pick"),
     }
 
+    // Write the report before touching the cache file: the sweep's
+    // output must survive even when cache persistence fails.
     let dir = axi4mlir_bench::report::json_dir_from_args(args.iter().cloned())
         .unwrap_or_else(|| PathBuf::from("."));
-    match to_report(&spec, &report).write_to_dir(&dir) {
-        Ok(path) => {
-            println!("wrote {}", path.display());
-            ExitCode::SUCCESS
-        }
+    match to_report(&request, &report).write_to_dir(&dir) {
+        Ok(path) => println!("wrote {}", path.display()),
         Err(err) => {
             eprintln!("axi4mlir-explore: writing the report failed: {err}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
     }
+
+    if let Some(path) = &request.cache {
+        match explorer.save_cache(path) {
+            Ok(total) => println!("cache: {total} results persisted to {}", path.display()),
+            Err(diag) => {
+                eprintln!("axi4mlir-explore: saving the cache failed: {diag}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }

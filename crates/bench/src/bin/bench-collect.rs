@@ -47,6 +47,7 @@ fn main() -> ExitCode {
     let mut table = TextTable::new(vec!["report", "entries", "file"]);
     let mut reports = Vec::new();
     let mut failures = 0;
+    let mut skipped_foreign = 0;
     for path in &files {
         let text = match fs::read_to_string(path) {
             Ok(text) => text,
@@ -64,6 +65,13 @@ fn main() -> ExitCode {
                 continue;
             }
         };
+        // Only bench reports belong in the collection; sibling BENCH_*
+        // files with other schemas (the explorer's persistent
+        // BENCH_cache.json) are quietly left out.
+        if doc.get("schema").and_then(JsonValue::as_str) != Some(axi4mlir_bench::report::SCHEMA) {
+            skipped_foreign += 1;
+            continue;
+        }
         let name = doc.get("name").and_then(JsonValue::as_str).unwrap_or("?").to_owned();
         let entries = doc.get("entries").and_then(JsonValue::as_array).map_or(0, <[_]>::len);
         let file = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_owned();
@@ -88,7 +96,14 @@ fn main() -> ExitCode {
     }
 
     println!("{}", table.render());
-    println!("collected {} reports into {}", files.len() - failures, out.display());
+    println!(
+        "collected {} reports into {}",
+        files.len() - failures - skipped_foreign,
+        out.display()
+    );
+    if skipped_foreign > 0 {
+        println!("({skipped_foreign} non-report BENCH_* files left out, e.g. the result cache)");
+    }
     if failures > 0 {
         eprintln!("bench-collect: {failures} files skipped");
         return ExitCode::FAILURE;

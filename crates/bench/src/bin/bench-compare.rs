@@ -1,0 +1,210 @@
+//! `bench-compare`: the CI regression gate. Compares two bench report
+//! collections (`BENCH_all.json`, or directories containing one) and
+//! fails when any simulated task-clock metric regressed beyond a
+//! threshold.
+//!
+//! Usage:
+//! `cargo run --release -p axi4mlir-bench --bin bench-compare -- \
+//!     BASELINE CURRENT [--threshold 0.10]`
+//!
+//! Only *simulated* milliseconds are compared (metric keys ending in
+//! `_ms`, e.g. `task_clock_ms`, `cpu_ms`, `manual_ms`, `generated_*_ms`)
+//! — they are deterministic functions of the modelled system, so any
+//! drift is a real behavioral change. Host wall-clock metrics
+//! (`compile_ms`, `pass_ms`) are machine noise and excluded. Entries or
+//! reports present on only one side are listed as notes, not failures
+//! (spaces legitimately grow and shrink across commits).
+//!
+//! Exit status: 0 when clean, 1 on regressions, 2 on usage/IO errors.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use axi4mlir_support::fmtutil::TextTable;
+use axi4mlir_support::json::JsonValue;
+
+/// Wall-clock (non-deterministic) keys excluded from the gate.
+const EXCLUDED_METRICS: [&str; 2] = ["compile_ms", "pass_ms"];
+
+/// One comparable measurement: report name, entry id, metric key.
+#[derive(Clone, Debug)]
+struct Sample {
+    report: String,
+    entry: String,
+    metric: String,
+    value: f64,
+}
+
+fn is_gated_metric(key: &str) -> bool {
+    key.ends_with("_ms") && !EXCLUDED_METRICS.contains(&key)
+}
+
+/// Extracts every gated sample of one report document.
+fn samples_of_report(doc: &JsonValue, out: &mut Vec<Sample>) {
+    let name = doc.get("name").and_then(JsonValue::as_str).unwrap_or("?").to_owned();
+    for entry in doc.get("entries").and_then(JsonValue::as_array).unwrap_or(&[]) {
+        let id = entry.get("id").and_then(JsonValue::as_str).unwrap_or("?").to_owned();
+        let Some(metrics) = entry.get("metrics").and_then(JsonValue::as_object) else { continue };
+        for (key, value) in metrics {
+            if !is_gated_metric(key) {
+                continue;
+            }
+            if let Some(value) = value.as_f64() {
+                out.push(Sample {
+                    report: name.clone(),
+                    entry: id.clone(),
+                    metric: key.clone(),
+                    value,
+                });
+            }
+        }
+    }
+}
+
+/// Loads a collection (`BENCH_all.json`) or single-report document and
+/// flattens it into gated samples.
+fn load_samples(path: &Path) -> Result<Vec<Sample>, String> {
+    let file = if path.is_dir() { path.join("BENCH_all.json") } else { path.to_path_buf() };
+    let text = fs::read_to_string(&file)
+        .map_err(|err| format!("cannot read {}: {err}", file.display()))?;
+    let doc = JsonValue::parse(&text).map_err(|diag| format!("{}: {diag}", file.display()))?;
+    let mut out = Vec::new();
+    match doc.get("reports").and_then(JsonValue::as_array) {
+        Some(reports) => {
+            for report in reports {
+                samples_of_report(report, &mut out);
+            }
+        }
+        None => samples_of_report(&doc, &mut out),
+    }
+    Ok(out)
+}
+
+struct Comparison {
+    sample: Sample,
+    baseline: f64,
+    /// `current / baseline - 1`; positive is slower.
+    delta: f64,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.10;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threshold" {
+            let Some(value) = iter.next().and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("bench-compare: --threshold needs a fraction (e.g. 0.10)");
+                return ExitCode::from(2);
+            };
+            threshold = value;
+        } else if !arg.starts_with("--") {
+            paths.push(PathBuf::from(arg));
+        }
+    }
+    let [baseline_path, current_path] = &paths[..] else {
+        eprintln!("bench-compare: usage: bench-compare BASELINE CURRENT [--threshold 0.10]");
+        return ExitCode::from(2);
+    };
+
+    let (baseline, current) = match (load_samples(baseline_path), load_samples(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(err), _) | (_, Err(err)) => {
+            eprintln!("bench-compare: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Index the baseline; compare every current sample against it.
+    let mut index = std::collections::HashMap::new();
+    for s in &baseline {
+        index.insert((s.report.clone(), s.entry.clone(), s.metric.clone()), s.value);
+    }
+    let mut compared: Vec<Comparison> = Vec::new();
+    let mut unmatched_current = 0usize;
+    for s in current {
+        let key = (s.report.clone(), s.entry.clone(), s.metric.clone());
+        match index.remove(&key) {
+            Some(old) => {
+                // A zero baseline cannot form a ratio: unchanged-at-zero is
+                // clean, anything above zero is an unbounded regression.
+                let delta = if old > 0.0 {
+                    s.value / old - 1.0
+                } else if s.value > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                compared.push(Comparison { delta, baseline: old, sample: s });
+            }
+            None => unmatched_current += 1,
+        }
+    }
+    let unmatched_baseline = index.len();
+
+    // The per-figure diff table: worst delta per report.
+    let mut per_report: Vec<(String, usize, usize, Option<&Comparison>)> = Vec::new();
+    for c in &compared {
+        match per_report.iter_mut().find(|(name, ..)| *name == c.sample.report) {
+            Some((_, metrics, regressions, worst)) => {
+                *metrics += 1;
+                if c.delta > threshold {
+                    *regressions += 1;
+                }
+                if worst.is_none_or(|w| c.delta > w.delta) {
+                    *worst = Some(c);
+                }
+            }
+            None => per_report.push((
+                c.sample.report.clone(),
+                1,
+                usize::from(c.delta > threshold),
+                Some(c),
+            )),
+        }
+    }
+    let mut table =
+        TextTable::new(vec!["report", "metrics", "regressions", "worst Δ", "worst metric"]);
+    for (name, metrics, regressions, worst) in &per_report {
+        let (delta, label) = worst.map_or((String::new(), String::new()), |w| {
+            (format!("{:+.1}%", w.delta * 100.0), format!("{} {}", w.sample.entry, w.sample.metric))
+        });
+        table.row(vec![name.clone(), metrics.to_string(), regressions.to_string(), delta, label]);
+    }
+    println!("{}", table.render());
+
+    let mut regressions: Vec<&Comparison> =
+        compared.iter().filter(|c| c.delta > threshold).collect();
+    regressions.sort_by(|a, b| b.delta.total_cmp(&a.delta));
+    for r in &regressions {
+        println!(
+            "REGRESSION {} / {} / {}: {:.4} ms -> {:.4} ms ({:+.1}%, threshold {:+.1}%)",
+            r.sample.report,
+            r.sample.entry,
+            r.sample.metric,
+            r.baseline,
+            r.sample.value,
+            r.delta * 100.0,
+            threshold * 100.0,
+        );
+    }
+    if unmatched_current + unmatched_baseline > 0 {
+        println!(
+            "note: {unmatched_current} new and {unmatched_baseline} disappeared metric(s) were \
+             not compared (space changed)",
+        );
+    }
+    println!(
+        "compared {} metric(s): {} regression(s) beyond {:+.1}%",
+        compared.len(),
+        regressions.len(),
+        threshold * 100.0
+    );
+    if regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

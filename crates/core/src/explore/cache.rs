@@ -1,0 +1,290 @@
+//! The persistent, candidate-keyed result cache (`BENCH_cache.json`).
+//!
+//! Exploration results are deterministic functions of their
+//! [`CandidateKey`], so they can be shared across processes: repeated
+//! local sweeps and CI runs load the cache, serve overlapping candidates
+//! without re-simulating them, and merge-save what they measured. The
+//! file is a plain `axi4mlir-support` JSON document:
+//!
+//! ```json
+//! {
+//!   "schema": "axi4mlir-explore-cache/v1",
+//!   "entries": [
+//!     { "key": { "workload": "matmul 16x16x16", "accel": "v4_8",
+//!                "flow": "Cs", "tile": [16, 8, 8], "coalesce": false,
+//!                "specialized_copies": true, "seed": 7 },
+//!       "counters": { "host_cycles": 1, ... },
+//!       "task_clock_ms": 0.25, "verified": true }
+//!   ]
+//! }
+//! ```
+//!
+//! Entries are written in key order, so the file diffs cleanly. Counters
+//! are exact integers and `task_clock_ms` uses Rust's shortest-roundtrip
+//! float formatting, so a loaded entry is bit-identical to the measured
+//! one. Wall-clock pass timings are *not* persisted (they are
+//! host-machine noise, excluded from determinism comparisons); cache
+//! hits served from disk report empty pass timings.
+//!
+//! Robustness policy: a cache is disposable. A missing file loads as an
+//! empty cache, a file with a different schema tag is ignored (the CI
+//! cache key embeds the schema version, so this only happens across
+//! versions locally), and unparseable *entries* are skipped; only
+//! unreadable or syntactically broken files are reported as errors.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+use axi4mlir_sim::counters::PerfCounters;
+use axi4mlir_support::diag::Diagnostic;
+use axi4mlir_support::json::JsonValue;
+
+use super::space::{CandidateKey, OptionsPoint};
+
+/// The schema tag of the persistent cache document. Bump on any change
+/// to the key or payload layout (the CI cache key embeds this value).
+pub const CACHE_SCHEMA: &str = "axi4mlir-explore-cache/v1";
+
+/// The deterministic payload a cache entry stores.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct CachedEval {
+    pub counters: PerfCounters,
+    pub task_clock_ms: f64,
+    pub verified: bool,
+    /// Wall-clock pass timings; informational, never persisted.
+    pub pass_ms: Vec<(String, f64)>,
+}
+
+fn key_to_json(key: &CandidateKey) -> JsonValue {
+    JsonValue::object([
+        ("workload".to_owned(), key.workload.clone().into()),
+        ("accel".to_owned(), key.accel.clone().into()),
+        ("flow".to_owned(), key.flow.clone().into()),
+        (
+            "tile".to_owned(),
+            JsonValue::Array(vec![key.tile.0.into(), key.tile.1.into(), key.tile.2.into()]),
+        ),
+        ("coalesce".to_owned(), key.options.coalesce.into()),
+        ("specialized_copies".to_owned(), key.options.specialized_copies.into()),
+        ("seed".to_owned(), key.seed.into()),
+    ])
+}
+
+fn key_from_json(value: &JsonValue) -> Option<CandidateKey> {
+    let tile = value.get("tile")?.as_array()?;
+    let edge = |i: usize| tile.get(i).and_then(JsonValue::as_i64);
+    Some(CandidateKey {
+        workload: value.get("workload")?.as_str()?.to_owned(),
+        accel: value.get("accel")?.as_str()?.to_owned(),
+        flow: value.get("flow")?.as_str()?.to_owned(),
+        tile: (edge(0)?, edge(1)?, edge(2)?),
+        options: OptionsPoint {
+            coalesce: value.get("coalesce")?.as_bool()?,
+            specialized_copies: value.get("specialized_copies")?.as_bool()?,
+        },
+        seed: value.get("seed")?.as_u64()?,
+    })
+}
+
+type CounterField = (&'static str, fn(&PerfCounters) -> u64, fn(&mut PerfCounters, u64));
+
+/// `(name, getter, setter)` for every [`PerfCounters`] field, the single
+/// place the serialized counter list is spelled.
+const COUNTER_FIELDS: [CounterField; 13] = [
+    ("host_cycles", |c| c.host_cycles, |c, v| c.host_cycles = v),
+    ("device_cycles", |c| c.device_cycles, |c, v| c.device_cycles = v),
+    ("cache_references", |c| c.cache_references, |c, v| c.cache_references = v),
+    ("l1_misses", |c| c.l1_misses, |c, v| c.l1_misses = v),
+    ("l2_misses", |c| c.l2_misses, |c, v| c.l2_misses = v),
+    ("branch_instructions", |c| c.branch_instructions, |c, v| c.branch_instructions = v),
+    ("instructions", |c| c.instructions, |c, v| c.instructions = v),
+    ("uncached_accesses", |c| c.uncached_accesses, |c, v| c.uncached_accesses = v),
+    ("dma_bytes_to_accel", |c| c.dma_bytes_to_accel, |c, v| c.dma_bytes_to_accel = v),
+    ("dma_bytes_from_accel", |c| c.dma_bytes_from_accel, |c, v| c.dma_bytes_from_accel = v),
+    ("dma_transactions", |c| c.dma_transactions, |c, v| c.dma_transactions = v),
+    ("accel_compute_cycles", |c| c.accel_compute_cycles, |c, v| c.accel_compute_cycles = v),
+    ("accel_macs", |c| c.accel_macs, |c, v| c.accel_macs = v),
+];
+
+fn counters_to_json(counters: &PerfCounters) -> JsonValue {
+    JsonValue::object(
+        COUNTER_FIELDS.iter().map(|(name, get, _)| ((*name).to_owned(), get(counters).into())),
+    )
+}
+
+fn counters_from_json(value: &JsonValue) -> Option<PerfCounters> {
+    let mut counters = PerfCounters::new();
+    for (name, _, set) in &COUNTER_FIELDS {
+        set(&mut counters, value.get(name)?.as_u64()?);
+    }
+    Some(counters)
+}
+
+/// Serializes a cache snapshot in key order.
+pub(crate) fn render(entries: &HashMap<CandidateKey, CachedEval>) -> String {
+    let mut ordered: Vec<(&CandidateKey, &CachedEval)> = entries.iter().collect();
+    ordered.sort_by_key(|&(key, _)| key);
+    let entries = ordered
+        .into_iter()
+        .map(|(key, eval)| {
+            JsonValue::object([
+                ("key".to_owned(), key_to_json(key)),
+                ("counters".to_owned(), counters_to_json(&eval.counters)),
+                ("task_clock_ms".to_owned(), JsonValue::Float(eval.task_clock_ms)),
+                ("verified".to_owned(), eval.verified.into()),
+            ])
+        })
+        .collect();
+    let mut text = JsonValue::object([
+        ("schema".to_owned(), CACHE_SCHEMA.into()),
+        ("entries".to_owned(), JsonValue::Array(entries)),
+    ])
+    .to_json_pretty();
+    text.push('\n');
+    text
+}
+
+/// Parses a cache document; schema mismatches yield an empty cache.
+pub(crate) fn parse(text: &str) -> Result<HashMap<CandidateKey, CachedEval>, Diagnostic> {
+    let doc = JsonValue::parse(text)?;
+    let mut out = HashMap::new();
+    if doc.get("schema").and_then(JsonValue::as_str) != Some(CACHE_SCHEMA) {
+        return Ok(out);
+    }
+    for entry in doc.get("entries").and_then(JsonValue::as_array).unwrap_or(&[]) {
+        let Some(key) = entry.get("key").and_then(key_from_json) else { continue };
+        let Some(counters) = entry.get("counters").and_then(counters_from_json) else { continue };
+        let Some(task_clock_ms) = entry.get("task_clock_ms").and_then(JsonValue::as_f64) else {
+            continue;
+        };
+        let Some(verified) = entry.get("verified").and_then(JsonValue::as_bool) else { continue };
+        out.insert(key, CachedEval { counters, task_clock_ms, verified, pass_ms: Vec::new() });
+    }
+    Ok(out)
+}
+
+/// Loads a cache file; a missing file is an empty cache.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for unreadable or syntactically broken files.
+pub(crate) fn load(path: &Path) -> Result<HashMap<CandidateKey, CachedEval>, Diagnostic> {
+    match fs::read_to_string(path) {
+        Ok(text) => parse(&text)
+            .map_err(|d| Diagnostic::error(format!("{}: {}", path.display(), d.message))),
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(HashMap::new()),
+        Err(err) => Err(Diagnostic::error(format!("cannot read {}: {err}", path.display()))),
+    }
+}
+
+/// Merges `entries` over whatever the file already holds and writes the
+/// result (in-memory results win, though identical keys imply identical
+/// payloads). Returns the merged entry count.
+///
+/// The load/merge/write sequence is not atomic: sequential sharers (CI
+/// runs, repeated local sweeps) accumulate entries, but two processes
+/// saving *concurrently* can each miss the other's additions. That is
+/// acceptable for a cache — a lost entry is simply re-measured later.
+///
+/// # Errors
+///
+/// Propagates filesystem errors as [`Diagnostic`]s.
+pub(crate) fn save(
+    path: &Path,
+    entries: &HashMap<CandidateKey, CachedEval>,
+) -> Result<usize, Diagnostic> {
+    let mut merged = load(path).unwrap_or_default();
+    merged.extend(entries.iter().map(|(k, v)| (k.clone(), v.clone())));
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        fs::create_dir_all(dir)
+            .map_err(|err| Diagnostic::error(format!("cannot create {}: {err}", dir.display())))?;
+    }
+    fs::write(path, render(&merged))
+        .map_err(|err| Diagnostic::error(format!("cannot write {}: {err}", path.display())))?;
+    Ok(merged.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_key(seed: u64) -> CandidateKey {
+        CandidateKey {
+            workload: "matmul 16x16x16".to_owned(),
+            accel: "v4_8".to_owned(),
+            flow: "Cs".to_owned(),
+            tile: (16, 8, 8),
+            options: OptionsPoint::default(),
+            seed,
+        }
+    }
+
+    fn sample_eval() -> CachedEval {
+        CachedEval {
+            counters: PerfCounters {
+                host_cycles: 123,
+                device_cycles: 456,
+                dma_transactions: 7,
+                accel_macs: u64::MAX,
+                ..PerfCounters::new()
+            },
+            task_clock_ms: 0.1 + 0.2, // deliberately non-representable
+            verified: true,
+            pass_ms: vec![("annotate".to_owned(), 0.5)],
+        }
+    }
+
+    #[test]
+    fn cache_round_trips_bit_identically() {
+        let mut entries = HashMap::new();
+        entries.insert(sample_key(7), sample_eval());
+        entries.insert(sample_key(8), sample_eval());
+        let parsed = parse(&render(&entries)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        let back = &parsed[&sample_key(7)];
+        assert_eq!(back.counters, sample_eval().counters, "counters are exact");
+        assert_eq!(
+            back.task_clock_ms.to_bits(),
+            sample_eval().task_clock_ms.to_bits(),
+            "floats survive shortest-roundtrip formatting"
+        );
+        assert!(back.verified);
+        assert!(back.pass_ms.is_empty(), "wall-clock timings are not persisted");
+    }
+
+    #[test]
+    fn render_is_deterministic_regardless_of_insertion_order() {
+        let mut a = HashMap::new();
+        a.insert(sample_key(1), sample_eval());
+        a.insert(sample_key(2), sample_eval());
+        let mut b = HashMap::new();
+        b.insert(sample_key(2), sample_eval());
+        b.insert(sample_key(1), sample_eval());
+        assert_eq!(render(&a), render(&b));
+    }
+
+    #[test]
+    fn foreign_schemas_load_empty_and_broken_files_error() {
+        assert!(parse("{\"schema\": \"something-else/v9\", \"entries\": []}").unwrap().is_empty());
+        assert!(parse("not json").is_err());
+        // Unparseable entries are skipped, not fatal.
+        let text = "{\"schema\": \"axi4mlir-explore-cache/v1\", \"entries\": [ {\"key\": 5} ]}";
+        assert!(parse(text).unwrap().is_empty());
+    }
+
+    #[test]
+    fn save_merges_with_the_file_on_disk() {
+        let dir = std::env::temp_dir().join(format!("axi4mlir-cache-{}", std::process::id()));
+        let path = dir.join("BENCH_cache.json");
+        let mut first = HashMap::new();
+        first.insert(sample_key(1), sample_eval());
+        assert_eq!(save(&path, &first).unwrap(), 1);
+        let mut second = HashMap::new();
+        second.insert(sample_key(2), sample_eval());
+        assert_eq!(save(&path, &second).unwrap(), 2, "old entries survive the merge");
+        assert_eq!(load(&path).unwrap().len(), 2);
+        fs::remove_dir_all(&dir).ok();
+        assert!(load(&path).unwrap().is_empty(), "missing files are empty caches");
+    }
+}

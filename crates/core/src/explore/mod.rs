@@ -1,0 +1,559 @@
+//! Workload- and generation-generic design-space exploration (the §IV-C
+//! search, at scale).
+//!
+//! The paper's heuristics pick one `(flow, tile)` configuration
+//! analytically, for MatMul on the flexible v4 accelerator. This module
+//! *searches* instead — and is generic over what it searches:
+//!
+//! - a [`DesignSpace`] names the candidates: workload problem ×
+//!   accelerator generation/base × flow × tile × [`PipelineOptions`]
+//!   point. [`MatMulSpace`], [`BatchedSpace`], and [`ConvSpace`] ship
+//!   in-tree, each with its own legality/capacity rules (enumerated in
+//!   [`axi4mlir_heuristics::space`]) and an analytical traffic estimate
+//!   per candidate — the cost hook that lets [`Prune`] and the halving
+//!   ranking work on any space;
+//! - a [`Search`] strategy decides which candidates are measured:
+//!   [`Search::Exhaustive`] measures every survivor of the prune, while
+//!   [`Search::Halving`] ranks by the transfer model and promotes
+//!   survivors through rounds of increasing measurement fidelity
+//!   (proxy problems growing toward the full one);
+//! - the [`Explorer`] measures candidates on worker threads (one
+//!   recycled-SoC [`Session`] each; results are bit-identical to fresh
+//!   runs and independent of the worker count) behind a result cache
+//!   keyed by the structured [`CandidateKey`] — and the cache persists:
+//!   [`Explorer::with_cache_file`] / [`Explorer::save_cache`] load/merge/
+//!   save a `BENCH_cache.json` so repeated sweeps and CI runs share work.
+//!
+//! [`PipelineOptions`]: crate::options::PipelineOptions
+//! [`Session`]: crate::driver::Session
+
+mod cache;
+pub mod search;
+pub mod space;
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use axi4mlir_sim::counters::PerfCounters;
+use axi4mlir_support::diag::Diagnostic;
+
+use crate::driver::Session;
+
+use cache::CachedEval;
+pub use cache::CACHE_SCHEMA;
+pub use search::{HalvingSpec, Search};
+pub use space::{
+    AccelInstance, BatchedSpace, Candidate, CandidateKey, ConvSpace, DesignSpace, Fidelity,
+    MatMulSpace, MatMulVersion, OptionsPoint, Realization,
+};
+
+// The PR-2 MatMul-only entry points, kept as thin wrappers.
+pub use compat::ExploreSpec;
+
+/// How aggressively the analytical model prunes the space before any
+/// simulation runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Prune {
+    /// Measure every legal candidate (brute force).
+    None,
+    /// Keep the `n` candidates with the smallest estimated traffic.
+    KeepBest(usize),
+    /// Keep candidates whose estimated traffic is within `factor`× of the
+    /// smallest estimate (`factor >= 1.0`).
+    WithinFactor(f64),
+}
+
+/// Applies a [`Prune`] strategy to any space's candidates, preserving the
+/// enumeration order of the survivors. Returns the kept candidates and
+/// how many were pruned away.
+pub fn prune(candidates: Vec<Candidate>, strategy: Prune) -> (Vec<Candidate>, usize) {
+    let total = candidates.len();
+    let kept: Vec<Candidate> = match strategy {
+        Prune::None => candidates,
+        Prune::KeepBest(n) => {
+            let mut ranked: Vec<usize> = (0..candidates.len()).collect();
+            ranked.sort_by_key(|&i| {
+                (candidates[i].estimate.words_total(), candidates[i].estimate.transactions, i)
+            });
+            let mut keep = vec![false; candidates.len()];
+            for &i in ranked.iter().take(n) {
+                keep[i] = true;
+            }
+            candidates.into_iter().zip(keep).filter_map(|(c, k)| k.then_some(c)).collect()
+        }
+        Prune::WithinFactor(factor) => {
+            let best = candidates.iter().map(|c| c.estimate.words_total()).min().unwrap_or(0);
+            let cutoff = (best as f64 * factor.max(1.0)).ceil() as u64;
+            candidates.into_iter().filter(|c| c.estimate.words_total() <= cutoff).collect()
+        }
+    };
+    let pruned_out = total - kept.len();
+    (kept, pruned_out)
+}
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// The candidate (structured key plus analytical estimate).
+    pub candidate: Candidate,
+    /// Simulator counters for the whole run.
+    pub counters: PerfCounters,
+    /// Simulated task-clock in milliseconds (the ranking metric).
+    pub task_clock_ms: f64,
+    /// Whether the run matched the reference kernel.
+    pub verified: bool,
+    /// Work (MACs) of the measured problem — equals the full problem for
+    /// exhaustive sweeps; proxy rounds of a halving search measure less.
+    pub work: u64,
+    /// Wall-clock compile time per pass (informational: host wall-clock,
+    /// not simulated, and excluded from determinism comparisons; empty
+    /// for results served from a persisted cache).
+    pub pass_ms: Vec<(String, f64)>,
+    /// Whether this result came out of the explorer's cache.
+    pub from_cache: bool,
+}
+
+impl Evaluation {
+    /// The deterministic part of the evaluation: everything except the
+    /// wall-clock pass timings and the cache provenance. Two sweeps of the
+    /// same space must agree on this tuple regardless of worker count.
+    pub fn deterministic_key(&self) -> (CandidateKey, PerfCounters, u64, bool) {
+        (self.candidate.key.clone(), self.counters, self.task_clock_ms.to_bits(), self.verified)
+    }
+}
+
+/// What one exploration produced.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// The explored space ([`DesignSpace::describe`]).
+    pub space: String,
+    /// The workload kind (`matmul`, `batched`, `conv`).
+    pub workload: String,
+    /// The search strategy label (`exhaustive`, `halving`).
+    pub search: String,
+    /// Legal candidates before pruning.
+    pub space_size: usize,
+    /// Candidates removed by the analytical prune.
+    pub pruned_out: usize,
+    /// Measurements served from the result cache (including the proxy
+    /// rounds of a halving search).
+    pub cache_hits: usize,
+    /// Simulator runs this exploration actually performed.
+    pub sims_performed: usize,
+    /// The measured candidates: every survivor for an exhaustive search,
+    /// the finalists for a halving search.
+    pub evaluations: Vec<Evaluation>,
+    /// The space's analytical heuristic pick (if one exists).
+    pub heuristic: Option<Candidate>,
+    /// The heuristic pick's own measurement.
+    pub heuristic_eval: Option<Evaluation>,
+}
+
+impl ExploreReport {
+    /// The measured optimum: smallest task-clock, first in measurement
+    /// order among exact ties (deterministic across worker counts).
+    pub fn optimum(&self) -> Option<&Evaluation> {
+        self.evaluations.iter().min_by(|a, b| a.task_clock_ms.total_cmp(&b.task_clock_ms))
+    }
+
+    /// How far the analytical heuristic lands from the explored optimum:
+    /// `heuristic ms / optimum ms` (1.0 = the heuristic found the
+    /// optimum; 1.25 = the heuristic is 25% slower).
+    pub fn heuristic_gap(&self) -> Option<f64> {
+        let h = self.heuristic_eval.as_ref()?;
+        let o = self.optimum()?;
+        Some(h.task_clock_ms / o.task_clock_ms)
+    }
+}
+
+/// A reusable exploration engine with a cross-sweep, persistable result
+/// cache.
+///
+/// One `Explorer` can serve many spaces; configurations already measured
+/// (same [`CandidateKey`], which spells out the problem, accelerator
+/// instantiation, flow, tile, options point, and seed) are returned from
+/// the cache instead of re-simulated — within a process, and across
+/// processes via [`Explorer::with_cache_file`] / [`Explorer::save_cache`].
+#[derive(Default)]
+pub struct Explorer {
+    cache: Mutex<HashMap<CandidateKey, CachedEval>>,
+    evals_performed: AtomicUsize,
+}
+
+impl Explorer {
+    /// A fresh engine with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine warmed from a persisted `BENCH_cache.json` (a missing
+    /// file or a file with a foreign schema yields an empty cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] for unreadable or syntactically broken
+    /// cache files.
+    pub fn with_cache_file(path: &Path) -> Result<Self, Diagnostic> {
+        Ok(Self { cache: Mutex::new(cache::load(path)?), evals_performed: AtomicUsize::new(0) })
+    }
+
+    /// Merges this engine's results over `path` and writes the combined
+    /// cache back (load/merge/save, so *sequential* sharers accumulate
+    /// entries; concurrent savers may each miss the other's additions,
+    /// which a cache tolerates — lost entries are re-measured later).
+    /// Returns the merged entry count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors as [`Diagnostic`]s.
+    pub fn save_cache(&self, path: &Path) -> Result<usize, Diagnostic> {
+        cache::save(path, &self.cache.lock().expect("explorer cache poisoned"))
+    }
+
+    /// How many simulator runs this engine has actually performed (cache
+    /// hits excluded).
+    pub fn evals_performed(&self) -> usize {
+        self.evals_performed.load(Ordering::Relaxed)
+    }
+
+    /// How many results the cache currently holds.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("explorer cache poisoned").len()
+    }
+
+    /// Runs one PR-2-style MatMul exploration (see [`ExploreSpec`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Explorer::explore_space`].
+    pub fn explore(&self, spec: &ExploreSpec) -> Result<ExploreReport, Diagnostic> {
+        self.explore_space(&spec.space(), spec.prune, &Search::Exhaustive, spec.workers)
+    }
+
+    /// Runs one exploration of any space: enumerate, prune, search
+    /// (measuring in parallel through the cache), and relate the space's
+    /// heuristic pick to the measured optimum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration diagnostics, and the first failing
+    /// candidate's [`Diagnostic`] (by measurement order, independent of
+    /// the worker count).
+    pub fn explore_space(
+        &self,
+        space: &dyn DesignSpace,
+        prune_strategy: Prune,
+        search: &Search,
+        workers: usize,
+    ) -> Result<ExploreReport, Diagnostic> {
+        let all = space.enumerate()?;
+        if all.is_empty() {
+            return Err(Diagnostic::error(format!(
+                "design space for {} is empty",
+                space.describe()
+            )));
+        }
+        let space_size = all.len();
+        let (candidates, pruned_out) = prune(all, prune_strategy);
+        let sims_before = self.evals_performed();
+
+        let (evaluations, proxy_hits) = match search {
+            Search::Exhaustive => {
+                (self.measure_set(space, &candidates, Fidelity::Full, workers)?, 0)
+            }
+            Search::Halving(spec) => self.run_halving(space, candidates, spec, workers)?,
+        };
+        let cache_hits = proxy_hits + evaluations.iter().filter(|e| e.from_cache).count();
+
+        // The heuristic pick, measured through the same cache path. Its
+        // configuration is usually one of the measured candidates, so this
+        // is a cache hit unless pruning or halving dropped it.
+        let heuristic = space.heuristic();
+        let heuristic_eval = match &heuristic {
+            Some(choice) => self
+                .measure_set(space, std::slice::from_ref(choice), Fidelity::Full, 1)?
+                .into_iter()
+                .next(),
+            None => None,
+        };
+
+        Ok(ExploreReport {
+            space: space.describe(),
+            workload: space.workload_kind().to_owned(),
+            search: search.label().to_owned(),
+            space_size,
+            pruned_out,
+            cache_hits,
+            sims_performed: self.evals_performed() - sims_before,
+            evaluations,
+            heuristic,
+            heuristic_eval,
+        })
+    }
+
+    /// Measures every candidate at one fidelity, fanning cache misses out
+    /// over `workers` threads. Results come back in candidate order.
+    pub(crate) fn measure_set(
+        &self,
+        space: &dyn DesignSpace,
+        candidates: &[Candidate],
+        fidelity: Fidelity,
+        workers: usize,
+    ) -> Result<Vec<Evaluation>, Diagnostic> {
+        // Resolve each candidate's fidelity-adjusted identity and work,
+        // then partition into cache hits and pending measurements.
+        let mut meta: Vec<(CandidateKey, u64)> = Vec::with_capacity(candidates.len());
+        for candidate in candidates {
+            let realized = space.realize(candidate, fidelity)?;
+            meta.push((realized.key, realized.work));
+        }
+        let mut slots: Vec<Option<Evaluation>> = Vec::with_capacity(candidates.len());
+        let mut pending: Vec<usize> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("explorer cache poisoned");
+            for (i, (key, work)) in meta.iter().enumerate() {
+                match cache.get(key) {
+                    Some(hit) => {
+                        slots.push(Some(hit.to_evaluation(candidates[i].clone(), *work, true)));
+                    }
+                    None => {
+                        slots.push(None);
+                        pending.push(i);
+                    }
+                }
+            }
+        }
+
+        // Measure the pending candidates: a shared work index, one
+        // recycled-SoC session per worker.
+        let workers = workers.clamp(1, pending.len().max(1));
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, Result<CachedEval, Diagnostic>)>> =
+            Mutex::new(Vec::with_capacity(pending.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut session = Session::for_sweep();
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&index) = pending.get(slot) else { break };
+                        let result = evaluate(&mut session, space, &candidates[index], fidelity);
+                        done.lock().expect("result sink poisoned").push((index, result));
+                    }
+                });
+            }
+        });
+
+        let mut results = done.into_inner().expect("result sink poisoned");
+        results.sort_by_key(|(index, _)| *index);
+        let mut cache = self.cache.lock().expect("explorer cache poisoned");
+        for (index, result) in results {
+            // On error, report the earliest failing candidate (the sort
+            // above makes this independent of scheduling).
+            let eval = result?;
+            let (key, work) = &meta[index];
+            cache.insert(key.clone(), eval.clone());
+            self.evals_performed.fetch_add(1, Ordering::Relaxed);
+            slots[index] = Some(eval.to_evaluation(candidates[index].clone(), *work, false));
+        }
+        Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
+    }
+}
+
+impl CachedEval {
+    fn to_evaluation(&self, candidate: Candidate, work: u64, from_cache: bool) -> Evaluation {
+        Evaluation {
+            candidate,
+            counters: self.counters,
+            task_clock_ms: self.task_clock_ms,
+            verified: self.verified,
+            work,
+            pass_ms: self.pass_ms.clone(),
+            from_cache,
+        }
+    }
+}
+
+/// Compiles and runs one realized candidate on `session`'s recycled SoC.
+fn evaluate(
+    session: &mut Session,
+    space: &dyn DesignSpace,
+    candidate: &Candidate,
+    fidelity: Fidelity,
+) -> Result<CachedEval, Diagnostic> {
+    let realized = space.realize(candidate, fidelity)?;
+    let report = session.run(realized.workload.as_ref(), &realized.plan)?;
+    if !report.verified {
+        return Err(Diagnostic::error(format!(
+            "candidate {} failed verification on {}",
+            candidate.label(),
+            realized.key.workload
+        )));
+    }
+    Ok(CachedEval {
+        counters: report.counters,
+        task_clock_ms: report.task_clock_ms,
+        verified: report.verified,
+        pass_ms: report.pass_timings.iter().map(|t| (t.pass.clone(), t.millis)).collect(),
+    })
+}
+
+mod compat {
+    //! The PR-2 MatMul-only exploration request, kept as a thin facade
+    //! over [`MatMulSpace`] so existing callers and tests keep working.
+
+    use axi4mlir_accelerators::matmul::V4_CAPACITY_WORDS;
+    use axi4mlir_config::FlowStrategy;
+    use axi4mlir_workloads::matmul::MatMulProblem;
+
+    use super::space::{AccelInstance, MatMulSpace, OptionsPoint};
+    use super::Prune;
+
+    /// One MatMul exploration request: the problem, the v4 space, and how
+    /// to run it. For multi-generation, multi-workload, or
+    /// options-swept spaces, build a
+    /// [`DesignSpace`](super::DesignSpace) directly.
+    #[derive(Clone, Debug)]
+    pub struct ExploreSpec {
+        /// The GEMM to explore.
+        pub problem: MatMulProblem,
+        /// The v4 base (divisibility) size candidate tiles are multiples of.
+        pub base: i64,
+        /// Accelerator tile-memory budget in words.
+        pub capacity_words: u64,
+        /// The dataflow strategies to consider.
+        pub flows: Vec<FlowStrategy>,
+        /// Analytical pruning applied before simulation.
+        pub prune: Prune,
+        /// Worker threads measuring candidates (clamped to at least 1).
+        pub workers: usize,
+        /// Data seed for every measurement.
+        pub seed: u64,
+    }
+
+    impl ExploreSpec {
+        /// A full-space (no pruning) exploration of `problem` on the
+        /// standard v4 accelerator, single-threaded.
+        pub fn new(problem: MatMulProblem) -> Self {
+            Self {
+                problem,
+                base: 16,
+                capacity_words: V4_CAPACITY_WORDS,
+                flows: FlowStrategy::all().to_vec(),
+                prune: Prune::None,
+                workers: 1,
+                seed: 0xD5E,
+            }
+        }
+
+        /// Overrides the base size.
+        #[must_use]
+        pub fn base(mut self, base: i64) -> Self {
+            self.base = base;
+            self
+        }
+
+        /// Overrides the capacity budget.
+        #[must_use]
+        pub fn capacity_words(mut self, capacity_words: u64) -> Self {
+            self.capacity_words = capacity_words;
+            self
+        }
+
+        /// Overrides the pruning strategy.
+        #[must_use]
+        pub fn prune(mut self, prune: Prune) -> Self {
+            self.prune = prune;
+            self
+        }
+
+        /// Overrides the worker count.
+        #[must_use]
+        pub fn workers(mut self, workers: usize) -> Self {
+            self.workers = workers;
+            self
+        }
+
+        /// Overrides the data seed.
+        #[must_use]
+        pub fn seed(mut self, seed: u64) -> Self {
+            self.seed = seed;
+            self
+        }
+
+        /// The [`MatMulSpace`] this spec describes.
+        pub fn space(&self) -> MatMulSpace {
+            let mut space = MatMulSpace::new(self.problem)
+                .accels(vec![AccelInstance::v4(self.base)])
+                .capacity_words(self.capacity_words)
+                .options_axis(vec![OptionsPoint::default()])
+                .seed(self.seed);
+            space.flows = self.flows.clone();
+            space
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi4mlir_workloads::matmul::MatMulProblem;
+
+    fn small_spec() -> ExploreSpec {
+        ExploreSpec::new(MatMulProblem::new(16, 16, 16)).base(8).seed(7)
+    }
+
+    fn small_candidates() -> Vec<Candidate> {
+        small_spec().space().enumerate().unwrap()
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_capacity_filtered() {
+        let a = small_candidates();
+        let b = small_candidates();
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+        // 2 edges per dim (8, 16), 4 flows.
+        assert_eq!(a.len(), 2 * 2 * 2 * 4);
+        let tight = small_spec().capacity_words(3 * 8 * 8);
+        assert_eq!(tight.space().enumerate().unwrap().len(), 4, "only the 8x8x8 tile fits");
+    }
+
+    #[test]
+    fn keep_best_prunes_to_n_preserving_order() {
+        let all = small_candidates();
+        let (kept, dropped) = prune(all.clone(), Prune::KeepBest(5));
+        assert_eq!(kept.len(), 5);
+        assert_eq!(dropped, all.len() - 5);
+        // Survivors appear in the same relative order as the enumeration.
+        let mut cursor = 0;
+        for c in &kept {
+            let at = all[cursor..].iter().position(|x| x == c).expect("kept ⊆ all");
+            cursor += at + 1;
+        }
+        // The best estimate always survives.
+        let best = all.iter().map(|c| c.estimate.words_total()).min().unwrap();
+        assert!(kept.iter().any(|c| c.estimate.words_total() == best));
+    }
+
+    #[test]
+    fn within_factor_keeps_everything_at_infinity_and_best_at_one() {
+        let all = small_candidates();
+        let (kept, _) = prune(all.clone(), Prune::WithinFactor(f64::INFINITY));
+        assert_eq!(kept.len(), all.len());
+        let best = all.iter().map(|c| c.estimate.words_total()).min().unwrap();
+        let (kept, _) = prune(all, Prune::WithinFactor(1.0));
+        assert!(!kept.is_empty());
+        assert!(kept.iter().all(|c| c.estimate.words_total() == best));
+    }
+
+    #[test]
+    fn empty_space_is_a_diagnostic() {
+        // Capacity too small for any tile, including the degenerate one.
+        let spec = small_spec().capacity_words(1);
+        let err = Explorer::new().explore(&spec).unwrap_err();
+        assert!(err.message.contains("empty"), "{}", err.message);
+    }
+}

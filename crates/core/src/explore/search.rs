@@ -1,0 +1,98 @@
+//! Search strategies over a design space.
+//!
+//! Exhaustive enumerate-and-prune measures every survivor at full
+//! fidelity — exact, but the space explodes for non-square problems and
+//! multi-generation sweeps. Successive halving spends most measurements
+//! on cheap *proxy* problems instead: candidates are ranked by the
+//! analytical transfer model, then promoted through rounds in which the
+//! surviving fraction shrinks by `eta` while the measurement fidelity
+//! (the proxy problem size) doubles, until only the finalists are
+//! measured on the full problem. Proxy measurements of differently-sized
+//! proxies are compared by *time per MAC*, not raw time, so tiles of
+//! different shapes race fairly.
+//!
+//! Every proxy measurement flows through the same candidate-keyed cache
+//! as full measurements (proxy realizations carry their proxy problem in
+//! the key), so repeated halving runs — and spaces whose proxies
+//! degenerate to the full problem — re-simulate nothing.
+
+use axi4mlir_support::diag::Diagnostic;
+
+use super::space::{Candidate, DesignSpace, Fidelity};
+use super::{Evaluation, Explorer};
+
+/// Parameters of the successive-halving search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HalvingSpec {
+    /// Fraction of survivors kept per round (`1/eta`); clamped to ≥ 2.
+    pub eta: usize,
+    /// Candidates promoted to the final full-fidelity round (the search
+    /// stops cutting once the field is this small); clamped to ≥ 1.
+    pub finalists: usize,
+    /// Proxy fidelity of the first measured round, in tiles per
+    /// dimension; doubles every round. Clamped to ≥ 1.
+    pub start_level: u8,
+}
+
+impl Default for HalvingSpec {
+    fn default() -> Self {
+        Self { eta: 2, finalists: 4, start_level: 2 }
+    }
+}
+
+/// Which candidates a sweep measures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Search {
+    /// Measure every candidate surviving the prune, at full fidelity.
+    Exhaustive,
+    /// Successive halving over the transfer-model ranking.
+    Halving(HalvingSpec),
+}
+
+impl Search {
+    /// The report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Search::Exhaustive => "exhaustive",
+            Search::Halving(_) => "halving",
+        }
+    }
+}
+
+impl Explorer {
+    /// Runs the successive-halving search; returns the full-fidelity
+    /// finalist evaluations and the number of proxy-round cache hits.
+    pub(crate) fn run_halving(
+        &self,
+        space: &dyn DesignSpace,
+        mut survivors: Vec<Candidate>,
+        spec: &HalvingSpec,
+        workers: usize,
+    ) -> Result<(Vec<Evaluation>, usize), Diagnostic> {
+        let eta = spec.eta.max(2);
+        let finalists = spec.finalists.max(1);
+        // Round 0 is free: rank by the analytical transfer model
+        // (stable, so enumeration order breaks ties).
+        survivors.sort_by_key(|c| (c.estimate.words_total(), c.estimate.transactions));
+
+        let mut level = spec.start_level.max(1);
+        let mut proxy_hits = 0;
+        while survivors.len() > finalists {
+            let evals = self.measure_set(space, &survivors, Fidelity::Proxy { level }, workers)?;
+            proxy_hits += evals.iter().filter(|e| e.from_cache).count();
+            // Promote the fastest per unit of work (proxies differ in
+            // size); ties keep the round's incoming rank.
+            let mut order: Vec<usize> = (0..survivors.len()).collect();
+            order.sort_by(|&a, &b| {
+                let throughput = |e: &Evaluation| e.task_clock_ms / e.work.max(1) as f64;
+                throughput(&evals[a]).total_cmp(&throughput(&evals[b])).then(a.cmp(&b))
+            });
+            order.truncate(finalists.max(survivors.len().div_ceil(eta)));
+            survivors = order.into_iter().map(|i| survivors[i].clone()).collect();
+            level = level.saturating_mul(2);
+        }
+
+        let finals = self.measure_set(space, &survivors, Fidelity::Full, workers)?;
+        Ok((finals, proxy_hits))
+    }
+}

@@ -1,0 +1,743 @@
+//! The design-space abstraction: what the explorer searches.
+//!
+//! A [`DesignSpace`] names a set of [`Candidate`]s — points combining a
+//! workload problem, an accelerator instantiation, a dataflow, a tile,
+//! and the tunable [`PipelineOptions`] axis — and knows how to *realize*
+//! any of them into a runnable `(Workload, CompilePlan)` pair for the
+//! [`Session`](crate::driver::Session) layer. Three spaces ship in-tree:
+//!
+//! - [`MatMulSpace`]: the §IV-C space, generalized from "v4 tiles only"
+//!   to any mix of Table I generations (v1–v3 contribute their fixed
+//!   square tile, v4 the full [`candidate_edges`] search);
+//! - [`BatchedSpace`]: the MatMul space applied to a batch of independent
+//!   GEMMs;
+//! - [`ConvSpace`]: one §IV-D layer; its geometric point is fixed by the
+//!   layer, so the space is the `PipelineOptions` axis.
+//!
+//! Candidates are identified by a structured [`CandidateKey`] — the
+//! explorer's cache key, which distinguishes every axis (including the
+//! options and the accelerator generation, which the PR-2 string key
+//! conflated) and round-trips through the persistent result cache.
+//!
+//! [`candidate_edges`]: axi4mlir_heuristics::candidate_edges
+
+use axi4mlir_config::{AcceleratorConfig, AcceleratorPreset, FlowStrategy};
+use axi4mlir_heuristics::space::{batched_points, conv_point, matmul_points, SpacePoint};
+use axi4mlir_heuristics::{best_choice, instantiation_base, ConvShapeEstimate, TransferEstimate};
+use axi4mlir_support::diag::Diagnostic;
+use axi4mlir_workloads::batched::BatchedMatMulProblem;
+use axi4mlir_workloads::matmul::MatMulProblem;
+use axi4mlir_workloads::resnet::ConvLayer;
+
+pub use axi4mlir_accelerators::matmul::MatMulVersion;
+pub use axi4mlir_heuristics::space::AccelInstance;
+
+use crate::driver::{BatchedMatMulWorkload, CompilePlan, ConvWorkload, MatMulWorkload, Workload};
+use crate::options::PipelineOptions;
+
+/// The tunable [`PipelineOptions`] axis of a design space: the knobs that
+/// change generated-driver behavior without changing the result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OptionsPoint {
+    /// Batch same-site transfers into one DMA transaction (§V).
+    pub coalesce: bool,
+    /// Use the specialized (`memcpy`-style) staging copies.
+    pub specialized_copies: bool,
+}
+
+impl Default for OptionsPoint {
+    /// The paper's headline configuration: specialized copies, no
+    /// coalescing.
+    fn default() -> Self {
+        Self { coalesce: false, specialized_copies: true }
+    }
+}
+
+impl OptionsPoint {
+    /// The full axis: all four combinations, default first.
+    pub fn axis() -> Vec<OptionsPoint> {
+        vec![
+            OptionsPoint::default(),
+            OptionsPoint { coalesce: true, specialized_copies: true },
+            OptionsPoint { coalesce: false, specialized_copies: false },
+            OptionsPoint { coalesce: true, specialized_copies: false },
+        ]
+    }
+
+    /// Applies this point onto a base [`PipelineOptions`].
+    pub fn apply(&self, mut options: PipelineOptions) -> PipelineOptions {
+        options.coalesce_transfers = self.coalesce;
+        options.specialized_copies = self.specialized_copies;
+        options
+    }
+
+    /// Label suffix: empty for the default point, otherwise the deviating
+    /// knobs (`+co` coalescing on, `-sc` specialized copies off).
+    pub fn suffix(&self) -> String {
+        let mut out = String::new();
+        if self.coalesce {
+            out.push_str(" +co");
+        }
+        if !self.specialized_copies {
+            out.push_str(" -sc");
+        }
+        out
+    }
+}
+
+/// The structured identity of one candidate — the explorer's cache key.
+///
+/// Every axis is a separate field: two candidates differing in *any* of
+/// workload (problem dims included), accelerator instantiation, flow,
+/// tile, pipeline options, or data seed get distinct keys.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CandidateKey {
+    /// Workload kind and problem, e.g. `matmul 16x16x16`,
+    /// `batched 8x8x8 x3`, `conv 10_64_3_16_1`.
+    pub workload: String,
+    /// Accelerator instantiation, e.g. `v4_16`, `v2_8`, `conv2d`.
+    pub accel: String,
+    /// Dataflow short name (`Ns`/`As`/`Bs`/`Cs`, `FOs` for conv).
+    pub flow: String,
+    /// The `(tM, tN, tK)` tile; `(0, 0, 0)` for spaces without a tile
+    /// axis (conv).
+    pub tile: (i64, i64, i64),
+    /// The tunable pipeline-options point.
+    pub options: OptionsPoint,
+    /// Data seed of the measurement.
+    pub seed: u64,
+}
+
+impl CandidateKey {
+    /// The per-space entry label: accelerator, flow, tile (when the space
+    /// has a tile axis), and any non-default options.
+    pub fn label(&self) -> String {
+        let tile = if self.tile == (0, 0, 0) {
+            String::new()
+        } else {
+            format!(" {} {} {}", self.tile.0, self.tile.1, self.tile.2)
+        };
+        format!("{} {}{}{}", self.accel, self.flow, tile, self.options.suffix())
+    }
+}
+
+/// One point of a design space: its identity plus the analytical traffic
+/// estimate (the cost hook pruning and halving rank on).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Candidate {
+    /// Structured identity (also the cache key).
+    pub key: CandidateKey,
+    /// Estimated traffic under this candidate.
+    pub estimate: TransferEstimate,
+}
+
+impl Candidate {
+    /// The entry label (see [`CandidateKey::label`]).
+    pub fn label(&self) -> String {
+        self.key.label()
+    }
+}
+
+/// How faithfully a candidate is measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fidelity {
+    /// A proxy problem capped at `level` tiles per dimension — cheap,
+    /// rank-preserving enough to steer successive halving. Spaces without
+    /// a cheaper proxy realize this identically to [`Fidelity::Full`]
+    /// (the shared cache key then makes proxy rounds free).
+    Proxy {
+        /// Tiles per dimension the proxy problem keeps (at least 1).
+        level: u8,
+    },
+    /// The full problem.
+    Full,
+}
+
+/// A realized candidate: what the measurement engine runs.
+pub struct Realization {
+    /// Identity of the *realized* measurement (fidelity-adjusted: a proxy
+    /// realization carries the proxy problem in its `workload` field, so
+    /// proxy and full measurements cache separately).
+    pub key: CandidateKey,
+    /// The workload to run.
+    pub workload: Box<dyn Workload>,
+    /// The compile plan to run it under.
+    pub plan: CompilePlan,
+    /// Work (MACs) of the realized problem — the normalizer that makes
+    /// proxy measurements of differently-sized proxies comparable.
+    pub work: u64,
+}
+
+/// A searchable design space: an enumerable candidate set with an
+/// analytical cost per candidate, plus the recipe turning any candidate
+/// into a runnable workload/plan pair.
+pub trait DesignSpace: Sync {
+    /// Human-readable identity for reports and diagnostics.
+    fn describe(&self) -> String;
+
+    /// The workload kind (`matmul`, `batched`, `conv`).
+    fn workload_kind(&self) -> &'static str;
+
+    /// Every legal candidate in a fixed, deterministic order, each with
+    /// its analytical estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] when the space is structurally illegal
+    /// (e.g. a conv layer exceeding the device buffer capacities).
+    fn enumerate(&self) -> Result<Vec<Candidate>, Diagnostic>;
+
+    /// Realizes one candidate at a fidelity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] for candidates that do not belong to this
+    /// space (e.g. an unparseable accelerator name from a foreign cache).
+    fn realize(&self, candidate: &Candidate, fidelity: Fidelity)
+        -> Result<Realization, Diagnostic>;
+
+    /// The analytical heuristic pick this space's cost model would make,
+    /// when it has one — measured alongside the sweep so reports can
+    /// state the heuristic-vs-optimum gap.
+    fn heuristic(&self) -> Option<Candidate> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// MatMul
+// ---------------------------------------------------------------------
+
+/// The MatMul design space: one problem swept over accelerator
+/// instantiations × flows × tiles × pipeline options.
+#[derive(Clone, Debug)]
+pub struct MatMulSpace {
+    /// The GEMM to explore.
+    pub problem: MatMulProblem,
+    /// Accelerator instantiations to consider, in order.
+    pub accels: Vec<AccelInstance>,
+    /// Tile-memory budget for flexible (v4) candidates, in words.
+    pub capacity_words: u64,
+    /// Flows to consider (intersected with each generation's legal set).
+    pub flows: Vec<FlowStrategy>,
+    /// Pipeline-options points to consider.
+    pub options_axis: Vec<OptionsPoint>,
+    /// Data seed for every measurement.
+    pub seed: u64,
+}
+
+impl MatMulSpace {
+    /// The standard space: the flexible v4 accelerator with base 16, all
+    /// flows, default options.
+    pub fn new(problem: MatMulProblem) -> Self {
+        Self {
+            problem,
+            accels: vec![AccelInstance::v4(16)],
+            capacity_words: axi4mlir_accelerators::matmul::V4_CAPACITY_WORDS,
+            flows: FlowStrategy::all().to_vec(),
+            options_axis: vec![OptionsPoint::default()],
+            seed: 0xD5E,
+        }
+    }
+
+    /// Overrides the accelerator instantiations.
+    #[must_use]
+    pub fn accels(mut self, accels: Vec<AccelInstance>) -> Self {
+        self.accels = accels;
+        self
+    }
+
+    /// Overrides the capacity budget.
+    #[must_use]
+    pub fn capacity_words(mut self, capacity_words: u64) -> Self {
+        self.capacity_words = capacity_words;
+        self
+    }
+
+    /// Overrides the options axis.
+    #[must_use]
+    pub fn options_axis(mut self, options_axis: Vec<OptionsPoint>) -> Self {
+        self.options_axis = options_axis;
+        self
+    }
+
+    /// Overrides the data seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn dims(&self) -> (i64, i64, i64) {
+        (self.problem.m, self.problem.n, self.problem.k)
+    }
+
+    fn workload_label(problem: MatMulProblem) -> String {
+        format!("matmul {problem}")
+    }
+}
+
+/// Expands geometric points by an options axis into keyed candidates.
+fn keyed(
+    points: Vec<SpacePoint>,
+    workload: &str,
+    options_axis: &[OptionsPoint],
+    seed: u64,
+) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(points.len() * options_axis.len().max(1));
+    for point in points {
+        for &options in options_axis {
+            out.push(Candidate {
+                key: CandidateKey {
+                    workload: workload.to_owned(),
+                    accel: point.accel.label(),
+                    flow: point.flow.short_name().to_owned(),
+                    tile: point.tile,
+                    options,
+                    seed,
+                },
+                estimate: point.estimate,
+            });
+        }
+    }
+    out
+}
+
+/// Parses the structured accelerator/flow fields of a MatMul-shaped key.
+fn matmul_key_target(key: &CandidateKey) -> Result<(AccelInstance, FlowStrategy), Diagnostic> {
+    let accel = AccelInstance::parse(&key.accel).ok_or_else(|| {
+        Diagnostic::error(format!("candidate accelerator `{}` is not a MatMul instance", key.accel))
+    })?;
+    let flow = FlowStrategy::from_short_name(&key.flow)
+        .ok_or_else(|| Diagnostic::error(format!("unknown flow `{}`", key.flow)))?;
+    Ok((accel, flow))
+}
+
+/// The accelerator configuration a MatMul candidate instantiates.
+fn matmul_config(
+    accel: AccelInstance,
+    tile: (i64, i64, i64),
+    flow: FlowStrategy,
+) -> AcceleratorConfig {
+    let (tm, tn, tk) = tile;
+    let config = match accel.version {
+        MatMulVersion::V1 => AcceleratorConfig::preset(AcceleratorPreset::V1 { size: accel.size }),
+        MatMulVersion::V2 => AcceleratorConfig::preset(AcceleratorPreset::V2 { size: accel.size }),
+        MatMulVersion::V3 => AcceleratorConfig::preset(AcceleratorPreset::V3 { size: accel.size }),
+        MatMulVersion::V4 => {
+            AcceleratorConfig::preset_v4_with_tile(instantiation_base(accel.size, tile), tm, tn, tk)
+        }
+    };
+    config.with_selected_flow(flow.short_name())
+}
+
+/// The proxy problem of a tile at `level` tiles per dimension: each
+/// dimension capped at `level * tile_edge` (a multiple of the tile, so
+/// divisibility is preserved).
+fn proxy_problem(problem: MatMulProblem, tile: (i64, i64, i64), level: u8) -> MatMulProblem {
+    let level = i64::from(level.max(1));
+    MatMulProblem::new(
+        problem.m.min(level * tile.0),
+        problem.n.min(level * tile.1),
+        problem.k.min(level * tile.2),
+    )
+}
+
+impl DesignSpace for MatMulSpace {
+    fn describe(&self) -> String {
+        let accels: Vec<String> = self.accels.iter().map(AccelInstance::label).collect();
+        format!("matmul {} on {}", self.problem, accels.join("+"))
+    }
+
+    fn workload_kind(&self) -> &'static str {
+        "matmul"
+    }
+
+    fn enumerate(&self) -> Result<Vec<Candidate>, Diagnostic> {
+        let points = matmul_points(self.dims(), &self.accels, self.capacity_words, &self.flows);
+        Ok(keyed(points, &Self::workload_label(self.problem), &self.options_axis, self.seed))
+    }
+
+    fn realize(
+        &self,
+        candidate: &Candidate,
+        fidelity: Fidelity,
+    ) -> Result<Realization, Diagnostic> {
+        let (accel, flow) = matmul_key_target(&candidate.key)?;
+        let problem = match fidelity {
+            Fidelity::Full => self.problem,
+            Fidelity::Proxy { level } => proxy_problem(self.problem, candidate.key.tile, level),
+        };
+        let config = matmul_config(accel, candidate.key.tile, flow);
+        let plan = CompilePlan::for_accelerator(config)
+            .seed(self.seed)
+            .options(candidate.key.options.apply(PipelineOptions::default()));
+        Ok(Realization {
+            key: CandidateKey { workload: Self::workload_label(problem), ..candidate.key.clone() },
+            workload: Box::new(MatMulWorkload::new(problem)),
+            plan,
+            work: problem.macs(),
+        })
+    }
+
+    fn heuristic(&self) -> Option<Candidate> {
+        let v4 = self.accels.iter().find(|a| a.version == MatMulVersion::V4)?;
+        let choice = best_choice(self.dims(), v4.size, self.capacity_words).ok()?;
+        Some(Candidate {
+            key: CandidateKey {
+                workload: Self::workload_label(self.problem),
+                accel: v4.label(),
+                flow: choice.flow.short_name().to_owned(),
+                tile: choice.tile,
+                options: self.options_axis.first().copied().unwrap_or_default(),
+                seed: self.seed,
+            },
+            estimate: choice.estimate,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched MatMul
+// ---------------------------------------------------------------------
+
+/// The batched-MatMul design space: the MatMul axes applied to a batch of
+/// independent same-shape GEMMs (estimates scale with the batch).
+#[derive(Clone, Debug)]
+pub struct BatchedSpace {
+    /// The batch to explore.
+    pub batch: BatchedMatMulProblem,
+    /// Accelerator instantiations to consider, in order.
+    pub accels: Vec<AccelInstance>,
+    /// Tile-memory budget for flexible (v4) candidates, in words.
+    pub capacity_words: u64,
+    /// Flows to consider.
+    pub flows: Vec<FlowStrategy>,
+    /// Pipeline-options points to consider.
+    pub options_axis: Vec<OptionsPoint>,
+    /// Data seed for every measurement.
+    pub seed: u64,
+}
+
+impl BatchedSpace {
+    /// The standard batched space (see [`MatMulSpace::new`]).
+    pub fn new(batch: BatchedMatMulProblem) -> Self {
+        let base = MatMulSpace::new(batch.problem);
+        Self {
+            batch,
+            accels: base.accels,
+            capacity_words: base.capacity_words,
+            flows: base.flows,
+            options_axis: base.options_axis,
+            seed: base.seed,
+        }
+    }
+
+    /// Overrides the accelerator instantiations.
+    #[must_use]
+    pub fn accels(mut self, accels: Vec<AccelInstance>) -> Self {
+        self.accels = accels;
+        self
+    }
+
+    /// Overrides the capacity budget.
+    #[must_use]
+    pub fn capacity_words(mut self, capacity_words: u64) -> Self {
+        self.capacity_words = capacity_words;
+        self
+    }
+
+    /// Overrides the options axis.
+    #[must_use]
+    pub fn options_axis(mut self, options_axis: Vec<OptionsPoint>) -> Self {
+        self.options_axis = options_axis;
+        self
+    }
+
+    /// Overrides the data seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn dims(&self) -> (i64, i64, i64) {
+        (self.batch.problem.m, self.batch.problem.n, self.batch.problem.k)
+    }
+
+    fn workload_label(batch: BatchedMatMulProblem) -> String {
+        format!("batched {batch}")
+    }
+}
+
+impl DesignSpace for BatchedSpace {
+    fn describe(&self) -> String {
+        let accels: Vec<String> = self.accels.iter().map(AccelInstance::label).collect();
+        format!("batched {} on {}", self.batch, accels.join("+"))
+    }
+
+    fn workload_kind(&self) -> &'static str {
+        "batched"
+    }
+
+    fn enumerate(&self) -> Result<Vec<Candidate>, Diagnostic> {
+        let points = batched_points(
+            self.dims(),
+            self.batch.batch as u64,
+            &self.accels,
+            self.capacity_words,
+            &self.flows,
+        );
+        Ok(keyed(points, &Self::workload_label(self.batch), &self.options_axis, self.seed))
+    }
+
+    fn realize(
+        &self,
+        candidate: &Candidate,
+        fidelity: Fidelity,
+    ) -> Result<Realization, Diagnostic> {
+        let (accel, flow) = matmul_key_target(&candidate.key)?;
+        let problem = match fidelity {
+            Fidelity::Full => self.batch.problem,
+            Fidelity::Proxy { level } => {
+                proxy_problem(self.batch.problem, candidate.key.tile, level)
+            }
+        };
+        let batch = BatchedMatMulProblem::new(problem, self.batch.batch);
+        let config = matmul_config(accel, candidate.key.tile, flow);
+        let plan = CompilePlan::for_accelerator(config)
+            .seed(self.seed)
+            .options(candidate.key.options.apply(PipelineOptions::default()));
+        Ok(Realization {
+            key: CandidateKey { workload: Self::workload_label(batch), ..candidate.key.clone() },
+            workload: Box::new(BatchedMatMulWorkload::new(batch)),
+            plan,
+            work: batch.macs(),
+        })
+    }
+
+    fn heuristic(&self) -> Option<Candidate> {
+        let v4 = self.accels.iter().find(|a| a.version == MatMulVersion::V4)?;
+        let choice = best_choice(self.dims(), v4.size, self.capacity_words).ok()?;
+        Some(Candidate {
+            key: CandidateKey {
+                workload: Self::workload_label(self.batch),
+                accel: v4.label(),
+                flow: choice.flow.short_name().to_owned(),
+                tile: choice.tile,
+                options: self.options_axis.first().copied().unwrap_or_default(),
+                seed: self.seed,
+            },
+            estimate: axi4mlir_heuristics::batched_matmul_transfers(
+                choice.flow,
+                self.dims(),
+                choice.tile,
+                self.batch.batch as u64,
+            ),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conv2D
+// ---------------------------------------------------------------------
+
+/// The Conv2D design space: one §IV-D layer. The accelerator is
+/// configured to the layer's channel/filter shape, so the geometric point
+/// is fixed and the explored axis is [`PipelineOptions`].
+#[derive(Clone, Debug)]
+pub struct ConvSpace {
+    /// The layer to explore.
+    pub layer: ConvLayer,
+    /// Pipeline-options points to consider.
+    pub options_axis: Vec<OptionsPoint>,
+    /// Data seed for every measurement.
+    pub seed: u64,
+}
+
+impl ConvSpace {
+    /// The standard conv space: the full options axis, the conventional
+    /// conv data seed.
+    pub fn new(layer: ConvLayer) -> Self {
+        Self { layer, options_axis: OptionsPoint::axis(), seed: 0xC02 }
+    }
+
+    /// Overrides the options axis.
+    #[must_use]
+    pub fn options_axis(mut self, options_axis: Vec<OptionsPoint>) -> Self {
+        self.options_axis = options_axis;
+        self
+    }
+
+    /// Overrides the data seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn shape(&self) -> ConvShapeEstimate {
+        ConvShapeEstimate {
+            batch: 1,
+            out_channels: self.layer.out_channels as i64,
+            out_hw: self.layer.out_hw() as i64,
+            in_channels: self.layer.in_channels as i64,
+            filter_hw: self.layer.filter_hw as i64,
+        }
+    }
+
+    fn workload_label(&self) -> String {
+        format!("conv {}", self.layer)
+    }
+}
+
+impl DesignSpace for ConvSpace {
+    fn describe(&self) -> String {
+        format!("conv {} on conv2d", self.layer)
+    }
+
+    fn workload_kind(&self) -> &'static str {
+        "conv"
+    }
+
+    fn enumerate(&self) -> Result<Vec<Candidate>, Diagnostic> {
+        let estimate = conv_point(self.shape())?;
+        Ok(self
+            .options_axis
+            .iter()
+            .map(|&options| Candidate {
+                key: CandidateKey {
+                    workload: self.workload_label(),
+                    accel: "conv2d".to_owned(),
+                    flow: "FOs".to_owned(),
+                    tile: (0, 0, 0),
+                    options,
+                    seed: self.seed,
+                },
+                estimate,
+            })
+            .collect())
+    }
+
+    fn realize(
+        &self,
+        candidate: &Candidate,
+        _fidelity: Fidelity,
+    ) -> Result<Realization, Diagnostic> {
+        // The layer admits no cheaper proxy (the accelerator is sized to
+        // it), so every fidelity realizes the full layer; the shared key
+        // dedups proxy rounds against full measurements.
+        let plan = CompilePlan::for_conv_layer(self.layer)
+            .seed(self.seed)
+            .options(candidate.key.options.apply(PipelineOptions::default()));
+        Ok(Realization {
+            key: CandidateKey { workload: self.workload_label(), ..candidate.key.clone() },
+            workload: Box::new(ConvWorkload::new(self.layer)),
+            plan,
+            work: self.layer.macs(),
+        })
+    }
+
+    fn heuristic(&self) -> Option<Candidate> {
+        // The paper's configuration is the default options point.
+        self.enumerate().ok()?.into_iter().find(|c| c.key.options == OptionsPoint::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_layer() -> ConvLayer {
+        ConvLayer { in_hw: 10, in_channels: 64, filter_hw: 3, out_channels: 16, stride: 1 }
+    }
+
+    #[test]
+    fn options_suffix_marks_non_defaults() {
+        assert_eq!(OptionsPoint::default().suffix(), "");
+        assert_eq!(OptionsPoint { coalesce: true, specialized_copies: true }.suffix(), " +co");
+        assert_eq!(OptionsPoint { coalesce: false, specialized_copies: false }.suffix(), " -sc");
+        assert_eq!(OptionsPoint { coalesce: true, specialized_copies: false }.suffix(), " +co -sc");
+        assert_eq!(OptionsPoint::axis().len(), 4);
+        assert_eq!(OptionsPoint::axis()[0], OptionsPoint::default());
+    }
+
+    #[test]
+    fn keys_distinguish_every_axis() {
+        let space = MatMulSpace::new(MatMulProblem::new(16, 16, 16))
+            .accels(vec![
+                AccelInstance { version: MatMulVersion::V3, size: 8 },
+                AccelInstance::v4(8),
+            ])
+            .options_axis(OptionsPoint::axis());
+        let candidates = space.enumerate().unwrap();
+        let keys: std::collections::HashSet<CandidateKey> =
+            candidates.iter().map(|c| c.key.clone()).collect();
+        assert_eq!(keys.len(), candidates.len(), "every candidate key is unique");
+        // The same (flow, tile) exists on both accelerators and under
+        // several options points — only the structured key separates them.
+        let same_geometry: Vec<&Candidate> =
+            candidates.iter().filter(|c| c.key.flow == "Ns" && c.key.tile == (8, 8, 8)).collect();
+        assert_eq!(same_geometry.len(), 2 * 4, "two accels x four option points");
+    }
+
+    #[test]
+    fn labels_extend_the_fig14_format() {
+        let space = MatMulSpace::new(MatMulProblem::new(16, 16, 16));
+        let c = &space.enumerate().unwrap()[0];
+        assert!(c.label().starts_with("v4_16 "), "{}", c.label());
+        let conv = ConvSpace::new(quick_layer());
+        let labels: Vec<String> = conv.enumerate().unwrap().iter().map(Candidate::label).collect();
+        assert_eq!(labels[0], "conv2d FOs");
+        assert!(labels.contains(&"conv2d FOs +co -sc".to_owned()), "{labels:?}");
+    }
+
+    #[test]
+    fn proxy_problems_preserve_divisibility_and_cap_at_full() {
+        let p = MatMulProblem::new(256, 32, 512);
+        let proxied = proxy_problem(p, (16, 32, 16), 2);
+        assert_eq!((proxied.m, proxied.n, proxied.k), (32, 32, 32));
+        assert_eq!(proxied.m % 16, 0);
+        // Level large enough to cover the problem: the proxy is the
+        // problem itself.
+        let full = proxy_problem(p, (16, 32, 16), 255);
+        assert_eq!(full, p);
+    }
+
+    #[test]
+    fn realize_targets_the_named_generation() {
+        let space = MatMulSpace::new(MatMulProblem::new(16, 16, 16)).accels(vec![
+            AccelInstance { version: MatMulVersion::V2, size: 8 },
+            AccelInstance::v4(8),
+        ]);
+        let candidates = space.enumerate().unwrap();
+        let v2 = candidates.iter().find(|c| c.key.accel == "v2_8").unwrap();
+        let r = space.realize(v2, Fidelity::Full).unwrap();
+        assert_eq!(r.plan.config.as_ref().unwrap().name, "v2_8");
+        assert_eq!(r.work, 16 * 16 * 16);
+        let v4 = candidates.iter().find(|c| c.key.accel == "v4_8").unwrap();
+        let r = space.realize(v4, Fidelity::Proxy { level: 1 }).unwrap();
+        assert!(r.key.workload.contains("8x8x8") || r.key.workload.contains("16x"));
+    }
+
+    #[test]
+    fn conv_space_is_the_options_axis() {
+        let space = ConvSpace::new(quick_layer());
+        let candidates = space.enumerate().unwrap();
+        assert_eq!(candidates.len(), 4);
+        let heuristic = space.heuristic().unwrap();
+        assert_eq!(heuristic.key.options, OptionsPoint::default());
+        // Proxy realization is the full layer under the same key.
+        let full = space.realize(&candidates[0], Fidelity::Full).unwrap();
+        let proxy = space.realize(&candidates[0], Fidelity::Proxy { level: 1 }).unwrap();
+        assert_eq!(full.key, proxy.key);
+    }
+
+    #[test]
+    fn oversized_conv_layers_are_rejected_at_enumeration() {
+        let big =
+            ConvLayer { in_hw: 10, in_channels: 4096, filter_hw: 3, out_channels: 4, stride: 1 };
+        let err = ConvSpace::new(big).enumerate().unwrap_err();
+        assert!(err.message.contains("window"), "{}", err.message);
+    }
+}

@@ -43,10 +43,15 @@
 //! as thin wrappers over one-shot sessions.
 //!
 //! On top of the driver layer, [`explore`] turns the §IV-C configuration
-//! heuristics into a measured search: it sweeps the whole
-//! `(flow, tile)` space of a problem across a pool of worker threads
-//! (one recycled SoC each), caches results, and reports how close the
-//! analytical pick comes to the explored optimum.
+//! heuristics into a measured search that is generic over what it
+//! searches: an [`explore::DesignSpace`] (MatMul, batched MatMul, or
+//! Conv2D; accelerator generations v1–v4; flows, tiles, and pipeline
+//! options) enumerated per workload, swept by an [`explore::Search`]
+//! strategy (exhaustive, or successive halving over the transfer-model
+//! ranking) across a pool of worker threads (one recycled SoC each),
+//! behind a candidate-keyed result cache that persists to
+//! `BENCH_cache.json`. Reports state how close the analytical pick comes
+//! to the explored optimum.
 
 pub mod annotate;
 pub mod codegen;
@@ -61,6 +66,9 @@ pub use driver::{
     BatchedMatMulWorkload, CompilePlan, ConvWorkload, MatMulWorkload, PipelineBuilder, RunReport,
     Session, Workload,
 };
-pub use explore::{enumerate, Evaluation, ExploreReport, ExploreSpec, Explorer, Prune};
+pub use explore::{
+    Candidate, CandidateKey, DesignSpace, Evaluation, ExploreReport, ExploreSpec, Explorer, Prune,
+    Search,
+};
 pub use options::{CacheTiling, PipelineOptions};
 pub use pipeline::CompileAndRun;

@@ -1,17 +1,29 @@
-//! Integration tests for the parallel design-space exploration engine:
-//! the parallel sweep must agree with a hand-rolled brute force, be
-//! bit-identical across worker counts, and never re-simulate a cached
-//! configuration.
+//! Integration tests for the design-space exploration engine: the
+//! parallel sweep must agree with a hand-rolled brute force, be
+//! bit-identical across worker counts, never re-simulate a cached
+//! configuration (in memory or via the persisted cache file), sweep
+//! conv/batched/multi-generation spaces, and the successive-halving
+//! search must find the exhaustive optimum on a small space.
 
 use axi4mlir_config::AcceleratorConfig;
 use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
-use axi4mlir_core::explore::{enumerate, ExploreSpec, Explorer, Prune};
+use axi4mlir_core::explore::{
+    AccelInstance, BatchedSpace, ConvSpace, DesignSpace, ExploreSpec, Explorer, HalvingSpec,
+    MatMulSpace, MatMulVersion, OptionsPoint, Prune, Search,
+};
+use axi4mlir_heuristics::instantiation_base;
+use axi4mlir_workloads::batched::BatchedMatMulProblem;
 use axi4mlir_workloads::matmul::MatMulProblem;
+use axi4mlir_workloads::resnet::ConvLayer;
 
 /// A small space: (16, 16, 16) with base 8 → 2 edges per dimension,
 /// 4 flows = 32 candidates.
 fn small_spec() -> ExploreSpec {
     ExploreSpec::new(MatMulProblem::new(16, 16, 16)).base(8).seed(7)
+}
+
+fn quick_layer() -> ConvLayer {
+    ConvLayer { in_hw: 10, in_channels: 64, filter_hw: 3, out_channels: 16, stride: 1 }
 }
 
 #[test]
@@ -21,10 +33,15 @@ fn explored_optimum_matches_brute_force() {
     let spec = small_spec();
     let mut session = Session::for_sweep();
     let mut brute: Option<(String, f64)> = None;
-    for choice in enumerate(&spec) {
-        let (tm, tn, tk) = choice.tile;
-        let config = AcceleratorConfig::preset_v4_with_tile(spec.base, tm, tn, tk)
-            .with_selected_flow(choice.flow.short_name());
+    for candidate in spec.space().enumerate().expect("non-empty space") {
+        let (tm, tn, tk) = candidate.key.tile;
+        let config = AcceleratorConfig::preset_v4_with_tile(
+            instantiation_base(spec.base, candidate.key.tile),
+            tm,
+            tn,
+            tk,
+        )
+        .with_selected_flow(&candidate.key.flow);
         let plan = CompilePlan::for_accelerator(config).seed(spec.seed);
         let report = session.run(&MatMulWorkload::new(spec.problem), &plan).expect("v4 run");
         assert!(report.verified);
@@ -33,7 +50,7 @@ fn explored_optimum_matches_brute_force() {
             Some((_, best_ms)) => report.task_clock_ms < *best_ms,
         };
         if better {
-            brute = Some((choice.label(), report.task_clock_ms));
+            brute = Some((candidate.label(), report.task_clock_ms));
         }
     }
     let (brute_label, brute_ms) = brute.expect("non-empty space");
@@ -41,7 +58,7 @@ fn explored_optimum_matches_brute_force() {
     // The multi-threaded explorer must find the same optimum.
     let report = Explorer::new().explore(&spec.clone().workers(4)).expect("explore");
     let optimum = report.optimum().expect("an optimum");
-    assert_eq!(optimum.choice.label(), brute_label);
+    assert_eq!(optimum.candidate.label(), brute_label);
     assert_eq!(optimum.task_clock_ms.to_bits(), brute_ms.to_bits(), "bit-identical to brute force");
     assert_eq!(report.space_size, 32);
     assert_eq!(report.pruned_out, 0);
@@ -95,7 +112,7 @@ fn pruned_sweeps_still_measure_the_heuristic_pick() {
     assert_eq!(report.pruned_out, report.space_size - 3);
     let heuristic = report.heuristic.as_ref().expect("a heuristic pick exists");
     let eval = report.heuristic_eval.as_ref().expect("the pick was measured");
-    assert_eq!(eval.choice.label(), heuristic.label());
+    assert_eq!(eval.candidate.label(), heuristic.label());
     assert!(report.heuristic_gap().is_some());
 }
 
@@ -106,6 +123,172 @@ fn small_problem_spaces_use_the_degenerate_fallback() {
     let spec = ExploreSpec::new(MatMulProblem::new(8, 8, 8)).seed(3).workers(2);
     let report = Explorer::new().explore(&spec).expect("degenerate space explores");
     assert_eq!(report.space_size, 4, "one tile, four flows");
-    assert!(report.evaluations.iter().all(|e| e.choice.tile == (8, 8, 8)));
+    assert!(report.evaluations.iter().all(|e| e.candidate.key.tile == (8, 8, 8)));
     assert!(report.optimum().is_some());
+}
+
+#[test]
+fn halving_finds_the_exhaustive_optimum() {
+    let space = small_spec().space();
+    let exhaustive = Explorer::new()
+        .explore_space(&space, Prune::None, &Search::Exhaustive, 2)
+        .expect("exhaustive sweep");
+    let halving = Explorer::new()
+        .explore_space(&space, Prune::None, &Search::Halving(HalvingSpec::default()), 2)
+        .expect("halving sweep");
+    assert_eq!(halving.search, "halving");
+    // Halving measures only the finalists at full fidelity...
+    assert!(halving.evaluations.len() <= HalvingSpec::default().finalists);
+    assert!(halving.evaluations.len() < exhaustive.evaluations.len());
+    // ...but agrees on the measured optimum, bit for bit.
+    let e = exhaustive.optimum().expect("exhaustive optimum");
+    let h = halving.optimum().expect("halving optimum");
+    assert_eq!(h.candidate.key, e.candidate.key);
+    assert_eq!(h.task_clock_ms.to_bits(), e.task_clock_ms.to_bits());
+}
+
+#[test]
+fn halving_reuses_the_cache_across_rounds_and_runs() {
+    let explorer = Explorer::new();
+    let space = small_spec().space();
+    let search = Search::Halving(HalvingSpec::default());
+    let first = explorer.explore_space(&space, Prune::None, &search, 2).expect("first halving");
+    let sims = explorer.evals_performed();
+    assert!(sims > 0);
+    let second = explorer.explore_space(&space, Prune::None, &search, 2).expect("second halving");
+    assert_eq!(explorer.evals_performed(), sims, "halving re-simulates nothing");
+    assert_eq!(second.sims_performed, 0);
+    assert!(second.cache_hits > 0);
+    for (a, b) in first.evaluations.iter().zip(&second.evaluations) {
+        assert_eq!(a.deterministic_key(), b.deterministic_key());
+    }
+}
+
+#[test]
+fn persisted_cache_round_trips_with_zero_resimulation() {
+    let dir = std::env::temp_dir().join(format!("axi4mlir-explore-cache-{}", std::process::id()));
+    let path = dir.join("BENCH_cache.json");
+    std::fs::remove_file(&path).ok();
+
+    let spec = small_spec().workers(2);
+    let first_explorer = Explorer::new();
+    let first = first_explorer.explore(&spec).expect("first sweep");
+    assert!(first_explorer.evals_performed() > 0);
+    let saved = first_explorer.save_cache(&path).expect("save cache");
+    assert_eq!(saved, first_explorer.cache_len());
+
+    // A fresh process (modelled by a fresh explorer) loads the file and
+    // serves the whole sweep from it: zero new simulations.
+    let warm = Explorer::with_cache_file(&path).expect("load cache");
+    assert_eq!(warm.cache_len(), saved);
+    let second = warm.explore(&spec).expect("warm sweep");
+    assert_eq!(warm.evals_performed(), 0, "everything came from the persisted cache");
+    assert_eq!(second.sims_performed, 0);
+    assert_eq!(second.cache_hits, second.evaluations.len());
+    for (a, b) in first.evaluations.iter().zip(&second.evaluations) {
+        // Persisted entries drop wall-clock pass timings but keep the
+        // full deterministic payload, bit for bit.
+        assert_eq!(a.deterministic_key(), b.deterministic_key());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn conv_space_explores_the_options_axis() {
+    let space = ConvSpace::new(quick_layer()).seed(5);
+    let report = Explorer::new()
+        .explore_space(&space, Prune::None, &Search::Exhaustive, 2)
+        .expect("conv sweep");
+    assert_eq!(report.workload, "conv");
+    assert_eq!(report.space_size, 4, "the conv space is the options axis");
+    assert!(report.evaluations.iter().all(|e| e.verified));
+    // Specialized copies win on a 3x3-filter layer (the Fig. 16 result),
+    // and the paper's default configuration is the heuristic pick.
+    let optimum = report.optimum().expect("an optimum");
+    assert!(optimum.candidate.key.options.specialized_copies);
+    let gap = report.heuristic_gap().expect("heuristic measured");
+    assert!(gap <= 1.0 + 1e-9, "default options are optimal on this layer: {gap}");
+}
+
+#[test]
+fn batched_space_explores() {
+    let batch = BatchedMatMulProblem::new(MatMulProblem::square(8), 2);
+    let space = BatchedSpace::new(batch).accels(vec![AccelInstance::v4(8)]).seed(9);
+    let report = Explorer::new()
+        .explore_space(&space, Prune::None, &Search::Exhaustive, 2)
+        .expect("batched sweep");
+    assert_eq!(report.workload, "batched");
+    assert_eq!(report.space_size, 4, "one tile, four flows");
+    assert!(report.evaluations.iter().all(|e| e.verified));
+    assert!(report.optimum().is_some());
+    // The batch's estimates and work both scale with the batch extent.
+    let single = MatMulSpace::new(MatMulProblem::square(8))
+        .accels(vec![AccelInstance::v4(8)])
+        .enumerate()
+        .unwrap();
+    let batched = space.enumerate().unwrap();
+    assert_eq!(
+        batched[0].estimate.words_total(),
+        2 * single[0].estimate.words_total(),
+        "batched estimates scale"
+    );
+    assert_eq!(report.evaluations[0].work, 2 * 8 * 8 * 8);
+}
+
+#[test]
+fn multi_generation_space_explores_v1_through_v4() {
+    let space = MatMulSpace::new(MatMulProblem::new(16, 16, 16))
+        .accels(vec![
+            AccelInstance { version: MatMulVersion::V1, size: 8 },
+            AccelInstance { version: MatMulVersion::V2, size: 8 },
+            AccelInstance { version: MatMulVersion::V3, size: 8 },
+            AccelInstance::v4(8),
+        ])
+        .seed(7);
+    let report = Explorer::new()
+        .explore_space(&space, Prune::None, &Search::Exhaustive, 4)
+        .expect("multi-generation sweep");
+    // v1: 1 flow; v2: 3; v3: 4 (fixed 8x8x8 tile each); v4: 8 tiles x 4.
+    assert_eq!(report.space_size, 1 + 3 + 4 + 8 * 4);
+    assert!(report.evaluations.iter().all(|e| e.verified));
+    for version in ["v1_8", "v2_8", "v3_8", "v4_8"] {
+        assert!(
+            report.evaluations.iter().any(|e| e.candidate.key.accel == version),
+            "{version} measured"
+        );
+    }
+    // The v3 and v4 runs of the same (flow, tile) are distinct cache
+    // entries: nothing collides across generations.
+    let ns_8 = |accel: &str| {
+        report
+            .evaluations
+            .iter()
+            .find(|e| {
+                e.candidate.key.accel == accel
+                    && e.candidate.key.flow == "Ns"
+                    && e.candidate.key.tile == (8, 8, 8)
+            })
+            .map(|e| e.candidate.key.clone())
+    };
+    assert_ne!(ns_8("v3_8"), ns_8("v4_8"));
+    assert_ne!(ns_8("v3_8"), None);
+}
+
+#[test]
+fn options_axis_candidates_are_cached_separately() {
+    // Two option points over the same geometry: the structured key keeps
+    // them apart, so the sweep simulates both.
+    let space = MatMulSpace::new(MatMulProblem::square(8))
+        .accels(vec![AccelInstance::v4(8)])
+        .options_axis(vec![
+            OptionsPoint::default(),
+            OptionsPoint { coalesce: true, specialized_copies: true },
+        ])
+        .seed(7);
+    let explorer = Explorer::new();
+    let report =
+        explorer.explore_space(&space, Prune::None, &Search::Exhaustive, 2).expect("sweep");
+    assert_eq!(report.space_size, 4 * 2, "four flows x two option points");
+    assert_eq!(explorer.evals_performed(), 8, "no key collision across option points");
+    assert_eq!(report.cache_hits, 0);
 }

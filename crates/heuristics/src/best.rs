@@ -23,16 +23,22 @@ impl TileChoice {
         format!("{} {} {} {}", self.flow.short_name(), self.tile.0, self.tile.1, self.tile.2)
     }
 
-    /// The v4 base size this choice must be instantiated with: `base`
-    /// itself when it divides every tile edge (the common case), otherwise
-    /// the largest base that does. The v4 model rejects tiles that are not
-    /// multiples of its base, and the degenerate whole-dimension tiles
-    /// produced for problems smaller than `base` need the correction —
-    /// pass the result to `preset_v4_with_tile`, not `base`.
+    /// The v4 base size this choice must be instantiated with; see
+    /// [`instantiation_base`].
     pub fn instantiation_base(&self, base: i64) -> i64 {
-        let (tm, tn, tk) = self.tile;
-        gcd(gcd(gcd(base, tm), tn), tk).max(1)
+        instantiation_base(base, self.tile)
     }
+}
+
+/// The v4 base size a `(tM, tN, tK)` tile must be instantiated with:
+/// `base` itself when it divides every tile edge (the common case),
+/// otherwise the largest base that does. The v4 model rejects tiles that
+/// are not multiples of its base, and the degenerate whole-dimension tiles
+/// produced for problems smaller than `base` need the correction — pass
+/// the result to `preset_v4_with_tile`, not `base`.
+pub fn instantiation_base(base: i64, tile: (i64, i64, i64)) -> i64 {
+    let (tm, tn, tk) = tile;
+    gcd(gcd(gcd(base, tm), tn), tk).max(1)
 }
 
 fn gcd(a: i64, b: i64) -> i64 {

@@ -10,11 +10,20 @@
 //! - [`best`]: the Fig. 14 heuristics: `As/Bs/Cs-squareTile` (largest
 //!   square tile that fits the accelerator memory) and `Best` (free search
 //!   over non-square tiles and flows).
+//! - [`space`]: per-workload design-space enumerators (MatMul over
+//!   accelerator generations and tiles, batched MatMul, Conv2D) feeding
+//!   the `axi4mlir-core` exploration engine.
 
 pub mod best;
 pub mod cache;
+pub mod space;
 pub mod transfer;
 
-pub use best::{best_choice, candidate_edges, square_tile_choice, tile_words, TileChoice};
+pub use best::{
+    best_choice, candidate_edges, instantiation_base, square_tile_choice, tile_words, TileChoice,
+};
 pub use cache::select_cache_tile;
-pub use transfer::{matmul_transfers, TransferEstimate};
+pub use space::{batched_points, conv_point, matmul_points, AccelInstance, SpacePoint};
+pub use transfer::{
+    batched_matmul_transfers, conv_transfers, matmul_transfers, ConvShapeEstimate, TransferEstimate,
+};

@@ -1,0 +1,299 @@
+//! Workload-generic candidate enumeration for design-space exploration.
+//!
+//! The §IV-C search used to be MatMul-on-v4 only; this module factors the
+//! *geometric* part of the space — which accelerator instantiations, flows,
+//! and tiles are legal for a problem — out of the exploration engine so
+//! every workload gets its own enumerator with its own legality rules:
+//!
+//! - [`matmul_points`]: reuses [`candidate_edges`] for flexible (v4)
+//!   accelerators and contributes the fixed square tile for v1–v3
+//!   generations, filtering flows by each generation's Table I reuse
+//!   class and tiles by the v4 memory capacity;
+//! - [`batched_points`]: the MatMul rules with traffic scaled by the
+//!   batch extent;
+//! - [`conv_point`]: the §IV-D Conv2D accelerator is configured to the
+//!   layer (one geometric point), but the offload is only legal while the
+//!   input window and the output slice fit the device buffers.
+//!
+//! Every point carries a [`TransferEstimate`] — the analytical cost hook
+//! the explorer's pruning and successive-halving ranking run on.
+
+use axi4mlir_accelerators::conv::{CONV_SLICE_CAPACITY, CONV_WINDOW_CAPACITY};
+use axi4mlir_accelerators::matmul::MatMulVersion;
+use axi4mlir_config::FlowStrategy;
+use axi4mlir_support::diag::Diagnostic;
+
+use crate::best::{candidate_edges, tile_words};
+use crate::transfer::{
+    batched_matmul_transfers, conv_transfers, matmul_transfers, ConvShapeEstimate, TransferEstimate,
+};
+
+/// One MatMul accelerator instantiation a candidate can target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AccelInstance {
+    /// Table I generation.
+    pub version: MatMulVersion,
+    /// v1–v3: the fixed square tile edge; v4: the base (divisibility) size.
+    pub size: i64,
+}
+
+impl AccelInstance {
+    /// A flexible v4 accelerator with the given base size.
+    pub fn v4(base: i64) -> Self {
+        Self { version: MatMulVersion::V4, size: base }
+    }
+
+    /// The preset name, e.g. `v3_16`.
+    pub fn label(&self) -> String {
+        format!("{}_{}", self.version, self.size)
+    }
+
+    /// Parses a [`Self::label`]-formatted name back into an instance.
+    pub fn parse(text: &str) -> Option<Self> {
+        let (version, size) = text.split_once('_')?;
+        let version = match version {
+            "v1" => MatMulVersion::V1,
+            "v2" => MatMulVersion::V2,
+            "v3" => MatMulVersion::V3,
+            "v4" => MatMulVersion::V4,
+            _ => return None,
+        };
+        let size: i64 = size.parse().ok()?;
+        (size > 0).then_some(Self { version, size })
+    }
+
+    /// The flows this generation's opcode set legalizes (its Table I
+    /// reuse class): v1 fuses everything (`Ns` only), v2 adds input
+    /// reuse, v3/v4 add output reuse.
+    pub fn flows(&self) -> &'static [FlowStrategy] {
+        match self.version {
+            MatMulVersion::V1 => &[FlowStrategy::NothingStationary],
+            MatMulVersion::V2 => &[
+                FlowStrategy::NothingStationary,
+                FlowStrategy::InputAStationary,
+                FlowStrategy::InputBStationary,
+            ],
+            MatMulVersion::V3 | MatMulVersion::V4 => &[
+                FlowStrategy::NothingStationary,
+                FlowStrategy::InputAStationary,
+                FlowStrategy::InputBStationary,
+                FlowStrategy::OutputStationary,
+            ],
+        }
+    }
+
+    /// The legal tiles for this instance on `problem`: the flexible v4
+    /// search over [`candidate_edges`] multiples capacity-filtered by
+    /// `capacity_words`; for fixed generations the square `size` tile when
+    /// it divides every dimension (their buffers are sized to the tile, so
+    /// no separate capacity check applies).
+    pub fn tiles(&self, problem: (i64, i64, i64), capacity_words: u64) -> Vec<(i64, i64, i64)> {
+        let (m, n, k) = problem;
+        match self.version {
+            MatMulVersion::V4 => {
+                let mut out = Vec::new();
+                for tm in candidate_edges(m, self.size) {
+                    for tn in candidate_edges(n, self.size) {
+                        for tk in candidate_edges(k, self.size) {
+                            let tile = (tm, tn, tk);
+                            if tile_words(tile) <= capacity_words {
+                                out.push(tile);
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            _ => {
+                let s = self.size;
+                let divides = s > 0 && m % s == 0 && n % s == 0 && k % s == 0;
+                if divides {
+                    vec![(s, s, s)]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for AccelInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One geometric candidate: where to run, which flow, and which tile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpacePoint {
+    /// The accelerator instantiation.
+    pub accel: AccelInstance,
+    /// The dataflow strategy.
+    pub flow: FlowStrategy,
+    /// The `(tM, tN, tK)` tile.
+    pub tile: (i64, i64, i64),
+    /// Estimated traffic under this point.
+    pub estimate: TransferEstimate,
+}
+
+/// Enumerates every legal `(accelerator, flow, tile)` point for a MatMul
+/// problem in a fixed, deterministic order: accelerators in the given
+/// order, tiles ascending per dimension, flows in figure order filtered
+/// to each generation's legal set (and to `flows`).
+pub fn matmul_points(
+    problem: (i64, i64, i64),
+    accels: &[AccelInstance],
+    capacity_words: u64,
+    flows: &[FlowStrategy],
+) -> Vec<SpacePoint> {
+    let mut out = Vec::new();
+    for &accel in accels {
+        for tile in accel.tiles(problem, capacity_words) {
+            for &flow in accel.flows().iter().filter(|f| flows.contains(f)) {
+                out.push(SpacePoint {
+                    accel,
+                    flow,
+                    tile,
+                    estimate: matmul_transfers(flow, problem, tile),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates the batched-MatMul space: the per-element MatMul legality
+/// rules with the traffic estimate scaled by `batch` (every element moves
+/// the full per-element traffic).
+pub fn batched_points(
+    problem: (i64, i64, i64),
+    batch: u64,
+    accels: &[AccelInstance],
+    capacity_words: u64,
+    flows: &[FlowStrategy],
+) -> Vec<SpacePoint> {
+    let mut out = matmul_points(problem, accels, capacity_words, flows);
+    for point in &mut out {
+        point.estimate = batched_matmul_transfers(point.flow, problem, point.tile, batch);
+    }
+    out
+}
+
+/// The single geometric point of a Conv2D layer's space (the accelerator
+/// is configured to the layer's channel/filter shape), with its legality
+/// rules: the `iC x fHW x fHW` input window must fit the device window
+/// buffer and the `oHW x oHW` output slice the accumulator buffer.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] naming the violated capacity.
+pub fn conv_point(shape: ConvShapeEstimate) -> Result<TransferEstimate, Diagnostic> {
+    let window = (shape.in_channels * shape.filter_hw * shape.filter_hw) as usize;
+    if window == 0 || window > CONV_WINDOW_CAPACITY {
+        return Err(Diagnostic::error(format!(
+            "conv window of {window} words ({} channels x {}x{} filter) exceeds the device \
+             window capacity of {CONV_WINDOW_CAPACITY} words",
+            shape.in_channels, shape.filter_hw, shape.filter_hw
+        )));
+    }
+    let slice = (shape.out_hw * shape.out_hw) as usize;
+    if slice == 0 || slice > CONV_SLICE_CAPACITY {
+        return Err(Diagnostic::error(format!(
+            "conv output slice of {slice} words ({0}x{0}) exceeds the device slice capacity \
+             of {CONV_SLICE_CAPACITY} words",
+            shape.out_hw
+        )));
+    }
+    Ok(conv_transfers(shape))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axi4mlir_accelerators::matmul::V4_CAPACITY_WORDS;
+
+    #[test]
+    fn labels_round_trip() {
+        for accel in [
+            AccelInstance { version: MatMulVersion::V1, size: 4 },
+            AccelInstance { version: MatMulVersion::V2, size: 8 },
+            AccelInstance { version: MatMulVersion::V3, size: 16 },
+            AccelInstance::v4(16),
+        ] {
+            assert_eq!(AccelInstance::parse(&accel.label()), Some(accel));
+        }
+        assert_eq!(AccelInstance::parse("v5_4"), None);
+        assert_eq!(AccelInstance::parse("v3_x"), None);
+        assert_eq!(AccelInstance::parse("v3_0"), None);
+    }
+
+    #[test]
+    fn generation_flow_classes_match_table1() {
+        assert_eq!(AccelInstance { version: MatMulVersion::V1, size: 4 }.flows().len(), 1);
+        assert_eq!(AccelInstance { version: MatMulVersion::V2, size: 4 }.flows().len(), 3);
+        assert_eq!(AccelInstance { version: MatMulVersion::V3, size: 4 }.flows().len(), 4);
+        assert_eq!(AccelInstance::v4(4).flows().len(), 4);
+    }
+
+    #[test]
+    fn fixed_generations_contribute_their_square_tile_only() {
+        let accel = AccelInstance { version: MatMulVersion::V3, size: 8 };
+        assert_eq!(accel.tiles((16, 16, 16), V4_CAPACITY_WORDS), vec![(8, 8, 8)]);
+        // 8 does not divide 12: the fixed generation has no legal tile.
+        assert!(accel.tiles((16, 12, 16), V4_CAPACITY_WORDS).is_empty());
+    }
+
+    #[test]
+    fn multi_generation_enumeration_is_deterministic_and_legal() {
+        let accels = [
+            AccelInstance { version: MatMulVersion::V1, size: 8 },
+            AccelInstance { version: MatMulVersion::V2, size: 8 },
+            AccelInstance::v4(8),
+        ];
+        let all = FlowStrategy::all();
+        let points = matmul_points((16, 16, 16), &accels, V4_CAPACITY_WORDS, &all);
+        // v1: 1 tile x 1 flow; v2: 1 tile x 3 flows; v4: 8 tiles x 4 flows.
+        assert_eq!(points.len(), 1 + 3 + 8 * 4);
+        assert_eq!(points, matmul_points((16, 16, 16), &accels, V4_CAPACITY_WORDS, &all));
+        for p in &points {
+            assert!(p.accel.flows().contains(&p.flow), "{p:?}");
+            let (m, n, k) = (16i64, 16, 16);
+            assert_eq!((m % p.tile.0, n % p.tile.1, k % p.tile.2), (0, 0, 0), "{p:?}");
+            if p.accel.version == MatMulVersion::V4 {
+                assert!(tile_words(p.tile) <= V4_CAPACITY_WORDS);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_points_scale_estimates() {
+        let accels = [AccelInstance::v4(8)];
+        let all = FlowStrategy::all();
+        let single = matmul_points((16, 16, 16), &accels, V4_CAPACITY_WORDS, &all);
+        let batched = batched_points((16, 16, 16), 3, &accels, V4_CAPACITY_WORDS, &all);
+        assert_eq!(single.len(), batched.len());
+        for (s, b) in single.iter().zip(&batched) {
+            assert_eq!((s.accel, s.flow, s.tile), (b.accel, b.flow, b.tile));
+            assert_eq!(b.estimate.words_total(), 3 * s.estimate.words_total());
+            assert_eq!(b.estimate.transactions, 3 * s.estimate.transactions);
+        }
+    }
+
+    #[test]
+    fn conv_capacity_violations_are_diagnostics() {
+        let fits = ConvShapeEstimate {
+            batch: 1,
+            out_channels: 16,
+            out_hw: 8,
+            in_channels: 64,
+            filter_hw: 3,
+        };
+        assert!(conv_point(fits).is_ok());
+        let window_too_big = ConvShapeEstimate { in_channels: 4096, ..fits };
+        let err = conv_point(window_too_big).unwrap_err();
+        assert!(err.message.contains("window"), "{}", err.message);
+        let slice_too_big = ConvShapeEstimate { out_hw: 200, ..fits };
+        let err = conv_point(slice_too_big).unwrap_err();
+        assert!(err.message.contains("slice"), "{}", err.message);
+    }
+}

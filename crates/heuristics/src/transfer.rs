@@ -71,6 +71,60 @@ pub fn matmul_transfers(
     }
 }
 
+/// Traffic for a batch of `batch` independent same-shape MatMuls: every
+/// element moves the full per-element traffic (the batch shares the SoC
+/// and staging allocations, not the data).
+///
+/// # Panics
+///
+/// Panics if tiles do not divide the problem (see [`matmul_transfers`]).
+pub fn batched_matmul_transfers(
+    flow: FlowStrategy,
+    problem: (i64, i64, i64),
+    tile: (i64, i64, i64),
+    batch: u64,
+) -> TransferEstimate {
+    let one = matmul_transfers(flow, problem, tile);
+    TransferEstimate {
+        words_to_accel: one.words_to_accel * batch,
+        words_from_accel: one.words_from_accel * batch,
+        transactions: one.transactions * batch,
+    }
+}
+
+/// Shape of one Conv2D offload, as the Fig. 15b loop plan sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConvShapeEstimate {
+    /// Batch extent.
+    pub batch: i64,
+    /// Output channels.
+    pub out_channels: i64,
+    /// Output height/width (square).
+    pub out_hw: i64,
+    /// Input channels (streamed whole per window).
+    pub in_channels: i64,
+    /// Filter height/width (square).
+    pub filter_hw: i64,
+}
+
+/// Traffic for one Conv2D layer on the §IV-D accelerator under the
+/// filter+output-stationary `(sF (sIcO) rO)` flow: the filter slice loads
+/// once per `(b, oc)`, one input window streams per output pixel, and the
+/// output slice reads back once per `(b, oc)`.
+pub fn conv_transfers(s: ConvShapeEstimate) -> TransferEstimate {
+    let per_oc = (s.batch * s.out_channels) as u64;
+    let pixels = per_oc * (s.out_hw * s.out_hw) as u64;
+    let window = (s.in_channels * s.filter_hw * s.filter_hw) as u64;
+    let slice = (s.out_hw * s.out_hw) as u64;
+    TransferEstimate {
+        // sF and sIcO each send 1 instruction word + their slice/window;
+        // rO sends 1 instruction word and receives the output slice.
+        words_to_accel: per_oc * (1 + window) + pixels * (1 + window) + per_oc,
+        words_from_accel: per_oc * slice,
+        transactions: per_oc + pixels + per_oc /* instruction sends */ + per_oc, /* receives */
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +191,48 @@ mod tests {
     #[should_panic(expected = "must divide")]
     fn non_dividing_tiles_panic() {
         let _ = matmul_transfers(FlowStrategy::NothingStationary, (10, 10, 10), (3, 3, 3));
+    }
+
+    #[test]
+    fn batched_traffic_scales_linearly() {
+        let one = matmul_transfers(FlowStrategy::OutputStationary, P, T);
+        let four = batched_matmul_transfers(FlowStrategy::OutputStationary, P, T, 4);
+        assert_eq!(four.words_to_accel, 4 * one.words_to_accel);
+        assert_eq!(four.words_from_accel, 4 * one.words_from_accel);
+        assert_eq!(four.transactions, 4 * one.transactions);
+    }
+
+    #[test]
+    fn conv_counts_are_exact() {
+        // 2 output channels, 3x3 output, 4 input channels, 2x2 filter:
+        // window = 16 words, slice = 9 words.
+        let e = conv_transfers(ConvShapeEstimate {
+            batch: 1,
+            out_channels: 2,
+            out_hw: 3,
+            in_channels: 4,
+            filter_hw: 2,
+        });
+        // sF: 2 * (1 + 16); sIcO: 2*9 * (1 + 16); rO sends: 2.
+        assert_eq!(e.words_to_accel, 2 * 17 + 18 * 17 + 2);
+        assert_eq!(e.words_from_accel, 2 * 9, "one slice per output channel");
+        assert_eq!(e.transactions, 2 + 18 + 2 + 2);
+    }
+
+    #[test]
+    fn conv_filter_reuse_beats_resending_per_pixel() {
+        // The stationary filter is the point of the FOs flow: total traffic
+        // must stay well below the naive per-pixel filter resend.
+        let s = ConvShapeEstimate {
+            batch: 1,
+            out_channels: 16,
+            out_hw: 8,
+            in_channels: 64,
+            filter_hw: 3,
+        };
+        let e = conv_transfers(s);
+        let window = (s.in_channels * s.filter_hw * s.filter_hw) as u64;
+        let naive = (s.out_channels * s.out_hw * s.out_hw) as u64 * 2 * (1 + window);
+        assert!(e.words_to_accel < naive);
     }
 }

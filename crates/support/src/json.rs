@@ -87,6 +87,16 @@ impl JsonValue {
         }
     }
 
+    /// The value as an `f64`: floats directly, integral numbers
+    /// converted (may round for magnitudes beyond 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Float(v) => Some(*v),
+            JsonValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
     /// The elements, if this is an array.
     pub fn as_array(&self) -> Option<&[JsonValue]> {
         match self {

@@ -29,10 +29,15 @@ for bin in table1 fig10 fig11 fig12 fig13 fig14 fig16 fig17; do
 done
 
 echo "== design-space explorer =="
+# The persistent result cache makes local reruns warm: candidates
+# measured by a previous sweep are loaded from BENCH_cache.json instead
+# of re-simulated (bench-collect knows to leave the cache file out of
+# BENCH_all.json).
+CACHE="$OUT_DIR/BENCH_cache.json"
 if [ "${#QUICK[@]}" -gt 0 ]; then
-    cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --smoke --json "$OUT_DIR"
+    cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --smoke --cache "$CACHE" --json "$OUT_DIR"
 else
-    cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --json "$OUT_DIR"
+    cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --cache "$CACHE" --json "$OUT_DIR"
 fi
 
 echo "== collecting =="
