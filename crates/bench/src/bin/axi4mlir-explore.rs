@@ -7,6 +7,7 @@
 //! `cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- \
 //!     [--smoke] [--workload matmul|conv|batched] [--accel v1..v4[:SIZE],...] \
 //!     [--search exhaustive|halving] [--cache PATH] \
+//!     [--objectives clock,traffic,transactions,occupancy] \
 //!     [--dims MxNxK] [--batch N] [--layer iHW_iC_fHW_oC_stride] \
 //!     [--base B] [--capacity WORDS] [--sweep-options] \
 //!     [--workers N] [--prune none|keep:N|factor:F] [--seed S] [--json DIR]`
@@ -17,6 +18,12 @@
 //! the JSON reporter. With `--cache`, results persist to a
 //! `BENCH_cache.json` (loaded before the sweep, merged and saved after),
 //! so a repeated invocation reports 0 new simulations.
+//!
+//! `--objectives` turns the sweep multi-objective: every evaluation is
+//! scored under each named objective (the first is the primary the prune
+//! and halving rank by), and `BENCH_explore.json` gains a top-level
+//! `pareto` section listing the non-dominated front plus context members
+//! locating the paper's analytical pick relative to it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,7 +31,7 @@ use std::process::ExitCode;
 use axi4mlir_bench::report::{BenchEntry, BenchReport};
 use axi4mlir_core::explore::{
     AccelInstance, BatchedSpace, ConvSpace, DesignSpace, ExploreReport, Explorer, HalvingSpec,
-    MatMulSpace, OptionsPoint, Prune, Search,
+    MatMulSpace, Objective, OptionsPoint, Prune, Search,
 };
 use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
 use axi4mlir_support::json::JsonValue;
@@ -116,10 +123,38 @@ struct Request {
     prune: Prune,
     search: Search,
     workers: usize,
+    objectives: Vec<Objective>,
     cache: Option<PathBuf>,
 }
 
+/// Every flag the binary understands; anything else starting with `--`
+/// is rejected so a typo (`--objective`) cannot silently fall back to a
+/// default sweep.
+const KNOWN_FLAGS: [&str; 16] = [
+    "--smoke",
+    "--workload",
+    "--accel",
+    "--search",
+    "--cache",
+    "--objectives",
+    "--dims",
+    "--batch",
+    "--layer",
+    "--base",
+    "--capacity",
+    "--sweep-options",
+    "--workers",
+    "--prune",
+    "--seed",
+    "--json",
+];
+
 fn request_from_args(args: &[String]) -> Result<Request, String> {
+    if let Some(unknown) =
+        args.iter().find(|a| a.starts_with("--") && !KNOWN_FLAGS.contains(&a.as_str()))
+    {
+        return Err(format!("unknown flag `{unknown}` (known: {})", KNOWN_FLAGS.join(" ")));
+    }
     let smoke = args.iter().any(|a| a == "--smoke");
     let workload = arg_value(args, "--workload").unwrap_or_else(|| "matmul".to_owned());
     let default_workers =
@@ -211,8 +246,17 @@ fn request_from_args(args: &[String]) -> Result<Request, String> {
         }
     }
 
+    let objectives = match arg_value(args, "--objectives") {
+        Some(text) => Objective::parse_list(&text).ok_or(format!(
+            "invalid --objectives `{text}` (a comma list of clock|traffic|transactions|occupancy, \
+             no duplicates)"
+        ))?,
+        None => vec![Objective::TaskClock],
+    };
     let search = match arg_value(args, "--search").as_deref() {
         None | Some("exhaustive") => Search::Exhaustive,
+        // The default spec promotes by the primary (first-listed)
+        // objective automatically.
         Some("halving") => Search::Halving(HalvingSpec::default()),
         Some(other) => return Err(format!("invalid --search `{other}` (exhaustive|halving)")),
     };
@@ -231,19 +275,23 @@ fn request_from_args(args: &[String]) -> Result<Request, String> {
         prune,
         search,
         workers,
+        objectives,
         cache: arg_value(args, "--cache").map(PathBuf::from),
     })
 }
 
 /// Converts an exploration into the `BENCH_explore.json` document:
-/// per-candidate cycles and transfers, per-pass compile timing, and the
-/// best-choice-vs-explored-optimum gap in the context block.
-fn to_report(request: &Request, report: &ExploreReport) -> BenchReport {
+/// per-candidate cycles and transfers, per-pass compile timing, the
+/// best-choice-vs-explored-optimum gap in the context block, and (since
+/// schema v2) a top-level `pareto` section with the non-dominated front
+/// under the requested objectives.
+fn to_report(request: &Request, report: &ExploreReport, front: &[usize]) -> BenchReport {
     let mut out = BenchReport::new("explore")
         .context("workload", report.workload.clone())
         .context("space", report.space.clone())
         .context("search", report.search.clone())
         .context("workers", request.workers)
+        .context("objectives", objectives_json(report))
         .context("space_size", report.space_size)
         .context("pruned_out", report.pruned_out)
         .context("measured", report.evaluations.len())
@@ -261,7 +309,13 @@ fn to_report(request: &Request, report: &ExploreReport) -> BenchReport {
     if let Some(gap) = report.heuristic_gap() {
         out = out.context("heuristic_gap", gap);
     }
-    for eval in &report.evaluations {
+    // Where the paper's analytical pick lands relative to the front.
+    if let Some(dominated_by) = report.heuristic_dominated_by() {
+        out = out
+            .context("heuristic_on_front", dominated_by == 0)
+            .context("heuristic_dominated_by", dominated_by);
+    }
+    for (index, eval) in report.evaluations.iter().enumerate() {
         let c = &eval.counters;
         let key = &eval.candidate.key;
         let pass_ms =
@@ -283,14 +337,51 @@ fn to_report(request: &Request, report: &ExploreReport) -> BenchReport {
             .metric("dma_bytes_to_accel", c.dma_bytes_to_accel)
             .metric("dma_bytes_from_accel", c.dma_bytes_from_accel)
             .metric("dma_transactions", c.dma_transactions)
+            .metric("dma_words", eval.dma_words())
+            .metric("occupancy", eval.occupancy())
             .metric("accel_macs", c.accel_macs)
             .metric("verified", eval.verified)
-            .metric("from_cache", eval.from_cache);
+            .metric("from_cache", eval.from_cache)
+            .metric("on_pareto_front", front.contains(&index));
         entry = entry.metric("compile_ms", eval.pass_ms.iter().map(|(_, ms)| ms).sum::<f64>());
         entry = entry.metric("pass_ms", pass_ms);
         out.push(entry);
     }
-    out
+    out.section("pareto", pareto_section(report, front))
+}
+
+/// The report's objective labels as a JSON array (shared by the context
+/// block and the `pareto` section).
+fn objectives_json(report: &ExploreReport) -> JsonValue {
+    JsonValue::Array(report.objectives.iter().map(|o| JsonValue::from(o.label())).collect())
+}
+
+/// The `pareto` section: the objectives and, per front member, its label
+/// and minimized score under each objective. Scores are keyed by
+/// [`Objective::metric_key`], so clock/traffic/transactions line up with
+/// the entry metrics of the same name while occupancy's score — the
+/// *idle* fraction — is distinguished from the raw `occupancy` entry
+/// metric.
+fn pareto_section(report: &ExploreReport, front: &[usize]) -> JsonValue {
+    let members: Vec<JsonValue> = front
+        .iter()
+        .map(|&index| {
+            let eval = &report.evaluations[index];
+            let mut fields = vec![("id".to_owned(), JsonValue::from(eval.candidate.label()))];
+            fields.extend(report.objectives.iter().map(|&objective| {
+                (
+                    objective.metric_key().to_owned(),
+                    JsonValue::Float(eval.objective_value(objective)),
+                )
+            }));
+            JsonValue::object(fields)
+        })
+        .collect();
+    JsonValue::object([
+        ("objectives".to_owned(), objectives_json(report)),
+        ("size".to_owned(), JsonValue::from(front.len() as u64)),
+        ("front".to_owned(), JsonValue::Array(members)),
+    ])
 }
 
 fn main() -> ExitCode {
@@ -317,18 +408,21 @@ fn main() -> ExitCode {
         None => Explorer::new(),
     };
 
+    let objective_labels: Vec<&str> = request.objectives.iter().map(Objective::label).collect();
     println!(
-        "exploring {} ({} search, {} workers, prune {:?})\n",
+        "exploring {} ({} search, {} workers, prune {:?}, objectives {})\n",
         request.space.as_dyn().describe(),
         request.search.label(),
         request.workers,
-        request.prune
+        request.prune,
+        objective_labels.join("+"),
     );
-    let report = match explorer.explore_space(
+    let report = match explorer.explore_with_objectives(
         request.space.as_dyn(),
         request.prune,
         &request.search,
         request.workers,
+        &request.objectives,
     ) {
         Ok(report) => report,
         Err(diag) => {
@@ -370,9 +464,37 @@ fn main() -> ExitCode {
             fmt_ms(optimum.task_clock_ms)
         );
     }
+    let front = report.pareto_front();
+    if report.objectives.len() > 1 {
+        println!(
+            "pareto front ({}): {} of {} measured candidates",
+            objective_labels.join(" vs "),
+            front.len(),
+            report.evaluations.len()
+        );
+        for &index in &front {
+            let eval = &report.evaluations[index];
+            let scores: Vec<String> = report
+                .objectives
+                .iter()
+                .map(|&o| format!("{}={:.6}", o.label(), eval.objective_value(o)))
+                .collect();
+            println!("  {}  {}", eval.candidate.label(), scores.join(" "));
+        }
+    }
     match (&report.heuristic, report.heuristic_gap()) {
         (Some(h), Some(gap)) => {
             println!("heuristic pick: {} — gap vs optimum: {gap:.3}x", h.label());
+            if let Some(dominated_by) = report.heuristic_dominated_by() {
+                if dominated_by == 0 {
+                    println!("the analytical pick is on the Pareto front");
+                } else {
+                    println!(
+                        "the analytical pick is dominated by {dominated_by} measured \
+                         configuration(s)"
+                    );
+                }
+            }
         }
         _ => println!("this space has no analytical heuristic pick"),
     }
@@ -381,7 +503,7 @@ fn main() -> ExitCode {
     // output must survive even when cache persistence fails.
     let dir = axi4mlir_bench::report::json_dir_from_args(args.iter().cloned())
         .unwrap_or_else(|| PathBuf::from("."));
-    match to_report(&request, &report).write_to_dir(&dir) {
+    match to_report(&request, &report, &front).write_to_dir(&dir) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(err) => {
             eprintln!("axi4mlir-explore: writing the report failed: {err}");

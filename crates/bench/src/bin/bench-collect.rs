@@ -2,6 +2,9 @@
 //! into one `BENCH_all.json` collection and prints an inventory — the
 //! last step of `scripts/bench.sh`.
 //!
+//! Reports are embedded whole, so schema-v2 top-level sections (the
+//! explorer's `pareto` front) pass through to the collection untouched.
+//!
 //! Usage: `cargo run --release -p axi4mlir-bench --bin bench-collect -- [DIR]`
 //! (default: the current directory).
 
@@ -72,7 +75,10 @@ fn main() -> ExitCode {
             skipped_foreign += 1;
             continue;
         }
-        let name = doc.get("name").and_then(JsonValue::as_str).unwrap_or("?").to_owned();
+        let mut name = doc.get("name").and_then(JsonValue::as_str).unwrap_or("?").to_owned();
+        if doc.get("pareto").is_some() {
+            name.push_str(" (+pareto)");
+        }
         let entries = doc.get("entries").and_then(JsonValue::as_array).map_or(0, <[_]>::len);
         let file = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_owned();
         table.row(vec![name, entries.to_string(), file]);

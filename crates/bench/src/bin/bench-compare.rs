@@ -13,7 +13,14 @@
 //! drift is a real behavioral change. Host wall-clock metrics
 //! (`compile_ms`, `pass_ms`) are machine noise and excluded. Entries or
 //! reports present on only one side are listed as notes, not failures
-//! (spaces legitimately grow and shrink across commits).
+//! (spaces legitimately grow and shrink across commits). Schema-v2
+//! `pareto` sections are not gated either: when the baseline predates
+//! the schema bump (or simply lacks a front), the current side's front
+//! is noted and skipped rather than failed.
+//!
+//! Unknown `--flags` are rejected with exit code 2 — silently treating a
+//! typo like `--treshold 0.2` as two path arguments used to produce a
+//! baffling IO error instead.
 //!
 //! Exit status: 0 when clean, 1 on regressions, 2 on usage/IO errors.
 
@@ -62,9 +69,24 @@ fn samples_of_report(doc: &JsonValue, out: &mut Vec<Sample>) {
     }
 }
 
+/// Names of reports in a document that carry a schema-v2 `pareto`
+/// section (compared presence-wise only, never gated).
+fn pareto_reports_of(doc: &JsonValue) -> Vec<String> {
+    let of_report = |report: &JsonValue| {
+        report
+            .get("pareto")
+            .map(|_| report.get("name").and_then(JsonValue::as_str).unwrap_or("?").to_owned())
+    };
+    match doc.get("reports").and_then(JsonValue::as_array) {
+        Some(reports) => reports.iter().filter_map(of_report).collect(),
+        None => of_report(doc).into_iter().collect(),
+    }
+}
+
 /// Loads a collection (`BENCH_all.json`) or single-report document and
-/// flattens it into gated samples.
-fn load_samples(path: &Path) -> Result<Vec<Sample>, String> {
+/// flattens it into gated samples plus the names of reports carrying a
+/// `pareto` section.
+fn load_samples(path: &Path) -> Result<(Vec<Sample>, Vec<String>), String> {
     let file = if path.is_dir() { path.join("BENCH_all.json") } else { path.to_path_buf() };
     let text = fs::read_to_string(&file)
         .map_err(|err| format!("cannot read {}: {err}", file.display()))?;
@@ -78,7 +100,7 @@ fn load_samples(path: &Path) -> Result<Vec<Sample>, String> {
         }
         None => samples_of_report(&doc, &mut out),
     }
-    Ok(out)
+    Ok((out, pareto_reports_of(&doc)))
 }
 
 struct Comparison {
@@ -100,7 +122,12 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             };
             threshold = value;
-        } else if !arg.starts_with("--") {
+        } else if arg.starts_with("--") {
+            // A typo like `--treshold 0.2` must not silently become a
+            // pair of path arguments and a baffling IO error.
+            eprintln!("bench-compare: unknown flag `{arg}` (known flags: --threshold)");
+            return ExitCode::from(2);
+        } else {
             paths.push(PathBuf::from(arg));
         }
     }
@@ -109,13 +136,14 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let (baseline, current) = match (load_samples(baseline_path), load_samples(current_path)) {
-        (Ok(b), Ok(c)) => (b, c),
-        (Err(err), _) | (_, Err(err)) => {
-            eprintln!("bench-compare: {err}");
-            return ExitCode::from(2);
-        }
-    };
+    let ((baseline, baseline_pareto), (current, current_pareto)) =
+        match (load_samples(baseline_path), load_samples(current_path)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (Err(err), _) | (_, Err(err)) => {
+                eprintln!("bench-compare: {err}");
+                return ExitCode::from(2);
+            }
+        };
 
     // Index the baseline; compare every current sample against it.
     let mut index = std::collections::HashMap::new();
@@ -195,6 +223,16 @@ fn main() -> ExitCode {
             "note: {unmatched_current} new and {unmatched_baseline} disappeared metric(s) were \
              not compared (space changed)",
         );
+    }
+    // Pareto sections are informational: when the baseline predates the
+    // schema-v2 bump (or has no front), skip them instead of failing.
+    for name in &current_pareto {
+        if !baseline_pareto.contains(name) {
+            println!(
+                "note: report `{name}` carries a pareto section the baseline lacks (older \
+                 schema?) — skipped, not gated"
+            );
+        }
     }
     println!(
         "compared {} metric(s): {} regression(s) beyond {:+.1}%",

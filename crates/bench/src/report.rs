@@ -9,12 +9,17 @@
 //!
 //! ```json
 //! {
-//!   "schema": "axi4mlir-bench/v1",
+//!   "schema": "axi4mlir-bench/v2",
 //!   "name": "fig10",
 //!   "context": { "scale": "quick" },
 //!   "entries": [ { "id": "...", "metrics": { "cpu_ms": 1.25 } } ]
 //! }
 //! ```
+//!
+//! Since `v2`, a report may also carry named top-level *sections* after
+//! its entries — structured documents that are not per-entry metrics,
+//! like the explorer's `pareto` front. Consumers that only understand
+//! entries (the regression gate) ignore sections they do not know.
 //!
 //! Member order is stable (insertion order), floats always carry a
 //! decimal point, and `parse(render())` round-trips — all guaranteed by
@@ -28,8 +33,9 @@ use axi4mlir_support::json::JsonValue;
 
 use crate::Scale;
 
-/// The schema tag every report file carries.
-pub const SCHEMA: &str = "axi4mlir-bench/v1";
+/// The schema tag every report file carries. `v2` added free-form
+/// top-level sections (e.g. the explorer's `pareto` block).
+pub const SCHEMA: &str = "axi4mlir-bench/v2";
 
 /// One measured record: an identifier plus named metrics.
 #[derive(Clone, Debug)]
@@ -66,12 +72,13 @@ pub struct BenchReport {
     name: String,
     context: Vec<(String, JsonValue)>,
     entries: Vec<BenchEntry>,
+    sections: Vec<(String, JsonValue)>,
 }
 
 impl BenchReport {
     /// An empty report named `name` (e.g. `"fig10"`, `"explore"`).
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), context: Vec::new(), entries: Vec::new() }
+        Self { name: name.into(), context: Vec::new(), entries: Vec::new(), sections: Vec::new() }
     }
 
     /// Records one context member (scale, problem, worker count, ...).
@@ -90,6 +97,16 @@ impl BenchReport {
     /// Appends one entry.
     pub fn push(&mut self, entry: BenchEntry) {
         self.entries.push(entry);
+    }
+
+    /// Records one named top-level section (schema `v2`): a structured
+    /// document alongside the entries, e.g. the explorer's `pareto`
+    /// front. Sections are serialized after `entries` in insertion
+    /// order.
+    #[must_use]
+    pub fn section(mut self, key: &str, value: JsonValue) -> Self {
+        self.sections.push((key.to_owned(), value));
+        self
     }
 
     /// The report name.
@@ -114,7 +131,7 @@ impl BenchReport {
 
     /// The full document as a JSON value.
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::object([
+        let mut members = vec![
             ("schema".to_owned(), JsonValue::from(SCHEMA)),
             ("name".to_owned(), JsonValue::from(self.name.clone())),
             ("context".to_owned(), JsonValue::object(self.context.clone())),
@@ -122,7 +139,9 @@ impl BenchReport {
                 "entries".to_owned(),
                 JsonValue::Array(self.entries.iter().map(BenchEntry::to_json).collect()),
             ),
-        ])
+        ];
+        members.extend(self.sections.iter().cloned());
+        JsonValue::object(members)
     }
 
     /// Pretty-printed document text (with a trailing newline).
@@ -204,6 +223,21 @@ mod tests {
     #[test]
     fn file_name_follows_the_convention() {
         assert_eq!(sample().file_name(), "BENCH_sample.json");
+    }
+
+    #[test]
+    fn sections_ride_after_the_entries() {
+        let front = JsonValue::object([
+            ("objectives".to_owned(), JsonValue::Array(vec!["clock".into(), "traffic".into()])),
+            ("front".to_owned(), JsonValue::Array(vec![])),
+        ]);
+        let r = sample().section("pareto", front.clone());
+        let parsed = JsonValue::parse(&r.render()).unwrap();
+        assert_eq!(parsed.get("pareto"), Some(&front));
+        // Entries are untouched, so entry-only consumers keep working.
+        assert_eq!(parsed.get("entries").unwrap().as_array().unwrap().len(), 2);
+        let members = parsed.as_object().unwrap();
+        assert_eq!(members.last().unwrap().0, "pareto", "sections serialize last");
     }
 
     #[test]

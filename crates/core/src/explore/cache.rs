@@ -29,8 +29,13 @@
 //! Robustness policy: a cache is disposable. A missing file loads as an
 //! empty cache, a file with a different schema tag is ignored (the CI
 //! cache key embeds the schema version, so this only happens across
-//! versions locally), and unparseable *entries* are skipped; only
-//! unreadable or syntactically broken files are reported as errors.
+//! versions locally), unparseable *entries* are skipped, and a
+//! syntactically broken file loads as an empty cache with a stderr
+//! warning (it is rewritten whole on the next save); only unreadable
+//! files are reported as errors. Saves are atomic: the merged document
+//! is written to a temporary file in the same directory and renamed into
+//! place, so a crash mid-save leaves the old cache intact rather than a
+//! truncated JSON file.
 
 use std::collections::HashMap;
 use std::fs;
@@ -164,28 +169,60 @@ pub(crate) fn parse(text: &str) -> Result<HashMap<CandidateKey, CachedEval>, Dia
     Ok(out)
 }
 
-/// Loads a cache file; a missing file is an empty cache.
+/// Loads a cache file. A missing file is an empty cache; so is a
+/// syntactically broken one (with a stderr warning) — a corrupt cache
+/// must never fail the sweep it was meant to speed up, and the next save
+/// rewrites it whole.
 ///
 /// # Errors
 ///
-/// Returns a [`Diagnostic`] for unreadable or syntactically broken files.
+/// Returns a [`Diagnostic`] for unreadable files (permissions, IO).
 pub(crate) fn load(path: &Path) -> Result<HashMap<CandidateKey, CachedEval>, Diagnostic> {
     match fs::read_to_string(path) {
-        Ok(text) => parse(&text)
-            .map_err(|d| Diagnostic::error(format!("{}: {}", path.display(), d.message))),
+        Ok(text) => match parse(&text) {
+            Ok(entries) => Ok(entries),
+            Err(diag) => {
+                eprintln!(
+                    "warning: ignoring corrupt result cache {}: {} (it will be rewritten on the \
+                     next save)",
+                    path.display(),
+                    diag.message
+                );
+                Ok(HashMap::new())
+            }
+        },
         Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(HashMap::new()),
         Err(err) => Err(Diagnostic::error(format!("cannot read {}: {err}", path.display()))),
     }
+}
+
+/// The sibling temporary path a save stages its document in before the
+/// rename (same directory, so the rename stays within one filesystem).
+/// Unique per process *and* per call, so concurrent saves in one
+/// process cannot interleave writes into a shared staging file.
+pub(crate) fn staging_path(path: &Path) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let file = path.file_name().and_then(|n| n.to_str()).unwrap_or("BENCH_cache.json");
+    path.with_file_name(format!(
+        ".{file}.tmp-{}-{}",
+        std::process::id(),
+        SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
 }
 
 /// Merges `entries` over whatever the file already holds and writes the
 /// result (in-memory results win, though identical keys imply identical
 /// payloads). Returns the merged entry count.
 ///
-/// The load/merge/write sequence is not atomic: sequential sharers (CI
-/// runs, repeated local sweeps) accumulate entries, but two processes
-/// saving *concurrently* can each miss the other's additions. That is
-/// acceptable for a cache — a lost entry is simply re-measured later.
+/// The write is atomic: the merged document goes to a temporary file in
+/// the same directory first and is renamed over `path`, so a process
+/// killed mid-save leaves the previous cache loadable instead of a
+/// truncated JSON file. The load/merge/rename *sequence* is still not
+/// atomic: sequential sharers (CI runs, repeated local sweeps)
+/// accumulate entries, but two processes saving concurrently can each
+/// miss the other's additions. That is acceptable for a cache — a lost
+/// entry is simply re-measured later.
 ///
 /// # Errors
 ///
@@ -194,14 +231,26 @@ pub(crate) fn save(
     path: &Path,
     entries: &HashMap<CandidateKey, CachedEval>,
 ) -> Result<usize, Diagnostic> {
-    let mut merged = load(path).unwrap_or_default();
+    // An *unreadable* existing file propagates (overwriting it would
+    // silently discard every accumulated entry); corrupt files have
+    // already warned inside `load` and are deliberately rewritten.
+    let mut merged = load(path)?;
     merged.extend(entries.iter().map(|(k, v)| (k.clone(), v.clone())));
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
         fs::create_dir_all(dir)
             .map_err(|err| Diagnostic::error(format!("cannot create {}: {err}", dir.display())))?;
     }
-    fs::write(path, render(&merged))
-        .map_err(|err| Diagnostic::error(format!("cannot write {}: {err}", path.display())))?;
+    let staging = staging_path(path);
+    fs::write(&staging, render(&merged))
+        .map_err(|err| Diagnostic::error(format!("cannot write {}: {err}", staging.display())))?;
+    if let Err(err) = fs::rename(&staging, path) {
+        fs::remove_file(&staging).ok();
+        return Err(Diagnostic::error(format!(
+            "cannot move {} into {}: {err}",
+            staging.display(),
+            path.display()
+        )));
+    }
     Ok(merged.len())
 }
 
@@ -265,12 +314,30 @@ mod tests {
     }
 
     #[test]
-    fn foreign_schemas_load_empty_and_broken_files_error() {
+    fn foreign_schemas_and_broken_entries_parse_empty() {
         assert!(parse("{\"schema\": \"something-else/v9\", \"entries\": []}").unwrap().is_empty());
-        assert!(parse("not json").is_err());
+        assert!(parse("not json").is_err(), "parse itself still reports syntax errors");
         // Unparseable entries are skipped, not fatal.
         let text = "{\"schema\": \"axi4mlir-explore-cache/v1\", \"entries\": [ {\"key\": 5} ]}";
         assert!(parse(text).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_cache_files_load_empty_and_are_rewritten_by_save() {
+        let dir =
+            std::env::temp_dir().join(format!("axi4mlir-cache-corrupt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_cache.json");
+        // A truncated document (the old non-atomic failure mode) must not
+        // error the sweep: it loads as an empty cache...
+        fs::write(&path, "{\"schema\": \"axi4mlir-explore-cache/v1\", \"entr").unwrap();
+        assert!(load(&path).unwrap().is_empty(), "corrupt caches are disposable");
+        // ...and the next save replaces it with a valid document.
+        let mut entries = HashMap::new();
+        entries.insert(sample_key(1), sample_eval());
+        assert_eq!(save(&path, &entries).unwrap(), 1);
+        assert_eq!(load(&path).unwrap().len(), 1);
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -284,7 +351,47 @@ mod tests {
         second.insert(sample_key(2), sample_eval());
         assert_eq!(save(&path, &second).unwrap(), 2, "old entries survive the merge");
         assert_eq!(load(&path).unwrap().len(), 2);
+        let leftovers = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .count();
+        assert_eq!(leftovers, 0, "no staging file left behind");
         fs::remove_dir_all(&dir).ok();
         assert!(load(&path).unwrap().is_empty(), "missing files are empty caches");
+    }
+
+    #[test]
+    fn staging_paths_are_unique_per_call() {
+        let path = Path::new("some/dir/BENCH_cache.json");
+        let a = staging_path(path);
+        let b = staging_path(path);
+        assert_ne!(a, b, "concurrent saves must not share a staging file");
+        assert_eq!(a.parent(), path.parent(), "staged in the same directory as the target");
+    }
+
+    #[test]
+    fn a_crash_mid_save_leaves_the_old_cache_loadable() {
+        let dir = std::env::temp_dir().join(format!("axi4mlir-cache-crash-{}", std::process::id()));
+        let path = dir.join("BENCH_cache.json");
+        let mut entries = HashMap::new();
+        entries.insert(sample_key(1), sample_eval());
+        assert_eq!(save(&path, &entries).unwrap(), 1);
+
+        // Model a process killed mid-save: the staging file holds a
+        // half-written document, the rename never happened. The real
+        // cache is untouched and still loads, and the leftover staging
+        // file bothers nobody.
+        fs::write(staging_path(&path), "{\"schema\": \"axi4mlir-explore-c").unwrap();
+        let survived = load(&path).unwrap();
+        assert_eq!(survived.len(), 1, "old contents intact after the simulated crash");
+        assert_eq!(survived[&sample_key(1)].counters, sample_eval().counters);
+
+        // A later save still merges and completes the rename.
+        let mut more = HashMap::new();
+        more.insert(sample_key(2), sample_eval());
+        assert_eq!(save(&path, &more).unwrap(), 2);
+        assert_eq!(load(&path).unwrap().len(), 2);
+        fs::remove_dir_all(&dir).ok();
     }
 }

@@ -22,12 +22,18 @@
 //!   runs and independent of the worker count) behind a result cache
 //!   keyed by the structured [`CandidateKey`] — and the cache persists:
 //!   [`Explorer::with_cache_file`] / [`Explorer::save_cache`] load/merge/
-//!   save a `BENCH_cache.json` so repeated sweeps and CI runs share work.
+//!   save a `BENCH_cache.json` so repeated sweeps and CI runs share work;
+//! - an [`Objective`] set turns the sweep multi-objective:
+//!   [`Explorer::explore_with_objectives`] scores every evaluation under
+//!   each objective and the report exposes the non-dominated
+//!   [`ExploreReport::pareto_front`] plus where the paper's analytical
+//!   pick lands relative to it (see [`pareto`]).
 //!
 //! [`PipelineOptions`]: crate::options::PipelineOptions
 //! [`Session`]: crate::driver::Session
 
 mod cache;
+pub mod pareto;
 pub mod search;
 pub mod space;
 
@@ -41,6 +47,7 @@ use axi4mlir_support::diag::Diagnostic;
 
 use crate::driver::Session;
 
+pub use axi4mlir_heuristics::objective::Objective;
 use cache::CachedEval;
 pub use cache::CACHE_SCHEMA;
 pub use search::{HalvingSpec, Search};
@@ -65,18 +72,35 @@ pub enum Prune {
     WithinFactor(f64),
 }
 
-/// Applies a [`Prune`] strategy to any space's candidates, preserving the
-/// enumeration order of the survivors. Returns the kept candidates and
-/// how many were pruned away.
-pub fn prune(candidates: Vec<Candidate>, strategy: Prune) -> (Vec<Candidate>, usize) {
+/// The analytical rank the prune (and the halving round 0) sorts by: the
+/// objective's transfer-model estimate where it has one, the estimated
+/// traffic otherwise (task-clock and occupancy are not estimable before
+/// simulation), tie-broken by total words then transactions.
+fn estimate_rank(candidate: &Candidate, objective: Objective) -> (u64, u64, u64) {
+    let words = candidate.estimate.words_total();
+    (
+        objective.estimate(&candidate.estimate).unwrap_or(words),
+        words,
+        candidate.estimate.transactions,
+    )
+}
+
+/// Applies a [`Prune`] strategy to any space's candidates, ranking by
+/// `objective`'s analytical extractor and preserving the enumeration
+/// order of the survivors. Returns the kept candidates and how many were
+/// pruned away.
+pub fn prune(
+    candidates: Vec<Candidate>,
+    strategy: Prune,
+    objective: Objective,
+) -> (Vec<Candidate>, usize) {
     let total = candidates.len();
+    let score = |c: &Candidate| estimate_rank(c, objective).0;
     let kept: Vec<Candidate> = match strategy {
         Prune::None => candidates,
         Prune::KeepBest(n) => {
             let mut ranked: Vec<usize> = (0..candidates.len()).collect();
-            ranked.sort_by_key(|&i| {
-                (candidates[i].estimate.words_total(), candidates[i].estimate.transactions, i)
-            });
+            ranked.sort_by_key(|&i| (estimate_rank(&candidates[i], objective), i));
             let mut keep = vec![false; candidates.len()];
             for &i in ranked.iter().take(n) {
                 keep[i] = true;
@@ -84,9 +108,9 @@ pub fn prune(candidates: Vec<Candidate>, strategy: Prune) -> (Vec<Candidate>, us
             candidates.into_iter().zip(keep).filter_map(|(c, k)| k.then_some(c)).collect()
         }
         Prune::WithinFactor(factor) => {
-            let best = candidates.iter().map(|c| c.estimate.words_total()).min().unwrap_or(0);
+            let best = candidates.iter().map(score).min().unwrap_or(0);
             let cutoff = (best as f64 * factor.max(1.0)).ceil() as u64;
-            candidates.into_iter().filter(|c| c.estimate.words_total() <= cutoff).collect()
+            candidates.into_iter().filter(|c| score(c) <= cutoff).collect()
         }
     };
     let pruned_out = total - kept.len();
@@ -145,6 +169,9 @@ pub struct ExploreReport {
     /// The measured candidates: every survivor for an exhaustive search,
     /// the finalists for a halving search.
     pub evaluations: Vec<Evaluation>,
+    /// The objectives the sweep was scored under (at least one; the
+    /// first is the primary the prune and halving rank by).
+    pub objectives: Vec<Objective>,
     /// The space's analytical heuristic pick (if one exists).
     pub heuristic: Option<Candidate>,
     /// The heuristic pick's own measurement.
@@ -155,7 +182,22 @@ impl ExploreReport {
     /// The measured optimum: smallest task-clock, first in measurement
     /// order among exact ties (deterministic across worker counts).
     pub fn optimum(&self) -> Option<&Evaluation> {
-        self.evaluations.iter().min_by(|a, b| a.task_clock_ms.total_cmp(&b.task_clock_ms))
+        self.optimum_by(Objective::TaskClock)
+    }
+
+    /// The measured optimum under one objective, first in measurement
+    /// order among exact ties.
+    pub fn optimum_by(&self, objective: Objective) -> Option<&Evaluation> {
+        self.evaluations
+            .iter()
+            .min_by(|a, b| a.objective_value(objective).total_cmp(&b.objective_value(objective)))
+    }
+
+    /// Indices (into [`Self::evaluations`]) of the Pareto front under the
+    /// report's objectives, in measurement order. With a single objective
+    /// this degenerates to the evaluations attaining its minimum.
+    pub fn pareto_front(&self) -> Vec<usize> {
+        pareto::pareto_front(&self.evaluations, &self.objectives)
     }
 
     /// How far the analytical heuristic lands from the explored optimum:
@@ -165,6 +207,20 @@ impl ExploreReport {
         let h = self.heuristic_eval.as_ref()?;
         let o = self.optimum()?;
         Some(h.task_clock_ms / o.task_clock_ms)
+    }
+
+    /// How many measured evaluations Pareto-dominate the heuristic pick
+    /// under the report's objectives — `Some(0)` means the paper's
+    /// analytical choice sits on (or would extend) the front.
+    pub fn heuristic_dominated_by(&self) -> Option<usize> {
+        let h = self.heuristic_eval.as_ref()?;
+        Some(pareto::dominated_by_count(h, &self.evaluations, &self.objectives))
+    }
+
+    /// Whether the heuristic pick is non-dominated relative to the
+    /// measured front.
+    pub fn heuristic_on_front(&self) -> Option<bool> {
+        self.heuristic_dominated_by().map(|n| n == 0)
     }
 }
 
@@ -234,7 +290,9 @@ impl Explorer {
 
     /// Runs one exploration of any space: enumerate, prune, search
     /// (measuring in parallel through the cache), and relate the space's
-    /// heuristic pick to the measured optimum.
+    /// heuristic pick to the measured optimum. Single-objective
+    /// (task-clock); see [`Explorer::explore_with_objectives`] for the
+    /// multi-objective form.
     ///
     /// # Errors
     ///
@@ -248,6 +306,31 @@ impl Explorer {
         search: &Search,
         workers: usize,
     ) -> Result<ExploreReport, Diagnostic> {
+        self.explore_with_objectives(space, prune_strategy, search, workers, &[])
+    }
+
+    /// Runs one exploration scored under `objectives` (empty defaults to
+    /// task-clock only). The first objective is the *primary*: the
+    /// analytical prune ranks by its transfer-model extractor, and a
+    /// [`Search::Halving`] promotes by it too unless its
+    /// [`HalvingSpec::objective`] pins something else. Every objective
+    /// contributes a coordinate to the report's
+    /// [`ExploreReport::pareto_front`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Explorer::explore_space`].
+    pub fn explore_with_objectives(
+        &self,
+        space: &dyn DesignSpace,
+        prune_strategy: Prune,
+        search: &Search,
+        workers: usize,
+        objectives: &[Objective],
+    ) -> Result<ExploreReport, Diagnostic> {
+        let objectives: Vec<Objective> =
+            if objectives.is_empty() { vec![Objective::TaskClock] } else { objectives.to_vec() };
+        let primary = objectives[0];
         let all = space.enumerate()?;
         if all.is_empty() {
             return Err(Diagnostic::error(format!(
@@ -256,14 +339,14 @@ impl Explorer {
             )));
         }
         let space_size = all.len();
-        let (candidates, pruned_out) = prune(all, prune_strategy);
+        let (candidates, pruned_out) = prune(all, prune_strategy, primary);
         let sims_before = self.evals_performed();
 
         let (evaluations, proxy_hits) = match search {
             Search::Exhaustive => {
                 (self.measure_set(space, &candidates, Fidelity::Full, workers)?, 0)
             }
-            Search::Halving(spec) => self.run_halving(space, candidates, spec, workers)?,
+            Search::Halving(spec) => self.run_halving(space, candidates, spec, workers, primary)?,
         };
         let cache_hits = proxy_hits + evaluations.iter().filter(|e| e.from_cache).count();
 
@@ -288,6 +371,7 @@ impl Explorer {
             cache_hits,
             sims_performed: self.evals_performed() - sims_before,
             evaluations,
+            objectives,
             heuristic,
             heuristic_eval,
         })
@@ -524,7 +608,7 @@ mod tests {
     #[test]
     fn keep_best_prunes_to_n_preserving_order() {
         let all = small_candidates();
-        let (kept, dropped) = prune(all.clone(), Prune::KeepBest(5));
+        let (kept, dropped) = prune(all.clone(), Prune::KeepBest(5), Objective::DmaWords);
         assert_eq!(kept.len(), 5);
         assert_eq!(dropped, all.len() - 5);
         // Survivors appear in the same relative order as the enumeration.
@@ -541,12 +625,27 @@ mod tests {
     #[test]
     fn within_factor_keeps_everything_at_infinity_and_best_at_one() {
         let all = small_candidates();
-        let (kept, _) = prune(all.clone(), Prune::WithinFactor(f64::INFINITY));
+        let (kept, _) = prune(all.clone(), Prune::WithinFactor(f64::INFINITY), Objective::DmaWords);
         assert_eq!(kept.len(), all.len());
         let best = all.iter().map(|c| c.estimate.words_total()).min().unwrap();
-        let (kept, _) = prune(all, Prune::WithinFactor(1.0));
+        let (kept, _) = prune(all, Prune::WithinFactor(1.0), Objective::DmaWords);
         assert!(!kept.is_empty());
         assert!(kept.iter().all(|c| c.estimate.words_total() == best));
+    }
+
+    #[test]
+    fn prune_ranks_by_the_requested_objective() {
+        let all = small_candidates();
+        // Transactions and words rank candidates differently in general;
+        // the transactions prune must keep the transactions minimum.
+        let best_txns = all.iter().map(|c| c.estimate.transactions).min().unwrap();
+        let (kept, _) = prune(all.clone(), Prune::WithinFactor(1.0), Objective::DmaTransactions);
+        assert!(!kept.is_empty());
+        assert!(kept.iter().all(|c| c.estimate.transactions == best_txns));
+        // Objectives without an analytical extractor fall back to words.
+        let (by_clock, _) = prune(all.clone(), Prune::KeepBest(5), Objective::TaskClock);
+        let (by_words, _) = prune(all, Prune::KeepBest(5), Objective::DmaWords);
+        assert_eq!(by_clock, by_words);
     }
 
     #[test]

@@ -5,26 +5,32 @@
 //! multi-generation sweeps. Successive halving spends most measurements
 //! on cheap *proxy* problems instead: candidates are ranked by the
 //! analytical transfer model, then promoted through rounds in which the
-//! surviving fraction shrinks by `eta` while the measurement fidelity
+//! surviving fraction shrinks by `1/eta` while the measurement fidelity
 //! (the proxy problem size) doubles, until only the finalists are
-//! measured on the full problem. Proxy measurements of differently-sized
-//! proxies are compared by *time per MAC*, not raw time, so tiles of
-//! different shapes race fairly.
+//! measured on the full problem. Promotion ranks by a configurable
+//! [`Objective`]; extensive objectives (time, traffic) are normalized
+//! *per MAC* so proxies of different sizes race fairly — time per MAC is
+//! the default.
 //!
 //! Every proxy measurement flows through the same candidate-keyed cache
 //! as full measurements (proxy realizations carry their proxy problem in
-//! the key), so repeated halving runs — and spaces whose proxies
-//! degenerate to the full problem — re-simulate nothing.
+//! the key), so repeated halving runs re-simulate nothing. When a round's
+//! proxies stop growing — they already cover the full problem, or the
+//! level can no longer rise — further rounds would re-rank identical
+//! measurements, so the search cuts straight to the finalists instead of
+//! looping on a saturated level.
 
+use axi4mlir_heuristics::objective::Objective;
 use axi4mlir_support::diag::Diagnostic;
 
 use super::space::{Candidate, DesignSpace, Fidelity};
-use super::{Evaluation, Explorer};
+use super::{estimate_rank, Evaluation, Explorer};
 
 /// Parameters of the successive-halving search.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HalvingSpec {
-    /// Fraction of survivors kept per round (`1/eta`); clamped to ≥ 2.
+    /// Divisor of the survivor count per round: each round keeps `1/eta`
+    /// of the field (so `eta = 2` halves it). Clamped to ≥ 2.
     pub eta: usize,
     /// Candidates promoted to the final full-fidelity round (the search
     /// stops cutting once the field is this small); clamped to ≥ 1.
@@ -32,11 +38,34 @@ pub struct HalvingSpec {
     /// Proxy fidelity of the first measured round, in tiles per
     /// dimension; doubles every round. Clamped to ≥ 1.
     pub start_level: u8,
+    /// The objective promotion ranks by. `None` — the default — follows
+    /// the sweep's *primary* objective (the first one passed to
+    /// `explore_with_objectives`), so pruning and promotion always agree
+    /// unless a caller explicitly overrides this. Under the default
+    /// task-clock primary that is time per MAC.
+    pub objective: Option<Objective>,
 }
 
 impl Default for HalvingSpec {
     fn default() -> Self {
-        Self { eta: 2, finalists: 4, start_level: 2 }
+        Self { eta: 2, finalists: 4, start_level: 2, objective: None }
+    }
+}
+
+impl HalvingSpec {
+    /// Pins the promotion objective, decoupling it from the sweep's
+    /// primary.
+    #[must_use]
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = Some(objective);
+        self
+    }
+
+    /// Overrides the finalist count.
+    #[must_use]
+    pub fn finalists(mut self, finalists: usize) -> Self {
+        self.finalists = finalists;
+        self
     }
 }
 
@@ -68,28 +97,56 @@ impl Explorer {
         mut survivors: Vec<Candidate>,
         spec: &HalvingSpec,
         workers: usize,
+        primary: Objective,
     ) -> Result<(Vec<Evaluation>, usize), Diagnostic> {
         let eta = spec.eta.max(2);
         let finalists = spec.finalists.max(1);
-        // Round 0 is free: rank by the analytical transfer model
-        // (stable, so enumeration order breaks ties).
-        survivors.sort_by_key(|c| (c.estimate.words_total(), c.estimate.transactions));
+        let objective = spec.objective.unwrap_or(primary);
+        // Round 0 is free: rank by the analytical transfer model under
+        // the promotion objective (stable, so enumeration order breaks
+        // ties).
+        survivors.sort_by_key(|c| estimate_rank(c, objective));
 
         let mut level = spec.start_level.max(1);
         let mut proxy_hits = 0;
         while survivors.len() > finalists {
+            // A proxy level is *stalled* when raising it changes no
+            // survivor's realization — either the proxies already cover
+            // the full problem, or `level` can no longer grow. Further
+            // rounds would re-rank identical measurements, so this round
+            // ranks once and promotes straight to the finalists.
+            let next_level = level.saturating_mul(2);
+            let mut stalled = next_level == level;
+            if !stalled {
+                stalled = true;
+                for candidate in &survivors {
+                    let here = space.realize(candidate, Fidelity::Proxy { level })?.key;
+                    let above =
+                        space.realize(candidate, Fidelity::Proxy { level: next_level })?.key;
+                    if here != above {
+                        stalled = false;
+                        break;
+                    }
+                }
+            }
+
             let evals = self.measure_set(space, &survivors, Fidelity::Proxy { level }, workers)?;
             proxy_hits += evals.iter().filter(|e| e.from_cache).count();
-            // Promote the fastest per unit of work (proxies differ in
-            // size); ties keep the round's incoming rank.
+            // Promote by the objective's work-normalized score (proxies
+            // differ in size); ties keep the round's incoming rank.
             let mut order: Vec<usize> = (0..survivors.len()).collect();
             order.sort_by(|&a, &b| {
-                let throughput = |e: &Evaluation| e.task_clock_ms / e.work.max(1) as f64;
-                throughput(&evals[a]).total_cmp(&throughput(&evals[b])).then(a.cmp(&b))
+                let rank = |e: &Evaluation| e.rank_value(objective);
+                rank(&evals[a]).total_cmp(&rank(&evals[b])).then(a.cmp(&b))
             });
-            order.truncate(finalists.max(survivors.len().div_ceil(eta)));
+            let keep =
+                if stalled { finalists } else { finalists.max(survivors.len().div_ceil(eta)) };
+            order.truncate(keep);
             survivors = order.into_iter().map(|i| survivors[i].clone()).collect();
-            level = level.saturating_mul(2);
+            if stalled {
+                break;
+            }
+            level = next_level;
         }
 
         let finals = self.measure_set(space, &survivors, Fidelity::Full, workers)?;

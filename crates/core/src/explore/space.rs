@@ -141,10 +141,12 @@ impl Candidate {
 /// How faithfully a candidate is measured.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Fidelity {
-    /// A proxy problem capped at `level` tiles per dimension — cheap,
-    /// rank-preserving enough to steer successive halving. Spaces without
-    /// a cheaper proxy realize this identically to [`Fidelity::Full`]
-    /// (the shared cache key then makes proxy rounds free).
+    /// A proxy problem capped at `level` units per dimension (tiles for
+    /// MatMul spaces, output pixels/channels for conv, with a batch of
+    /// one standing in for a batched sweep) — cheap, rank-preserving
+    /// enough to steer successive halving. A proxy that already covers
+    /// the full problem realizes identically to [`Fidelity::Full`] (the
+    /// shared cache key then makes proxy rounds free).
     Proxy {
         /// Tiles per dimension the proxy problem keeps (at least 1).
         level: u8,
@@ -497,13 +499,19 @@ impl DesignSpace for BatchedSpace {
         fidelity: Fidelity,
     ) -> Result<Realization, Diagnostic> {
         let (accel, flow) = matmul_key_target(&candidate.key)?;
-        let problem = match fidelity {
-            Fidelity::Full => self.batch.problem,
-            Fidelity::Proxy { level } => {
-                proxy_problem(self.batch.problem, candidate.key.tile, level)
-            }
+        // The proxy shrinks both axes of the batch: the per-element
+        // problem is capped at `level` tiles per dimension, and a single
+        // element stands in for the whole batch (the elements are
+        // independent and identically shaped, so one preserves the
+        // ranking) — without this, every proxy round re-measured the
+        // full batch and halving saved nothing here.
+        let batch = match fidelity {
+            Fidelity::Full => self.batch,
+            Fidelity::Proxy { level } => BatchedMatMulProblem::new(
+                proxy_problem(self.batch.problem, candidate.key.tile, level),
+                1,
+            ),
         };
-        let batch = BatchedMatMulProblem::new(problem, self.batch.batch);
         let config = matmul_config(accel, candidate.key.tile, flow);
         let plan = CompilePlan::for_accelerator(config)
             .seed(self.seed)
@@ -542,9 +550,27 @@ impl DesignSpace for BatchedSpace {
 // Conv2D
 // ---------------------------------------------------------------------
 
+/// The reduced-output-extent proxy of a conv layer at `level`: the
+/// accelerator's configuration (input channels, filter shape, stride) is
+/// kept — the §IV-D device is instantiated from them — while the output
+/// is capped at `level` pixels per spatial dimension and `level` output
+/// channels, shrinking the input window sweep proportionally. A level
+/// covering the full output extent returns the layer itself, so halving's
+/// saturation check converges exactly.
+fn conv_proxy_layer(layer: ConvLayer, level: u8) -> ConvLayer {
+    let level = usize::from(level.max(1));
+    let out_hw = layer.out_hw().min(level);
+    let out_channels = layer.out_channels.min(level);
+    if out_hw == layer.out_hw() && out_channels == layer.out_channels {
+        return layer;
+    }
+    ConvLayer { in_hw: (out_hw - 1) * layer.stride + layer.filter_hw, out_channels, ..layer }
+}
+
 /// The Conv2D design space: one §IV-D layer. The accelerator is
 /// configured to the layer's channel/filter shape, so the geometric point
-/// is fixed and the explored axis is [`PipelineOptions`].
+/// is fixed and the explored axis is [`PipelineOptions`]; proxy
+/// fidelities run a [`conv_proxy_layer`] with a reduced output extent.
 #[derive(Clone, Debug)]
 pub struct ConvSpace {
     /// The layer to explore.
@@ -622,19 +648,25 @@ impl DesignSpace for ConvSpace {
     fn realize(
         &self,
         candidate: &Candidate,
-        _fidelity: Fidelity,
+        fidelity: Fidelity,
     ) -> Result<Realization, Diagnostic> {
-        // The layer admits no cheaper proxy (the accelerator is sized to
-        // it), so every fidelity realizes the full layer; the shared key
-        // dedups proxy rounds against full measurements.
-        let plan = CompilePlan::for_conv_layer(self.layer)
+        // The accelerator is sized to the layer's channel/filter shape,
+        // which a proxy must keep — but the *output extent* is free:
+        // proxy rounds run a reduced-output layer (fewer pixels and
+        // output channels), so halving saves real work here instead of
+        // re-measuring the full layer every round.
+        let layer = match fidelity {
+            Fidelity::Full => self.layer,
+            Fidelity::Proxy { level } => conv_proxy_layer(self.layer, level),
+        };
+        let plan = CompilePlan::for_conv_layer(layer)
             .seed(self.seed)
             .options(candidate.key.options.apply(PipelineOptions::default()));
         Ok(Realization {
-            key: CandidateKey { workload: self.workload_label(), ..candidate.key.clone() },
-            workload: Box::new(ConvWorkload::new(self.layer)),
+            key: CandidateKey { workload: format!("conv {layer}"), ..candidate.key.clone() },
+            workload: Box::new(ConvWorkload::new(layer)),
             plan,
-            work: self.layer.macs(),
+            work: layer.macs(),
         })
     }
 
@@ -727,10 +759,61 @@ mod tests {
         assert_eq!(candidates.len(), 4);
         let heuristic = space.heuristic().unwrap();
         assert_eq!(heuristic.key.options, OptionsPoint::default());
-        // Proxy realization is the full layer under the same key.
+    }
+
+    #[test]
+    fn conv_proxy_reduces_output_extent_but_keeps_the_accelerator_shape() {
+        let layer = quick_layer();
+        let space = ConvSpace::new(layer);
+        let candidates = space.enumerate().unwrap();
+        let full = space.realize(&candidates[0], Fidelity::Full).unwrap();
+        let proxy = space.realize(&candidates[0], Fidelity::Proxy { level: 2 }).unwrap();
+        // The proxy is a genuinely smaller problem under its own cache key.
+        assert!(proxy.work < full.work, "{} !< {}", proxy.work, full.work);
+        assert_ne!(proxy.key, full.key);
+        // Its accelerator configuration is the layer's (same preset name),
+        // so the proxy measures the same device the full layer targets.
+        assert_eq!(
+            proxy.plan.config.as_ref().unwrap().name,
+            full.plan.config.as_ref().unwrap().name
+        );
+        // Doubling the level grows the proxy toward the layer, and a
+        // covering level realizes the layer itself under the full key.
+        let bigger = space.realize(&candidates[0], Fidelity::Proxy { level: 4 }).unwrap();
+        assert!(proxy.work < bigger.work && bigger.work < full.work);
+        let covering = space.realize(&candidates[0], Fidelity::Proxy { level: 255 }).unwrap();
+        assert_eq!(covering.key, full.key);
+        assert_eq!(covering.work, full.work);
+    }
+
+    #[test]
+    fn conv_proxy_geometry_is_consistent() {
+        // Stride > 1: the proxy input extent must reproduce the capped
+        // output extent exactly.
+        let layer =
+            ConvLayer { in_hw: 30, in_channels: 8, filter_hw: 3, out_channels: 16, stride: 2 };
+        for level in [1u8, 2, 3, 7] {
+            let proxy = conv_proxy_layer(layer, level);
+            assert_eq!(proxy.out_hw(), layer.out_hw().min(usize::from(level)));
+            assert_eq!(proxy.out_channels, layer.out_channels.min(usize::from(level)));
+            assert_eq!(
+                (proxy.in_channels, proxy.filter_hw, proxy.stride),
+                (layer.in_channels, layer.filter_hw, layer.stride)
+            );
+        }
+    }
+
+    #[test]
+    fn batched_proxy_measures_a_single_element() {
+        let batch = BatchedMatMulProblem::new(MatMulProblem::new(32, 32, 32), 3);
+        let space = BatchedSpace::new(batch).accels(vec![AccelInstance::v4(8)]);
+        let candidates = space.enumerate().unwrap();
         let full = space.realize(&candidates[0], Fidelity::Full).unwrap();
         let proxy = space.realize(&candidates[0], Fidelity::Proxy { level: 1 }).unwrap();
-        assert_eq!(full.key, proxy.key);
+        assert_eq!(full.work, 3 * 32 * 32 * 32);
+        assert!(proxy.work < full.work / 3, "batch of one on a reduced problem");
+        assert_ne!(proxy.key, full.key);
+        assert!(proxy.key.workload.contains("x1"), "{}", proxy.key.workload);
     }
 
     #[test]

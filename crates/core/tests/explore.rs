@@ -9,9 +9,10 @@ use axi4mlir_config::AcceleratorConfig;
 use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
 use axi4mlir_core::explore::{
     AccelInstance, BatchedSpace, ConvSpace, DesignSpace, ExploreSpec, Explorer, HalvingSpec,
-    MatMulSpace, MatMulVersion, OptionsPoint, Prune, Search,
+    MatMulSpace, MatMulVersion, Objective, OptionsPoint, Prune, Search,
 };
 use axi4mlir_heuristics::instantiation_base;
+use axi4mlir_support::json::JsonValue;
 use axi4mlir_workloads::batched::BatchedMatMulProblem;
 use axi4mlir_workloads::matmul::MatMulProblem;
 use axi4mlir_workloads::resnet::ConvLayer;
@@ -272,6 +273,170 @@ fn multi_generation_space_explores_v1_through_v4() {
     };
     assert_ne!(ns_8("v3_8"), ns_8("v4_8"));
     assert_ne!(ns_8("v3_8"), None);
+}
+
+/// Counts the persisted cache entries measured at *full* fidelity, i.e.
+/// whose workload field names the full problem rather than a proxy.
+fn full_fidelity_entries(explorer: &Explorer, full_workload: &str) -> usize {
+    let dir = std::env::temp_dir().join(format!(
+        "axi4mlir-fidelity-count-{}-{}",
+        std::process::id(),
+        explorer.cache_len()
+    ));
+    let path = dir.join("BENCH_cache.json");
+    explorer.save_cache(&path).expect("save cache for inspection");
+    let text = std::fs::read_to_string(&path).expect("read saved cache");
+    std::fs::remove_dir_all(&dir).ok();
+    let doc = JsonValue::parse(&text).expect("cache parses");
+    doc.get("entries")
+        .and_then(JsonValue::as_array)
+        .expect("entries array")
+        .iter()
+        .filter(|entry| {
+            entry.get("key").and_then(|k| k.get("workload")).and_then(JsonValue::as_str)
+                == Some(full_workload)
+        })
+        .count()
+}
+
+#[test]
+fn conv_halving_simulates_fewer_full_layers_than_exhaustive() {
+    // The old conv "proxy" realized the full layer, so halving re-measured
+    // the whole problem every round and saved nothing. With the
+    // reduced-output-extent proxy, the halving sweep must run strictly
+    // fewer full-fidelity simulations than the exhaustive sweep of the
+    // same space.
+    let layer = quick_layer();
+    let full_workload = format!("conv {layer}");
+
+    let exhaustive = Explorer::new();
+    exhaustive
+        .explore_space(&ConvSpace::new(layer), Prune::None, &Search::Exhaustive, 2)
+        .expect("exhaustive conv sweep");
+    let exhaustive_full = full_fidelity_entries(&exhaustive, &full_workload);
+    assert_eq!(exhaustive_full, 4, "exhaustive measures the whole options axis at full fidelity");
+
+    let halving = Explorer::new();
+    let search = Search::Halving(HalvingSpec::default().finalists(2));
+    let report = halving
+        .explore_space(&ConvSpace::new(layer), Prune::None, &search, 2)
+        .expect("halving conv sweep");
+    let halving_full = full_fidelity_entries(&halving, &full_workload);
+    assert!(
+        halving_full < exhaustive_full,
+        "halving must run fewer full-fidelity conv sims ({halving_full} !< {exhaustive_full})"
+    );
+    // The finalists still measured the genuine layer, verified.
+    assert_eq!(report.evaluations.len(), 2);
+    assert!(report.evaluations.iter().all(|e| e.verified && e.work == layer.macs()));
+    // And proxy rounds really ran smaller problems.
+    assert!(halving.cache_len() > halving_full, "proxy entries exist alongside full ones");
+}
+
+#[test]
+fn batched_halving_saves_full_batch_simulations() {
+    let batch = BatchedMatMulProblem::new(MatMulProblem::new(16, 16, 16), 2);
+    let full_workload = format!("batched {batch}");
+    let space = || BatchedSpace::new(batch).accels(vec![AccelInstance::v4(8)]).seed(9);
+
+    let exhaustive = Explorer::new();
+    exhaustive
+        .explore_space(&space(), Prune::None, &Search::Exhaustive, 2)
+        .expect("exhaustive batched sweep");
+    let exhaustive_full = full_fidelity_entries(&exhaustive, &full_workload);
+    assert_eq!(exhaustive_full, 32, "2 edges per dim x 4 flows");
+
+    let halving = Explorer::new();
+    let report = halving
+        .explore_space(&space(), Prune::None, &Search::Halving(HalvingSpec::default()), 2)
+        .expect("halving batched sweep");
+    let halving_full = full_fidelity_entries(&halving, &full_workload);
+    assert!(
+        halving_full < exhaustive_full,
+        "the batch-1 proxy must spare full-batch sims ({halving_full} !< {exhaustive_full})"
+    );
+    // Proxy rounds measured single-element stand-ins.
+    assert!(report.evaluations.iter().all(|e| e.work == batch.macs()), "finals are full-batch");
+}
+
+#[test]
+fn multi_objective_front_contains_the_single_objective_optima() {
+    let explorer = Explorer::new();
+    let space = small_spec().space();
+    let objectives = [Objective::TaskClock, Objective::DmaWords];
+    let search = Search::Halving(HalvingSpec::default());
+    let report = explorer
+        .explore_with_objectives(&space, Prune::None, &search, 2, &objectives)
+        .expect("multi-objective halving sweep");
+
+    let front = report.pareto_front();
+    assert!(!front.is_empty(), "a non-empty sweep has a non-empty front");
+    assert_eq!(report.objectives, objectives.to_vec());
+    for objective in objectives {
+        let best = report.optimum_by(objective).expect("an optimum").objective_value(objective);
+        let on_front = front
+            .iter()
+            .map(|&i| report.evaluations[i].objective_value(objective))
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(on_front.to_bits(), best.to_bits(), "{objective} optimum is on the front");
+    }
+    // Front members are mutually non-dominated.
+    use axi4mlir_core::explore::pareto::dominates;
+    for &i in &front {
+        let a = report.evaluations[i].objective_vector(&objectives);
+        for &j in &front {
+            let b = report.evaluations[j].objective_vector(&objectives);
+            assert!(!dominates(&a, &b), "front members must not dominate each other");
+        }
+    }
+
+    // A second identical invocation is served entirely from the cache.
+    let again = explorer
+        .explore_with_objectives(&space, Prune::None, &search, 2, &objectives)
+        .expect("cached multi-objective sweep");
+    assert_eq!(again.sims_performed, 0, "0 new simulations on the cached re-run");
+    assert_eq!(again.pareto_front(), front, "the front is reproducible from cache");
+}
+
+#[test]
+fn occupancy_objective_scores_the_idle_fraction() {
+    let report = Explorer::new()
+        .explore_with_objectives(
+            &small_spec().space(),
+            Prune::KeepBest(4),
+            &Search::Exhaustive,
+            2,
+            &[Objective::TaskClock, Objective::Occupancy],
+        )
+        .expect("occupancy-scored sweep");
+    for eval in &report.evaluations {
+        let occupancy = eval.occupancy();
+        assert!((0.0..=1.0).contains(&occupancy), "occupancy {occupancy} out of range");
+        assert!(occupancy > 0.0, "the accelerator did compute");
+        let scored = eval.objective_value(Objective::Occupancy);
+        assert!((scored - (1.0 - occupancy)).abs() < 1e-12, "occupancy is scored as idleness");
+    }
+    assert!(!report.pareto_front().is_empty());
+}
+
+#[test]
+fn halving_promotes_by_a_configurable_objective() {
+    // Promoting by traffic must surface the analytic traffic minimum
+    // among the finalists: DMA words are a deterministic function of the
+    // candidate, and words-per-MAC ranks proxies exactly like words.
+    let space = small_spec().space();
+    let all = space.enumerate().expect("candidates");
+    let min_words = all.iter().map(|c| c.estimate.words_total()).min().unwrap();
+    let search = Search::Halving(HalvingSpec::default().objective(Objective::DmaWords));
+    let report = Explorer::new()
+        .explore_with_objectives(&space, Prune::None, &search, 2, &[Objective::DmaWords])
+        .expect("traffic-promoted halving");
+    let finalist_words: Vec<u64> =
+        report.evaluations.iter().map(|e| e.candidate.estimate.words_total()).collect();
+    assert!(
+        finalist_words.contains(&min_words),
+        "the traffic optimum {min_words} must survive traffic promotion: {finalist_words:?}"
+    );
 }
 
 #[test]

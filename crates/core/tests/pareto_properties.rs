@@ -1,0 +1,118 @@
+//! Property-based tests of the multi-objective dominance layer: for
+//! arbitrary objective-value matrices, the Pareto front must be
+//! non-dominated, must contain every single-objective optimum, and must
+//! be the same *set* no matter what order the evaluations arrive in.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use axi4mlir_core::explore::pareto::{dominates, front_indices};
+
+/// A random objective matrix: `rows` points, each scored under `cols`
+/// objectives. Small integer scores (mapped to f64) make exact ties —
+/// the interesting edge case — common.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    vec(vec(0u64..12, cols..=cols), rows..=rows).prop_map(|m| {
+        m.into_iter().map(|row| row.into_iter().map(|v| v as f64).collect()).collect()
+    })
+}
+
+/// Applies the permutation `perm` (a bijection of indices) to `points`.
+fn permuted(points: &[Vec<f64>], perm: &[usize]) -> Vec<Vec<f64>> {
+    perm.iter().map(|&i| points[i].clone()).collect()
+}
+
+/// A deterministic pseudo-random permutation of `0..n` derived from a
+/// seed (Fisher–Yates with a splitmix-style generator), so order
+/// invariance is exercised without a shuffle strategy.
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No point dominates any front member, and every non-front point is
+    /// dominated by someone (the front is exactly the non-dominated set).
+    #[test]
+    fn front_is_exactly_the_non_dominated_set(
+        points in (1usize..24, 1usize..4).prop_flat_map(|(r, c)| matrix(r, c)),
+    ) {
+        let front = front_indices(&points);
+        prop_assert!(!front.is_empty(), "a non-empty set has a non-empty front");
+        for &i in &front {
+            for other in &points {
+                prop_assert!(!dominates(other, &points[i]), "front member {i} is dominated");
+            }
+        }
+        for i in 0..points.len() {
+            if !front.contains(&i) {
+                prop_assert!(
+                    points.iter().any(|other| dominates(other, &points[i])),
+                    "non-front point {i} is dominated by nobody"
+                );
+            }
+        }
+    }
+
+    /// For every objective, the front attains the global minimum — the
+    /// single-objective optima always survive.
+    #[test]
+    fn front_contains_every_single_objective_optimum(
+        points in (1usize..24, 1usize..4).prop_flat_map(|(r, c)| matrix(r, c)),
+    ) {
+        let front = front_indices(&points);
+        let cols = points[0].len();
+        for col in 0..cols {
+            let global = points.iter().map(|p| p[col]).fold(f64::INFINITY, f64::min);
+            let on_front = front.iter().map(|&i| points[i][col]).fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(global, on_front, "objective {} minimum missing from the front", col);
+        }
+    }
+
+    /// The front is a set: permuting the evaluations permutes the front
+    /// but never changes its membership.
+    #[test]
+    fn front_is_invariant_under_evaluation_order(
+        points in (2usize..24, 1usize..4).prop_flat_map(|(r, c)| matrix(r, c)),
+        seed in 0u64..u64::MAX,
+    ) {
+        let perm = permutation(points.len(), seed);
+        let shuffled = permuted(&points, &perm);
+        // Map the shuffled front back to original indices and compare as
+        // multisets of coordinate vectors (duplicates with equal scores
+        // are interchangeable).
+        let mut original: Vec<Vec<u64>> = front_indices(&points)
+            .iter()
+            .map(|&i| points[i].iter().map(|v| v.to_bits()).collect())
+            .collect();
+        let mut relabeled: Vec<Vec<u64>> = front_indices(&shuffled)
+            .iter()
+            .map(|&i| shuffled[i].iter().map(|v| v.to_bits()).collect())
+            .collect();
+        original.sort();
+        relabeled.sort();
+        prop_assert_eq!(original, relabeled);
+    }
+
+    /// Dominance is irreflexive and antisymmetric — the sanity floor the
+    /// front computation stands on.
+    #[test]
+    fn dominance_is_a_strict_partial_order(
+        a in vec(0u64..12, 1..4usize),
+        b in vec(0u64..12, 1..4usize),
+    ) {
+        let bf: Vec<f64> = b.iter().take(a.len()).map(|&v| v as f64).collect();
+        let af: Vec<f64> = a.iter().take(bf.len()).map(|&v| v as f64).collect();
+        prop_assert!(!dominates(&af, &af), "irreflexive");
+        if dominates(&af, &bf) {
+            prop_assert!(!dominates(&bf, &af), "antisymmetric");
+        }
+    }
+}

@@ -13,9 +13,13 @@
 //! - [`space`]: per-workload design-space enumerators (MatMul over
 //!   accelerator generations and tiles, batched MatMul, Conv2D) feeding
 //!   the `axi4mlir-core` exploration engine.
+//! - [`objective`]: the objectives a search can minimize (task-clock,
+//!   DMA words, DMA transactions, occupancy) with their analytical
+//!   extractors over [`transfer`] estimates.
 
 pub mod best;
 pub mod cache;
+pub mod objective;
 pub mod space;
 pub mod transfer;
 
@@ -23,6 +27,7 @@ pub use best::{
     best_choice, candidate_edges, instantiation_base, square_tile_choice, tile_words, TileChoice,
 };
 pub use cache::select_cache_tile;
+pub use objective::Objective;
 pub use space::{batched_points, conv_point, matmul_points, AccelInstance, SpacePoint};
 pub use transfer::{
     batched_matmul_transfers, conv_transfers, matmul_transfers, ConvShapeEstimate, TransferEstimate,

@@ -35,9 +35,9 @@ echo "== design-space explorer =="
 # BENCH_all.json).
 CACHE="$OUT_DIR/BENCH_cache.json"
 if [ "${#QUICK[@]}" -gt 0 ]; then
-    cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --smoke --cache "$CACHE" --json "$OUT_DIR"
+    cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --smoke --objectives clock,traffic --cache "$CACHE" --json "$OUT_DIR"
 else
-    cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --cache "$CACHE" --json "$OUT_DIR"
+    cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --objectives clock,traffic --cache "$CACHE" --json "$OUT_DIR"
 fi
 
 echo "== collecting =="
