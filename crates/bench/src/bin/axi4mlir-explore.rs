@@ -6,10 +6,11 @@
 //! Usage:
 //! `cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- \
 //!     [--smoke] [--workload matmul|conv|batched] [--accel v1..v4[:SIZE],...] \
-//!     [--search exhaustive|halving] [--cache PATH] \
+//!     [--search exhaustive|halving] [--cache PATH] [--warm-start [PATH]] \
 //!     [--objectives clock,traffic,transactions,occupancy] \
 //!     [--dims MxNxK] [--batch N] [--layer iHW_iC_fHW_oC_stride] \
 //!     [--base B] [--capacity WORDS] [--sweep-options] \
+//!     [--sweep-cache-tiling] [--cpu pynq_z2|zcu102|desktop,...] \
 //!     [--workers N] [--prune none|keep:N|factor:F] [--seed S] [--json DIR]`
 //!
 //! `--smoke` is the CI entry point: a tiny space that sweeps in well
@@ -24,14 +25,25 @@
 //! and halving rank by), and `BENCH_explore.json` gains a top-level
 //! `pareto` section listing the non-dominated front plus context members
 //! locating the paper's analytical pick relative to it.
+//!
+//! `--warm-start [PATH]` fits the cross-problem transfer model from a
+//! persisted result cache (`PATH` defaults to the `--cache` file) and
+//! ranks the halving search by its calibrated clock predictions:
+//! measurements banked on *other* problem shapes cut both the proxy
+//! rungs and the full-fidelity finalist count on this one.
+//! `--sweep-cache-tiling` and `--cpu` widen the options axis with the
+//! cache-hierarchy tiling levels (off/auto/fixed 16-64) and named host
+//! CPUs (meaningful under auto tiling only; illegal combinations are
+//! dropped by the per-candidate legality rules).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use axi4mlir_bench::report::{BenchEntry, BenchReport};
+use axi4mlir_config::{CacheTiling, CpuModel};
 use axi4mlir_core::explore::{
-    AccelInstance, BatchedSpace, ConvSpace, DesignSpace, ExploreReport, Explorer, HalvingSpec,
-    MatMulSpace, Objective, OptionsPoint, Prune, Search,
+    cache as result_cache, AccelInstance, BatchedSpace, ConvSpace, DesignSpace, ExploreReport,
+    Explorer, HalvingSpec, MatMulSpace, Objective, OptionsPoint, Prune, Search, TransferModel,
 };
 use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
 use axi4mlir_support::json::JsonValue;
@@ -125,17 +137,21 @@ struct Request {
     workers: usize,
     objectives: Vec<Objective>,
     cache: Option<PathBuf>,
+    /// Fit the cross-problem transfer model from this cache file before
+    /// the sweep.
+    warm_start: Option<PathBuf>,
 }
 
 /// Every flag the binary understands; anything else starting with `--`
 /// is rejected so a typo (`--objective`) cannot silently fall back to a
 /// default sweep.
-const KNOWN_FLAGS: [&str; 16] = [
+const KNOWN_FLAGS: [&str; 19] = [
     "--smoke",
     "--workload",
     "--accel",
     "--search",
     "--cache",
+    "--warm-start",
     "--objectives",
     "--dims",
     "--batch",
@@ -143,6 +159,8 @@ const KNOWN_FLAGS: [&str; 16] = [
     "--base",
     "--capacity",
     "--sweep-options",
+    "--sweep-cache-tiling",
+    "--cpu",
     "--workers",
     "--prune",
     "--seed",
@@ -170,11 +188,26 @@ fn request_from_args(args: &[String]) -> Result<Request, String> {
             .ok_or(format!("invalid --accel `{text}` (v1..v4[:SIZE],...)"))?,
         None => vec![AccelInstance::v4(base)],
     };
-    let options_axis = if args.iter().any(|a| a == "--sweep-options") {
+    let mut options_axis = if args.iter().any(|a| a == "--sweep-options") {
         OptionsPoint::axis()
     } else {
         vec![OptionsPoint::default()]
     };
+    if args.iter().any(|a| a == "--sweep-cache-tiling") {
+        options_axis =
+            OptionsPoint::cross_cache_tiling(&options_axis, &CacheTiling::sweep_levels());
+    }
+    if let Some(text) = arg_value(args, "--cpu") {
+        let cpus: Vec<CpuModel> = text
+            .split(',')
+            .map(|token| CpuModel::parse(token.trim()))
+            .collect::<Option<_>>()
+            .ok_or_else(|| {
+                let known: Vec<&str> = CpuModel::all().iter().map(CpuModel::label).collect();
+                format!("invalid --cpu `{text}` (a comma list of {})", known.join("|"))
+            })?;
+        options_axis = OptionsPoint::cross_cpus(&options_axis, &cpus);
+    }
 
     let problem = match arg_value(args, "--dims") {
         Some(text) => parse_dims(&text).ok_or(format!("invalid --dims `{text}` (want MxNxK)"))?,
@@ -227,6 +260,14 @@ fn request_from_args(args: &[String]) -> Result<Request, String> {
                     );
                 }
             }
+            if args.iter().any(|a| a == "--sweep-cache-tiling")
+                || arg_value(args, "--cpu").is_some()
+            {
+                eprintln!(
+                    "axi4mlir-explore: note: conv kernels never cache-tile; the tiling/host \
+                     axes are dropped by the conv legality rules"
+                );
+            }
             let layer = match arg_value(args, "--layer") {
                 Some(text) => parse_layer(&text)
                     .ok_or(format!("invalid --layer `{text}` (want iHW_iC_fHW_oC_stride)"))?,
@@ -270,14 +311,24 @@ fn request_from_args(args: &[String]) -> Result<Request, String> {
         Some(text) => text.parse().map_err(|_| format!("invalid --workers `{text}`"))?,
         None => default_workers,
     };
-    Ok(Request {
-        space,
-        prune,
-        search,
-        workers,
-        objectives,
-        cache: arg_value(args, "--cache").map(PathBuf::from),
-    })
+    let cache = arg_value(args, "--cache").map(PathBuf::from);
+    // `--warm-start` takes an optional PATH; without one it reads the
+    // `--cache` file (the common case: one persistent cache doing both
+    // jobs).
+    let warm_start = match args.iter().position(|a| a == "--warm-start") {
+        None => None,
+        Some(at) => {
+            let explicit = args.get(at + 1).filter(|v| !v.starts_with("--")).map(PathBuf::from);
+            match explicit.or_else(|| cache.clone()) {
+                Some(path) => Some(path),
+                None => {
+                    return Err("--warm-start needs a cache file (give it a PATH or pass --cache)"
+                        .to_owned())
+                }
+            }
+        }
+    };
+    Ok(Request { space, prune, search, workers, objectives, cache, warm_start })
 }
 
 /// Converts an exploration into the `BENCH_explore.json` document:
@@ -296,7 +347,10 @@ fn to_report(request: &Request, report: &ExploreReport, front: &[usize]) -> Benc
         .context("pruned_out", report.pruned_out)
         .context("measured", report.evaluations.len())
         .context("cache_hits", report.cache_hits)
-        .context("sims_performed", report.sims_performed);
+        .context("sims_performed", report.sims_performed)
+        .context("full_sims_performed", report.full_sims_performed)
+        .context("warm_start", report.warm_started)
+        .context("warm_informed", report.warm_informed);
     if let Some(optimum) = report.optimum() {
         out = out
             .context("optimum_config", optimum.candidate.label())
@@ -328,6 +382,8 @@ fn to_report(request: &Request, report: &ExploreReport, front: &[usize]) -> Benc
             .metric("tile_k", key.tile.2)
             .metric("coalesce", key.options.coalesce)
             .metric("specialized_copies", key.options.specialized_copies)
+            .metric("cache_tiling", key.options.cache_tiling.label())
+            .metric("cpu", key.options.cpu.label())
             .metric("estimated_words", eval.candidate.estimate.words_total())
             .metric("estimated_transactions", eval.candidate.estimate.transactions)
             .metric("task_clock_ms", eval.task_clock_ms)
@@ -394,7 +450,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let explorer = match &request.cache {
+    let mut explorer = match &request.cache {
         Some(path) => match Explorer::with_cache_file(path) {
             Ok(explorer) => {
                 println!("loaded {} cached results from {}", explorer.cache_len(), path.display());
@@ -407,6 +463,32 @@ fn main() -> ExitCode {
         },
         None => Explorer::new(),
     };
+    if let Some(path) = &request.warm_start {
+        // The common case points --warm-start at the --cache file the
+        // explorer just loaded: fit from the in-memory entries instead
+        // of parsing the same document twice.
+        let model = if request.cache.as_deref() == Some(path.as_path()) {
+            explorer.transfer_model()
+        } else {
+            match result_cache::load(path) {
+                Ok(entries) => TransferModel::fit(&entries),
+                Err(diag) => {
+                    eprintln!("axi4mlir-explore: {diag}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        if model.is_empty() {
+            println!("warm start: no usable observations in {} (running cold)", path.display());
+        } else {
+            println!(
+                "warm start: {} observations fitted from {}",
+                model.observations(),
+                path.display()
+            );
+            explorer.set_warm_start(model);
+        }
+    }
 
     let objective_labels: Vec<&str> = request.objectives.iter().map(Objective::label).collect();
     println!(
@@ -450,13 +532,24 @@ fn main() -> ExitCode {
         println!("({} more candidates measured)", ranked.len() - 10);
     }
     println!(
-        "space: {} legal, {} pruned, {} measured — {} new simulations, {} cache hits",
+        "space: {} legal, {} pruned, {} measured — {} new simulations ({} at full fidelity), \
+         {} cache hits",
         report.space_size,
         report.pruned_out,
         report.evaluations.len(),
         report.sims_performed,
+        report.full_sims_performed,
         report.cache_hits,
     );
+    if report.warm_started {
+        // `warm_informed` counts over the field the search actually
+        // ranked: the post-prune survivors, not the whole space.
+        println!(
+            "warm start: the transfer model was informed about {} of {} surviving candidates",
+            report.warm_informed,
+            report.space_size - report.pruned_out
+        );
+    }
     if let Some(optimum) = report.optimum() {
         println!(
             "explored optimum: {} at {}",

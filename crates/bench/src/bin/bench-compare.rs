@@ -7,16 +7,12 @@
 //! `cargo run --release -p axi4mlir-bench --bin bench-compare -- \
 //!     BASELINE CURRENT [--threshold 0.10]`
 //!
-//! Only *simulated* milliseconds are compared (metric keys ending in
-//! `_ms`, e.g. `task_clock_ms`, `cpu_ms`, `manual_ms`, `generated_*_ms`)
-//! — they are deterministic functions of the modelled system, so any
-//! drift is a real behavioral change. Host wall-clock metrics
-//! (`compile_ms`, `pass_ms`) are machine noise and excluded. Entries or
-//! reports present on only one side are listed as notes, not failures
-//! (spaces legitimately grow and shrink across commits). Schema-v2
-//! `pareto` sections are not gated either: when the baseline predates
-//! the schema bump (or simply lacks a front), the current side's front
-//! is noted and skipped rather than failed.
+//! The gate's semantics live in [`axi4mlir_bench::compare`] (unit-tested
+//! there): only simulated `_ms` metrics are gated, wall-clock
+//! `compile_ms`/`pass_ms` are excluded as machine noise, one-sided
+//! entries and pre-schema-bump `pareto` sections are notes rather than
+//! failures. This binary only loads the documents and renders the
+//! outcome.
 //!
 //! Unknown `--flags` are rejected with exit code 2 — silently treating a
 //! typo like `--treshold 0.2` as two path arguments used to produce a
@@ -28,86 +24,16 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use axi4mlir_bench::compare::{gate, Comparison};
 use axi4mlir_support::fmtutil::TextTable;
 use axi4mlir_support::json::JsonValue;
 
-/// Wall-clock (non-deterministic) keys excluded from the gate.
-const EXCLUDED_METRICS: [&str; 2] = ["compile_ms", "pass_ms"];
-
-/// One comparable measurement: report name, entry id, metric key.
-#[derive(Clone, Debug)]
-struct Sample {
-    report: String,
-    entry: String,
-    metric: String,
-    value: f64,
-}
-
-fn is_gated_metric(key: &str) -> bool {
-    key.ends_with("_ms") && !EXCLUDED_METRICS.contains(&key)
-}
-
-/// Extracts every gated sample of one report document.
-fn samples_of_report(doc: &JsonValue, out: &mut Vec<Sample>) {
-    let name = doc.get("name").and_then(JsonValue::as_str).unwrap_or("?").to_owned();
-    for entry in doc.get("entries").and_then(JsonValue::as_array).unwrap_or(&[]) {
-        let id = entry.get("id").and_then(JsonValue::as_str).unwrap_or("?").to_owned();
-        let Some(metrics) = entry.get("metrics").and_then(JsonValue::as_object) else { continue };
-        for (key, value) in metrics {
-            if !is_gated_metric(key) {
-                continue;
-            }
-            if let Some(value) = value.as_f64() {
-                out.push(Sample {
-                    report: name.clone(),
-                    entry: id.clone(),
-                    metric: key.clone(),
-                    value,
-                });
-            }
-        }
-    }
-}
-
-/// Names of reports in a document that carry a schema-v2 `pareto`
-/// section (compared presence-wise only, never gated).
-fn pareto_reports_of(doc: &JsonValue) -> Vec<String> {
-    let of_report = |report: &JsonValue| {
-        report
-            .get("pareto")
-            .map(|_| report.get("name").and_then(JsonValue::as_str).unwrap_or("?").to_owned())
-    };
-    match doc.get("reports").and_then(JsonValue::as_array) {
-        Some(reports) => reports.iter().filter_map(of_report).collect(),
-        None => of_report(doc).into_iter().collect(),
-    }
-}
-
-/// Loads a collection (`BENCH_all.json`) or single-report document and
-/// flattens it into gated samples plus the names of reports carrying a
-/// `pareto` section.
-fn load_samples(path: &Path) -> Result<(Vec<Sample>, Vec<String>), String> {
+/// Loads a collection (`BENCH_all.json`) or single-report document.
+fn load_document(path: &Path) -> Result<JsonValue, String> {
     let file = if path.is_dir() { path.join("BENCH_all.json") } else { path.to_path_buf() };
     let text = fs::read_to_string(&file)
         .map_err(|err| format!("cannot read {}: {err}", file.display()))?;
-    let doc = JsonValue::parse(&text).map_err(|diag| format!("{}: {diag}", file.display()))?;
-    let mut out = Vec::new();
-    match doc.get("reports").and_then(JsonValue::as_array) {
-        Some(reports) => {
-            for report in reports {
-                samples_of_report(report, &mut out);
-            }
-        }
-        None => samples_of_report(&doc, &mut out),
-    }
-    Ok((out, pareto_reports_of(&doc)))
-}
-
-struct Comparison {
-    sample: Sample,
-    baseline: f64,
-    /// `current / baseline - 1`; positive is slower.
-    delta: f64,
+    JsonValue::parse(&text).map_err(|diag| format!("{}: {diag}", file.display()))
 }
 
 fn main() -> ExitCode {
@@ -136,45 +62,18 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let ((baseline, baseline_pareto), (current, current_pareto)) =
-        match (load_samples(baseline_path), load_samples(current_path)) {
-            (Ok(b), Ok(c)) => (b, c),
-            (Err(err), _) | (_, Err(err)) => {
-                eprintln!("bench-compare: {err}");
-                return ExitCode::from(2);
-            }
-        };
-
-    // Index the baseline; compare every current sample against it.
-    let mut index = std::collections::HashMap::new();
-    for s in &baseline {
-        index.insert((s.report.clone(), s.entry.clone(), s.metric.clone()), s.value);
-    }
-    let mut compared: Vec<Comparison> = Vec::new();
-    let mut unmatched_current = 0usize;
-    for s in current {
-        let key = (s.report.clone(), s.entry.clone(), s.metric.clone());
-        match index.remove(&key) {
-            Some(old) => {
-                // A zero baseline cannot form a ratio: unchanged-at-zero is
-                // clean, anything above zero is an unbounded regression.
-                let delta = if old > 0.0 {
-                    s.value / old - 1.0
-                } else if s.value > 0.0 {
-                    f64::INFINITY
-                } else {
-                    0.0
-                };
-                compared.push(Comparison { delta, baseline: old, sample: s });
-            }
-            None => unmatched_current += 1,
+    let (baseline, current) = match (load_document(baseline_path), load_document(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(err), _) | (_, Err(err)) => {
+            eprintln!("bench-compare: {err}");
+            return ExitCode::from(2);
         }
-    }
-    let unmatched_baseline = index.len();
+    };
+    let outcome = gate(&baseline, &current, threshold);
 
     // The per-figure diff table: worst delta per report.
     let mut per_report: Vec<(String, usize, usize, Option<&Comparison>)> = Vec::new();
-    for c in &compared {
+    for c in &outcome.compared {
         match per_report.iter_mut().find(|(name, ..)| *name == c.sample.report) {
             Some((_, metrics, regressions, worst)) => {
                 *metrics += 1;
@@ -203,10 +102,8 @@ fn main() -> ExitCode {
     }
     println!("{}", table.render());
 
-    let mut regressions: Vec<&Comparison> =
-        compared.iter().filter(|c| c.delta > threshold).collect();
-    regressions.sort_by(|a, b| b.delta.total_cmp(&a.delta));
-    for r in &regressions {
+    for &index in &outcome.regressions {
+        let r = &outcome.compared[index];
         println!(
             "REGRESSION {} / {} / {}: {:.4} ms -> {:.4} ms ({:+.1}%, threshold {:+.1}%)",
             r.sample.report,
@@ -218,31 +115,25 @@ fn main() -> ExitCode {
             threshold * 100.0,
         );
     }
-    if unmatched_current + unmatched_baseline > 0 {
+    if outcome.unmatched_current + outcome.unmatched_baseline > 0 {
         println!(
-            "note: {unmatched_current} new and {unmatched_baseline} disappeared metric(s) were \
-             not compared (space changed)",
+            "note: {} new and {} disappeared metric(s) were not compared (space changed)",
+            outcome.unmatched_current, outcome.unmatched_baseline,
         );
     }
     // Pareto sections are informational: when the baseline predates the
     // schema-v2 bump (or has no front), skip them instead of failing.
-    for name in &current_pareto {
-        if !baseline_pareto.contains(name) {
-            println!(
-                "note: report `{name}` carries a pareto section the baseline lacks (older \
-                 schema?) — skipped, not gated"
-            );
-        }
+    for name in &outcome.pareto_skipped {
+        println!(
+            "note: report `{name}` carries a pareto section the baseline lacks (older \
+             schema?) — skipped, not gated"
+        );
     }
     println!(
         "compared {} metric(s): {} regression(s) beyond {:+.1}%",
-        compared.len(),
-        regressions.len(),
+        outcome.compared.len(),
+        outcome.regressions.len(),
         threshold * 100.0
     );
-    if regressions.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    ExitCode::from(outcome.exit_code())
 }

@@ -18,6 +18,7 @@
 //! machine-readable [`report::BenchReport`] (`BENCH_*.json`) that the
 //! binaries emit under `--json` and CI uploads as artifacts.
 
+pub mod compare;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

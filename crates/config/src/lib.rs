@@ -20,9 +20,11 @@ pub mod cpu;
 pub mod flow;
 pub mod json;
 pub mod presets;
+pub mod tiling;
 
 pub use accelerator::{AcceleratorConfig, DmaInfo, KernelKind};
-pub use cpu::CpuSpec;
+pub use cpu::{CpuModel, CpuSpec};
 pub use flow::FlowStrategy;
 pub use json::SystemConfig;
 pub use presets::AcceleratorPreset;
+pub use tiling::CacheTiling;

@@ -1,0 +1,87 @@
+//! Cache-hierarchy tiling policy (compiler flow step 4).
+//!
+//! [`CacheTiling`] used to live next to the pipeline options in
+//! `axi4mlir-core`; it moved down into the configuration layer so the
+//! design-space enumerators in `axi4mlir-heuristics` can treat the
+//! tiling level as a first-class candidate axis (with a stable label
+//! that round-trips through the persistent result cache) without a
+//! dependency cycle.
+
+/// How the CPU-cache tiling level is chosen (compiler flow step 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CacheTiling {
+    /// No extra tiling level: accelerator-size tiles walk the full problem
+    /// (what the manual baselines do).
+    Off,
+    /// Derive the tile edge from the LLC capacity (half the LLC must hold
+    /// the three operand tiles).
+    Auto,
+    /// Explicit square tile edge in elements.
+    Fixed(i64),
+}
+
+impl CacheTiling {
+    /// The sweep axis the explorer enumerates under `--sweep-cache-tiling`:
+    /// the default `Auto` first, then `Off`, then the fixed edges the
+    /// paper's problem sizes divide cleanly.
+    pub fn sweep_levels() -> Vec<CacheTiling> {
+        vec![
+            CacheTiling::Auto,
+            CacheTiling::Off,
+            CacheTiling::Fixed(16),
+            CacheTiling::Fixed(32),
+            CacheTiling::Fixed(64),
+        ]
+    }
+
+    /// The stable label persisted in candidate keys: `auto`, `off`,
+    /// `fixed:32`.
+    pub fn label(&self) -> String {
+        match self {
+            CacheTiling::Off => "off".to_owned(),
+            CacheTiling::Auto => "auto".to_owned(),
+            CacheTiling::Fixed(edge) => format!("fixed:{edge}"),
+        }
+    }
+
+    /// Parses a [`Self::label`]-formatted name back into a level.
+    pub fn parse(text: &str) -> Option<CacheTiling> {
+        match text {
+            "off" => Some(CacheTiling::Off),
+            "auto" => Some(CacheTiling::Auto),
+            _ => {
+                let edge: i64 = text.strip_prefix("fixed:")?.parse().ok()?;
+                (edge > 0).then_some(CacheTiling::Fixed(edge))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CacheTiling {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for level in CacheTiling::sweep_levels() {
+            assert_eq!(CacheTiling::parse(&level.label()), Some(level));
+        }
+        assert_eq!(CacheTiling::parse("fixed:0"), None);
+        assert_eq!(CacheTiling::parse("fixed:-8"), None);
+        assert_eq!(CacheTiling::parse("adaptive"), None);
+    }
+
+    #[test]
+    fn sweep_axis_leads_with_the_default() {
+        let levels = CacheTiling::sweep_levels();
+        assert_eq!(levels[0], CacheTiling::Auto);
+        assert!(levels.contains(&CacheTiling::Off));
+        assert!(levels.contains(&CacheTiling::Fixed(64)));
+    }
+}

@@ -3,21 +3,30 @@
 //! Exploration results are deterministic functions of their
 //! [`CandidateKey`], so they can be shared across processes: repeated
 //! local sweeps and CI runs load the cache, serve overlapping candidates
-//! without re-simulating them, and merge-save what they measured. The
-//! file is a plain `axi4mlir-support` JSON document:
+//! without re-simulating them, and merge-save what they measured — and
+//! the cross-problem transfer model ([`super::transfer`]) mines the same
+//! entries to warm-start sweeps of *new* problem shapes. The file is a
+//! plain `axi4mlir-support` JSON document:
 //!
 //! ```json
 //! {
-//!   "schema": "axi4mlir-explore-cache/v1",
+//!   "schema": "axi4mlir-explore-cache/v2",
 //!   "entries": [
 //!     { "key": { "workload": "matmul 16x16x16", "accel": "v4_8",
 //!                "flow": "Cs", "tile": [16, 8, 8], "coalesce": false,
-//!                "specialized_copies": true, "seed": 7 },
+//!                "specialized_copies": true, "cache_tiling": "auto",
+//!                "cpu": "pynq_z2", "seed": 7 },
 //!       "counters": { "host_cycles": 1, ... },
 //!       "task_clock_ms": 0.25, "verified": true }
 //!   ]
 //! }
 //! ```
+//!
+//! Schema `v2` added the `cache_tiling` and `cpu` key members for the
+//! widened options axes. `v1` documents still load: their entries were
+//! all measured under the then-implicit defaults (`auto` tiling on the
+//! `pynq_z2` host), so migration fills exactly those values and loses
+//! nothing; the next save rewrites the document as `v2`.
 //!
 //! Entries are written in key order, so the file diffs cleanly. Counters
 //! are exact integers and `task_clock_ms` uses Rust's shortest-roundtrip
@@ -27,7 +36,7 @@
 //! hits served from disk report empty pass timings.
 //!
 //! Robustness policy: a cache is disposable. A missing file loads as an
-//! empty cache, a file with a different schema tag is ignored (the CI
+//! empty cache, a file with an unknown schema tag is ignored (the CI
 //! cache key embeds the schema version, so this only happens across
 //! versions locally), unparseable *entries* are skipped, and a
 //! syntactically broken file loads as an empty cache with a stderr
@@ -41,6 +50,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::path::Path;
 
+use axi4mlir_config::{CacheTiling, CpuModel};
 use axi4mlir_sim::counters::PerfCounters;
 use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_support::json::JsonValue;
@@ -49,13 +59,21 @@ use super::space::{CandidateKey, OptionsPoint};
 
 /// The schema tag of the persistent cache document. Bump on any change
 /// to the key or payload layout (the CI cache key embeds this value).
-pub const CACHE_SCHEMA: &str = "axi4mlir-explore-cache/v1";
+pub const CACHE_SCHEMA: &str = "axi4mlir-explore-cache/v2";
+
+/// The previous schema tag, still accepted by [`parse`]: `v1` keys lack
+/// the `cache_tiling`/`cpu` members and migrate to the defaults they
+/// were implicitly measured under.
+pub const CACHE_SCHEMA_V1: &str = "axi4mlir-explore-cache/v1";
 
 /// The deterministic payload a cache entry stores.
 #[derive(Clone, Debug, PartialEq)]
-pub(crate) struct CachedEval {
+pub struct CachedEval {
+    /// Simulator counters for the whole run.
     pub counters: PerfCounters,
+    /// Simulated task-clock in milliseconds.
     pub task_clock_ms: f64,
+    /// Whether the run matched the reference kernel.
     pub verified: bool,
     /// Wall-clock pass timings; informational, never persisted.
     pub pass_ms: Vec<(String, f64)>,
@@ -72,13 +90,30 @@ fn key_to_json(key: &CandidateKey) -> JsonValue {
         ),
         ("coalesce".to_owned(), key.options.coalesce.into()),
         ("specialized_copies".to_owned(), key.options.specialized_copies.into()),
+        ("cache_tiling".to_owned(), key.options.cache_tiling.label().into()),
+        ("cpu".to_owned(), key.options.cpu.label().into()),
         ("seed".to_owned(), key.seed.into()),
     ])
 }
 
-fn key_from_json(value: &JsonValue) -> Option<CandidateKey> {
+fn key_from_json(value: &JsonValue, migrate_v1: bool) -> Option<CandidateKey> {
     let tile = value.get("tile")?.as_array()?;
     let edge = |i: usize| tile.get(i).and_then(JsonValue::as_i64);
+    // The v2 members. In a v1 document they are absent by construction —
+    // every measurement was implicitly taken at the defaults, which
+    // migration fills. In a v2 document a missing (or malformed) member
+    // is a broken entry: defaulting it would serve some other
+    // configuration's measurement under the default-axes key.
+    let cache_tiling = match value.get("cache_tiling") {
+        None if migrate_v1 => CacheTiling::Auto,
+        None => return None,
+        Some(tag) => CacheTiling::parse(tag.as_str()?)?,
+    };
+    let cpu = match value.get("cpu") {
+        None if migrate_v1 => CpuModel::PynqZ2,
+        None => return None,
+        Some(tag) => CpuModel::parse(tag.as_str()?)?,
+    };
     Some(CandidateKey {
         workload: value.get("workload")?.as_str()?.to_owned(),
         accel: value.get("accel")?.as_str()?.to_owned(),
@@ -87,6 +122,8 @@ fn key_from_json(value: &JsonValue) -> Option<CandidateKey> {
         options: OptionsPoint {
             coalesce: value.get("coalesce")?.as_bool()?,
             specialized_copies: value.get("specialized_copies")?.as_bool()?,
+            cache_tiling,
+            cpu,
         },
         seed: value.get("seed")?.as_u64()?,
     })
@@ -127,7 +164,7 @@ fn counters_from_json(value: &JsonValue) -> Option<PerfCounters> {
 }
 
 /// Serializes a cache snapshot in key order.
-pub(crate) fn render(entries: &HashMap<CandidateKey, CachedEval>) -> String {
+pub fn render(entries: &HashMap<CandidateKey, CachedEval>) -> String {
     let mut ordered: Vec<(&CandidateKey, &CachedEval)> = entries.iter().collect();
     ordered.sort_by_key(|&(key, _)| key);
     let entries = ordered
@@ -150,15 +187,21 @@ pub(crate) fn render(entries: &HashMap<CandidateKey, CachedEval>) -> String {
     text
 }
 
-/// Parses a cache document; schema mismatches yield an empty cache.
-pub(crate) fn parse(text: &str) -> Result<HashMap<CandidateKey, CachedEval>, Diagnostic> {
+/// Parses a cache document; unknown schemas yield an empty cache, and
+/// `v1` documents migrate (absent `cache_tiling`/`cpu` key members fill
+/// in the defaults those entries were measured under).
+pub fn parse(text: &str) -> Result<HashMap<CandidateKey, CachedEval>, Diagnostic> {
     let doc = JsonValue::parse(text)?;
     let mut out = HashMap::new();
-    if doc.get("schema").and_then(JsonValue::as_str) != Some(CACHE_SCHEMA) {
+    let schema = doc.get("schema").and_then(JsonValue::as_str);
+    let migrate_v1 = schema == Some(CACHE_SCHEMA_V1);
+    if schema != Some(CACHE_SCHEMA) && !migrate_v1 {
         return Ok(out);
     }
     for entry in doc.get("entries").and_then(JsonValue::as_array).unwrap_or(&[]) {
-        let Some(key) = entry.get("key").and_then(key_from_json) else { continue };
+        let Some(key) = entry.get("key").and_then(|k| key_from_json(k, migrate_v1)) else {
+            continue;
+        };
         let Some(counters) = entry.get("counters").and_then(counters_from_json) else { continue };
         let Some(task_clock_ms) = entry.get("task_clock_ms").and_then(JsonValue::as_f64) else {
             continue;
@@ -177,7 +220,7 @@ pub(crate) fn parse(text: &str) -> Result<HashMap<CandidateKey, CachedEval>, Dia
 /// # Errors
 ///
 /// Returns a [`Diagnostic`] for unreadable files (permissions, IO).
-pub(crate) fn load(path: &Path) -> Result<HashMap<CandidateKey, CachedEval>, Diagnostic> {
+pub fn load(path: &Path) -> Result<HashMap<CandidateKey, CachedEval>, Diagnostic> {
     match fs::read_to_string(path) {
         Ok(text) => match parse(&text) {
             Ok(entries) => Ok(entries),
@@ -227,10 +270,7 @@ pub(crate) fn staging_path(path: &Path) -> std::path::PathBuf {
 /// # Errors
 ///
 /// Propagates filesystem errors as [`Diagnostic`]s.
-pub(crate) fn save(
-    path: &Path,
-    entries: &HashMap<CandidateKey, CachedEval>,
-) -> Result<usize, Diagnostic> {
+pub fn save(path: &Path, entries: &HashMap<CandidateKey, CachedEval>) -> Result<usize, Diagnostic> {
     // An *unreadable* existing file propagates (overwriting it would
     // silently discard every accumulated entry); corrupt files have
     // already warned inside `load` and are deliberately rewritten.
@@ -318,8 +358,60 @@ mod tests {
         assert!(parse("{\"schema\": \"something-else/v9\", \"entries\": []}").unwrap().is_empty());
         assert!(parse("not json").is_err(), "parse itself still reports syntax errors");
         // Unparseable entries are skipped, not fatal.
-        let text = "{\"schema\": \"axi4mlir-explore-cache/v1\", \"entries\": [ {\"key\": 5} ]}";
+        let text = "{\"schema\": \"axi4mlir-explore-cache/v2\", \"entries\": [ {\"key\": 5} ]}";
         assert!(parse(text).unwrap().is_empty());
+        // A malformed v2 member is a broken entry, not a v1 key.
+        let text = r#"{"schema": "axi4mlir-explore-cache/v2", "entries": [ {"key": {
+            "workload": "matmul 8x8x8", "accel": "v4_8", "flow": "Ns",
+            "tile": [8, 8, 8], "coalesce": false, "specialized_copies": true,
+            "cache_tiling": "sideways", "cpu": "pynq_z2", "seed": 1},
+            "counters": {}, "task_clock_ms": 1.0, "verified": true} ]}"#;
+        assert!(parse(text).unwrap().is_empty());
+        // So is an *absent* v2 member: only v1 documents migrate
+        // defaults — defaulting inside a v2 document would serve a
+        // foreign measurement under the default-axes key.
+        let text = r#"{"schema": "axi4mlir-explore-cache/v2", "entries": [ {"key": {
+            "workload": "matmul 8x8x8", "accel": "v4_8", "flow": "Ns",
+            "tile": [8, 8, 8], "coalesce": false, "specialized_copies": true,
+            "seed": 1},
+            "counters": {}, "task_clock_ms": 1.0, "verified": true} ]}"#;
+        assert!(parse(text).unwrap().is_empty());
+    }
+
+    #[test]
+    fn v1_documents_migrate_to_the_default_axes() {
+        // A v1 key has no cache_tiling/cpu members: its measurements were
+        // taken under the then-implicit defaults, which migration fills.
+        let v1 = r#"{
+          "schema": "axi4mlir-explore-cache/v1",
+          "entries": [
+            { "key": { "workload": "matmul 16x16x16", "accel": "v4_8",
+                       "flow": "Cs", "tile": [16, 8, 8], "coalesce": false,
+                       "specialized_copies": true, "seed": 7 },
+              "counters": { "host_cycles": 123, "device_cycles": 456,
+                            "cache_references": 0, "l1_misses": 0,
+                            "l2_misses": 0, "branch_instructions": 0,
+                            "instructions": 0, "uncached_accesses": 0,
+                            "dma_bytes_to_accel": 0, "dma_bytes_from_accel": 0,
+                            "dma_transactions": 7, "accel_compute_cycles": 0,
+                            "accel_macs": 18446744073709551615 },
+              "task_clock_ms": 0.30000000000000004, "verified": true }
+          ]
+        }"#;
+        let migrated = parse(v1).unwrap();
+        assert_eq!(migrated.len(), 1, "the v1 entry survives migration");
+        let (key, eval) = migrated.iter().next().unwrap();
+        assert_eq!(key, &sample_key(7), "migrated key equals the v2 default-axes key");
+        assert_eq!(key.options.cache_tiling, axi4mlir_config::CacheTiling::Auto);
+        assert_eq!(key.options.cpu, axi4mlir_config::CpuModel::PynqZ2);
+        assert_eq!(eval.counters, sample_eval().counters, "payload intact, bit for bit");
+        assert_eq!(eval.task_clock_ms.to_bits(), sample_eval().task_clock_ms.to_bits());
+        // Re-rendering writes the v2 schema with the axes made explicit.
+        let rendered = render(&migrated);
+        assert!(rendered.contains(CACHE_SCHEMA));
+        assert!(rendered.contains("\"cache_tiling\": \"auto\""));
+        assert!(rendered.contains("\"cpu\": \"pynq_z2\""));
+        assert_eq!(parse(&rendered).unwrap(), migrated, "migrated caches round-trip");
     }
 
     #[test]

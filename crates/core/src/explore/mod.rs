@@ -32,10 +32,11 @@
 //! [`PipelineOptions`]: crate::options::PipelineOptions
 //! [`Session`]: crate::driver::Session
 
-mod cache;
+pub mod cache;
 pub mod pareto;
 pub mod search;
 pub mod space;
+pub mod transfer;
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -49,12 +50,13 @@ use crate::driver::Session;
 
 pub use axi4mlir_heuristics::objective::Objective;
 use cache::CachedEval;
-pub use cache::CACHE_SCHEMA;
+pub use cache::{CACHE_SCHEMA, CACHE_SCHEMA_V1};
 pub use search::{HalvingSpec, Search};
 pub use space::{
-    AccelInstance, BatchedSpace, Candidate, CandidateKey, ConvSpace, DesignSpace, Fidelity,
-    MatMulSpace, MatMulVersion, OptionsPoint, Realization,
+    apply_options, AccelInstance, BatchedSpace, Candidate, CandidateKey, ConvSpace, DesignSpace,
+    Fidelity, MatMulSpace, MatMulVersion, OptionsPoint, Realization,
 };
+pub use transfer::{Prediction, Tier, TransferModel};
 
 // The PR-2 MatMul-only entry points, kept as thin wrappers.
 pub use compat::ExploreSpec;
@@ -166,6 +168,16 @@ pub struct ExploreReport {
     pub cache_hits: usize,
     /// Simulator runs this exploration actually performed.
     pub sims_performed: usize,
+    /// The subset of [`Self::sims_performed`] that simulated the *full*
+    /// problem (finalist rounds, exhaustive survivors, the heuristic
+    /// pick, and proxy rungs that already covered the whole problem).
+    pub full_sims_performed: usize,
+    /// Whether a cross-problem transfer model warm-started this sweep.
+    pub warm_started: bool,
+    /// Candidates the transfer model predicted from configuration-
+    /// specific (exact/coarse tier) observations at round 0; zero for
+    /// exhaustive searches.
+    pub warm_informed: usize,
     /// The measured candidates: every survivor for an exhaustive search,
     /// the finalists for a halving search.
     pub evaluations: Vec<Evaluation>,
@@ -236,6 +248,9 @@ impl ExploreReport {
 pub struct Explorer {
     cache: Mutex<HashMap<CandidateKey, CachedEval>>,
     evals_performed: AtomicUsize,
+    full_evals_performed: AtomicUsize,
+    /// The cross-problem transfer model a warm-started search ranks by.
+    warm: Option<TransferModel>,
 }
 
 impl Explorer {
@@ -252,7 +267,34 @@ impl Explorer {
     /// Returns a [`Diagnostic`] for unreadable or syntactically broken
     /// cache files.
     pub fn with_cache_file(path: &Path) -> Result<Self, Diagnostic> {
-        Ok(Self { cache: Mutex::new(cache::load(path)?), evals_performed: AtomicUsize::new(0) })
+        Ok(Self { cache: Mutex::new(cache::load(path)?), ..Self::default() })
+    }
+
+    /// Installs a cross-problem [`TransferModel`]: subsequent
+    /// [`Search::Halving`] sweeps rank round 0 by its calibrated clock
+    /// predictions and, when it covers the field, pre-cut the candidate
+    /// set and promote fewer finalists (see [`search`]).
+    pub fn set_warm_start(&mut self, model: TransferModel) {
+        self.warm = (!model.is_empty()).then_some(model);
+    }
+
+    /// Builder form of [`Explorer::set_warm_start`].
+    #[must_use]
+    pub fn warm_started(mut self, model: TransferModel) -> Self {
+        self.set_warm_start(model);
+        self
+    }
+
+    /// Whether a (non-empty) transfer model is installed.
+    pub fn is_warm_started(&self) -> bool {
+        self.warm.is_some()
+    }
+
+    /// Fits a cross-problem [`TransferModel`] from everything this
+    /// engine's cache currently holds (in-memory results plus whatever
+    /// [`Explorer::with_cache_file`] loaded).
+    pub fn transfer_model(&self) -> TransferModel {
+        TransferModel::fit(&self.cache.lock().expect("explorer cache poisoned"))
     }
 
     /// Merges this engine's results over `path` and writes the combined
@@ -272,6 +314,14 @@ impl Explorer {
     /// hits excluded).
     pub fn evals_performed(&self) -> usize {
         self.evals_performed.load(Ordering::Relaxed)
+    }
+
+    /// How many of those runs simulated a candidate at *full* fidelity —
+    /// including proxy rungs whose proxy already covered the whole
+    /// problem (they realize the full workload under the full key). This
+    /// is the expensive count warm-starting and halving exist to shrink.
+    pub fn full_evals_performed(&self) -> usize {
+        self.full_evals_performed.load(Ordering::Relaxed)
     }
 
     /// How many results the cache currently holds.
@@ -341,10 +391,11 @@ impl Explorer {
         let space_size = all.len();
         let (candidates, pruned_out) = prune(all, prune_strategy, primary);
         let sims_before = self.evals_performed();
+        let full_sims_before = self.full_evals_performed();
 
-        let (evaluations, proxy_hits) = match search {
+        let (evaluations, proxy_hits, warm_informed) = match search {
             Search::Exhaustive => {
-                (self.measure_set(space, &candidates, Fidelity::Full, workers)?, 0)
+                (self.measure_set(space, &candidates, Fidelity::Full, workers)?, 0, 0)
             }
             Search::Halving(spec) => self.run_halving(space, candidates, spec, workers, primary)?,
         };
@@ -370,6 +421,9 @@ impl Explorer {
             pruned_out,
             cache_hits,
             sims_performed: self.evals_performed() - sims_before,
+            full_sims_performed: self.full_evals_performed() - full_sims_before,
+            warm_started: self.warm.is_some(),
+            warm_informed,
             evaluations,
             objectives,
             heuristic,
@@ -409,6 +463,18 @@ impl Explorer {
                 }
             }
         }
+        // A proxy realization whose key equals the full realization's
+        // has saturated: simulating it *is* a full-fidelity simulation,
+        // and the full-sims accounting must say so. Resolved only for
+        // the candidates actually about to be simulated — cache hits
+        // never need the (allocation-heavy) second realization.
+        let mut is_full: Vec<bool> = vec![matches!(fidelity, Fidelity::Full); candidates.len()];
+        if matches!(fidelity, Fidelity::Proxy { .. }) {
+            for &index in &pending {
+                is_full[index] =
+                    space.realize(&candidates[index], Fidelity::Full)?.key == meta[index].0;
+            }
+        }
 
         // Measure the pending candidates: a shared work index, one
         // recycled-SoC session per worker.
@@ -440,6 +506,9 @@ impl Explorer {
             let (key, work) = &meta[index];
             cache.insert(key.clone(), eval.clone());
             self.evals_performed.fetch_add(1, Ordering::Relaxed);
+            if is_full[index] {
+                self.full_evals_performed.fetch_add(1, Ordering::Relaxed);
+            }
             slots[index] = Some(eval.to_evaluation(candidates[index].clone(), *work, false));
         }
         Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())

@@ -19,6 +19,19 @@
 //! level can no longer rise — further rounds would re-rank identical
 //! measurements, so the search cuts straight to the finalists instead of
 //! looping on a saturated level.
+//!
+//! A **warm-started** halving (an [`Explorer`] carrying a cross-problem
+//! [`TransferModel`](super::transfer::TransferModel)) replaces the
+//! analytical round-0 ranking with the model's calibrated clock
+//! predictions, and when the model is *informed* about at least half the
+//! field (exact- or coarse-tier observations, not just the global
+//! rescale) it trusts the calibration with real budget: one halving cut
+//! is taken for free before any proxy is simulated, and the final
+//! full-fidelity round runs on half the usual finalist count. That is
+//! how measurements banked on one problem shape reduce both proxy and
+//! full simulations on the next shape. The model calibrates task-clock
+//! only, so searches promoting by any other objective ignore the warm
+//! start and run the cold analytical ranking.
 
 use axi4mlir_heuristics::objective::Objective;
 use axi4mlir_support::diag::Diagnostic;
@@ -90,7 +103,8 @@ impl Search {
 
 impl Explorer {
     /// Runs the successive-halving search; returns the full-fidelity
-    /// finalist evaluations and the number of proxy-round cache hits.
+    /// finalist evaluations, the number of proxy-round cache hits, and
+    /// how many candidates the warm-start model was informed about.
     pub(crate) fn run_halving(
         &self,
         space: &dyn DesignSpace,
@@ -98,14 +112,53 @@ impl Explorer {
         spec: &HalvingSpec,
         workers: usize,
         primary: Objective,
-    ) -> Result<(Vec<Evaluation>, usize), Diagnostic> {
+    ) -> Result<(Vec<Evaluation>, usize, usize), Diagnostic> {
         let eta = spec.eta.max(2);
-        let finalists = spec.finalists.max(1);
+        let mut finalists = spec.finalists.max(1);
         let objective = spec.objective.unwrap_or(primary);
-        // Round 0 is free: rank by the analytical transfer model under
-        // the promotion objective (stable, so enumeration order breaks
-        // ties).
-        survivors.sort_by_key(|c| estimate_rank(c, objective));
+        // Round 0 is free. Cold: rank by the analytical transfer model
+        // under the promotion objective (stable, so enumeration order
+        // breaks ties). Warm: rank by the cross-problem model's
+        // calibrated clock predictions instead — and when the model is
+        // informed about at least half the field, take one halving cut
+        // before any proxy is simulated and halve the finalist budget:
+        // the calibration already did a rung's worth of discrimination.
+        // The model calibrates *clock* only, so the warm path engages
+        // only when the promotion objective is task-clock; promoting by
+        // traffic/transactions/occupancy under clock predictions would
+        // cut the field by the wrong metric, so those sweeps run cold.
+        let mut warm_informed = 0;
+        match &self.warm {
+            Some(model) if objective == Objective::TaskClock => {
+                let predictions: Vec<_> = survivors.iter().map(|c| model.predict(c)).collect();
+                warm_informed =
+                    predictions.iter().filter(|p| p.is_some_and(|p| p.is_informed())).count();
+                let mut order: Vec<usize> = (0..survivors.len()).collect();
+                order.sort_by(|&a, &b| {
+                    let key = |i: usize| {
+                        let p = &predictions[i];
+                        (p.is_none(), p.map_or(0.0, |p| p.clock_ms))
+                    };
+                    let (a_none, a_ms) = key(a);
+                    let (b_none, b_ms) = key(b);
+                    a_none
+                        .cmp(&b_none)
+                        .then(a_ms.total_cmp(&b_ms))
+                        .then_with(|| {
+                            estimate_rank(&survivors[a], objective)
+                                .cmp(&estimate_rank(&survivors[b], objective))
+                        })
+                        .then(a.cmp(&b))
+                });
+                survivors = order.into_iter().map(|i| survivors[i].clone()).collect();
+                if warm_informed * 2 >= survivors.len() && !survivors.is_empty() {
+                    let keep = finalists.max(survivors.len().div_ceil(eta));
+                    survivors.truncate(keep);
+                    finalists = finalists.div_ceil(2);
+                }
+            }
+            _ => survivors.sort_by_key(|c| estimate_rank(c, objective)),
+        }
 
         let mut level = spec.start_level.max(1);
         let mut proxy_hits = 0;
@@ -150,6 +203,6 @@ impl Explorer {
         }
 
         let finals = self.measure_set(space, &survivors, Fidelity::Full, workers)?;
-        Ok((finals, proxy_hits))
+        Ok((finals, proxy_hits, warm_informed))
     }
 }

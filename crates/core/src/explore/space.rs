@@ -30,59 +30,22 @@ use axi4mlir_workloads::matmul::MatMulProblem;
 use axi4mlir_workloads::resnet::ConvLayer;
 
 pub use axi4mlir_accelerators::matmul::MatMulVersion;
-pub use axi4mlir_heuristics::space::AccelInstance;
+pub use axi4mlir_heuristics::space::{AccelInstance, OptionsPoint};
 
 use crate::driver::{BatchedMatMulWorkload, CompilePlan, ConvWorkload, MatMulWorkload, Workload};
 use crate::options::PipelineOptions;
 
-/// The tunable [`PipelineOptions`] axis of a design space: the knobs that
-/// change generated-driver behavior without changing the result.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct OptionsPoint {
-    /// Batch same-site transfers into one DMA transaction (§V).
-    pub coalesce: bool,
-    /// Use the specialized (`memcpy`-style) staging copies.
-    pub specialized_copies: bool,
-}
-
-impl Default for OptionsPoint {
-    /// The paper's headline configuration: specialized copies, no
-    /// coalescing.
-    fn default() -> Self {
-        Self { coalesce: false, specialized_copies: true }
-    }
-}
-
-impl OptionsPoint {
-    /// The full axis: all four combinations, default first.
-    pub fn axis() -> Vec<OptionsPoint> {
-        vec![
-            OptionsPoint::default(),
-            OptionsPoint { coalesce: true, specialized_copies: true },
-            OptionsPoint { coalesce: false, specialized_copies: false },
-            OptionsPoint { coalesce: true, specialized_copies: false },
-        ]
-    }
-
-    /// Applies this point onto a base [`PipelineOptions`].
-    pub fn apply(&self, mut options: PipelineOptions) -> PipelineOptions {
-        options.coalesce_transfers = self.coalesce;
-        options.specialized_copies = self.specialized_copies;
-        options
-    }
-
-    /// Label suffix: empty for the default point, otherwise the deviating
-    /// knobs (`+co` coalescing on, `-sc` specialized copies off).
-    pub fn suffix(&self) -> String {
-        let mut out = String::new();
-        if self.coalesce {
-            out.push_str(" +co");
-        }
-        if !self.specialized_copies {
-            out.push_str(" -sc");
-        }
-        out
-    }
+/// Applies an [`OptionsPoint`] onto a compile plan: the pipeline knobs
+/// (coalescing, copy specialization, cache-tiling level) plus the named
+/// host whose cache sizes the `Auto` tiling heuristic reads.
+pub fn apply_options(plan: CompilePlan, options: &OptionsPoint) -> CompilePlan {
+    let pipeline = PipelineOptions {
+        coalesce_transfers: options.coalesce,
+        specialized_copies: options.specialized_copies,
+        cache_tiling: options.cache_tiling,
+        ..PipelineOptions::default()
+    };
+    plan.options(pipeline).cpu_spec(options.cpu.spec())
 }
 
 /// The structured identity of one candidate — the explorer's cache key.
@@ -279,16 +242,23 @@ impl MatMulSpace {
     }
 }
 
-/// Expands geometric points by an options axis into keyed candidates.
+/// Expands geometric points by an options axis into keyed candidates,
+/// dropping points the options axis is not meaningful for (see
+/// [`OptionsPoint::legal_for_matmul`]): illegal fixed cache tiles and
+/// host variants that could not change the measurement.
 fn keyed(
     points: Vec<SpacePoint>,
     workload: &str,
+    problem: (i64, i64, i64),
     options_axis: &[OptionsPoint],
     seed: u64,
 ) -> Vec<Candidate> {
     let mut out = Vec::with_capacity(points.len() * options_axis.len().max(1));
     for point in points {
         for &options in options_axis {
+            if !options.legal_for_matmul(problem, point.tile, point.flow) {
+                continue;
+            }
             out.push(Candidate {
                 key: CandidateKey {
                     workload: workload.to_owned(),
@@ -345,6 +315,30 @@ fn proxy_problem(problem: MatMulProblem, tile: (i64, i64, i64), level: u8) -> Ma
     )
 }
 
+/// The options a *realized* problem can actually run under: a fixed
+/// cache-tile edge that was legal on the full problem may not divide a
+/// shrunken proxy's dimensions (the enumeration legality check sees the
+/// full problem only), and `matmul_plan` would reject it, aborting the
+/// sweep. Such proxies fall back to `Off` — the proxy is an
+/// approximation anyway, and the clamped options are reflected in the
+/// realized cache key so the measurement is never served under the
+/// fixed-tile identity.
+fn realized_options(
+    options: OptionsPoint,
+    problem: MatMulProblem,
+    tile: (i64, i64, i64),
+    flow: FlowStrategy,
+) -> OptionsPoint {
+    match options.cache_tiling {
+        axi4mlir_config::CacheTiling::Fixed(_)
+            if !options.legal_for_matmul((problem.m, problem.n, problem.k), tile, flow) =>
+        {
+            OptionsPoint { cache_tiling: axi4mlir_config::CacheTiling::Off, ..options }
+        }
+        _ => options,
+    }
+}
+
 impl DesignSpace for MatMulSpace {
     fn describe(&self) -> String {
         let accels: Vec<String> = self.accels.iter().map(AccelInstance::label).collect();
@@ -357,7 +351,13 @@ impl DesignSpace for MatMulSpace {
 
     fn enumerate(&self) -> Result<Vec<Candidate>, Diagnostic> {
         let points = matmul_points(self.dims(), &self.accels, self.capacity_words, &self.flows);
-        Ok(keyed(points, &Self::workload_label(self.problem), &self.options_axis, self.seed))
+        Ok(keyed(
+            points,
+            &Self::workload_label(self.problem),
+            self.dims(),
+            &self.options_axis,
+            self.seed,
+        ))
     }
 
     fn realize(
@@ -370,12 +370,15 @@ impl DesignSpace for MatMulSpace {
             Fidelity::Full => self.problem,
             Fidelity::Proxy { level } => proxy_problem(self.problem, candidate.key.tile, level),
         };
+        let options = realized_options(candidate.key.options, problem, candidate.key.tile, flow);
         let config = matmul_config(accel, candidate.key.tile, flow);
-        let plan = CompilePlan::for_accelerator(config)
-            .seed(self.seed)
-            .options(candidate.key.options.apply(PipelineOptions::default()));
+        let plan = apply_options(CompilePlan::for_accelerator(config).seed(self.seed), &options);
         Ok(Realization {
-            key: CandidateKey { workload: Self::workload_label(problem), ..candidate.key.clone() },
+            key: CandidateKey {
+                workload: Self::workload_label(problem),
+                options,
+                ..candidate.key.clone()
+            },
             workload: Box::new(MatMulWorkload::new(problem)),
             plan,
             work: problem.macs(),
@@ -490,7 +493,13 @@ impl DesignSpace for BatchedSpace {
             self.capacity_words,
             &self.flows,
         );
-        Ok(keyed(points, &Self::workload_label(self.batch), &self.options_axis, self.seed))
+        Ok(keyed(
+            points,
+            &Self::workload_label(self.batch),
+            self.dims(),
+            &self.options_axis,
+            self.seed,
+        ))
     }
 
     fn realize(
@@ -512,12 +521,16 @@ impl DesignSpace for BatchedSpace {
                 1,
             ),
         };
+        let options =
+            realized_options(candidate.key.options, batch.problem, candidate.key.tile, flow);
         let config = matmul_config(accel, candidate.key.tile, flow);
-        let plan = CompilePlan::for_accelerator(config)
-            .seed(self.seed)
-            .options(candidate.key.options.apply(PipelineOptions::default()));
+        let plan = apply_options(CompilePlan::for_accelerator(config).seed(self.seed), &options);
         Ok(Realization {
-            key: CandidateKey { workload: Self::workload_label(batch), ..candidate.key.clone() },
+            key: CandidateKey {
+                workload: Self::workload_label(batch),
+                options,
+                ..candidate.key.clone()
+            },
             workload: Box::new(BatchedMatMulWorkload::new(batch)),
             plan,
             work: batch.macs(),
@@ -631,6 +644,9 @@ impl DesignSpace for ConvSpace {
         Ok(self
             .options_axis
             .iter()
+            // Conv kernels never cache-tile: the tiling/host axes are
+            // dropped here (their points would duplicate measurements).
+            .filter(|options| options.legal_for_conv())
             .map(|&options| Candidate {
                 key: CandidateKey {
                     workload: self.workload_label(),
@@ -659,9 +675,10 @@ impl DesignSpace for ConvSpace {
             Fidelity::Full => self.layer,
             Fidelity::Proxy { level } => conv_proxy_layer(self.layer, level),
         };
-        let plan = CompilePlan::for_conv_layer(layer)
-            .seed(self.seed)
-            .options(candidate.key.options.apply(PipelineOptions::default()));
+        let plan = apply_options(
+            CompilePlan::for_conv_layer(layer).seed(self.seed),
+            &candidate.key.options,
+        );
         Ok(Realization {
             key: CandidateKey { workload: format!("conv {layer}"), ..candidate.key.clone() },
             workload: Box::new(ConvWorkload::new(layer)),
@@ -687,11 +704,120 @@ mod tests {
     #[test]
     fn options_suffix_marks_non_defaults() {
         assert_eq!(OptionsPoint::default().suffix(), "");
-        assert_eq!(OptionsPoint { coalesce: true, specialized_copies: true }.suffix(), " +co");
-        assert_eq!(OptionsPoint { coalesce: false, specialized_copies: false }.suffix(), " -sc");
-        assert_eq!(OptionsPoint { coalesce: true, specialized_copies: false }.suffix(), " +co -sc");
+        assert_eq!(OptionsPoint { coalesce: true, ..OptionsPoint::default() }.suffix(), " +co");
+        assert_eq!(
+            OptionsPoint { specialized_copies: false, ..OptionsPoint::default() }.suffix(),
+            " -sc"
+        );
+        assert_eq!(
+            OptionsPoint { coalesce: true, specialized_copies: false, ..OptionsPoint::default() }
+                .suffix(),
+            " +co -sc"
+        );
         assert_eq!(OptionsPoint::axis().len(), 4);
         assert_eq!(OptionsPoint::axis()[0], OptionsPoint::default());
+    }
+
+    #[test]
+    fn widened_axes_enumerate_legally_and_key_distinctly() {
+        use axi4mlir_config::{CacheTiling, CpuModel};
+        // 64x64x64 on an 8-base v4: fixed edges 16/32 wrap legally, 64
+        // covers the whole problem (duplicate of Off, dropped), and the
+        // desktop host only appears under Auto tiling.
+        let axis = OptionsPoint::cross_cache_tiling(
+            &[OptionsPoint::default()],
+            &CacheTiling::sweep_levels(),
+        );
+        let axis = OptionsPoint::cross_cpus(&axis, &[CpuModel::PynqZ2, CpuModel::Desktop]);
+        let space = MatMulSpace::new(MatMulProblem::new(64, 64, 64))
+            .accels(vec![AccelInstance::v4(8)])
+            .options_axis(axis);
+        let candidates = space.enumerate().unwrap();
+        let keys: std::collections::HashSet<CandidateKey> =
+            candidates.iter().map(|c| c.key.clone()).collect();
+        assert_eq!(keys.len(), candidates.len(), "every widened key is unique");
+        let tilings: std::collections::HashSet<String> =
+            candidates.iter().map(|c| c.key.options.cache_tiling.label()).collect();
+        assert!(tilings.contains("auto") && tilings.contains("off"));
+        assert!(tilings.contains("fixed:16") && tilings.contains("fixed:32"));
+        // A fixed-64 level survives only for tiles where it wraps
+        // something; with 64-edge problems it never does.
+        let sixty_four: Vec<_> = candidates
+            .iter()
+            .filter(|c| c.key.options.cache_tiling == CacheTiling::Fixed(64))
+            .collect();
+        assert!(sixty_four.is_empty(), "fixed:64 duplicates off on a 64^3 problem");
+        // Desktop hosts appear, and only under Auto.
+        let desktop: Vec<_> =
+            candidates.iter().filter(|c| c.key.options.cpu == CpuModel::Desktop).collect();
+        assert!(!desktop.is_empty());
+        assert!(desktop.iter().all(|c| c.key.options.cache_tiling == CacheTiling::Auto));
+    }
+
+    #[test]
+    fn proxy_realizations_clamp_unrunnable_fixed_cache_tiles() {
+        use axi4mlir_config::CacheTiling;
+        // Fixed(24) is legal on the 48^3 problem (24 % 8 == 0,
+        // 48 % 24 == 0) but a level-4 proxy shrinks the dims to 32,
+        // which 24 does not divide — the proxy must fall back to Off
+        // (reflected in its cache key) instead of handing `matmul_plan`
+        // an edge it rejects mid-sweep.
+        let axis =
+            vec![OptionsPoint { cache_tiling: CacheTiling::Fixed(24), ..OptionsPoint::default() }];
+        let space = MatMulSpace::new(MatMulProblem::new(48, 48, 48))
+            .accels(vec![AccelInstance::v4(8)])
+            .options_axis(axis);
+        let candidate = space
+            .enumerate()
+            .unwrap()
+            .into_iter()
+            .find(|c| c.key.tile == (8, 8, 8))
+            .expect("the 8-tile survives enumeration legality");
+        let full = space.realize(&candidate, Fidelity::Full).unwrap();
+        assert_eq!(full.plan.options.cache_tiling, CacheTiling::Fixed(24));
+        let proxy = space.realize(&candidate, Fidelity::Proxy { level: 4 }).unwrap();
+        assert!(proxy.key.workload.contains("32x32x32"), "{}", proxy.key.workload);
+        assert_eq!(proxy.plan.options.cache_tiling, CacheTiling::Off);
+        assert_eq!(proxy.key.options.cache_tiling, CacheTiling::Off, "the key says what ran");
+        // The clamped proxy actually runs (this aborted the sweep before).
+        let report = crate::driver::Session::for_sweep()
+            .run(proxy.workload.as_ref(), &proxy.plan)
+            .expect("clamped proxy measures");
+        assert!(report.verified);
+        // A proxy the edge still wraps legally keeps it: level 8 covers
+        // the full 48^3 problem, where Fixed(24) was legal all along.
+        let covering = space.realize(&candidate, Fidelity::Proxy { level: 8 }).unwrap();
+        assert_eq!(covering.key, full.key);
+        assert_eq!(covering.plan.options.cache_tiling, CacheTiling::Fixed(24));
+    }
+
+    #[test]
+    fn cache_tiling_levels_realize_distinct_plans() {
+        use axi4mlir_config::{CacheTiling, CpuModel};
+        let axis = OptionsPoint::cross_cache_tiling(
+            &[OptionsPoint::default()],
+            &[CacheTiling::Off, CacheTiling::Fixed(32)],
+        );
+        let space = MatMulSpace::new(MatMulProblem::new(64, 64, 64))
+            .accels(vec![AccelInstance::v4(8)])
+            .options_axis(axis);
+        let candidates = space.enumerate().unwrap();
+        let off = candidates
+            .iter()
+            .find(|c| c.key.options.cache_tiling == CacheTiling::Off)
+            .expect("an off candidate");
+        let fixed = candidates
+            .iter()
+            .find(|c| c.key.options.cache_tiling == CacheTiling::Fixed(32))
+            .expect("a fixed candidate");
+        let off_plan = space.realize(off, Fidelity::Full).unwrap().plan;
+        let fixed_plan = space.realize(fixed, Fidelity::Full).unwrap().plan;
+        assert_eq!(off_plan.options.cache_tiling, CacheTiling::Off);
+        assert_eq!(fixed_plan.options.cache_tiling, CacheTiling::Fixed(32));
+        // The host spec rides along with the cpu axis.
+        let desktop = OptionsPoint { cpu: CpuModel::Desktop, ..OptionsPoint::default() };
+        let plan = apply_options(CompilePlan::cpu(), &desktop);
+        assert_eq!(plan.cpu, CpuModel::Desktop.spec());
     }
 
     #[test]

@@ -3,18 +3,10 @@
 use axi4mlir_runtime::copy::CopyStrategy;
 use axi4mlir_sim::cost::CostModel;
 
-/// How the CPU-cache tiling level is chosen (compiler flow step 4).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CacheTiling {
-    /// No extra tiling level: accelerator-size tiles walk the full problem
-    /// (what the manual baselines do).
-    Off,
-    /// Derive the tile edge from the LLC capacity (half the LLC must hold
-    /// the three operand tiles).
-    Auto,
-    /// Explicit square tile edge in elements.
-    Fixed(i64),
-}
+// `CacheTiling` moved down into `axi4mlir-config` so the design-space
+// enumerators can treat the tiling level as a candidate axis; re-exported
+// here because it is still, first of all, a pipeline option.
+pub use axi4mlir_config::CacheTiling;
 
 /// Options steering the AXI4MLIR pipeline.
 #[derive(Clone, Copy, Debug, PartialEq)]

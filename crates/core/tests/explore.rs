@@ -360,6 +360,151 @@ fn batched_halving_saves_full_batch_simulations() {
 }
 
 #[test]
+fn warm_started_halving_spends_fewer_full_sims_within_5pct_of_optimum() {
+    // The acceptance scenario: bank measurements on one problem shape,
+    // then sweep a shape never measured before. The warm-started halving
+    // must (a) perform strictly fewer full-fidelity simulations than the
+    // same halving cold, and (b) still land within 5% of the measured
+    // exhaustive optimum.
+    let donor_space =
+        MatMulSpace::new(MatMulProblem::new(16, 16, 16)).accels(vec![AccelInstance::v4(8)]).seed(7);
+    let donor = Explorer::new();
+    donor.explore_space(&donor_space, Prune::None, &Search::Exhaustive, 2).expect("donor sweep");
+    let model = donor.transfer_model();
+    assert!(!model.is_empty(), "the donor sweep produced observations");
+
+    // A new shape: wider in m, so a third tile edge (32) the donor never
+    // measured enters the space alongside configurations it did measure.
+    let target = || {
+        MatMulSpace::new(MatMulProblem::new(32, 16, 16)).accels(vec![AccelInstance::v4(8)]).seed(7)
+    };
+    let search = Search::Halving(HalvingSpec::default());
+
+    let exhaustive = Explorer::new()
+        .explore_space(&target(), Prune::None, &Search::Exhaustive, 2)
+        .expect("exhaustive target sweep");
+    let optimum_ms = exhaustive.optimum().expect("an optimum").task_clock_ms;
+
+    let cold_explorer = Explorer::new();
+    let cold = cold_explorer.explore_space(&target(), Prune::None, &search, 2).expect("cold");
+    assert!(!cold.warm_started);
+    assert_eq!(cold.warm_informed, 0);
+
+    let warm_explorer = Explorer::new().warm_started(model);
+    assert!(warm_explorer.is_warm_started());
+    let warm = warm_explorer.explore_space(&target(), Prune::None, &search, 2).expect("warm");
+    assert!(warm.warm_started);
+    assert!(
+        warm.warm_informed * 2 >= warm.space_size,
+        "the donor covers most of the target field: {} of {}",
+        warm.warm_informed,
+        warm.space_size
+    );
+
+    assert!(cold.full_sims_performed > 0);
+    assert!(
+        warm.full_sims_performed < cold.full_sims_performed,
+        "warm start must spend strictly fewer full-fidelity sims ({} !< {})",
+        warm.full_sims_performed,
+        cold.full_sims_performed
+    );
+    let warm_pick_ms = warm.optimum().expect("a warm pick").task_clock_ms;
+    assert!(
+        warm_pick_ms <= optimum_ms * 1.05,
+        "warm pick {warm_pick_ms} ms must be within 5% of the exhaustive optimum {optimum_ms} ms"
+    );
+}
+
+#[test]
+fn every_workload_label_feeds_the_transfer_model() {
+    // The transfer model recovers problem shapes from the workload
+    // labels persisted in candidate keys. If a Display impl drifts, the
+    // model must not silently fit empty and run cold — this pins that
+    // measurements from all three shipped spaces produce observations
+    // that inform candidates of the same space.
+    let spaces: Vec<(&str, Box<dyn DesignSpace>)> = vec![
+        (
+            "matmul",
+            Box::new(
+                MatMulSpace::new(MatMulProblem::new(16, 16, 16))
+                    .accels(vec![AccelInstance::v4(8)])
+                    .seed(7),
+            ),
+        ),
+        (
+            "batched",
+            Box::new(
+                BatchedSpace::new(BatchedMatMulProblem::new(MatMulProblem::square(8), 2))
+                    .accels(vec![AccelInstance::v4(8)])
+                    .seed(9),
+            ),
+        ),
+        ("conv", Box::new(ConvSpace::new(quick_layer()).seed(5))),
+    ];
+    for (label, space) in spaces {
+        let explorer = Explorer::new();
+        explorer
+            .explore_space(space.as_ref(), Prune::KeepBest(2), &Search::Exhaustive, 1)
+            .unwrap_or_else(|d| panic!("{label}: {d}"));
+        let model = explorer.transfer_model();
+        assert!(
+            model.observations() > 0,
+            "{label}: the measured entries must parse into observations"
+        );
+        let candidate = &space.enumerate().unwrap()[0];
+        let prediction = model
+            .predict(candidate)
+            .unwrap_or_else(|| panic!("{label}: the model must cover its own space"));
+        assert!(prediction.clock_ms > 0.0, "{label}: calibrated clocks are positive");
+    }
+}
+
+#[test]
+fn halving_full_sims_never_exceed_exhaustive_across_workloads() {
+    // The sim-budget pin: under fixed seeds, a halving sweep must never
+    // run more full-fidelity simulations than the exhaustive sweep of
+    // the same space, on any shipped workload. Future space growth that
+    // broke this would silently inflate CI and local sweep cost.
+    let halving = Search::Halving(HalvingSpec::default());
+    let check = |label: &str, build: &dyn Fn() -> Box<dyn DesignSpace>| {
+        let exhaustive = Explorer::new()
+            .explore_space(build().as_ref(), Prune::None, &Search::Exhaustive, 2)
+            .unwrap_or_else(|d| panic!("{label} exhaustive: {d}"));
+        let halved = Explorer::new()
+            .explore_space(build().as_ref(), Prune::None, &halving, 2)
+            .unwrap_or_else(|d| panic!("{label} halving: {d}"));
+        // Exhaustive measures every survivor (plus possibly the
+        // heuristic pick) at full fidelity.
+        assert!(
+            exhaustive.full_sims_performed >= exhaustive.evaluations.len(),
+            "{label}: exhaustive full sims cover the space"
+        );
+        assert!(
+            halved.full_sims_performed <= exhaustive.full_sims_performed,
+            "{label}: halving must not exceed the exhaustive full-sim budget ({} > {})",
+            halved.full_sims_performed,
+            exhaustive.full_sims_performed
+        );
+        assert!(halved.full_sims_performed > 0, "{label}: finalists are measured for real");
+    };
+    check("matmul", &|| {
+        Box::new(
+            MatMulSpace::new(MatMulProblem::new(32, 16, 16))
+                .accels(vec![AccelInstance::v4(8)])
+                .seed(7),
+        )
+    });
+    check("batched", &|| {
+        Box::new(
+            BatchedSpace::new(BatchedMatMulProblem::new(MatMulProblem::new(16, 16, 16), 2))
+                .accels(vec![AccelInstance::v4(8)])
+                .seed(9),
+        )
+    });
+    check("conv", &|| Box::new(ConvSpace::new(quick_layer()).seed(5)));
+}
+
+#[test]
 fn multi_objective_front_contains_the_single_objective_optima() {
     let explorer = Explorer::new();
     let space = small_spec().space();
@@ -447,7 +592,7 @@ fn options_axis_candidates_are_cached_separately() {
         .accels(vec![AccelInstance::v4(8)])
         .options_axis(vec![
             OptionsPoint::default(),
-            OptionsPoint { coalesce: true, specialized_copies: true },
+            OptionsPoint { coalesce: true, ..OptionsPoint::default() },
         ])
         .seed(7);
     let explorer = Explorer::new();

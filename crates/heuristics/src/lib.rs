@@ -28,7 +28,9 @@ pub use best::{
 };
 pub use cache::select_cache_tile;
 pub use objective::Objective;
-pub use space::{batched_points, conv_point, matmul_points, AccelInstance, SpacePoint};
+pub use space::{
+    batched_points, conv_point, matmul_points, AccelInstance, OptionsPoint, SpacePoint,
+};
 pub use transfer::{
     batched_matmul_transfers, conv_transfers, matmul_transfers, ConvShapeEstimate, TransferEstimate,
 };

@@ -20,13 +20,150 @@
 
 use axi4mlir_accelerators::conv::{CONV_SLICE_CAPACITY, CONV_WINDOW_CAPACITY};
 use axi4mlir_accelerators::matmul::MatMulVersion;
-use axi4mlir_config::FlowStrategy;
+use axi4mlir_config::{CacheTiling, CpuModel, FlowStrategy};
 use axi4mlir_support::diag::Diagnostic;
 
 use crate::best::{candidate_edges, tile_words};
 use crate::transfer::{
     batched_matmul_transfers, conv_transfers, matmul_transfers, ConvShapeEstimate, TransferEstimate,
 };
+
+/// The tunable options axis of a design space: the knobs that change
+/// generated-driver behavior (and host cache behavior) without changing
+/// the computed result.
+///
+/// Two axes widen the original coalesce/copies pair: the cache-hierarchy
+/// tiling level ([`CacheTiling`]) and the named host CPU ([`CpuModel`])
+/// whose cache sizes steer the `Auto` tiling heuristic. Both are
+/// persisted in candidate keys, so the result-cache schema carries them
+/// (`axi4mlir-explore-cache/v2`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OptionsPoint {
+    /// Batch same-site transfers into one DMA transaction (§V).
+    pub coalesce: bool,
+    /// Use the specialized (`memcpy`-style) staging copies.
+    pub specialized_copies: bool,
+    /// Cache-hierarchy tiling level (MatMul kernels only; conv never
+    /// cache-tiles).
+    pub cache_tiling: CacheTiling,
+    /// The named host CPU whose cache sizes the `Auto` tiling level reads.
+    pub cpu: CpuModel,
+}
+
+impl Default for OptionsPoint {
+    /// The paper's headline configuration: specialized copies, no
+    /// coalescing, auto cache tiling on the PYNQ-Z2 host.
+    fn default() -> Self {
+        Self {
+            coalesce: false,
+            specialized_copies: true,
+            cache_tiling: CacheTiling::Auto,
+            cpu: CpuModel::PynqZ2,
+        }
+    }
+}
+
+impl OptionsPoint {
+    /// The classic copy/coalesce axis: all four combinations at the
+    /// default tiling level and host, default point first.
+    pub fn axis() -> Vec<OptionsPoint> {
+        vec![
+            OptionsPoint::default(),
+            OptionsPoint { coalesce: true, ..OptionsPoint::default() },
+            OptionsPoint { specialized_copies: false, ..OptionsPoint::default() },
+            OptionsPoint { coalesce: true, specialized_copies: false, ..OptionsPoint::default() },
+        ]
+    }
+
+    /// Crosses an options axis with a set of cache-tiling levels.
+    pub fn cross_cache_tiling(axis: &[OptionsPoint], levels: &[CacheTiling]) -> Vec<OptionsPoint> {
+        axis.iter()
+            .flat_map(|point| {
+                levels.iter().map(move |&cache_tiling| OptionsPoint { cache_tiling, ..*point })
+            })
+            .collect()
+    }
+
+    /// Crosses an options axis with a set of named hosts.
+    pub fn cross_cpus(axis: &[OptionsPoint], cpus: &[CpuModel]) -> Vec<OptionsPoint> {
+        axis.iter()
+            .flat_map(|point| cpus.iter().map(move |&cpu| OptionsPoint { cpu, ..*point }))
+            .collect()
+    }
+
+    /// Whether this point is *meaningful* for a MatMul-shaped candidate:
+    /// a fixed cache tile must wrap at least one of the two outer loops
+    /// of `flow`'s permutation legally (a multiple of the accelerator
+    /// tile that divides the problem dimension), and a non-default host
+    /// only matters under `Auto` tiling (the host cache sizes feed
+    /// nothing else), so other combinations would re-measure an existing
+    /// key's configuration under a new name.
+    pub fn legal_for_matmul(
+        &self,
+        problem: (i64, i64, i64),
+        tile: (i64, i64, i64),
+        flow: FlowStrategy,
+    ) -> bool {
+        if self.cpu != CpuModel::default() && self.cache_tiling != CacheTiling::Auto {
+            return false;
+        }
+        match self.cache_tiling {
+            CacheTiling::Off | CacheTiling::Auto => true,
+            CacheTiling::Fixed(edge) => {
+                let sizes = [problem.0, problem.1, problem.2];
+                let tiles = [tile.0, tile.1, tile.2];
+                let dim_index = |name: &str| match name {
+                    "m" => 0usize,
+                    "n" => 1,
+                    _ => 2,
+                };
+                // Only the two outermost permuted dims get a cache loop
+                // (the streaming dim is never cache-tiled).
+                let outer = flow.matmul_permutation();
+                let outer = [dim_index(outer[0]), dim_index(outer[1])];
+                let mut wraps_anything = false;
+                for d in outer {
+                    if edge < sizes[d] {
+                        if edge % tiles[d] != 0 || sizes[d] % edge != 0 {
+                            return false;
+                        }
+                        wraps_anything = true;
+                    }
+                }
+                // A fixed edge covering both outer dims whole is `Off`
+                // under a different key: reject the duplicate.
+                wraps_anything
+            }
+        }
+    }
+
+    /// Whether this point is meaningful for a Conv2D candidate: conv
+    /// kernels never cache-tile, so only the default tiling level and
+    /// host avoid duplicate measurements.
+    pub fn legal_for_conv(&self) -> bool {
+        self.cache_tiling == CacheTiling::Auto && self.cpu == CpuModel::default()
+    }
+
+    /// Label suffix: empty for the default point, otherwise the deviating
+    /// knobs (`+co` coalescing on, `-sc` specialized copies off, `ct:off`
+    /// / `ct:fixed:32` non-default tiling, `cpu:zcu102` non-default host).
+    pub fn suffix(&self) -> String {
+        let mut out = String::new();
+        if self.coalesce {
+            out.push_str(" +co");
+        }
+        if !self.specialized_copies {
+            out.push_str(" -sc");
+        }
+        if self.cache_tiling != CacheTiling::Auto {
+            out.push_str(&format!(" ct:{}", self.cache_tiling.label()));
+        }
+        if self.cpu != CpuModel::default() {
+            out.push_str(&format!(" cpu:{}", self.cpu.label()));
+        }
+        out
+    }
+}
 
 /// One MatMul accelerator instantiation a candidate can target.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -277,6 +414,83 @@ mod tests {
             assert_eq!(b.estimate.words_total(), 3 * s.estimate.words_total());
             assert_eq!(b.estimate.transactions, 3 * s.estimate.transactions);
         }
+    }
+
+    #[test]
+    fn options_point_axis_and_suffix() {
+        assert_eq!(OptionsPoint::axis().len(), 4);
+        assert_eq!(OptionsPoint::axis()[0], OptionsPoint::default());
+        assert_eq!(OptionsPoint::default().suffix(), "");
+        let tiled =
+            OptionsPoint { cache_tiling: CacheTiling::Fixed(32), ..OptionsPoint::default() };
+        assert_eq!(tiled.suffix(), " ct:fixed:32");
+        let hosted = OptionsPoint { cpu: CpuModel::Desktop, ..OptionsPoint::default() };
+        assert_eq!(hosted.suffix(), " cpu:desktop");
+        let crossed =
+            OptionsPoint::cross_cache_tiling(&OptionsPoint::axis(), &CacheTiling::sweep_levels());
+        assert_eq!(crossed.len(), 4 * 5);
+        assert_eq!(crossed[0], OptionsPoint::default(), "default stays first");
+        let cpus = OptionsPoint::cross_cpus(
+            &[OptionsPoint::default()],
+            &[CpuModel::PynqZ2, CpuModel::Desktop],
+        );
+        assert_eq!(cpus.len(), 2);
+    }
+
+    #[test]
+    fn fixed_cache_tiling_legality_follows_the_flow_permutation() {
+        let base = OptionsPoint::default();
+        let fixed = |edge| OptionsPoint { cache_tiling: CacheTiling::Fixed(edge), ..base };
+        // 64x64x64 with an 8-tile: 32 wraps m and n legally under Ns.
+        assert!(fixed(32).legal_for_matmul(
+            (64, 64, 64),
+            (8, 8, 8),
+            FlowStrategy::NothingStationary
+        ));
+        // An edge that does not divide the dimension is illegal...
+        assert!(!fixed(24).legal_for_matmul(
+            (64, 64, 64),
+            (16, 16, 16),
+            FlowStrategy::NothingStationary
+        ));
+        // ...and an edge covering every outer dim whole duplicates `Off`.
+        assert!(!fixed(64).legal_for_matmul(
+            (64, 64, 64),
+            (8, 8, 8),
+            FlowStrategy::NothingStationary
+        ));
+        // As permutes (m, k, n): the outer dims are m and k, so an edge
+        // that only divides n cleanly is judged against m/k instead.
+        assert!(fixed(32).legal_for_matmul(
+            (64, 48, 64),
+            (8, 8, 8),
+            FlowStrategy::InputAStationary
+        ));
+        assert!(!fixed(32).legal_for_matmul(
+            (64, 64, 48),
+            (8, 8, 8),
+            FlowStrategy::InputAStationary
+        ));
+        // Off and Auto are always legal.
+        assert!(base.legal_for_matmul((64, 64, 64), (8, 8, 8), FlowStrategy::NothingStationary));
+        // A non-default host is only meaningful under Auto tiling.
+        let desktop_off =
+            OptionsPoint { cpu: CpuModel::Desktop, cache_tiling: CacheTiling::Off, ..base };
+        assert!(!desktop_off.legal_for_matmul(
+            (64, 64, 64),
+            (8, 8, 8),
+            FlowStrategy::NothingStationary
+        ));
+        let desktop_auto = OptionsPoint { cpu: CpuModel::Desktop, ..base };
+        assert!(desktop_auto.legal_for_matmul(
+            (64, 64, 64),
+            (8, 8, 8),
+            FlowStrategy::NothingStationary
+        ));
+        // Conv never cache-tiles: only the default tiling level and host.
+        assert!(base.legal_for_conv());
+        assert!(!fixed(32).legal_for_conv());
+        assert!(!desktop_auto.legal_for_conv());
     }
 
     #[test]

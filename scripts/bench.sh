@@ -29,17 +29,24 @@ for bin in table1 fig10 fig11 fig12 fig13 fig14 fig16 fig17; do
 done
 
 echo "== design-space explorer =="
-# The persistent result cache makes local reruns warm: candidates
-# measured by a previous sweep are loaded from BENCH_cache.json instead
-# of re-simulated (bench-collect knows to leave the cache file out of
-# BENCH_all.json).
+# The persistent result cache makes local reruns warm twice over:
+# candidates measured by a previous sweep are loaded from
+# BENCH_cache.json instead of re-simulated, and --warm-start fits the
+# cross-problem transfer model from the same file so even sweeps of NEW
+# shapes start from calibrated rankings (bench-collect knows to leave
+# the cache file out of BENCH_all.json).
 CACHE="$OUT_DIR/BENCH_cache.json"
 if [ "${#QUICK[@]}" -gt 0 ]; then
-    cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --smoke --objectives clock,traffic --cache "$CACHE" --json "$OUT_DIR"
+    cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --smoke --objectives clock,traffic --cache "$CACHE" --warm-start --json "$OUT_DIR"
 else
-    cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --objectives clock,traffic --cache "$CACHE" --json "$OUT_DIR"
+    cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --objectives clock,traffic --cache "$CACHE" --warm-start --json "$OUT_DIR"
 fi
 
 echo "== collecting =="
 cargo run --release -p axi4mlir-bench --bin bench-collect -- "$OUT_DIR"
+
+if command -v python3 >/dev/null 2>&1; then
+    echo "== pareto plot =="
+    python3 scripts/plot_pareto.py "$OUT_DIR/BENCH_explore.json" -o "$OUT_DIR/pareto.svg" || true
+fi
 echo "reports in $OUT_DIR/"
