@@ -1,0 +1,123 @@
+//! Simulator hot-path microbenchmarks: the three inner loops every
+//! explorer sweep spends its wall time in.
+//!
+//! - `interpreter_loop` — a dense scf.for nest of loads/adds/stores,
+//!   measuring op dispatch and value-environment traffic;
+//! - `dma_roundtrip` — send + recv bursts through the loopback device,
+//!   measuring per-beat streaming and staging-memory access;
+//! - `session_run` — one full compile-and-simulate of the smoke-scale
+//!   16x16x16 matmul on a v3 accelerator, the unit of work behind every
+//!   full-fidelity sim the explorer performs (`sims_per_sec`).
+//!
+//! Criterion measures wall time; the simulation is deterministic, so the
+//! modelled counters never change — only how fast we produce them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use axi4mlir_config::{AcceleratorConfig, AcceleratorPreset};
+use axi4mlir_core::driver::{CompilePlan, MatMulWorkload, Session};
+use axi4mlir_dialects::{arith, func, memref, scf};
+use axi4mlir_ir::ops::Module;
+use axi4mlir_ir::types::Type;
+use axi4mlir_runtime::copy::CopyStrategy;
+use axi4mlir_runtime::soc::Soc;
+use axi4mlir_sim::axi::LoopbackAccelerator;
+use axi4mlir_sim::cost::CostModel;
+use axi4mlir_sim::counters::PerfCounters;
+use axi4mlir_sim::dma::{DmaConfig, DmaEngine};
+use axi4mlir_sim::mem::SimMemory;
+use axi4mlir_workloads::matmul::MatMulProblem;
+
+const LOOP_TRIPS: i64 = 64;
+
+/// `for i in 0..N { for j in 0..N { cell += j } }` — pure interpreter
+/// dispatch with a load, a cast, an add, and a store per inner iteration.
+fn interpreter_module() -> Module {
+    let mut m = Module::new();
+    let f = func::func(&mut m, "main", vec![], vec![]);
+    let mut b = func::entry_builder(&mut m.ctx, &f);
+    let cell = memref::alloc(&mut b, vec![1], Type::i32());
+    let c0 = arith::const_index(&mut b, 0);
+    let cn = arith::const_index(&mut b, LOOP_TRIPS);
+    let c1 = arith::const_index(&mut b, 1);
+    let outer = scf::for_loop(&mut b, c0, cn, c1);
+    let mut ob = scf::body_builder(&mut m.ctx, &outer);
+    let inner = scf::for_loop(&mut ob, c0, cn, c1);
+    let mut ib = scf::body_builder(&mut m.ctx, &inner);
+    let old = memref::load(&mut ib, cell, vec![c0]);
+    let jv = arith::index_cast(&mut ib, inner.iv, Type::i32());
+    let new = arith::addi(&mut ib, old, jv);
+    memref::store(&mut ib, new, cell, vec![c0]);
+    m
+}
+
+fn bench_interpreter_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter_loop");
+    group.sample_size(20);
+    let m = interpreter_module();
+    let mut soc = Soc::new(Box::new(LoopbackAccelerator::new()));
+    group.bench_function("nested_64x64", |b| {
+        b.iter(|| {
+            soc.recycle();
+            axi4mlir_interp::run_func(&mut soc, &m, "main", vec![], CopyStrategy::ElementWise)
+                .expect("run");
+            soc.counters
+        });
+    });
+    group.finish();
+}
+
+fn bench_dma_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dma_roundtrip");
+    group.sample_size(50);
+    let cost = CostModel::pynq_z2();
+    let mut mem = SimMemory::new();
+    let input = mem.alloc(4096, 64);
+    let output = mem.alloc(4096, 64);
+    let mut accel = LoopbackAccelerator::new();
+    group.bench_function("8x4kb", |b| {
+        b.iter(|| {
+            let mut counters = PerfCounters::new();
+            let mut dma = DmaEngine::new();
+            dma.init(
+                DmaConfig {
+                    id: 0,
+                    input_base: input,
+                    input_size: 4096,
+                    output_base: output,
+                    output_size: 4096,
+                },
+                &mut counters,
+                &cost,
+            );
+            for _ in 0..8 {
+                dma.start_send(&mut mem, &mut accel, 0, 4096, &mut counters, &cost).expect("send");
+                dma.wait_send_completion(&mut counters, &cost);
+                dma.start_recv(&mut mem, &mut accel, 0, 4096, &mut counters, &cost).expect("recv");
+                dma.wait_recv_completion(&mut counters, &cost);
+            }
+            counters
+        });
+    });
+    group.finish();
+}
+
+fn bench_session_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_run");
+    group.sample_size(20);
+    let config = AcceleratorConfig::preset(AcceleratorPreset::V3 { size: 8 });
+    let plan = CompilePlan::for_accelerator(config);
+    let workload = MatMulWorkload::new(MatMulProblem::new(16, 16, 16));
+    let mut session = Session::for_sweep();
+    group.bench_function("matmul_16_v3_8", |b| {
+        b.iter(|| {
+            let report = session.run(&workload, &plan).expect("run");
+            assert!(report.verified);
+            report.counters
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter_loop, bench_dma_roundtrip, bench_session_run);
+criterion_main!(benches);

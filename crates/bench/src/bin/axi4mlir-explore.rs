@@ -351,6 +351,12 @@ fn to_report(request: &Request, report: &ExploreReport, front: &[usize]) -> Benc
         .context("full_sims_performed", report.full_sims_performed)
         .context("warm_start", report.warm_started)
         .context("warm_informed", report.warm_informed);
+    // Simulator throughput over this sweep's full-fidelity runs — the
+    // hot-path regression metric `bench-compare` gates on. Absent when
+    // every candidate came out of the cache.
+    if let Some(rate) = report.sims_per_sec() {
+        out = out.context("sims_per_sec", rate);
+    }
     if let Some(optimum) = report.optimum() {
         out = out
             .context("optimum_config", optimum.candidate.label())

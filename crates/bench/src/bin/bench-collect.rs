@@ -47,7 +47,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let mut table = TextTable::new(vec!["report", "entries", "file"]);
+    let mut table = TextTable::new(vec!["report", "entries", "sims/s", "file"]);
     let mut reports = Vec::new();
     let mut failures = 0;
     let mut skipped_foreign = 0;
@@ -80,8 +80,15 @@ fn main() -> ExitCode {
             name.push_str(" (+pareto)");
         }
         let entries = doc.get("entries").and_then(JsonValue::as_array).map_or(0, <[_]>::len);
+        // The explorer reports its simulator throughput; other reports
+        // leave the column blank.
+        let sims_per_sec = doc
+            .get("context")
+            .and_then(|c| c.get("sims_per_sec"))
+            .and_then(JsonValue::as_f64)
+            .map_or_else(String::new, |rate| format!("{rate:.1}"));
         let file = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_owned();
-        table.row(vec![name, entries.to_string(), file]);
+        table.row(vec![name, entries.to_string(), sims_per_sec, file]);
         reports.push(doc);
     }
     if reports.is_empty() {

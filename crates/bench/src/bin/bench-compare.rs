@@ -24,7 +24,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use axi4mlir_bench::compare::{gate, Comparison};
+use axi4mlir_bench::compare::{gate, is_rate_metric, Comparison};
 use axi4mlir_support::fmtutil::TextTable;
 use axi4mlir_support::json::JsonValue;
 
@@ -104,8 +104,9 @@ fn main() -> ExitCode {
 
     for &index in &outcome.regressions {
         let r = &outcome.compared[index];
+        let unit = if is_rate_metric(&r.sample.metric) { "sims/s" } else { "ms" };
         println!(
-            "REGRESSION {} / {} / {}: {:.4} ms -> {:.4} ms ({:+.1}%, threshold {:+.1}%)",
+            "REGRESSION {} / {} / {}: {:.4} {unit} -> {:.4} {unit} ({:+.1}%, threshold {:+.1}%)",
             r.sample.report,
             r.sample.entry,
             r.sample.metric,

@@ -8,11 +8,24 @@
 //! above zero, and schema-v2 `pareto` sections are compared
 //! presence-wise only — a baseline that predates the schema bump skips
 //! the front instead of failing the gate.
+//!
+//! One *throughput* metric is also gated: the explorer's `sims_per_sec`
+//! context member (full-fidelity simulations per second of in-simulator
+//! wall time). Its delta is inverted — a *drop* in rate is the
+//! regression — and, like the pareto section, it is skipped with a note
+//! when the baseline predates it.
 
 use axi4mlir_support::json::JsonValue;
 
 /// Wall-clock (non-deterministic) keys excluded from the gate.
 pub const EXCLUDED_METRICS: [&str; 2] = ["compile_ms", "pass_ms"];
+
+/// Report-level `context` members gated as throughput (higher is
+/// better): the delta is inverted so a rate drop reads as a slowdown.
+pub const RATE_CONTEXT_METRICS: [&str; 1] = ["sims_per_sec"];
+
+/// The placeholder entry id of report-level context samples.
+pub const CONTEXT_ENTRY: &str = "@context";
 
 /// One comparable measurement: report name, entry id, metric key.
 #[derive(Clone, Debug)]
@@ -32,9 +45,26 @@ pub fn is_gated_metric(key: &str) -> bool {
     key.ends_with("_ms") && !EXCLUDED_METRICS.contains(&key)
 }
 
+/// Whether a key is gated as a rate (higher is better, delta inverted).
+pub fn is_rate_metric(key: &str) -> bool {
+    RATE_CONTEXT_METRICS.contains(&key)
+}
+
 /// Extracts every gated sample of one report document.
 fn samples_of_report(doc: &JsonValue, out: &mut Vec<Sample>) {
     let name = doc.get("name").and_then(JsonValue::as_str).unwrap_or("?").to_owned();
+    if let Some(context) = doc.get("context").and_then(JsonValue::as_object) {
+        for (key, value) in context {
+            if let (true, Some(value)) = (is_rate_metric(key), value.as_f64()) {
+                out.push(Sample {
+                    report: name.clone(),
+                    entry: CONTEXT_ENTRY.to_owned(),
+                    metric: key.clone(),
+                    value,
+                });
+            }
+        }
+    }
     for entry in doc.get("entries").and_then(JsonValue::as_array).unwrap_or(&[]) {
         let id = entry.get("id").and_then(JsonValue::as_str).unwrap_or("?").to_owned();
         let Some(metrics) = entry.get("metrics").and_then(JsonValue::as_object) else { continue };
@@ -137,8 +167,17 @@ pub fn gate(baseline: &JsonValue, current: &JsonValue, threshold: f64) -> GateOu
             Some(old) => {
                 // A zero baseline cannot form a ratio: unchanged-at-zero
                 // is clean, anything above zero is an unbounded
-                // regression.
-                let delta = if old > 0.0 {
+                // regression. Rate metrics invert the ratio — there a
+                // *drop* (including to zero) is the slowdown.
+                let delta = if is_rate_metric(&s.metric) {
+                    if old <= 0.0 {
+                        0.0
+                    } else if s.value > 0.0 {
+                        old / s.value - 1.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else if old > 0.0 {
                     s.value / old - 1.0
                 } else if s.value > 0.0 {
                     f64::INFINITY
@@ -186,6 +225,16 @@ mod tests {
                 ])]),
             ),
         ])
+    }
+
+    fn with_context(mut doc: JsonValue, key: &str, value: f64) -> JsonValue {
+        if let JsonValue::Object(members) = &mut doc {
+            members.push((
+                "context".to_owned(),
+                JsonValue::object([(key.to_owned(), JsonValue::Float(value))]),
+            ));
+        }
+        doc
     }
 
     fn with_pareto(mut doc: JsonValue, front_size: u64) -> JsonValue {
@@ -242,6 +291,45 @@ mod tests {
         assert!(!is_gated_metric("compile_ms"));
         assert!(!is_gated_metric("pass_ms"));
         assert!(!is_gated_metric("dma_words"));
+    }
+
+    #[test]
+    fn a_sims_per_sec_drop_is_gated_with_inverted_delta() {
+        let sweep = || report("explore", "v4_8 Ns", &[("task_clock_ms", 1.0)]);
+        let base = with_context(sweep(), "sims_per_sec", 100.0);
+        let slower = with_context(sweep(), "sims_per_sec", 80.0);
+        let outcome = gate(&base, &slower, 0.10);
+        assert_eq!(outcome.compared.len(), 2, "context rate + entry metric");
+        assert_eq!(outcome.regressions.len(), 1);
+        let worst = &outcome.compared[outcome.regressions[0]];
+        assert_eq!(worst.sample.metric, "sims_per_sec");
+        assert_eq!(worst.sample.entry, CONTEXT_ENTRY);
+        assert!((worst.delta - 0.25).abs() < 1e-12, "100/80 - 1, not 80/100 - 1");
+
+        // A faster simulator is clean; a stalled one (rate zero against a
+        // positive baseline) is an unbounded regression.
+        let faster = with_context(sweep(), "sims_per_sec", 300.0);
+        assert!(gate(&base, &faster, 0.10).clean());
+        let stalled = with_context(sweep(), "sims_per_sec", 0.0);
+        let outcome = gate(&base, &stalled, 0.10);
+        assert!(outcome.compared[outcome.regressions[0]].delta.is_infinite());
+    }
+
+    #[test]
+    fn baselines_without_sims_per_sec_note_instead_of_failing() {
+        // A baseline recorded before the metric existed: the current-side
+        // rate has no counterpart, which is a note, never a regression.
+        let base = report("explore", "v4_8 Ns", &[("task_clock_ms", 1.0)]);
+        let current = with_context(
+            report("explore", "v4_8 Ns", &[("task_clock_ms", 1.0)]),
+            "sims_per_sec",
+            100.0,
+        );
+        let outcome = gate(&base, &current, 0.10);
+        assert!(outcome.clean());
+        assert_eq!(outcome.unmatched_current, 1);
+        assert!(is_rate_metric("sims_per_sec"));
+        assert!(!is_rate_metric("task_clock_ms"));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! over a one-shot `Session`.
 
 use axi4mlir_config::{AcceleratorConfig, CpuSpec, FlowStrategy, KernelKind};
-use axi4mlir_interp::{run_func, RtValue};
+use axi4mlir_interp::{run_func_with_scratch, InterpScratch, RtValue};
 use axi4mlir_ir::attrs::Attribute;
 use axi4mlir_ir::ops::Module;
 use axi4mlir_ir::pass::{IrSnapshot, PassManager, PassTiming};
@@ -110,6 +110,18 @@ pub trait Workload {
     fn matmul_dims(&self) -> Option<(i64, i64, i64)> {
         None
     }
+
+    /// Stable identity of the module [`Workload::build_module`] would
+    /// return, used by [`Session`] to reuse the compiled module across
+    /// back-to-back runs of the same workload and plan. The default
+    /// (`None`) opts out: every run recompiles. Implementations whose
+    /// built module is a pure function of printable state should return
+    /// that state here — and must include *all* of it (the in-tree
+    /// workloads fold in fields their display name omits, like the CPU
+    /// tile request).
+    fn module_fingerprint(&self) -> Option<String> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -184,6 +196,12 @@ impl Workload for MatMulWorkload {
     fn matmul_dims(&self) -> Option<(i64, i64, i64)> {
         Some((self.problem.m, self.problem.n, self.problem.k))
     }
+
+    fn module_fingerprint(&self) -> Option<String> {
+        // `name()` omits the CPU tile, which changes the built module's
+        // `cpu_tile` attributes — fold it in.
+        Some(format!("matmul {} cpu_tile={:?}", self.problem, self.cpu_tile))
+    }
 }
 
 /// One ResNet-style convolution layer on the §IV-D accelerator.
@@ -255,6 +273,10 @@ impl Workload for ConvWorkload {
             expected,
         }
     }
+
+    fn module_fingerprint(&self) -> Option<String> {
+        Some(self.name())
+    }
 }
 
 /// A batch of independent same-shape GEMMs in one module/run — the
@@ -320,6 +342,10 @@ impl Workload for BatchedMatMulWorkload {
     fn matmul_dims(&self) -> Option<(i64, i64, i64)> {
         let p = self.batch.problem;
         Some((p.m, p.n, p.k))
+    }
+
+    fn module_fingerprint(&self) -> Option<String> {
+        Some(self.name())
     }
 }
 
@@ -628,16 +654,45 @@ fn device_key(config: Option<&AcceleratorConfig>) -> String {
 // Session
 // ---------------------------------------------------------------------
 
+/// Everything that determines the compiled module a `(workload, plan)`
+/// pair produces. Two runs whose keys compare equal would compile the
+/// exact same module, so [`Session`] reuses the first run's output.
+#[derive(Clone, Debug, PartialEq)]
+struct CompileKey {
+    workload: String,
+    config: Option<AcceleratorConfig>,
+    options: PipelineOptions,
+    cache_tile: Option<i64>,
+}
+
+/// One compiled module cached inside a [`Session`]. `key == None` marks
+/// a module from an unfingerprintable workload: kept only for the run
+/// that compiled it, never reused.
+struct CompiledModule {
+    key: Option<CompileKey>,
+    module: Module,
+    ir_after: Vec<IrSnapshot>,
+    pass_timings: Vec<PassTiming>,
+}
+
 /// A reusable executor: one simulated SoC that compiles and runs
 /// workloads. Successive [`Session::run`] calls recycle the SoC (memory
 /// capacity and device instance are kept) instead of rebuilding it, so
 /// sweeps pay allocation once; results and counters are bit-identical to
-/// using a fresh `Session` per run.
+/// using a fresh `Session` per run. Re-running the same workload under
+/// the same plan also skips recompilation entirely: the session caches
+/// the last compiled module keyed by [`Workload::module_fingerprint`]
+/// and the plan's compile-relevant fields.
 pub struct Session {
     soc: Soc,
     device_key: String,
     /// A user-supplied device is pinned: plans never swap it out.
     pinned: bool,
+    /// Interpreter value-frame and opcode buffers, kept warm across
+    /// `Soc::recycle` so steady-state sweep runs allocate nothing there.
+    scratch: InterpScratch,
+    /// Last compiled module, reused when the compile key matches.
+    compiled: Option<CompiledModule>,
 }
 
 impl Session {
@@ -647,7 +702,13 @@ impl Session {
     /// configuration describes.
     pub fn new(accel: Box<dyn axi4mlir_sim::axi::StreamAccelerator>) -> Self {
         let device_key = format!("pinned:{}", accel.name());
-        Self { soc: Soc::new(accel), device_key, pinned: true }
+        Self {
+            soc: Soc::new(accel),
+            device_key,
+            pinned: true,
+            scratch: InterpScratch::new(),
+            compiled: None,
+        }
     }
 
     /// A session targeting the device a plan's configuration describes
@@ -665,6 +726,8 @@ impl Session {
             soc: Soc::new(instantiate_accelerator(config)),
             device_key: device_key(Some(config)),
             pinned: false,
+            scratch: InterpScratch::new(),
+            compiled: None,
         }
     }
 
@@ -674,6 +737,8 @@ impl Session {
             soc: Soc::new(Box::new(LoopbackAccelerator::new())),
             device_key: "cpu".to_owned(),
             pinned: false,
+            scratch: InterpScratch::new(),
+            compiled: None,
         }
     }
 
@@ -720,20 +785,34 @@ impl Session {
         workload: &dyn Workload,
         plan: &CompilePlan,
     ) -> Result<RunReport, Diagnostic> {
-        // Compile.
+        // Compile — unless this session just compiled the identical
+        // module (same workload fingerprint, accelerator configuration,
+        // options, and resolved cache tile), in which case the cached
+        // module is reused verbatim. Execution never mutates the module,
+        // so a cache hit is bit-identical to recompiling.
         let cache_tile = plan.resolve_cache_tile(workload)?;
-        let mut builder = PipelineBuilder::new()
-            .cache_tile(cache_tile)
-            .coalesce(plan.options.coalesce_transfers)
-            .lower(plan.options.lower_to_runtime_calls)
-            .capture_ir(plan.options.capture_ir);
-        if let Some(config) = &plan.config {
-            builder = builder.accelerator(config.clone());
+        let key = workload.module_fingerprint().map(|workload| CompileKey {
+            workload,
+            config: plan.config.clone(),
+            options: plan.options,
+            cache_tile,
+        });
+        let reuse = key.is_some() && self.compiled.as_ref().is_some_and(|cached| cached.key == key);
+        if !reuse {
+            let mut builder = PipelineBuilder::new()
+                .cache_tile(cache_tile)
+                .coalesce(plan.options.coalesce_transfers)
+                .lower(plan.options.lower_to_runtime_calls)
+                .capture_ir(plan.options.capture_ir);
+            if let Some(config) = &plan.config {
+                builder = builder.accelerator(config.clone());
+            }
+            let mut module = workload.build_module();
+            let mut pm = builder.build();
+            let ir_after = pm.run(&mut module)?;
+            let pass_timings = pm.timings().to_vec();
+            self.compiled = Some(CompiledModule { key, module, ir_after, pass_timings });
         }
-        let mut module = workload.build_module();
-        let mut pm = builder.build();
-        let ir_after = pm.run(&mut module)?;
-        let pass_timings = pm.timings().to_vec();
 
         // Execute on the recycled SoC.
         self.retarget(plan);
@@ -742,8 +821,16 @@ impl Session {
         self.soc.reset_run_state();
         let copy_strategy =
             plan.copy_override.unwrap_or_else(|| plan.options.copy_strategy(&self.soc.cost));
-        run_func(&mut self.soc, &module, workload.entry_func(), buffers.args, copy_strategy)
-            .map_err(Diagnostic::from)?;
+        let compiled = self.compiled.as_ref().expect("compiled just above");
+        run_func_with_scratch(
+            &mut self.soc,
+            &compiled.module,
+            workload.entry_func(),
+            buffers.args,
+            copy_strategy,
+            &mut self.scratch,
+        )
+        .map_err(Diagnostic::from)?;
         if self.soc.accel.protocol_errors() > 0 {
             return Err(Diagnostic::error(format!(
                 "accelerator {} observed {} protocol errors running {}",
@@ -775,8 +862,8 @@ impl Session {
             task_clock_ms: self.soc.task_clock_ms(),
             verified,
             cache_tile,
-            ir_after,
-            pass_timings,
+            ir_after: compiled.ir_after.clone(),
+            pass_timings: compiled.pass_timings.clone(),
             result,
         })
     }

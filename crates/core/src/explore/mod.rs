@@ -40,7 +40,7 @@ pub mod transfer;
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use axi4mlir_sim::counters::PerfCounters;
@@ -172,6 +172,11 @@ pub struct ExploreReport {
     /// problem (finalist rounds, exhaustive survivors, the heuristic
     /// pick, and proxy rungs that already covered the whole problem).
     pub full_sims_performed: usize,
+    /// Wall-clock nanoseconds this sweep spent inside full-fidelity
+    /// simulator runs (summed per run, so the figure is a per-worker
+    /// throughput basis independent of the worker count; cache hits
+    /// contribute nothing).
+    pub full_sim_nanos: u64,
     /// Whether a cross-problem transfer model warm-started this sweep.
     pub warm_started: bool,
     /// Candidates the transfer model predicted from configuration-
@@ -191,6 +196,15 @@ pub struct ExploreReport {
 }
 
 impl ExploreReport {
+    /// Full-fidelity simulator throughput of this sweep, in simulations
+    /// per second of in-simulator wall time — the `sims_per_sec` metric
+    /// `bench-compare` gates. `None` when the sweep performed no full
+    /// sims (everything was cached).
+    pub fn sims_per_sec(&self) -> Option<f64> {
+        (self.full_sims_performed > 0 && self.full_sim_nanos > 0)
+            .then(|| self.full_sims_performed as f64 / (self.full_sim_nanos as f64 / 1e9))
+    }
+
     /// The measured optimum: smallest task-clock, first in measurement
     /// order among exact ties (deterministic across worker counts).
     pub fn optimum(&self) -> Option<&Evaluation> {
@@ -249,6 +263,7 @@ pub struct Explorer {
     cache: Mutex<HashMap<CandidateKey, CachedEval>>,
     evals_performed: AtomicUsize,
     full_evals_performed: AtomicUsize,
+    full_sim_nanos: AtomicU64,
     /// The cross-problem transfer model a warm-started search ranks by.
     warm: Option<TransferModel>,
 }
@@ -324,6 +339,12 @@ impl Explorer {
         self.full_evals_performed.load(Ordering::Relaxed)
     }
 
+    /// Wall-clock nanoseconds spent inside full-fidelity simulator runs
+    /// so far (the denominator of the `sims_per_sec` benchmark metric).
+    pub fn full_sim_nanos(&self) -> u64 {
+        self.full_sim_nanos.load(Ordering::Relaxed)
+    }
+
     /// How many results the cache currently holds.
     pub fn cache_len(&self) -> usize {
         self.cache.lock().expect("explorer cache poisoned").len()
@@ -392,6 +413,7 @@ impl Explorer {
         let (candidates, pruned_out) = prune(all, prune_strategy, primary);
         let sims_before = self.evals_performed();
         let full_sims_before = self.full_evals_performed();
+        let sim_nanos_before = self.full_sim_nanos();
 
         let (evaluations, proxy_hits, warm_informed) = match search {
             Search::Exhaustive => {
@@ -422,6 +444,7 @@ impl Explorer {
             cache_hits,
             sims_performed: self.evals_performed() - sims_before,
             full_sims_performed: self.full_evals_performed() - full_sims_before,
+            full_sim_nanos: self.full_sim_nanos() - sim_nanos_before,
             warm_started: self.warm.is_some(),
             warm_informed,
             evaluations,
@@ -480,8 +503,9 @@ impl Explorer {
         // recycled-SoC session per worker.
         let workers = workers.clamp(1, pending.len().max(1));
         let next = AtomicUsize::new(0);
-        let done: Mutex<Vec<(usize, Result<CachedEval, Diagnostic>)>> =
-            Mutex::new(Vec::with_capacity(pending.len()));
+        // One worker result: candidate index, outcome, wall nanos spent.
+        type Done = (usize, Result<CachedEval, Diagnostic>, u64);
+        let done: Mutex<Vec<Done>> = Mutex::new(Vec::with_capacity(pending.len()));
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
@@ -489,17 +513,19 @@ impl Explorer {
                     loop {
                         let slot = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&index) = pending.get(slot) else { break };
+                        let started = std::time::Instant::now();
                         let result = evaluate(&mut session, space, &candidates[index], fidelity);
-                        done.lock().expect("result sink poisoned").push((index, result));
+                        let nanos = started.elapsed().as_nanos() as u64;
+                        done.lock().expect("result sink poisoned").push((index, result, nanos));
                     }
                 });
             }
         });
 
         let mut results = done.into_inner().expect("result sink poisoned");
-        results.sort_by_key(|(index, _)| *index);
+        results.sort_by_key(|(index, _, _)| *index);
         let mut cache = self.cache.lock().expect("explorer cache poisoned");
-        for (index, result) in results {
+        for (index, result, nanos) in results {
             // On error, report the earliest failing candidate (the sort
             // above makes this independent of scheduling).
             let eval = result?;
@@ -508,6 +534,7 @@ impl Explorer {
             self.evals_performed.fetch_add(1, Ordering::Relaxed);
             if is_full[index] {
                 self.full_evals_performed.fetch_add(1, Ordering::Relaxed);
+                self.full_sim_nanos.fetch_add(nanos, Ordering::Relaxed);
             }
             slots[index] = Some(eval.to_evaluation(candidates[index].clone(), *work, false));
         }

@@ -1,6 +1,25 @@
 //! The tree-walking interpreter.
-
-use std::collections::HashMap;
+//!
+//! # Hot-path design
+//!
+//! A sweep executes the same few dozen ops millions of times, so the
+//! interpreter avoids per-executed-op allocation entirely:
+//!
+//! - **Interned opcodes** — before execution, every op in the [`IrCtx`] is
+//!   resolved once into a dense [`OpCode`] side-table indexed by `OpId`.
+//!   Dispatch is a jump on the enum instead of a string match, and
+//!   attribute lookups (constant values, subview sizes, callee symbols,
+//!   accel flush/dim modes) are paid once per module, not once per
+//!   executed op. Ops that fail resolution map to [`OpCode::Fallback`],
+//!   which replays the original string-dispatch path so malformed IR
+//!   produces the exact historical diagnostics, lazily.
+//! - **Dense value frames** — SSA values live in a `Vec<Option<RtValue>>`
+//!   indexed by `ValueId` instead of a `HashMap`, and error construction
+//!   sits behind `#[cold]` builders so the success path never formats a
+//!   string.
+//! - **Reusable scratch** — [`InterpScratch`] owns the frame and opcode
+//!   buffers so a driver `Session` can keep their capacity warm across
+//!   `Soc::recycle`; steady-state sweep runs allocate nothing here.
 
 use axi4mlir_dialects::{accel, linalg};
 use axi4mlir_ir::attrs::Attribute;
@@ -12,10 +31,94 @@ use axi4mlir_runtime::kernels::{self, ConvShape};
 use axi4mlir_runtime::memref::MemRefDesc;
 use axi4mlir_runtime::soc::Soc;
 use axi4mlir_sim::cache::AccessKind;
-use axi4mlir_sim::mem::ElemType;
+use axi4mlir_sim::mem::{ElemType, SimAddr};
+use axi4mlir_support::entity::EntityId;
 
 use crate::error::InterpError;
 use crate::value::RtValue;
+
+/// Highest memref rank the stack-allocated index buffer covers; larger
+/// ranks take a heap path.
+const MAX_RANK: usize = 8;
+
+/// A runtime-library callee, resolved from the `callee` attribute once.
+#[derive(Clone, Copy, Debug)]
+enum RtFn {
+    DmaInit,
+    WriteLiteral,
+    CopyTo,
+    StartSend,
+    WaitSend,
+    StartRecv,
+    WaitRecv,
+    CopyFrom,
+}
+
+/// One op's pre-resolved dispatch record (see module docs).
+#[derive(Clone, Debug)]
+enum OpCode {
+    /// `arith.constant`, folded to its runtime value.
+    Const(RtValue),
+    /// `arith.addi` / `arith.muli` (`add` selects addition).
+    IntBin { add: bool },
+    /// `arith.addf` / `arith.mulf` (`add` selects addition).
+    FloatBin { add: bool },
+    /// `arith.index_cast` producing an `index`.
+    CastToIndex,
+    /// `arith.index_cast` producing an integer.
+    CastToI32,
+    /// `scf.for` with its body block and induction variable.
+    For { body: BlockId, iv: ValueId },
+    /// `scf.yield` / `func.return`.
+    Nop,
+    /// `memref.alloc` with its static shape.
+    Alloc { shape: Vec<i64>, elem: ElemType },
+    /// `memref.subview` with its `static_sizes`.
+    Subview { sizes: Vec<i64> },
+    /// `memref.load`.
+    Load,
+    /// `memref.store`.
+    Store,
+    /// `memref.dim` with its `dimension` attribute.
+    Dim(i64),
+    /// `linalg.matmul` / matmul-trait `linalg.generic`.
+    CpuMatMul { tile: Option<i64> },
+    /// `linalg.conv_2d_nchw_fchw`.
+    CpuConv { stride: usize },
+    /// `func.call` to a known runtime-library symbol.
+    Call(RtFn),
+    /// `accel.dma_init`.
+    AccelDmaInit,
+    /// `accel.sendLiteral` / `accel.sendIdx`.
+    AccelSendLiteral { flush: bool },
+    /// `accel.sendDim`.
+    AccelSendDim { flush: bool, dim: Option<i64> },
+    /// `accel.send`.
+    AccelSend { flush: bool },
+    /// `accel.recv`.
+    AccelRecv { accumulate: bool },
+    /// Resolution failed or the op is unknown: execution replays the
+    /// original string-dispatch path, reproducing the historical
+    /// diagnostics (and panics on malformed IR) exactly.
+    Fallback,
+}
+
+/// Reusable interpreter buffers: the dense value frame and the opcode
+/// side-table. Owning one across runs (the driver `Session` does) keeps
+/// their capacity warm so steady-state sweeps allocate nothing per run.
+#[derive(Debug, Default)]
+pub struct InterpScratch {
+    slots: Vec<Option<RtValue>>,
+    codes: Vec<OpCode>,
+}
+
+impl InterpScratch {
+    /// Creates empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Interprets one function of a module against a simulated SoC.
 pub struct Interpreter<'a> {
@@ -23,7 +126,8 @@ pub struct Interpreter<'a> {
     pub soc: &'a mut Soc,
     /// Staging copy strategy for DMA-library calls (the Fig. 12 toggle).
     pub copy_strategy: CopyStrategy,
-    env: HashMap<ValueId, RtValue>,
+    env: Vec<Option<RtValue>>,
+    codes: Vec<OpCode>,
 }
 
 /// Runs `func_name` from `module` with the given arguments.
@@ -39,17 +143,158 @@ pub fn run_func(
     args: Vec<RtValue>,
     copy_strategy: CopyStrategy,
 ) -> Result<(), InterpError> {
-    let func = module.func_named(func_name).ok_or_else(|| InterpError::BadArguments {
-        context: format!("no function named {func_name}"),
-    })?;
-    let mut interp = Interpreter { soc, copy_strategy, env: HashMap::new() };
-    interp.run(&module.ctx, func, args)
+    let mut scratch = InterpScratch::new();
+    run_func_with_scratch(soc, module, func_name, args, copy_strategy, &mut scratch)
+}
+
+/// [`run_func`] with caller-owned scratch buffers, reused across runs.
+///
+/// # Errors
+///
+/// See [`run_func`].
+pub fn run_func_with_scratch(
+    soc: &mut Soc,
+    module: &Module,
+    func_name: &str,
+    args: Vec<RtValue>,
+    copy_strategy: CopyStrategy,
+    scratch: &mut InterpScratch,
+) -> Result<(), InterpError> {
+    let Some(func) = module.func_named(func_name) else {
+        return Err(no_such_function(func_name));
+    };
+    let mut interp = Interpreter {
+        soc,
+        copy_strategy,
+        env: std::mem::take(&mut scratch.slots),
+        codes: std::mem::take(&mut scratch.codes),
+    };
+    let result = interp.run(&module.ctx, func, args);
+    scratch.slots = std::mem::take(&mut interp.env);
+    scratch.codes = std::mem::take(&mut interp.codes);
+    result
+}
+
+// ---------------------------------------------------------------------
+// Opcode resolution (once per module)
+// ---------------------------------------------------------------------
+
+fn build_table(ctx: &IrCtx, codes: &mut Vec<OpCode>) {
+    codes.clear();
+    codes.reserve(ctx.op_count());
+    for index in 0..ctx.op_count() {
+        codes.push(resolve(ctx, OpId::from_index(index)));
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn resolve(ctx: &IrCtx, op: OpId) -> OpCode {
+    let data = ctx.op(op);
+    match data.name.as_str() {
+        "arith.constant" => {
+            let Some(value) = ctx.attr(op, "value").and_then(Attribute::as_int) else {
+                return OpCode::Fallback;
+            };
+            let Some(&result) = data.results.first() else { return OpCode::Fallback };
+            match ctx.value_type(result) {
+                Type::Index => OpCode::Const(RtValue::Index(value)),
+                Type::Int(_) => OpCode::Const(RtValue::I32(value as i32)),
+                Type::Float(_) => OpCode::Const(RtValue::F32(value as f32)),
+                _ => OpCode::Fallback,
+            }
+        }
+        "arith.addi" => OpCode::IntBin { add: true },
+        "arith.muli" => OpCode::IntBin { add: false },
+        "arith.addf" => OpCode::FloatBin { add: true },
+        "arith.mulf" => OpCode::FloatBin { add: false },
+        "arith.index_cast" => {
+            let Some(&result) = data.results.first() else { return OpCode::Fallback };
+            match ctx.value_type(result) {
+                Type::Index => OpCode::CastToIndex,
+                Type::Int(_) => OpCode::CastToI32,
+                _ => OpCode::Fallback,
+            }
+        }
+        "scf.for" => {
+            let [region] = data.regions[..] else { return OpCode::Fallback };
+            let [body] = ctx.region(region).blocks[..] else { return OpCode::Fallback };
+            let Some(&iv) = ctx.block(body).args.first() else { return OpCode::Fallback };
+            OpCode::For { body, iv }
+        }
+        "scf.yield" | "func.return" => OpCode::Nop,
+        "memref.alloc" => {
+            let Some(&result) = data.results.first() else { return OpCode::Fallback };
+            let Some(m) = ctx.value_type(result).as_memref() else { return OpCode::Fallback };
+            let Ok(elem) = elem_type(&m.elem) else { return OpCode::Fallback };
+            if m.shape.iter().any(|d| *d < 0) {
+                return OpCode::Fallback;
+            }
+            OpCode::Alloc { shape: m.shape.clone(), elem }
+        }
+        "memref.subview" => {
+            let Some(sizes) = ctx
+                .attr(op, "static_sizes")
+                .and_then(Attribute::as_array)
+                .map(|a| a.iter().filter_map(Attribute::as_int).collect::<Vec<_>>())
+            else {
+                return OpCode::Fallback;
+            };
+            OpCode::Subview { sizes }
+        }
+        "memref.load" => OpCode::Load,
+        "memref.store" => OpCode::Store,
+        "memref.dim" => match ctx.attr(op, "dimension").and_then(Attribute::as_int) {
+            Some(dim) => OpCode::Dim(dim),
+            None => OpCode::Fallback,
+        },
+        "linalg.generic" | "linalg.matmul" => {
+            if data.name == "linalg.generic" && !linalg::is_matmul_generic(ctx, op) {
+                return OpCode::Fallback;
+            }
+            OpCode::CpuMatMul { tile: ctx.attr(op, "cpu_tile").and_then(Attribute::as_int) }
+        }
+        "linalg.conv_2d_nchw_fchw" => {
+            let stride = ctx
+                .attr(op, "strides")
+                .and_then(Attribute::as_array)
+                .and_then(|a| a.first())
+                .and_then(Attribute::as_int)
+                .unwrap_or(1) as usize;
+            OpCode::CpuConv { stride }
+        }
+        "func.call" => {
+            let Some(callee) = ctx.attr(op, "callee").and_then(Attribute::as_str) else {
+                return OpCode::Fallback;
+            };
+            match callee {
+                names::DMA_INIT => OpCode::Call(RtFn::DmaInit),
+                names::WRITE_LITERAL => OpCode::Call(RtFn::WriteLiteral),
+                names::COPY_TO => OpCode::Call(RtFn::CopyTo),
+                names::START_SEND => OpCode::Call(RtFn::StartSend),
+                names::WAIT_SEND => OpCode::Call(RtFn::WaitSend),
+                names::START_RECV => OpCode::Call(RtFn::StartRecv),
+                names::WAIT_RECV => OpCode::Call(RtFn::WaitRecv),
+                names::COPY_FROM => OpCode::Call(RtFn::CopyFrom),
+                _ => OpCode::Fallback,
+            }
+        }
+        accel::DMA_INIT => OpCode::AccelDmaInit,
+        accel::SEND_LITERAL | accel::SEND_IDX => {
+            OpCode::AccelSendLiteral { flush: accel::has_flush(ctx, op) }
+        }
+        accel::SEND_DIM => {
+            OpCode::AccelSendDim { flush: accel::has_flush(ctx, op), dim: accel::dim_of(ctx, op) }
+        }
+        accel::SEND => OpCode::AccelSend { flush: accel::has_flush(ctx, op) },
+        accel::RECV => OpCode::AccelRecv { accumulate: accel::recv_accumulates(ctx, op) },
+        _ => OpCode::Fallback,
+    }
 }
 
 impl<'a> Interpreter<'a> {
     /// Creates an interpreter.
     pub fn new(soc: &'a mut Soc, copy_strategy: CopyStrategy) -> Self {
-        Self { soc, copy_strategy, env: HashMap::new() }
+        Self { soc, copy_strategy, env: Vec::new(), codes: Vec::new() }
     }
 
     /// Executes a `func.func` op with the given arguments.
@@ -58,62 +303,390 @@ impl<'a> Interpreter<'a> {
     ///
     /// See [`run_func`].
     pub fn run(&mut self, ctx: &IrCtx, func: OpId, args: Vec<RtValue>) -> Result<(), InterpError> {
+        let mut codes = std::mem::take(&mut self.codes);
+        build_table(ctx, &mut codes);
+        self.env.clear();
+        self.env.resize(ctx.value_count(), None);
+
         let entry = ctx.sole_block(func, 0);
-        let params = ctx.block(entry).args.clone();
-        if params.len() != args.len() {
-            return Err(InterpError::BadArguments {
-                context: format!("function expects {} arguments, got {}", params.len(), args.len()),
-            });
-        }
-        for (p, a) in params.into_iter().zip(args) {
-            self.env.insert(p, a);
-        }
-        self.exec_block(ctx, entry)
+        let params = &ctx.block(entry).args;
+        let result = if params.len() == args.len() {
+            for (p, a) in params.iter().zip(args) {
+                self.env[p.index()] = Some(a);
+            }
+            self.exec_block(ctx, &codes, entry)
+        } else {
+            Err(bad_arg_count(params.len(), args.len()))
+        };
+        self.codes = codes;
+        result
     }
 
     fn get(&self, v: ValueId) -> Result<&RtValue, InterpError> {
-        self.env.get(&v).ok_or_else(|| InterpError::Other {
-            message: format!("value {v} evaluated before definition"),
-        })
+        match self.env.get(v.index()) {
+            Some(Some(value)) => Ok(value),
+            _ => Err(undefined_value(v)),
+        }
     }
 
     fn get_index(&self, v: ValueId) -> Result<i64, InterpError> {
-        self.get(v)?
-            .as_index()
-            .ok_or_else(|| InterpError::TypeMismatch { context: format!("{v} is not an index") })
+        match self.get(v)?.as_index() {
+            Some(i) => Ok(i),
+            None => Err(not_a(v, "an index")),
+        }
     }
 
     fn get_int_any(&self, v: ValueId) -> Result<i64, InterpError> {
-        self.get(v)?
-            .as_int_any()
-            .ok_or_else(|| InterpError::TypeMismatch { context: format!("{v} is not an integer") })
+        match self.get(v)?.as_int_any() {
+            Some(i) => Ok(i),
+            None => Err(not_a(v, "an integer")),
+        }
     }
 
     fn get_memref(&self, v: ValueId) -> Result<MemRefDesc, InterpError> {
-        self.get(v)?
-            .as_memref()
-            .cloned()
-            .ok_or_else(|| InterpError::TypeMismatch { context: format!("{v} is not a memref") })
+        match self.get(v)?.as_memref() {
+            Some(d) => Ok(d.clone()),
+            None => Err(not_a(v, "a memref")),
+        }
     }
 
     fn set(&mut self, op: OpId, ctx: &IrCtx, index: usize, value: RtValue) {
-        let result = ctx.result(op, index);
-        self.env.insert(result, value);
+        self.env[ctx.result(op, index).index()] = Some(value);
     }
 
-    fn exec_block(&mut self, ctx: &IrCtx, block: BlockId) -> Result<(), InterpError> {
-        for op in ctx.block(block).ops.clone() {
-            self.exec_op(ctx, op)?;
+    /// Resolves `memref[indices...]` without cloning the descriptor:
+    /// indices gather into a stack buffer (heap only past [`MAX_RANK`]).
+    fn addressed_elem(
+        &self,
+        memref: ValueId,
+        index_operands: &[ValueId],
+    ) -> Result<(SimAddr, ElemType), InterpError> {
+        let Some(desc) = self.get(memref)?.as_memref() else {
+            return Err(not_a(memref, "a memref"));
+        };
+        let mut buf = [0i64; MAX_RANK];
+        if index_operands.len() <= MAX_RANK {
+            let n = index_operands.len();
+            for (slot, v) in buf[..n].iter_mut().zip(index_operands) {
+                *slot = self.get_index(*v)?;
+            }
+            Ok((desc.elem_addr(&buf[..n]), desc.elem))
+        } else {
+            let indices: Vec<i64> =
+                index_operands.iter().map(|v| self.get_index(*v)).collect::<Result<_, _>>()?;
+            Ok((desc.elem_addr(&indices), desc.elem))
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        ctx: &IrCtx,
+        codes: &[OpCode],
+        block: BlockId,
+    ) -> Result<(), InterpError> {
+        // No clone of the op list: `ctx` is never mutated during
+        // execution, so its blocks can be iterated alongside `&mut self`.
+        for &op in &ctx.block(block).ops {
+            self.exec_op(ctx, codes, op)?;
         }
         Ok(())
     }
 
     #[allow(clippy::too_many_lines)]
-    fn exec_op(&mut self, ctx: &IrCtx, op: OpId) -> Result<(), InterpError> {
+    fn exec_op(&mut self, ctx: &IrCtx, codes: &[OpCode], op: OpId) -> Result<(), InterpError> {
+        match &codes[op.index()] {
+            // Constants fold into compiled code: free.
+            OpCode::Const(value) => {
+                let value = value.clone();
+                self.set(op, ctx, 0, value);
+            }
+            OpCode::IntBin { add } => {
+                let add = *add;
+                self.soc.charge_arith(1);
+                let operands = &ctx.op(op).operands;
+                let rt = match (self.get(operands[0])?, self.get(operands[1])?) {
+                    (RtValue::Index(a), RtValue::Index(b)) => {
+                        RtValue::Index(if add { a + b } else { a * b })
+                    }
+                    (RtValue::I32(a), RtValue::I32(b)) => {
+                        RtValue::I32(if add { a.wrapping_add(*b) } else { a.wrapping_mul(*b) })
+                    }
+                    _ => return Err(int_bin_mismatch(&ctx.op(op).name)),
+                };
+                self.set(op, ctx, 0, rt);
+            }
+            OpCode::FloatBin { add } => {
+                let add = *add;
+                self.soc.charge_arith(1);
+                let operands = &ctx.op(op).operands;
+                let a = match self.get(operands[0])? {
+                    RtValue::F32(v) => *v,
+                    _ => return Err(type_mismatch("addf lhs")),
+                };
+                let b = match self.get(operands[1])? {
+                    RtValue::F32(v) => *v,
+                    _ => return Err(type_mismatch("addf rhs")),
+                };
+                self.set(op, ctx, 0, RtValue::F32(if add { a + b } else { a * b }));
+            }
+            OpCode::CastToIndex => {
+                self.soc.charge_arith(1);
+                let v = self.get_int_any(ctx.op(op).operands[0])?;
+                self.set(op, ctx, 0, RtValue::Index(v));
+            }
+            OpCode::CastToI32 => {
+                self.soc.charge_arith(1);
+                let v = self.get_int_any(ctx.op(op).operands[0])?;
+                self.set(op, ctx, 0, RtValue::I32(v as i32));
+            }
+            OpCode::For { body, iv } => {
+                let (body, iv) = (*body, *iv);
+                let operands = &ctx.op(op).operands;
+                let lb = self.get_index(operands[0])?;
+                let ub = self.get_index(operands[1])?;
+                let step = self.get_index(operands[2])?;
+                if step <= 0 {
+                    return Err(other("scf.for step must be positive"));
+                }
+                let mut i = lb;
+                while i < ub {
+                    // Compiled loop overhead: compare + increment + branch.
+                    self.soc.charge_arith(2);
+                    self.soc.charge_branch(1);
+                    self.env[iv.index()] = Some(RtValue::Index(i));
+                    self.exec_block(ctx, codes, body)?;
+                    i += step;
+                }
+            }
+            OpCode::Nop => {}
+            OpCode::Alloc { shape, elem } => {
+                let elem = *elem;
+                self.soc.charge_host_cycles(40); // allocator call
+                let desc = MemRefDesc::alloc(&mut self.soc.mem, shape, elem);
+                self.set(op, ctx, 0, RtValue::MemRef(desc));
+            }
+            OpCode::Subview { sizes } => {
+                let operands = &ctx.op(op).operands;
+                let view = {
+                    let Some(source) = self.get(operands[0])?.as_memref() else {
+                        return Err(not_a(operands[0], "a memref"));
+                    };
+                    let mut buf = [0i64; MAX_RANK];
+                    if operands.len() - 1 <= MAX_RANK {
+                        let n = operands.len() - 1;
+                        for (slot, v) in buf[..n].iter_mut().zip(&operands[1..]) {
+                            *slot = self.get_index(*v)?;
+                        }
+                        source.subview(&buf[..n], sizes)
+                    } else {
+                        let offsets: Vec<i64> = operands[1..]
+                            .iter()
+                            .map(|v| self.get_index(*v))
+                            .collect::<Result<_, _>>()?;
+                        source.subview(&offsets, sizes)
+                    }
+                };
+                // Descriptor arithmetic (Fig. 3): one multiply-add per dim.
+                self.soc.charge_arith(2 * sizes.len() as u64);
+                self.set(op, ctx, 0, RtValue::MemRef(view));
+            }
+            OpCode::Load => {
+                let operands = &ctx.op(op).operands;
+                let (addr, elem) = self.addressed_elem(operands[0], &operands[1..])?;
+                self.soc.charge_arith((operands.len() - 1) as u64);
+                self.soc.cached_access(addr, 4, AccessKind::Read);
+                let rt = match elem {
+                    ElemType::F32 => RtValue::F32(self.soc.mem.read_f32(addr)),
+                    _ => RtValue::I32(self.soc.mem.read_i32(addr)),
+                };
+                self.set(op, ctx, 0, rt);
+            }
+            OpCode::Store => {
+                let operands = &ctx.op(op).operands;
+                let (addr, _) = self.addressed_elem(operands[1], &operands[2..])?;
+                self.soc.charge_arith((operands.len() - 2) as u64);
+                self.soc.cached_access(addr, 4, AccessKind::Write);
+                let word = match self.get(operands[0])? {
+                    RtValue::I32(v) => *v as u32,
+                    RtValue::F32(v) => v.to_bits(),
+                    RtValue::Index(v) => *v as i32 as u32,
+                    other => return Err(cannot_store(other)),
+                };
+                self.soc.mem.write_u32(addr, word);
+            }
+            OpCode::Dim(dim) => {
+                let dim = *dim;
+                let operands = &ctx.op(op).operands;
+                let size = {
+                    let Some(desc) = self.get(operands[0])?.as_memref() else {
+                        return Err(not_a(operands[0], "a memref"));
+                    };
+                    match desc.sizes.get(dim as usize) {
+                        Some(size) => *size,
+                        None => return Err(dim_out_of_range(dim)),
+                    }
+                };
+                self.set(op, ctx, 0, RtValue::Index(size));
+            }
+            OpCode::CpuMatMul { tile } => {
+                let tile = *tile;
+                let operands = &ctx.op(op).operands;
+                let a = self.get_memref(operands[0])?;
+                let b = self.get_memref(operands[1])?;
+                let c = self.get_memref(operands[2])?;
+                kernels::cpu_matmul_i32(self.soc, &a, &b, &c, tile);
+            }
+            OpCode::CpuConv { stride } => {
+                let stride = *stride;
+                let operands = &ctx.op(op).operands;
+                let input = self.get_memref(operands[0])?;
+                let filter = self.get_memref(operands[1])?;
+                let output = self.get_memref(operands[2])?;
+                let shape = ConvShape {
+                    batch: input.sizes[0] as usize,
+                    in_channels: input.sizes[1] as usize,
+                    in_hw: input.sizes[2] as usize,
+                    out_channels: filter.sizes[0] as usize,
+                    filter_hw: filter.sizes[2] as usize,
+                    stride,
+                };
+                kernels::cpu_conv2d_i32(self.soc, &input, &filter, &output, shape);
+            }
+            OpCode::Call(callee) => {
+                let callee = *callee;
+                self.exec_call(ctx, op, callee)?;
+            }
+            OpCode::AccelDmaInit => {
+                let operands = &ctx.op(op).operands;
+                let vals: Vec<i64> =
+                    operands.iter().map(|v| self.get_int_any(*v)).collect::<Result<_, _>>()?;
+                dma_lib::dma_init(self.soc, vals[0] as u32, vals[2] as u64, vals[4] as u64);
+            }
+            OpCode::AccelSendLiteral { flush } => {
+                let flush = *flush;
+                let operands = &ctx.op(op).operands;
+                let word = self.get_int_any(operands[0])? as u32;
+                let off = self.get_int_any(operands[1])? as u64;
+                let new = dma_lib::write_literal_to_dma_region(self.soc, word, off);
+                if flush {
+                    dma_lib::dma_start_send(self.soc, new, 0)?;
+                    dma_lib::dma_wait_send_completion(self.soc);
+                }
+                self.set(op, ctx, 0, RtValue::I32(new as i32));
+            }
+            OpCode::AccelSendDim { flush, dim } => {
+                let (flush, dim) = (*flush, *dim);
+                let operands = &ctx.op(op).operands;
+                let view = self.get_memref(operands[0])?;
+                let off = self.get_int_any(operands[1])? as u64;
+                let Some(dim) = dim else { return Err(other("sendDim without dim")) };
+                let Some(&size) = view.sizes.get(dim as usize) else {
+                    return Err(send_dim_out_of_range(dim));
+                };
+                // memref.dim + cast cost.
+                self.soc.charge_arith(2);
+                let new = dma_lib::write_literal_to_dma_region(self.soc, size as u32, off);
+                if flush {
+                    dma_lib::dma_start_send(self.soc, new, 0)?;
+                    dma_lib::dma_wait_send_completion(self.soc);
+                }
+                self.set(op, ctx, 0, RtValue::I32(new as i32));
+            }
+            OpCode::AccelSend { flush } => {
+                let flush = *flush;
+                let operands = &ctx.op(op).operands;
+                let view = self.get_memref(operands[0])?;
+                let off = self.get_int_any(operands[1])? as u64;
+                let new = dma_lib::copy_to_dma_region(self.soc, &view, off, self.copy_strategy);
+                if flush {
+                    dma_lib::dma_start_send(self.soc, new, 0)?;
+                    dma_lib::dma_wait_send_completion(self.soc);
+                }
+                self.set(op, ctx, 0, RtValue::I32(new as i32));
+            }
+            OpCode::AccelRecv { accumulate } => {
+                let accumulate = *accumulate;
+                let operands = &ctx.op(op).operands;
+                let view = self.get_memref(operands[0])?;
+                let off = self.get_int_any(operands[1])? as u64;
+                let bytes = view.num_bytes();
+                dma_lib::dma_start_recv(self.soc, bytes, off)?;
+                dma_lib::dma_wait_recv_completion(self.soc);
+                dma_lib::copy_from_dma_region(self.soc, &view, off, accumulate, self.copy_strategy);
+                self.set(op, ctx, 0, RtValue::I32(bytes as i32));
+            }
+            OpCode::Fallback => self.exec_op_fallback(ctx, codes, op)?,
+        }
+        Ok(())
+    }
+
+    fn exec_call(&mut self, ctx: &IrCtx, op: OpId, callee: RtFn) -> Result<(), InterpError> {
+        let operands = &ctx.op(op).operands;
+        match callee {
+            RtFn::DmaInit => {
+                let vals: Vec<i64> =
+                    operands.iter().map(|v| self.get_int_any(*v)).collect::<Result<_, _>>()?;
+                if vals.len() != 5 {
+                    return Err(bad_arguments("dma_init expects 5 scalars"));
+                }
+                dma_lib::dma_init(self.soc, vals[0] as u32, vals[2] as u64, vals[4] as u64);
+            }
+            RtFn::WriteLiteral => {
+                let word = self.get_int_any(operands[0])? as u32;
+                let off = self.get_int_any(operands[1])? as u64;
+                let new = dma_lib::write_literal_to_dma_region(self.soc, word, off);
+                self.set(op, ctx, 0, RtValue::I32(new as i32));
+            }
+            RtFn::CopyTo => {
+                let view = self.get_memref(operands[0])?;
+                let off = self.get_int_any(operands[1])? as u64;
+                let new = dma_lib::copy_to_dma_region(self.soc, &view, off, self.copy_strategy);
+                self.set(op, ctx, 0, RtValue::I32(new as i32));
+            }
+            RtFn::StartSend => {
+                let len = self.get_int_any(operands[0])? as u64;
+                let off = self.get_int_any(operands[1])? as u64;
+                dma_lib::dma_start_send(self.soc, len, off)?;
+            }
+            RtFn::WaitSend => dma_lib::dma_wait_send_completion(self.soc),
+            RtFn::StartRecv => {
+                let len = self.get_int_any(operands[0])? as u64;
+                let off = self.get_int_any(operands[1])? as u64;
+                dma_lib::dma_start_recv(self.soc, len, off)?;
+            }
+            RtFn::WaitRecv => dma_lib::dma_wait_recv_completion(self.soc),
+            RtFn::CopyFrom => {
+                let view = self.get_memref(operands[0])?;
+                let off = self.get_int_any(operands[1])? as u64;
+                let accumulate = self.get_int_any(operands[2])? != 0;
+                let bytes = dma_lib::copy_from_dma_region(
+                    self.soc,
+                    &view,
+                    off,
+                    accumulate,
+                    self.copy_strategy,
+                );
+                self.set(op, ctx, 0, RtValue::I32(bytes as i32));
+            }
+        }
+        Ok(())
+    }
+
+    /// The pre-interning string-dispatch path, kept verbatim for ops
+    /// whose resolution failed. It only ever runs on malformed IR that is
+    /// about to error out (or panic), so the per-op clones here are fine.
+    #[cold]
+    #[inline(never)]
+    #[allow(clippy::too_many_lines)]
+    fn exec_op_fallback(
+        &mut self,
+        ctx: &IrCtx,
+        codes: &[OpCode],
+        op: OpId,
+    ) -> Result<(), InterpError> {
         let name = ctx.op(op).name.as_str();
         let operands = ctx.op(op).operands.clone();
         match name {
-            // Constants fold into compiled code: free.
             "arith.constant" => {
                 let value = ctx.attr(op, "value").and_then(Attribute::as_int).ok_or_else(|| {
                     InterpError::Other { message: "constant without value".into() }
@@ -129,44 +702,6 @@ impl<'a> Interpreter<'a> {
                     }
                 };
                 self.set(op, ctx, 0, rt);
-            }
-            "arith.addi" | "arith.muli" => {
-                self.soc.charge_arith(1);
-                let lhs = self.get(operands[0])?.clone();
-                let rhs = self.get(operands[1])?.clone();
-                let rt = match (lhs, rhs) {
-                    (RtValue::Index(a), RtValue::Index(b)) => {
-                        RtValue::Index(if name == "arith.addi" { a + b } else { a * b })
-                    }
-                    (RtValue::I32(a), RtValue::I32(b)) => RtValue::I32(if name == "arith.addi" {
-                        a.wrapping_add(b)
-                    } else {
-                        a.wrapping_mul(b)
-                    }),
-                    _ => {
-                        return Err(InterpError::TypeMismatch {
-                            context: format!("{name} operands must both be index or both i32"),
-                        })
-                    }
-                };
-                self.set(op, ctx, 0, rt);
-            }
-            "arith.addf" | "arith.mulf" => {
-                self.soc.charge_arith(1);
-                let a = match self.get(operands[0])? {
-                    RtValue::F32(v) => *v,
-                    _ => return Err(InterpError::TypeMismatch { context: "addf lhs".into() }),
-                };
-                let b = match self.get(operands[1])? {
-                    RtValue::F32(v) => *v,
-                    _ => return Err(InterpError::TypeMismatch { context: "addf rhs".into() }),
-                };
-                self.set(
-                    op,
-                    ctx,
-                    0,
-                    RtValue::F32(if name == "arith.addf" { a + b } else { a * b }),
-                );
             }
             "arith.index_cast" => {
                 self.soc.charge_arith(1);
@@ -198,12 +733,11 @@ impl<'a> Interpreter<'a> {
                     // Compiled loop overhead: compare + increment + branch.
                     self.soc.charge_arith(2);
                     self.soc.charge_branch(1);
-                    self.env.insert(iv, RtValue::Index(i));
-                    self.exec_block(ctx, body)?;
+                    self.env[iv.index()] = Some(RtValue::Index(i));
+                    self.exec_block(ctx, codes, body)?;
                     i += step;
                 }
             }
-            "scf.yield" | "func.return" => {}
             "memref.alloc" => {
                 let ty = ctx.value_type(ctx.result(op, 0));
                 let m = ty
@@ -236,37 +770,6 @@ impl<'a> Interpreter<'a> {
                 let view = source.subview(&offsets, &sizes);
                 self.set(op, ctx, 0, RtValue::MemRef(view));
             }
-            "memref.load" => {
-                let desc = self.get_memref(operands[0])?;
-                let indices: Vec<i64> =
-                    operands[1..].iter().map(|v| self.get_index(*v)).collect::<Result<_, _>>()?;
-                self.soc.charge_arith(indices.len() as u64);
-                let addr = desc.elem_addr(&indices);
-                self.soc.cached_access(addr, 4, AccessKind::Read);
-                let rt = match desc.elem {
-                    ElemType::F32 => RtValue::F32(self.soc.mem.read_f32(addr)),
-                    _ => RtValue::I32(self.soc.mem.read_i32(addr)),
-                };
-                self.set(op, ctx, 0, rt);
-            }
-            "memref.store" => {
-                let desc = self.get_memref(operands[1])?;
-                let indices: Vec<i64> =
-                    operands[2..].iter().map(|v| self.get_index(*v)).collect::<Result<_, _>>()?;
-                self.soc.charge_arith(indices.len() as u64);
-                let addr = desc.elem_addr(&indices);
-                self.soc.cached_access(addr, 4, AccessKind::Write);
-                match self.get(operands[0])? {
-                    RtValue::I32(v) => self.soc.mem.write_i32(addr, *v),
-                    RtValue::F32(v) => self.soc.mem.write_f32(addr, *v),
-                    RtValue::Index(v) => self.soc.mem.write_i32(addr, *v as i32),
-                    other => {
-                        return Err(InterpError::TypeMismatch {
-                            context: format!("cannot store {other:?}"),
-                        })
-                    }
-                };
-            }
             "memref.dim" => {
                 let desc = self.get_memref(operands[0])?;
                 let dim =
@@ -278,176 +781,98 @@ impl<'a> Interpreter<'a> {
                 })?;
                 self.set(op, ctx, 0, RtValue::Index(size));
             }
-            "linalg.generic" | "linalg.matmul" => {
-                if name == "linalg.generic" && !linalg::is_matmul_generic(ctx, op) {
-                    return Err(InterpError::UnsupportedOp {
-                        name: "linalg.generic without the MatMul trait".into(),
-                    });
-                }
-                let a = self.get_memref(operands[0])?;
-                let b = self.get_memref(operands[1])?;
-                let c = self.get_memref(operands[2])?;
-                let tile = ctx.attr(op, "cpu_tile").and_then(Attribute::as_int);
-                kernels::cpu_matmul_i32(self.soc, &a, &b, &c, tile);
+            // Only non-matmul generics fall back; matmul-trait ones are
+            // interned as `CpuMatMul`.
+            "linalg.generic" => {
+                return Err(InterpError::UnsupportedOp {
+                    name: "linalg.generic without the MatMul trait".into(),
+                });
             }
-            "linalg.conv_2d_nchw_fchw" => {
-                let input = self.get_memref(operands[0])?;
-                let filter = self.get_memref(operands[1])?;
-                let output = self.get_memref(operands[2])?;
-                let stride = ctx
-                    .attr(op, "strides")
-                    .and_then(Attribute::as_array)
-                    .and_then(|a| a.first())
-                    .and_then(Attribute::as_int)
-                    .unwrap_or(1) as usize;
-                let shape = ConvShape {
-                    batch: input.sizes[0] as usize,
-                    in_channels: input.sizes[1] as usize,
-                    in_hw: input.sizes[2] as usize,
-                    out_channels: filter.sizes[0] as usize,
-                    filter_hw: filter.sizes[2] as usize,
-                    stride,
-                };
-                kernels::cpu_conv2d_i32(self.soc, &input, &filter, &output, shape);
-            }
-            "func.call" => self.exec_call(ctx, op, &operands)?,
-            _ if name.starts_with("accel.") => self.exec_accel(ctx, op, &operands)?,
-            other => return Err(InterpError::UnsupportedOp { name: other.to_owned() }),
-        }
-        Ok(())
-    }
-
-    fn exec_call(
-        &mut self,
-        ctx: &IrCtx,
-        op: OpId,
-        operands: &[ValueId],
-    ) -> Result<(), InterpError> {
-        let callee = ctx
-            .attr(op, "callee")
-            .and_then(Attribute::as_str)
-            .ok_or_else(|| InterpError::Other { message: "call without callee".into() })?
-            .to_owned();
-        match callee.as_str() {
-            names::DMA_INIT => {
-                let vals: Vec<i64> =
-                    operands.iter().map(|v| self.get_int_any(*v)).collect::<Result<_, _>>()?;
-                if vals.len() != 5 {
-                    return Err(InterpError::BadArguments {
-                        context: "dma_init expects 5 scalars".into(),
-                    });
-                }
-                dma_lib::dma_init(self.soc, vals[0] as u32, vals[2] as u64, vals[4] as u64);
-            }
-            names::WRITE_LITERAL => {
-                let word = self.get_int_any(operands[0])? as u32;
-                let off = self.get_int_any(operands[1])? as u64;
-                let new = dma_lib::write_literal_to_dma_region(self.soc, word, off);
-                self.set(op, ctx, 0, RtValue::I32(new as i32));
-            }
-            names::COPY_TO => {
-                let view = self.get_memref(operands[0])?;
-                let off = self.get_int_any(operands[1])? as u64;
-                let new = dma_lib::copy_to_dma_region(self.soc, &view, off, self.copy_strategy);
-                self.set(op, ctx, 0, RtValue::I32(new as i32));
-            }
-            names::START_SEND => {
-                let len = self.get_int_any(operands[0])? as u64;
-                let off = self.get_int_any(operands[1])? as u64;
-                dma_lib::dma_start_send(self.soc, len, off)?;
-            }
-            names::WAIT_SEND => dma_lib::dma_wait_send_completion(self.soc),
-            names::START_RECV => {
-                let len = self.get_int_any(operands[0])? as u64;
-                let off = self.get_int_any(operands[1])? as u64;
-                dma_lib::dma_start_recv(self.soc, len, off)?;
-            }
-            names::WAIT_RECV => dma_lib::dma_wait_recv_completion(self.soc),
-            names::COPY_FROM => {
-                let view = self.get_memref(operands[0])?;
-                let off = self.get_int_any(operands[1])? as u64;
-                let accumulate = self.get_int_any(operands[2])? != 0;
-                let bytes = dma_lib::copy_from_dma_region(
-                    self.soc,
-                    &view,
-                    off,
-                    accumulate,
-                    self.copy_strategy,
-                );
-                self.set(op, ctx, 0, RtValue::I32(bytes as i32));
-            }
-            other => return Err(InterpError::UnknownCallee { name: other.to_owned() }),
-        }
-        Ok(())
-    }
-
-    /// Direct semantics for unlowered `accel` ops (tested to match the
-    /// lowered form exactly).
-    fn exec_accel(
-        &mut self,
-        ctx: &IrCtx,
-        op: OpId,
-        operands: &[ValueId],
-    ) -> Result<(), InterpError> {
-        let name = ctx.op(op).name.clone();
-        let flush = accel::has_flush(ctx, op);
-        match name.as_str() {
-            accel::DMA_INIT => {
-                let vals: Vec<i64> =
-                    operands.iter().map(|v| self.get_int_any(*v)).collect::<Result<_, _>>()?;
-                dma_lib::dma_init(self.soc, vals[0] as u32, vals[2] as u64, vals[4] as u64);
-            }
-            accel::SEND_LITERAL | accel::SEND_IDX => {
-                let word = self.get_int_any(operands[0])? as u32;
-                let off = self.get_int_any(operands[1])? as u64;
-                let new = dma_lib::write_literal_to_dma_region(self.soc, word, off);
-                if flush {
-                    dma_lib::dma_start_send(self.soc, new, 0)?;
-                    dma_lib::dma_wait_send_completion(self.soc);
-                }
-                self.set(op, ctx, 0, RtValue::I32(new as i32));
-            }
-            accel::SEND_DIM => {
-                let view = self.get_memref(operands[0])?;
-                let off = self.get_int_any(operands[1])? as u64;
-                let dim = accel::dim_of(ctx, op)
-                    .ok_or_else(|| InterpError::Other { message: "sendDim without dim".into() })?;
-                let size = *view.sizes.get(dim as usize).ok_or_else(|| InterpError::Other {
-                    message: format!("sendDim dim {dim} out of range"),
-                })?;
-                // memref.dim + cast cost.
-                self.soc.charge_arith(2);
-                let new = dma_lib::write_literal_to_dma_region(self.soc, size as u32, off);
-                if flush {
-                    dma_lib::dma_start_send(self.soc, new, 0)?;
-                    dma_lib::dma_wait_send_completion(self.soc);
-                }
-                self.set(op, ctx, 0, RtValue::I32(new as i32));
-            }
-            accel::SEND => {
-                let view = self.get_memref(operands[0])?;
-                let off = self.get_int_any(operands[1])? as u64;
-                let new = dma_lib::copy_to_dma_region(self.soc, &view, off, self.copy_strategy);
-                if flush {
-                    dma_lib::dma_start_send(self.soc, new, 0)?;
-                    dma_lib::dma_wait_send_completion(self.soc);
-                }
-                self.set(op, ctx, 0, RtValue::I32(new as i32));
-            }
-            accel::RECV => {
-                let view = self.get_memref(operands[0])?;
-                let off = self.get_int_any(operands[1])? as u64;
-                let accumulate = accel::recv_accumulates(ctx, op);
-                let bytes = view.num_bytes();
-                dma_lib::dma_start_recv(self.soc, bytes, off)?;
-                dma_lib::dma_wait_recv_completion(self.soc);
-                dma_lib::copy_from_dma_region(self.soc, &view, off, accumulate, self.copy_strategy);
-                self.set(op, ctx, 0, RtValue::I32(bytes as i32));
+            // Only calls with a missing or unknown callee fall back.
+            "func.call" => {
+                let callee = ctx
+                    .attr(op, "callee")
+                    .and_then(Attribute::as_str)
+                    .ok_or_else(|| InterpError::Other { message: "call without callee".into() })?
+                    .to_owned();
+                return Err(InterpError::UnknownCallee { name: callee });
             }
             other => return Err(InterpError::UnsupportedOp { name: other.to_owned() }),
         }
         Ok(())
     }
+}
+
+// ---------------------------------------------------------------------
+// Cold error builders: the hot path never formats a string.
+// ---------------------------------------------------------------------
+
+#[cold]
+#[inline(never)]
+fn no_such_function(func_name: &str) -> InterpError {
+    InterpError::BadArguments { context: format!("no function named {func_name}") }
+}
+
+#[cold]
+#[inline(never)]
+fn bad_arg_count(expected: usize, got: usize) -> InterpError {
+    InterpError::BadArguments {
+        context: format!("function expects {expected} arguments, got {got}"),
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn undefined_value(v: ValueId) -> InterpError {
+    InterpError::Other { message: format!("value {v} evaluated before definition") }
+}
+
+#[cold]
+#[inline(never)]
+fn not_a(v: ValueId, what: &str) -> InterpError {
+    InterpError::TypeMismatch { context: format!("{v} is not {what}") }
+}
+
+#[cold]
+#[inline(never)]
+fn type_mismatch(context: &str) -> InterpError {
+    InterpError::TypeMismatch { context: context.to_owned() }
+}
+
+#[cold]
+#[inline(never)]
+fn other(message: &str) -> InterpError {
+    InterpError::Other { message: message.to_owned() }
+}
+
+#[cold]
+#[inline(never)]
+fn bad_arguments(context: &str) -> InterpError {
+    InterpError::BadArguments { context: context.to_owned() }
+}
+
+#[cold]
+#[inline(never)]
+fn int_bin_mismatch(name: &str) -> InterpError {
+    InterpError::TypeMismatch { context: format!("{name} operands must both be index or both i32") }
+}
+
+#[cold]
+#[inline(never)]
+fn cannot_store(value: &RtValue) -> InterpError {
+    InterpError::TypeMismatch { context: format!("cannot store {value:?}") }
+}
+
+#[cold]
+#[inline(never)]
+fn dim_out_of_range(dim: i64) -> InterpError {
+    InterpError::Other { message: format!("memref.dim {dim} out of range") }
+}
+
+#[cold]
+#[inline(never)]
+fn send_dim_out_of_range(dim: i64) -> InterpError {
+    InterpError::Other { message: format!("sendDim dim {dim} out of range") }
 }
 
 fn elem_type(ty: &Type) -> Result<ElemType, InterpError> {
@@ -586,5 +1011,75 @@ mod tests {
         // base (64-aligned).
         let addr = axi4mlir_sim::mem::SimAddr(0x1_0000);
         assert_eq!(s.mem.read_i32(addr.offset(19 * 4)), 9);
+    }
+
+    /// Reusing one scratch across recycled runs must be bit-identical to
+    /// fresh per-run scratch.
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let mut m = Module::new();
+        let f = func::func(&mut m, "main", vec![], vec![]);
+        let mut b = func::entry_builder(&mut m.ctx, &f);
+        let cell = memref::alloc(&mut b, vec![1], Type::i32());
+        let c0 = arith::const_index(&mut b, 0);
+        let c8 = arith::const_index(&mut b, 8);
+        let c1 = arith::const_index(&mut b, 1);
+        let l = scf::for_loop(&mut b, c0, c8, c1);
+        let mut bb = scf::body_builder(&mut m.ctx, &l);
+        let old = memref::load(&mut bb, cell, vec![c0]);
+        let iv32 = arith::index_cast(&mut bb, l.iv, Type::i32());
+        let new = arith::addi(&mut bb, old, iv32);
+        memref::store(&mut bb, new, cell, vec![c0]);
+
+        let mut fresh = soc();
+        run_func(&mut fresh, &m, "main", vec![], CopyStrategy::ElementWise).unwrap();
+
+        let mut reused = soc();
+        let mut scratch = InterpScratch::new();
+        for _ in 0..3 {
+            reused.recycle();
+            run_func_with_scratch(
+                &mut reused,
+                &m,
+                "main",
+                vec![],
+                CopyStrategy::ElementWise,
+                &mut scratch,
+            )
+            .unwrap();
+        }
+        assert_eq!(reused.counters, fresh.counters, "scratch reuse must not change counters");
+    }
+
+    /// Every op a realistic lowered module contains resolves to a real
+    /// opcode; the fallback is reserved for broken IR.
+    #[test]
+    fn known_ops_do_not_fall_back() {
+        let mut m = Module::new();
+        let f = func::func(&mut m, "main", vec![], vec![]);
+        let mut b = func::entry_builder(&mut m.ctx, &f);
+        let buf = memref::alloc(&mut b, vec![4, 4], Type::i32());
+        let c0 = arith::const_index(&mut b, 0);
+        let c4 = arith::const_index(&mut b, 4);
+        let c1 = arith::const_index(&mut b, 1);
+        let l = scf::for_loop(&mut b, c0, c4, c1);
+        let mut bb = scf::body_builder(&mut m.ctx, &l);
+        let v = memref::load(&mut bb, buf, vec![l.iv, c0]);
+        let doubled = arith::addi(&mut bb, v, v);
+        memref::store(&mut bb, doubled, buf, vec![l.iv, c0]);
+
+        let mut codes = Vec::new();
+        build_table(&m.ctx, &mut codes);
+        for (index, code) in codes.iter().enumerate() {
+            let op = OpId::from_index(index);
+            let name = m.ctx.op(op).name.as_str();
+            if matches!(name, "builtin.module" | "func.func") {
+                continue; // containers are never executed
+            }
+            assert!(
+                !matches!(code, OpCode::Fallback),
+                "op `{name}` unexpectedly resolved to the fallback path"
+            );
+        }
     }
 }

@@ -109,31 +109,97 @@ fn combine(elem: ElemType, old: u32, add: u32) -> u32 {
     }
 }
 
+/// Row-major walk over the element addresses an index space selects: the
+/// odometer pattern, advancing a linear offset by stride deltas instead of
+/// materializing an index vector per element. Walking a view's full index
+/// space visits exactly the addresses `view.elem_addr` would produce for
+/// `view.indices()`, in the same order.
+struct AddrWalk<'a> {
+    base: SimAddr,
+    byte_width: u64,
+    sizes: &'a [i64],
+    strides: &'a [i64],
+    idx: Vec<i64>,
+    linear: i64,
+    remaining: i64,
+}
+
+impl<'a> AddrWalk<'a> {
+    fn new(
+        base: SimAddr,
+        offset: i64,
+        byte_width: u64,
+        sizes: &'a [i64],
+        strides: &'a [i64],
+    ) -> Self {
+        Self {
+            base,
+            byte_width,
+            sizes,
+            strides,
+            idx: vec![0; sizes.len()],
+            linear: offset,
+            // An empty (rank-0) space selects exactly one element.
+            remaining: sizes.iter().product::<i64>().max(0),
+        }
+    }
+
+    fn over(view: &'a MemRefDesc) -> Self {
+        Self::new(view.base, view.offset, view.elem.byte_width(), &view.sizes, &view.strides)
+    }
+}
+
+impl Iterator for AddrWalk<'_> {
+    type Item = SimAddr;
+
+    fn next(&mut self) -> Option<SimAddr> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let addr = self.base.offset(self.linear as u64 * self.byte_width);
+        for d in (0..self.idx.len()).rev() {
+            self.idx[d] += 1;
+            self.linear += self.strides[d];
+            if self.idx[d] < self.sizes[d] {
+                break;
+            }
+            self.linear -= self.sizes[d] * self.strides[d];
+            self.idx[d] = 0;
+        }
+        Some(addr)
+    }
+}
+
 fn copy_to_elementwise(soc: &mut Soc, view: &MemRefDesc, dst: SimAddr) -> u64 {
+    // Per-element index arithmetic, loop branch, and write-combined beat,
+    // charged in bulk: the sums equal charging each element separately.
+    let n = view.num_elements() as u64;
+    soc.charge_arith(n * soc.cost.elementwise_index_cycles);
+    soc.charge_branch(n);
+    soc.charge_uncached_writes(n);
     let mut out = dst;
-    for idx in view.indices() {
-        soc.charge_arith(soc.cost.elementwise_index_cycles);
-        soc.charge_branch(1);
-        let src_addr = view.elem_addr(&idx);
+    for src_addr in AddrWalk::over(view) {
         soc.cached_access(src_addr, 4, AccessKind::Read);
         let word = soc.mem.read_u32(src_addr);
-        soc.uncached_write_u32(out, word);
+        soc.mem.write_u32(out, word);
         out = out.offset(4);
     }
     out.0 - dst.0
 }
 
 fn copy_from_elementwise(soc: &mut Soc, view: &MemRefDesc, src: SimAddr, accumulate: bool) -> u64 {
+    let n = view.num_elements() as u64;
+    // The accumulate path pays one extra add per element.
+    soc.charge_arith(n * soc.cost.elementwise_index_cycles + if accumulate { n } else { 0 });
+    soc.charge_branch(n);
+    soc.charge_uncached_reads(n);
     let mut input = src;
-    for idx in view.indices() {
-        soc.charge_arith(soc.cost.elementwise_index_cycles);
-        soc.charge_branch(1);
-        let word = soc.uncached_read_u32(input);
-        let dst_addr = view.elem_addr(&idx);
+    for dst_addr in AddrWalk::over(view) {
+        let word = soc.mem.read_u32(input);
         if accumulate {
             soc.cached_access(dst_addr, 4, AccessKind::Read);
             let old = soc.mem.read_u32(dst_addr);
-            soc.charge_arith(1);
             soc.cached_access(dst_addr, 4, AccessKind::Write);
             soc.mem.write_u32(dst_addr, combine(view.elem, old, word));
         } else {
@@ -145,52 +211,40 @@ fn copy_from_elementwise(soc: &mut Soc, view: &MemRefDesc, src: SimAddr, accumul
     input.0 - src.0
 }
 
-/// Iterates the leading (non-run) indices of a view whose trailing
+/// Splits off the leading (non-run) dimensions of a view whose trailing
 /// dimensions form contiguous runs of `run_elems` elements.
-fn run_origins(view: &MemRefDesc, run_elems: i64) -> Vec<Vec<i64>> {
-    // Determine how many trailing dims the run covers.
+fn lead_dims(view: &MemRefDesc, run_elems: i64) -> (&[i64], &[i64]) {
     let mut covered = 1i64;
     let mut first_run_dim = view.rank();
     while first_run_dim > 0 && covered < run_elems {
         first_run_dim -= 1;
         covered *= view.sizes[first_run_dim];
     }
-    let lead = MemRefDesc {
-        base: view.base,
-        offset: view.offset,
-        sizes: view.sizes[..first_run_dim].to_vec(),
-        strides: view.strides[..first_run_dim].to_vec(),
-        elem: view.elem,
-    };
-    lead.indices()
-        .map(|mut idx| {
-            idx.extend(std::iter::repeat_n(0, view.rank() - idx.len()));
-            idx
-        })
-        .collect()
+    (&view.sizes[..first_run_dim], &view.strides[..first_run_dim])
 }
 
 fn copy_to_chunked(soc: &mut Soc, view: &MemRefDesc, dst: SimAddr, chunk_bytes: u64) -> u64 {
     let run_elems = view.contiguous_run_elems();
     let run_bytes = run_elems as u64 * 4;
+    let (lead_sizes, lead_strides) = lead_dims(view, run_elems);
+    let origins = lead_sizes.iter().product::<i64>().max(0) as u64;
+    let chunks_per_run = if run_bytes == 0 { 0 } else { run_bytes.div_ceil(chunk_bytes) };
+    // Per-run loop control / address computation and per-chunk
+    // write-combined beats, charged in bulk.
+    soc.charge_branch(origins);
+    soc.charge_arith(2 * origins);
+    soc.charge_uncached_writes(origins * chunks_per_run);
     let mut out = dst;
-    for origin in run_origins(view, run_elems) {
-        // Per-run loop control and address computation.
-        soc.charge_branch(1);
-        soc.charge_arith(2);
-        let src_base = view.elem_addr(&origin);
+    for src_base in AddrWalk::new(view.base, view.offset, 4, lead_sizes, lead_strides) {
+        // Cache lookups stay per chunk (the cache model is stateful);
+        // the data moves as one memmove per run.
         let mut moved = 0u64;
         while moved < run_bytes {
             let step = chunk_bytes.min(run_bytes - moved);
             soc.cached_access(src_base.offset(moved), step, AccessKind::Read);
-            soc.charge_uncached_write_chunk(step);
-            // Move the data words.
-            for b in (0..step).step_by(4) {
-                let word = soc.mem.read_u32(src_base.offset(moved + b));
-                soc.mem.write_u32(out.offset(moved + b), word);
-            }
             moved += step;
         }
+        soc.mem.copy(out, src_base, run_bytes);
         out = out.offset(run_bytes);
     }
     out.0 - dst.0
@@ -205,33 +259,36 @@ fn copy_from_chunked(
 ) -> u64 {
     let run_elems = view.contiguous_run_elems();
     let run_bytes = run_elems as u64 * 4;
+    let (lead_sizes, lead_strides) = lead_dims(view, run_elems);
+    let origins = lead_sizes.iter().product::<i64>().max(0) as u64;
+    let chunks_per_run = if run_bytes == 0 { 0 } else { run_bytes.div_ceil(chunk_bytes) };
+    let chunks = origins * chunks_per_run;
+    soc.charge_branch(origins);
+    // The accumulate path pays one vector add per chunk.
+    soc.charge_arith(2 * origins + if accumulate { chunks } else { 0 });
+    soc.charge_uncached_reads(chunks);
     let mut input = src;
-    for origin in run_origins(view, run_elems) {
-        soc.charge_branch(1);
-        soc.charge_arith(2);
-        let dst_base = view.elem_addr(&origin);
+    for dst_base in AddrWalk::new(view.base, view.offset, 4, lead_sizes, lead_strides) {
         let mut moved = 0u64;
         while moved < run_bytes {
             let step = chunk_bytes.min(run_bytes - moved);
-            soc.charge_uncached_read_chunk(step);
             if accumulate {
                 // Vector load + add + store of the destination chunk.
                 soc.cached_access(dst_base.offset(moved), step, AccessKind::Read);
-                soc.charge_arith(1);
                 soc.cached_access(dst_base.offset(moved), step, AccessKind::Write);
-                for b in (0..step).step_by(4) {
-                    let add = soc.mem.read_u32(input.offset(moved + b));
-                    let old = soc.mem.read_u32(dst_base.offset(moved + b));
-                    soc.mem.write_u32(dst_base.offset(moved + b), combine(view.elem, old, add));
-                }
             } else {
                 soc.cached_access(dst_base.offset(moved), step, AccessKind::Write);
-                for b in (0..step).step_by(4) {
-                    let word = soc.mem.read_u32(input.offset(moved + b));
-                    soc.mem.write_u32(dst_base.offset(moved + b), word);
-                }
             }
             moved += step;
+        }
+        if accumulate {
+            for b in (0..run_bytes).step_by(4) {
+                let add = soc.mem.read_u32(input.offset(b));
+                let old = soc.mem.read_u32(dst_base.offset(b));
+                soc.mem.write_u32(dst_base.offset(b), combine(view.elem, old, add));
+            }
+        } else {
+            soc.mem.copy(dst_base, input, run_bytes);
         }
         input = input.offset(run_bytes);
     }

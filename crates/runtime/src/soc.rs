@@ -143,6 +143,24 @@ impl Soc {
         self.counters.host_cycles += self.cost.uncached_read_cycles;
     }
 
+    /// Charges `n` write-combined beats at once — the bulk equivalent of
+    /// `n` [`Soc::uncached_write_u32`] / [`Soc::charge_uncached_write_chunk`]
+    /// calls (without moving data).
+    pub fn charge_uncached_writes(&mut self, n: u64) {
+        self.counters.uncached_accesses += n;
+        self.counters.instructions += n;
+        self.counters.host_cycles += n * self.cost.uncached_write_cycles;
+    }
+
+    /// Charges `n` uncached reads at once — the bulk equivalent of `n`
+    /// [`Soc::uncached_read_u32`] / [`Soc::charge_uncached_read_chunk`]
+    /// calls (without moving data).
+    pub fn charge_uncached_reads(&mut self, n: u64) {
+        self.counters.uncached_accesses += n;
+        self.counters.instructions += n;
+        self.counters.host_cycles += n * self.cost.uncached_read_cycles;
+    }
+
     /// Task-clock of everything charged so far, in milliseconds.
     pub fn task_clock_ms(&self) -> f64 {
         self.counters.task_clock_ms(self.cost.host_freq_hz, self.cost.device_freq_hz)

@@ -81,8 +81,37 @@ pub trait StreamAccelerator {
     /// the output FIFO).
     fn consume_word(&mut self, word: u32, counters: &mut PerfCounters);
 
+    /// Feeds a whole DMA burst of little-endian beats.
+    ///
+    /// The default forwards each word to [`Self::consume_word`], so FSM
+    /// decoding and cycle charging are beat-identical to per-word
+    /// streaming; devices with word-oblivious input paths may override it
+    /// with a bulk FIFO append.
+    fn consume_burst(&mut self, bytes: &[u8], counters: &mut PerfCounters) {
+        for chunk in bytes.chunks_exact(4) {
+            let word = u32::from_le_bytes(chunk.try_into().expect("4-byte beat"));
+            self.consume_word(word, counters);
+        }
+    }
+
     /// Pops one result beat, if available.
     fn pop_output_word(&mut self) -> Option<u32>;
+
+    /// Drains one result beat per 4-byte chunk of `out`, little-endian.
+    ///
+    /// The caller guarantees [`Self::output_len`] covers the burst (the
+    /// DMA engine's underflow check). The default pops word by word;
+    /// devices may override it with a bulk FIFO drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output FIFO underflows mid-burst.
+    fn produce_burst(&mut self, out: &mut [u8]) {
+        for chunk in out.chunks_exact_mut(4) {
+            let word = self.pop_output_word().expect("checked available");
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+    }
 
     /// Number of result beats currently queued.
     fn output_len(&self) -> usize;
@@ -119,6 +148,13 @@ impl StreamAccelerator for LoopbackAccelerator {
 
     fn consume_word(&mut self, word: u32, _counters: &mut PerfCounters) {
         self.out.push(word);
+    }
+
+    fn consume_burst(&mut self, bytes: &[u8], _counters: &mut PerfCounters) {
+        // Word-oblivious echo device: bulk-append the burst.
+        for chunk in bytes.chunks_exact(4) {
+            self.out.push(u32::from_le_bytes(chunk.try_into().expect("4-byte beat")));
+        }
     }
 
     fn pop_output_word(&mut self) -> Option<u32> {

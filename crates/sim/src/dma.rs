@@ -210,10 +210,9 @@ impl DmaEngine {
         counters.dma_bytes_to_accel += len;
         counters.device_cycles += cost.stream_device_cycles(len);
         let base = config.input_base.offset(offset);
-        for beat in 0..len / 4 {
-            let word = mem.read_u32(base.offset(beat * 4));
-            accel.consume_word(word, counters);
-        }
+        // One bounds-checked burst instead of per-beat reads; the
+        // accelerator still decodes beat by beat (see `consume_burst`).
+        accel.consume_burst(mem.read_bytes(base, len), counters);
         self.send_in_flight = true;
         Ok(())
     }
@@ -259,10 +258,8 @@ impl DmaEngine {
         counters.dma_bytes_from_accel += len;
         counters.device_cycles += cost.stream_device_cycles(len);
         let base = config.output_base.offset(offset);
-        for beat in 0..words {
-            let word = accel.pop_output_word().expect("checked available");
-            mem.write_u32(base.offset(beat * 4), word);
-        }
+        // One bounds-checked burst write instead of per-beat writes.
+        accel.produce_burst(mem.bytes_mut(base, len));
         self.recv_in_flight = true;
         Ok(())
     }

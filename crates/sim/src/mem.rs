@@ -232,10 +232,16 @@ impl SimMemory {
             si + len as usize <= di || di + len as usize <= si || len == 0,
             "overlapping copy is not supported"
         );
-        let (s, d, l) = (si, di, len as usize);
-        // Split borrows via copy_within-compatible approach.
-        let tmp: Vec<u8> = self.data[s..s + l].to_vec();
-        self.data[d..d + l].copy_from_slice(&tmp);
+        // Zero-copy: no temporary buffer, `copy_within` is a single
+        // memmove over the backing storage.
+        self.data.copy_within(si..si + len as usize, di);
+    }
+
+    /// Mutable view of `len` bytes starting at `addr` — the zero-copy
+    /// write path for bulk transfers.
+    pub fn bytes_mut(&mut self, addr: SimAddr, len: u64) -> &mut [u8] {
+        let i = self.index(addr, len);
+        &mut self.data[i..i + len as usize]
     }
 
     /// Convenience: allocates a buffer of `n` elements of `elem` type.
@@ -243,28 +249,36 @@ impl SimMemory {
         self.alloc(n * elem.byte_width(), 64)
     }
 
-    /// Fills an i32 buffer from a slice.
+    /// Fills an i32 buffer from a slice (single bounds check, bulk write).
     pub fn store_i32_slice(&mut self, base: SimAddr, values: &[i32]) {
-        for (i, v) in values.iter().enumerate() {
-            self.write_i32(base.offset(4 * i as u64), *v);
+        let dst = self.bytes_mut(base, 4 * values.len() as u64);
+        for (chunk, v) in dst.chunks_exact_mut(4).zip(values) {
+            chunk.copy_from_slice(&v.to_le_bytes());
         }
     }
 
-    /// Reads an i32 buffer into a vector.
+    /// Reads an i32 buffer into a vector (single bounds check, bulk read).
     pub fn load_i32_slice(&self, base: SimAddr, n: usize) -> Vec<i32> {
-        (0..n).map(|i| self.read_i32(base.offset(4 * i as u64))).collect()
+        self.read_bytes(base, 4 * n as u64)
+            .chunks_exact(4)
+            .map(|chunk| i32::from_le_bytes(chunk.try_into().expect("4 bytes")))
+            .collect()
     }
 
-    /// Fills an f32 buffer from a slice.
+    /// Fills an f32 buffer from a slice (single bounds check, bulk write).
     pub fn store_f32_slice(&mut self, base: SimAddr, values: &[f32]) {
-        for (i, v) in values.iter().enumerate() {
-            self.write_f32(base.offset(4 * i as u64), *v);
+        let dst = self.bytes_mut(base, 4 * values.len() as u64);
+        for (chunk, v) in dst.chunks_exact_mut(4).zip(values) {
+            chunk.copy_from_slice(&v.to_bits().to_le_bytes());
         }
     }
 
-    /// Reads an f32 buffer into a vector.
+    /// Reads an f32 buffer into a vector (single bounds check, bulk read).
     pub fn load_f32_slice(&self, base: SimAddr, n: usize) -> Vec<f32> {
-        (0..n).map(|i| self.read_f32(base.offset(4 * i as u64))).collect()
+        self.read_bytes(base, 4 * n as u64)
+            .chunks_exact(4)
+            .map(|chunk| f32::from_bits(u32::from_le_bytes(chunk.try_into().expect("4 bytes"))))
+            .collect()
     }
 }
 

@@ -5,6 +5,24 @@
 # Usage: scripts/bench.sh [--quick] [OUT_DIR]
 #   --quick   reduced sweep sizes (seconds instead of minutes)
 #   OUT_DIR   where the reports land (default: bench-out)
+#
+# Profiling the sim
+# -----------------
+# When a sweep feels slow, measure the simulator itself before reaching
+# for a system profiler:
+#
+#   cargo bench -p axi4mlir-bench --bench sim
+#
+# prints per-iteration means for the three hot layers — the interpreter
+# loop alone, a DMA burst roundtrip, and a full compile-and-run
+# Session::run. Explorer throughput lands in every sweep's report:
+# `sims_per_sec` in the context block of BENCH_explore.json counts
+# full-fidelity simulations per second of in-simulator wall time
+# (cache hits excluded, so reruns against a warm BENCH_cache.json may
+# omit it). bench-compare gates that number — a >10% drop vs. the
+# baseline fails CI — so check it first when the gate fires. The
+# README's "Simulator performance model" section explains what keeps
+# the hot path fast and which equivalence tests pin its accounting.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

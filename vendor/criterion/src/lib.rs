@@ -10,6 +10,9 @@
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
+/// Untimed calls of the benchmark body before measurement starts.
+const WARMUP_ITERATIONS: u64 = 3;
+
 /// Identifies one benchmark within a group.
 #[derive(Clone, Debug)]
 pub struct BenchmarkId(String);
@@ -39,8 +42,13 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `iterations` calls of `body`.
+    /// Times `iterations` calls of `body`, after a small untimed warm-up
+    /// (mirroring real criterion's warm-up phase, so one-time costs such
+    /// as first-run compilation or lazy allocation do not skew the mean).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        for _ in 0..WARMUP_ITERATIONS {
+            std::hint::black_box(body());
+        }
         let start = Instant::now();
         for _ in 0..self.iterations {
             std::hint::black_box(body());
@@ -147,7 +155,8 @@ mod tests {
         group.sample_size(3);
         group.bench_function("count", |b| b.iter(|| runs += 1));
         group.finish();
-        assert_eq!(runs, 3);
+        // The body runs once per warm-up iteration plus once per sample.
+        assert_eq!(runs, WARMUP_ITERATIONS + 3);
     }
 
     #[test]
