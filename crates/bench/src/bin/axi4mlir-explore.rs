@@ -7,7 +7,7 @@
 //! `cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- \
 //!     [--smoke] [--workload matmul|conv|batched] [--accel v1..v4[:SIZE],...] \
 //!     [--search exhaustive|halving] [--cache PATH] [--warm-start [PATH]] \
-//!     [--objectives clock,traffic,transactions,occupancy] \
+//!     [--hub ADDR] [--objectives clock,traffic,transactions,occupancy] \
 //!     [--dims MxNxK] [--batch N] [--layer iHW_iC_fHW_oC_stride] \
 //!     [--base B] [--capacity WORDS] [--sweep-options] \
 //!     [--sweep-cache-tiling] [--cpu pynq_z2|zcu102|desktop,...] \
@@ -35,6 +35,14 @@
 //! cache-hierarchy tiling levels (off/auto/fixed 16-64) and named host
 //! CPUs (meaningful under auto tiling only; illegal combinations are
 //! dropped by the per-candidate legality rules).
+//!
+//! `--hub ADDR` runs the sweep on a running `axi4mlir-hub` daemon
+//! instead of in-process: the same flags become a job submitted over
+//! the `axi4mlir-hub/v1` protocol (see `docs/PROTOCOL.md`), progress
+//! events stream to stdout, and the `done` event's report renders the
+//! *same* `BENCH_explore.json` the local path writes. The hub owns the
+//! result cache, so `--cache`/`--warm-start` are rejected alongside
+//! `--hub`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -43,8 +51,10 @@ use axi4mlir_bench::report::{BenchEntry, BenchReport};
 use axi4mlir_config::{CacheTiling, CpuModel};
 use axi4mlir_core::explore::{
     cache as result_cache, AccelInstance, BatchedSpace, ConvSpace, DesignSpace, ExploreReport,
-    Explorer, HalvingSpec, MatMulSpace, Objective, OptionsPoint, Prune, Search, TransferModel,
+    Explorer, HalvingSpec, JobSpec, MatMulSpace, Objective, OptionsPoint, Prune, Search,
+    TransferModel,
 };
+use axi4mlir_hub::HubClient;
 use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
 use axi4mlir_support::json::JsonValue;
 use axi4mlir_workloads::matmul::MatMulProblem;
@@ -140,18 +150,71 @@ struct Request {
     /// Fit the cross-problem transfer model from this cache file before
     /// the sweep.
     warm_start: Option<PathBuf>,
+    /// Run on this `axi4mlir-hub` daemon instead of in-process.
+    hub: Option<String>,
+    /// The booleans/lists the wire job needs verbatim (the resolved
+    /// space holds their *effect*, not the flags themselves).
+    sweep_options: bool,
+    sweep_cache_tiling: bool,
+    cpus: Vec<String>,
+}
+
+impl Request {
+    /// The wire-form job equivalent to this request, built from the
+    /// *resolved* space so hub sweeps see exactly what a local sweep
+    /// would (smoke defaults included).
+    fn to_job(&self) -> JobSpec {
+        let mut job = JobSpec {
+            search: self.search.label().to_owned(),
+            prune: match self.prune {
+                Prune::None => "none".to_owned(),
+                Prune::KeepBest(n) => format!("keep:{n}"),
+                Prune::WithinFactor(f) => format!("factor:{f}"),
+            },
+            objectives: self.objectives.iter().map(|o| o.label().to_owned()).collect(),
+            sweep_options: self.sweep_options,
+            sweep_cache_tiling: self.sweep_cache_tiling,
+            cpus: self.cpus.clone(),
+            ..JobSpec::default()
+        };
+        match &self.space {
+            SpaceChoice::MatMul(s) => {
+                job.workload = "matmul".to_owned();
+                job.dims = Some((s.problem.m, s.problem.n, s.problem.k));
+                job.accels = s.accels.iter().map(AccelInstance::label).collect();
+                job.capacity_words = Some(s.capacity_words);
+                job.seed = Some(s.seed);
+            }
+            SpaceChoice::Batched(s) => {
+                job.workload = "batched".to_owned();
+                let p = &s.batch.problem;
+                job.dims = Some((p.m, p.n, p.k));
+                job.batch = Some(s.batch.batch as i64);
+                job.accels = s.accels.iter().map(AccelInstance::label).collect();
+                job.capacity_words = Some(s.capacity_words);
+                job.seed = Some(s.seed);
+            }
+            SpaceChoice::Conv(s) => {
+                job.workload = "conv".to_owned();
+                job.layer = Some(s.layer.label());
+                job.seed = Some(s.seed);
+            }
+        }
+        job
+    }
 }
 
 /// Every flag the binary understands; anything else starting with `--`
 /// is rejected so a typo (`--objective`) cannot silently fall back to a
 /// default sweep.
-const KNOWN_FLAGS: [&str; 19] = [
+const KNOWN_FLAGS: [&str; 20] = [
     "--smoke",
     "--workload",
     "--accel",
     "--search",
     "--cache",
     "--warm-start",
+    "--hub",
     "--objectives",
     "--dims",
     "--batch",
@@ -188,15 +251,15 @@ fn request_from_args(args: &[String]) -> Result<Request, String> {
             .ok_or(format!("invalid --accel `{text}` (v1..v4[:SIZE],...)"))?,
         None => vec![AccelInstance::v4(base)],
     };
-    let mut options_axis = if args.iter().any(|a| a == "--sweep-options") {
-        OptionsPoint::axis()
-    } else {
-        vec![OptionsPoint::default()]
-    };
-    if args.iter().any(|a| a == "--sweep-cache-tiling") {
+    let sweep_options = args.iter().any(|a| a == "--sweep-options");
+    let sweep_cache_tiling = args.iter().any(|a| a == "--sweep-cache-tiling");
+    let mut options_axis =
+        if sweep_options { OptionsPoint::axis() } else { vec![OptionsPoint::default()] };
+    if sweep_cache_tiling {
         options_axis =
             OptionsPoint::cross_cache_tiling(&options_axis, &CacheTiling::sweep_levels());
     }
+    let mut cpu_labels: Vec<String> = Vec::new();
     if let Some(text) = arg_value(args, "--cpu") {
         let cpus: Vec<CpuModel> = text
             .split(',')
@@ -206,6 +269,7 @@ fn request_from_args(args: &[String]) -> Result<Request, String> {
                 let known: Vec<&str> = CpuModel::all().iter().map(CpuModel::label).collect();
                 format!("invalid --cpu `{text}` (a comma list of {})", known.join("|"))
             })?;
+        cpu_labels = cpus.iter().map(|c| c.label().to_owned()).collect();
         options_axis = OptionsPoint::cross_cpus(&options_axis, &cpus);
     }
 
@@ -328,7 +392,64 @@ fn request_from_args(args: &[String]) -> Result<Request, String> {
             }
         }
     };
-    Ok(Request { space, prune, search, workers, objectives, cache, warm_start })
+    let hub = arg_value(args, "--hub");
+    if hub.is_some() && (cache.is_some() || warm_start.is_some()) {
+        return Err("--hub is incompatible with --cache/--warm-start (the hub owns the shared \
+                    cache and warm start; configure them on the daemon)"
+            .to_owned());
+    }
+    Ok(Request {
+        space,
+        prune,
+        search,
+        workers,
+        objectives,
+        cache,
+        warm_start,
+        hub,
+        sweep_options,
+        sweep_cache_tiling,
+        cpus: cpu_labels,
+    })
+}
+
+/// Runs the request on a hub daemon, streaming progress to stdout, and
+/// returns the report the `done` event carried.
+fn run_on_hub(addr: &str, request: &Request) -> Result<ExploreReport, String> {
+    let fail = |diag: axi4mlir_support::diag::Diagnostic| diag.message;
+    let mut client = HubClient::connect(addr).map_err(fail)?;
+    println!(
+        "hub {addr}: {} cached results, {} workers, queue capacity {}",
+        client.info().cache_entries,
+        client.info().workers,
+        client.info().queue_capacity
+    );
+    let job = request.to_job();
+    let mut on_event = |event: &JsonValue| {
+        let get = |name: &str| event.get(name).and_then(JsonValue::as_u64).unwrap_or(0);
+        match event.get("state").and_then(JsonValue::as_str) {
+            Some("queued") => println!("hub: job {} queued", get("job")),
+            Some("running") => println!("hub: job {} running", get("job")),
+            Some("space-ready") => println!(
+                "hub: space ready — {} legal candidates, {} survive the prune",
+                get("space_size"),
+                get("survivors")
+            ),
+            Some("rung-complete") => println!(
+                "hub: rung {} complete — {} sims ({} full), {} cache hits, {} survivors",
+                event.get("fidelity").and_then(JsonValue::as_str).unwrap_or("?"),
+                get("sims_performed"),
+                get("full_sims_performed"),
+                get("cache_hits"),
+                get("survivors")
+            ),
+            Some("done") => {
+                println!("hub: job {} done — {} full sims", get("job"), get("full_sims_performed"))
+            }
+            _ => {}
+        }
+    };
+    client.run(&job, &mut on_event).map_err(fail)
 }
 
 /// Converts an exploration into the `BENCH_explore.json` document:
@@ -456,6 +577,17 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(addr) = &request.hub {
+        let report = match run_on_hub(addr, &request) {
+            Ok(report) => report,
+            Err(message) => {
+                eprintln!("axi4mlir-explore: {message}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return render(&request, &report, &args, None);
+    }
+
     let mut explorer = match &request.cache {
         Some(path) => match Explorer::with_cache_file(path) {
             Ok(explorer) => {
@@ -518,7 +650,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    render(&request, &report, &args, Some(&explorer))
+}
 
+/// Renders the human summary and `BENCH_explore.json`, then persists
+/// the cache (local sweeps only — hub sweeps pass no explorer because
+/// the daemon owns the cache). Shared verbatim by the local and `--hub`
+/// paths: the output document cannot depend on where the sweep ran.
+fn render(
+    request: &Request,
+    report: &ExploreReport,
+    args: &[String],
+    explorer: Option<&Explorer>,
+) -> ExitCode {
+    let objective_labels: Vec<&str> = request.objectives.iter().map(Objective::label).collect();
     // The measured space, best first.
     let mut ranked: Vec<_> = report.evaluations.iter().collect();
     ranked.sort_by(|a, b| a.task_clock_ms.total_cmp(&b.task_clock_ms));
@@ -602,7 +747,7 @@ fn main() -> ExitCode {
     // output must survive even when cache persistence fails.
     let dir = axi4mlir_bench::report::json_dir_from_args(args.iter().cloned())
         .unwrap_or_else(|| PathBuf::from("."));
-    match to_report(&request, &report, &front).write_to_dir(&dir) {
+    match to_report(request, report, &front).write_to_dir(&dir) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(err) => {
             eprintln!("axi4mlir-explore: writing the report failed: {err}");
@@ -610,7 +755,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Some(path) = &request.cache {
+    if let (Some(path), Some(explorer)) = (&request.cache, explorer) {
         match explorer.save_cache(path) {
             Ok(total) => println!("cache: {total} results persisted to {}", path.display()),
             Err(diag) => {

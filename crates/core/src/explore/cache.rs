@@ -79,7 +79,9 @@ pub struct CachedEval {
     pub pass_ms: Vec<(String, f64)>,
 }
 
-fn key_to_json(key: &CandidateKey) -> JsonValue {
+/// Serializes a [`CandidateKey`] as the JSON object the cache document
+/// (and the hub wire protocol, via [`super::wire`]) spells keys in.
+pub fn key_to_json(key: &CandidateKey) -> JsonValue {
     JsonValue::object([
         ("workload".to_owned(), key.workload.clone().into()),
         ("accel".to_owned(), key.accel.clone().into()),
@@ -96,7 +98,11 @@ fn key_to_json(key: &CandidateKey) -> JsonValue {
     ])
 }
 
-fn key_from_json(value: &JsonValue, migrate_v1: bool) -> Option<CandidateKey> {
+/// Parses a [`CandidateKey`] from its JSON object form. With
+/// `migrate_v1`, absent `cache_tiling`/`cpu` members fill the defaults a
+/// v1 cache document was implicitly measured under; without it they make
+/// the key unparseable (`None`).
+pub fn key_from_json(value: &JsonValue, migrate_v1: bool) -> Option<CandidateKey> {
     let tile = value.get("tile")?.as_array()?;
     let edge = |i: usize| tile.get(i).and_then(JsonValue::as_i64);
     // The v2 members. In a v1 document they are absent by construction —
@@ -149,13 +155,17 @@ const COUNTER_FIELDS: [CounterField; 13] = [
     ("accel_macs", |c| c.accel_macs, |c, v| c.accel_macs = v),
 ];
 
-fn counters_to_json(counters: &PerfCounters) -> JsonValue {
+/// Serializes the full counter set as a JSON object (one member per
+/// [`PerfCounters`] field).
+pub fn counters_to_json(counters: &PerfCounters) -> JsonValue {
     JsonValue::object(
         COUNTER_FIELDS.iter().map(|(name, get, _)| ((*name).to_owned(), get(counters).into())),
     )
 }
 
-fn counters_from_json(value: &JsonValue) -> Option<PerfCounters> {
+/// Parses a counter set serialized by [`counters_to_json`]; every field
+/// must be present.
+pub fn counters_from_json(value: &JsonValue) -> Option<PerfCounters> {
     let mut counters = PerfCounters::new();
     for (name, _, set) in &COUNTER_FIELDS {
         set(&mut counters, value.get(name)?.as_u64()?);

@@ -33,15 +33,17 @@
 //! [`Session`]: crate::driver::Session
 
 pub mod cache;
+pub mod jobspec;
 pub mod pareto;
 pub mod search;
 pub mod space;
 pub mod transfer;
+pub mod wire;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 use axi4mlir_sim::counters::PerfCounters;
 use axi4mlir_support::diag::Diagnostic;
@@ -51,6 +53,7 @@ use crate::driver::Session;
 pub use axi4mlir_heuristics::objective::Objective;
 use cache::CachedEval;
 pub use cache::{CACHE_SCHEMA, CACHE_SCHEMA_V1};
+pub use jobspec::{AnySpace, ExploreRequest, JobSpec};
 pub use search::{HalvingSpec, Search};
 pub use space::{
     apply_options, AccelInstance, BatchedSpace, Candidate, CandidateKey, ConvSpace, DesignSpace,
@@ -250,6 +253,122 @@ impl ExploreReport {
     }
 }
 
+/// A live progress signal from an in-flight exploration, delivered to
+/// the [`Observer`] of [`Explorer::explore_streaming`] on the exploring
+/// thread. The hub daemon forwards these to its clients as `event`
+/// frames and checkpoints the shared cache between rungs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProgressEvent {
+    /// Enumeration and pruning finished; measurement is about to start.
+    SpaceReady {
+        /// Legal candidates before pruning.
+        space_size: usize,
+        /// Candidates surviving the analytical prune.
+        survivors: usize,
+    },
+    /// One measurement rung completed: a halving proxy round, the
+    /// full-fidelity finalist round, or the single full round of an
+    /// exhaustive sweep.
+    RungComplete {
+        /// The fidelity the rung measured at.
+        fidelity: Fidelity,
+        /// Candidates still in the race after this rung's promotion.
+        survivors: usize,
+        /// Simulator runs the rung actually performed.
+        sims_performed: usize,
+        /// Rung measurements served from the (shared) result cache.
+        cache_hits: usize,
+        /// The subset of `sims_performed` at full problem fidelity.
+        full_sims_performed: usize,
+    },
+}
+
+/// A progress callback: receives every [`ProgressEvent`] and returns
+/// whether the exploration should continue. Returning `false` cancels
+/// the sweep at the next rung boundary with a [`CANCELLED`] diagnostic —
+/// measurements already taken stay in the cache.
+pub type Observer<'a> = &'a dyn Fn(&ProgressEvent) -> bool;
+
+/// The diagnostic message an observer-cancelled exploration fails with.
+pub const CANCELLED: &str = "exploration cancelled by the observer";
+
+fn notify(observer: Observer, event: ProgressEvent) -> Result<(), Diagnostic> {
+    if observer(&event) {
+        Ok(())
+    } else {
+        Err(Diagnostic::error(CANCELLED))
+    }
+}
+
+/// The cross-job in-flight registry: candidates currently being
+/// simulated, by key. Concurrent sweeps (hub jobs) that want the same
+/// measurement wait for the first simulation instead of duplicating it,
+/// then serve the result from the shared cache.
+#[derive(Default)]
+struct InFlight {
+    claimed: Mutex<HashSet<CandidateKey>>,
+    released: Condvar,
+}
+
+impl InFlight {
+    /// Claims `key` for simulation; `false` means someone else holds it.
+    fn claim(&self, key: &CandidateKey) -> bool {
+        self.claimed.lock().expect("in-flight registry poisoned").insert(key.clone())
+    }
+
+    fn release(&self, key: &CandidateKey) {
+        self.claimed.lock().expect("in-flight registry poisoned").remove(key);
+        self.released.notify_all();
+    }
+
+    /// Blocks until `key` is not claimed (returns immediately if free).
+    fn wait_while_claimed(&self, key: &CandidateKey) {
+        let mut set = self.claimed.lock().expect("in-flight registry poisoned");
+        while set.contains(key) {
+            set = self.released.wait(set).expect("in-flight registry poisoned");
+        }
+    }
+}
+
+/// Releases an [`InFlight`] claim on drop, so a claim can never leak
+/// past its simulation (even across an unwinding worker).
+struct Claim<'a> {
+    registry: &'a InFlight,
+    key: &'a CandidateKey,
+}
+
+impl Drop for Claim<'_> {
+    fn drop(&mut self) {
+        self.registry.release(self.key);
+    }
+}
+
+/// Simulation counters for one sweep. The engine-wide atomics on
+/// [`Explorer`] keep counting everything the engine ever did, but a
+/// report must charge a sweep only for the simulations *it* ran —
+/// deltas of the global counters double-count when sweeps run
+/// concurrently (each sees the other's window).
+#[derive(Default)]
+pub(crate) struct SweepStats {
+    sims: AtomicUsize,
+    full_sims: AtomicUsize,
+    full_sim_nanos: AtomicU64,
+}
+
+impl SweepStats {
+    pub(crate) fn sims(&self) -> usize {
+        self.sims.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn full_sims(&self) -> usize {
+        self.full_sims.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn full_sim_nanos(&self) -> u64 {
+        self.full_sim_nanos.load(Ordering::Relaxed)
+    }
+}
+
 /// A reusable exploration engine with a cross-sweep, persistable result
 /// cache.
 ///
@@ -261,9 +380,11 @@ impl ExploreReport {
 #[derive(Default)]
 pub struct Explorer {
     cache: Mutex<HashMap<CandidateKey, CachedEval>>,
+    in_flight: InFlight,
     evals_performed: AtomicUsize,
     full_evals_performed: AtomicUsize,
     full_sim_nanos: AtomicU64,
+    dedup_hits: AtomicUsize,
     /// The cross-problem transfer model a warm-started search ranks by.
     warm: Option<TransferModel>,
 }
@@ -345,6 +466,14 @@ impl Explorer {
         self.full_sim_nanos.load(Ordering::Relaxed)
     }
 
+    /// How many measurements were served from the cache *because of
+    /// concurrency*: a pending candidate turned out to be already
+    /// measured (or in flight) under a concurrent sweep sharing this
+    /// engine, so it was not simulated again. Zero for a lone sweep.
+    pub fn dedup_hits(&self) -> usize {
+        self.dedup_hits.load(Ordering::Relaxed)
+    }
+
     /// How many results the cache currently holds.
     pub fn cache_len(&self) -> usize {
         self.cache.lock().expect("explorer cache poisoned").len()
@@ -399,6 +528,31 @@ impl Explorer {
         workers: usize,
         objectives: &[Objective],
     ) -> Result<ExploreReport, Diagnostic> {
+        self.explore_streaming(space, prune_strategy, search, workers, objectives, &|_| true)
+    }
+
+    /// [`Explorer::explore_with_objectives`] with a live progress
+    /// [`Observer`]: the callback sees a [`ProgressEvent::SpaceReady`]
+    /// once the space is enumerated and a [`ProgressEvent::RungComplete`]
+    /// after every measurement rung, and can cancel the sweep at any of
+    /// those boundaries by returning `false` (measurements already taken
+    /// stay cached). This is the hub daemon's entry point: events become
+    /// streamed client frames and rung boundaries become incremental
+    /// cache checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// See [`Explorer::explore_space`]; additionally fails with a
+    /// [`CANCELLED`] diagnostic when the observer stops the sweep.
+    pub fn explore_streaming(
+        &self,
+        space: &dyn DesignSpace,
+        prune_strategy: Prune,
+        search: &Search,
+        workers: usize,
+        objectives: &[Objective],
+        observer: Observer,
+    ) -> Result<ExploreReport, Diagnostic> {
         let objectives: Vec<Objective> =
             if objectives.is_empty() { vec![Objective::TaskClock] } else { objectives.to_vec() };
         let primary = objectives[0];
@@ -411,15 +565,30 @@ impl Explorer {
         }
         let space_size = all.len();
         let (candidates, pruned_out) = prune(all, prune_strategy, primary);
-        let sims_before = self.evals_performed();
-        let full_sims_before = self.full_evals_performed();
-        let sim_nanos_before = self.full_sim_nanos();
+        // Sweep-local accounting: concurrent sweeps on this engine share
+        // its cache and counters, so the report cannot use global deltas.
+        let stats = SweepStats::default();
+        notify(observer, ProgressEvent::SpaceReady { space_size, survivors: candidates.len() })?;
 
         let (evaluations, proxy_hits, warm_informed) = match search {
             Search::Exhaustive => {
-                (self.measure_set(space, &candidates, Fidelity::Full, workers)?, 0, 0)
+                let evals =
+                    self.measure_set(space, &candidates, Fidelity::Full, workers, &stats)?;
+                notify(
+                    observer,
+                    ProgressEvent::RungComplete {
+                        fidelity: Fidelity::Full,
+                        survivors: evals.len(),
+                        sims_performed: stats.sims(),
+                        cache_hits: evals.iter().filter(|e| e.from_cache).count(),
+                        full_sims_performed: stats.full_sims(),
+                    },
+                )?;
+                (evals, 0, 0)
             }
-            Search::Halving(spec) => self.run_halving(space, candidates, spec, workers, primary)?,
+            Search::Halving(spec) => {
+                self.run_halving(space, candidates, spec, workers, primary, observer, &stats)?
+            }
         };
         let cache_hits = proxy_hits + evaluations.iter().filter(|e| e.from_cache).count();
 
@@ -429,7 +598,7 @@ impl Explorer {
         let heuristic = space.heuristic();
         let heuristic_eval = match &heuristic {
             Some(choice) => self
-                .measure_set(space, std::slice::from_ref(choice), Fidelity::Full, 1)?
+                .measure_set(space, std::slice::from_ref(choice), Fidelity::Full, 1, &stats)?
                 .into_iter()
                 .next(),
             None => None,
@@ -442,9 +611,9 @@ impl Explorer {
             space_size,
             pruned_out,
             cache_hits,
-            sims_performed: self.evals_performed() - sims_before,
-            full_sims_performed: self.full_evals_performed() - full_sims_before,
-            full_sim_nanos: self.full_sim_nanos() - sim_nanos_before,
+            sims_performed: stats.sims(),
+            full_sims_performed: stats.full_sims(),
+            full_sim_nanos: stats.full_sim_nanos(),
             warm_started: self.warm.is_some(),
             warm_informed,
             evaluations,
@@ -462,6 +631,7 @@ impl Explorer {
         candidates: &[Candidate],
         fidelity: Fidelity,
         workers: usize,
+        stats: &SweepStats,
     ) -> Result<Vec<Evaluation>, Diagnostic> {
         // Resolve each candidate's fidelity-adjusted identity and work,
         // then partition into cache hits and pending measurements.
@@ -500,11 +670,14 @@ impl Explorer {
         }
 
         // Measure the pending candidates: a shared work index, one
-        // recycled-SoC session per worker.
+        // recycled-SoC session per worker. A key already being simulated
+        // by a *concurrent* sweep on this engine (another hub job) is not
+        // simulated twice: the worker waits on the in-flight registry and
+        // serves the shared cache's copy once the first simulation lands.
         let workers = workers.clamp(1, pending.len().max(1));
         let next = AtomicUsize::new(0);
-        // One worker result: candidate index, outcome, wall nanos spent.
-        type Done = (usize, Result<CachedEval, Diagnostic>, u64);
+        // One worker result: candidate index, outcome, cache-served flag.
+        type Done = (usize, Result<CachedEval, Diagnostic>, bool);
         let done: Mutex<Vec<Done>> = Mutex::new(Vec::with_capacity(pending.len()));
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -513,10 +686,49 @@ impl Explorer {
                     loop {
                         let slot = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&index) = pending.get(slot) else { break };
-                        let started = std::time::Instant::now();
-                        let result = evaluate(&mut session, space, &candidates[index], fidelity);
-                        let nanos = started.elapsed().as_nanos() as u64;
-                        done.lock().expect("result sink poisoned").push((index, result, nanos));
+                        let key = &meta[index].0;
+                        let outcome = loop {
+                            // Another sweep may have measured this key
+                            // since the partition (or while we waited on
+                            // its claim below).
+                            let hit = self
+                                .cache
+                                .lock()
+                                .expect("explorer cache poisoned")
+                                .get(key)
+                                .cloned();
+                            if let Some(hit) = hit {
+                                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                                break (Ok(hit), true);
+                            }
+                            if self.in_flight.claim(key) {
+                                let _claim = Claim { registry: &self.in_flight, key };
+                                let started = std::time::Instant::now();
+                                let result =
+                                    evaluate(&mut session, space, &candidates[index], fidelity);
+                                let nanos = started.elapsed().as_nanos() as u64;
+                                if let Ok(eval) = &result {
+                                    // Publish before releasing the claim,
+                                    // so waiters find the entry.
+                                    self.cache
+                                        .lock()
+                                        .expect("explorer cache poisoned")
+                                        .insert(key.clone(), eval.clone());
+                                    self.evals_performed.fetch_add(1, Ordering::Relaxed);
+                                    stats.sims.fetch_add(1, Ordering::Relaxed);
+                                    if is_full[index] {
+                                        self.full_evals_performed.fetch_add(1, Ordering::Relaxed);
+                                        self.full_sim_nanos.fetch_add(nanos, Ordering::Relaxed);
+                                        stats.full_sims.fetch_add(1, Ordering::Relaxed);
+                                        stats.full_sim_nanos.fetch_add(nanos, Ordering::Relaxed);
+                                    }
+                                }
+                                break (result, false);
+                            }
+                            self.in_flight.wait_while_claimed(key);
+                        };
+                        let (result, served) = outcome;
+                        done.lock().expect("result sink poisoned").push((index, result, served));
                     }
                 });
             }
@@ -524,19 +736,12 @@ impl Explorer {
 
         let mut results = done.into_inner().expect("result sink poisoned");
         results.sort_by_key(|(index, _, _)| *index);
-        let mut cache = self.cache.lock().expect("explorer cache poisoned");
-        for (index, result, nanos) in results {
+        for (index, result, served) in results {
             // On error, report the earliest failing candidate (the sort
             // above makes this independent of scheduling).
             let eval = result?;
-            let (key, work) = &meta[index];
-            cache.insert(key.clone(), eval.clone());
-            self.evals_performed.fetch_add(1, Ordering::Relaxed);
-            if is_full[index] {
-                self.full_evals_performed.fetch_add(1, Ordering::Relaxed);
-                self.full_sim_nanos.fetch_add(nanos, Ordering::Relaxed);
-            }
-            slots[index] = Some(eval.to_evaluation(candidates[index].clone(), *work, false));
+            let work = meta[index].1;
+            slots[index] = Some(eval.to_evaluation(candidates[index].clone(), work, served));
         }
         Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
     }

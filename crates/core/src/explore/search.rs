@@ -37,7 +37,7 @@ use axi4mlir_heuristics::objective::Objective;
 use axi4mlir_support::diag::Diagnostic;
 
 use super::space::{Candidate, DesignSpace, Fidelity};
-use super::{estimate_rank, Evaluation, Explorer};
+use super::{estimate_rank, notify, Evaluation, Explorer, Observer, ProgressEvent, SweepStats};
 
 /// Parameters of the successive-halving search.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,6 +105,7 @@ impl Explorer {
     /// Runs the successive-halving search; returns the full-fidelity
     /// finalist evaluations, the number of proxy-round cache hits, and
     /// how many candidates the warm-start model was informed about.
+    #[allow(clippy::too_many_arguments)] // internal: mirrors explore_streaming's parameters
     pub(crate) fn run_halving(
         &self,
         space: &dyn DesignSpace,
@@ -112,6 +113,8 @@ impl Explorer {
         spec: &HalvingSpec,
         workers: usize,
         primary: Objective,
+        observer: Observer,
+        stats: &SweepStats,
     ) -> Result<(Vec<Evaluation>, usize, usize), Diagnostic> {
         let eta = spec.eta.max(2);
         let mut finalists = spec.finalists.max(1);
@@ -183,8 +186,12 @@ impl Explorer {
                 }
             }
 
-            let evals = self.measure_set(space, &survivors, Fidelity::Proxy { level }, workers)?;
-            proxy_hits += evals.iter().filter(|e| e.from_cache).count();
+            let sims_before = stats.sims();
+            let full_before = stats.full_sims();
+            let evals =
+                self.measure_set(space, &survivors, Fidelity::Proxy { level }, workers, stats)?;
+            let round_hits = evals.iter().filter(|e| e.from_cache).count();
+            proxy_hits += round_hits;
             // Promote by the objective's work-normalized score (proxies
             // differ in size); ties keep the round's incoming rank.
             let mut order: Vec<usize> = (0..survivors.len()).collect();
@@ -196,13 +203,35 @@ impl Explorer {
                 if stalled { finalists } else { finalists.max(survivors.len().div_ceil(eta)) };
             order.truncate(keep);
             survivors = order.into_iter().map(|i| survivors[i].clone()).collect();
+            notify(
+                observer,
+                ProgressEvent::RungComplete {
+                    fidelity: Fidelity::Proxy { level },
+                    survivors: survivors.len(),
+                    sims_performed: stats.sims() - sims_before,
+                    cache_hits: round_hits,
+                    full_sims_performed: stats.full_sims() - full_before,
+                },
+            )?;
             if stalled {
                 break;
             }
             level = next_level;
         }
 
-        let finals = self.measure_set(space, &survivors, Fidelity::Full, workers)?;
+        let sims_before = stats.sims();
+        let full_before = stats.full_sims();
+        let finals = self.measure_set(space, &survivors, Fidelity::Full, workers, stats)?;
+        notify(
+            observer,
+            ProgressEvent::RungComplete {
+                fidelity: Fidelity::Full,
+                survivors: finals.len(),
+                sims_performed: stats.sims() - sims_before,
+                cache_hits: finals.iter().filter(|e| e.from_cache).count(),
+                full_sims_performed: stats.full_sims() - full_before,
+            },
+        )?;
         Ok((finals, proxy_hits, warm_informed))
     }
 }

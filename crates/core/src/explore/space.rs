@@ -118,6 +118,17 @@ pub enum Fidelity {
     Full,
 }
 
+impl Fidelity {
+    /// The compact spelling used by progress events and the hub wire
+    /// protocol: `full`, or `proxy:N` for [`Fidelity::Proxy`] level `N`.
+    pub fn label(&self) -> String {
+        match self {
+            Fidelity::Full => "full".to_owned(),
+            Fidelity::Proxy { level } => format!("proxy:{level}"),
+        }
+    }
+}
+
 /// A realized candidate: what the measurement engine runs.
 pub struct Realization {
     /// Identity of the *realized* measurement (fidelity-adjusted: a proxy
@@ -583,7 +594,7 @@ fn conv_proxy_layer(layer: ConvLayer, level: u8) -> ConvLayer {
 /// The Conv2D design space: one §IV-D layer. The accelerator is
 /// configured to the layer's channel/filter shape, so the geometric point
 /// is fixed and the explored axis is [`PipelineOptions`]; proxy
-/// fidelities run a [`conv_proxy_layer`] with a reduced output extent.
+/// fidelities run a `conv_proxy_layer` with a reduced output extent.
 #[derive(Clone, Debug)]
 pub struct ConvSpace {
     /// The layer to explore.

@@ -104,6 +104,36 @@ fn result_cache_dedups_repeat_evaluations() {
 }
 
 #[test]
+fn concurrent_sweeps_share_an_engine_without_duplicating_sims() {
+    // Two threads sweep the identical 32-candidate space on one shared
+    // engine, as two hub jobs would. The in-flight registry must keep
+    // the engine-wide simulation count at one isolated sweep's worth —
+    // a key being measured by one thread is awaited, not re-simulated —
+    // and each sweep's report must charge only the simulations it ran.
+    let explorer = Explorer::new();
+    let spec = small_spec().workers(2);
+    let (first, second) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| explorer.explore(&spec).expect("sweep A"));
+        let b = scope.spawn(|| explorer.explore(&spec).expect("sweep B"));
+        (a.join().unwrap(), b.join().unwrap())
+    });
+    assert_eq!(explorer.evals_performed(), 32, "each unique candidate simulated exactly once");
+    // Every simulation is charged to exactly one of the two reports.
+    assert_eq!(first.sims_performed + second.sims_performed, 32);
+    for report in [&first, &second] {
+        assert_eq!(
+            report.sims_performed + report.cache_hits,
+            report.evaluations.len(),
+            "each measurement is a sim or a cache hit, never both"
+        );
+    }
+    assert_eq!(
+        first.optimum().unwrap().deterministic_key(),
+        second.optimum().unwrap().deterministic_key()
+    );
+}
+
+#[test]
 fn pruned_sweeps_still_measure_the_heuristic_pick() {
     // Keep only 3 candidates; the heuristic pick may or may not survive,
     // but it must always be measured so the gap is meaningful.

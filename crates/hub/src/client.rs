@@ -1,0 +1,224 @@
+//! A blocking `axi4mlir-hub` client.
+//!
+//! Used by `axi4mlir-explore --hub` and the integration tests. The
+//! client is deliberately synchronous: connect, submit, then read the
+//! event stream until the job reaches a terminal state. The `done`
+//! event carries the full wire-form report, which
+//! [`HubClient::run`] rebuilds into the same [`ExploreReport`] a local
+//! sweep would have produced — callers render output with the exact
+//! code they use without a hub.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+
+use axi4mlir_core::explore::{wire, ExploreReport, JobSpec};
+use axi4mlir_support::diag::Diagnostic;
+use axi4mlir_support::json::JsonValue;
+use axi4mlir_support::proto::{write_frame, Frame, FrameReader};
+
+use crate::protocol::{Request, SCHEMA};
+
+/// What the hub said in its `hello` reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HubInfo {
+    /// The hub's protocol schema (always [`SCHEMA`] after a successful
+    /// connect).
+    pub schema: String,
+    /// Result-cache entries the hub held at connect time.
+    pub cache_entries: usize,
+    /// The hub's job-queue capacity.
+    pub queue_capacity: usize,
+    /// The hub's executor-thread count.
+    pub workers: usize,
+}
+
+/// One connection to a hub.
+pub struct HubClient {
+    reader: FrameReader<BufReader<TcpStream>>,
+    writer: TcpStream,
+    info: HubInfo,
+}
+
+fn connect_err(what: impl std::fmt::Display) -> Diagnostic {
+    Diagnostic::error(format!("cannot reach the hub: {what}"))
+}
+
+impl HubClient {
+    /// Connects and performs the `hello` handshake, verifying the
+    /// schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] for connection failures and for a hub
+    /// speaking a different schema.
+    pub fn connect(addr: &str) -> Result<HubClient, Diagnostic> {
+        let stream = TcpStream::connect(addr).map_err(connect_err)?;
+        let writer = stream.try_clone().map_err(connect_err)?;
+        let mut client = HubClient {
+            reader: FrameReader::new(BufReader::new(stream)),
+            writer,
+            info: HubInfo {
+                schema: String::new(),
+                cache_entries: 0,
+                queue_capacity: 0,
+                workers: 0,
+            },
+        };
+        let hello = client.request(&Request::Hello)?;
+        let schema = hello.get("schema").and_then(JsonValue::as_str).unwrap_or("");
+        if schema != SCHEMA {
+            return Err(connect_err(format!(
+                "schema mismatch: hub speaks `{schema}`, this client `{SCHEMA}`"
+            )));
+        }
+        let count = |name: &str| {
+            hello.get(name).and_then(JsonValue::as_u64).map(|n| n as usize).unwrap_or(0)
+        };
+        client.info = HubInfo {
+            schema: schema.to_owned(),
+            cache_entries: count("cache_entries"),
+            queue_capacity: count("queue_capacity"),
+            workers: count("workers"),
+        };
+        Ok(client)
+    }
+
+    /// The `hello` handshake's answers.
+    pub fn info(&self) -> &HubInfo {
+        &self.info
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), Diagnostic> {
+        write_frame(&mut self.writer, &request.to_json())
+            .map_err(|err| connect_err(format!("send failed: {err}")))
+    }
+
+    /// Blocks until the next frame from the hub.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] if the hub hangs up or sends a
+    /// malformed frame.
+    pub fn next_frame(&mut self) -> Result<JsonValue, Diagnostic> {
+        loop {
+            match self.reader.next_frame()? {
+                Frame::Value(value) => return Ok(value),
+                Frame::Idle => continue,
+                Frame::Eof => return Err(connect_err("the hub closed the connection")),
+            }
+        }
+    }
+
+    fn request(&mut self, request: &Request) -> Result<JsonValue, Diagnostic> {
+        self.send(request)?;
+        loop {
+            let reply = self.next_frame()?;
+            match reply.get("type").and_then(JsonValue::as_str) {
+                // Progress of already-submitted jobs may interleave
+                // ahead of the reply; replies stay in request order.
+                Some("event") => continue,
+                Some("error") => {
+                    let reason =
+                        reply.get("reason").and_then(JsonValue::as_str).unwrap_or("unknown");
+                    return Err(Diagnostic::error(format!("hub rejected the request: {reason}")));
+                }
+                _ => return Ok(reply),
+            }
+        }
+    }
+
+    /// Submits one job; returns its id once the hub accepts it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] for `error` (bad spec) and `rejected`
+    /// (queue full) replies.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, Diagnostic> {
+        let reply = self.request(&Request::Submit(Box::new(spec.clone())))?;
+        match reply.get("type").and_then(JsonValue::as_str) {
+            Some("accepted") => reply
+                .get("job")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| connect_err("accepted reply without a job id")),
+            Some("rejected") => {
+                let reason = reply.get("reason").and_then(JsonValue::as_str).unwrap_or("rejected");
+                Err(Diagnostic::error(format!("hub rejected the job: {reason}")))
+            }
+            other => Err(connect_err(format!("unexpected submit reply type {other:?}"))),
+        }
+    }
+
+    /// Submits `spec` and follows its event stream to completion,
+    /// handing every event frame (including the terminal one) to
+    /// `on_event`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] when the job fails, the hub shuts down
+    /// mid-job, or the connection breaks.
+    pub fn run(
+        &mut self,
+        spec: &JobSpec,
+        on_event: &mut dyn FnMut(&JsonValue),
+    ) -> Result<ExploreReport, Diagnostic> {
+        let id = self.submit(spec)?;
+        loop {
+            let frame = self.next_frame()?;
+            match frame.get("type").and_then(JsonValue::as_str) {
+                Some("event") if frame.get("job").and_then(JsonValue::as_u64) == Some(id) => {
+                    on_event(&frame);
+                    match frame.get("state").and_then(JsonValue::as_str) {
+                        Some("done") => {
+                            let report = frame
+                                .get("report")
+                                .ok_or_else(|| connect_err("done event without a report"))?;
+                            return wire::report_from_json(report);
+                        }
+                        Some("failed") => {
+                            let reason = frame
+                                .get("reason")
+                                .and_then(JsonValue::as_str)
+                                .unwrap_or("unknown");
+                            return Err(Diagnostic::error(format!("job {id} failed: {reason}")));
+                        }
+                        _ => {}
+                    }
+                }
+                Some("shutting_down") => {
+                    return Err(connect_err("the hub shut down before the job finished"))
+                }
+                _ => {} // another job's event, or an unrelated reply
+            }
+        }
+    }
+
+    /// Asks for the hub's queue/cache counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`HubClient::next_frame`].
+    pub fn status(&mut self) -> Result<JsonValue, Diagnostic> {
+        self.request(&Request::Status)
+    }
+
+    /// Requests a graceful shutdown and waits for the goodbye frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] if the connection breaks before the
+    /// hub acknowledges.
+    pub fn shutdown(mut self) -> Result<(), Diagnostic> {
+        self.send(&Request::Shutdown)?;
+        loop {
+            match self.reader.next_frame()? {
+                Frame::Value(frame)
+                    if frame.get("type").and_then(JsonValue::as_str) == Some("shutting_down") =>
+                {
+                    return Ok(());
+                }
+                Frame::Value(_) | Frame::Idle => continue,
+                Frame::Eof => return Ok(()),
+            }
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! The hub daemon: a bounded job queue over one shared
+//! [`Explorer`].
+//!
+//! ## Shape
+//!
+//! One listener thread accepts connections; each connection gets a
+//! serving thread that parses requests and *owns all writes* to its
+//! socket (replies and events never interleave mid-frame). Submitted
+//! jobs land in a bounded FIFO; a pool of executor threads drains it,
+//! running each job through
+//! [`Explorer::explore_streaming`](axi4mlir_core::explore::Explorer::explore_streaming)
+//! on the shared engine. Sharing the engine is the whole point: every
+//! job reads and feeds the same result cache, and the engine's
+//! in-flight registry guarantees a candidate wanted by two concurrent
+//! jobs is simulated exactly once.
+//!
+//! Progress events travel from executor to connection over a per-job
+//! channel; the connection thread forwards them between reads (its
+//! socket reads time out every 50 ms, so events are never stalled
+//! behind an idle client).
+//!
+//! ## Durability
+//!
+//! With a `--cache` path, the hub loads the persisted cache at startup
+//! and checkpoints after every completed rung and at shutdown — each
+//! checkpoint is the PR-4 load/merge/atomic-rename path, so a `kill
+//! -TERM` at any instant leaves a loadable file. SIGTERM/ctrl-c (via
+//! [`HubConfig::stop`]) and the `shutdown` request trigger the same
+//! graceful sequence: executors cancel their sweeps at the next rung
+//! boundary, queued jobs fail with a `shutting down` reason, clients
+//! see a final `shutting_down` frame, and the cache is flushed once
+//! more.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use axi4mlir_core::explore::{wire, ExploreReport, Explorer, JobSpec, ProgressEvent};
+use axi4mlir_support::diag::Diagnostic;
+use axi4mlir_support::json::JsonValue;
+use axi4mlir_support::proto::{write_frame, Frame, FrameReader};
+
+use crate::protocol::{self, Request};
+
+/// How the daemon is set up.
+#[derive(Clone, Debug)]
+pub struct HubConfig {
+    /// The address to listen on; port 0 picks a free port (the bound
+    /// address is on [`Hub::local_addr`]).
+    pub bind: String,
+    /// Executor threads draining the job queue (how many jobs run
+    /// concurrently). Zero is legal and means jobs queue forever — the
+    /// integration tests use it to exercise backpressure.
+    pub workers: usize,
+    /// Measurement threads *per job* (the `workers` argument of each
+    /// job's `explore_streaming` call).
+    pub sim_workers: usize,
+    /// Queue slots; a `submit` beyond this is rejected.
+    pub queue_capacity: usize,
+    /// Cache file to load at startup and checkpoint into; `None` keeps
+    /// the cache purely in-memory.
+    pub cache_path: Option<PathBuf>,
+    /// An external stop flag (the binary's signal handler sets it);
+    /// polled alongside the internal one.
+    pub stop: Option<&'static AtomicBool>,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        Self {
+            bind: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            sim_workers: std::thread::available_parallelism().map_or(1, |n| n.get().min(4)),
+            queue_capacity: 16,
+            cache_path: None,
+            stop: None,
+        }
+    }
+}
+
+/// What [`Hub::run`] hands back after a graceful shutdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HubSummary {
+    /// Jobs that finished with a report.
+    pub completed: usize,
+    /// Jobs that failed (including those cancelled by the shutdown).
+    pub failed: usize,
+    /// Result-cache entries held at shutdown (and flushed to the cache
+    /// file, when one is configured).
+    pub cache_entries: usize,
+}
+
+/// One queued job: its id, spec, and the channel its events flow back
+/// on (the receiving half lives with the submitting connection).
+struct Job {
+    id: u64,
+    spec: JobSpec,
+    events: Sender<JsonValue>,
+}
+
+#[derive(Default)]
+struct Stats {
+    queued: usize,
+    running: usize,
+    completed: usize,
+    failed: usize,
+}
+
+/// State shared by the listener, connection threads, and executors.
+struct Shared {
+    explorer: Explorer,
+    config: HubConfig,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    stats: Mutex<Stats>,
+    next_job: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+            || self.config.stop.is_some_and(|flag| flag.load(Ordering::SeqCst))
+    }
+
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+
+    fn with_stats<T>(&self, act: impl FnOnce(&mut Stats) -> T) -> T {
+        act(&mut self.stats.lock().expect("hub stats poisoned"))
+    }
+
+    /// Checkpoints the shared cache (load/merge/atomic-rename); a hub
+    /// without a cache path reports its in-memory entry count.
+    fn checkpoint(&self) -> Result<usize, Diagnostic> {
+        match &self.config.cache_path {
+            Some(path) => self.explorer.save_cache(path),
+            None => Ok(self.explorer.cache_len()),
+        }
+    }
+
+    fn hello(&self) -> JsonValue {
+        protocol::tagged(
+            "hello",
+            vec![
+                ("schema".to_owned(), protocol::SCHEMA.into()),
+                ("cache_entries".to_owned(), self.explorer.cache_len().into()),
+                ("queue_capacity".to_owned(), self.config.queue_capacity.into()),
+                ("workers".to_owned(), self.config.workers.into()),
+            ],
+        )
+    }
+
+    fn status(&self) -> JsonValue {
+        let (queued, running, completed, failed) =
+            self.with_stats(|s| (s.queued, s.running, s.completed, s.failed));
+        protocol::tagged(
+            "status",
+            vec![
+                ("queued".to_owned(), queued.into()),
+                ("running".to_owned(), running.into()),
+                ("completed".to_owned(), completed.into()),
+                ("failed".to_owned(), failed.into()),
+                ("cache_entries".to_owned(), self.explorer.cache_len().into()),
+                ("dedup_hits".to_owned(), self.explorer.dedup_hits().into()),
+            ],
+        )
+    }
+
+    /// Validates and enqueues one job. `Err` carries the reply frame to
+    /// send instead of `accepted` (an `error` for a bad spec, a
+    /// `rejected` for a full queue).
+    fn submit(&self, spec: JobSpec, events: Sender<JsonValue>) -> Result<(u64, usize), JsonValue> {
+        if let Err(err) = spec.build() {
+            return Err(protocol::error(&err.message));
+        }
+        let mut queue = self.queue.lock().expect("hub queue poisoned");
+        if queue.len() >= self.config.queue_capacity {
+            return Err(protocol::tagged(
+                "rejected",
+                vec![
+                    ("reason".to_owned(), "queue full".into()),
+                    ("queued".to_owned(), queue.len().into()),
+                    ("queue_capacity".to_owned(), self.config.queue_capacity.into()),
+                ],
+            ));
+        }
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let ahead = queue.len();
+        queue.push_back(Job { id, spec, events });
+        drop(queue);
+        self.with_stats(|s| s.queued += 1);
+        self.available.notify_one();
+        Ok((id, ahead))
+    }
+}
+
+/// A running hub, bound but not yet serving.
+pub struct Hub {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Hub {
+    /// Binds the listener and loads the persisted cache (if any).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] for bind failures and unreadable cache
+    /// files.
+    pub fn bind(config: HubConfig) -> Result<Hub, Diagnostic> {
+        let explorer = match &config.cache_path {
+            Some(path) => Explorer::with_cache_file(path)?,
+            None => Explorer::new(),
+        };
+        let listener = TcpListener::bind(&config.bind)
+            .map_err(|err| Diagnostic::error(format!("cannot bind {}: {err}", config.bind)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|err| Diagnostic::error(format!("cannot resolve bound address: {err}")))?;
+        Ok(Hub {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                explorer,
+                config,
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                stats: Mutex::new(Stats::default()),
+                next_job: AtomicU64::new(1),
+                stop: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves until a stop is requested (SIGTERM via
+    /// [`HubConfig::stop`], or a client `shutdown`), then drains
+    /// gracefully and flushes the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] for listener failures and for a failed
+    /// final cache flush. Per-connection and per-job errors are
+    /// reported to the affected client, never here.
+    pub fn run(self) -> Result<HubSummary, Diagnostic> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|err| Diagnostic::error(format!("cannot poll the listener: {err}")))?;
+        let mut executors = Vec::new();
+        for _ in 0..self.shared.config.workers {
+            let shared = Arc::clone(&self.shared);
+            executors.push(std::thread::spawn(move || executor_loop(&shared)));
+        }
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.stopping() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    connections.push(std::thread::spawn(move || {
+                        // A connection error affects one client only;
+                        // the daemon keeps serving.
+                        let _ = serve_connection(&shared, stream);
+                    }));
+                    connections.retain(|handle| !handle.is_finished());
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(err) => {
+                    self.shared.request_stop();
+                    return Err(Diagnostic::error(format!("listener failed: {err}")));
+                }
+            }
+        }
+
+        // Graceful drain: executors cancel at the next rung boundary...
+        self.shared.request_stop();
+        for executor in executors {
+            let _ = executor.join();
+        }
+        // ...jobs still queued fail explicitly...
+        let leftover: Vec<Job> = {
+            let mut queue = self.shared.queue.lock().expect("hub queue poisoned");
+            queue.drain(..).collect()
+        };
+        for job in leftover {
+            self.shared.with_stats(|s| {
+                s.queued -= 1;
+                s.failed += 1;
+            });
+            let _ = job.events.send(protocol::event(
+                job.id,
+                "failed",
+                vec![("reason".to_owned(), "hub shutting down".into())],
+            ));
+        }
+        // ...connections forward those terminal events, say goodbye,
+        // and hang up.
+        for connection in connections {
+            let _ = connection.join();
+        }
+        let cache_entries = self.shared.checkpoint()?;
+        let (completed, failed) = self.shared.with_stats(|s| (s.completed, s.failed));
+        Ok(HubSummary { completed, failed, cache_entries })
+    }
+}
+
+/// Serves one client connection. All socket writes happen here.
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), Diagnostic> {
+    let fail = |err: std::io::Error| Diagnostic::error(format!("connection setup failed: {err}"));
+    // The accepted socket must block (the listener polls), but with a
+    // short read timeout so queued events and the stop flag are polled
+    // between frames.
+    stream.set_nonblocking(false).map_err(fail)?;
+    stream.set_read_timeout(Some(Duration::from_millis(50))).map_err(fail)?;
+    let mut writer = stream.try_clone().map_err(fail)?;
+    let mut reader = FrameReader::new(BufReader::new(stream));
+    let (events_tx, events_rx): (Sender<JsonValue>, Receiver<JsonValue>) = mpsc::channel();
+    // Jobs this connection submitted that have not reached a terminal
+    // state; the goodbye frame waits for them.
+    let mut active = 0usize;
+    let io = |err: std::io::Error| Diagnostic::error(format!("connection write failed: {err}"));
+    loop {
+        while let Ok(event) = events_rx.try_recv() {
+            let state = event.get("state").and_then(JsonValue::as_str);
+            if matches!(state, Some("done") | Some("failed")) {
+                active -= 1;
+            }
+            write_frame(&mut writer, &event).map_err(io)?;
+        }
+        if shared.stopping() && active == 0 {
+            let _ = write_frame(&mut writer, &protocol::tagged("shutting_down", vec![]));
+            return Ok(());
+        }
+        let frame = reader.next_frame().inspect_err(|err| {
+            // Framing/JSON errors are fatal to the connection; say why
+            // before hanging up (best effort — the peer may be gone).
+            let _ = write_frame(&mut writer, &protocol::error(&err.message));
+        })?;
+        match frame {
+            Frame::Idle => continue,
+            Frame::Eof => return Ok(()),
+            Frame::Value(value) => {
+                let reply = match Request::from_json(&value) {
+                    Err(err) => protocol::error(&err.message),
+                    Ok(Request::Hello) => shared.hello(),
+                    Ok(Request::Status) => shared.status(),
+                    Ok(Request::Shutdown) => {
+                        shared.request_stop();
+                        // The goodbye frame is sent (above) once this
+                        // connection's jobs drain.
+                        continue;
+                    }
+                    Ok(Request::Submit(spec)) => match shared.submit(*spec, events_tx.clone()) {
+                        Err(reply) => reply,
+                        Ok((id, ahead)) => {
+                            active += 1;
+                            let accepted = protocol::tagged(
+                                "accepted",
+                                vec![
+                                    ("job".to_owned(), id.into()),
+                                    ("queued_ahead".to_owned(), ahead.into()),
+                                ],
+                            );
+                            write_frame(&mut writer, &accepted).map_err(io)?;
+                            protocol::event(id, "queued", vec![])
+                        }
+                    },
+                };
+                write_frame(&mut writer, &reply).map_err(io)?;
+            }
+        }
+    }
+}
+
+/// One executor: drains the queue until the hub stops.
+fn executor_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("hub queue poisoned");
+            loop {
+                if shared.stopping() {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                let (reacquired, _) = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("hub queue poisoned");
+                queue = reacquired;
+            }
+        };
+        shared.with_stats(|s| {
+            s.queued -= 1;
+            s.running += 1;
+        });
+        let _ = job.events.send(protocol::event(job.id, "running", vec![]));
+        let started = Instant::now();
+        let outcome = run_job(shared, &job);
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        match outcome {
+            Ok(report) => {
+                shared.with_stats(|s| {
+                    s.running -= 1;
+                    s.completed += 1;
+                });
+                let _ = job.events.send(protocol::event(
+                    job.id,
+                    "done",
+                    vec![
+                        ("full_sims_performed".to_owned(), report.full_sims_performed.into()),
+                        (
+                            "sims_per_sec".to_owned(),
+                            report.sims_per_sec().map_or(JsonValue::Null, JsonValue::from),
+                        ),
+                        ("elapsed_ms".to_owned(), elapsed_ms.into()),
+                        ("report".to_owned(), wire::report_to_json(&report)),
+                    ],
+                ));
+            }
+            Err(err) => {
+                shared.with_stats(|s| {
+                    s.running -= 1;
+                    s.failed += 1;
+                });
+                let _ = job.events.send(protocol::event(
+                    job.id,
+                    "failed",
+                    vec![("reason".to_owned(), err.message.into())],
+                ));
+            }
+        }
+    }
+}
+
+/// Runs one job on the shared explorer, streaming progress and
+/// checkpointing the cache at every rung boundary.
+fn run_job(shared: &Arc<Shared>, job: &Job) -> Result<ExploreReport, Diagnostic> {
+    let request = job.spec.build()?;
+    let observer = |event: &ProgressEvent| {
+        let _ = job.events.send(protocol::progress_event(job.id, event));
+        if matches!(event, ProgressEvent::RungComplete { .. }) {
+            // A failed checkpoint must not kill the sweep; the final
+            // flush at shutdown will surface persistent trouble.
+            if let Err(err) = shared.checkpoint() {
+                eprintln!("axi4mlir-hub: cache checkpoint failed: {}", err.message);
+            }
+        }
+        !shared.stopping()
+    };
+    shared.explorer.explore_streaming(
+        request.space.as_dyn(),
+        request.prune,
+        &request.search,
+        shared.config.sim_workers,
+        &request.objectives,
+        &observer,
+    )
+}

@@ -1,0 +1,196 @@
+//! Integration tests for the hub daemon: the service property (shared
+//! measurements across clients), queue backpressure, graceful SIGTERM
+//! checkpointing, and the `docs/PROTOCOL.md` transcript.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use axi4mlir_core::explore::{cache, JobSpec};
+use axi4mlir_hub::{Hub, HubClient, HubConfig};
+use axi4mlir_support::json::JsonValue;
+
+/// A halving sweep with a few dozen candidates: big enough to have
+/// proxy rungs and finalists, small enough to finish in well under a
+/// second per unique simulation set.
+fn halving_spec() -> JobSpec {
+    JobSpec {
+        dims: Some((16, 16, 16)),
+        accels: vec!["v4_8".to_owned()],
+        search: "halving".to_owned(),
+        seed: Some(7),
+        ..JobSpec::default()
+    }
+}
+
+fn start_hub(config: HubConfig) -> (String, std::thread::JoinHandle<axi4mlir_hub::HubSummary>) {
+    let hub = Hub::bind(config).expect("bind");
+    let addr = hub.local_addr().to_string();
+    let handle = std::thread::spawn(move || hub.run().expect("hub run"));
+    (addr, handle)
+}
+
+fn states_of(events: &[JsonValue]) -> Vec<String> {
+    events
+        .iter()
+        .filter_map(|e| e.get("state").and_then(JsonValue::as_str))
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn a_second_identical_job_reuses_every_measurement() {
+    let (addr, hub) = start_hub(HubConfig { workers: 1, sim_workers: 2, ..HubConfig::default() });
+    let mut client = HubClient::connect(&addr).expect("connect");
+    assert_eq!(client.info().cache_entries, 0);
+
+    let mut events = Vec::new();
+    let first = client.run(&halving_spec(), &mut |e| events.push(e.clone())).expect("first job");
+    assert!(first.full_sims_performed > 0, "a cold sweep must simulate");
+    let states = states_of(&events);
+    assert_eq!(states.first().map(String::as_str), Some("queued"));
+    assert_eq!(states.get(1).map(String::as_str), Some("running"));
+    assert_eq!(states.get(2).map(String::as_str), Some("space-ready"));
+    assert!(states.iter().filter(|s| *s == "rung-complete").count() >= 2);
+    assert_eq!(states.last().map(String::as_str), Some("done"));
+    let done = events.last().unwrap();
+    assert!(done.get("full_sims_performed").and_then(JsonValue::as_u64).is_some());
+    assert!(done.get("sims_per_sec").is_some(), "done events carry the throughput metric");
+
+    // The identical job again, over a fresh connection: the shared
+    // cache serves everything, so zero new full-fidelity simulations.
+    let mut second_client = HubClient::connect(&addr).expect("reconnect");
+    assert!(second_client.info().cache_entries > 0, "the hub remembered the first sweep");
+    let second = second_client.run(&halving_spec(), &mut |_| ()).expect("second job");
+    assert_eq!(second.full_sims_performed, 0, "everything came from the shared cache");
+    assert_eq!(second.sims_performed, 0);
+    // Both sweeps measured the same space and agree on the optimum.
+    assert_eq!(second.optimum().unwrap().candidate.key, first.optimum().unwrap().candidate.key);
+
+    client.shutdown().expect("shutdown");
+    let summary = hub.join().unwrap();
+    assert_eq!(summary.completed, 2);
+    assert_eq!(summary.failed, 0);
+}
+
+#[test]
+fn concurrent_identical_jobs_simulate_each_candidate_once() {
+    // Baseline: what one isolated sweep costs.
+    let (addr, hub) = start_hub(HubConfig { workers: 1, sim_workers: 1, ..HubConfig::default() });
+    let mut client = HubClient::connect(&addr).expect("connect");
+    let isolated = client.run(&halving_spec(), &mut |_| ()).expect("baseline job");
+    client.shutdown().expect("shutdown");
+    hub.join().unwrap();
+    assert!(isolated.full_sims_performed > 0);
+
+    // Two clients race the same sweep on a fresh hub with two
+    // executors: the in-flight registry must keep the *total* spend at
+    // exactly one isolated run — strictly fewer than two CLI processes
+    // (2 × isolated) would pay.
+    let (addr, hub) = start_hub(HubConfig { workers: 2, sim_workers: 2, ..HubConfig::default() });
+    let totals: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = HubClient::connect(&addr).expect("connect");
+                    let report = client.run(&halving_spec(), &mut |_| ()).expect("racing job");
+                    report.full_sims_performed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let combined: usize = totals.iter().sum();
+    assert_eq!(
+        combined, isolated.full_sims_performed,
+        "concurrent sweeps {totals:?} must share, not duplicate, the isolated cost"
+    );
+
+    let mut client = HubClient::connect(&addr).expect("connect");
+    let status = client.status().expect("status");
+    assert_eq!(status.get("completed").and_then(JsonValue::as_u64), Some(2));
+    client.shutdown().expect("shutdown");
+    hub.join().unwrap();
+}
+
+#[test]
+fn a_full_queue_rejects_with_backpressure() {
+    // No executors: submitted jobs stay queued forever, so the queue
+    // state is deterministic.
+    let (addr, hub) =
+        start_hub(HubConfig { workers: 0, queue_capacity: 1, ..HubConfig::default() });
+    let mut client = HubClient::connect(&addr).expect("connect");
+    client.submit(&halving_spec()).expect("the first job fits the queue");
+    let err = client.submit(&halving_spec()).expect_err("the second must be rejected");
+    assert!(err.message.contains("queue full"), "{}", err.message);
+
+    // A malformed job is an error, not a rejection — and not queued.
+    let bad = JobSpec { workload: "gemv".to_owned(), ..JobSpec::default() };
+    let err = client.submit(&bad).expect_err("bad specs fail at submit");
+    assert!(err.message.contains("workload"), "{}", err.message);
+
+    // Shutdown fails the still-queued job explicitly.
+    client.shutdown().expect("shutdown");
+    let summary = hub.join().unwrap();
+    assert_eq!(summary.completed, 0);
+    assert_eq!(summary.failed, 1);
+}
+
+#[test]
+fn sigterm_mid_sweep_leaves_a_loadable_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("axi4mlir-hub-term-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_path = dir.join("cache.json");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_axi4mlir-hub"))
+        .args(["--bind", "127.0.0.1:0", "--workers", "1", "--sim-workers", "1"])
+        .arg("--cache")
+        .arg(&cache_path)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn the daemon");
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines.next().unwrap().unwrap();
+    let addr = banner.strip_prefix("axi4mlir-hub listening on ").expect("banner").to_owned();
+
+    // A sweep with several proxy rungs, so SIGTERM lands mid-run.
+    let spec = JobSpec {
+        dims: Some((32, 32, 32)),
+        accels: vec!["v4_8".to_owned()],
+        search: "halving".to_owned(),
+        seed: Some(7),
+        ..JobSpec::default()
+    };
+    let mut client = HubClient::connect(&addr).expect("connect");
+    let rungs = AtomicUsize::new(0);
+    let outcome = client.run(&spec, &mut |event| {
+        if event.get("state").and_then(JsonValue::as_str) == Some("rung-complete")
+            && rungs.fetch_add(1, Ordering::Relaxed) == 0
+        {
+            // First rung is checkpointed; now interrupt the daemon.
+            let status = Command::new("kill")
+                .args(["-TERM", &child.id().to_string()])
+                .status()
+                .expect("send SIGTERM");
+            assert!(status.success());
+        }
+    });
+    // The job is either cancelled at the next rung boundary (the
+    // expected path) or — if it was already on its last rung — done.
+    if let Err(err) = &outcome {
+        assert!(
+            err.message.contains("cancel") || err.message.contains("shut"),
+            "unexpected failure: {}",
+            err.message
+        );
+    }
+    assert!(rungs.load(Ordering::Relaxed) >= 1, "SIGTERM must have landed after a rung");
+
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "graceful SIGTERM shutdown exits 0, got {status:?}");
+    let entries = cache::load(&cache_path).expect("the checkpoint must parse");
+    assert!(!entries.is_empty(), "the checkpoint holds the rungs measured before SIGTERM");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -6,11 +6,11 @@
 //! interpreter avoids per-executed-op allocation entirely:
 //!
 //! - **Interned opcodes** — before execution, every op in the [`IrCtx`] is
-//!   resolved once into a dense [`OpCode`] side-table indexed by `OpId`.
+//!   resolved once into a dense `OpCode` side-table indexed by `OpId`.
 //!   Dispatch is a jump on the enum instead of a string match, and
 //!   attribute lookups (constant values, subview sizes, callee symbols,
 //!   accel flush/dim modes) are paid once per module, not once per
-//!   executed op. Ops that fail resolution map to [`OpCode::Fallback`],
+//!   executed op. Ops that fail resolution map to `OpCode::Fallback`,
 //!   which replays the original string-dispatch path so malformed IR
 //!   produces the exact historical diagnostics, lazily.
 //! - **Dense value frames** — SSA values live in a `Vec<Option<RtValue>>`

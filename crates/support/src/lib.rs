@@ -12,6 +12,8 @@
 //!   to print paper-style rows.
 //! - [`json`]: a small order-preserving JSON reader used for the Fig. 5
 //!   configuration files (the build environment vendors no serde).
+//! - [`proto`]: newline-delimited JSON framing shared by the hub daemon
+//!   and its clients.
 //!
 //! # Examples
 //!
@@ -29,6 +31,7 @@ pub mod diag;
 pub mod entity;
 pub mod fmtutil;
 pub mod json;
+pub mod proto;
 
 pub use diag::{Diagnostic, DiagnosticEngine, Severity};
 pub use entity::{EntityId, PrimaryMap};

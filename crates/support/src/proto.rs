@@ -1,0 +1,192 @@
+//! Newline-delimited JSON framing for wire protocols.
+//!
+//! The hub daemon (and, per the ROADMAP, future remote measurement
+//! workers) speak a line protocol: every message is one [`JsonValue`]
+//! serialized *compactly* (no embedded newlines — the JSON writer escapes
+//! them inside strings) followed by `\n`. This module owns the framing so
+//! both sides agree on it:
+//!
+//! - [`write_frame`] serializes and flushes one message;
+//! - [`FrameReader`] accumulates bytes from any [`BufRead`] into frames,
+//!   tolerating *timeouts*: a socket with a read timeout surfaces
+//!   [`Frame::Idle`] instead of an error, and a partially received line
+//!   stays buffered until the rest arrives. That is what lets a server
+//!   poll a shutdown flag between reads without dropping bytes.
+//!
+//! Blank lines are ignored (a `nc` user pressing return twice should not
+//! kill the connection), and EOF with a non-empty trailing line still
+//! parses it — be liberal in what you accept.
+
+use std::io::{self, BufRead, Write};
+
+use crate::diag::Diagnostic;
+use crate::json::JsonValue;
+
+/// Serializes `value` compactly onto `writer`, appends `\n`, and flushes.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error (a closed peer surfaces here as
+/// `BrokenPipe`).
+pub fn write_frame<W: Write>(writer: &mut W, value: &JsonValue) -> io::Result<()> {
+    let mut line = value.to_json_string();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+/// One read attempt's outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// A complete message arrived.
+    Value(JsonValue),
+    /// The peer closed the connection (any buffered partial line was
+    /// empty or already returned).
+    Eof,
+    /// The read timed out before a full line arrived; received bytes stay
+    /// buffered. Only surfaces on streams with a read timeout.
+    Idle,
+}
+
+/// Accumulates newline-delimited JSON frames from a [`BufRead`] stream.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    partial: String,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// Wraps a buffered stream.
+    pub fn new(inner: R) -> Self {
+        Self { inner, partial: String::new() }
+    }
+
+    /// Reads until one frame, EOF, or a timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] for malformed JSON lines and for I/O
+    /// errors other than timeouts.
+    pub fn next_frame(&mut self) -> Result<Frame, Diagnostic> {
+        loop {
+            match self.inner.read_line(&mut self.partial) {
+                Ok(0) => {
+                    // EOF: parse a non-empty trailing line, else done.
+                    let line = std::mem::take(&mut self.partial);
+                    let line = line.trim();
+                    if line.is_empty() {
+                        return Ok(Frame::Eof);
+                    }
+                    return JsonValue::parse(line).map(Frame::Value);
+                }
+                Ok(_) => {
+                    if !self.partial.ends_with('\n') {
+                        // A timeout can interrupt `read_line` after a
+                        // partial read; keep accumulating.
+                        continue;
+                    }
+                    let line = std::mem::take(&mut self.partial);
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue; // blank keep-alive line
+                    }
+                    return JsonValue::parse(line).map(Frame::Value);
+                }
+                Err(err)
+                    if matches!(
+                        err.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(Frame::Idle);
+                }
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(err) => {
+                    return Err(Diagnostic::error(format!("connection read failed: {err}")))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let a = JsonValue::object([("type".to_owned(), "hello".into())]);
+        let b = JsonValue::object([
+            ("type".to_owned(), "submit".into()),
+            ("note".to_owned(), "line\nbreak".into()),
+        ]);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &a).unwrap();
+        write_frame(&mut wire, &b).unwrap();
+        // Embedded newlines are escaped, so the stream is exactly 2 lines.
+        assert_eq!(wire.iter().filter(|&&c| c == b'\n').count(), 2);
+        let mut reader = FrameReader::new(BufReader::new(wire.as_slice()));
+        assert_eq!(reader.next_frame().unwrap(), Frame::Value(a));
+        assert_eq!(reader.next_frame().unwrap(), Frame::Value(b));
+        assert_eq!(reader.next_frame().unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_trailing_lines_parse() {
+        let wire = b"\n  \n{\"n\": 1}\n{\"n\": 2}";
+        let mut reader = FrameReader::new(BufReader::new(wire.as_slice()));
+        assert_eq!(
+            reader.next_frame().unwrap(),
+            Frame::Value(JsonValue::object([("n".to_owned(), 1u64.into())]))
+        );
+        // The last frame has no trailing newline (EOF mid-line).
+        assert_eq!(
+            reader.next_frame().unwrap(),
+            Frame::Value(JsonValue::object([("n".to_owned(), 2u64.into())]))
+        );
+        assert_eq!(reader.next_frame().unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn malformed_lines_are_diagnostics() {
+        let mut reader = FrameReader::new(BufReader::new(b"not json\n".as_slice()));
+        assert!(reader.next_frame().is_err());
+    }
+
+    /// A reader that yields a timeout between two halves of one line.
+    struct ChunkedTimeout {
+        chunks: Vec<Option<&'static [u8]>>, // None = timeout
+        at: usize,
+    }
+
+    impl io::Read for ChunkedTimeout {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.chunks.get(self.at) {
+                None => Ok(0),
+                Some(None) => {
+                    self.at += 1;
+                    Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout"))
+                }
+                Some(Some(bytes)) => {
+                    self.at += 1;
+                    buf[..bytes.len()].copy_from_slice(bytes);
+                    Ok(bytes.len())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_lines_survive_timeouts() {
+        let inner =
+            ChunkedTimeout { chunks: vec![Some(b"{\"ha"), None, Some(b"lf\": true}\n")], at: 0 };
+        let mut reader = FrameReader::new(BufReader::new(inner));
+        assert_eq!(reader.next_frame().unwrap(), Frame::Idle);
+        assert_eq!(
+            reader.next_frame().unwrap(),
+            Frame::Value(JsonValue::object([("half".to_owned(), true.into())]))
+        );
+        assert_eq!(reader.next_frame().unwrap(), Frame::Eof);
+    }
+}

@@ -2,9 +2,13 @@
 # Runs the full figure suite plus the design-space explorer and collects
 # every BENCH_*.json report into one directory (BENCH_all.json included).
 #
-# Usage: scripts/bench.sh [--quick] [OUT_DIR]
+# Usage: [HUB=1] scripts/bench.sh [--quick] [OUT_DIR]
 #   --quick   reduced sweep sizes (seconds instead of minutes)
 #   OUT_DIR   where the reports land (default: bench-out)
+#   HUB=1     additionally drive the explorer sweep through a freshly
+#             started axi4mlir-hub daemon (sharing the same cache file,
+#             so it costs no extra simulations) and verify the hub-path
+#             BENCH_explore.json is schema-identical to the local one
 #
 # Profiling the sim
 # -----------------
@@ -58,6 +62,51 @@ if [ "${#QUICK[@]}" -gt 0 ]; then
     cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --smoke --objectives clock,traffic --cache "$CACHE" --warm-start --json "$OUT_DIR"
 else
     cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --objectives clock,traffic --cache "$CACHE" --warm-start --json "$OUT_DIR"
+fi
+
+if [ "${HUB:-0}" = "1" ]; then
+    echo "== design-space explorer (through axi4mlir-hub) =="
+    cargo build --release -p axi4mlir-hub
+    HUB_LOG=$(mktemp)
+    HUB_OUT=$(mktemp -d)
+    # The daemon owns the same cache file the local sweep just saved, so
+    # the hub-path sweep is pure cache hits.
+    cargo run --release -q -p axi4mlir-hub -- --bind 127.0.0.1:0 --cache "$CACHE" >"$HUB_LOG" &
+    HUB_PID=$!
+    trap 'kill -TERM "$HUB_PID" 2>/dev/null || true' EXIT
+    ADDR=""
+    for _ in $(seq 100); do
+        ADDR=$(sed -n 's/^axi4mlir-hub listening on //p' "$HUB_LOG")
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || { echo "bench.sh: axi4mlir-hub did not start" >&2; exit 1; }
+    cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- \
+        ${QUICK[@]+--smoke} --objectives clock,traffic --hub "$ADDR" --json "$HUB_OUT"
+    kill -TERM "$HUB_PID"
+    wait "$HUB_PID"
+    trap - EXIT
+    # Schema identity: same report schema/name, same entry ids, same
+    # metric members per entry, same pareto objectives. Context *values*
+    # legitimately differ (e.g. sims_per_sec is absent on a pure
+    # cache-hit sweep), so they are not compared.
+    python3 - "$OUT_DIR/BENCH_explore.json" "$HUB_OUT/BENCH_explore.json" <<'PYEOF'
+import json, sys
+def shape(path):
+    with open(path) as f:
+        r = json.load(f)
+    return {
+        "schema": r["schema"],
+        "name": r["name"],
+        "entries": [(e["id"], sorted(e["metrics"])) for e in r["entries"]],
+        "pareto_objectives": r.get("pareto", {}).get("objectives"),
+    }
+local_shape, hub_shape = shape(sys.argv[1]), shape(sys.argv[2])
+if local_shape != hub_shape:
+    sys.exit(f"hub-path report diverges from the local path:\n"
+             f"  local: {local_shape}\n  hub:   {hub_shape}")
+print("hub-path BENCH_explore.json is schema-identical to the local path")
+PYEOF
 fi
 
 echo "== collecting =="

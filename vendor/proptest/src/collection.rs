@@ -38,7 +38,7 @@ impl From<usize> for SizeRange {
     }
 }
 
-/// Strategy for `Vec<S::Value>` (see [`vec`]).
+/// Strategy for `Vec<S::Value>` (see [`vec()`]).
 #[derive(Clone)]
 pub struct VecStrategy<S> {
     element: S,
