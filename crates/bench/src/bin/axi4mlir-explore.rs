@@ -6,7 +6,8 @@
 //! Usage:
 //! `cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- \
 //!     [--smoke] [--workload matmul|conv|batched] [--accel v1..v4[:SIZE],...] \
-//!     [--search exhaustive|halving] [--cache PATH] [--warm-start [PATH]] \
+//!     [--search exhaustive|halving] [--cache PATH | --cache-dir DIR] \
+//!     [--warm-start [PATH]] \
 //!     [--hub ADDR] [--objectives clock,traffic,transactions,occupancy] \
 //!     [--dims MxNxK] [--batch N] [--layer iHW_iC_fHW_oC_stride] \
 //!     [--base B] [--capacity WORDS] [--sweep-options] \
@@ -18,7 +19,11 @@
 //! the search strategy, the parallel session pool, the result cache, and
 //! the JSON reporter. With `--cache`, results persist to a
 //! `BENCH_cache.json` (loaded before the sweep, merged and saved after),
-//! so a repeated invocation reports 0 new simulations.
+//! so a repeated invocation reports 0 new simulations. `--cache-dir`
+//! persists the same results sharded by workload signature instead
+//! (`DIR/<shard>.json`, order-invariant merge, dirty-shard-only saves);
+//! a legacy `BENCH_cache.json` dropped into the directory migrates
+//! losslessly on the next save.
 //!
 //! `--objectives` turns the sweep multi-objective: every evaluation is
 //! scored under each named objective (the first is the primary the prune
@@ -147,6 +152,9 @@ struct Request {
     workers: usize,
     objectives: Vec<Objective>,
     cache: Option<PathBuf>,
+    /// Persist the cache sharded across this directory instead of one
+    /// `--cache` blob.
+    cache_dir: Option<PathBuf>,
     /// Fit the cross-problem transfer model from this cache file before
     /// the sweep.
     warm_start: Option<PathBuf>,
@@ -207,12 +215,13 @@ impl Request {
 /// Every flag the binary understands; anything else starting with `--`
 /// is rejected so a typo (`--objective`) cannot silently fall back to a
 /// default sweep.
-const KNOWN_FLAGS: [&str; 20] = [
+const KNOWN_FLAGS: [&str; 21] = [
     "--smoke",
     "--workload",
     "--accel",
     "--search",
     "--cache",
+    "--cache-dir",
     "--warm-start",
     "--hub",
     "--objectives",
@@ -376,26 +385,33 @@ fn request_from_args(args: &[String]) -> Result<Request, String> {
         None => default_workers,
     };
     let cache = arg_value(args, "--cache").map(PathBuf::from);
+    let cache_dir = arg_value(args, "--cache-dir").map(PathBuf::from);
+    if cache.is_some() && cache_dir.is_some() {
+        return Err("--cache and --cache-dir are mutually exclusive (one blob or one sharded \
+                    directory, not both)"
+            .to_owned());
+    }
     // `--warm-start` takes an optional PATH; without one it reads the
-    // `--cache` file (the common case: one persistent cache doing both
-    // jobs).
+    // `--cache` file or `--cache-dir` directory (the common case: one
+    // persistent cache doing both jobs).
     let warm_start = match args.iter().position(|a| a == "--warm-start") {
         None => None,
         Some(at) => {
             let explicit = args.get(at + 1).filter(|v| !v.starts_with("--")).map(PathBuf::from);
-            match explicit.or_else(|| cache.clone()) {
+            match explicit.or_else(|| cache.clone()).or_else(|| cache_dir.clone()) {
                 Some(path) => Some(path),
                 None => {
-                    return Err("--warm-start needs a cache file (give it a PATH or pass --cache)"
+                    return Err("--warm-start needs a cache (give it a PATH or pass \
+                                --cache/--cache-dir)"
                         .to_owned())
                 }
             }
         }
     };
     let hub = arg_value(args, "--hub");
-    if hub.is_some() && (cache.is_some() || warm_start.is_some()) {
-        return Err("--hub is incompatible with --cache/--warm-start (the hub owns the shared \
-                    cache and warm start; configure them on the daemon)"
+    if hub.is_some() && (cache.is_some() || cache_dir.is_some() || warm_start.is_some()) {
+        return Err("--hub is incompatible with --cache/--cache-dir/--warm-start (the hub owns \
+                    the shared cache and warm start; configure them on the daemon)"
             .to_owned());
     }
     Ok(Request {
@@ -405,6 +421,7 @@ fn request_from_args(args: &[String]) -> Result<Request, String> {
         workers,
         objectives,
         cache,
+        cache_dir,
         warm_start,
         hub,
         sweep_options,
@@ -471,7 +488,19 @@ fn to_report(request: &Request, report: &ExploreReport, front: &[usize]) -> Benc
         .context("sims_performed", report.sims_performed)
         .context("full_sims_performed", report.full_sims_performed)
         .context("warm_start", report.warm_started)
-        .context("warm_informed", report.warm_informed);
+        .context("warm_informed", report.warm_informed)
+        .context("measure_backend", report.measure_backend.clone());
+    // Per-worker simulation counts (worker address -> sims), present
+    // whenever this sweep ran simulations; `bench-compare` keeps gating
+    // on the aggregate `sims_per_sec` regardless of the backend.
+    if !report.worker_sims.is_empty() {
+        out = out.context(
+            "worker_sims",
+            JsonValue::object(
+                report.worker_sims.iter().map(|(worker, sims)| (worker.clone(), (*sims).into())),
+            ),
+        );
+    }
     // Simulator throughput over this sweep's full-fidelity runs — the
     // hot-path regression metric `bench-compare` gates on. Absent when
     // every candidate came out of the cache.
@@ -588,8 +617,27 @@ fn main() -> ExitCode {
         return render(&request, &report, &args, None);
     }
 
-    let mut explorer = match &request.cache {
-        Some(path) => match Explorer::with_cache_file(path) {
+    let mut explorer = match (&request.cache_dir, &request.cache) {
+        (Some(dir), _) => match Explorer::with_cache_dir(dir) {
+            Ok(explorer) => {
+                let shards = explorer.shard_counts();
+                println!(
+                    "loaded {} cached results across {} shards from {}",
+                    explorer.cache_len(),
+                    shards.len(),
+                    dir.display()
+                );
+                for (shard, count) in &shards {
+                    println!("  shard {shard}: {count} entries");
+                }
+                explorer
+            }
+            Err(diag) => {
+                eprintln!("axi4mlir-explore: {diag}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(path)) => match Explorer::with_cache_file(path) {
             Ok(explorer) => {
                 println!("loaded {} cached results from {}", explorer.cache_len(), path.display());
                 explorer
@@ -599,13 +647,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        None => Explorer::new(),
+        (None, None) => Explorer::new(),
     };
     if let Some(path) = &request.warm_start {
-        // The common case points --warm-start at the --cache file the
-        // explorer just loaded: fit from the in-memory entries instead
-        // of parsing the same document twice.
-        let model = if request.cache.as_deref() == Some(path.as_path()) {
+        // The common case points --warm-start at the --cache file (or
+        // --cache-dir) the explorer just loaded: fit from the in-memory
+        // entries instead of parsing the same documents twice.
+        let loaded_here = request.cache.as_deref() == Some(path.as_path())
+            || request.cache_dir.as_deref() == Some(path.as_path());
+        let model = if loaded_here {
             explorer.transfer_model()
         } else {
             match result_cache::load(path) {
@@ -755,7 +805,26 @@ fn render(
         }
     }
 
-    if let (Some(path), Some(explorer)) = (&request.cache, explorer) {
+    if let (Some(dir), Some(explorer)) = (&request.cache_dir, explorer) {
+        match explorer.save_cache_dir(dir) {
+            Ok(stats) => {
+                println!(
+                    "cache: {} results persisted to {} ({} shards written, {} clean)",
+                    stats.entries,
+                    dir.display(),
+                    stats.written.len(),
+                    stats.skipped
+                );
+                for (shard, count) in explorer.shard_counts() {
+                    println!("  shard {shard}: {count} entries");
+                }
+            }
+            Err(diag) => {
+                eprintln!("axi4mlir-explore: saving the cache failed: {diag}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let (Some(path), Some(explorer)) = (&request.cache, explorer) {
         match explorer.save_cache(path) {
             Ok(total) => println!("cache: {total} results persisted to {}", path.display()),
             Err(diag) => {

@@ -155,6 +155,19 @@ const COUNTER_FIELDS: [CounterField; 13] = [
     ("accel_macs", |c| c.accel_macs, |c, v| c.accel_macs = v),
 ];
 
+/// A total order on *persisted* entry payloads (wall-clock pass timings
+/// are never persisted and do not contribute). The sharded layout's
+/// commutative merge uses it to pick a deterministic winner when two
+/// caches disagree about one key — possible only with corrupt or foreign
+/// data, since measurements are deterministic functions of the key.
+pub(crate) fn payload_rank(eval: &CachedEval) -> (u64, bool, [u64; 13]) {
+    let mut counters = [0u64; 13];
+    for (slot, (_, get, _)) in counters.iter_mut().zip(&COUNTER_FIELDS) {
+        *slot = get(&eval.counters);
+    }
+    (eval.task_clock_ms.to_bits(), eval.verified, counters)
+}
+
 /// Serializes the full counter set as a JSON object (one member per
 /// [`PerfCounters`] field).
 pub fn counters_to_json(counters: &PerfCounters) -> JsonValue {

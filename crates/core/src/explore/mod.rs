@@ -34,26 +34,30 @@
 
 pub mod cache;
 pub mod jobspec;
+pub mod measure;
 pub mod pareto;
 pub mod search;
+pub mod shard;
 pub mod space;
 pub mod transfer;
 pub mod wire;
 
-use std::collections::{HashMap, HashSet};
-use std::path::Path;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 use axi4mlir_sim::counters::PerfCounters;
 use axi4mlir_support::diag::Diagnostic;
-
-use crate::driver::Session;
 
 pub use axi4mlir_heuristics::objective::Objective;
 use cache::CachedEval;
 pub use cache::{CACHE_SCHEMA, CACHE_SCHEMA_V1};
 pub use jobspec::{AnySpace, ExploreRequest, JobSpec};
+pub use measure::{
+    Claimed, LocalPool, MeasureBackend, MeasureQueue, MeasureTask, RemotePool, WORKER_SCHEMA,
+};
 pub use search::{HalvingSpec, Search};
 pub use space::{
     apply_options, AccelInstance, BatchedSpace, Candidate, CandidateKey, ConvSpace, DesignSpace,
@@ -186,6 +190,15 @@ pub struct ExploreReport {
     /// specific (exact/coarse tier) observations at round 0; zero for
     /// exhaustive searches.
     pub warm_informed: usize,
+    /// The measurement backend that executed the sweep's simulations
+    /// ([`MeasureBackend::describe`]: `local`, `remote:2`, …). Context
+    /// only — results are bit-identical across backends.
+    pub measure_backend: String,
+    /// Simulations performed per measuring worker, sorted by worker
+    /// label (`local` for the in-process pool, worker addresses for a
+    /// remote pool). Load-balance context; excluded, like timing, from
+    /// determinism comparisons.
+    pub worker_sims: Vec<(String, usize)>,
     /// The measured candidates: every survivor for an exhaustive search,
     /// the finalists for a halving search.
     pub evaluations: Vec<Evaluation>,
@@ -321,25 +334,16 @@ impl InFlight {
         self.released.notify_all();
     }
 
-    /// Blocks until `key` is not claimed (returns immediately if free).
-    fn wait_while_claimed(&self, key: &CandidateKey) {
-        let mut set = self.claimed.lock().expect("in-flight registry poisoned");
-        while set.contains(key) {
-            set = self.released.wait(set).expect("in-flight registry poisoned");
+    /// Parks until *some* claim releases, or `timeout` elapses — the
+    /// backends' backoff while every pending key is held elsewhere.
+    /// Returns immediately when nothing is claimed (there is nothing to
+    /// wait out, and a release notification may already be behind us).
+    fn wait_release_timeout(&self, timeout: Duration) {
+        let set = self.claimed.lock().expect("in-flight registry poisoned");
+        if set.is_empty() {
+            return;
         }
-    }
-}
-
-/// Releases an [`InFlight`] claim on drop, so a claim can never leak
-/// past its simulation (even across an unwinding worker).
-struct Claim<'a> {
-    registry: &'a InFlight,
-    key: &'a CandidateKey,
-}
-
-impl Drop for Claim<'_> {
-    fn drop(&mut self) {
-        self.registry.release(self.key);
+        let _ = self.released.wait_timeout(set, timeout).expect("in-flight registry poisoned");
     }
 }
 
@@ -353,9 +357,28 @@ pub(crate) struct SweepStats {
     sims: AtomicUsize,
     full_sims: AtomicUsize,
     full_sim_nanos: AtomicU64,
+    /// Simulations per measuring worker (`local` for the in-process
+    /// pool, the worker's address for a remote pool) — the report's
+    /// load-balance context.
+    worker_sims: Mutex<HashMap<String, usize>>,
 }
 
 impl SweepStats {
+    /// Accounts one performed simulation to `worker`.
+    pub(crate) fn record_sim(&self, worker: &str, is_full: bool, nanos: u64) {
+        self.sims.fetch_add(1, Ordering::Relaxed);
+        if is_full {
+            self.full_sims.fetch_add(1, Ordering::Relaxed);
+            self.full_sim_nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+        *self
+            .worker_sims
+            .lock()
+            .expect("sweep stats poisoned")
+            .entry(worker.to_owned())
+            .or_insert(0) += 1;
+    }
+
     pub(crate) fn sims(&self) -> usize {
         self.sims.load(Ordering::Relaxed)
     }
@@ -367,6 +390,18 @@ impl SweepStats {
     pub(crate) fn full_sim_nanos(&self) -> u64 {
         self.full_sim_nanos.load(Ordering::Relaxed)
     }
+
+    pub(crate) fn worker_sims(&self) -> Vec<(String, usize)> {
+        let mut sims: Vec<(String, usize)> = self
+            .worker_sims
+            .lock()
+            .expect("sweep stats poisoned")
+            .iter()
+            .map(|(worker, sims)| (worker.clone(), *sims))
+            .collect();
+        sims.sort();
+        sims
+    }
 }
 
 /// A reusable exploration engine with a cross-sweep, persistable result
@@ -377,7 +412,6 @@ impl SweepStats {
 /// instantiation, flow, tile, options point, and seed) are returned from
 /// the cache instead of re-simulated — within a process, and across
 /// processes via [`Explorer::with_cache_file`] / [`Explorer::save_cache`].
-#[derive(Default)]
 pub struct Explorer {
     cache: Mutex<HashMap<CandidateKey, CachedEval>>,
     in_flight: InFlight,
@@ -387,6 +421,36 @@ pub struct Explorer {
     dedup_hits: AtomicUsize,
     /// The cross-problem transfer model a warm-started search ranks by.
     warm: Option<TransferModel>,
+    /// The measurement executor sweeps drain through (local pool by
+    /// default; see [`Explorer::set_measure_backend`]).
+    backend: Box<dyn MeasureBackend>,
+    /// Sharded-persistence bookkeeping for [`Explorer::save_cache_dir`].
+    shards: Mutex<ShardTracker>,
+}
+
+/// Which shards the next [`Explorer::save_cache_dir`] must write: the
+/// shards of every key measured since the last save, plus (once) the
+/// shards migrated out of legacy non-sharded files found at load time.
+#[derive(Default)]
+struct ShardTracker {
+    dirty: BTreeSet<String>,
+    legacy: Vec<PathBuf>,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Self {
+            cache: Mutex::default(),
+            in_flight: InFlight::default(),
+            evals_performed: AtomicUsize::new(0),
+            full_evals_performed: AtomicUsize::new(0),
+            full_sim_nanos: AtomicU64::new(0),
+            dedup_hits: AtomicUsize::new(0),
+            warm: None,
+            backend: Box::new(LocalPool),
+            shards: Mutex::default(),
+        }
+    }
 }
 
 impl Explorer {
@@ -404,6 +468,38 @@ impl Explorer {
     /// cache files.
     pub fn with_cache_file(path: &Path) -> Result<Self, Diagnostic> {
         Ok(Self { cache: Mutex::new(cache::load(path)?), ..Self::default() })
+    }
+
+    /// An engine warmed from a sharded cache directory (see [`shard`]):
+    /// every `<shard>.json` in `dir` is loaded and merged, and legacy
+    /// non-sharded blobs (e.g. a `BENCH_cache.json` copied in) are
+    /// migrated into the sharded layout on the next
+    /// [`Explorer::save_cache_dir`]. A missing directory yields an empty
+    /// cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] for unreadable files or directories.
+    pub fn with_cache_dir(dir: &Path) -> Result<Self, Diagnostic> {
+        let snapshot = shard::load_dir(dir)?;
+        Ok(Self {
+            cache: Mutex::new(snapshot.entries),
+            shards: Mutex::new(ShardTracker { dirty: snapshot.dirty, legacy: snapshot.legacy }),
+            ..Self::default()
+        })
+    }
+
+    /// Installs the measurement backend subsequent sweeps drain through
+    /// (a [`LocalPool`] by default; a [`RemotePool`] fans out to
+    /// `axi4mlir-worker` daemons).
+    pub fn set_measure_backend(&mut self, backend: Box<dyn MeasureBackend>) {
+        self.backend = backend;
+    }
+
+    /// The installed backend's label (`local`, `remote:2`, …) — what
+    /// reports carry as [`ExploreReport::measure_backend`].
+    pub fn measure_backend_label(&self) -> String {
+        self.backend.describe()
     }
 
     /// Installs a cross-problem [`TransferModel`]: subsequent
@@ -444,6 +540,53 @@ impl Explorer {
     /// Propagates filesystem errors as [`Diagnostic`]s.
     pub fn save_cache(&self, path: &Path) -> Result<usize, Diagnostic> {
         cache::save(path, &self.cache.lock().expect("explorer cache poisoned"))
+    }
+
+    /// Checkpoints this engine's results into the sharded cache layout
+    /// under `dir`, writing **only dirty shards** — shards holding keys
+    /// measured since the last save (plus shards a legacy blob migrated
+    /// into). Each written shard is merged over its on-disk content with
+    /// the commutative [`shard::merge`], so concurrent savers combine
+    /// instead of clobbering; legacy blobs are deleted once their
+    /// entries are safely re-homed. Clean shards are not touched at all.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors as [`Diagnostic`]s; the dirty set is
+    /// preserved on failure so the next checkpoint retries.
+    pub fn save_cache_dir(&self, dir: &Path) -> Result<shard::SaveStats, Diagnostic> {
+        let (dirty, legacy) = {
+            let mut tracker = self.shards.lock().expect("shard tracker poisoned");
+            (std::mem::take(&mut tracker.dirty), std::mem::take(&mut tracker.legacy))
+        };
+        let snapshot = self.cache.lock().expect("explorer cache poisoned").clone();
+        match shard::save_dir(dir, &snapshot, &dirty) {
+            Ok(stats) => {
+                for path in &legacy {
+                    std::fs::remove_file(path).ok();
+                }
+                Ok(stats)
+            }
+            Err(err) => {
+                let mut tracker = self.shards.lock().expect("shard tracker poisoned");
+                tracker.dirty.extend(dirty);
+                tracker.legacy.extend(legacy);
+                Err(err)
+            }
+        }
+    }
+
+    /// Entry counts per shard of the current in-memory cache, sorted by
+    /// shard name (the `--cache-dir` verbose listing).
+    pub fn shard_counts(&self) -> Vec<(String, usize)> {
+        shard::shard_counts(&self.cache.lock().expect("explorer cache poisoned"))
+            .into_iter()
+            .collect()
+    }
+
+    /// Marks `key`'s shard as needing the next [`Self::save_cache_dir`].
+    fn mark_dirty(&self, key: &CandidateKey) {
+        self.shards.lock().expect("shard tracker poisoned").dirty.insert(shard::shard_of(key));
     }
 
     /// How many simulator runs this engine has actually performed (cache
@@ -616,6 +759,8 @@ impl Explorer {
             full_sim_nanos: stats.full_sim_nanos(),
             warm_started: self.warm.is_some(),
             warm_informed,
+            measure_backend: self.backend.describe(),
+            worker_sims: stats.worker_sims(),
             evaluations,
             objectives,
             heuristic,
@@ -669,79 +814,33 @@ impl Explorer {
             }
         }
 
-        // Measure the pending candidates: a shared work index, one
-        // recycled-SoC session per worker. A key already being simulated
-        // by a *concurrent* sweep on this engine (another hub job) is not
-        // simulated twice: the worker waits on the in-flight registry and
-        // serves the shared cache's copy once the first simulation lands.
-        let workers = workers.clamp(1, pending.len().max(1));
-        let next = AtomicUsize::new(0);
-        // One worker result: candidate index, outcome, cache-served flag.
-        type Done = (usize, Result<CachedEval, Diagnostic>, bool);
-        let done: Mutex<Vec<Done>> = Mutex::new(Vec::with_capacity(pending.len()));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut session = Session::for_sweep();
-                    loop {
-                        let slot = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&index) = pending.get(slot) else { break };
-                        let key = &meta[index].0;
-                        let outcome = loop {
-                            // Another sweep may have measured this key
-                            // since the partition (or while we waited on
-                            // its claim below).
-                            let hit = self
-                                .cache
-                                .lock()
-                                .expect("explorer cache poisoned")
-                                .get(key)
-                                .cloned();
-                            if let Some(hit) = hit {
-                                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                                break (Ok(hit), true);
-                            }
-                            if self.in_flight.claim(key) {
-                                let _claim = Claim { registry: &self.in_flight, key };
-                                let started = std::time::Instant::now();
-                                let result =
-                                    evaluate(&mut session, space, &candidates[index], fidelity);
-                                let nanos = started.elapsed().as_nanos() as u64;
-                                if let Ok(eval) = &result {
-                                    // Publish before releasing the claim,
-                                    // so waiters find the entry.
-                                    self.cache
-                                        .lock()
-                                        .expect("explorer cache poisoned")
-                                        .insert(key.clone(), eval.clone());
-                                    self.evals_performed.fetch_add(1, Ordering::Relaxed);
-                                    stats.sims.fetch_add(1, Ordering::Relaxed);
-                                    if is_full[index] {
-                                        self.full_evals_performed.fetch_add(1, Ordering::Relaxed);
-                                        self.full_sim_nanos.fetch_add(nanos, Ordering::Relaxed);
-                                        stats.full_sims.fetch_add(1, Ordering::Relaxed);
-                                        stats.full_sim_nanos.fetch_add(nanos, Ordering::Relaxed);
-                                    }
-                                }
-                                break (result, false);
-                            }
-                            self.in_flight.wait_while_claimed(key);
-                        };
-                        let (result, served) = outcome;
-                        done.lock().expect("result sink poisoned").push((index, result, served));
-                    }
-                });
+        // Measure the pending candidates through the installed backend.
+        // The queue owns everything that keeps reports deterministic —
+        // cross-sweep claim deduplication, publish-before-release, and
+        // per-worker accounting — so a [`LocalPool`] and a [`RemotePool`]
+        // produce identical results at any worker count.
+        let expected = pending.len();
+        if expected > 0 {
+            let workers = workers.clamp(1, expected);
+            let queue = MeasureQueue::new(
+                self, space, candidates, &meta, &is_full, fidelity, stats, workers, pending,
+            );
+            self.backend.drain(&queue)?;
+            let mut results = queue.into_done();
+            if results.len() != expected {
+                return Err(Diagnostic::error(format!(
+                    "measurement backend resolved {} of {expected} candidates",
+                    results.len()
+                )));
             }
-        });
-
-        let mut results = done.into_inner().expect("result sink poisoned");
-        results.sort_by_key(|(index, _, _)| *index);
-        for (index, result, served) in results {
-            // On error, report the earliest failing candidate (the sort
-            // above makes this independent of scheduling).
-            let eval = result?;
-            let work = meta[index].1;
-            slots[index] = Some(eval.to_evaluation(candidates[index].clone(), work, served));
+            results.sort_by_key(|(index, _, _)| *index);
+            for (index, result, served) in results {
+                // On error, report the earliest failing candidate (the
+                // sort above makes this independent of scheduling).
+                let eval = result?;
+                let work = meta[index].1;
+                slots[index] = Some(eval.to_evaluation(candidates[index].clone(), work, served));
+            }
         }
         Ok(slots.into_iter().map(|s| s.expect("every slot filled")).collect())
     }
@@ -759,30 +858,6 @@ impl CachedEval {
             from_cache,
         }
     }
-}
-
-/// Compiles and runs one realized candidate on `session`'s recycled SoC.
-fn evaluate(
-    session: &mut Session,
-    space: &dyn DesignSpace,
-    candidate: &Candidate,
-    fidelity: Fidelity,
-) -> Result<CachedEval, Diagnostic> {
-    let realized = space.realize(candidate, fidelity)?;
-    let report = session.run(realized.workload.as_ref(), &realized.plan)?;
-    if !report.verified {
-        return Err(Diagnostic::error(format!(
-            "candidate {} failed verification on {}",
-            candidate.label(),
-            realized.key.workload
-        )));
-    }
-    Ok(CachedEval {
-        counters: report.counters,
-        task_clock_ms: report.task_clock_ms,
-        verified: report.verified,
-        pass_ms: report.pass_timings.iter().map(|t| (t.pass.clone(), t.millis)).collect(),
-    })
 }
 
 mod compat {

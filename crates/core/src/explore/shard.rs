@@ -1,0 +1,375 @@
+//! The sharded, mergeable cache layout (`BENCH_cache/<shard>.json`).
+//!
+//! A single `BENCH_cache.json` blob stops scaling once many workers and
+//! CI runs append to it: every rung checkpoint rewrites every entry ever
+//! measured, and two writers cannot combine results without replaying
+//! each other's saves. This module splits the cache by *workload/shape
+//! signature* instead: every [`CandidateKey`] belongs to exactly one
+//! shard, named after its `workload` string (`matmul 16x16x16` and its
+//! proxies `matmul 8x8x8`, … land in different shards, which is what
+//! makes rung checkpoints cheap — a rung touches one fidelity's shards
+//! only). Each shard file is an ordinary [`super::cache`] document, so
+//! every robustness property of the single-file format (atomic saves,
+//! corrupt-tolerant loads, v1 migration) applies per shard.
+//!
+//! Entries are content-addressed by their [`CandidateKey`] — a key fully
+//! determines its measurement, so combining caches is a plain union. The
+//! [`merge`] is *commutative and idempotent* over persisted payloads:
+//! `merge(a, b) == merge(b, a)` and `merge(a, a) == a`, with a
+//! deterministic total order breaking the (corruption-only) case of two
+//! caches disagreeing about one key. N workers or N CI runs can
+//! therefore combine shard directories in any order without a
+//! coordinator and converge on the same bytes.
+//!
+//! Legacy single-file caches migrate losslessly: [`load_dir`] accepts
+//! any `*.json` file in the directory, and a file whose entries do not
+//! all belong to the shard its name spells (e.g. a moved-in
+//! `BENCH_cache.json` blob) is treated as a legacy document — its
+//! entries load, their proper shards are marked dirty, and the blob is
+//! deleted once a save has re-sharded every entry.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use axi4mlir_support::diag::Diagnostic;
+
+use super::cache::{self, CachedEval};
+use super::space::CandidateKey;
+
+/// Per-shard entry cap: a save that would exceed it compacts the shard
+/// first, keeping the newest (highest) seed per seed-less configuration.
+pub const SHARD_CAP: usize = 1024;
+
+/// The shard a workload signature belongs to: a filesystem-safe slug of
+/// the workload string plus a 32-bit FNV-1a tag of the *exact* string,
+/// so two workloads that sanitize identically still shard apart.
+pub fn shard_name(workload: &str) -> String {
+    let mut slug = String::new();
+    for ch in workload.chars() {
+        if ch.is_ascii_alphanumeric() || matches!(ch, '.' | '-') {
+            slug.push(ch.to_ascii_lowercase());
+        } else if !slug.ends_with('_') {
+            slug.push('_');
+        }
+    }
+    let slug = slug.trim_matches('_');
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in workload.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let slug = if slug.is_empty() { "shard" } else { slug };
+    format!("{slug}-{:08x}", hash & 0xffff_ffff)
+}
+
+/// The shard `key` belongs to.
+pub fn shard_of(key: &CandidateKey) -> String {
+    shard_name(&key.workload)
+}
+
+/// The file a shard lives in.
+pub fn shard_path(dir: &Path, shard: &str) -> PathBuf {
+    dir.join(format!("{shard}.json"))
+}
+
+/// Combines two caches: a union of entries, with the deterministic
+/// payload order of [`cache`] breaking the (corruption-only) case of two
+/// caches holding different payloads for one key. Commutative and
+/// idempotent over persisted payloads — wall-clock pass timings are
+/// never persisted and are excluded from the payload identity.
+pub fn merge(
+    a: &HashMap<CandidateKey, CachedEval>,
+    b: &HashMap<CandidateKey, CachedEval>,
+) -> HashMap<CandidateKey, CachedEval> {
+    let mut out = a.clone();
+    for (key, theirs) in b {
+        match out.get(key) {
+            Some(ours) if cache::payload_rank(ours) <= cache::payload_rank(theirs) => {}
+            _ => {
+                out.insert(key.clone(), theirs.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Entry counts per shard, in shard order.
+pub fn shard_counts(entries: &HashMap<CandidateKey, CachedEval>) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for key in entries.keys() {
+        *counts.entry(shard_of(key)).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// What [`load_dir`] found in a shard directory.
+#[derive(Debug, Default)]
+pub struct DirSnapshot {
+    /// Every entry, merged across all shard and legacy files.
+    pub entries: HashMap<CandidateKey, CachedEval>,
+    /// Shards that must be written to complete a legacy migration (their
+    /// entries currently live only in a mis-named blob).
+    pub dirty: BTreeSet<String>,
+    /// Legacy (non-shard) files whose entries are covered by
+    /// [`DirSnapshot::dirty`]; delete them after a successful save.
+    pub legacy: Vec<PathBuf>,
+}
+
+/// Loads a shard directory. A missing directory is an empty cache. Every
+/// `*.json` file loads through the tolerant [`cache::load`]; a file
+/// whose entries do not all belong to the shard its name spells is a
+/// *legacy* document (typically a moved-in single-file
+/// `BENCH_cache.json`): its entries merge in, their proper shards are
+/// marked dirty, and the file is scheduled for deletion after the next
+/// save re-shards them — migration loses nothing.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for unreadable directories or files.
+pub fn load_dir(dir: &Path) -> Result<DirSnapshot, Diagnostic> {
+    let mut snapshot = DirSnapshot::default();
+    let reader = match fs::read_dir(dir) {
+        Ok(reader) => reader,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(snapshot),
+        Err(err) => return Err(Diagnostic::error(format!("cannot read {}: {err}", dir.display()))),
+    };
+    let mut files: Vec<PathBuf> = reader
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| path.extension().and_then(|e| e.to_str()) == Some("json"))
+        .filter(|path| {
+            // Skip staging leftovers from interrupted saves.
+            !path.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with('.'))
+        })
+        .collect();
+    files.sort();
+    for path in files {
+        let entries = cache::load(&path)?;
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("").to_owned();
+        let shards: BTreeSet<String> = entries.keys().map(shard_of).collect();
+        let native = shards.iter().all(|s| *s == stem);
+        if !native {
+            snapshot.dirty.extend(shards);
+            snapshot.legacy.push(path);
+        }
+        snapshot.entries = merge(&snapshot.entries, &entries);
+    }
+    Ok(snapshot)
+}
+
+/// What one [`save_dir`] actually touched.
+#[derive(Debug, Default)]
+pub struct SaveStats {
+    /// Shards written this save (the dirty ones), in shard order.
+    pub written: Vec<String>,
+    /// Shards left untouched because nothing in them changed.
+    pub skipped: usize,
+    /// Total in-memory entries at save time.
+    pub entries: usize,
+    /// Entries dropped by per-shard compaction.
+    pub compacted: usize,
+}
+
+/// Compaction: keep, for every seed-less configuration, only the entry
+/// with the newest (highest) seed.
+fn compact(entries: HashMap<CandidateKey, CachedEval>) -> HashMap<CandidateKey, CachedEval> {
+    let mut newest: HashMap<CandidateKey, u64> = HashMap::new();
+    for key in entries.keys() {
+        let base = CandidateKey { seed: 0, ..key.clone() };
+        let best = newest.entry(base).or_insert(key.seed);
+        *best = (*best).max(key.seed);
+    }
+    entries
+        .into_iter()
+        .filter(|(key, _)| newest[&CandidateKey { seed: 0, ..key.clone() }] == key.seed)
+        .collect()
+}
+
+/// Writes the *dirty* shards of `entries` into `dir`, merging each with
+/// whatever its file already holds; clean shards are skipped entirely —
+/// this is what makes rung-boundary checkpoints cheap. A merged shard
+/// exceeding [`SHARD_CAP`] is compacted first (newest seed per
+/// configuration wins), with a stderr note. Each shard write is atomic
+/// (staging file + rename), exactly like [`cache::save`].
+///
+/// # Errors
+///
+/// Propagates filesystem errors as [`Diagnostic`]s.
+pub fn save_dir(
+    dir: &Path,
+    entries: &HashMap<CandidateKey, CachedEval>,
+    dirty: &BTreeSet<String>,
+) -> Result<SaveStats, Diagnostic> {
+    let mut by_shard: BTreeMap<String, HashMap<CandidateKey, CachedEval>> = BTreeMap::new();
+    for (key, eval) in entries {
+        by_shard.entry(shard_of(key)).or_default().insert(key.clone(), eval.clone());
+    }
+    let mut stats = SaveStats { entries: entries.len(), ..SaveStats::default() };
+    if dirty.is_empty() {
+        stats.skipped = by_shard.len();
+        return Ok(stats);
+    }
+    fs::create_dir_all(dir)
+        .map_err(|err| Diagnostic::error(format!("cannot create {}: {err}", dir.display())))?;
+    for (shard, fresh) in &by_shard {
+        if !dirty.contains(shard) {
+            stats.skipped += 1;
+            continue;
+        }
+        let path = shard_path(dir, shard);
+        let mut merged = merge(&cache::load(&path)?, fresh);
+        if merged.len() > SHARD_CAP {
+            let before = merged.len();
+            merged = compact(merged);
+            stats.compacted += before - merged.len();
+            if merged.len() < before {
+                eprintln!(
+                    "cache: compacted shard {shard}: {before} -> {} entries (kept the newest \
+                     seed per configuration)",
+                    merged.len()
+                );
+            }
+        }
+        let staging = cache::staging_path(&path);
+        fs::write(&staging, cache::render(&merged)).map_err(|err| {
+            Diagnostic::error(format!("cannot write {}: {err}", staging.display()))
+        })?;
+        if let Err(err) = fs::rename(&staging, &path) {
+            fs::remove_file(&staging).ok();
+            return Err(Diagnostic::error(format!(
+                "cannot move {} into {}: {err}",
+                staging.display(),
+                path.display()
+            )));
+        }
+        stats.written.push(shard.clone());
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::space::OptionsPoint;
+    use axi4mlir_sim::counters::PerfCounters;
+
+    fn key(workload: &str, seed: u64) -> CandidateKey {
+        CandidateKey {
+            workload: workload.to_owned(),
+            accel: "v4_8".to_owned(),
+            flow: "Cs".to_owned(),
+            tile: (8, 8, 8),
+            options: OptionsPoint::default(),
+            seed,
+        }
+    }
+
+    fn eval(clock: f64) -> CachedEval {
+        CachedEval {
+            counters: PerfCounters { host_cycles: 9, ..PerfCounters::new() },
+            task_clock_ms: clock,
+            verified: true,
+            pass_ms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn shard_names_are_filesystem_safe_and_collision_tagged() {
+        let a = shard_name("matmul 16x16x16");
+        assert!(a.starts_with("matmul_16x16x16-"), "{a}");
+        assert!(a.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.')));
+        // Same slug, different exact string: the FNV tag keeps them apart.
+        assert_ne!(shard_name("matmul 8x8x8"), shard_name("matmul 8X8x8"));
+        // Deterministic.
+        assert_eq!(a, shard_name("matmul 16x16x16"));
+        assert!(shard_name("///").starts_with("shard-"));
+    }
+
+    #[test]
+    fn merge_is_commutative_idempotent_and_a_union() {
+        let mut a = HashMap::new();
+        a.insert(key("matmul 8x8x8", 1), eval(1.0));
+        let mut b = HashMap::new();
+        b.insert(key("matmul 8x8x8", 2), eval(2.0));
+        b.insert(key("matmul 16x16x16", 1), eval(3.0));
+        let ab = merge(&a, &b);
+        assert_eq!(ab.len(), 3);
+        assert_eq!(ab, merge(&b, &a));
+        assert_eq!(merge(&a, &a), a);
+        // Conflicting payloads (corruption-only) resolve deterministically.
+        let mut c = a.clone();
+        c.insert(key("matmul 8x8x8", 1), eval(0.5));
+        assert_eq!(merge(&a, &c), merge(&c, &a));
+    }
+
+    #[test]
+    fn save_writes_only_dirty_shards_and_loads_back() {
+        let dir = std::env::temp_dir().join(format!("axi4mlir-shard-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut entries = HashMap::new();
+        entries.insert(key("matmul 8x8x8", 1), eval(1.0));
+        entries.insert(key("matmul 16x16x16", 1), eval(2.0));
+        let all: BTreeSet<String> = entries.keys().map(shard_of).collect();
+        let stats = save_dir(&dir, &entries, &all).unwrap();
+        assert_eq!(stats.written.len(), 2);
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(load_dir(&dir).unwrap().entries, entries);
+
+        // A second save with one dirty shard touches exactly one file.
+        let dirty: BTreeSet<String> = [shard_name("matmul 8x8x8")].into();
+        entries.insert(key("matmul 8x8x8", 2), eval(1.5));
+        let stats = save_dir(&dir, &entries, &dirty).unwrap();
+        assert_eq!(stats.written, vec![shard_name("matmul 8x8x8")]);
+        assert_eq!(stats.skipped, 1);
+        let back = load_dir(&dir).unwrap();
+        assert_eq!(back.entries, entries);
+        assert!(back.dirty.is_empty(), "shard files are native, nothing to migrate");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_blobs_migrate_losslessly_and_mark_their_shards_dirty() {
+        let dir =
+            std::env::temp_dir().join(format!("axi4mlir-shard-legacy-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut blob = HashMap::new();
+        blob.insert(key("matmul 8x8x8", 1), eval(1.0));
+        blob.insert(key("matmul 16x16x16", 1), eval(2.0));
+        let legacy_path = dir.join("BENCH_cache.json");
+        std::fs::write(&legacy_path, cache::render(&blob)).unwrap();
+
+        let snapshot = load_dir(&dir).unwrap();
+        assert_eq!(snapshot.entries, blob, "migration is lossless");
+        assert_eq!(snapshot.dirty.len(), 2, "both shards need a rewrite");
+        assert_eq!(snapshot.legacy, vec![legacy_path.clone()]);
+
+        // A save re-shards the entries; deleting the blob then loses nothing.
+        save_dir(&dir, &snapshot.entries, &snapshot.dirty).unwrap();
+        std::fs::remove_file(&legacy_path).unwrap();
+        let after = load_dir(&dir).unwrap();
+        assert_eq!(after.entries, blob);
+        assert!(after.legacy.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_shards_compact_to_the_newest_seed() {
+        let dir =
+            std::env::temp_dir().join(format!("axi4mlir-shard-compact-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        // SHARD_CAP+1 seeds of one configuration: compaction keeps the max.
+        let mut entries = HashMap::new();
+        for seed in 1..=(SHARD_CAP as u64 + 1) {
+            entries.insert(key("matmul 8x8x8", seed), eval(seed as f64));
+        }
+        let dirty: BTreeSet<String> = [shard_name("matmul 8x8x8")].into();
+        let stats = save_dir(&dir, &entries, &dirty).unwrap();
+        assert_eq!(stats.compacted, SHARD_CAP);
+        let back = load_dir(&dir).unwrap().entries;
+        assert_eq!(back.len(), 1);
+        assert!(back.contains_key(&key("matmul 8x8x8", SHARD_CAP as u64 + 1)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

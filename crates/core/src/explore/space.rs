@@ -35,6 +35,8 @@ pub use axi4mlir_heuristics::space::{AccelInstance, OptionsPoint};
 use crate::driver::{BatchedMatMulWorkload, CompilePlan, ConvWorkload, MatMulWorkload, Workload};
 use crate::options::PipelineOptions;
 
+use super::jobspec::JobSpec;
+
 /// Applies an [`OptionsPoint`] onto a compile plan: the pipeline knobs
 /// (coalescing, copy specialization, cache-tiling level) plus the named
 /// host whose cache sizes the `Auto` tiling heuristic reads.
@@ -127,6 +129,16 @@ impl Fidelity {
             Fidelity::Proxy { level } => format!("proxy:{level}"),
         }
     }
+
+    /// Parses a [`Fidelity::label`] spelling back (`None` for anything
+    /// else).
+    pub fn parse(label: &str) -> Option<Fidelity> {
+        if label == "full" {
+            return Some(Fidelity::Full);
+        }
+        let level = label.strip_prefix("proxy:")?.parse().ok()?;
+        (level >= 1).then_some(Fidelity::Proxy { level })
+    }
 }
 
 /// A realized candidate: what the measurement engine runs.
@@ -176,6 +188,16 @@ pub trait DesignSpace: Sync {
     /// when it has one — measured alongside the sweep so reports can
     /// state the heuristic-vs-optimum gap.
     fn heuristic(&self) -> Option<Candidate> {
+        None
+    }
+
+    /// The minimal [`JobSpec`] a remote `axi4mlir-worker` rebuilds this
+    /// space from, when the space can travel. Realization depends only
+    /// on the problem shape and the data seed — the accelerator, flow,
+    /// tile, and options ride inside the candidate key — so the spec
+    /// needs neither the accelerator list nor the options axis. `None`
+    /// (the default) confines the space to local measurement.
+    fn wire_spec(&self) -> Option<JobSpec> {
         None
     }
 }
@@ -411,6 +433,10 @@ impl DesignSpace for MatMulSpace {
             estimate: choice.estimate,
         })
     }
+
+    fn wire_spec(&self) -> Option<JobSpec> {
+        Some(JobSpec { dims: Some(self.dims()), seed: Some(self.seed), ..JobSpec::default() })
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -568,6 +594,16 @@ impl DesignSpace for BatchedSpace {
             ),
         })
     }
+
+    fn wire_spec(&self) -> Option<JobSpec> {
+        Some(JobSpec {
+            workload: "batched".to_owned(),
+            dims: Some(self.dims()),
+            batch: Some(self.batch.batch as i64),
+            seed: Some(self.seed),
+            ..JobSpec::default()
+        })
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -701,6 +737,15 @@ impl DesignSpace for ConvSpace {
     fn heuristic(&self) -> Option<Candidate> {
         // The paper's configuration is the default options point.
         self.enumerate().ok()?.into_iter().find(|c| c.key.options == OptionsPoint::default())
+    }
+
+    fn wire_spec(&self) -> Option<JobSpec> {
+        Some(JobSpec {
+            workload: "conv".to_owned(),
+            layer: Some(self.layer.label()),
+            seed: Some(self.seed),
+            ..JobSpec::default()
+        })
     }
 }
 

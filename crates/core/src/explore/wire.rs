@@ -19,7 +19,10 @@ use super::cache::{counters_from_json, counters_to_json, key_from_json, key_to_j
 use super::space::Candidate;
 use super::{Evaluation, ExploreReport, Objective};
 
-fn candidate_to_json(candidate: &Candidate) -> JsonValue {
+/// Serializes a candidate (key plus analytical estimate) in the wire
+/// spelling shared by the hub's report frames and the remote measurement
+/// protocol (see [`super::measure`]).
+pub fn candidate_to_json(candidate: &Candidate) -> JsonValue {
     JsonValue::object([
         ("key".to_owned(), key_to_json(&candidate.key)),
         (
@@ -37,7 +40,12 @@ fn wire_err(what: impl std::fmt::Display) -> Diagnostic {
     Diagnostic::error(format!("malformed wire report: {what}"))
 }
 
-fn candidate_from_json(value: &JsonValue) -> Result<Candidate, Diagnostic> {
+/// Parses a candidate serialized by [`candidate_to_json`].
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for missing or malformed members.
+pub fn candidate_from_json(value: &JsonValue) -> Result<Candidate, Diagnostic> {
     let key = value
         .get("key")
         .and_then(|k| key_from_json(k, false))
@@ -130,6 +138,19 @@ pub fn report_to_json(report: &ExploreReport) -> JsonValue {
         ("full_sim_nanos".to_owned(), report.full_sim_nanos.into()),
         ("warm_started".to_owned(), report.warm_started.into()),
         ("warm_informed".to_owned(), report.warm_informed.into()),
+        ("measure_backend".to_owned(), report.measure_backend.clone().into()),
+        (
+            "worker_sims".to_owned(),
+            JsonValue::Array(
+                report
+                    .worker_sims
+                    .iter()
+                    .map(|(worker, sims)| {
+                        JsonValue::Array(vec![worker.clone().into(), (*sims).into()])
+                    })
+                    .collect(),
+            ),
+        ),
         (
             "objectives".to_owned(),
             JsonValue::Array(
@@ -206,6 +227,26 @@ pub fn report_from_json(value: &JsonValue) -> Result<ExploreReport, Diagnostic> 
             .ok_or_else(|| wire_err("missing full_sim_nanos"))?,
         warm_started: flag("warm_started")?,
         warm_informed: count("warm_informed")?,
+        measure_backend: text("measure_backend")?,
+        worker_sims: {
+            let mut worker_sims = Vec::new();
+            for pair in value
+                .get("worker_sims")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| wire_err("missing worker_sims"))?
+            {
+                let items = pair.as_array().unwrap_or(&[]);
+                let worker = items.first().and_then(JsonValue::as_str);
+                let sims = items.get(1).and_then(JsonValue::as_u64);
+                match (worker, sims) {
+                    (Some(worker), Some(sims)) if items.len() == 2 => {
+                        worker_sims.push((worker.to_owned(), sims as usize));
+                    }
+                    _ => return Err(wire_err("worker_sims must hold [worker, sims] pairs")),
+                }
+            }
+            worker_sims
+        },
         evaluations,
         objectives,
         heuristic: match value.get("heuristic") {
@@ -250,7 +291,8 @@ mod tests {
             Explorer::new().explore(&ExploreSpec::new(MatMulProblem::new(8, 8, 8))).unwrap();
         let wire = report_to_json(&report);
         // Drop one required member at a time; each must fail by name.
-        for member in ["workload", "evaluations", "objectives", "full_sim_nanos"] {
+        for member in ["workload", "evaluations", "objectives", "full_sim_nanos", "measure_backend"]
+        {
             let pruned = JsonValue::object(
                 wire.as_object().unwrap().iter().filter(|(name, _)| name != member).cloned(),
             );

@@ -615,6 +615,69 @@ fn halving_promotes_by_a_configurable_objective() {
 }
 
 #[test]
+fn cache_dir_checkpoints_write_only_dirty_shards() {
+    // The rung-boundary economics of the sharded layout: a checkpoint
+    // touches the shards of the keys measured since the last save and
+    // nothing else — no more whole-blob rewrites.
+    let dir = std::env::temp_dir().join(format!("axi4mlir-dirty-shards-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let explorer = Explorer::new();
+    explorer.explore(&small_spec().workers(2)).expect("matmul sweep");
+    let first = explorer.save_cache_dir(&dir).expect("first checkpoint");
+    assert_eq!(first.written.len(), 1, "one workload, one shard written: {:?}", first.written);
+    assert_eq!(first.entries, explorer.cache_len());
+    let matmul_shard = dir.join(format!("{}.json", first.written[0]));
+    let baseline_mtime = std::fs::metadata(&matmul_shard).unwrap().modified().unwrap();
+
+    // Nothing measured since: the checkpoint must write zero files.
+    let idle = explorer.save_cache_dir(&dir).expect("idle checkpoint");
+    assert!(idle.written.is_empty(), "clean checkpoints write nothing: {:?}", idle.written);
+    assert_eq!(idle.skipped, 1, "the matmul shard was skipped, not rewritten");
+
+    // A conv sweep dirties only the conv shard; the matmul shard file
+    // must not be touched (same mtime, same bytes).
+    explorer
+        .explore_space(&ConvSpace::new(quick_layer()).seed(5), Prune::None, &Search::Exhaustive, 2)
+        .expect("conv sweep");
+    let second = explorer.save_cache_dir(&dir).expect("second checkpoint");
+    assert_eq!(second.written.len(), 1, "only the conv shard is dirty: {:?}", second.written);
+    assert_ne!(second.written[0], first.written[0]);
+    assert_eq!(second.skipped, 1);
+    assert_eq!(
+        std::fs::metadata(&matmul_shard).unwrap().modified().unwrap(),
+        baseline_mtime,
+        "the clean matmul shard file was never rewritten"
+    );
+
+    // The sharded layout reloads into exactly the same cache.
+    let reloaded = Explorer::with_cache_dir(&dir).expect("reload");
+    assert_eq!(reloaded.cache_len(), explorer.cache_len());
+    assert_eq!(reloaded.shard_counts(), explorer.shard_counts());
+    let warm = reloaded.explore(&small_spec().workers(2)).expect("warm sweep");
+    assert_eq!(warm.sims_performed, 0, "everything served from the sharded cache");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reports_carry_the_measure_backend_and_per_worker_sims() {
+    let report = Explorer::new().explore(&small_spec().workers(3)).expect("local sweep");
+    assert_eq!(report.measure_backend, "local");
+    // The local pool aggregates under one stable label, so the report
+    // stays byte-identical across thread counts.
+    let total: usize = report.worker_sims.iter().map(|(_, sims)| sims).sum();
+    assert_eq!(report.worker_sims.len(), 1);
+    assert_eq!(report.worker_sims[0].0, "local");
+    assert_eq!(total, report.sims_performed);
+
+    // A fully cached re-run performed no sims anywhere.
+    let explorer = Explorer::new();
+    explorer.explore(&small_spec()).expect("first");
+    let cached = explorer.explore(&small_spec()).expect("cached");
+    assert!(cached.worker_sims.is_empty());
+}
+
+#[test]
 fn options_axis_candidates_are_cached_separately() {
     // Two option points over the same geometry: the structured key keeps
     // them apart, so the sweep simulates both.

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! axi4mlir-hub [--bind ADDR] [--workers N] [--sim-workers N]
-//!              [--queue N] [--cache PATH]
+//!              [--queue N] [--cache PATH | --cache-dir DIR]
+//!              [--worker ADDR]...
 //! ```
 //!
 //! Binds, prints `axi4mlir-hub listening on ADDR` (port 0 in `--bind`
@@ -36,13 +37,16 @@ const SIGINT: i32 = 2;
 const SIGTERM: i32 = 15;
 
 const USAGE: &str = "usage: axi4mlir-hub [--bind ADDR] [--workers N] [--sim-workers N] \
-                     [--queue N] [--cache PATH]
+                     [--queue N] [--cache PATH | --cache-dir DIR] [--worker ADDR]...
 
   --bind ADDR        listen address (default 127.0.0.1:0 — a free port)
   --workers N        concurrent jobs (executor threads; default 2)
   --sim-workers N    measurement threads per job (default: host parallelism, max 4)
   --queue N          job-queue capacity; submits beyond it are rejected (default 16)
-  --cache PATH       load/checkpoint the shared result cache at PATH";
+  --cache PATH       load/checkpoint the shared result cache at PATH (single file)
+  --cache-dir DIR    load/checkpoint the cache sharded across DIR (dirty shards only)
+  --worker ADDR      fan measurements out to an axi4mlir-worker at ADDR (repeatable;
+                     default: measure in-process)";
 
 fn parse_args(args: &[String]) -> Result<HubConfig, String> {
     let mut config = HubConfig { stop: Some(&STOP), ..HubConfig::default() };
@@ -68,10 +72,15 @@ fn parse_args(args: &[String]) -> Result<HubConfig, String> {
                     value(&mut at, flag)?.parse().map_err(|_| "--queue needs an integer")?;
             }
             "--cache" => config.cache_path = Some(PathBuf::from(value(&mut at, flag)?)),
+            "--cache-dir" => config.cache_dir = Some(PathBuf::from(value(&mut at, flag)?)),
+            "--worker" => config.measure_workers.push(value(&mut at, flag)?),
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
         at += 1;
+    }
+    if config.cache_path.is_some() && config.cache_dir.is_some() {
+        return Err(format!("--cache and --cache-dir are mutually exclusive\n{USAGE}"));
     }
     Ok(config)
 }

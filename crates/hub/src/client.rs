@@ -127,14 +127,29 @@ impl HubClient {
         }
     }
 
-    /// Submits one job; returns its id once the hub accepts it.
+    /// Submits one job at the default priority (0); returns its id once
+    /// the hub accepts it.
     ///
     /// # Errors
     ///
     /// Returns a [`Diagnostic`] for `error` (bad spec) and `rejected`
     /// (queue full) replies.
     pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, Diagnostic> {
-        let reply = self.request(&Request::Submit(Box::new(spec.clone())))?;
+        self.submit_with_priority(spec, 0)
+    }
+
+    /// Submits one job at an explicit priority. The hub always runs the
+    /// highest-priority queued job next, FIFO within a priority.
+    ///
+    /// # Errors
+    ///
+    /// See [`HubClient::submit`].
+    pub fn submit_with_priority(
+        &mut self,
+        spec: &JobSpec,
+        priority: i64,
+    ) -> Result<u64, Diagnostic> {
+        let reply = self.request(&Request::Submit { spec: Box::new(spec.clone()), priority })?;
         match reply.get("type").and_then(JsonValue::as_str) {
             Some("accepted") => reply
                 .get("job")

@@ -21,8 +21,15 @@ pub const SCHEMA: &str = "axi4mlir-hub/v1";
 pub enum Request {
     /// Identify the hub: schema, cache size, queue capacity, workers.
     Hello,
-    /// Queue one exploration job.
-    Submit(Box<JobSpec>),
+    /// Queue one exploration job at a priority (default 0; higher runs
+    /// first, ties run in submission order).
+    Submit {
+        /// The job to queue.
+        spec: Box<JobSpec>,
+        /// Scheduling priority; the executor pool always takes the
+        /// highest-priority queued job, FIFO within a priority.
+        priority: i64,
+    },
     /// Report queue/cache counters.
     Status,
     /// Ask the hub to shut down gracefully.
@@ -50,7 +57,13 @@ impl Request {
                 let job = value
                     .get("job")
                     .ok_or_else(|| Diagnostic::error("submit requires a `job` member"))?;
-                Ok(Request::Submit(Box::new(JobSpec::from_json(job)?)))
+                let priority = match value.get("priority") {
+                    None => 0,
+                    Some(raw) => raw
+                        .as_i64()
+                        .ok_or_else(|| Diagnostic::error("submit `priority` must be an integer"))?,
+                };
+                Ok(Request::Submit { spec: Box::new(JobSpec::from_json(job)?), priority })
             }
             other => Err(Diagnostic::error(format!("unknown request type `{other}`"))),
         }
@@ -62,7 +75,15 @@ impl Request {
             Request::Hello => tagged("hello", vec![]),
             Request::Status => tagged("status", vec![]),
             Request::Shutdown => tagged("shutdown", vec![]),
-            Request::Submit(spec) => tagged("submit", vec![("job".to_owned(), spec.to_json())]),
+            Request::Submit { spec, priority } => {
+                let mut members = vec![("job".to_owned(), spec.to_json())];
+                // Priority 0 is the default; omitting it keeps the
+                // frame identical to a pre-priority client's.
+                if *priority != 0 {
+                    members.push(("priority".to_owned(), (*priority).into()));
+                }
+                tagged("submit", members)
+            }
         }
     }
 }
@@ -124,11 +145,27 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let spec = JobSpec { dims: Some((8, 8, 8)), ..JobSpec::default() };
-        for request in
-            [Request::Hello, Request::Status, Request::Shutdown, Request::Submit(Box::new(spec))]
-        {
+        for request in [
+            Request::Hello,
+            Request::Status,
+            Request::Shutdown,
+            Request::Submit { spec: Box::new(spec.clone()), priority: 0 },
+            Request::Submit { spec: Box::new(spec), priority: -3 },
+        ] {
             assert_eq!(Request::from_json(&request.to_json()).unwrap(), request);
         }
+    }
+
+    #[test]
+    fn default_priority_stays_off_the_wire() {
+        let spec = JobSpec { dims: Some((8, 8, 8)), ..JobSpec::default() };
+        let plain = Request::Submit { spec: Box::new(spec.clone()), priority: 0 }.to_json();
+        assert!(plain.get("priority").is_none(), "priority 0 is implicit");
+        let urgent = Request::Submit { spec: Box::new(spec), priority: 7 }.to_json();
+        assert_eq!(urgent.get("priority").unwrap().as_i64(), Some(7));
+        let fractional = JsonValue::parse(r#"{"type": "submit", "job": {}, "priority": 1.5}"#);
+        let err = Request::from_json(&fractional.unwrap()).unwrap_err();
+        assert!(err.message.contains("integer"));
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! One listener thread accepts connections; each connection gets a
 //! serving thread that parses requests and *owns all writes* to its
 //! socket (replies and events never interleave mid-frame). Submitted
-//! jobs land in a bounded FIFO; a pool of executor threads drains it,
-//! running each job through
+//! jobs land in a bounded queue drained highest-priority-first (FIFO
+//! within a priority) by a pool of executor threads, running each job
+//! through
 //! [`Explorer::explore_streaming`](axi4mlir_core::explore::Explorer::explore_streaming)
 //! on the shared engine. Sharing the engine is the whole point: every
 //! job reads and feeds the same result cache, and the engine's
@@ -24,12 +25,23 @@
 //! With a `--cache` path, the hub loads the persisted cache at startup
 //! and checkpoints after every completed rung and at shutdown — each
 //! checkpoint is the PR-4 load/merge/atomic-rename path, so a `kill
-//! -TERM` at any instant leaves a loadable file. SIGTERM/ctrl-c (via
-//! [`HubConfig::stop`]) and the `shutdown` request trigger the same
-//! graceful sequence: executors cancel their sweeps at the next rung
-//! boundary, queued jobs fail with a `shutting down` reason, clients
-//! see a final `shutting_down` frame, and the cache is flushed once
-//! more.
+//! -TERM` at any instant leaves a loadable file. With a `--cache-dir`
+//! the same checkpoints go to the sharded layout instead, and each one
+//! rewrites only the shards dirtied since the last flush.
+//! SIGTERM/ctrl-c (via [`HubConfig::stop`]) and the `shutdown` request
+//! trigger the same graceful sequence: executors cancel their sweeps
+//! at the next rung boundary, queued jobs fail with a `shutting down`
+//! reason, clients see a final `shutting_down` frame, and the cache is
+//! flushed once more.
+//!
+//! ## Distributed measurement
+//!
+//! With one or more `--worker ADDR` flags the hub swaps its local
+//! measurement thread pool for an
+//! [`axi4mlir_core::explore::RemotePool`] that fans candidate batches
+//! out to `axi4mlir-worker` daemons; scheduling,
+//! caching, and dedup stay hub-side, so reports are bit-identical to
+//! local runs (timing aside) and a lost worker only costs throughput.
 
 use std::collections::VecDeque;
 use std::io::BufReader;
@@ -40,7 +52,7 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use axi4mlir_core::explore::{wire, ExploreReport, Explorer, JobSpec, ProgressEvent};
+use axi4mlir_core::explore::{wire, ExploreReport, Explorer, JobSpec, ProgressEvent, RemotePool};
 use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_support::json::JsonValue;
 use axi4mlir_support::proto::{write_frame, Frame, FrameReader};
@@ -65,6 +77,12 @@ pub struct HubConfig {
     /// Cache file to load at startup and checkpoint into; `None` keeps
     /// the cache purely in-memory.
     pub cache_path: Option<PathBuf>,
+    /// Sharded cache directory; when set it wins over
+    /// [`Self::cache_path`] and checkpoints rewrite only dirty shards.
+    pub cache_dir: Option<PathBuf>,
+    /// `axi4mlir-worker` addresses to fan measurements out to; empty
+    /// keeps the local in-process measurement pool.
+    pub measure_workers: Vec<String>,
     /// An external stop flag (the binary's signal handler sets it);
     /// polled alongside the internal one.
     pub stop: Option<&'static AtomicBool>,
@@ -78,6 +96,8 @@ impl Default for HubConfig {
             sim_workers: std::thread::available_parallelism().map_or(1, |n| n.get().min(4)),
             queue_capacity: 16,
             cache_path: None,
+            cache_dir: None,
+            measure_workers: Vec::new(),
             stop: None,
         }
     }
@@ -95,12 +115,24 @@ pub struct HubSummary {
     pub cache_entries: usize,
 }
 
-/// One queued job: its id, spec, and the channel its events flow back
-/// on (the receiving half lives with the submitting connection).
+/// One queued job: its id, spec, priority, and the channel its events
+/// flow back on (the receiving half lives with the submitting
+/// connection).
 struct Job {
     id: u64,
     spec: JobSpec,
+    priority: i64,
     events: Sender<JsonValue>,
+}
+
+/// Pops the job to run next: highest priority first, FIFO (lowest id)
+/// within a priority.
+fn take_next(queue: &mut VecDeque<Job>) -> Option<Job> {
+    let (at, _) = queue
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, job)| (job.priority, std::cmp::Reverse(job.id)))?;
+    queue.remove(at)
 }
 
 #[derive(Default)]
@@ -137,12 +169,15 @@ impl Shared {
         act(&mut self.stats.lock().expect("hub stats poisoned"))
     }
 
-    /// Checkpoints the shared cache (load/merge/atomic-rename); a hub
-    /// without a cache path reports its in-memory entry count.
+    /// Checkpoints the shared cache; a hub without a cache location
+    /// reports its in-memory entry count. A `--cache-dir` flushes only
+    /// the shards dirtied since the previous checkpoint, a `--cache`
+    /// file takes the load/merge/atomic-rename path.
     fn checkpoint(&self) -> Result<usize, Diagnostic> {
-        match &self.config.cache_path {
-            Some(path) => self.explorer.save_cache(path),
-            None => Ok(self.explorer.cache_len()),
+        match (&self.config.cache_dir, &self.config.cache_path) {
+            (Some(dir), _) => self.explorer.save_cache_dir(dir).map(|stats| stats.entries),
+            (None, Some(path)) => self.explorer.save_cache(path),
+            (None, None) => Ok(self.explorer.cache_len()),
         }
     }
 
@@ -177,7 +212,12 @@ impl Shared {
     /// Validates and enqueues one job. `Err` carries the reply frame to
     /// send instead of `accepted` (an `error` for a bad spec, a
     /// `rejected` for a full queue).
-    fn submit(&self, spec: JobSpec, events: Sender<JsonValue>) -> Result<(u64, usize), JsonValue> {
+    fn submit(
+        &self,
+        spec: JobSpec,
+        priority: i64,
+        events: Sender<JsonValue>,
+    ) -> Result<(u64, usize), JsonValue> {
         if let Err(err) = spec.build() {
             return Err(protocol::error(&err.message));
         }
@@ -193,8 +233,10 @@ impl Shared {
             ));
         }
         let id = self.next_job.fetch_add(1, Ordering::Relaxed);
-        let ahead = queue.len();
-        queue.push_back(Job { id, spec, events });
+        // How many queued jobs would run before this one under the
+        // priority-then-FIFO discipline.
+        let ahead = queue.iter().filter(|job| job.priority >= priority).count();
+        queue.push_back(Job { id, spec, priority, events });
         drop(queue);
         self.with_stats(|s| s.queued += 1);
         self.available.notify_one();
@@ -217,10 +259,16 @@ impl Hub {
     /// Returns a [`Diagnostic`] for bind failures and unreadable cache
     /// files.
     pub fn bind(config: HubConfig) -> Result<Hub, Diagnostic> {
-        let explorer = match &config.cache_path {
-            Some(path) => Explorer::with_cache_file(path)?,
-            None => Explorer::new(),
+        let mut explorer = match (&config.cache_dir, &config.cache_path) {
+            (Some(dir), _) => Explorer::with_cache_dir(dir)?,
+            (None, Some(path)) => Explorer::with_cache_file(path)?,
+            (None, None) => Explorer::new(),
         };
+        if !config.measure_workers.is_empty() {
+            let pool = RemotePool::new(config.measure_workers.clone())
+                .in_flight(config.sim_workers.max(1));
+            explorer.set_measure_backend(Box::new(pool));
+        }
         let listener = TcpListener::bind(&config.bind)
             .map_err(|err| Diagnostic::error(format!("cannot bind {}: {err}", config.bind)))?;
         let addr = listener
@@ -364,21 +412,23 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), Diagn
                         // connection's jobs drain.
                         continue;
                     }
-                    Ok(Request::Submit(spec)) => match shared.submit(*spec, events_tx.clone()) {
-                        Err(reply) => reply,
-                        Ok((id, ahead)) => {
-                            active += 1;
-                            let accepted = protocol::tagged(
-                                "accepted",
-                                vec![
-                                    ("job".to_owned(), id.into()),
-                                    ("queued_ahead".to_owned(), ahead.into()),
-                                ],
-                            );
-                            write_frame(&mut writer, &accepted).map_err(io)?;
-                            protocol::event(id, "queued", vec![])
+                    Ok(Request::Submit { spec, priority }) => {
+                        match shared.submit(*spec, priority, events_tx.clone()) {
+                            Err(reply) => reply,
+                            Ok((id, ahead)) => {
+                                active += 1;
+                                let accepted = protocol::tagged(
+                                    "accepted",
+                                    vec![
+                                        ("job".to_owned(), id.into()),
+                                        ("queued_ahead".to_owned(), ahead.into()),
+                                    ],
+                                );
+                                write_frame(&mut writer, &accepted).map_err(io)?;
+                                protocol::event(id, "queued", vec![])
+                            }
                         }
-                    },
+                    }
                 };
                 write_frame(&mut writer, &reply).map_err(io)?;
             }
@@ -395,7 +445,7 @@ fn executor_loop(shared: &Arc<Shared>) {
                 if shared.stopping() {
                     return;
                 }
-                if let Some(job) = queue.pop_front() {
+                if let Some(job) = take_next(&mut queue) {
                     break job;
                 }
                 let (reacquired, _) = shared
@@ -471,4 +521,29 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Result<ExploreReport, Diagnostic>
         &request.objectives,
         &observer,
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, priority: i64) -> Job {
+        let (events, receiver) = mpsc::channel();
+        // The receiving half lives with a connection in production;
+        // these scheduling tests never send, so it can drop.
+        drop(receiver);
+        Job { id, spec: JobSpec::default(), priority, events }
+    }
+
+    #[test]
+    fn the_queue_pops_priority_first_then_fifo() {
+        let mut queue: VecDeque<Job> = VecDeque::new();
+        for (id, priority) in [(1, 0), (2, 5), (3, 5), (4, -1), (5, 0)] {
+            queue.push_back(job(id, priority));
+        }
+        let order: Vec<u64> =
+            std::iter::from_fn(|| take_next(&mut queue).map(|job| job.id)).collect();
+        assert_eq!(order, [2, 3, 1, 5, 4]);
+        assert!(take_next(&mut queue).is_none());
+    }
 }

@@ -1,0 +1,101 @@
+//! The `axi4mlir-worker` daemon binary.
+//!
+//! ```text
+//! axi4mlir-worker [--bind ADDR] [--slots N]
+//! ```
+//!
+//! Binds, prints `axi4mlir-worker listening on ADDR` (port 0 in
+//! `--bind` resolves to a free port — scripts parse this line), and
+//! serves the `axi4mlir-worker/v1` measurement protocol until
+//! SIGTERM/ctrl-c. A worker holds no state a sweep depends on: killing
+//! one mid-sweep only makes the scheduler requeue its outstanding
+//! measurements elsewhere. See `docs/PROTOCOL.md` for the wire
+//! protocol.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use axi4mlir_worker::{Worker, WorkerConfig};
+
+/// Set by the signal handler, polled by the accept loop.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    STOP.store(true, Ordering::SeqCst);
+}
+
+// `signal` comes from libc, which every Rust binary already links; an
+// inline declaration avoids a dependency the build image lacks.
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+const USAGE: &str = "usage: axi4mlir-worker [--bind ADDR] [--slots N]
+
+  --bind ADDR   listen address (default 127.0.0.1:0 — a free port)
+  --slots N     concurrent measurements per connection (default: host parallelism, max 4)";
+
+fn parse_args(args: &[String]) -> Result<WorkerConfig, String> {
+    let mut config = WorkerConfig { stop: Some(&STOP), ..WorkerConfig::default() };
+    let mut at = 0;
+    let value = |at: &mut usize, flag: &str| -> Result<String, String> {
+        *at += 1;
+        args.get(*at).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while at < args.len() {
+        let flag = args[at].as_str();
+        match flag {
+            "--bind" => config.bind = value(&mut at, flag)?,
+            "--slots" => {
+                config.slots =
+                    value(&mut at, flag)?.parse().map_err(|_| "--slots needs an integer")?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+        at += 1;
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+    let worker = match Worker::bind(config) {
+        Ok(worker) => worker,
+        Err(err) => {
+            eprintln!("axi4mlir-worker: {}", err.message);
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts (and the integration tests) parse this line for the
+    // resolved port; stdout is line-buffered, so it flushes here.
+    println!("axi4mlir-worker listening on {}", worker.local_addr());
+    match worker.run() {
+        Ok(summary) => {
+            println!(
+                "axi4mlir-worker: served {} connections, measured {} candidates",
+                summary.connections, summary.measured
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("axi4mlir-worker: {}", err.message);
+            ExitCode::FAILURE
+        }
+    }
+}

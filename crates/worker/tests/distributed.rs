@@ -1,0 +1,200 @@
+//! Integration tests for distributed measurement: a sweep fanned out
+//! to `axi4mlir-worker` daemons must produce a report bit-identical
+//! (timing aside) to the local thread pool, survive losing a worker
+//! mid-sweep with correct counters, and — run through a hub — still
+//! dedup racing identical jobs down to one isolated sweep's cost.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use axi4mlir_core::explore::{
+    ExploreSpec, Explorer, HalvingSpec, JobSpec, Objective, ProgressEvent, Prune, RemotePool,
+    Search,
+};
+use axi4mlir_hub::{Hub, HubClient, HubConfig};
+use axi4mlir_worker::{Worker, WorkerConfig};
+use axi4mlir_workloads::matmul::MatMulProblem;
+
+/// Starts an in-process worker daemon on a free port; it serves until
+/// the test process exits (the stop flag is never raised).
+fn start_worker(slots: usize) -> String {
+    static NEVER_STOP: AtomicBool = AtomicBool::new(false);
+    let worker =
+        Worker::bind(WorkerConfig { slots, stop: Some(&NEVER_STOP), ..WorkerConfig::default() })
+            .expect("bind worker");
+    let addr = worker.local_addr().to_string();
+    std::thread::spawn(move || worker.run().expect("worker run"));
+    addr
+}
+
+/// Spawns the real `axi4mlir-worker` binary and parses its banner for
+/// the resolved address.
+fn spawn_worker_binary() -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_axi4mlir-worker"))
+        .args(["--bind", "127.0.0.1:0", "--slots", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn the worker daemon");
+    let stdout = child.stdout.take().unwrap();
+    let banner = BufReader::new(stdout).lines().next().unwrap().unwrap();
+    let addr = banner.strip_prefix("axi4mlir-worker listening on ").expect("banner").to_owned();
+    (child, addr)
+}
+
+#[test]
+fn remote_sweeps_are_bit_identical_to_the_local_pool() {
+    // 32 candidates, exhaustively measured: every result crosses the
+    // wire, so any nondeterminism in the fan-out would show.
+    let spec = ExploreSpec::new(MatMulProblem::new(16, 16, 16)).base(8).seed(7).workers(4);
+    let local = Explorer::new().explore(&spec).expect("local sweep");
+    assert_eq!(local.measure_backend, "local");
+
+    let addrs = vec![start_worker(2), start_worker(2)];
+    let mut explorer = Explorer::new();
+    explorer.set_measure_backend(Box::new(RemotePool::new(addrs)));
+    let remote = explorer.explore(&spec).expect("remote sweep");
+
+    assert_eq!(remote.measure_backend, "remote:2");
+    assert_eq!(local.evaluations.len(), remote.evaluations.len());
+    for (l, r) in local.evaluations.iter().zip(&remote.evaluations) {
+        assert_eq!(l.deterministic_key(), r.deterministic_key());
+    }
+    assert_eq!(
+        local.optimum().unwrap().deterministic_key(),
+        remote.optimum().unwrap().deterministic_key()
+    );
+    assert_eq!(remote.sims_performed, local.sims_performed);
+    assert_eq!(remote.full_sims_performed, local.full_sims_performed);
+
+    // Every simulation is attributed to the worker that ran it, and
+    // the per-worker counts account for the whole sweep.
+    assert!(!remote.worker_sims.is_empty());
+    let attributed: usize = remote.worker_sims.iter().map(|(_, sims)| sims).sum();
+    assert_eq!(attributed, remote.sims_performed);
+    assert!(remote.worker_sims.iter().all(|(worker, _)| worker != "local"));
+}
+
+#[test]
+fn killing_a_worker_mid_sweep_only_degrades_throughput() {
+    // A halving sweep with several rungs on a bigger space, so the
+    // kill lands with plenty of measurements still to schedule.
+    let space = ExploreSpec::new(MatMulProblem::new(32, 32, 32)).base(8).seed(7).space();
+    let search = Search::Halving(HalvingSpec::default());
+    let baseline = Explorer::new()
+        .explore_space(&space, Prune::None, &search, 2)
+        .expect("local baseline sweep");
+    assert!(baseline.sims_performed > 0);
+
+    let (victim, victim_addr) = spawn_worker_binary();
+    let (mut survivor, survivor_addr) = spawn_worker_binary();
+    let mut explorer = Explorer::new();
+    explorer
+        .set_measure_backend(Box::new(RemotePool::new(vec![victim_addr, survivor_addr.clone()])));
+
+    let victim = Mutex::new(Some(victim));
+    let rungs = AtomicUsize::new(0);
+    let observer = |event: &ProgressEvent| {
+        if matches!(event, ProgressEvent::RungComplete { .. })
+            && rungs.fetch_add(1, Ordering::Relaxed) == 0
+        {
+            // First rung done: hard-kill one of the two workers. The
+            // scheduler must requeue its claims on the survivor.
+            if let Some(mut child) = victim.lock().unwrap().take() {
+                child.kill().expect("kill the worker");
+                child.wait().expect("reap the worker");
+            }
+        }
+        true
+    };
+    let report = explorer
+        .explore_streaming(&space, Prune::None, &search, 2, &[Objective::TaskClock], &observer)
+        .expect("the sweep survives losing a worker");
+    assert!(rungs.load(Ordering::Relaxed) >= 2, "the kill landed before the last rung");
+
+    // Same measurements, same optimum, same counters — only slower.
+    assert_eq!(report.sims_performed, baseline.sims_performed);
+    assert_eq!(report.full_sims_performed, baseline.full_sims_performed);
+    assert_eq!(report.evaluations.len(), baseline.evaluations.len());
+    for (r, b) in report.evaluations.iter().zip(&baseline.evaluations) {
+        assert_eq!(r.deterministic_key(), b.deterministic_key());
+    }
+    let attributed: usize = report.worker_sims.iter().map(|(_, sims)| sims).sum();
+    assert_eq!(attributed, report.sims_performed);
+    let survivor_sims = report
+        .worker_sims
+        .iter()
+        .find(|(worker, _)| *worker == survivor_addr)
+        .map_or(0, |(_, sims)| *sims);
+    assert!(survivor_sims > 0, "the surviving worker carried the sweep: {:?}", report.worker_sims);
+
+    survivor.kill().ok();
+    survivor.wait().ok();
+}
+
+#[test]
+fn racing_hub_jobs_over_remote_workers_cost_one_isolated_sweep() {
+    let spec = JobSpec {
+        dims: Some((16, 16, 16)),
+        accels: vec!["v4_8".to_owned()],
+        search: "halving".to_owned(),
+        seed: Some(7),
+        ..JobSpec::default()
+    };
+    let start_hub = |config: HubConfig| {
+        let hub = Hub::bind(config).expect("bind hub");
+        let addr = hub.local_addr().to_string();
+        (addr, std::thread::spawn(move || hub.run().expect("hub run")))
+    };
+
+    // Baseline: what one isolated sweep costs on a local-pool hub.
+    let (addr, hub) = start_hub(HubConfig { workers: 1, sim_workers: 1, ..HubConfig::default() });
+    let mut client = HubClient::connect(&addr).expect("connect");
+    let isolated = client.run(&spec, &mut |_| ()).expect("baseline job");
+    client.shutdown().expect("shutdown");
+    hub.join().unwrap();
+    assert!(isolated.full_sims_performed > 0);
+    assert_eq!(isolated.measure_backend, "local");
+
+    // Two clients race the identical sweep on a fresh hub whose
+    // measurements fan out to two workers: the in-flight registry must
+    // keep the total spend at exactly one isolated run.
+    let workers = vec![start_worker(2), start_worker(2)];
+    let (addr, hub) = start_hub(HubConfig {
+        workers: 2,
+        sim_workers: 2,
+        measure_workers: workers,
+        ..HubConfig::default()
+    });
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                let spec = &spec;
+                scope.spawn(move || {
+                    let mut client = HubClient::connect(&addr).expect("connect");
+                    client.run(spec, &mut |_| ()).expect("racing job")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let combined: usize = reports.iter().map(|r| r.full_sims_performed).sum();
+    assert_eq!(
+        combined, isolated.full_sims_performed,
+        "racing remote sweeps must share, not duplicate, the isolated cost"
+    );
+    for report in &reports {
+        assert_eq!(report.measure_backend, "remote:2");
+        assert_eq!(
+            report.optimum().unwrap().candidate.key,
+            isolated.optimum().unwrap().candidate.key
+        );
+    }
+
+    let client = HubClient::connect(&addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    hub.join().unwrap();
+}

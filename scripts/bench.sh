@@ -2,13 +2,16 @@
 # Runs the full figure suite plus the design-space explorer and collects
 # every BENCH_*.json report into one directory (BENCH_all.json included).
 #
-# Usage: [HUB=1] scripts/bench.sh [--quick] [OUT_DIR]
+# Usage: [HUB=1] [WORKERS=N] scripts/bench.sh [--quick] [OUT_DIR]
 #   --quick   reduced sweep sizes (seconds instead of minutes)
 #   OUT_DIR   where the reports land (default: bench-out)
 #   HUB=1     additionally drive the explorer sweep through a freshly
 #             started axi4mlir-hub daemon (sharing the same cache file,
 #             so it costs no extra simulations) and verify the hub-path
 #             BENCH_explore.json is schema-identical to the local one
+#   WORKERS=N spawn N axi4mlir-worker daemons and start the hub with
+#             --worker flags pointing at them, so the hub-path sweep's
+#             measurements run out-of-process (implies HUB=1)
 #
 # Profiling the sim
 # -----------------
@@ -64,16 +67,37 @@ else
     cargo run --release -p axi4mlir-bench --bin axi4mlir-explore -- --objectives clock,traffic --cache "$CACHE" --warm-start --json "$OUT_DIR"
 fi
 
-if [ "${HUB:-0}" = "1" ]; then
-    echo "== design-space explorer (through axi4mlir-hub) =="
+WORKERS="${WORKERS:-0}"
+if [ "${HUB:-0}" = "1" ] || [ "$WORKERS" -gt 0 ]; then
+    echo "== design-space explorer (through axi4mlir-hub, $WORKERS workers) =="
     cargo build --release -p axi4mlir-hub
+    # WORKERS=N: spawn N measurement daemons and point the hub at them.
+    WORKER_FLAGS=()
+    WORKER_PIDS=()
+    if [ "$WORKERS" -gt 0 ]; then
+        cargo build --release -p axi4mlir-worker
+        for _ in $(seq "$WORKERS"); do
+            WORKER_LOG=$(mktemp)
+            cargo run --release -q -p axi4mlir-worker -- --bind 127.0.0.1:0 >"$WORKER_LOG" &
+            WORKER_PIDS+=($!)
+            WORKER_ADDR=""
+            for _ in $(seq 100); do
+                WORKER_ADDR=$(sed -n 's/^axi4mlir-worker listening on //p' "$WORKER_LOG")
+                [ -n "$WORKER_ADDR" ] && break
+                sleep 0.1
+            done
+            [ -n "$WORKER_ADDR" ] || { echo "bench.sh: axi4mlir-worker did not start" >&2; exit 1; }
+            WORKER_FLAGS+=(--worker "$WORKER_ADDR")
+        done
+    fi
     HUB_LOG=$(mktemp)
     HUB_OUT=$(mktemp -d)
     # The daemon owns the same cache file the local sweep just saved, so
     # the hub-path sweep is pure cache hits.
-    cargo run --release -q -p axi4mlir-hub -- --bind 127.0.0.1:0 --cache "$CACHE" >"$HUB_LOG" &
+    cargo run --release -q -p axi4mlir-hub -- --bind 127.0.0.1:0 --cache "$CACHE" \
+        ${WORKER_FLAGS[@]+"${WORKER_FLAGS[@]}"} >"$HUB_LOG" &
     HUB_PID=$!
-    trap 'kill -TERM "$HUB_PID" 2>/dev/null || true' EXIT
+    trap 'kill -TERM "$HUB_PID" ${WORKER_PIDS[@]+"${WORKER_PIDS[@]}"} 2>/dev/null || true' EXIT
     ADDR=""
     for _ in $(seq 100); do
         ADDR=$(sed -n 's/^axi4mlir-hub listening on //p' "$HUB_LOG")
@@ -85,6 +109,10 @@ if [ "${HUB:-0}" = "1" ]; then
         ${QUICK[@]+--smoke} --objectives clock,traffic --hub "$ADDR" --json "$HUB_OUT"
     kill -TERM "$HUB_PID"
     wait "$HUB_PID"
+    for pid in ${WORKER_PIDS[@]+"${WORKER_PIDS[@]}"}; do
+        kill -TERM "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
     trap - EXIT
     # Schema identity: same report schema/name, same entry ids, same
     # metric members per entry, same pareto objectives. Context *values*

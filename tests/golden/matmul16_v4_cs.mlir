@@ -1,0 +1,13 @@
+"builtin.module"() ({
+  ^bb():
+    "func.func"() ({
+      ^bb(%0: memref<16x16xi32>, %1: memref<16x16xi32>, %2: memref<16x16xi32>):
+        "linalg.generic"(%0, %1, %2) ({
+          ^bb(%3: i32, %4: i32, %5: i32):
+            %6 = "arith.muli"(%3, %4) : (i32, i32) -> (i32)
+            %7 = "arith.addi"(%5, %6) : (i32, i32) -> (i32)
+            "linalg.yield"(%7) : (i32) -> ()
+        }) {accel_dim = affine_map<(m, n, k) -> (8, 8, 8)>, accel_name = "v4_8", dma_init_config = {id = 0, inputAddress = 66, inputBufferSize = 65280, outputAddress = 65346, outputBufferSize = 65280}, indexing_maps = [affine_map<(m, n, k) -> (m, k)>, affine_map<(m, n, k) -> (k, n)>, affine_map<(m, n, k) -> (m, n)>], init_opcodes = opcode_flow<(reset cfg)>, iterator_types = ["parallel", "parallel", "reduction"], num_inputs = 2, opcode_flow = opcode_flow<((sA sB cC) rC)>, opcode_map = opcode_map<sA = [send_literal(34), send(0)], sB = [send_literal(35), send(1)], cC = [send_literal(240)], rC = [send_literal(36), recv(2)], reset = [send_literal(255)], cfg = [send_literal(48), send_literal(8), send_literal(8), send_literal(8)]>, permutation_map = affine_map<(m, n, k) -> (m, n, k)>} : (memref<16x16xi32>, memref<16x16xi32>, memref<16x16xi32>) -> ()
+        "func.return"() : () -> ()
+    }) {arg_types = [memref<16x16xi32>, memref<16x16xi32>, memref<16x16xi32>], result_types = [], sym_name = "matmul_call"} : () -> ()
+}) : () -> ()

@@ -1,0 +1,55 @@
+//! Golden-file tests for the pass pipeline: each `tests/golden/*.mlir`
+//! is a pre-annotated module (the Fig. 6a trait attributes already in
+//! place), and its `.expected.mlir` sibling is the exact text the
+//! codegen + lowering pipeline must print for it — the same
+//! transformation `axi4mlir-opt INPUT.mlir` (no `--config`) performs,
+//! which is how CI diffs these files against a release build of the
+//! tool. Regenerate an expected file by running that command and
+//! reviewing the diff; silent drift in generated drivers is the bug
+//! class this pins.
+
+use axi4mlir::compiler::driver::PipelineBuilder;
+use axi4mlir::ir::parser::parse_module;
+use axi4mlir::ir::printer::print_op;
+
+/// Runs one golden input through the pre-annotated pipeline and diffs
+/// the printed result against the expected file.
+fn check(name: &str) {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+    let input = std::fs::read_to_string(format!("{dir}/{name}.mlir"))
+        .unwrap_or_else(|err| panic!("{name}.mlir: {err}"));
+    let expected = std::fs::read_to_string(format!("{dir}/{name}.expected.mlir"))
+        .unwrap_or_else(|err| panic!("{name}.expected.mlir: {err}"));
+
+    let mut module = parse_module(&input).expect("golden input parses");
+    let mut pipeline = PipelineBuilder::new().pre_annotated().build();
+    pipeline.run(&mut module).expect("golden input compiles");
+    let printed = print_op(&module.ctx, module.top());
+
+    if printed != expected {
+        let mismatch = printed
+            .lines()
+            .zip(expected.lines())
+            .position(|(got, want)| got != want)
+            .map_or_else(|| "lengths differ".to_owned(), |at| format!("first at line {}", at + 1));
+        panic!(
+            "{name}: pipeline output drifted from {name}.expected.mlir ({mismatch});\n\
+             regenerate with `axi4mlir-opt tests/golden/{name}.mlir` and review the diff"
+        );
+    }
+}
+
+#[test]
+fn matmul8_v1_ns_matches_its_golden_output() {
+    check("matmul8_v1_ns");
+}
+
+#[test]
+fn matmul16_v3_as_tiled_matches_its_golden_output() {
+    check("matmul16_v3_as_tiled");
+}
+
+#[test]
+fn matmul16_v4_cs_matches_its_golden_output() {
+    check("matmul16_v4_cs");
+}
