@@ -45,6 +45,18 @@ pub const CONV_OP_SET_FILTER_SIZE: u32 = 32;
 /// (Fig. 15a `rst` suffix `send_literal(16), send_dim(0,1)`).
 pub const CONV_OP_SET_IN_CHANNELS: u32 = 16;
 
+/// `true` if the Conv2D accelerator decodes `opcode`.
+pub fn conv_supports_opcode(opcode: u32) -> bool {
+    matches!(
+        opcode,
+        CONV_OP_SEND_INPUT_COMPUTE
+            | CONV_OP_SEND_FILTER
+            | CONV_OP_READ_OUTPUT
+            | CONV_OP_SET_FILTER_SIZE
+            | CONV_OP_SET_IN_CHANNELS
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,6 +44,36 @@ impl MatMulVersion {
             MatMulVersion::V4 => "v4",
         }
     }
+
+    /// Parses a version from its short name or a figure-style accelerator
+    /// name (`"v3"`, `"v3_16"`). Returns `None` for non-matmul names.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.split('_').next().unwrap_or(name) {
+            "v1" => Some(MatMulVersion::V1),
+            "v2" => Some(MatMulVersion::V2),
+            "v3" => Some(MatMulVersion::V3),
+            "v4" => Some(MatMulVersion::V4),
+            _ => None,
+        }
+    }
+
+    /// `true` if this accelerator type decodes `opcode` — the instruction
+    /// words each Table I version implements. This is the authoritative
+    /// legality check the functional models and the IR lint share.
+    pub fn supports_opcode(self, opcode: u32) -> bool {
+        use MatMulVersion::*;
+        match opcode {
+            isa::OP_RESET => true,
+            isa::OP_FUSED_SABC => self == V1,
+            isa::OP_SEND_A | isa::OP_SEND_B => matches!(self, V2 | V3 | V4),
+            isa::OP_COMPUTE_READ | isa::OP_SEND_B_COMPUTE_READ | isa::OP_SEND_A_COMPUTE_READ => {
+                self == V2
+            }
+            isa::OP_COMPUTE | isa::OP_READ_C => matches!(self, V3 | V4),
+            isa::OP_CFG_DIMS => self == V4,
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for MatMulVersion {
@@ -183,18 +213,7 @@ impl MatMulAccel {
     }
 
     fn supports(&self, opcode: u32) -> bool {
-        use MatMulVersion::*;
-        match opcode {
-            isa::OP_RESET => true,
-            isa::OP_FUSED_SABC => self.version == V1,
-            isa::OP_SEND_A | isa::OP_SEND_B => matches!(self.version, V2 | V3 | V4),
-            isa::OP_COMPUTE_READ | isa::OP_SEND_B_COMPUTE_READ | isa::OP_SEND_A_COMPUTE_READ => {
-                self.version == V2
-            }
-            isa::OP_COMPUTE | isa::OP_READ_C => matches!(self.version, V3 | V4),
-            isa::OP_CFG_DIMS => self.version == V4,
-            _ => false,
-        }
+        self.version.supports_opcode(opcode)
     }
 
     /// Performs `product = A x B`; charges cycles; returns the product.

@@ -483,6 +483,7 @@ fn to_report(request: &Request, report: &ExploreReport, front: &[usize]) -> Benc
         .context("objectives", objectives_json(report))
         .context("space_size", report.space_size)
         .context("pruned_out", report.pruned_out)
+        .context("lint_rejected", report.lint_rejected)
         .context("measured", report.evaluations.len())
         .context("cache_hits", report.cache_hits)
         .context("sims_performed", report.sims_performed)
@@ -733,9 +734,10 @@ fn render(
         println!("({} more candidates measured)", ranked.len() - 10);
     }
     println!(
-        "space: {} legal, {} pruned, {} measured — {} new simulations ({} at full fidelity), \
-         {} cache hits",
+        "space: {} legal, {} lint-rejected, {} pruned, {} measured — {} new simulations \
+         ({} at full fidelity), {} cache hits",
         report.space_size,
+        report.lint_rejected,
         report.pruned_out,
         report.evaluations.len(),
         report.sims_performed,
@@ -748,7 +750,7 @@ fn render(
         println!(
             "warm start: the transfer model was informed about {} of {} surviving candidates",
             report.warm_informed,
-            report.space_size - report.pruned_out
+            report.space_size - report.lint_rejected - report.pruned_out
         );
     }
     if let Some(optimum) = report.optimum() {

@@ -284,7 +284,19 @@ impl JobSpec {
             parsed
         };
 
-        Ok(ExploreRequest { space, prune, search, objectives })
+        let request = ExploreRequest { space, prune, search, objectives };
+        // The static plan audit, applied at validation time: a job whose
+        // every candidate fails a lint check could never measure
+        // anything, so it is rejected here — at hub `submit` time — with
+        // the offending lint code, instead of erroring mid-sweep.
+        if let Err(finding) = super::audit::audit_space(request.space.as_dyn()) {
+            let code = finding.code.clone().unwrap_or_else(|| "lint".to_owned());
+            let mut diag =
+                field_err("space", format!("admits no candidate — {} [{code}]", finding.message));
+            diag.code = finding.code;
+            return Err(diag);
+        }
+        Ok(request)
     }
 
     /// Serializes the spec as the JSON object the hub protocol carries
@@ -506,6 +518,27 @@ mod tests {
             let err = spec.build().unwrap_err();
             assert!(err.message.contains(field), "`{}` should blame {field}", err.message);
         }
+    }
+
+    #[test]
+    fn build_rejects_jobs_the_plan_audit_fully_rejects() {
+        // A base-256 v4 on a 256x8x256 problem admits exactly one tile,
+        // whose staged A transfer (256x256 words) overflows the DMA
+        // staging region — every candidate fails the audit, so the job
+        // fails at validation (hub submit) time with the lint code.
+        let spec = JobSpec {
+            dims: Some((256, 8, 256)),
+            accels: vec!["v4_256".to_owned()],
+            capacity_words: Some(200_000),
+            ..JobSpec::default()
+        };
+        let err = spec.clone().build().unwrap_err();
+        assert!(err.message.contains("lint::fifo-capacity"), "{}", err.message);
+        assert_eq!(err.code.as_deref(), Some("lint::fifo-capacity"));
+        // A base that admits small tiles passes: the sweep merely counts
+        // the oversized ones as lint-rejected.
+        let ok = JobSpec { accels: vec!["v4_8".to_owned()], ..spec };
+        ok.build().unwrap();
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! [`PipelineOptions`]: crate::options::PipelineOptions
 //! [`Session`]: crate::driver::Session
 
+pub mod audit;
 pub mod cache;
 pub mod jobspec;
 pub mod measure;
@@ -51,6 +52,7 @@ use std::time::Duration;
 use axi4mlir_sim::counters::PerfCounters;
 use axi4mlir_support::diag::Diagnostic;
 
+pub use audit::{audit_candidate, audit_config, audit_plan, audit_space};
 pub use axi4mlir_heuristics::objective::Objective;
 use cache::CachedEval;
 pub use cache::{CACHE_SCHEMA, CACHE_SCHEMA_V1};
@@ -170,6 +172,10 @@ pub struct ExploreReport {
     pub space_size: usize,
     /// Candidates removed by the analytical prune.
     pub pruned_out: usize,
+    /// Candidates the static plan audit rejected before the measure
+    /// queue (each failed a `lint::*` check; zero simulations were
+    /// spent on them). See [`audit`].
+    pub lint_rejected: usize,
     /// Measurements served from the result cache (including the proxy
     /// rounds of a halving search).
     pub cache_hits: usize,
@@ -707,7 +713,50 @@ impl Explorer {
             )));
         }
         let space_size = all.len();
-        let (candidates, pruned_out) = prune(all, prune_strategy, primary);
+        // The static plan audit: candidates whose realized plan fails a
+        // lint check are rejected *before* the measure queue — they
+        // would abort the simulator mid-sweep, and cost nothing to
+        // reject here. The verdict depends only on the realized
+        // accelerator configuration, so it is memoized per
+        // (accelerator, flow, tile) across the options axis.
+        let mut lint_rejected = 0usize;
+        let mut first_rejection: Option<Diagnostic> = None;
+        /// Audit-verdict memo key: (accelerator, flow, tile) — the only
+        /// fields the verdict depends on (options and seed do not).
+        type AuditMemoKey = (String, String, (i64, i64, i64));
+        let mut verdicts: HashMap<AuditMemoKey, Option<Diagnostic>> = HashMap::new();
+        let mut admitted = Vec::with_capacity(all.len());
+        for candidate in all {
+            let memo =
+                (candidate.key.accel.clone(), candidate.key.flow.clone(), candidate.key.tile);
+            let verdict = match verdicts.get(&memo) {
+                Some(verdict) => verdict.clone(),
+                None => {
+                    let verdict = audit::audit_candidate(space, &candidate).err();
+                    verdicts.insert(memo, verdict.clone());
+                    verdict
+                }
+            };
+            match verdict {
+                None => admitted.push(candidate),
+                Some(finding) => {
+                    lint_rejected += 1;
+                    first_rejection.get_or_insert(finding);
+                }
+            }
+        }
+        if admitted.is_empty() {
+            let finding = first_rejection.expect("a non-empty space was fully rejected");
+            let mut diag = Diagnostic::error(format!(
+                "every candidate failed the plan audit: {}",
+                finding.message
+            ));
+            if let Some(code) = finding.code {
+                diag = diag.with_code(code);
+            }
+            return Err(diag);
+        }
+        let (candidates, pruned_out) = prune(admitted, prune_strategy, primary);
         // Sweep-local accounting: concurrent sweeps on this engine share
         // its cache and counters, so the report cannot use global deltas.
         let stats = SweepStats::default();
@@ -740,11 +789,14 @@ impl Explorer {
         // is a cache hit unless pruning or halving dropped it.
         let heuristic = space.heuristic();
         let heuristic_eval = match &heuristic {
-            Some(choice) => self
+            // The heuristic pick goes through the same audit gate as the
+            // sweep's candidates: a statically-broken pick is reported
+            // unmeasured rather than simulated.
+            Some(choice) if audit::audit_candidate(space, choice).is_ok() => self
                 .measure_set(space, std::slice::from_ref(choice), Fidelity::Full, 1, &stats)?
                 .into_iter()
                 .next(),
-            None => None,
+            _ => None,
         };
 
         Ok(ExploreReport {
@@ -753,6 +805,7 @@ impl Explorer {
             search: search.label().to_owned(),
             space_size,
             pruned_out,
+            lint_rejected,
             cache_hits,
             sims_performed: stats.sims(),
             full_sims_performed: stats.full_sims(),

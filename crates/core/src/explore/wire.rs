@@ -132,6 +132,7 @@ pub fn report_to_json(report: &ExploreReport) -> JsonValue {
         ("search".to_owned(), report.search.clone().into()),
         ("space_size".to_owned(), report.space_size.into()),
         ("pruned_out".to_owned(), report.pruned_out.into()),
+        ("lint_rejected".to_owned(), report.lint_rejected.into()),
         ("cache_hits".to_owned(), report.cache_hits.into()),
         ("sims_performed".to_owned(), report.sims_performed.into()),
         ("full_sims_performed".to_owned(), report.full_sims_performed.into()),
@@ -218,6 +219,12 @@ pub fn report_from_json(value: &JsonValue) -> Result<ExploreReport, Diagnostic> 
         search: text("search")?,
         space_size: count("space_size")?,
         pruned_out: count("pruned_out")?,
+        // Absent in pre-audit wire reports; those rejected nothing.
+        lint_rejected: value
+            .get("lint_rejected")
+            .and_then(JsonValue::as_u64)
+            .map(|n| n as usize)
+            .unwrap_or(0),
         cache_hits: count("cache_hits")?,
         sims_performed: count("sims_performed")?,
         full_sims_performed: count("full_sims_performed")?,

@@ -695,3 +695,46 @@ fn options_axis_candidates_are_cached_separately() {
     assert_eq!(explorer.evals_performed(), 8, "no key collision across option points");
     assert_eq!(report.cache_hits, 0);
 }
+
+#[test]
+fn statically_illegal_candidates_are_lint_rejected_without_simulation() {
+    // 256x8x256 on a base-8 v4 with a generous capacity budget: tiles up
+    // to (256, 8, 256) enumerate, but any tile staging more than the
+    // 0xFF00-byte DMA region (tm*tk > 16320 words of A) is statically
+    // illegal — the plan audit must reject those before the measure
+    // queue, spending zero simulations on them.
+    let space = MatMulSpace::new(MatMulProblem::new(256, 8, 256))
+        .accels(vec![AccelInstance::v4(8)])
+        .capacity_words(80_000)
+        .seed(3);
+    let explorer = Explorer::new();
+    let report = explorer
+        .explore_space(&space, Prune::KeepBest(1), &Search::Exhaustive, 2)
+        .expect("mixed space explores");
+    assert!(report.lint_rejected > 0, "oversized tiles must be rejected");
+    assert_eq!(
+        report.space_size,
+        report.lint_rejected + report.pruned_out + report.evaluations.len(),
+        "every candidate is accounted for"
+    );
+    // Only the pruned survivor and the heuristic pick were simulated.
+    assert!(report.sims_performed <= 2, "{} sims", report.sims_performed);
+    for eval in &report.evaluations {
+        let (tm, tn, tk) = eval.candidate.key.tile;
+        for footprint in [tm * tk, tk * tn, tm * tn] {
+            assert!(footprint * 4 <= 0xFF00, "measured tile overflows the staging region");
+        }
+        assert!(eval.verified);
+    }
+
+    // A space where *every* candidate is oversized fails up front with
+    // the offending lint code — again without simulating anything.
+    let hopeless = MatMulSpace::new(MatMulProblem::new(256, 8, 256))
+        .accels(vec![AccelInstance::v4(256)])
+        .capacity_words(80_000);
+    let before = explorer.evals_performed();
+    let err = explorer.explore_space(&hopeless, Prune::None, &Search::Exhaustive, 1).unwrap_err();
+    assert!(err.message.contains("plan audit"), "{}", err.message);
+    assert_eq!(err.code.as_deref(), Some("lint::fifo-capacity"));
+    assert_eq!(explorer.evals_performed(), before, "no simulation was spent");
+}

@@ -20,6 +20,7 @@ pub mod accel;
 pub mod arith;
 pub mod func;
 pub mod linalg;
+pub mod lint;
 pub mod memref;
 pub mod scf;
 pub mod verify;

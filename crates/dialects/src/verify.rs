@@ -20,11 +20,7 @@ pub fn verify_dialects(
     for op in ctx.walk(root) {
         check_op(ctx, op, diags);
     }
-    let mut engine = DiagnosticEngine::new();
-    for d in diags.diagnostics() {
-        engine.emit(d.clone());
-    }
-    engine.into_result()
+    diags.result()
 }
 
 fn err(diags: &mut DiagnosticEngine, op: OpId, name: &str, msg: &str) {
@@ -324,5 +320,122 @@ mod tests {
         b.insert_op("accel.dma_init", vec![c, c], vec![], []);
         let e = check(&m).unwrap_err();
         assert!(e.message.contains("expects (id"));
+    }
+
+    #[test]
+    fn scf_for_with_wrong_operand_count_fails() {
+        let mut m = Module::new();
+        let f = func::func(&mut m, "main", vec![], vec![]);
+        let mut b = func::entry_builder(&mut m.ctx, &f);
+        let c = arith::const_index(&mut b, 0);
+        // Only (lb, ub) — the step is missing.
+        let (_, body) = b.insert_region_op("scf.for", vec![c, c], vec![], [], vec![Type::index()]);
+        let y = m.ctx.create_op("scf.yield", vec![], vec![], Default::default());
+        m.ctx.append_op(body, y);
+        let e = check(&m).unwrap_err();
+        assert!(e.message.contains("(lb, ub, step)"), "{}", e.message);
+    }
+
+    #[test]
+    fn accel_send_with_wrong_arity_fails() {
+        let mut m = Module::new();
+        let f = func::func(&mut m, "main", vec![], vec![]);
+        let mut b = func::entry_builder(&mut m.ctx, &f);
+        let buf = memref::alloc(&mut b, vec![4, 4], Type::i32());
+        b.insert_op("accel.send", vec![buf], vec![Type::i32()], []);
+        let e = check(&m).unwrap_err();
+        assert!(e.message.contains("(memref, offset)"), "{}", e.message);
+    }
+
+    #[test]
+    fn accel_send_with_scalar_source_fails() {
+        let mut m = Module::new();
+        let f = func::func(&mut m, "main", vec![], vec![]);
+        let mut b = func::entry_builder(&mut m.ctx, &f);
+        let x = arith::const_i32(&mut b, 7);
+        let off = arith::const_i32(&mut b, 0);
+        b.insert_op("accel.send", vec![x, off], vec![Type::i32()], []);
+        let e = check(&m).unwrap_err();
+        assert!(e.message.contains("must be a memref"), "{}", e.message);
+    }
+
+    #[test]
+    fn accel_send_dim_without_dim_attribute_fails() {
+        let mut m = Module::new();
+        let f = func::func(&mut m, "main", vec![], vec![]);
+        let mut b = func::entry_builder(&mut m.ctx, &f);
+        let buf = memref::alloc(&mut b, vec![4, 4], Type::i32());
+        let off = arith::const_i32(&mut b, 0);
+        b.insert_op("accel.sendDim", vec![buf, off], vec![Type::i32()], []);
+        let e = check(&m).unwrap_err();
+        assert!(e.message.contains("dim attribute"), "{}", e.message);
+    }
+
+    #[test]
+    fn store_into_non_memref_fails() {
+        let mut m = Module::new();
+        let f = func::func(&mut m, "main", vec![], vec![]);
+        let mut b = func::entry_builder(&mut m.ctx, &f);
+        let v = arith::const_i32(&mut b, 1);
+        let not_a_buf = arith::const_i32(&mut b, 2);
+        b.insert_op("memref.store", vec![v, not_a_buf], vec![], []);
+        let e = check(&m).unwrap_err();
+        assert!(e.message.contains("must be a memref"), "{}", e.message);
+    }
+
+    #[test]
+    fn subview_without_static_sizes_fails() {
+        let mut m = Module::new();
+        let f = func::func(&mut m, "main", vec![], vec![]);
+        let mut b = func::entry_builder(&mut m.ctx, &f);
+        let buf = memref::alloc(&mut b, vec![8, 8], Type::i32());
+        let i = arith::const_index(&mut b, 0);
+        b.insert_op(
+            "memref.subview",
+            vec![buf, i, i],
+            vec![Type::MemRef(axi4mlir_ir::types::MemRefType::contiguous(vec![4, 4], Type::i32()))],
+            [],
+        );
+        let e = check(&m).unwrap_err();
+        assert!(e.message.contains("static_sizes"), "{}", e.message);
+    }
+
+    #[test]
+    fn linalg_generic_map_count_mismatch_fails() {
+        use axi4mlir_ir::affine::AffineMap;
+        use axi4mlir_ir::attrs::Attribute;
+        let mut m = Module::new();
+        let f = func::func(&mut m, "main", vec![], vec![]);
+        let mut b = func::entry_builder(&mut m.ctx, &f);
+        let buf = memref::alloc(&mut b, vec![4, 4], Type::i32());
+        // Two operands, one indexing map.
+        let map = AffineMap::projection(vec!["m".to_owned(), "n".to_owned()], &[0, 1]);
+        b.insert_op(
+            "linalg.generic",
+            vec![buf, buf],
+            vec![],
+            [("indexing_maps", Attribute::Array(vec![Attribute::Map(map)]))],
+        );
+        let e = check(&m).unwrap_err();
+        assert!(e.message.contains("one indexing map per operand"), "{}", e.message);
+    }
+
+    #[test]
+    fn func_without_terminator_fails() {
+        let mut m = Module::new();
+        let body = m.body();
+        let mut b = axi4mlir_ir::builder::OpBuilder::at_end(&mut m.ctx, body);
+        use axi4mlir_ir::attrs::Attribute;
+        let (_, entry) = b.insert_region_op(
+            "func.func",
+            vec![],
+            vec![],
+            [("sym_name", Attribute::Str("broken".into()))],
+            vec![],
+        );
+        b.set_insertion_end(entry);
+        arith::const_i32(&mut b, 0);
+        let e = check(&m).unwrap_err();
+        assert!(e.message.contains("func.return"), "{}", e.message);
     }
 }

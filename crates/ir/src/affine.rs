@@ -228,8 +228,8 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self.text[self.pos..].starts_with(|c: char| c.is_whitespace()) {
-            self.pos += 1;
+        while let Some(c) = self.text[self.pos..].chars().next().filter(|c| c.is_whitespace()) {
+            self.pos += c.len_utf8();
         }
     }
 

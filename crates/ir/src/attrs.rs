@@ -368,8 +368,8 @@ impl<'a> Lex<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self.rest().starts_with(|c: char| c.is_whitespace()) {
-            self.pos += 1;
+        while let Some(c) = self.rest().chars().next().filter(|c| c.is_whitespace()) {
+            self.pos += c.len_utf8();
         }
     }
 

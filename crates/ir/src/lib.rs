@@ -20,11 +20,14 @@
 //! - [`verifier`]: structural invariants (SSA dominance in structured
 //!   control flow, parent links, type sanity).
 //! - [`pass`]: a pass manager with per-pass verification.
+//! - [`analysis`]: a forward/backward dataflow framework (definedness,
+//!   liveness, integer ranges) the lint layer builds on.
 //!
 //! Dialect-specific operation builders and semantics live in the
 //! `axi4mlir-dialects` crate; this crate is dialect-agnostic.
 
 pub mod affine;
+pub mod analysis;
 pub mod attrs;
 pub mod builder;
 pub mod ops;
@@ -35,6 +38,7 @@ pub mod types;
 pub mod verifier;
 
 pub use affine::{AffineExpr, AffineMap};
+pub use analysis::{IntRange, Lattice, Liveness, ValueTable};
 pub use attrs::{Attribute, FlowElem, OpcodeAction, OpcodeFlow, OpcodeMap};
 pub use builder::OpBuilder;
 pub use ops::{BlockId, IrCtx, OpId, RegionId, ValueId};

@@ -101,8 +101,8 @@ impl<'a> P<'a> {
     fn skip_ws(&mut self) {
         loop {
             let rest = self.rest();
-            if rest.starts_with(|c: char| c.is_whitespace()) {
-                self.pos += 1;
+            if let Some(c) = rest.chars().next().filter(|c| c.is_whitespace()) {
+                self.pos += c.len_utf8();
             } else if rest.starts_with("//") {
                 let skip = rest.find('\n').map(|i| i + 1).unwrap_or(rest.len());
                 self.pos += skip;

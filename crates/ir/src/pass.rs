@@ -56,11 +56,17 @@ pub fn render_timings(timings: &[PassTiming]) -> String {
     out
 }
 
+/// An extra per-pass check run alongside the structural verifier when
+/// `verify_each` is on. This is how dialect-level verification (which lives
+/// in a crate above this one) plugs into the blame-the-pass loop.
+pub type ExtraVerifier = Box<dyn Fn(&Module) -> Result<(), Diagnostic>>;
+
 /// Runs a pipeline of passes with optional verification and IR capture.
 #[derive(Default)]
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
     verify_each: bool,
+    extra_verifiers: Vec<ExtraVerifier>,
     capture_ir: bool,
     timings: Vec<PassTiming>,
 }
@@ -68,7 +74,13 @@ pub struct PassManager {
 impl PassManager {
     /// Creates an empty manager with per-pass verification enabled.
     pub fn new() -> Self {
-        Self { passes: Vec::new(), verify_each: true, capture_ir: false, timings: Vec::new() }
+        Self {
+            passes: Vec::new(),
+            verify_each: true,
+            extra_verifiers: Vec::new(),
+            capture_ir: false,
+            timings: Vec::new(),
+        }
     }
 
     /// Adds a pass to the end of the pipeline.
@@ -80,6 +92,14 @@ impl PassManager {
     /// Enables or disables verification after each pass.
     pub fn verify_each(&mut self, on: bool) -> &mut Self {
         self.verify_each = on;
+        self
+    }
+
+    /// Registers an extra verifier run after every pass (when `verify_each`
+    /// is on), in registration order, after the structural verifier. A
+    /// failure is blamed on the pass that just ran.
+    pub fn add_verifier(&mut self, verifier: ExtraVerifier) -> &mut Self {
+        self.extra_verifiers.push(verifier);
         self
     }
 
@@ -134,6 +154,15 @@ impl PassManager {
                         d.message
                     ))
                 })?;
+                for extra in &self.extra_verifiers {
+                    extra(module).map_err(|d| {
+                        Diagnostic::error(format!(
+                            "verification failed after pass `{}`: {}",
+                            pass.name(),
+                            d.message
+                        ))
+                    })?;
+                }
             }
             self.timings.push(PassTiming {
                 pass: pass.name().to_owned(),
@@ -259,6 +288,38 @@ mod tests {
         pm.verify_each(false);
         pm.add(Box::new(Corrupting));
         assert!(pm.run(&mut module).is_ok());
+    }
+
+    #[test]
+    fn extra_verifier_blames_the_breaking_pass() {
+        let mut module = Module::new();
+        let mut pm = PassManager::new();
+        pm.add_verifier(Box::new(|m: &Module| {
+            if m.ctx.find_ops(m.top(), "test.use").is_empty() {
+                Ok(())
+            } else {
+                Err(Diagnostic::error("test.use is forbidden here"))
+            }
+        }));
+        // AddConstant passes both verifiers; the second pass introduces the
+        // forbidden op and is blamed by name.
+        struct AddUse;
+        impl Pass for AddUse {
+            fn name(&self) -> &str {
+                "test-add-use"
+            }
+            fn run(&mut self, m: &mut Module, _d: &mut DiagnosticEngine) -> Result<(), Diagnostic> {
+                let body = m.body();
+                let u = m.ctx.create_op("test.use", vec![], vec![], Default::default());
+                m.ctx.append_op(body, u);
+                Ok(())
+            }
+        }
+        pm.add(Box::new(AddConstant(1))).add(Box::new(AddUse));
+        let err = pm.run(&mut module).unwrap_err();
+        assert!(err.message.contains("after pass `test-add-use`"), "{}", err.message);
+        assert!(err.message.contains("test.use is forbidden"), "{}", err.message);
+        assert_eq!(pm.timings().len(), 1, "the blamed pass is not timed");
     }
 
     #[test]

@@ -25,11 +25,7 @@ use crate::ops::{BlockId, IrCtx, OpId, ValueId};
 pub fn verify(ctx: &IrCtx, root: OpId, diags: &mut DiagnosticEngine) -> Result<(), Diagnostic> {
     let mut visible: HashSet<ValueId> = HashSet::new();
     verify_op(ctx, root, &mut visible, diags);
-    let mut result_engine = DiagnosticEngine::new();
-    for d in diags.diagnostics() {
-        result_engine.emit(d.clone());
-    }
-    result_engine.into_result()
+    diags.result()
 }
 
 /// Convenience wrapper returning only the result.

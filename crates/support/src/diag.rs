@@ -74,6 +74,9 @@ pub struct Diagnostic {
     pub loc: SourceLoc,
     /// Optional notes elaborating on the primary message.
     pub notes: Vec<String>,
+    /// Machine-readable code (lint/verifier rules), e.g. `lint::isa-opcode`.
+    /// Rendered as `error[CODE]:`; absent for free-form diagnostics.
+    pub code: Option<String>,
 }
 
 impl Diagnostic {
@@ -84,6 +87,7 @@ impl Diagnostic {
             message: message.into(),
             loc: SourceLoc::unknown(),
             notes: Vec::new(),
+            code: None,
         }
     }
 
@@ -94,6 +98,7 @@ impl Diagnostic {
             message: message.into(),
             loc: SourceLoc::unknown(),
             notes: Vec::new(),
+            code: None,
         }
     }
 
@@ -104,6 +109,7 @@ impl Diagnostic {
             message: message.into(),
             loc: SourceLoc::unknown(),
             notes: Vec::new(),
+            code: None,
         }
     }
 
@@ -118,14 +124,22 @@ impl Diagnostic {
         self.notes.push(note.into());
         self
     }
+
+    /// Attaches a machine-readable code (rendered as `error[CODE]:`).
+    pub fn with_code(mut self, code: impl Into<String>) -> Self {
+        self.code = Some(code.into());
+        self
+    }
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.loc.is_unknown() {
-            write!(f, "{}: {}", self.severity, self.message)?;
-        } else {
-            write!(f, "{}: {}: {}", self.loc, self.severity, self.message)?;
+        if !self.loc.is_unknown() {
+            write!(f, "{}: ", self.loc)?;
+        }
+        match &self.code {
+            Some(code) => write!(f, "{}[{code}]: {}", self.severity, self.message)?,
+            None => write!(f, "{}: {}", self.severity, self.message)?,
         }
         for note in &self.notes {
             write!(f, "\n  note: {note}")?;
@@ -203,20 +217,29 @@ impl DiagnosticEngine {
     /// Returns the first error diagnostic (with all messages rendered into
     /// its notes) when [`DiagnosticEngine::has_errors`] is true.
     pub fn into_result(self) -> Result<(), Diagnostic> {
-        if self.has_errors() {
-            let mut primary = self
-                .diagnostics
-                .iter()
-                .find(|d| d.severity == Severity::Error)
-                .cloned()
-                .expect("has_errors");
-            let extra: Vec<String> =
-                self.diagnostics.iter().filter(|d| **d != primary).map(|d| d.to_string()).collect();
-            primary.notes.extend(extra);
-            Err(primary)
-        } else {
-            Ok(())
-        }
+        self.result()
+    }
+
+    /// Non-consuming form of [`DiagnosticEngine::into_result`]: summarizes
+    /// the recorded diagnostics into a `Result` while leaving them in the
+    /// engine for the caller to inspect. Verifiers use this to collect into
+    /// a caller-supplied engine *and* return a `Result` from the same
+    /// engine, without cloning everything into a second one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error diagnostic (with all other messages rendered
+    /// into its notes) when [`DiagnosticEngine::has_errors`] is true.
+    pub fn result(&self) -> Result<(), Diagnostic> {
+        let Some(mut primary) =
+            self.diagnostics.iter().find(|d| d.severity == Severity::Error).cloned()
+        else {
+            return Ok(());
+        };
+        let extra: Vec<String> =
+            self.diagnostics.iter().filter(|d| **d != primary).map(|d| d.to_string()).collect();
+        primary.notes.extend(extra);
+        Err(primary)
     }
 }
 
@@ -273,6 +296,38 @@ mod tests {
         let err = e.into_result().unwrap_err();
         assert_eq!(err.message, "boom");
         assert!(err.notes.iter().any(|n| n.contains("context")));
+    }
+
+    #[test]
+    fn display_with_code() {
+        let d = Diagnostic::error("burst writes past the memref").with_code("lint::dma-bounds");
+        assert_eq!(d.to_string(), "error[lint::dma-bounds]: burst writes past the memref");
+        let located = d.at(SourceLoc::new(2, 7));
+        assert_eq!(
+            located.to_string(),
+            "2:7: error[lint::dma-bounds]: burst writes past the memref"
+        );
+    }
+
+    #[test]
+    fn result_leaves_the_engine_intact() {
+        let mut e = DiagnosticEngine::new();
+        e.warning("context");
+        e.error("boom");
+        let err = e.result().unwrap_err();
+        assert_eq!(err.message, "boom");
+        assert!(err.notes.iter().any(|n| n.contains("context")));
+        // The engine still holds everything it collected.
+        assert_eq!(e.diagnostics().len(), 2);
+        assert!(e.result().is_err(), "result() is repeatable");
+    }
+
+    #[test]
+    fn result_preserves_the_error_code() {
+        let mut e = DiagnosticEngine::new();
+        e.emit(Diagnostic::error("illegal flow").with_code("lint::flow-legal"));
+        let err = e.result().unwrap_err();
+        assert_eq!(err.code.as_deref(), Some("lint::flow-legal"));
     }
 
     #[test]

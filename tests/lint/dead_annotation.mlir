@@ -1,0 +1,11 @@
+// lint::dead-annotation — the op carries only `accel_name`; without
+// `opcode_map` and `opcode_flow` the annotation set can never drive
+// codegen.
+"builtin.module"() ({
+  ^bb():
+    "func.func"() ({
+      ^bb():
+        "test.op"() {accel_name = "v1_4"} : () -> ()
+        "func.return"() : () -> ()
+    }) {sym_name = "incomplete"} : () -> ()
+}) : () -> ()

@@ -1,0 +1,13 @@
+// lint::dma-bounds — the subview starts at offset 6 and spans 4
+// elements in each dimension of an 8x8 source: 6 + 4 > 8 on every
+// execution, so the staged DMA burst always runs off the end.
+"builtin.module"() ({
+  ^bb():
+    "func.func"() ({
+      ^bb():
+        %0 = "memref.alloc"() : () -> (memref<8x8xi32>)
+        %1 = "arith.constant"() {value = 6} : () -> (index)
+        %2 = "memref.subview"(%0, %1, %1) {static_sizes = [4, 4]} : (memref<8x8xi32>, index, index) -> (memref<4x4xi32>)
+        "func.return"() : () -> ()
+    }) {sym_name = "oob"} : () -> ()
+}) : () -> ()

@@ -1,0 +1,16 @@
+// lint::fifo-capacity — the 4x4x4 tile makes every operand 16 words
+// (64 bytes) per transfer, but the DMA staging regions are shrunk to
+// 16 bytes.
+"builtin.module"() ({
+  ^bb():
+    "func.func"() ({
+      ^bb(%0: memref<8x8xi32>, %1: memref<8x8xi32>, %2: memref<8x8xi32>):
+        "linalg.generic"(%0, %1, %2) ({
+          ^bb(%3: i32, %4: i32, %5: i32):
+            %6 = "arith.muli"(%3, %4) : (i32, i32) -> (i32)
+            %7 = "arith.addi"(%5, %6) : (i32, i32) -> (i32)
+            "linalg.yield"(%7) : (i32) -> ()
+        }) {accel_dim = affine_map<(m, n, k) -> (4, 4, 4)>, accel_name = "v1_4", dma_init_config = {id = 0, inputAddress = 66, inputBufferSize = 16, outputAddress = 65346, outputBufferSize = 16}, indexing_maps = [affine_map<(m, n, k) -> (m, k)>, affine_map<(m, n, k) -> (k, n)>, affine_map<(m, n, k) -> (m, n)>], init_opcodes = opcode_flow<(reset)>, iterator_types = ["parallel", "parallel", "reduction"], num_inputs = 2, opcode_flow = opcode_flow<(sAsBcCrC)>, opcode_map = opcode_map<sAsBcCrC = [send_literal(32), send(0), send(1), recv(2)], reset = [send_literal(255)]>, permutation_map = affine_map<(m, n, k) -> (m, n, k)>} : (memref<8x8xi32>, memref<8x8xi32>, memref<8x8xi32>) -> ()
+        "func.return"() : () -> ()
+    }) {arg_types = [memref<8x8xi32>, memref<8x8xi32>, memref<8x8xi32>], result_types = [], sym_name = "matmul_call"} : () -> ()
+}) : () -> ()

@@ -1,0 +1,172 @@
+//! Parser robustness: the textual-IR parser must return `Err` — never
+//! panic — on arbitrary input, and must be the exact inverse of the
+//! printer on every module the IR layer can construct. The byte-level
+//! cases exercise the lexers' multi-byte handling (Unicode whitespace
+//! like U+00A0 used to split a codepoint and panic on the next slice).
+
+use proptest::prelude::*;
+use proptest::TestRng;
+
+use axi4mlir::ir::affine::AffineMap;
+use axi4mlir::ir::attrs::{Attribute, OpcodeMap};
+use axi4mlir::ir::builder::OpBuilder;
+use axi4mlir::ir::ops::Module;
+use axi4mlir::ir::parser::parse_module;
+use axi4mlir::ir::printer::print_op;
+use axi4mlir::ir::types::{MemRefType, Type};
+
+// ---------------------------------------------------------------------
+// Random-module generator (seeded, deterministic)
+// ---------------------------------------------------------------------
+
+fn random_type(rng: &mut TestRng) -> Type {
+    match rng.below(4) {
+        0 => Type::index(),
+        1 => Type::Int(32),
+        2 => Type::Float(32),
+        _ => Type::MemRef(MemRefType::contiguous(
+            vec![1 + rng.below(8) as i64, 1 + rng.below(8) as i64],
+            Type::Int(32),
+        )),
+    }
+}
+
+fn random_attr(rng: &mut TestRng, depth: u32) -> Attribute {
+    match rng.below(if depth > 0 { 6 } else { 4 }) {
+        0 => Attribute::Int(rng.below(2000) as i64 - 1000),
+        1 => Attribute::Bool(rng.below(2) == 0),
+        2 => Attribute::Str(format!("s{}", rng.below(100))),
+        3 => Attribute::Type(random_type(rng)),
+        4 => Attribute::Array((0..rng.below(4)).map(|_| random_attr(rng, depth - 1)).collect()),
+        _ => Attribute::Dict(
+            (0..rng.below(4)).map(|i| (format!("k{i}"), random_attr(rng, depth - 1))).collect(),
+        ),
+    }
+}
+
+fn random_attrs(rng: &mut TestRng) -> Vec<(&'static str, Attribute)> {
+    const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+    (0..rng.below(4) as usize).map(|i| (NAMES[i], random_attr(rng, 2))).collect()
+}
+
+/// Appends a random run of ops at the builder's insertion point. `values`
+/// holds the SSA names in scope; region ops get a child scope that sees
+/// them plus its own block arguments, matching the parser's environment.
+fn random_ops(
+    b: &mut OpBuilder,
+    rng: &mut TestRng,
+    values: &mut Vec<axi4mlir::ir::ops::ValueId>,
+    depth: u32,
+) {
+    for _ in 0..1 + rng.below(4) {
+        let operands: Vec<_> = if values.is_empty() {
+            Vec::new()
+        } else {
+            (0..rng.below(3) as usize)
+                .map(|_| values[rng.below(values.len() as u64) as usize])
+                .collect()
+        };
+        if depth > 0 && rng.below(4) == 0 {
+            let arg_types: Vec<Type> = (0..rng.below(3)).map(|_| random_type(rng)).collect();
+            let attrs = random_attrs(rng);
+            let (_, inner) = b.insert_region_op("t.region", operands, vec![], attrs, arg_types);
+            let outer = b.block();
+            let mut scope = values.clone();
+            let args = b.ctx_ref().block(inner).args.clone();
+            scope.extend(args);
+            b.set_insertion_end(inner);
+            random_ops(b, rng, &mut scope, depth - 1);
+            b.set_insertion_end(outer);
+        } else {
+            let result_types: Vec<Type> = (0..rng.below(3)).map(|_| random_type(rng)).collect();
+            let attrs = random_attrs(rng);
+            let n = result_types.len();
+            let op = b.insert_op("t.op", operands, result_types, attrs);
+            for i in 0..n {
+                let v = b.ctx().result(op, i);
+                values.push(v);
+            }
+        }
+    }
+}
+
+fn random_module(seed: u64) -> Module {
+    let mut rng = TestRng::new(seed);
+    let mut module = Module::new();
+    let body = module.body();
+    let mut b = OpBuilder::at_end(&mut module.ctx, body);
+    let mut values = Vec::new();
+    random_ops(&mut b, &mut rng, &mut values, 3);
+    module
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print → parse → print is a fixpoint for arbitrary generated
+    /// modules: random op/region nesting, every attribute kind the
+    /// generator covers, every scalar and memref result type.
+    #[test]
+    fn random_modules_roundtrip(seed in any::<u64>()) {
+        let module = random_module(seed);
+        let printed = print_op(&module.ctx, module.top());
+        let reparsed = parse_module(&printed)
+            .unwrap_or_else(|d| panic!("printed module must parse: {}\n{printed}", d.message));
+        prop_assert_eq!(print_op(&reparsed.ctx, reparsed.top()), printed);
+        prop_assert_eq!(reparsed.ctx.live_op_count(), module.ctx.live_op_count());
+    }
+
+    /// Arbitrary bytes: the parser returns a result, it never panics.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec((0u32..256).prop_map(|b| b as u8), 0..96)
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_module(&text);
+    }
+
+    /// Mutations of valid modules: splice random bytes (including
+    /// multi-byte Unicode whitespace) into printed IR, or truncate it at
+    /// an arbitrary byte. The parser must still return, never panic.
+    #[test]
+    fn parser_never_panics_on_mutated_modules(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let module = random_module(seed);
+        let mut text = print_op(&module.ctx, module.top()).into_bytes();
+        for _ in 0..1 + rng.below(4) {
+            let at = rng.below(text.len() as u64 + 1) as usize;
+            match rng.below(3) {
+                0 => text.truncate(at),
+                1 => text.insert(at, rng.below(256) as u8),
+                _ => {
+                    let ws = ["\u{00A0}", "\u{2003}", "\u{3000}", "\u{2028}"];
+                    let pick = ws[rng.below(ws.len() as u64) as usize];
+                    for byte in pick.bytes().rev() {
+                        text.insert(at, byte);
+                    }
+                }
+            }
+        }
+        let _ = parse_module(&String::from_utf8_lossy(&text));
+    }
+}
+
+/// Regression: multi-byte Unicode whitespace used to advance the lexers
+/// one *byte* per whitespace *char*, splitting the codepoint and
+/// panicking on the next slice. All three lexers (module parser,
+/// attribute parser, affine-map parser) must skip it whole.
+#[test]
+fn multibyte_whitespace_is_skipped_not_split() {
+    let module = "\u{00A0}\"builtin.module\"()\u{2003}({\n^bb():\u{00A0}\n\
+                  \u{3000}%0 = \"arith.constant\"() {value = 1} : () -> (i32)\n}) : () -> ()\n";
+    parse_module(module).expect("NBSP, em space, and ideographic space are whitespace");
+
+    let map =
+        OpcodeMap::parse(&"opcode_map<sA = [send_literal(34), send(0)]>".replace(' ', "\u{00A0}"))
+            .expect("opcode map lexer skips NBSP");
+    assert_eq!(map.len(), 1);
+
+    let affine =
+        AffineMap::parse(&"(m, n, k) -> (m, k)".replace(' ', "\u{00A0}")).expect("affine lexer");
+    assert_eq!(affine.num_dims(), 3);
+}
