@@ -59,7 +59,7 @@ use axi4mlir_core::explore::{
     Explorer, HalvingSpec, JobSpec, MatMulSpace, Objective, OptionsPoint, Prune, Search,
     TransferModel,
 };
-use axi4mlir_hub::HubClient;
+use axi4mlir_hub::{run_resilient, HubClient};
 use axi4mlir_support::fmtutil::{fmt_ms, TextTable};
 use axi4mlir_support::json::JsonValue;
 use axi4mlir_workloads::matmul::MatMulProblem;
@@ -431,16 +431,23 @@ fn request_from_args(args: &[String]) -> Result<Request, String> {
 }
 
 /// Runs the request on a hub daemon, streaming progress to stdout, and
-/// returns the report the `done` event carried.
+/// returns the report the `done` event carried. The sweep itself goes
+/// through [`run_resilient`]: a dropped event stream is recovered by
+/// reconnecting and `follow`ing the job, so a long sweep survives the
+/// network hiccups the chaos suite injects.
 fn run_on_hub(addr: &str, request: &Request) -> Result<ExploreReport, String> {
     let fail = |diag: axi4mlir_support::diag::Diagnostic| diag.message;
-    let mut client = HubClient::connect(addr).map_err(fail)?;
-    println!(
-        "hub {addr}: {} cached results, {} workers, queue capacity {}",
-        client.info().cache_entries,
-        client.info().workers,
-        client.info().queue_capacity
-    );
+    {
+        // A short-lived connection for the handshake banner; the job
+        // runs on `run_resilient`'s own (reconnectable) connections.
+        let client = HubClient::connect(addr).map_err(fail)?;
+        println!(
+            "hub {addr}: {} cached results, {} workers, queue capacity {}",
+            client.info().cache_entries,
+            client.info().workers,
+            client.info().queue_capacity
+        );
+    }
     let job = request.to_job();
     let mut on_event = |event: &JsonValue| {
         let get = |name: &str| event.get(name).and_then(JsonValue::as_u64).unwrap_or(0);
@@ -466,7 +473,7 @@ fn run_on_hub(addr: &str, request: &Request) -> Result<ExploreReport, String> {
             _ => {}
         }
     };
-    client.run(&job, &mut on_event).map_err(fail)
+    run_resilient(addr, &job, 3, &mut on_event).map_err(fail)
 }
 
 /// Converts an exploration into the `BENCH_explore.json` document:
@@ -499,6 +506,17 @@ fn to_report(request: &Request, report: &ExploreReport, front: &[usize]) -> Benc
             "worker_sims",
             JsonValue::object(
                 report.worker_sims.iter().map(|(worker, sims)| (worker.clone(), (*sims).into())),
+            ),
+        );
+    }
+    // Per-worker re-registration counts (worker address -> reconnects),
+    // present only when the sweep actually lost and recovered workers —
+    // a fault-free run must keep emitting byte-identical context.
+    if !report.worker_reconnects.is_empty() {
+        out = out.context(
+            "worker_reconnects",
+            JsonValue::object(
+                report.worker_reconnects.iter().map(|(worker, n)| (worker.clone(), (*n).into())),
             ),
         );
     }

@@ -29,16 +29,16 @@
 //! ([`DesignSpace::wire_spec`]); the accelerator, flow, tile, and
 //! options all ride inside the candidate's key.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use axi4mlir_support::diag::Diagnostic;
 use axi4mlir_support::json::JsonValue;
-use axi4mlir_support::proto::{write_frame, Frame, FrameReader};
+use axi4mlir_support::proto::{write_frame, write_frame_at, Frame, FrameReader};
 
 use crate::driver::Session;
 
@@ -248,6 +248,12 @@ impl<'a> MeasureQueue<'a> {
         drop(task); // the drop handler is exactly the requeue path
     }
 
+    /// Records that `worker` came back after its connection was lost —
+    /// surfaced as `worker_reconnects` in the sweep report.
+    pub fn record_reconnect(&self, worker: &str) {
+        self.stats.record_reconnect(worker);
+    }
+
     fn abandon(&self, index: usize) {
         self.explorer.in_flight.release(&self.meta[index].0);
         self.pending.lock().expect("measure queue poisoned").push_back(index);
@@ -350,12 +356,19 @@ pub fn run_candidate(
 // Remote pool
 // ---------------------------------------------------------------------
 
-/// Reconnection attempts per worker death before the pump gives up on
-/// that worker (the queue survives as long as one worker remains).
+/// Consecutive failed connection attempts before a pump *may* give up —
+/// and it only actually gives up while no other pool worker is
+/// connected. While at least one peer is serving the queue, the pump
+/// keeps retrying with backoff forever, so a worker that comes back
+/// hours later still rejoins.
 const RECONNECT_ATTEMPTS: usize = 3;
 
-/// Pause between reconnection attempts.
+/// Initial pause between reconnection attempts (doubles per consecutive
+/// failure, capped at [`RECONNECT_BACKOFF_CAP`]).
 const RECONNECT_BACKOFF: Duration = Duration::from_millis(100);
+
+/// Ceiling for the exponential reconnect backoff.
+const RECONNECT_BACKOFF_CAP: Duration = Duration::from_millis(800);
 
 /// How long a connection handshake may take before the worker is
 /// declared unreachable.
@@ -365,18 +378,34 @@ const HELLO_DEADLINE: Duration = Duration::from_secs(5);
 /// daemons. One pump thread per worker keeps up to
 /// [`RemotePool::in_flight`] requests outstanding; a worker that dies
 /// has its claims requeued (served by the surviving workers) and its
-/// connection retried with backoff.
+/// address retried with exponential backoff until it re-registers —
+/// a pump abandons its address only when the whole pool is unreachable.
+/// Re-registrations are recorded on the queue and surface as
+/// `worker_reconnects` in the report.
 #[derive(Clone, Debug)]
 pub struct RemotePool {
     addrs: Vec<String>,
     window: usize,
+    state: Arc<PoolState>,
+}
+
+/// Liveness shared by a pool's pumps across connections and drains.
+#[derive(Debug, Default)]
+struct PoolState {
+    /// Pumps currently holding a healthy worker connection.
+    connected: AtomicUsize,
+    /// Addresses whose last connection was lost. The flag outlives the
+    /// rung that observed the loss, so a worker that dies late in one
+    /// rung and comes back during a later one is still recorded as a
+    /// re-registration.
+    lost: Mutex<HashSet<String>>,
 }
 
 impl RemotePool {
     /// A pool over `addrs` with the default in-flight window of 4
     /// requests per worker.
     pub fn new(addrs: Vec<String>) -> Self {
-        Self { addrs, window: 4 }
+        Self { addrs, window: 4, state: Arc::default() }
     }
 
     /// Overrides the per-worker in-flight window (clamped to ≥ 1).
@@ -403,13 +432,18 @@ impl MeasureBackend for RemotePool {
             )));
         };
         let job = spec.to_json();
+        // The per-job worker budget (threaded through `queue.workers()`)
+        // caps each pump's in-flight window, so one huge job cannot
+        // monopolize the pool's slots across rungs.
+        let window = self.window.min(queue.workers().max(1));
         let failures: Vec<Diagnostic> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .addrs
                 .iter()
                 .map(|addr| {
                     let job = &job;
-                    scope.spawn(move || pump(addr, job, self.window, queue))
+                    let state = &self.state;
+                    scope.spawn(move || pump(addr, job, window, queue, state))
                 })
                 .collect();
             handles
@@ -503,85 +537,131 @@ fn parse_reply(frame: &JsonValue) -> Option<WorkerReply> {
     }
 }
 
-/// Drives one worker connection until the queue drains or the worker is
-/// unrecoverable. Outstanding claims are requeued (by drop) whenever the
-/// connection dies, so no candidate is ever lost to a worker death.
+/// Why [`serve_worker`] returned.
+enum Served {
+    /// The queue drained while this connection was healthy.
+    Drained,
+    /// The connection died (EOF, I/O error, or a malformed frame);
+    /// outstanding claims were requeued by drop.
+    Lost,
+}
+
+/// Drives one worker address for the life of the rung. A lost connection
+/// requeues its outstanding claims (by drop) and is retried with
+/// exponential backoff; a successful reconnect after a loss re-registers
+/// the worker via [`MeasureQueue::record_reconnect`]. The pump abandons
+/// the address only once [`RECONNECT_ATTEMPTS`] consecutive connects
+/// failed *and* no other pump in the pool is connected — while any peer
+/// is serving the queue, a dead worker's address keeps being retried so
+/// it can rejoin whenever it comes back.
 fn pump(
     addr: &str,
     job: &JsonValue,
     window: usize,
     queue: &MeasureQueue<'_>,
+    state: &PoolState,
 ) -> Result<(), Diagnostic> {
-    let mut attempts = RECONNECT_ATTEMPTS;
-    'connection: loop {
+    let mut failures = 0usize;
+    loop {
         if queue.is_drained() {
             return Ok(());
         }
         let mut conn = match connect(addr) {
             Ok(conn) => conn,
             Err(err) => {
-                if attempts == 0 {
+                failures += 1;
+                if failures >= RECONNECT_ATTEMPTS && state.connected.load(Ordering::Acquire) == 0 {
                     return Err(err);
                 }
-                attempts -= 1;
-                std::thread::sleep(RECONNECT_BACKOFF);
-                continue 'connection;
+                let backoff = RECONNECT_BACKOFF
+                    .saturating_mul(1 << (failures - 1).min(4) as u32)
+                    .min(RECONNECT_BACKOFF_CAP);
+                std::thread::sleep(backoff);
+                continue;
             }
         };
-        attempts = RECONNECT_ATTEMPTS;
-        let mut next_id: u64 = 1;
-        let mut outstanding = HashMap::new();
-        loop {
-            // Keep the in-flight window full.
-            let mut starved = false;
-            while outstanding.len() < window {
-                match queue.try_claim() {
-                    Claimed::Task(task) => {
-                        let frame =
-                            measure_request(next_id, job, queue.fidelity(), queue.candidate(&task));
-                        if write_frame(&mut conn.writer, &frame).is_err() {
-                            // `task` and `outstanding` requeue on drop.
-                            continue 'connection;
-                        }
-                        outstanding.insert(next_id, task);
-                        next_id += 1;
+        failures = 0;
+        // The loss flag lives on the pool, not this pump: a worker
+        // that died in an earlier rung and reconnects here is still a
+        // re-registration.
+        if state.lost.lock().expect("pool state poisoned").remove(addr) {
+            queue.record_reconnect(addr);
+        }
+        state.connected.fetch_add(1, Ordering::AcqRel);
+        let served = serve_worker(addr, &mut conn, job, window, queue);
+        state.connected.fetch_sub(1, Ordering::AcqRel);
+        match served {
+            Served::Drained => return Ok(()),
+            Served::Lost => {
+                state.lost.lock().expect("pool state poisoned").insert(addr.to_owned());
+            }
+        }
+    }
+}
+
+/// Runs one healthy connection until the queue drains or the connection
+/// dies. Outstanding claims are requeued (by drop) on every exit path
+/// that loses the connection, so no candidate is ever lost to a worker
+/// death.
+fn serve_worker(
+    addr: &str,
+    conn: &mut Conn,
+    job: &JsonValue,
+    window: usize,
+    queue: &MeasureQueue<'_>,
+) -> Served {
+    let mut next_id: u64 = 1;
+    let mut outstanding = HashMap::new();
+    loop {
+        // Keep the in-flight window full.
+        let mut starved = false;
+        while outstanding.len() < window {
+            match queue.try_claim() {
+                Claimed::Task(task) => {
+                    let frame =
+                        measure_request(next_id, job, queue.fidelity(), queue.candidate(&task));
+                    if write_frame_at("pool.send", &mut conn.writer, &frame).is_err() {
+                        // `task` and `outstanding` requeue on drop.
+                        return Served::Lost;
                     }
-                    Claimed::Busy | Claimed::Empty => {
-                        starved = true;
-                        break;
-                    }
+                    outstanding.insert(next_id, task);
+                    next_id += 1;
+                }
+                Claimed::Busy | Claimed::Empty => {
+                    starved = true;
+                    break;
                 }
             }
-            if outstanding.is_empty() {
-                if queue.is_drained() {
-                    return Ok(());
-                }
-                if starved {
-                    // Work remains, but none is claimable by us right
-                    // now (held by concurrent sweeps or other pumps
-                    // whose death would requeue it). Stay alive.
-                    queue.wait_for_progress();
-                    continue;
-                }
+        }
+        if outstanding.is_empty() {
+            if queue.is_drained() {
+                return Served::Drained;
             }
-            match conn.reader.next_frame() {
-                Ok(Frame::Idle) => continue,
-                Ok(Frame::Value(frame)) => match parse_reply(&frame) {
-                    Some(WorkerReply::Result { id, eval, nanos }) => {
-                        if let Some(task) = outstanding.remove(&id) {
-                            queue.complete(task, Ok(eval), nanos, addr);
-                        }
-                    }
-                    Some(WorkerReply::Failed { id, reason }) => {
-                        if let Some(task) = outstanding.remove(&id) {
-                            queue.complete(task, Err(Diagnostic::error(reason)), 0, addr);
-                        }
-                    }
-                    Some(WorkerReply::Other) => {}
-                    None => continue 'connection, // malformed: reset the connection
-                },
-                Ok(Frame::Eof) | Err(_) => continue 'connection,
+            if starved {
+                // Work remains, but none is claimable by us right
+                // now (held by concurrent sweeps or other pumps
+                // whose death would requeue it). Stay alive.
+                queue.wait_for_progress();
+                continue;
             }
+        }
+        match conn.reader.next_frame() {
+            Ok(Frame::Idle) => continue,
+            Ok(Frame::Value(frame)) => match parse_reply(&frame) {
+                Some(WorkerReply::Result { id, eval, nanos }) => {
+                    if let Some(task) = outstanding.remove(&id) {
+                        queue.complete(task, Ok(eval), nanos, addr);
+                    }
+                }
+                Some(WorkerReply::Failed { id, reason }) => {
+                    if let Some(task) = outstanding.remove(&id) {
+                        queue.complete(task, Err(Diagnostic::error(reason)), 0, addr);
+                    }
+                }
+                Some(WorkerReply::Other) => {}
+                None => return Served::Lost, // malformed: reset the connection
+            },
+            Ok(Frame::Eof) | Err(_) => return Served::Lost,
         }
     }
 }

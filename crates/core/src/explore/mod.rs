@@ -205,6 +205,12 @@ pub struct ExploreReport {
     /// remote pool). Load-balance context; excluded, like timing, from
     /// determinism comparisons.
     pub worker_sims: Vec<(String, usize)>,
+    /// Per-worker re-registrations: how many times each remote worker's
+    /// connection was lost and the worker later rejoined the pool,
+    /// sorted by worker label. Empty for local sweeps and fault-free
+    /// remote sweeps. Health context; excluded, like timing, from
+    /// determinism comparisons.
+    pub worker_reconnects: Vec<(String, usize)>,
     /// The measured candidates: every survivor for an exhaustive search,
     /// the finalists for a halving search.
     pub evaluations: Vec<Evaluation>,
@@ -367,6 +373,9 @@ pub(crate) struct SweepStats {
     /// pool, the worker's address for a remote pool) — the report's
     /// load-balance context.
     worker_sims: Mutex<HashMap<String, usize>>,
+    /// Re-registrations per remote worker — the report's worker-health
+    /// context.
+    reconnects: Mutex<HashMap<String, usize>>,
 }
 
 impl SweepStats {
@@ -407,6 +416,28 @@ impl SweepStats {
             .collect();
         sims.sort();
         sims
+    }
+
+    /// Accounts one re-registration of a lost remote worker.
+    pub(crate) fn record_reconnect(&self, worker: &str) {
+        *self
+            .reconnects
+            .lock()
+            .expect("sweep stats poisoned")
+            .entry(worker.to_owned())
+            .or_insert(0) += 1;
+    }
+
+    pub(crate) fn worker_reconnects(&self) -> Vec<(String, usize)> {
+        let mut reconnects: Vec<(String, usize)> = self
+            .reconnects
+            .lock()
+            .expect("sweep stats poisoned")
+            .iter()
+            .map(|(worker, n)| (worker.clone(), *n))
+            .collect();
+        reconnects.sort();
+        reconnects
     }
 }
 
@@ -814,6 +845,7 @@ impl Explorer {
             warm_informed,
             measure_backend: self.backend.describe(),
             worker_sims: stats.worker_sims(),
+            worker_reconnects: stats.worker_reconnects(),
             evaluations,
             objectives,
             heuristic,

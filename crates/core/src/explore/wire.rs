@@ -163,6 +163,20 @@ pub fn report_to_json(report: &ExploreReport) -> JsonValue {
             JsonValue::Array(report.evaluations.iter().map(evaluation_to_json).collect()),
         ),
     ];
+    // Omitted when empty (local sweeps, fault-free remote sweeps) so
+    // fault-free documents are byte-identical to pre-reconnect ones.
+    if !report.worker_reconnects.is_empty() {
+        members.push((
+            "worker_reconnects".to_owned(),
+            JsonValue::Array(
+                report
+                    .worker_reconnects
+                    .iter()
+                    .map(|(worker, n)| JsonValue::Array(vec![worker.clone().into(), (*n).into()]))
+                    .collect(),
+            ),
+        ));
+    }
     if let Some(heuristic) = &report.heuristic {
         members.push(("heuristic".to_owned(), candidate_to_json(heuristic)));
     }
@@ -253,6 +267,23 @@ pub fn report_from_json(value: &JsonValue) -> Result<ExploreReport, Diagnostic> 
                 }
             }
             worker_sims
+        },
+        // Absent for fault-free sweeps and pre-reconnect wire reports.
+        worker_reconnects: {
+            let mut reconnects = Vec::new();
+            for pair in value.get("worker_reconnects").and_then(JsonValue::as_array).unwrap_or(&[])
+            {
+                let items = pair.as_array().unwrap_or(&[]);
+                let worker = items.first().and_then(JsonValue::as_str);
+                let n = items.get(1).and_then(JsonValue::as_u64);
+                match (worker, n) {
+                    (Some(worker), Some(n)) if items.len() == 2 => {
+                        reconnects.push((worker.to_owned(), n as usize));
+                    }
+                    _ => return Err(wire_err("worker_reconnects must hold [worker, count] pairs")),
+                }
+            }
+            reconnects
         },
         evaluations,
         objectives,

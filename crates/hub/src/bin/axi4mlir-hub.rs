@@ -3,7 +3,7 @@
 //! ```text
 //! axi4mlir-hub [--bind ADDR] [--workers N] [--sim-workers N]
 //!              [--queue N] [--cache PATH | --cache-dir DIR]
-//!              [--worker ADDR]...
+//!              [--worker ADDR]... [--event-buffer N] [--faults SPEC]
 //! ```
 //!
 //! Binds, prints `axi4mlir-hub listening on ADDR` (port 0 in `--bind`
@@ -18,6 +18,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use axi4mlir_hub::{Hub, HubConfig};
+use axi4mlir_support::fault;
 
 /// Set by the signal handler, polled by every hub loop.
 static STOP: AtomicBool = AtomicBool::new(false);
@@ -37,7 +38,8 @@ const SIGINT: i32 = 2;
 const SIGTERM: i32 = 15;
 
 const USAGE: &str = "usage: axi4mlir-hub [--bind ADDR] [--workers N] [--sim-workers N] \
-                     [--queue N] [--cache PATH | --cache-dir DIR] [--worker ADDR]...
+                     [--queue N] [--cache PATH | --cache-dir DIR] [--worker ADDR]... \
+                     [--event-buffer N] [--faults SPEC]
 
   --bind ADDR        listen address (default 127.0.0.1:0 — a free port)
   --workers N        concurrent jobs (executor threads; default 2)
@@ -46,10 +48,15 @@ const USAGE: &str = "usage: axi4mlir-hub [--bind ADDR] [--workers N] [--sim-work
   --cache PATH       load/checkpoint the shared result cache at PATH (single file)
   --cache-dir DIR    load/checkpoint the cache sharded across DIR (dirty shards only)
   --worker ADDR      fan measurements out to an axi4mlir-worker at ADDR (repeatable;
-                     default: measure in-process)";
+                     default: measure in-process)
+  --event-buffer N   events retained per job for `follow` replay (default 64)
+  --faults SPEC      arm a deterministic fault plan, e.g.
+                     'seed=7,hub.event:drop@2' (chaos testing; wins over
+                     the AXI4MLIR_FAULTS environment variable)";
 
-fn parse_args(args: &[String]) -> Result<HubConfig, String> {
+fn parse_args(args: &[String]) -> Result<(HubConfig, Option<String>), String> {
     let mut config = HubConfig { stop: Some(&STOP), ..HubConfig::default() };
+    let mut faults = None;
     let mut at = 0;
     let value = |at: &mut usize, flag: &str| -> Result<String, String> {
         *at += 1;
@@ -74,6 +81,11 @@ fn parse_args(args: &[String]) -> Result<HubConfig, String> {
             "--cache" => config.cache_path = Some(PathBuf::from(value(&mut at, flag)?)),
             "--cache-dir" => config.cache_dir = Some(PathBuf::from(value(&mut at, flag)?)),
             "--worker" => config.measure_workers.push(value(&mut at, flag)?),
+            "--event-buffer" => {
+                config.event_buffer =
+                    value(&mut at, flag)?.parse().map_err(|_| "--event-buffer needs an integer")?;
+            }
+            "--faults" => faults = Some(value(&mut at, flag)?),
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -82,18 +94,29 @@ fn parse_args(args: &[String]) -> Result<HubConfig, String> {
     if config.cache_path.is_some() && config.cache_dir.is_some() {
         return Err(format!("--cache and --cache-dir are mutually exclusive\n{USAGE}"));
     }
-    Ok(config)
+    Ok((config, faults))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let config = match parse_args(&args) {
-        Ok(config) => config,
+    let (config, faults) = match parse_args(&args) {
+        Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };
+    // `--faults` wins over AXI4MLIR_FAULTS (first install sticks).
+    let armed = match faults {
+        Some(spec) => fault::FaultPlan::parse(&spec).map(|plan| {
+            fault::install(plan);
+        }),
+        None => fault::install_from_env().map(|_| ()),
+    };
+    if let Err(err) = armed {
+        eprintln!("axi4mlir-hub: {}", err.message);
+        return ExitCode::FAILURE;
+    }
     unsafe {
         signal(SIGINT, on_signal as *const () as usize);
         signal(SIGTERM, on_signal as *const () as usize);
@@ -114,6 +137,11 @@ fn main() -> ExitCode {
                 "axi4mlir-hub: {} completed, {} failed, cache holds {} entries",
                 summary.completed, summary.failed, summary.cache_entries
             );
+            if let Some(plan) = fault::active() {
+                for fired in plan.fired() {
+                    eprintln!("axi4mlir-hub: fault fired: {fired}");
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(err) => {

@@ -7,9 +7,18 @@
 //! [`HubClient::run`] rebuilds into the same [`ExploreReport`] a local
 //! sweep would have produced — callers render output with the exact
 //! code they use without a hub.
+//!
+//! A connection lost mid-job does not lose the job: the hub keeps
+//! running it and buffers its events, so a fresh connection can send
+//! `follow JOB_ID` ([`HubClient::follow`]) to replay the buffer and
+//! resume the live stream. [`run_resilient`] packages that loop —
+//! submit, and on connection loss reconnect-and-follow until the
+//! terminal event — for callers like `axi4mlir-explore --hub` that
+//! should survive a hub-side connection drop.
 
 use std::io::BufReader;
 use std::net::TcpStream;
+use std::time::Duration;
 
 use axi4mlir_core::explore::{wire, ExploreReport, JobSpec};
 use axi4mlir_support::diag::Diagnostic;
@@ -149,7 +158,24 @@ impl HubClient {
         spec: &JobSpec,
         priority: i64,
     ) -> Result<u64, Diagnostic> {
-        let reply = self.request(&Request::Submit { spec: Box::new(spec.clone()), priority })?;
+        self.submit_with_options(spec, priority, None)
+    }
+
+    /// Submits one job with an explicit priority and an optional
+    /// per-job simulation-worker budget (`None` accepts the hub's fair
+    /// share).
+    ///
+    /// # Errors
+    ///
+    /// See [`HubClient::submit`].
+    pub fn submit_with_options(
+        &mut self,
+        spec: &JobSpec,
+        priority: i64,
+        sim_workers: Option<usize>,
+    ) -> Result<u64, Diagnostic> {
+        let reply =
+            self.request(&Request::Submit { spec: Box::new(spec.clone()), priority, sim_workers })?;
         match reply.get("type").and_then(JsonValue::as_str) {
             Some("accepted") => reply
                 .get("job")
@@ -177,30 +203,98 @@ impl HubClient {
         on_event: &mut dyn FnMut(&JsonValue),
     ) -> Result<ExploreReport, Diagnostic> {
         let id = self.submit(spec)?;
+        match self.await_job(id, on_event) {
+            JobOutcome::Done(report) => Ok(*report),
+            JobOutcome::Failed(err) | JobOutcome::Lost(err) => Err(err),
+        }
+    }
+
+    /// Resumes job `id`'s event stream on this connection (replaying
+    /// the hub's buffered events first) and follows it to its terminal
+    /// state, exactly like [`HubClient::run`] from the `accepted` point
+    /// on. Replayed events are handed to `on_event` again — a caller
+    /// that saw some of them on a previous connection sees duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] for an unknown/evicted job id, a failed
+    /// job, or a broken connection.
+    pub fn follow(
+        &mut self,
+        id: u64,
+        on_event: &mut dyn FnMut(&JsonValue),
+    ) -> Result<ExploreReport, Diagnostic> {
+        match self.follow_outcome(id, on_event) {
+            JobOutcome::Done(report) => Ok(*report),
+            JobOutcome::Failed(err) | JobOutcome::Lost(err) => Err(err),
+        }
+    }
+
+    fn follow_outcome(&mut self, id: u64, on_event: &mut dyn FnMut(&JsonValue)) -> JobOutcome {
+        if let Err(err) = self.send(&Request::Follow { job: id }) {
+            return JobOutcome::Lost(err);
+        }
+        // The `following` reply precedes the replayed events.
         loop {
-            let frame = self.next_frame()?;
+            let frame = match self.next_frame() {
+                Ok(frame) => frame,
+                Err(err) => return JobOutcome::Lost(err),
+            };
+            match frame.get("type").and_then(JsonValue::as_str) {
+                Some("following") => break,
+                Some("error") => {
+                    let reason =
+                        frame.get("reason").and_then(JsonValue::as_str).unwrap_or("unknown");
+                    return JobOutcome::Failed(Diagnostic::error(format!(
+                        "hub rejected the follow: {reason}"
+                    )));
+                }
+                _ => continue, // unrelated frames
+            }
+        }
+        self.await_job(id, on_event)
+    }
+
+    /// Reads job `id`'s events to the terminal one, classifying how the
+    /// wait ended (so a resilient caller can tell a lost connection —
+    /// worth a reconnect-and-follow — from a genuinely failed job).
+    fn await_job(&mut self, id: u64, on_event: &mut dyn FnMut(&JsonValue)) -> JobOutcome {
+        loop {
+            let frame = match self.next_frame() {
+                Ok(frame) => frame,
+                Err(err) => return JobOutcome::Lost(err),
+            };
             match frame.get("type").and_then(JsonValue::as_str) {
                 Some("event") if frame.get("job").and_then(JsonValue::as_u64) == Some(id) => {
                     on_event(&frame);
                     match frame.get("state").and_then(JsonValue::as_str) {
                         Some("done") => {
-                            let report = frame
-                                .get("report")
-                                .ok_or_else(|| connect_err("done event without a report"))?;
-                            return wire::report_from_json(report);
+                            let Some(report) = frame.get("report") else {
+                                return JobOutcome::Failed(connect_err(
+                                    "done event without a report",
+                                ));
+                            };
+                            return match wire::report_from_json(report) {
+                                Ok(report) => JobOutcome::Done(Box::new(report)),
+                                Err(err) => JobOutcome::Failed(err),
+                            };
                         }
                         Some("failed") => {
                             let reason = frame
                                 .get("reason")
                                 .and_then(JsonValue::as_str)
                                 .unwrap_or("unknown");
-                            return Err(Diagnostic::error(format!("job {id} failed: {reason}")));
+                            return JobOutcome::Failed(Diagnostic::error(format!(
+                                "job {id} failed: {reason}"
+                            )));
                         }
                         _ => {}
                     }
                 }
                 Some("shutting_down") => {
-                    return Err(connect_err("the hub shut down before the job finished"))
+                    return JobOutcome::Failed(connect_err(
+                        "the hub shut down before the job finished",
+                    ))
                 }
                 _ => {} // another job's event, or an unrelated reply
             }
@@ -236,4 +330,61 @@ impl HubClient {
             }
         }
     }
+}
+
+/// How waiting on a job's event stream ended.
+enum JobOutcome {
+    /// The terminal `done` event arrived with its report.
+    Done(Box<ExploreReport>),
+    /// The job failed, the hub shut down, or the hub refused the
+    /// request — reconnecting will not help.
+    Failed(Diagnostic),
+    /// The *connection* died mid-stream; the job may well still be
+    /// running, so a reconnect-and-follow can recover it.
+    Lost(Diagnostic),
+}
+
+/// Runs `spec` on the hub at `addr`, surviving connection loss: when
+/// the event stream dies mid-job, reconnects (up to `reconnects` times,
+/// with growing pauses) and resumes via `follow`. Replayed events reach
+/// `on_event` a second time — callers render streams idempotently or
+/// tolerate the duplicates.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] when the job itself fails, the hub shuts
+/// down, or the connection cannot be re-established within the retry
+/// budget.
+pub fn run_resilient(
+    addr: &str,
+    spec: &JobSpec,
+    reconnects: usize,
+    on_event: &mut dyn FnMut(&JsonValue),
+) -> Result<ExploreReport, Diagnostic> {
+    let mut client = HubClient::connect(addr)?;
+    let id = client.submit(spec)?;
+    let mut lost = match client.await_job(id, on_event) {
+        JobOutcome::Done(report) => return Ok(*report),
+        JobOutcome::Failed(err) => return Err(err),
+        JobOutcome::Lost(err) => err,
+    };
+    for attempt in 1..=reconnects {
+        std::thread::sleep(Duration::from_millis(100 * attempt as u64));
+        let mut client = match HubClient::connect(addr) {
+            Ok(client) => client,
+            Err(err) => {
+                lost = err;
+                continue;
+            }
+        };
+        match client.follow_outcome(id, on_event) {
+            JobOutcome::Done(report) => return Ok(*report),
+            JobOutcome::Failed(err) => return Err(err),
+            JobOutcome::Lost(err) => lost = err,
+        }
+    }
+    Err(Diagnostic::error(format!(
+        "job {id}: connection lost and not recovered after {reconnects} reconnects: {}",
+        lost.message
+    )))
 }

@@ -29,6 +29,17 @@ pub enum Request {
         /// Scheduling priority; the executor pool always takes the
         /// highest-priority queued job, FIFO within a priority.
         priority: i64,
+        /// Requested per-job simulation-worker budget. `None` accepts
+        /// the hub's fair share; `Some(n)` caps this job at `n` workers
+        /// (further clamped to the hub's `--sim-workers`).
+        sim_workers: Option<usize>,
+    },
+    /// Resume a job's event stream on this connection: replay the
+    /// buffered events, then stream live ones (the reconnect path for a
+    /// client whose connection died mid-job).
+    Follow {
+        /// The job id an earlier `accepted` reply named.
+        job: u64,
     },
     /// Report queue/cache counters.
     Status,
@@ -63,7 +74,24 @@ impl Request {
                         .as_i64()
                         .ok_or_else(|| Diagnostic::error("submit `priority` must be an integer"))?,
                 };
-                Ok(Request::Submit { spec: Box::new(JobSpec::from_json(job)?), priority })
+                let sim_workers = match value.get("sim_workers") {
+                    None => None,
+                    Some(raw) => Some(raw.as_u64().filter(|&n| n > 0).ok_or_else(|| {
+                        Diagnostic::error("submit `sim_workers` must be a positive integer")
+                    })? as usize),
+                };
+                Ok(Request::Submit {
+                    spec: Box::new(JobSpec::from_json(job)?),
+                    priority,
+                    sim_workers,
+                })
+            }
+            "follow" => {
+                let job = value
+                    .get("job")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| Diagnostic::error("follow requires a numeric `job` member"))?;
+                Ok(Request::Follow { job })
             }
             other => Err(Diagnostic::error(format!("unknown request type `{other}`"))),
         }
@@ -75,15 +103,20 @@ impl Request {
             Request::Hello => tagged("hello", vec![]),
             Request::Status => tagged("status", vec![]),
             Request::Shutdown => tagged("shutdown", vec![]),
-            Request::Submit { spec, priority } => {
+            Request::Submit { spec, priority, sim_workers } => {
                 let mut members = vec![("job".to_owned(), spec.to_json())];
                 // Priority 0 is the default; omitting it keeps the
-                // frame identical to a pre-priority client's.
+                // frame identical to a pre-priority client's. Likewise
+                // an unset worker budget stays off the wire.
                 if *priority != 0 {
                     members.push(("priority".to_owned(), (*priority).into()));
                 }
+                if let Some(budget) = sim_workers {
+                    members.push(("sim_workers".to_owned(), (*budget).into()));
+                }
                 tagged("submit", members)
             }
+            Request::Follow { job } => tagged("follow", vec![("job".to_owned(), (*job).into())]),
         }
     }
 }
@@ -149,8 +182,10 @@ mod tests {
             Request::Hello,
             Request::Status,
             Request::Shutdown,
-            Request::Submit { spec: Box::new(spec.clone()), priority: 0 },
-            Request::Submit { spec: Box::new(spec), priority: -3 },
+            Request::Follow { job: 12 },
+            Request::Submit { spec: Box::new(spec.clone()), priority: 0, sim_workers: None },
+            Request::Submit { spec: Box::new(spec.clone()), priority: -3, sim_workers: None },
+            Request::Submit { spec: Box::new(spec), priority: 0, sim_workers: Some(2) },
         ] {
             assert_eq!(Request::from_json(&request.to_json()).unwrap(), request);
         }
@@ -159,13 +194,29 @@ mod tests {
     #[test]
     fn default_priority_stays_off_the_wire() {
         let spec = JobSpec { dims: Some((8, 8, 8)), ..JobSpec::default() };
-        let plain = Request::Submit { spec: Box::new(spec.clone()), priority: 0 }.to_json();
+        let plain =
+            Request::Submit { spec: Box::new(spec.clone()), priority: 0, sim_workers: None }
+                .to_json();
         assert!(plain.get("priority").is_none(), "priority 0 is implicit");
-        let urgent = Request::Submit { spec: Box::new(spec), priority: 7 }.to_json();
+        assert!(plain.get("sim_workers").is_none(), "unset budget is implicit");
+        let urgent =
+            Request::Submit { spec: Box::new(spec), priority: 7, sim_workers: Some(3) }.to_json();
         assert_eq!(urgent.get("priority").unwrap().as_i64(), Some(7));
+        assert_eq!(urgent.get("sim_workers").unwrap().as_u64(), Some(3));
         let fractional = JsonValue::parse(r#"{"type": "submit", "job": {}, "priority": 1.5}"#);
         let err = Request::from_json(&fractional.unwrap()).unwrap_err();
         assert!(err.message.contains("integer"));
+        let zero = JsonValue::parse(r#"{"type": "submit", "job": {}, "sim_workers": 0}"#);
+        let err = Request::from_json(&zero.unwrap()).unwrap_err();
+        assert!(err.message.contains("sim_workers"));
+    }
+
+    #[test]
+    fn follow_requires_a_job_id() {
+        let bare = JsonValue::parse(r#"{"type": "follow"}"#).unwrap();
+        assert!(Request::from_json(&bare).unwrap_err().message.contains("job"));
+        let named = JsonValue::parse(r#"{"type": "follow", "job": 4}"#).unwrap();
+        assert_eq!(Request::from_json(&named).unwrap(), Request::Follow { job: 4 });
     }
 
     #[test]

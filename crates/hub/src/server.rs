@@ -15,10 +15,16 @@
 //! in-flight registry guarantees a candidate wanted by two concurrent
 //! jobs is simulated exactly once.
 //!
-//! Progress events travel from executor to connection over a per-job
-//! channel; the connection thread forwards them between reads (its
-//! socket reads time out every 50 ms, so events are never stalled
-//! behind an idle client).
+//! Progress events flow from executor into a per-job `EventHub` log:
+//! every event is appended to a bounded replay buffer *and* forwarded
+//! to the job's current subscriber connection, which writes it between
+//! reads (its socket reads time out every 50 ms, so events are never
+//! stalled behind an idle client). Because the buffer outlives the
+//! submitting connection, a client that loses its connection mid-job
+//! can reconnect and send `follow JOB_ID`: the hub replays the
+//! buffered events and re-attaches the live stream, ending with the
+//! terminal `done`/`failed` event exactly as the original connection
+//! would have seen it.
 //!
 //! ## Durability
 //!
@@ -43,7 +49,7 @@
 //! caching, and dedup stay hub-side, so reports are bit-identical to
 //! local runs (timing aside) and a lost worker only costs throughput.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -54,8 +60,9 @@ use std::time::{Duration, Instant};
 
 use axi4mlir_core::explore::{wire, ExploreReport, Explorer, JobSpec, ProgressEvent, RemotePool};
 use axi4mlir_support::diag::Diagnostic;
+use axi4mlir_support::fault::{self, FaultAction};
 use axi4mlir_support::json::JsonValue;
-use axi4mlir_support::proto::{write_frame, Frame, FrameReader};
+use axi4mlir_support::proto::{write_frame, write_frame_at, Frame, FrameReader};
 
 use crate::protocol::{self, Request};
 
@@ -83,6 +90,10 @@ pub struct HubConfig {
     /// `axi4mlir-worker` addresses to fan measurements out to; empty
     /// keeps the local in-process measurement pool.
     pub measure_workers: Vec<String>,
+    /// Events retained per job for `follow` replay (the newest N;
+    /// older events are evicted, the terminal event is always last and
+    /// therefore always replayable for a retained job).
+    pub event_buffer: usize,
     /// An external stop flag (the binary's signal handler sets it);
     /// polled alongside the internal one.
     pub stop: Option<&'static AtomicBool>,
@@ -98,6 +109,7 @@ impl Default for HubConfig {
             cache_path: None,
             cache_dir: None,
             measure_workers: Vec::new(),
+            event_buffer: 64,
             stop: None,
         }
     }
@@ -115,14 +127,110 @@ pub struct HubSummary {
     pub cache_entries: usize,
 }
 
-/// One queued job: its id, spec, priority, and the channel its events
-/// flow back on (the receiving half lives with the submitting
-/// connection).
+/// One queued job: its id, spec, priority, and requested worker
+/// budget. Events reach the submitting (or following) connection
+/// through the [`EventHub`], not a field here — the event stream must
+/// outlive the connection that submitted the job.
 struct Job {
     id: u64,
     spec: JobSpec,
     priority: i64,
-    events: Sender<JsonValue>,
+    sim_workers: Option<usize>,
+}
+
+/// Jobs already terminal whose event logs are retained for late
+/// `follow` requests; older finished jobs are evicted.
+const RETAINED_FINISHED: usize = 16;
+
+/// One job's event log: the bounded replay buffer plus the connection
+/// currently subscribed to the live stream.
+struct JobLog {
+    events: VecDeque<JsonValue>,
+    subscriber: Option<Sender<JsonValue>>,
+    terminal: bool,
+}
+
+/// The per-job event fan-out: every published event lands in the job's
+/// bounded replay buffer and is forwarded to its current subscriber.
+/// `follow` swaps the subscriber and replays the buffer, which is what
+/// lets a reconnecting client resume a live (or recently finished)
+/// job's stream.
+struct EventHub {
+    capacity: usize,
+    inner: Mutex<EventLog>,
+}
+
+#[derive(Default)]
+struct EventLog {
+    jobs: HashMap<u64, JobLog>,
+    /// Terminal jobs in finishing order, for bounded retention.
+    finished: VecDeque<u64>,
+}
+
+impl EventHub {
+    fn new(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), inner: Mutex::new(EventLog::default()) }
+    }
+
+    /// Starts a job's log with `subscriber` attached.
+    fn register(&self, id: u64, subscriber: Sender<JsonValue>) {
+        let mut inner = self.inner.lock().expect("event hub poisoned");
+        inner.jobs.insert(
+            id,
+            JobLog { events: VecDeque::new(), subscriber: Some(subscriber), terminal: false },
+        );
+    }
+
+    /// Appends `event` to the job's replay buffer and forwards it to
+    /// the current subscriber (a dead subscriber is ignored — the
+    /// buffer is what a future `follow` replays). A `done`/`failed`
+    /// event marks the log terminal and starts its retention clock.
+    fn publish(&self, id: u64, event: JsonValue) {
+        let mut inner = self.inner.lock().expect("event hub poisoned");
+        let newly_terminal = {
+            let Some(log) = inner.jobs.get_mut(&id) else { return };
+            if log.events.len() >= self.capacity {
+                log.events.pop_front();
+            }
+            let terminal = matches!(
+                event.get("state").and_then(JsonValue::as_str),
+                Some("done") | Some("failed")
+            );
+            log.events.push_back(event.clone());
+            if let Some(subscriber) = &log.subscriber {
+                let _ = subscriber.send(event);
+            }
+            let newly = terminal && !log.terminal;
+            log.terminal |= terminal;
+            newly
+        };
+        if newly_terminal {
+            inner.finished.push_back(id);
+            while inner.finished.len() > RETAINED_FINISHED {
+                if let Some(evicted) = inner.finished.pop_front() {
+                    inner.jobs.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    /// Re-attaches a job's stream to `subscriber`: the previous
+    /// subscriber (if any) receives a synthetic `detached` event (not
+    /// buffered — it describes the old connection, not the job), and
+    /// the buffered events are returned for replay. `Err` carries the
+    /// `error` frame for an unknown or evicted job.
+    fn follow(&self, id: u64, subscriber: Sender<JsonValue>) -> Result<Vec<JsonValue>, JsonValue> {
+        let mut inner = self.inner.lock().expect("event hub poisoned");
+        let Some(log) = inner.jobs.get_mut(&id) else {
+            return Err(protocol::error(&format!(
+                "follow `job` {id} is unknown (never submitted, or its events were evicted)"
+            )));
+        };
+        if let Some(previous) = log.subscriber.replace(subscriber) {
+            let _ = previous.send(protocol::event(id, "detached", vec![]));
+        }
+        Ok(log.events.iter().cloned().collect())
+    }
 }
 
 /// Pops the job to run next: highest priority first, FIFO (lowest id)
@@ -150,6 +258,7 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     stats: Mutex<Stats>,
+    events: EventHub,
     next_job: AtomicU64,
     stop: AtomicBool,
 }
@@ -174,6 +283,11 @@ impl Shared {
     /// the shards dirtied since the previous checkpoint, a `--cache`
     /// file takes the load/merge/atomic-rename path.
     fn checkpoint(&self) -> Result<usize, Diagnostic> {
+        if let Some(plan) = fault::active() {
+            if plan.tick("hub.checkpoint") == Some(FaultAction::Fail) {
+                return Err(Diagnostic::error("injected checkpoint failure at hub.checkpoint"));
+            }
+        }
         match (&self.config.cache_dir, &self.config.cache_path) {
             (Some(dir), _) => self.explorer.save_cache_dir(dir).map(|stats| stats.entries),
             (None, Some(path)) => self.explorer.save_cache(path),
@@ -216,6 +330,7 @@ impl Shared {
         &self,
         spec: JobSpec,
         priority: i64,
+        sim_workers: Option<usize>,
         events: Sender<JsonValue>,
     ) -> Result<(u64, usize), JsonValue> {
         if let Err(err) = spec.build() {
@@ -236,12 +351,27 @@ impl Shared {
         // How many queued jobs would run before this one under the
         // priority-then-FIFO discipline.
         let ahead = queue.iter().filter(|job| job.priority >= priority).count();
-        queue.push_back(Job { id, spec, priority, events });
+        // Register and publish `queued` *before* the queue push (still
+        // under the queue lock), so no executor can publish `running`
+        // first.
+        self.events.register(id, events);
+        self.events.publish(id, protocol::event(id, "queued", vec![]));
+        queue.push_back(Job { id, spec, priority, sim_workers });
         drop(queue);
         self.with_stats(|s| s.queued += 1);
         self.available.notify_one();
         Ok((id, ahead))
     }
+}
+
+/// The simulation-worker budget one job actually gets: its requested
+/// cap (default: everything), clamped to the hub's `--sim-workers` and
+/// to a fair share of it across the jobs running right now — so one
+/// huge job cannot monopolize the pool across rungs.
+fn job_budget(total: usize, requested: Option<usize>, running: usize) -> usize {
+    let total = total.max(1);
+    let fair = (total / running.max(1)).max(1);
+    requested.unwrap_or(total).clamp(1, total).min(fair)
 }
 
 /// A running hub, bound but not yet serving.
@@ -279,6 +409,7 @@ impl Hub {
             addr,
             shared: Arc::new(Shared {
                 explorer,
+                events: EventHub::new(config.event_buffer),
                 config,
                 queue: Mutex::new(VecDeque::new()),
                 available: Condvar::new(),
@@ -349,11 +480,14 @@ impl Hub {
                 s.queued -= 1;
                 s.failed += 1;
             });
-            let _ = job.events.send(protocol::event(
+            self.shared.events.publish(
                 job.id,
-                "failed",
-                vec![("reason".to_owned(), "hub shutting down".into())],
-            ));
+                protocol::event(
+                    job.id,
+                    "failed",
+                    vec![("reason".to_owned(), "hub shutting down".into())],
+                ),
+            );
         }
         // ...connections forward those terminal events, say goodbye,
         // and hang up.
@@ -384,10 +518,12 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), Diagn
     loop {
         while let Ok(event) = events_rx.try_recv() {
             let state = event.get("state").and_then(JsonValue::as_str);
-            if matches!(state, Some("done") | Some("failed")) {
-                active -= 1;
+            if matches!(state, Some("done") | Some("failed") | Some("detached")) {
+                // `detached`: another connection took over this job's
+                // stream via `follow`; it no longer holds our goodbye.
+                active = active.saturating_sub(1);
             }
-            write_frame(&mut writer, &event).map_err(io)?;
+            write_frame_at("hub.event", &mut writer, &event).map_err(io)?;
         }
         if shared.stopping() && active == 0 {
             let _ = write_frame(&mut writer, &protocol::tagged("shutting_down", vec![]));
@@ -412,8 +548,8 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), Diagn
                         // connection's jobs drain.
                         continue;
                     }
-                    Ok(Request::Submit { spec, priority }) => {
-                        match shared.submit(*spec, priority, events_tx.clone()) {
+                    Ok(Request::Submit { spec, priority, sim_workers }) => {
+                        match shared.submit(*spec, priority, sim_workers, events_tx.clone()) {
                             Err(reply) => reply,
                             Ok((id, ahead)) => {
                                 active += 1;
@@ -425,7 +561,40 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) -> Result<(), Diagn
                                     ],
                                 );
                                 write_frame(&mut writer, &accepted).map_err(io)?;
-                                protocol::event(id, "queued", vec![])
+                                // The `queued` event (already published)
+                                // arrives through the events channel.
+                                continue;
+                            }
+                        }
+                    }
+                    Ok(Request::Follow { job }) => {
+                        match shared.events.follow(job, events_tx.clone()) {
+                            Err(reply) => reply,
+                            Ok(replay) => {
+                                let replayed_terminal = replay.iter().any(|event| {
+                                    matches!(
+                                        event.get("state").and_then(JsonValue::as_str),
+                                        Some("done") | Some("failed")
+                                    )
+                                });
+                                if !replayed_terminal {
+                                    // A live job: its terminal event will
+                                    // arrive on our channel; hold the
+                                    // goodbye for it.
+                                    active += 1;
+                                }
+                                let following = protocol::tagged(
+                                    "following",
+                                    vec![
+                                        ("job".to_owned(), job.into()),
+                                        ("replayed".to_owned(), replay.len().into()),
+                                    ],
+                                );
+                                write_frame(&mut writer, &following).map_err(io)?;
+                                for event in &replay {
+                                    write_frame_at("hub.event", &mut writer, event).map_err(io)?;
+                                }
+                                continue;
                             }
                         }
                     }
@@ -455,13 +624,18 @@ fn executor_loop(shared: &Arc<Shared>) {
                 queue = reacquired;
             }
         };
-        shared.with_stats(|s| {
+        let running = shared.with_stats(|s| {
             s.queued -= 1;
             s.running += 1;
+            s.running
         });
-        let _ = job.events.send(protocol::event(job.id, "running", vec![]));
+        let budget = job_budget(shared.config.sim_workers, job.sim_workers, running);
+        shared.events.publish(
+            job.id,
+            protocol::event(job.id, "running", vec![("sim_workers".to_owned(), budget.into())]),
+        );
         let started = Instant::now();
-        let outcome = run_job(shared, &job);
+        let outcome = run_job(shared, &job, budget);
         let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
         match outcome {
             Ok(report) => {
@@ -469,30 +643,36 @@ fn executor_loop(shared: &Arc<Shared>) {
                     s.running -= 1;
                     s.completed += 1;
                 });
-                let _ = job.events.send(protocol::event(
+                shared.events.publish(
                     job.id,
-                    "done",
-                    vec![
-                        ("full_sims_performed".to_owned(), report.full_sims_performed.into()),
-                        (
-                            "sims_per_sec".to_owned(),
-                            report.sims_per_sec().map_or(JsonValue::Null, JsonValue::from),
-                        ),
-                        ("elapsed_ms".to_owned(), elapsed_ms.into()),
-                        ("report".to_owned(), wire::report_to_json(&report)),
-                    ],
-                ));
+                    protocol::event(
+                        job.id,
+                        "done",
+                        vec![
+                            ("full_sims_performed".to_owned(), report.full_sims_performed.into()),
+                            (
+                                "sims_per_sec".to_owned(),
+                                report.sims_per_sec().map_or(JsonValue::Null, JsonValue::from),
+                            ),
+                            ("elapsed_ms".to_owned(), elapsed_ms.into()),
+                            ("report".to_owned(), wire::report_to_json(&report)),
+                        ],
+                    ),
+                );
             }
             Err(err) => {
                 shared.with_stats(|s| {
                     s.running -= 1;
                     s.failed += 1;
                 });
-                let _ = job.events.send(protocol::event(
+                shared.events.publish(
                     job.id,
-                    "failed",
-                    vec![("reason".to_owned(), err.message.into())],
-                ));
+                    protocol::event(
+                        job.id,
+                        "failed",
+                        vec![("reason".to_owned(), err.message.into())],
+                    ),
+                );
             }
         }
     }
@@ -500,10 +680,10 @@ fn executor_loop(shared: &Arc<Shared>) {
 
 /// Runs one job on the shared explorer, streaming progress and
 /// checkpointing the cache at every rung boundary.
-fn run_job(shared: &Arc<Shared>, job: &Job) -> Result<ExploreReport, Diagnostic> {
+fn run_job(shared: &Arc<Shared>, job: &Job, budget: usize) -> Result<ExploreReport, Diagnostic> {
     let request = job.spec.build()?;
     let observer = |event: &ProgressEvent| {
-        let _ = job.events.send(protocol::progress_event(job.id, event));
+        shared.events.publish(job.id, protocol::progress_event(job.id, event));
         if matches!(event, ProgressEvent::RungComplete { .. }) {
             // A failed checkpoint must not kill the sweep; the final
             // flush at shutdown will surface persistent trouble.
@@ -517,7 +697,7 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Result<ExploreReport, Diagnostic>
         request.space.as_dyn(),
         request.prune,
         &request.search,
-        shared.config.sim_workers,
+        budget,
         &request.objectives,
         &observer,
     )
@@ -528,11 +708,7 @@ mod tests {
     use super::*;
 
     fn job(id: u64, priority: i64) -> Job {
-        let (events, receiver) = mpsc::channel();
-        // The receiving half lives with a connection in production;
-        // these scheduling tests never send, so it can drop.
-        drop(receiver);
-        Job { id, spec: JobSpec::default(), priority, events }
+        Job { id, spec: JobSpec::default(), priority, sim_workers: None }
     }
 
     #[test]
@@ -545,5 +721,63 @@ mod tests {
             std::iter::from_fn(|| take_next(&mut queue).map(|job| job.id)).collect();
         assert_eq!(order, [2, 3, 1, 5, 4]);
         assert!(take_next(&mut queue).is_none());
+    }
+
+    #[test]
+    fn budgets_are_a_fair_share_capped_by_the_request() {
+        // A lone job gets the whole pool unless it asked for less.
+        assert_eq!(job_budget(8, None, 1), 8);
+        assert_eq!(job_budget(8, Some(2), 1), 2);
+        // Concurrent jobs split the pool; a request cannot exceed the
+        // fair share, and the floor is always one worker.
+        assert_eq!(job_budget(8, None, 2), 4);
+        assert_eq!(job_budget(8, Some(6), 2), 4);
+        assert_eq!(job_budget(8, Some(3), 2), 3);
+        assert_eq!(job_budget(2, None, 5), 1);
+        assert_eq!(job_budget(0, Some(9), 1), 1);
+    }
+
+    #[test]
+    fn event_logs_replay_bounded_and_fail_unknown_follows() {
+        let hub = EventHub::new(3);
+        let (tx, rx) = mpsc::channel();
+        hub.register(7, tx);
+        for n in 0..5u64 {
+            hub.publish(7, protocol::event(7, "progress", vec![("n".to_owned(), n.into())]));
+        }
+        // The live subscriber saw everything…
+        assert_eq!(rx.try_iter().count(), 5);
+        // …but the replay buffer keeps only the newest 3.
+        let (tx2, rx2) = mpsc::channel();
+        let replay = hub.follow(7, tx2).unwrap();
+        assert_eq!(replay.len(), 3);
+        assert_eq!(replay[0].get("n").and_then(JsonValue::as_u64), Some(2));
+        // The old subscriber was told it lost the stream (not buffered).
+        assert_eq!(rx.try_iter().count(), 1);
+        // New events reach the new subscriber only.
+        hub.publish(7, protocol::event(7, "done", vec![]));
+        assert_eq!(rx2.try_iter().count(), 1);
+        assert_eq!(rx.try_iter().count(), 0);
+        // A terminal job stays followable; an unknown one blames `job`.
+        let (tx3, _rx3) = mpsc::channel();
+        assert!(hub.follow(7, tx3).is_ok());
+        let (tx4, _rx4) = mpsc::channel();
+        let err = hub.follow(99, tx4).unwrap_err();
+        assert_eq!(err.get("type").and_then(JsonValue::as_str), Some("error"));
+        assert!(err.get("reason").and_then(JsonValue::as_str).unwrap().contains("job"));
+    }
+
+    #[test]
+    fn finished_job_logs_are_evicted_beyond_the_retention_window() {
+        let hub = EventHub::new(4);
+        for id in 0..(RETAINED_FINISHED as u64 + 5) {
+            let (tx, _rx) = mpsc::channel();
+            hub.register(id, tx);
+            hub.publish(id, protocol::event(id, "done", vec![]));
+        }
+        let (tx, _rx) = mpsc::channel();
+        assert!(hub.follow(0, tx).is_err(), "oldest finished job evicted");
+        let (tx, _rx) = mpsc::channel();
+        assert!(hub.follow(RETAINED_FINISHED as u64 + 4, tx).is_ok(), "newest retained");
     }
 }

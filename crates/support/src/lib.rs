@@ -14,6 +14,9 @@
 //!   configuration files (the build environment vendors no serde).
 //! - [`proto`]: newline-delimited JSON framing shared by the hub daemon
 //!   and its clients.
+//! - [`fault`]: deterministic, seeded fault injection (scripted connection
+//!   drops, torn frames, delays, crashes) used to drive release binaries
+//!   through failure paths in chaos tests and CI.
 //!
 //! # Examples
 //!
@@ -29,6 +32,7 @@
 
 pub mod diag;
 pub mod entity;
+pub mod fault;
 pub mod fmtutil;
 pub mod json;
 pub mod proto;

@@ -16,10 +16,16 @@
 //! Blank lines are ignored (a `nc` user pressing return twice should not
 //! kill the connection), and EOF with a non-empty trailing line still
 //! parses it — be liberal in what you accept.
+//!
+//! Daemons write their frames through [`write_frame_at`], which names the
+//! write's *fault site* so an installed [`crate::fault::FaultPlan`] can
+//! script a drop, a torn frame, or a delay at that exact write. With no
+//! plan installed it is [`write_frame`] plus one atomic load.
 
 use std::io::{self, BufRead, Write};
 
 use crate::diag::Diagnostic;
+use crate::fault::{self, FaultAction};
 use crate::json::JsonValue;
 
 /// Serializes `value` compactly onto `writer`, appends `\n`, and flushes.
@@ -33,6 +39,48 @@ pub fn write_frame<W: Write>(writer: &mut W, value: &JsonValue) -> io::Result<()
     line.push('\n');
     writer.write_all(line.as_bytes())?;
     writer.flush()
+}
+
+/// [`write_frame`] through the named fault site: an installed
+/// [`fault::FaultPlan`] event scripted at `site` can drop the frame
+/// (error before any byte is written), tear it (a seeded prefix goes out,
+/// then an error — the peer sees a partial NDJSON line), delay it, crash
+/// the process, or fail it. Unscripted ticks write normally.
+///
+/// # Errors
+///
+/// Propagates underlying I/O errors; injected drops/tears surface as
+/// `BrokenPipe`/`ConnectionReset` just as real peer loss would.
+pub fn write_frame_at<W: Write>(site: &str, writer: &mut W, value: &JsonValue) -> io::Result<()> {
+    let Some(plan) = fault::active() else {
+        return write_frame(writer, value);
+    };
+    match plan.tick(site) {
+        None => write_frame(writer, value),
+        Some(FaultAction::Drop) => {
+            Err(io::Error::new(io::ErrorKind::BrokenPipe, format!("injected drop at {site}")))
+        }
+        Some(FaultAction::Torn) => {
+            let mut line = value.to_json_string();
+            line.push('\n');
+            let split = plan.split_point(site, line.len());
+            writer.write_all(&line.as_bytes()[..split])?;
+            writer.flush()?;
+            Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                format!("injected torn frame at {site} ({split}/{} bytes)", line.len()),
+            ))
+        }
+        Some(FaultAction::Delay(pause)) => {
+            std::thread::sleep(pause);
+            write_frame(writer, value)
+        }
+        Some(FaultAction::Crash(code)) => {
+            let _ = writer.flush();
+            std::process::exit(code);
+        }
+        Some(FaultAction::Fail) => Err(io::Error::other(format!("injected failure at {site}"))),
+    }
 }
 
 /// One read attempt's outcome.
@@ -49,48 +97,63 @@ pub enum Frame {
 }
 
 /// Accumulates newline-delimited JSON frames from a [`BufRead`] stream.
+///
+/// The partial-line buffer is *bytes*, not a `String`: `read_line`'s
+/// UTF-8 guard discards everything it appended when an error (such as a
+/// read timeout) arrives while the accumulated bytes end mid-codepoint,
+/// silently losing data. Frames here accumulate via `read_until` and are
+/// validated as UTF-8 only at the frame boundary, so a timeout can land
+/// on any byte — including inside a multi-byte codepoint — without loss.
 #[derive(Debug)]
 pub struct FrameReader<R> {
     inner: R,
-    partial: String,
+    partial: Vec<u8>,
+}
+
+fn parse_line(bytes: &[u8]) -> Result<Option<JsonValue>, Diagnostic> {
+    let line = std::str::from_utf8(bytes)
+        .map_err(|err| Diagnostic::error(format!("frame is not valid UTF-8: {err}")))?
+        .trim();
+    if line.is_empty() {
+        return Ok(None); // blank keep-alive line
+    }
+    JsonValue::parse(line).map(Some)
 }
 
 impl<R: BufRead> FrameReader<R> {
     /// Wraps a buffered stream.
     pub fn new(inner: R) -> Self {
-        Self { inner, partial: String::new() }
+        Self { inner, partial: Vec::new() }
     }
 
     /// Reads until one frame, EOF, or a timeout.
     ///
     /// # Errors
     ///
-    /// Returns a [`Diagnostic`] for malformed JSON lines and for I/O
-    /// errors other than timeouts.
+    /// Returns a [`Diagnostic`] for malformed JSON lines, invalid UTF-8,
+    /// and I/O errors other than timeouts.
     pub fn next_frame(&mut self) -> Result<Frame, Diagnostic> {
         loop {
-            match self.inner.read_line(&mut self.partial) {
+            match self.inner.read_until(b'\n', &mut self.partial) {
                 Ok(0) => {
                     // EOF: parse a non-empty trailing line, else done.
                     let line = std::mem::take(&mut self.partial);
-                    let line = line.trim();
-                    if line.is_empty() {
-                        return Ok(Frame::Eof);
-                    }
-                    return JsonValue::parse(line).map(Frame::Value);
+                    return match parse_line(&line)? {
+                        Some(value) => Ok(Frame::Value(value)),
+                        None => Ok(Frame::Eof),
+                    };
                 }
                 Ok(_) => {
-                    if !self.partial.ends_with('\n') {
-                        // A timeout can interrupt `read_line` after a
+                    if self.partial.last() != Some(&b'\n') {
+                        // A timeout can interrupt `read_until` after a
                         // partial read; keep accumulating.
                         continue;
                     }
                     let line = std::mem::take(&mut self.partial);
-                    let line = line.trim();
-                    if line.is_empty() {
-                        continue; // blank keep-alive line
+                    match parse_line(&line)? {
+                        Some(value) => return Ok(Frame::Value(value)),
+                        None => continue,
                     }
-                    return JsonValue::parse(line).map(Frame::Value);
                 }
                 Err(err)
                     if matches!(
@@ -188,5 +251,45 @@ mod tests {
             Frame::Value(JsonValue::object([("half".to_owned(), true.into())]))
         );
         assert_eq!(reader.next_frame().unwrap(), Frame::Eof);
+    }
+
+    /// Regression: a timeout landing *inside* a multi-byte UTF-8
+    /// codepoint must not lose the buffered half. (`read_line`'s UTF-8
+    /// guard truncated the appended bytes in exactly this case, so the
+    /// reassembled frame was silently missing its prefix.)
+    #[test]
+    fn timeouts_inside_a_codepoint_lose_nothing() {
+        // "é" is C3 A9; the timeout splits it.
+        let inner = ChunkedTimeout {
+            chunks: vec![Some(b"{\"k\": \"\xc3"), None, Some(b"\xa9\"}\n")],
+            at: 0,
+        };
+        let mut reader = FrameReader::new(BufReader::new(inner));
+        assert_eq!(reader.next_frame().unwrap(), Frame::Idle);
+        assert_eq!(
+            reader.next_frame().unwrap(),
+            Frame::Value(JsonValue::object([("k".to_owned(), "é".into())]))
+        );
+        assert_eq!(reader.next_frame().unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn injected_faults_shape_the_wire() {
+        let plan = crate::fault::FaultPlan::parse("seed=3,t.send:drop@1,t.send:torn@2").unwrap();
+        let value = JsonValue::object([("payload".to_owned(), "0123456789".into())]);
+        // Without a global install, exercise the action mapping directly
+        // through a plan-scoped helper: tick 1 drops…
+        let mut wire = Vec::new();
+        assert_eq!(plan.tick("t.send"), Some(crate::fault::FaultAction::Drop));
+        // …tick 2 tears: an interior prefix goes out.
+        assert_eq!(plan.tick("t.send"), Some(crate::fault::FaultAction::Torn));
+        let mut line = value.to_json_string();
+        line.push('\n');
+        let split = plan.split_point("t.send", line.len());
+        wire.extend_from_slice(&line.as_bytes()[..split]);
+        assert!(!wire.is_empty() && wire.len() < line.len());
+        // A reader sees the torn prefix as an unterminated partial line.
+        let mut reader = FrameReader::new(BufReader::new(wire.as_slice()));
+        assert!(matches!(reader.next_frame(), Ok(Frame::Eof) | Err(_)));
     }
 }

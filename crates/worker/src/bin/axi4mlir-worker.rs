@@ -1,7 +1,7 @@
 //! The `axi4mlir-worker` daemon binary.
 //!
 //! ```text
-//! axi4mlir-worker [--bind ADDR] [--slots N]
+//! axi4mlir-worker [--bind ADDR] [--slots N] [--faults SPEC]
 //! ```
 //!
 //! Binds, prints `axi4mlir-worker listening on ADDR` (port 0 in
@@ -15,6 +15,7 @@
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use axi4mlir_support::fault;
 use axi4mlir_worker::{Worker, WorkerConfig};
 
 /// Set by the signal handler, polled by the accept loop.
@@ -34,13 +35,17 @@ extern "C" {
 const SIGINT: i32 = 2;
 const SIGTERM: i32 = 15;
 
-const USAGE: &str = "usage: axi4mlir-worker [--bind ADDR] [--slots N]
+const USAGE: &str = "usage: axi4mlir-worker [--bind ADDR] [--slots N] [--faults SPEC]
 
-  --bind ADDR   listen address (default 127.0.0.1:0 — a free port)
-  --slots N     concurrent measurements per connection (default: host parallelism, max 4)";
+  --bind ADDR    listen address (default 127.0.0.1:0 — a free port)
+  --slots N      concurrent measurements per connection (default: host parallelism, max 4)
+  --faults SPEC  arm a deterministic fault plan, e.g.
+                 'seed=7,worker.reply:torn@3,worker.measure:crash@5' (chaos
+                 testing; wins over the AXI4MLIR_FAULTS environment variable)";
 
-fn parse_args(args: &[String]) -> Result<WorkerConfig, String> {
+fn parse_args(args: &[String]) -> Result<(WorkerConfig, Option<String>), String> {
     let mut config = WorkerConfig { stop: Some(&STOP), ..WorkerConfig::default() };
+    let mut faults = None;
     let mut at = 0;
     let value = |at: &mut usize, flag: &str| -> Result<String, String> {
         *at += 1;
@@ -54,23 +59,35 @@ fn parse_args(args: &[String]) -> Result<WorkerConfig, String> {
                 config.slots =
                     value(&mut at, flag)?.parse().map_err(|_| "--slots needs an integer")?;
             }
+            "--faults" => faults = Some(value(&mut at, flag)?),
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
         at += 1;
     }
-    Ok(config)
+    Ok((config, faults))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let config = match parse_args(&args) {
-        Ok(config) => config,
+    let (config, faults) = match parse_args(&args) {
+        Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };
+    // `--faults` wins over AXI4MLIR_FAULTS (first install sticks).
+    let armed = match faults {
+        Some(spec) => fault::FaultPlan::parse(&spec).map(|plan| {
+            fault::install(plan);
+        }),
+        None => fault::install_from_env().map(|_| ()),
+    };
+    if let Err(err) = armed {
+        eprintln!("axi4mlir-worker: {}", err.message);
+        return ExitCode::FAILURE;
+    }
     unsafe {
         signal(SIGINT, on_signal as *const () as usize);
         signal(SIGTERM, on_signal as *const () as usize);

@@ -34,8 +34,9 @@ use std::time::Duration;
 use axi4mlir_core::driver::Session;
 use axi4mlir_core::explore::measure::{handle_measure, WORKER_SCHEMA};
 use axi4mlir_support::diag::Diagnostic;
+use axi4mlir_support::fault::{self, FaultAction};
 use axi4mlir_support::json::JsonValue;
-use axi4mlir_support::proto::{write_frame, Frame, FrameReader};
+use axi4mlir_support::proto::{write_frame, write_frame_at, Frame, FrameReader};
 
 /// How the daemon is set up.
 #[derive(Clone, Debug)]
@@ -202,6 +203,13 @@ fn serve_connection(stream: TcpStream, slots: usize, totals: &Totals) -> Result<
         write_frame(&mut *writer.lock().expect("worker writer poisoned"), frame)
             .map_err(|err| Diagnostic::error(format!("connection write failed: {err}")))
     };
+    // Measurement replies carry the `worker.reply` fault site, so a
+    // chaos plan can tear or drop a result frame without touching the
+    // hello/drained control traffic.
+    let send_reply = |frame: &JsonValue| -> Result<(), Diagnostic> {
+        write_frame_at("worker.reply", &mut *writer.lock().expect("worker writer poisoned"), frame)
+            .map_err(|err| Diagnostic::error(format!("connection write failed: {err}")))
+    };
 
     std::thread::scope(|scope| {
         for _ in 0..slots {
@@ -212,7 +220,17 @@ fn serve_connection(stream: TcpStream, slots: usize, totals: &Totals) -> Result<
                     totals.measured.fetch_add(1, Ordering::Relaxed);
                     // Count the completion even if the scheduler hung
                     // up mid-measure — `drain` must never wedge.
-                    let _ = send(&reply);
+                    if send_reply(&reply).is_err() {
+                        // An undeliverable reply (real breakage or an
+                        // injected drop/tear) would leave the scheduler
+                        // waiting on a frame that never comes: reset
+                        // the connection so it requeues and reconnects
+                        // instead.
+                        let _ = writer
+                            .lock()
+                            .expect("worker writer poisoned")
+                            .shutdown(std::net::Shutdown::Both);
+                    }
                     completed.fetch_add(1, Ordering::Release);
                 }
             });
@@ -226,6 +244,18 @@ fn serve_connection(stream: TcpStream, slots: usize, totals: &Totals) -> Result<
                         match frame.get("type").and_then(JsonValue::as_str) {
                             Some("hello") => send(&hello_frame(slots))?,
                             Some("measure") => {
+                                // The `worker.measure` site counts accepted
+                                // measures; a scripted crash here models a
+                                // worker dying mid-sweep with claims open.
+                                if let Some(plan) = fault::active() {
+                                    match plan.tick("worker.measure") {
+                                        Some(FaultAction::Crash(code)) => std::process::exit(code),
+                                        Some(FaultAction::Delay(pause)) => {
+                                            std::thread::sleep(pause);
+                                        }
+                                        _ => {}
+                                    }
+                                }
                                 accepted.fetch_add(1, Ordering::Relaxed);
                                 inbox.push(frame);
                             }

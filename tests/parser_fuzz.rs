@@ -100,6 +100,52 @@ fn random_module(seed: u64) -> Module {
     module
 }
 
+// ---------------------------------------------------------------------
+// Grammar-level tokenizer (for structured mutations)
+// ---------------------------------------------------------------------
+
+/// Splits printed IR into grammar-level tokens: string literals (with
+/// escapes), identifier/number/sigil runs, whitespace runs, and
+/// single-character punctuation. Lossless — `tokens.concat()` is the
+/// input — so mutations operate on grammar units instead of bytes:
+/// deleting a token removes a whole string literal or SSA name, not one
+/// byte of its middle.
+fn tokenize(text: &str) -> Vec<String> {
+    fn word_char(c: char) -> bool {
+        c.is_alphanumeric() || matches!(c, '.' | '_' | '-' | '%' | '^' | '#' | '@' | '$')
+    }
+    let mut tokens = Vec::new();
+    let mut rest = text;
+    while let Some(c) = rest.chars().next() {
+        let end = if c == '"' {
+            let mut end = rest.len();
+            let mut escaped = false;
+            for (i, ch) in rest.char_indices().skip(1) {
+                match ch {
+                    _ if escaped => escaped = false,
+                    '\\' => escaped = true,
+                    '"' => {
+                        end = i + 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            end
+        } else {
+            let class = if c.is_whitespace() { char::is_whitespace } else { word_char };
+            if class(c) {
+                rest.char_indices().find(|&(_, ch)| !class(ch)).map_or(rest.len(), |(i, _)| i)
+            } else {
+                c.len_utf8()
+            }
+        };
+        tokens.push(rest[..end].to_owned());
+        rest = &rest[end..];
+    }
+    tokens
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -148,6 +194,58 @@ proptest! {
             }
         }
         let _ = parse_module(&String::from_utf8_lossy(&text));
+    }
+
+    /// Grammar-level mutations: tokenize a printed module, then apply a
+    /// seeded run of token swaps, duplications, deletions, splices from
+    /// a second module, and substitutions from a pool of syntactically
+    /// plausible tokens (including an unterminated string). Unlike byte
+    /// splices, these keep the input *almost* well-formed — the shapes a
+    /// torn frame or a buggy printer actually produce — and the parser
+    /// must still return, never panic.
+    #[test]
+    fn parser_never_panics_on_token_mutations(seed in any::<u64>(), donor_seed in any::<u64>()) {
+        const POOL: [&str; 10] =
+            ["(", ")", "{", "}", "^bb0", "%99", "\"t.op\"", ":", "i32", "\"unterminated"];
+        let mut rng = TestRng::new(seed);
+        let printed = {
+            let module = random_module(seed);
+            print_op(&module.ctx, module.top())
+        };
+        let mut tokens = tokenize(&printed);
+        prop_assert_eq!(tokens.concat(), printed, "tokenization is lossless");
+        let donor = {
+            let module = random_module(donor_seed);
+            tokenize(&print_op(&module.ctx, module.top()))
+        };
+        for _ in 0..1 + rng.below(6) {
+            if tokens.is_empty() {
+                break;
+            }
+            let at = rng.below(tokens.len() as u64) as usize;
+            match rng.below(5) {
+                0 => {
+                    let with = rng.below(tokens.len() as u64) as usize;
+                    tokens.swap(at, with);
+                }
+                1 => {
+                    let token = tokens[at].clone();
+                    let to = rng.below(tokens.len() as u64 + 1) as usize;
+                    tokens.insert(to, token);
+                }
+                2 => {
+                    tokens.remove(at);
+                }
+                3 => {
+                    let token = donor[rng.below(donor.len() as u64) as usize].clone();
+                    tokens.insert(at, token);
+                }
+                _ => {
+                    tokens[at] = POOL[rng.below(POOL.len() as u64) as usize].to_owned();
+                }
+            }
+        }
+        let _ = parse_module(&tokens.concat());
     }
 }
 

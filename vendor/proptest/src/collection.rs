@@ -45,11 +45,36 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let n = self.size.sample(rng);
         (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Shorter vectors first (never below the size minimum): half
+        // the length, then drop one element from either end.
+        if value.len() > self.size.min {
+            let half = (value.len() / 2).max(self.size.min);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..value.len() - 1].to_vec());
+            out.push(value[1..].to_vec());
+        }
+        // Then one element shrunk in place, the rest held fixed.
+        for at in 0..value.len() {
+            for candidate in self.element.shrink(&value[at]) {
+                let mut next = value.clone();
+                next[at] = candidate;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 

@@ -7,8 +7,12 @@
 //! strategies, tuple composition, [`collection`] and [`sample`] helpers,
 //! and the [`proptest!`] / assertion macros. Cases are sampled from a
 //! deterministic per-test stream (seeded by the test name), so failures
-//! reproduce across runs. There is **no shrinking**: a failing case
-//! reports the assertion message only.
+//! reproduce across runs. Failing cases are **greedily shrunk**:
+//! integer-range, tuple, and [`collection::vec`] strategies propose
+//! structurally smaller variants through [`Strategy::shrink`] (other
+//! strategies pass through unchanged), and the runner walks to a
+//! locally minimal failing case — within a bounded candidate budget —
+//! before panicking with that case's assertion message.
 
 use std::rc::Rc;
 
@@ -44,13 +48,21 @@ impl TestRng {
     }
 }
 
-/// A value generator (the proptest `Strategy` trait, without shrinking).
+/// A value generator (the proptest `Strategy` trait, with minimal
+/// greedy shrinking).
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes *smaller* variants of a failing `value`, most-shrunk
+    /// first. The default proposes nothing, which keeps every strategy
+    /// (maps, unions, patterns) valid — shrinking is best-effort.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -90,6 +102,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn sample(&self, rng: &mut TestRng) -> T {
         self.0.sample(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink(value)
     }
 }
 
@@ -154,6 +169,20 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Shrink candidates for an integer in `[start, value)`: halve the
+/// distance to `start` repeatedly, most-shrunk first (`start` itself,
+/// then midpoints, ending at `value - 1`). Greedy descent over these
+/// candidates converges to a boundary in logarithmic steps.
+fn shrink_toward(start: i128, value: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    let mut delta = value - start;
+    while delta > 0 {
+        out.push(value - delta);
+        delta /= 2;
+    }
+    out
+}
+
 macro_rules! impl_int_range {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
@@ -161,6 +190,12 @@ macro_rules! impl_int_range {
             fn sample(&self, rng: &mut TestRng) -> $t {
                 let span = (self.end as i128 - self.start as i128) as u64;
                 (self.start as i128 + rng.below(span) as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
@@ -170,6 +205,12 @@ macro_rules! impl_int_range {
                 let span = (end as i128 - start as i128 + 1) as u64;
                 (start as i128 + rng.below(span) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
@@ -178,10 +219,25 @@ impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident $idx:tt),+))+) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time, the rest held fixed.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )+};
@@ -334,10 +390,85 @@ where
     }
 }
 
+/// Candidate evaluations a shrink search may spend per failure.
+const SHRINK_BUDGET: usize = 200;
+
+/// Drives one property with shrinking: samples `strategy` until
+/// `config.cases` succeed; on the first failure, greedily walks
+/// [`Strategy::shrink`] candidates (within a fixed budget of
+/// evaluations) to a locally minimal failing case and panics with that
+/// case's message. The sampling stream is identical to
+/// [`run_proptest`]'s, so seeds and failures reproduce across both
+/// runners.
+///
+/// # Panics
+///
+/// Panics on the first (shrunk) failing case, or when `prop_assume!`
+/// rejects an excessive fraction of cases.
+pub fn run_proptest_shrinking<S, F>(config: &ProptestConfig, name: &str, strategy: &S, mut case: F)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let name_seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    let mut passed = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = u64::from(config.cases) * 20 + 100;
+    while passed < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "proptest `{name}`: too many rejected cases ({} passed of {} wanted)",
+            passed,
+            config.cases
+        );
+        let mut rng =
+            TestRng::new(name_seed.wrapping_add(attempts.wrapping_mul(0x2545_F491_4F6C_DD1D)));
+        let value = strategy.sample(&mut rng);
+        match case(value.clone()) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(message)) => {
+                // Greedy descent: adopt the first still-failing shrink
+                // candidate and restart from it, until no candidate
+                // fails (a local minimum) or the budget runs out. A
+                // rejected candidate counts as passing — it is outside
+                // the property's precondition.
+                let mut best = value;
+                let mut best_message = message;
+                let mut steps = 0usize;
+                'descend: while steps < SHRINK_BUDGET {
+                    for candidate in strategy.shrink(&best) {
+                        steps += 1;
+                        if steps > SHRINK_BUDGET {
+                            break 'descend;
+                        }
+                        if let Err(TestCaseError::Fail(message)) = case(candidate.clone()) {
+                            best = candidate;
+                            best_message = message;
+                            continue 'descend;
+                        }
+                    }
+                    break;
+                }
+                panic!(
+                    "proptest `{name}` failed at case {passed} (attempt {attempts}, \
+                     {steps} shrink evaluations): {best_message}"
+                )
+            }
+        }
+    }
+}
+
 /// Declares property tests (see the proptest crate's macro of the same
 /// name). Bodies run inside a closure returning
 /// `Result<(), TestCaseError>`, so `prop_assert!`-style macros and `?`
-/// work as in real proptest.
+/// work as in real proptest. Failing cases are shrunk via
+/// [`run_proptest_shrinking`], which requires every bound value to be
+/// `Clone`.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -360,11 +491,21 @@ macro_rules! __proptest_items {
             $(#[$meta])*
             fn $name() {
                 let __config = $config;
-                $crate::run_proptest(&__config, stringify!($name), |__rng| {
-                    $(let $pat = $crate::Strategy::sample(&($strategy), __rng);)+
-                    $body
-                    ::std::result::Result::Ok(())
-                });
+                // The bound strategies form one tuple strategy, so the
+                // runner can shrink any component of a failing case.
+                // Tuple sampling draws components left to right —
+                // exactly the stream the pre-shrinking runner used.
+                let __strategy = ($($strategy,)+);
+                $crate::run_proptest_shrinking(
+                    &__config,
+                    stringify!($name),
+                    &__strategy,
+                    |__case| {
+                        let ($($pat,)+) = __case;
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
             }
         )*
     };
@@ -513,5 +654,46 @@ mod tests {
         crate::run_proptest(&ProptestConfig::with_cases(8), "always_fails", |_rng| {
             Err(TestCaseError::fail("nope"))
         });
+    }
+
+    /// A property failing for all `v >= 100` must shrink to exactly the
+    /// boundary: the panic message names `v=100`, not whatever large
+    /// sample tripped it first.
+    #[test]
+    #[should_panic(expected = "v=100")]
+    fn failing_properties_shrink_to_the_boundary() {
+        crate::run_proptest_shrinking(
+            &ProptestConfig::with_cases(8),
+            "shrinks_to_boundary",
+            &(0u64..1000,),
+            |(v,)| {
+                if v >= 100 {
+                    Err(TestCaseError::fail(format!("v={v}")))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn vec_shrinks_propose_shorter_and_smaller() {
+        let strat = crate::collection::vec(0u32..10, 1..5);
+        let candidates = Strategy::shrink(&strat, &vec![5, 7, 9]);
+        assert!(candidates.contains(&vec![5]), "halved length");
+        assert!(candidates.contains(&vec![5, 7]), "dropped tail");
+        assert!(candidates.contains(&vec![7, 9]), "dropped head");
+        assert!(candidates.contains(&vec![0, 7, 9]), "element shrunk toward its minimum");
+        // The size minimum is a floor.
+        assert!(Strategy::shrink(&strat, &vec![3]).iter().all(|v| !v.is_empty()));
+    }
+
+    #[test]
+    fn integer_shrinks_walk_toward_the_range_start() {
+        let candidates = Strategy::shrink(&(5i64..100), &21);
+        assert_eq!(candidates.first(), Some(&5), "most-shrunk candidate first");
+        assert_eq!(candidates.last(), Some(&20), "least-shrunk candidate last");
+        assert!(candidates.windows(2).all(|w| w[0] < w[1]));
+        assert!(Strategy::shrink(&(5i64..100), &5).is_empty(), "the start is minimal");
     }
 }
